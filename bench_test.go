@@ -1,0 +1,322 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation section (§VI) under `go test
+// -bench`. Each benchmark runs the corresponding experiment end to end
+// on the "quick" profile (downscaled GAGE, reduced training budget) and
+// reports the headline metrics via b.ReportMetric, so the shape of the
+// paper's results — who wins, by roughly what factor — is visible
+// straight from the benchmark output. The paper-scale numbers live in
+// EXPERIMENTS.md and are produced by `go run ./cmd/experiments -profile
+// full`.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/facility"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// BenchmarkTable1_CKGStats regenerates Table I (CKG statistics).
+func BenchmarkTable1_CKGStats(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunTable1(p)
+		b.ReportMetric(float64(rows[0].Ours.Entities), "OOI-entities")
+		b.ReportMetric(float64(rows[0].Ours.KGTriples), "OOI-KG-triples")
+		b.ReportMetric(float64(rows[1].Ours.Entities), "GAGE-entities")
+		b.ReportMetric(float64(rows[1].Ours.KGTriples), "GAGE-KG-triples")
+	}
+}
+
+// BenchmarkTable2_OverallComparison regenerates Table II: all eight
+// models on both facilities. The reported metrics are CKAT's recall@20
+// and its improvement over the best baseline (the "% Impro." row).
+func BenchmarkTable2_OverallComparison(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows, impro := experiments.RunTable2(p)
+		ckat := rows[len(rows)-1]
+		b.ReportMetric(ckat.OOIRecall, "CKAT-OOI-recall@20")
+		b.ReportMetric(ckat.GAGERecall, "CKAT-GAGE-recall@20")
+		b.ReportMetric(impro.OOIRecall, "OOI-impro-%")
+		b.ReportMetric(impro.GAGERecall, "GAGE-impro-%")
+	}
+}
+
+// BenchmarkTable3_KnowledgeSources regenerates Table III: CKAT under
+// the six knowledge-source combinations. Reported: the full-CKG recall
+// and the delta when the MD noise is added (negative = noise hurts, the
+// paper's finding).
+func BenchmarkTable3_KnowledgeSources(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunTable3(p)
+		full := rows[4] // UIG+UUG+LOC+DKG
+		withMD := rows[5]
+		b.ReportMetric(full.OOIRecall, "full-OOI-recall@20")
+		b.ReportMetric(full.GAGERecall, "full-GAGE-recall@20")
+		b.ReportMetric(withMD.OOIRecall-full.OOIRecall, "MD-delta-OOI")
+		b.ReportMetric(withMD.GAGERecall-full.GAGERecall, "MD-delta-GAGE")
+	}
+}
+
+// BenchmarkTable4_AttentionAggregators regenerates Table IV: the
+// attention and aggregator ablations. Reported: recall deltas of
+// dropping attention and of switching concat→sum (both negative in the
+// paper).
+func BenchmarkTable4_AttentionAggregators(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunTable4(p)
+		base, sum, noAtt := rows[0], rows[1], rows[2]
+		b.ReportMetric(base.OOIRecall, "att-concat-OOI-recall@20")
+		b.ReportMetric(sum.OOIRecall-base.OOIRecall, "sum-delta-OOI")
+		b.ReportMetric(noAtt.OOIRecall-base.OOIRecall, "noAtt-delta-OOI")
+		b.ReportMetric(noAtt.GAGERecall-base.GAGERecall, "noAtt-delta-GAGE")
+	}
+}
+
+// BenchmarkTable5_Depth regenerates Table V: CKAT with 1-3 propagation
+// layers. Reported: recall per depth (monotone non-decreasing in the
+// paper).
+func BenchmarkTable5_Depth(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunTable5(p)
+		for d, r := range rows {
+			switch d {
+			case 0:
+				b.ReportMetric(r.OOIRecall, "CKAT-1-OOI-recall@20")
+			case 1:
+				b.ReportMetric(r.OOIRecall, "CKAT-2-OOI-recall@20")
+			case 2:
+				b.ReportMetric(r.OOIRecall, "CKAT-3-OOI-recall@20")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3_QueryDistributions regenerates the Fig. 3 per-user
+// query distribution curves.
+func BenchmarkFigure3_QueryDistributions(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig3(p)
+		b.ReportMetric(float64(rows[0].Max), "OOI-max-objects")
+		b.ReportMetric(float64(rows[0].Median), "OOI-median-objects")
+		b.ReportMetric(float64(rows[3].Max), "GAGE-max-objects")
+	}
+}
+
+// BenchmarkFigure4_TSNE regenerates the Fig. 4 t-SNE study: same-org
+// users produce overlapping clusters (inter/intra ≈ 1) and distinct
+// organizations separate (cross-org > 1).
+func BenchmarkFigure4_TSNE(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig4(p)
+		b.ReportMetric(rows[0].SameOrgQuality, "OOI-sameorg-ratio")
+		b.ReportMetric(rows[0].CrossOrgQuality, "OOI-crossorg-ratio")
+		b.ReportMetric(rows[1].SameOrgQuality, "GAGE-sameorg-ratio")
+	}
+}
+
+// BenchmarkFigure5_LocalityAffinity regenerates the Fig. 5 pair study:
+// same-city pairs share query patterns far more often than random
+// pairs (paper: 79.8×/29.8× OOI, 22.87×/2.21× GAGE).
+func BenchmarkFigure5_LocalityAffinity(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFig5(p)
+		b.ReportMetric(rows[0].LocRatio, "OOI-loc-ratio")
+		b.ReportMetric(rows[0].TypeRatio, "OOI-type-ratio")
+		b.ReportMetric(rows[1].LocRatio, "GAGE-loc-ratio")
+		b.ReportMetric(rows[1].TypeRatio, "GAGE-type-ratio")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Component micro-benchmarks (ablation-level costs)
+// ---------------------------------------------------------------------------
+
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 120
+	cfg.NumOrgs = 12
+	tr := trace.Generate(cat, cfg, 7)
+	return dataset.Build(tr, dataset.AllSources(), 7)
+}
+
+// BenchmarkCKATEpoch measures one full CKAT training epoch (TransR
+// phase + attention recomputation + propagation/BPR phase).
+func BenchmarkCKATEpoch(b *testing.B) {
+	d := benchDataset(b)
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 32
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewDefault()
+		m.Fit(d, cfg)
+	}
+}
+
+// BenchmarkCKATAttention measures the per-epoch knowledge-aware
+// attention recomputation in isolation (ablation: this is the extra
+// cost of "w/ Att" over "w/o Att" in Table IV).
+func BenchmarkCKATAttention(b *testing.B) {
+	d := benchDataset(b)
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 32
+	cfg.Epochs = 1
+	withAtt := core.DefaultOptions()
+	m := core.New(withAtt)
+	m.Fit(d, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RecomputeAttention()
+	}
+}
+
+// BenchmarkFullRankingEval measures the evaluation protocol: scoring
+// every item for every test user.
+func BenchmarkFullRankingEval(b *testing.B) {
+	d := benchDataset(b)
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 32
+	cfg.Epochs = 1
+	m := core.NewDefault()
+	m.Fit(d, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Evaluate(d, m, 20)
+	}
+}
+
+// BenchmarkTSNE measures the exact t-SNE used for Fig. 4.
+func BenchmarkTSNE(b *testing.B) {
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 120
+	tr := trace.Generate(cat, cfg, 7)
+	in := analysis.TSNEInput(tr, 8, 30)
+	tcfg := analysis.DefaultTSNEConfig()
+	tcfg.Iterations = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.TSNE(in.Points, tcfg)
+	}
+}
+
+// BenchmarkCKGConstruction measures building the collaborative
+// knowledge graph from a trace.
+func BenchmarkCKGConstruction(b *testing.B) {
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 120
+	tr := trace.Generate(cat, cfg, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataset.Build(tr, dataset.AllSources(), 7)
+	}
+}
+
+// BenchmarkTraceGeneration measures the synthetic query simulator.
+func BenchmarkTraceGeneration(b *testing.B) {
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 120
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.Generate(cat, cfg, int64(i))
+	}
+}
+
+// BenchmarkCKATAttentionSerial is the serial counterpart of
+// BenchmarkCKATAttention: together they quantify the relation-parallel
+// speedup of the §VII future-work implementation.
+func BenchmarkCKATAttentionSerial(b *testing.B) {
+	d := benchDataset(b)
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 32
+	cfg.Epochs = 1
+	opts := core.DefaultOptions()
+	opts.ParallelAttention = false
+	m := core.New(opts)
+	m.Fit(d, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RecomputeAttention()
+	}
+}
+
+// BenchmarkAblationNoKGPhase measures CKAT without the TransR embedding
+// phase (dropping the L1 term of Eq. 13) — the DESIGN.md ablation of
+// the joint objective. The reported recall delta shows how much the
+// structured embedding layer contributes.
+func BenchmarkAblationNoKGPhase(b *testing.B) {
+	d := benchDataset(b)
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 32
+	cfg.Epochs = 6
+	for i := 0; i < b.N; i++ {
+		full := core.NewDefault()
+		full.Fit(d, cfg)
+		ablated := core.New(func() core.Options {
+			o := core.DefaultOptions()
+			o.SkipKGPhase = true
+			return o
+		}())
+		ablated.Fit(d, cfg)
+		fullR := eval.Evaluate(d, full, 20).Recall
+		ablR := eval.Evaluate(d, ablated, 20).Recall
+		b.ReportMetric(fullR, "full-recall@20")
+		b.ReportMetric(ablR, "noKG-recall@20")
+		b.ReportMetric(fullR-ablR, "KG-phase-contribution")
+	}
+}
+
+// BenchmarkColdStart probes the §II-B claim that knowledge graphs
+// alleviate cold-start: recall per training-history bucket, CKAT vs the
+// knowledge-free BPRMF. The reported metric is CKAT's advantage on the
+// shortest-history bucket.
+func BenchmarkColdStart(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunColdStart(p)
+		for _, r := range rows {
+			if r.Users == 0 {
+				continue
+			}
+			b.ReportMetric(r.CKATRecall-r.CFRecall, "adv-"+r.Bucket[:strings.IndexByte(r.Bucket, ' ')])
+		}
+	}
+}
+
+// BenchmarkKSweep reports CKAT recall across cutoffs K ∈ {5,10,20,40}
+// in one ranking pass (the sensitivity of the paper's K=20 choice).
+func BenchmarkKSweep(b *testing.B) {
+	d := benchDataset(b)
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 32
+	cfg.Epochs = 6
+	m := core.NewDefault()
+	m.Fit(d, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep := eval.EvaluateSweep(d, m, []int{5, 10, 20, 40})
+		b.ReportMetric(sweep[5].Recall, "recall@5")
+		b.ReportMetric(sweep[10].Recall, "recall@10")
+		b.ReportMetric(sweep[20].Recall, "recall@20")
+		b.ReportMetric(sweep[40].Recall, "recall@40")
+	}
+}

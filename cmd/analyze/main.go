@@ -1,0 +1,179 @@
+// Command analyze reproduces the trace-analysis figures of §III
+// (Figs. 3-5) and can dump the full data series as CSV for plotting.
+//
+//	analyze -fig 3 -csv /tmp/fig3
+//	analyze -fig 4
+//	analyze -fig 5 -pairs 10000
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/experiments"
+	"repro/internal/facility"
+	"repro/internal/plot"
+	"repro/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 3, 4, 5 or all")
+	seed := flag.Int64("seed", 7, "generation seed")
+	pairs := flag.Int("pairs", 10000, "pair samples for Fig. 5")
+	csvDir := flag.String("csv", "", "directory to write full data series as CSV")
+	flag.Parse()
+
+	p := experiments.Full()
+	p.Seed = *seed
+	p.Fig5Pairs = *pairs
+
+	if *fig == "3" || *fig == "all" {
+		fmt.Println("=== Fig. 3: query distribution curves ===")
+		for _, r := range experiments.RunFig3(p) {
+			fmt.Printf("%-5s %-22s max=%-5d p90=%-5d median=%-4d users=%d\n",
+				r.Facility, r.Curve, r.Max, r.P90, r.Median, r.Users)
+		}
+		for _, tr := range tracesFor(*seed) {
+			d := analysis.QueryDistributions(tr)
+			fmt.Println()
+			fmt.Print(plot.Line(d.Facility+" per-user query distributions (users ordered by rank)",
+				map[string][]float64{
+					"objects":   toFloat(d.ObjectsPerUser),
+					"locations": toFloat(d.SitesPerUser),
+					"types":     toFloat(d.TypesPerUser),
+				}, 64, 12))
+		}
+		if *csvDir != "" {
+			writeFig3CSV(*csvDir, *seed)
+		}
+	}
+	if *fig == "4" || *fig == "all" {
+		fmt.Println("\n=== Fig. 4: t-SNE user clusters ===")
+		for _, r := range experiments.RunFig4(p) {
+			fmt.Printf("%-5s points=%-4d same-org inter/intra=%.3f cross-org=%.3f\n",
+				r.Facility, r.Points, r.SameOrgQuality, r.CrossOrgQuality)
+		}
+		for _, tr := range tracesFor(*seed) {
+			in := analysis.TSNEInput(tr, 8, 30)
+			if len(in.Points) < 10 {
+				continue
+			}
+			cfg := analysis.DefaultTSNEConfig()
+			cfg.Seed = *seed
+			cfg.Iterations = 200
+			pts := analysis.TSNE(in.Points, cfg)
+			fmt.Println()
+			fmt.Print(plot.Scatter(tr.Facility.Name+
+				" t-SNE of the 8 most active users' queried objects (glyph = user)",
+				pts, in.Labels, 64, 18))
+		}
+		if *csvDir != "" {
+			writeFig4CSV(*csvDir, *seed)
+		}
+	}
+	if *fig == "5" || *fig == "all" {
+		fmt.Println("\n=== Fig. 5: same-city vs random pair affinity ===")
+		for _, r := range experiments.RunFig5(p) {
+			fmt.Printf("%-5s loc: same-city=%.4f random=%.4f ratio=%.1fx | type: same-city=%.4f random=%.4f ratio=%.1fx\n",
+				r.Facility, r.SameCityLocProb, r.RandomLocProb, r.LocRatio,
+				r.SameCityTypeProb, r.RandomTypeProb, r.TypeRatio)
+		}
+		fmt.Println("(paper: OOI 79.8x/29.8x, GAGE 22.87x/2.21x)")
+		for _, r := range experiments.RunFig5(p) {
+			fmt.Println()
+			fmt.Print(plot.Bars(r.Facility+" pair-affinity probabilities",
+				[]string{"same-city locality", "random locality",
+					"same-city data type", "random data type"},
+				[]float64{r.SameCityLocProb, r.RandomLocProb,
+					r.SameCityTypeProb, r.RandomTypeProb}, 40))
+		}
+	}
+}
+
+func toFloat(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func tracesFor(seed int64) []*trace.Trace {
+	ooiCfg := trace.DefaultOOIConfig()
+	gageCfg := trace.DefaultGAGEConfig()
+	return []*trace.Trace{
+		trace.Generate(facility.OOI(seed), ooiCfg, seed),
+		trace.Generate(facility.GAGE(seed, facility.DefaultGAGEConfig()), gageCfg, seed),
+	}
+}
+
+func writeFig3CSV(dir string, seed int64) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, tr := range tracesFor(seed) {
+		d := analysis.QueryDistributions(tr)
+		path := filepath.Join(dir, "fig3_"+d.Facility+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		w := csv.NewWriter(f)
+		_ = w.Write([]string{"rank", "objects", "locations", "types"})
+		for i := range d.ObjectsPerUser {
+			row := []string{strconv.Itoa(i), strconv.Itoa(d.ObjectsPerUser[i]), "", ""}
+			if i < len(d.SitesPerUser) {
+				row[2] = strconv.Itoa(d.SitesPerUser[i])
+			}
+			if i < len(d.TypesPerUser) {
+				row[3] = strconv.Itoa(d.TypesPerUser[i])
+			}
+			_ = w.Write(row)
+		}
+		w.Flush()
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+func writeFig4CSV(dir string, seed int64) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, tr := range tracesFor(seed) {
+		in := analysis.TSNEInput(tr, 8, 40)
+		if len(in.Points) < 10 {
+			continue
+		}
+		cfg := analysis.DefaultTSNEConfig()
+		cfg.Seed = seed
+		pts := analysis.TSNE(in.Points, cfg)
+		path := filepath.Join(dir, "fig4_"+tr.Facility.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		w := csv.NewWriter(f)
+		_ = w.Write([]string{"x", "y", "user"})
+		for i, pt := range pts {
+			_ = w.Write([]string{
+				strconv.FormatFloat(pt[0], 'f', 4, 64),
+				strconv.FormatFloat(pt[1], 'f', 4, 64),
+				strconv.Itoa(in.Labels[i]),
+			})
+		}
+		w.Flush()
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command serve trains a CKAT model on a synthetic facility (or loads
+// a snapshot saved earlier) and exposes it as the JSON data-discovery
+// API of internal/serve.
+//
+//	serve -facility ooi -epochs 10 -addr :8080
+//	serve -facility ooi -snapshot /tmp/ckat.gob -save   # train + persist
+//	serve -facility ooi -snapshot /tmp/ckat.gob         # load + serve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/models"
+	"repro/internal/serve"
+)
+
+func main() {
+	fac := flag.String("facility", "ooi", "facility: ooi or gage")
+	addr := flag.String("addr", ":8080", "listen address")
+	epochs := flag.Int("epochs", 10, "training epochs")
+	dim := flag.Int("dim", 32, "embedding size")
+	seed := flag.Int64("seed", 7, "seed")
+	snapshot := flag.String("snapshot", "", "snapshot path (load, or save with -save)")
+	save := flag.Bool("save", false, "train and save the snapshot, then serve")
+	flag.Parse()
+
+	var d *dataset.Dataset
+	switch *fac {
+	case "ooi":
+		d = dataset.BuildOOI(*seed, dataset.AllSources())
+	case "gage":
+		d = dataset.BuildGAGE(*seed, dataset.AllSources())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown facility %q\n", *fac)
+		os.Exit(2)
+	}
+
+	var scorer eval.Scorer
+	if *snapshot != "" && !*save {
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err := core.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded snapshot for %s (%d users, %d items)\n",
+			snap.FacilityName, len(snap.UserEnt), len(snap.ItemEnt))
+		scorer = snap.Scorer()
+	} else {
+		m := core.NewDefault()
+		cfg := models.DefaultTrainConfig()
+		cfg.Epochs = *epochs
+		cfg.EmbedDim = *dim
+		cfg.Seed = *seed
+		fmt.Printf("training CKAT on %s (%d epochs)...\n", d.Name, *epochs)
+		m.Fit(d, cfg)
+		metrics := eval.Evaluate(d, m, 20)
+		fmt.Printf("recall@20=%.4f ndcg@20=%.4f\n", metrics.Recall, metrics.NDCG)
+		if *save && *snapshot != "" {
+			f, err := os.Create(*snapshot)
+			if err != nil {
+				fatal(err)
+			}
+			if err := m.Snapshot(d.Name).Save(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("saved snapshot to %s\n", *snapshot)
+		}
+		scorer = m
+	}
+
+	fmt.Printf("serving %s data discovery on %s\n", d.Name, *addr)
+	fmt.Println("  GET /health | /recommend?user=&k= | /similar?item=&k= | /explain?user=&item=")
+	if err := http.ListenAndServe(*addr, serve.New(d, scorer)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

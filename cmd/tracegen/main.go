@@ -1,0 +1,107 @@
+// Command tracegen generates a synthetic facility query trace and
+// writes it to disk as CSV (records) plus JSON (users, organizations,
+// catalog summary) — the layout a downstream pipeline would ingest.
+//
+//	tracegen -facility ooi  -seed 7 -out /tmp/ooi
+//	tracegen -facility gage -seed 7 -users 500 -out /tmp/gage
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/facility"
+	"repro/internal/trace"
+)
+
+func main() {
+	fac := flag.String("facility", "ooi", "facility to simulate: ooi or gage")
+	seed := flag.Int64("seed", 7, "generation seed")
+	users := flag.Int("users", 0, "override user count (0 = facility default)")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	var cat *facility.Catalog
+	var cfg trace.Config
+	switch *fac {
+	case "ooi":
+		cat = facility.OOI(*seed)
+		cfg = trace.DefaultOOIConfig()
+	case "gage":
+		cat = facility.GAGE(*seed, facility.DefaultGAGEConfig())
+		cfg = trace.DefaultGAGEConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown facility %q\n", *fac)
+		os.Exit(2)
+	}
+	if *users > 0 {
+		cfg.NumUsers = *users
+	}
+	tr := trace.Generate(cat, cfg, *seed)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := writeRecords(filepath.Join(*out, "records.csv"), tr); err != nil {
+		fatal(err)
+	}
+	if err := writeJSON(filepath.Join(*out, "users.json"), tr.Users); err != nil {
+		fatal(err)
+	}
+	if err := writeJSON(filepath.Join(*out, "orgs.json"), tr.Orgs); err != nil {
+		fatal(err)
+	}
+	if err := writeJSON(filepath.Join(*out, "items.json"), cat.Items); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: wrote %d records for %d users over %d items to %s\n",
+		cat.Name, len(tr.Records), len(tr.Users), len(cat.Items), *out)
+}
+
+func writeRecords(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"user", "item", "item_name", "data_type", "time", "method"}); err != nil {
+		return err
+	}
+	for _, r := range tr.Records {
+		err := w.Write([]string{
+			strconv.Itoa(r.User),
+			strconv.Itoa(r.Item),
+			tr.Facility.Items[r.Item].Name,
+			tr.Facility.DataTypes[r.DataType].Name,
+			r.Time.Format("2006-01-02T15:04:05Z"),
+			r.Method,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/facility"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func ooiTrace(t testing.TB) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 120
+	cfg.NumOrgs = 12
+	cfg.MeanQueries = 30
+	return trace.Generate(facility.OOI(7), cfg, 21)
+}
+
+func TestQueryDistributionsSortedAndBounded(t *testing.T) {
+	tr := ooiTrace(t)
+	d := QueryDistributions(tr)
+	check := func(name string, xs []int, maxAllowed int) {
+		if len(xs) == 0 {
+			t.Fatalf("%s empty", name)
+		}
+		for i := 1; i < len(xs); i++ {
+			if xs[i] > xs[i-1] {
+				t.Fatalf("%s not sorted descending", name)
+			}
+		}
+		if xs[0] > maxAllowed {
+			t.Fatalf("%s max %d exceeds universe %d", name, xs[0], maxAllowed)
+		}
+	}
+	check("objects", d.ObjectsPerUser, len(tr.Facility.Items))
+	check("sites", d.SitesPerUser, len(tr.Facility.Sites))
+	check("types", d.TypesPerUser, len(tr.Facility.DataTypes))
+}
+
+func TestQueryDistributionsHeavyTail(t *testing.T) {
+	d := QueryDistributions(ooiTrace(t))
+	xs := d.ObjectsPerUser
+	median := xs[len(xs)/2]
+	if median == 0 || xs[0] < 3*median {
+		t.Fatalf("Fig.3 curve not heavy-tailed: max=%d median=%d", xs[0], median)
+	}
+}
+
+func TestLocalityAffinityRatios(t *testing.T) {
+	tr := ooiTrace(t)
+	d := LocalityAffinity(tr, 4000, 5, 9)
+	if d.SameCityLocProb <= d.RandomLocProb {
+		t.Fatalf("same-city locality %v should exceed random %v",
+			d.SameCityLocProb, d.RandomLocProb)
+	}
+	if d.SameCityTypeProb <= d.RandomTypeProb {
+		t.Fatalf("same-city type affinity %v should exceed random %v",
+			d.SameCityTypeProb, d.RandomTypeProb)
+	}
+	if d.LocRatio < 2 {
+		t.Fatalf("locality ratio %v, want ≫1 (paper: 79.8× OOI)", d.LocRatio)
+	}
+	if d.TypeRatio < 1.5 {
+		t.Fatalf("type ratio %v, want >1.5 (paper: 29.8× OOI)", d.TypeRatio)
+	}
+}
+
+func TestLocalityAffinityDeterministic(t *testing.T) {
+	tr := ooiTrace(t)
+	a := LocalityAffinity(tr, 1000, 5, 9)
+	b := LocalityAffinity(tr, 1000, 5, 9)
+	if a != b {
+		t.Fatal("LocalityAffinity not deterministic")
+	}
+}
+
+func TestLocalityAffinityDegenerate(t *testing.T) {
+	tr := ooiTrace(t)
+	// With an absurd activity threshold, no users qualify: zeros, no panic.
+	d := LocalityAffinity(tr, 100, 1<<30, 9)
+	if d.SameCityLocProb != 0 || d.LocRatio != 0 {
+		t.Fatalf("degenerate case should zero out: %+v", d)
+	}
+}
+
+func TestTSNESeparatesObviousClusters(t *testing.T) {
+	// Two well-separated Gaussian blobs must stay separated in 2-D.
+	g := rng.New(3)
+	var data [][]float64
+	var labels []int
+	for i := 0; i < 60; i++ {
+		offset := 0.0
+		label := 0
+		if i >= 30 {
+			offset = 25
+			label = 1
+		}
+		p := make([]float64, 8)
+		for j := range p {
+			p[j] = offset + g.NormFloat64()
+		}
+		data = append(data, p)
+		labels = append(labels, label)
+	}
+	cfg := DefaultTSNEConfig()
+	cfg.Perplexity = 10
+	cfg.Iterations = 250
+	pts := TSNE(data, cfg)
+	if len(pts) != 60 {
+		t.Fatalf("TSNE returned %d points", len(pts))
+	}
+	q := ClusterQuality(pts, labels)
+	if q < 2 {
+		t.Fatalf("cluster quality %v, want ≥2 for well-separated blobs", q)
+	}
+}
+
+func TestTSNEDeterministic(t *testing.T) {
+	g := rng.New(5)
+	var data [][]float64
+	for i := 0; i < 20; i++ {
+		data = append(data, []float64{g.NormFloat64(), g.NormFloat64()})
+	}
+	cfg := DefaultTSNEConfig()
+	cfg.Iterations = 50
+	a := TSNE(data, cfg)
+	b := TSNE(data, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TSNE not deterministic")
+		}
+	}
+}
+
+func TestTSNEEmptyAndFinite(t *testing.T) {
+	if got := TSNE(nil, DefaultTSNEConfig()); got != nil {
+		t.Fatal("empty input should give nil")
+	}
+	g := rng.New(6)
+	var data [][]float64
+	for i := 0; i < 15; i++ {
+		data = append(data, []float64{g.NormFloat64() * 5, g.NormFloat64()})
+	}
+	cfg := DefaultTSNEConfig()
+	cfg.Iterations = 100
+	for _, p := range TSNE(data, cfg) {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+			t.Fatal("TSNE produced non-finite coordinates")
+		}
+	}
+}
+
+func TestClusterQualityEdgeCases(t *testing.T) {
+	if got := ClusterQuality(nil, nil); got != 0 {
+		t.Fatal("empty input should give 0")
+	}
+	// All one label → no inter pairs → 0.
+	pts := [][2]float64{{0, 0}, {1, 1}}
+	if got := ClusterQuality(pts, []int{1, 1}); got != 0 {
+		t.Fatal("single-label input should give 0")
+	}
+}
+
+func TestTSNEInputSelection(t *testing.T) {
+	tr := ooiTrace(t)
+	in := TSNEInput(tr, 8, 50)
+	if len(in.Users) == 0 || len(in.Users) > 8 {
+		t.Fatalf("selected %d users, want 1..8", len(in.Users))
+	}
+	org := tr.Users[in.Users[0]].Org
+	for _, u := range in.Users {
+		if tr.Users[u].Org != org {
+			t.Fatal("Fig.4 users must share one organization")
+		}
+	}
+	if len(in.Points) != len(in.Labels) {
+		t.Fatal("points/labels length mismatch")
+	}
+	counts := map[int]int{}
+	for _, l := range in.Labels {
+		counts[l]++
+		if l < 0 || l >= len(in.Users) {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	for l, c := range counts {
+		if c > 50 {
+			t.Fatalf("user %d has %d points, cap is 50", l, c)
+		}
+	}
+	// Most-active-first ordering.
+	stats := tr.ComputeUserStats()
+	recs := make([]int, len(in.Users))
+	for i, u := range in.Users {
+		recs[i] = stats[u].Records
+	}
+	if !sort.IsSorted(sort.Reverse(sort.IntSlice(recs))) {
+		t.Fatal("Fig.4 users not ordered by activity")
+	}
+}
+
+// The end-to-end Fig. 4 property: same-organization users' queried
+// objects embed into overlapping clusters that are far tighter than a
+// random labeling.
+func TestFig4UserClustering(t *testing.T) {
+	tr := ooiTrace(t)
+	in := TSNEInput(tr, 6, 40)
+	if len(in.Points) < 30 {
+		t.Skip("not enough points")
+	}
+	cfg := DefaultTSNEConfig()
+	cfg.Iterations = 200
+	pts := TSNE(in.Points, cfg)
+	q := ClusterQuality(pts, in.Labels)
+	// Same-org users overlap (paper's observation), so quality is
+	// modest but must be ≥ ~1 (random labels give ≈1).
+	if q < 0.8 {
+		t.Fatalf("Fig.4 cluster quality %v, want ≥0.8", q)
+	}
+	t.Logf("Fig.4 cluster quality (inter/intra distance ratio) = %.3f", q)
+}
+
+func TestTemporalProfile(t *testing.T) {
+	tr := ooiTrace(t)
+	p := Temporal(tr)
+	if p.Days < 300 || p.Days > 400 {
+		t.Fatalf("trace spans %d days, want ≈365 (1-year trace)", p.Days)
+	}
+	var sum int
+	for _, n := range p.Daily {
+		sum += n
+	}
+	if sum != len(tr.Records) {
+		t.Fatalf("daily volumes sum to %d, want %d", sum, len(tr.Records))
+	}
+	if p.PeakToMean < 1 {
+		t.Fatalf("peak/mean %v < 1 impossible", p.PeakToMean)
+	}
+	if p.StreamingFrac < 0.2 || p.StreamingFrac > 0.4 {
+		t.Fatalf("streaming fraction %v, want ≈0.3", p.StreamingFrac)
+	}
+}
+
+func TestTemporalEmptyTrace(t *testing.T) {
+	tr := ooiTrace(t)
+	tr.Records = nil
+	p := Temporal(tr)
+	if p.Days != 0 || p.PeakToMean != 0 {
+		t.Fatalf("empty trace profile not zeroed: %+v", p)
+	}
+}
+
+func TestTypePopularitySorted(t *testing.T) {
+	tr := ooiTrace(t)
+	types, counts := TypePopularity(tr)
+	if len(types) != len(tr.Facility.DataTypes) {
+		t.Fatal("missing types")
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatal("counts not descending")
+		}
+	}
+	var sum int
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != len(tr.Records) {
+		t.Fatalf("counts sum %d != records %d", sum, len(tr.Records))
+	}
+}

@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Fig3Data holds the three distribution curves of Fig. 3 for one
+// facility: per-user counts of distinct data objects, instrument
+// locations, and data types, each sorted descending (the paper plots
+// them against user ID ordered by magnitude).
+type Fig3Data struct {
+	Facility       string
+	ObjectsPerUser []int
+	SitesPerUser   []int
+	TypesPerUser   []int
+}
+
+// QueryDistributions computes Fig. 3 for a trace.
+func QueryDistributions(tr *trace.Trace) Fig3Data {
+	stats := tr.ComputeUserStats()
+	d := Fig3Data{Facility: tr.Facility.Name}
+	for _, s := range stats {
+		if s.Records == 0 {
+			continue
+		}
+		d.ObjectsPerUser = append(d.ObjectsPerUser, s.DistinctItems)
+		d.SitesPerUser = append(d.SitesPerUser, s.DistinctSites)
+		d.TypesPerUser = append(d.TypesPerUser, s.DistinctTypes)
+	}
+	desc := func(xs []int) {
+		sort.Sort(sort.Reverse(sort.IntSlice(xs)))
+	}
+	desc(d.ObjectsPerUser)
+	desc(d.SitesPerUser)
+	desc(d.TypesPerUser)
+	return d
+}
+
+// Fig5Data holds the pair-affinity probabilities of Fig. 5: for
+// same-city user pairs and randomly sampled pairs, the probability that
+// the two users share the same modal query location and the same modal
+// data type, plus the ratios the paper headlines (e.g. 79.8× for OOI
+// locality).
+type Fig5Data struct {
+	Facility string
+	Pairs    int
+
+	SameCityLocProb  float64
+	RandomLocProb    float64
+	LocRatio         float64
+	SameCityTypeProb float64
+	RandomTypeProb   float64
+	TypeRatio        float64
+}
+
+// LocalityAffinity reproduces the Fig. 5 experiment: sample `pairs`
+// same-city user pairs and `pairs` random user pairs, then measure how
+// often the two users in a pair share a modal query location
+// (site-granularity for OOI, city-granularity for GAGE, matching the
+// information available per facility) and a modal data type. Users with
+// fewer than minRecords queries are excluded, mirroring the paper's use
+// of active identities.
+func LocalityAffinity(tr *trace.Trace, pairs, minRecords int, seed int64) Fig5Data {
+	g := rng.New(seed).Split("fig5-" + tr.Facility.Name)
+	stats := tr.ComputeUserStats()
+	gage := tr.Facility.Items[0].Instrument == -1
+
+	// Modal location per user at the facility's granularity.
+	loc := func(s trace.UserStats) int {
+		if gage {
+			return s.ModalCity
+		}
+		return s.ModalSite
+	}
+
+	// Active users grouped by home city.
+	var active []int
+	byCity := map[int][]int{}
+	for u, s := range stats {
+		if s.Records >= minRecords {
+			active = append(active, u)
+			c := tr.Users[u].City
+			byCity[c] = append(byCity[c], u)
+		}
+	}
+	var cities []int
+	for c, us := range byCity {
+		if len(us) >= 2 {
+			cities = append(cities, c)
+		}
+	}
+	sort.Ints(cities)
+
+	d := Fig5Data{Facility: tr.Facility.Name, Pairs: pairs}
+	if len(active) < 2 || len(cities) == 0 {
+		return d
+	}
+
+	var scLoc, scType, rdLoc, rdType int
+	for p := 0; p < pairs; p++ {
+		// Same-city pair.
+		c := cities[g.Intn(len(cities))]
+		us := byCity[c]
+		i := g.Intn(len(us))
+		j := g.Intn(len(us) - 1)
+		if j >= i {
+			j++
+		}
+		a, b := stats[us[i]], stats[us[j]]
+		if loc(a) == loc(b) {
+			scLoc++
+		}
+		if a.ModalType == b.ModalType {
+			scType++
+		}
+		// Random pair.
+		i = g.Intn(len(active))
+		j = g.Intn(len(active) - 1)
+		if j >= i {
+			j++
+		}
+		a, b = stats[active[i]], stats[active[j]]
+		if loc(a) == loc(b) {
+			rdLoc++
+		}
+		if a.ModalType == b.ModalType {
+			rdType++
+		}
+	}
+	n := float64(pairs)
+	d.SameCityLocProb = float64(scLoc) / n
+	d.RandomLocProb = float64(rdLoc) / n
+	d.SameCityTypeProb = float64(scType) / n
+	d.RandomTypeProb = float64(rdType) / n
+	if rdLoc > 0 {
+		d.LocRatio = float64(scLoc) / float64(rdLoc)
+	}
+	if rdType > 0 {
+		d.TypeRatio = float64(scType) / float64(rdType)
+	}
+	return d
+}
+
+// Fig4Input selects the Fig. 4 point cloud: the queried data objects of
+// the topN most active users of the largest organization's home city
+// (the paper used the 8 most frequent users from Rutgers / UW). Each
+// point is one queried data object featurized as (lat, lon, data-type
+// one-hot); Labels give the owning user per point.
+type Fig4Input struct {
+	Points [][]float64
+	Labels []int // index into Users
+	Users  []int // trace user IDs, most active first
+}
+
+// TSNEInputOrgs builds a variant of the Fig. 4 input that draws the
+// most active users from the nOrgs largest organizations and labels
+// points by organization. Same-organization overlap plus
+// cross-organization separation is the quantitative reading of the
+// Fig. 4 claim ("users from the same research group tend to have
+// similar data-query patterns").
+func TSNEInputOrgs(tr *trace.Trace, nOrgs, usersPerOrg, maxPointsPerUser int) Fig4Input {
+	stats := tr.ComputeUserStats()
+	// Rank organizations by total records.
+	orgRecords := map[int]int{}
+	for u, s := range stats {
+		orgRecords[tr.Users[u].Org] += s.Records
+	}
+	var orgs []int
+	for o := range orgRecords {
+		orgs = append(orgs, o)
+	}
+	sort.Slice(orgs, func(a, b int) bool {
+		if orgRecords[orgs[a]] != orgRecords[orgs[b]] {
+			return orgRecords[orgs[a]] > orgRecords[orgs[b]]
+		}
+		return orgs[a] < orgs[b]
+	})
+	if nOrgs > len(orgs) {
+		nOrgs = len(orgs)
+	}
+	// Top users per selected org.
+	order := make([]int, len(stats))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if stats[order[a]].Records != stats[order[b]].Records {
+			return stats[order[a]].Records > stats[order[b]].Records
+		}
+		return order[a] < order[b]
+	})
+	var users []int
+	orgLabel := map[int]int{}
+	for rank, o := range orgs[:nOrgs] {
+		taken := 0
+		for _, u := range order {
+			if tr.Users[u].Org == o && stats[u].Records > 0 {
+				users = append(users, u)
+				orgLabel[u] = rank
+				taken++
+				if taken == usersPerOrg {
+					break
+				}
+			}
+		}
+	}
+	nTypes := len(tr.Facility.DataTypes)
+	in := Fig4Input{Users: users}
+	inSel := map[int]bool{}
+	for _, u := range users {
+		inSel[u] = true
+	}
+	perUser := map[int]map[int]bool{}
+	for _, r := range tr.Records {
+		if !inSel[r.User] {
+			continue
+		}
+		if perUser[r.User] == nil {
+			perUser[r.User] = map[int]bool{}
+		}
+		if perUser[r.User][r.Item] || len(perUser[r.User]) >= maxPointsPerUser {
+			continue
+		}
+		perUser[r.User][r.Item] = true
+		it := tr.Facility.Items[r.Item]
+		site := tr.Facility.Sites[it.Site]
+		feat := make([]float64, 2+nTypes)
+		feat[0] = site.Lat / 30
+		feat[1] = site.Lon / 30
+		feat[2+it.DataType] = 2
+		in.Points = append(in.Points, feat)
+		in.Labels = append(in.Labels, orgLabel[r.User])
+	}
+	return in
+}
+
+// TSNEInput builds the Fig. 4 inputs from a trace.
+func TSNEInput(tr *trace.Trace, topN, maxPointsPerUser int) Fig4Input {
+	stats := tr.ComputeUserStats()
+	order := make([]int, len(stats))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if stats[order[a]].Records != stats[order[b]].Records {
+			return stats[order[a]].Records > stats[order[b]].Records
+		}
+		return order[a] < order[b]
+	})
+	// The paper draws the users from a single organization; take the
+	// org of the most active user and pick its topN members.
+	org := tr.Users[order[0]].Org
+	var users []int
+	for _, u := range order {
+		if tr.Users[u].Org == org {
+			users = append(users, u)
+			if len(users) == topN {
+				break
+			}
+		}
+	}
+	// One feature vector per distinct queried item per user.
+	nTypes := len(tr.Facility.DataTypes)
+	in := Fig4Input{Users: users}
+	userPos := map[int]int{}
+	for i, u := range users {
+		userPos[u] = i
+	}
+	perUser := map[int]map[int]bool{}
+	for _, r := range tr.Records {
+		pos, ok := userPos[r.User]
+		if !ok {
+			continue
+		}
+		if perUser[r.User] == nil {
+			perUser[r.User] = map[int]bool{}
+		}
+		if perUser[r.User][r.Item] || len(perUser[r.User]) >= maxPointsPerUser {
+			continue
+		}
+		perUser[r.User][r.Item] = true
+		it := tr.Facility.Items[r.Item]
+		site := tr.Facility.Sites[it.Site]
+		// Scale coordinates so spatial distance and type mismatch are
+		// comparable in the feature space.
+		feat := make([]float64, 2+nTypes)
+		feat[0] = site.Lat / 30
+		feat[1] = site.Lon / 30
+		feat[2+it.DataType] = 2
+		in.Points = append(in.Points, feat)
+		in.Labels = append(in.Labels, pos)
+	}
+	return in
+}

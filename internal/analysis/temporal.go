@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TemporalProfile summarizes the time dimension of a trace: the paper's
+// traces span one year of real facility operations, so the synthetic
+// generator must produce plausible long-horizon volume.
+type TemporalProfile struct {
+	Facility string
+	Days     int
+	Daily    []int // queries per day, chronological
+	// PeakToMean is max(Daily)/mean(Daily): burstiness of the load.
+	PeakToMean float64
+	// StreamingFrac is the fraction of records delivered via streaming
+	// (the Fig. 1 deliveryMethod attribute).
+	StreamingFrac float64
+}
+
+// Temporal computes the daily-volume profile of a trace.
+func Temporal(tr *trace.Trace) TemporalProfile {
+	p := TemporalProfile{Facility: tr.Facility.Name}
+	if len(tr.Records) == 0 {
+		return p
+	}
+	minT, maxT := tr.Records[0].Time, tr.Records[0].Time
+	var streaming int
+	for _, r := range tr.Records {
+		if r.Time.Before(minT) {
+			minT = r.Time
+		}
+		if r.Time.After(maxT) {
+			maxT = r.Time
+		}
+		if r.Method == "streaming" {
+			streaming++
+		}
+	}
+	day0 := minT.Truncate(24 * time.Hour)
+	p.Days = int(maxT.Sub(day0).Hours()/24) + 1
+	p.Daily = make([]int, p.Days)
+	for _, r := range tr.Records {
+		d := int(r.Time.Sub(day0).Hours() / 24)
+		p.Daily[d]++
+	}
+	var sum, max int
+	for _, n := range p.Daily {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	p.PeakToMean = float64(max) * float64(p.Days) / float64(sum)
+	p.StreamingFrac = float64(streaming) / float64(len(tr.Records))
+	return p
+}
+
+// TypePopularity returns data-type query counts sorted descending with
+// their type indices — the facility-wide skew that drives GAGE's small
+// Fig. 5 type ratio (RINEX dominance).
+func TypePopularity(tr *trace.Trace) (types []int, counts []int) {
+	c := make([]int, len(tr.Facility.DataTypes))
+	for _, r := range tr.Records {
+		c[r.DataType]++
+	}
+	types = make([]int, len(c))
+	for i := range types {
+		types[i] = i
+	}
+	sort.SliceStable(types, func(a, b int) bool { return c[types[a]] > c[types[b]] })
+	counts = make([]int, len(types))
+	for i, tIdx := range types {
+		counts[i] = c[tIdx]
+	}
+	return types, counts
+}

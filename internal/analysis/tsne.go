@@ -1,0 +1,222 @@
+// Package analysis reproduces the trace-analysis artifacts of §III:
+// the per-user query distribution curves (Fig. 3), the t-SNE user
+// similarity plots (Fig. 4), and the same-city vs random pair affinity
+// probabilities (Fig. 5).
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// TSNEConfig controls the t-SNE embedding (van der Maaten & Hinton
+// 2008), the visualization used in Fig. 4.
+type TSNEConfig struct {
+	Perplexity   float64
+	Iterations   int
+	LearningRate float64
+	Seed         int64
+}
+
+// DefaultTSNEConfig mirrors the common defaults.
+func DefaultTSNEConfig() TSNEConfig {
+	return TSNEConfig{Perplexity: 30, Iterations: 300, LearningRate: 100, Seed: 1}
+}
+
+// TSNE embeds the n×d data matrix (row-major, n rows of dim d) into 2-D
+// with exact (non-approximated) t-SNE. It is suitable for the few
+// hundred points of Fig. 4.
+func TSNE(data [][]float64, cfg TSNEConfig) [][2]float64 {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	if cfg.Perplexity >= float64(n) {
+		cfg.Perplexity = math.Max(2, float64(n)/4)
+	}
+	d2 := pairwiseSqDist(data)
+	p := perplexityCalibrate(d2, cfg.Perplexity)
+	// Symmetrize and normalize.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p[i][j] + p[j][i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			p[i][j], p[j][i] = v, v
+		}
+		p[i][i] = 1e-12
+	}
+
+	g := rng.New(cfg.Seed).Split("tsne")
+	y := make([][2]float64, n)
+	vel := make([][2]float64, n)
+	for i := range y {
+		y[i][0] = g.NormFloat64() * 1e-2
+		y[i][1] = g.NormFloat64() * 1e-2
+	}
+
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+	grad := make([][2]float64, n)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		exaggeration := 1.0
+		if iter < 50 {
+			exaggeration = 4 // early exaggeration
+		}
+		// Student-t affinities in the embedding.
+		var qSum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := y[i][0] - y[j][0]
+				dy := y[i][1] - y[j][1]
+				v := 1 / (1 + dx*dx + dy*dy)
+				q[i][j], q[j][i] = v, v
+				qSum += 2 * v
+			}
+		}
+		// Gradient: 4 Σ_j (p_ij·ex − q_ij/qSum) q_unnorm_ij (y_i − y_j).
+		for i := 0; i < n; i++ {
+			grad[i] = [2]float64{}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				qn := q[i][j] / qSum
+				mult := 4 * (p[i][j]*exaggeration - qn) * q[i][j]
+				dx := (y[i][0] - y[j][0]) * mult
+				dy := (y[i][1] - y[j][1]) * mult
+				grad[i][0] += dx
+				grad[i][1] += dy
+				grad[j][0] -= dx
+				grad[j][1] -= dy
+			}
+		}
+		momentum := 0.5
+		if iter >= 100 {
+			momentum = 0.8
+		}
+		for i := 0; i < n; i++ {
+			vel[i][0] = momentum*vel[i][0] - cfg.LearningRate*grad[i][0]
+			vel[i][1] = momentum*vel[i][1] - cfg.LearningRate*grad[i][1]
+			y[i][0] += vel[i][0]
+			y[i][1] += vel[i][1]
+		}
+	}
+	return y
+}
+
+// pairwiseSqDist computes the full squared Euclidean distance matrix.
+func pairwiseSqDist(data [][]float64) [][]float64 {
+	n := len(data)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var s float64
+			a, b := data[i], data[j]
+			for k := range a {
+				diff := a[k] - b[k]
+				s += diff * diff
+			}
+			out[i][j], out[j][i] = s, s
+		}
+	}
+	return out
+}
+
+// perplexityCalibrate binary-searches a per-point Gaussian bandwidth so
+// each row of the conditional distribution P_{j|i} has the target
+// perplexity, following the reference implementation.
+func perplexityCalibrate(d2 [][]float64, perplexity float64) [][]float64 {
+	n := len(d2)
+	target := math.Log(perplexity)
+	p := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		for iter := 0; iter < 60; iter++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				v := math.Exp(-d2[i][j] * beta)
+				p[i][j] = v
+				sum += v
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			// Shannon entropy of the row.
+			var h float64
+			for j := 0; j < n; j++ {
+				if j == i || p[i][j] == 0 {
+					continue
+				}
+				pj := p[i][j] / sum
+				h -= pj * math.Log(pj)
+			}
+			diff := h - target
+			if math.Abs(diff) < 1e-5 {
+				for j := range p[i] {
+					p[i][j] /= sum
+				}
+				break
+			}
+			if diff > 0 { // entropy too high → tighten
+				lo = beta
+				if hi == 1e20 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				if lo == 1e-20 {
+					beta /= 2
+				} else {
+					beta = (beta + lo) / 2
+				}
+			}
+			if iter == 59 {
+				for j := range p[i] {
+					p[i][j] /= sum
+				}
+			}
+		}
+	}
+	return p
+}
+
+// ClusterQuality measures how tightly points with the same label group
+// in an embedding: the ratio of the mean inter-label distance to the
+// mean intra-label distance. Values well above 1 indicate the Fig. 4
+// "points cluster with overlaps across users" structure.
+func ClusterQuality(points [][2]float64, labels []int) float64 {
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			dx := points[i][0] - points[j][0]
+			dy := points[i][1] - points[j][1]
+			dist := math.Sqrt(dx*dx + dy*dy)
+			if labels[i] == labels[j] {
+				intra += dist
+				nIntra++
+			} else {
+				inter += dist
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 || intra == 0 {
+		return 0
+	}
+	return (inter / float64(nInter)) / (intra / float64(nIntra))
+}

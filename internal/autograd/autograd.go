@@ -1,0 +1,129 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over dense float64 tensors. It provides exactly the
+// operator set needed by the recommendation models in this repository:
+// dense products, element-wise nonlinearities, embedding gather/scatter,
+// segment softmax (per-neighborhood attention normalization), and
+// segment sums (graph message aggregation).
+//
+// Usage: create a Tape per training step, lift persistent Params onto it
+// with Tape.Leaf, build the loss with the operator methods, then call
+// Tape.Backward(loss). Gradients accumulate into each Param's Grad
+// tensor; the optimizer consumes and zeroes them.
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a persistent trainable tensor. Value survives across steps;
+// Grad is accumulated by Backward and consumed/zeroed by the optimizer.
+type Param struct {
+	Name  string
+	Value *tensor.Dense
+	Grad  *tensor.Dense
+}
+
+// NewParam allocates a named parameter with a zeroed gradient buffer.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(rows, cols),
+		Grad:  tensor.New(rows, cols),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Node is one value in the computation graph. Nodes are created by Tape
+// operations and are immutable once built.
+type Node struct {
+	Value *tensor.Dense
+
+	tape     *Tape
+	grad     *tensor.Dense // lazily allocated
+	backward func()        // propagates n.grad into parents; nil for leaves
+	needGrad bool
+}
+
+// Grad returns the accumulated gradient of the node (allocating a zero
+// tensor on first use). Only meaningful after Tape.Backward.
+func (n *Node) Grad() *tensor.Dense {
+	if n.grad == nil {
+		n.grad = tensor.New(n.Value.Rows, n.Value.Cols)
+	}
+	return n.grad
+}
+
+// Rows returns the node's row count.
+func (n *Node) Rows() int { return n.Value.Rows }
+
+// Cols returns the node's column count.
+func (n *Node) Cols() int { return n.Value.Cols }
+
+// Tape records operations in execution order so Backward can replay the
+// adjoints in reverse. A Tape is single-use and not safe for concurrent
+// mutation.
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// node registers a freshly built node on the tape.
+func (t *Tape) node(value *tensor.Dense, needGrad bool, backward func()) *Node {
+	n := &Node{Value: value, tape: t, needGrad: needGrad, backward: backward}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Leaf lifts a persistent parameter onto the tape. The returned node's
+// backward pass accumulates into p.Grad.
+func (t *Tape) Leaf(p *Param) *Node {
+	var n *Node
+	n = t.node(p.Value, true, func() {
+		tensor.AddInto(p.Grad, n.Grad())
+	})
+	return n
+}
+
+// Const lifts a tensor that does not require gradients.
+func (t *Tape) Const(v *tensor.Dense) *Node {
+	return t.node(v, false, nil)
+}
+
+// Backward runs reverse-mode differentiation seeded with d(loss)/d(loss)
+// = 1. loss must be a 1×1 node produced by this tape.
+func (t *Tape) Backward(loss *Node) {
+	if loss.tape != t {
+		panic("autograd: Backward on node from another tape")
+	}
+	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
+		panic(fmt.Sprintf("autograd: Backward expects scalar loss, got %dx%d",
+			loss.Value.Rows, loss.Value.Cols))
+	}
+	loss.Grad().Fill(1)
+	// Tape order is a valid topological order: every node's parents were
+	// recorded before it, so the reverse sweep sees each node's full
+	// adjoint before propagating it.
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.grad != nil && n.needGrad {
+			n.backward()
+		}
+	}
+}
+
+// anyNeedsGrad reports whether gradient tracking must continue through
+// an op with the given parents.
+func anyNeedsGrad(parents ...*Node) bool {
+	for _, p := range parents {
+		if p.needGrad {
+			return true
+		}
+	}
+	return false
+}

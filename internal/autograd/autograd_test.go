@@ -1,0 +1,341 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// checkGrad verifies the analytic gradient of every param against a
+// central finite difference of the scalar loss built by f.
+func checkGrad(t *testing.T, params []*Param, f func(tp *Tape, leaves []*Node) *Node) {
+	t.Helper()
+	// Analytic pass.
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	tp := NewTape()
+	leaves := make([]*Node, len(params))
+	for i, p := range params {
+		leaves[i] = tp.Leaf(p)
+	}
+	loss := f(tp, leaves)
+	tp.Backward(loss)
+
+	eval := func() float64 {
+		tp := NewTape()
+		leaves := make([]*Node, len(params))
+		for i, p := range params {
+			leaves[i] = tp.Const(p.Value)
+		}
+		return f(tp, leaves).Value.Data[0]
+	}
+
+	const h = 1e-5
+	for _, p := range params {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			up := eval()
+			p.Value.Data[i] = orig - h
+			down := eval()
+			p.Value.Data[i] = orig
+			num := (up - down) / (2 * h)
+			got := p.Grad.Data[i]
+			scale := math.Max(1, math.Max(math.Abs(num), math.Abs(got)))
+			if math.Abs(num-got)/scale > 1e-5 {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, got, num)
+			}
+		}
+	}
+}
+
+func seededParam(name string, rows, cols int, seed int64) *Param {
+	p := NewParam(name, rows, cols)
+	g := rng.New(seed)
+	for i := range p.Value.Data {
+		p.Value.Data[i] = g.NormFloat64() * 0.5
+	}
+	return p
+}
+
+func TestGradAddSubMulScale(t *testing.T) {
+	a := seededParam("a", 3, 2, 1)
+	b := seededParam("b", 3, 2, 2)
+	checkGrad(t, []*Param{a, b}, func(tp *Tape, l []*Node) *Node {
+		x := tp.Add(l[0], l[1])
+		y := tp.Sub(x, tp.Scale(l[1], 0.3))
+		z := tp.Mul(y, l[0])
+		return tp.SumAll(z)
+	})
+}
+
+func TestGradMatMul(t *testing.T) {
+	a := seededParam("a", 3, 4, 3)
+	b := seededParam("b", 4, 2, 4)
+	checkGrad(t, []*Param{a, b}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumAll(tp.Tanh(tp.MatMul(l[0], l[1])))
+	})
+}
+
+func TestGradMatMulT(t *testing.T) {
+	a := seededParam("a", 3, 4, 5)
+	w := seededParam("w", 2, 4, 6)
+	checkGrad(t, []*Param{a, w}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumAll(tp.Sigmoid(tp.MatMulT(l[0], l[1])))
+	})
+}
+
+func TestGradGatherWithDuplicates(t *testing.T) {
+	emb := seededParam("emb", 5, 3, 7)
+	idx := []int{4, 0, 4, 2}
+	checkGrad(t, []*Param{emb}, func(tp *Tape, l []*Node) *Node {
+		g := tp.Gather(l[0], idx)
+		return tp.SumAll(tp.Mul(g, g))
+	})
+}
+
+func TestGradScatter(t *testing.T) {
+	src := seededParam("src", 3, 2, 8)
+	idx := []int{2, 0, 2} // duplicate target accumulates
+	checkGrad(t, []*Param{src}, func(tp *Tape, l []*Node) *Node {
+		s := tp.Scatter(l[0], idx, 4)
+		return tp.SumAll(tp.Mul(s, s))
+	})
+}
+
+func TestGradSegmentSumRows(t *testing.T) {
+	src := seededParam("src", 5, 2, 9)
+	seg := []int{0, 0, 1, 2, 2}
+	checkGrad(t, []*Param{src}, func(tp *Tape, l []*Node) *Node {
+		s := tp.SegmentSumRows(l[0], seg, 3)
+		return tp.SumAll(tp.Tanh(s))
+	})
+}
+
+func TestGradConcatCols(t *testing.T) {
+	a := seededParam("a", 3, 2, 10)
+	b := seededParam("b", 3, 3, 11)
+	checkGrad(t, []*Param{a, b}, func(tp *Tape, l []*Node) *Node {
+		c := tp.ConcatCols(l[0], l[1])
+		return tp.SumAll(tp.Mul(c, c))
+	})
+}
+
+func TestGradAddRowVecAndScalar(t *testing.T) {
+	a := seededParam("a", 4, 3, 40)
+	v := seededParam("v", 1, 3, 41)
+	checkGrad(t, []*Param{a, v}, func(tp *Tape, l []*Node) *Node {
+		x := tp.AddRowVec(l[0], l[1])
+		x = tp.AddScalar(x, 0.3)
+		return tp.SumAll(tp.Tanh(x))
+	})
+}
+
+func TestGradMulColVec(t *testing.T) {
+	a := seededParam("a", 4, 3, 12)
+	w := seededParam("w", 4, 1, 13)
+	checkGrad(t, []*Param{a, w}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumAll(tp.Tanh(tp.MulColVec(l[0], l[1])))
+	})
+}
+
+func TestGradRowDot(t *testing.T) {
+	a := seededParam("a", 4, 3, 14)
+	b := seededParam("b", 4, 3, 15)
+	checkGrad(t, []*Param{a, b}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumAll(tp.Sigmoid(tp.RowDot(l[0], l[1])))
+	})
+}
+
+func TestGradRowSumSq(t *testing.T) {
+	a := seededParam("a", 4, 3, 16)
+	checkGrad(t, []*Param{a}, func(tp *Tape, l []*Node) *Node {
+		return tp.SumAll(tp.Tanh(tp.RowSumSq(l[0])))
+	})
+}
+
+func TestGradActivations(t *testing.T) {
+	a := seededParam("a", 3, 3, 17)
+	checkGrad(t, []*Param{a}, func(tp *Tape, l []*Node) *Node {
+		x := tp.Tanh(l[0])
+		x = tp.Sigmoid(x)
+		x = tp.LeakyReLU(x, 0.2)
+		x = tp.Softplus(x)
+		return tp.Mean(x)
+	})
+}
+
+func TestGradSegmentSoftmax(t *testing.T) {
+	a := seededParam("a", 6, 1, 18)
+	offsets := []int{0, 3, 4, 6}
+	w := seededParam("w", 6, 1, 19)
+	checkGrad(t, []*Param{a, w}, func(tp *Tape, l []*Node) *Node {
+		p := tp.SegmentSoftmax(l[0], offsets)
+		return tp.SumAll(tp.Mul(p, tp.Tanh(l[1])))
+	})
+}
+
+func TestGradL2NormalizeRows(t *testing.T) {
+	a := seededParam("a", 4, 3, 20)
+	checkGrad(t, []*Param{a}, func(tp *Tape, l []*Node) *Node {
+		nrm := tp.L2NormalizeRows(l[0])
+		w := tp.Const(tensor.New(4, 3).Fill(0.7))
+		return tp.SumAll(tp.Mul(nrm, w))
+	})
+}
+
+// A composite check that mirrors one CKAT propagation layer: gather tail
+// embeddings by edge, weight them by a segment-softmaxed attention
+// score, aggregate per head, and push through a linear + LeakyReLU.
+func TestGradPropagationLayerComposite(t *testing.T) {
+	emb := seededParam("emb", 6, 4, 21)
+	w := seededParam("w", 3, 8, 22)
+	att := seededParam("att", 7, 1, 23)
+	heads := []int{0, 0, 1, 1, 1, 2, 2}
+	tails := []int{1, 2, 0, 3, 4, 5, 1}
+	offsets := []int{0, 2, 5, 7}
+	checkGrad(t, []*Param{emb, w, att}, func(tp *Tape, l []*Node) *Node {
+		e, wn, a := l[0], l[1], l[2]
+		p := tp.SegmentSoftmax(a, offsets)
+		tailEmb := tp.Gather(e, tails)
+		weighted := tp.MulColVec(tailEmb, p)
+		agg := tp.SegmentSumRows(weighted, heads, 3)
+		self := tp.Gather(e, []int{0, 1, 2})
+		cat := tp.ConcatCols(self, agg)
+		out := tp.LeakyReLU(tp.MatMulT(cat, wn), 0.2)
+		return tp.Mean(tp.Mul(out, out))
+	})
+}
+
+func TestDropoutIdentityAtZeroRate(t *testing.T) {
+	a := seededParam("a", 3, 3, 24)
+	tp := NewTape()
+	n := tp.Leaf(a)
+	d := tp.Dropout(n, 0, rng.New(1))
+	if d != n {
+		t.Fatal("Dropout with rate 0 must be identity")
+	}
+}
+
+func TestDropoutScalesSurvivors(t *testing.T) {
+	a := NewParam("a", 10, 10)
+	a.Value.Fill(1)
+	tp := NewTape()
+	d := tp.Dropout(tp.Leaf(a), 0.5, rng.New(7))
+	var zeros, twos int
+	for _, v := range d.Value.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros == 0 || twos == 0 {
+		t.Fatalf("dropout produced %d zeros / %d survivors", zeros, twos)
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-scalar Backward")
+		}
+	}()
+	tp := NewTape()
+	n := tp.Leaf(seededParam("a", 2, 2, 1))
+	tp.Backward(n)
+}
+
+func TestBackwardAccumulatesAcrossUses(t *testing.T) {
+	// The same leaf used twice must receive the sum of both adjoints.
+	a := NewParam("a", 1, 1)
+	a.Value.Data[0] = 3
+	tp := NewTape()
+	n := tp.Leaf(a)
+	loss := tp.SumAll(tp.Mul(n, n)) // d/da a² = 2a = 6
+	tp.Backward(loss)
+	if got := a.Grad.Data[0]; math.Abs(got-6) > 1e-12 {
+		t.Fatalf("grad = %v, want 6", got)
+	}
+}
+
+func TestConstReceivesNoGradient(t *testing.T) {
+	c := tensor.New(2, 2).Fill(1)
+	a := seededParam("a", 2, 2, 30)
+	tp := NewTape()
+	cn := tp.Const(c)
+	an := tp.Leaf(a)
+	loss := tp.SumAll(tp.Mul(cn, an))
+	tp.Backward(loss)
+	if cn.grad != nil && cn.grad.MaxAbs() != 0 {
+		t.Fatal("const node accumulated gradient")
+	}
+	if a.Grad.MaxAbs() == 0 {
+		t.Fatal("leaf did not accumulate gradient")
+	}
+}
+
+// A deep chain mixing most operators: guards against tape-ordering
+// regressions (every node's adjoint must be complete before its
+// backward runs).
+func TestGradDeepChainComposite(t *testing.T) {
+	emb := seededParam("emb", 8, 4, 50)
+	w1 := seededParam("w1", 6, 4, 51) // out 6, in 4
+	bias := seededParam("bias", 1, 6, 53)
+	checkGrad(t, []*Param{emb, w1, bias}, func(tp *Tape, l []*Node) *Node {
+		e, a, c := l[0], l[1], l[2]
+		g1 := tp.Gather(e, []int{0, 2, 4, 2})   // 4×4
+		h := tp.AddRowVec(tp.MatMulT(g1, a), c) // 4×6
+		h = tp.Softplus(h)
+		sc := tp.Scatter(h, []int{1, 3, 1, 0}, 5) // 5×6, dup target
+		nrm := tp.L2NormalizeRows(sc)
+		agg := tp.SegmentSumRows(nrm, []int{0, 0, 1, 1, 2}, 3)
+		return tp.Mean(tp.Mul(agg, agg))
+	})
+}
+
+// The same parameter appearing through two independent paths must
+// accumulate both contributions.
+func TestGradSharedParameterTwoPaths(t *testing.T) {
+	p := seededParam("p", 3, 3, 60)
+	checkGrad(t, []*Param{p}, func(tp *Tape, l []*Node) *Node {
+		a := tp.Tanh(l[0])
+		b := tp.Sigmoid(l[0])
+		return tp.SumAll(tp.Add(tp.Mul(a, a), tp.Mul(b, l[0])))
+	})
+}
+
+// Dead branches (nodes never reaching the loss) must not corrupt
+// gradients or panic during the reverse sweep.
+func TestBackwardIgnoresDeadBranches(t *testing.T) {
+	p := NewParam("p", 2, 2)
+	p.Value.Fill(1)
+	tp := NewTape()
+	n := tp.Leaf(p)
+	_ = tp.Tanh(n) // dead
+	loss := tp.SumAll(n)
+	tp.Backward(loss)
+	for _, g := range p.Grad.Data {
+		if g != 1 {
+			t.Fatalf("grad = %v, want all ones", p.Grad.Data)
+		}
+	}
+}
+
+func TestBackwardOnForeignTapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	t1 := NewTape()
+	t2 := NewTape()
+	n := t1.SumAll(t1.Leaf(seededParam("x", 1, 1, 70)))
+	t2.Backward(n)
+}

@@ -1,0 +1,461 @@
+package autograd
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Add returns a + b (element-wise, same shape).
+func (t *Tape) Add(a, b *Node) *Node {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.Add(out, a.Value, b.Value)
+	var n *Node
+	n = t.node(out, anyNeedsGrad(a, b), func() {
+		if a.needGrad {
+			tensor.AddInto(a.Grad(), n.Grad())
+		}
+		if b.needGrad {
+			tensor.AddInto(b.Grad(), n.Grad())
+		}
+	})
+	return n
+}
+
+// Sub returns a - b.
+func (t *Tape) Sub(a, b *Node) *Node {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.Sub(out, a.Value, b.Value)
+	var n *Node
+	n = t.node(out, anyNeedsGrad(a, b), func() {
+		if a.needGrad {
+			tensor.AddInto(a.Grad(), n.Grad())
+		}
+		if b.needGrad {
+			tensor.AXPY(b.Grad(), -1, n.Grad())
+		}
+	})
+	return n
+}
+
+// Mul returns the Hadamard product a ⊙ b.
+func (t *Tape) Mul(a, b *Node) *Node {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.Mul(out, a.Value, b.Value)
+	var n *Node
+	n = t.node(out, anyNeedsGrad(a, b), func() {
+		if a.needGrad {
+			tmp := tensor.New(a.Rows(), a.Cols())
+			tensor.Mul(tmp, n.Grad(), b.Value)
+			tensor.AddInto(a.Grad(), tmp)
+		}
+		if b.needGrad {
+			tmp := tensor.New(b.Rows(), b.Cols())
+			tensor.Mul(tmp, n.Grad(), a.Value)
+			tensor.AddInto(b.Grad(), tmp)
+		}
+	})
+	return n
+}
+
+// AddScalar returns a + s element-wise for a constant s.
+func (t *Tape) AddScalar(a *Node, s float64) *Node {
+	return t.unary(a,
+		func(x float64) float64 { return x + s },
+		func(_, _ float64) float64 { return 1 })
+}
+
+// Scale returns s * a for a compile-time constant s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.Scale(out, s, a.Value)
+	var n *Node
+	n = t.node(out, a.needGrad, func() {
+		if a.needGrad {
+			tensor.AXPY(a.Grad(), s, n.Grad())
+		}
+	})
+	return n
+}
+
+// MatMul returns a · b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	out := tensor.New(a.Rows(), b.Cols())
+	tensor.MatMul(out, a.Value, b.Value)
+	var n *Node
+	n = t.node(out, anyNeedsGrad(a, b), func() {
+		g := n.Grad()
+		if a.needGrad { // dA = dC · Bᵀ
+			tmp := tensor.New(a.Rows(), a.Cols())
+			tensor.MatMulT(tmp, g, b.Value)
+			tensor.AddInto(a.Grad(), tmp)
+		}
+		if b.needGrad { // dB = Aᵀ · dC
+			tmp := tensor.New(b.Rows(), b.Cols())
+			tensor.MatTMul(tmp, a.Value, g)
+			tensor.AddInto(b.Grad(), tmp)
+		}
+	})
+	return n
+}
+
+// MatMulT returns a · bᵀ. With b a weight matrix of shape (outDim ×
+// inDim) this is the usual "rows through a linear layer" product.
+func (t *Tape) MatMulT(a, b *Node) *Node {
+	out := tensor.New(a.Rows(), b.Rows())
+	tensor.MatMulT(out, a.Value, b.Value)
+	var n *Node
+	n = t.node(out, anyNeedsGrad(a, b), func() {
+		g := n.Grad()
+		if a.needGrad { // dA = dC · B
+			tmp := tensor.New(a.Rows(), a.Cols())
+			tensor.MatMul(tmp, g, b.Value)
+			tensor.AddInto(a.Grad(), tmp)
+		}
+		if b.needGrad { // dB = dCᵀ · A
+			tmp := tensor.New(b.Rows(), b.Cols())
+			tensor.MatTMul(tmp, g, a.Value)
+			tensor.AddInto(b.Grad(), tmp)
+		}
+	})
+	return n
+}
+
+// Gather selects rows of a by index: out[i] = a[idx[i]]. The adjoint is
+// a scatter-add, so repeated indices accumulate gradient correctly.
+func (t *Tape) Gather(a *Node, idx []int) *Node {
+	out := tensor.New(len(idx), a.Cols())
+	tensor.Gather(out, a.Value, idx)
+	var n *Node
+	n = t.node(out, a.needGrad, func() {
+		if a.needGrad {
+			tensor.ScatterAdd(a.Grad(), n.Grad(), idx)
+		}
+	})
+	return n
+}
+
+// Scatter produces a rows×a.Cols node whose row idx[i] equals a's row i
+// and all other rows are zero. Duplicate indices accumulate.
+func (t *Tape) Scatter(a *Node, idx []int, rows int) *Node {
+	out := tensor.New(rows, a.Cols())
+	tensor.ScatterAdd(out, a.Value, idx)
+	var n *Node
+	n = t.node(out, a.needGrad, func() {
+		if a.needGrad {
+			tmp := tensor.New(a.Rows(), a.Cols())
+			tensor.Gather(tmp, n.Grad(), idx)
+			tensor.AddInto(a.Grad(), tmp)
+		}
+	})
+	return n
+}
+
+// SegmentSumRows aggregates rows of a into outRows buckets:
+// out[seg[i]] += a[i]. This is the message-aggregation kernel of the
+// GNN propagation layers.
+func (t *Tape) SegmentSumRows(a *Node, seg []int, outRows int) *Node {
+	return t.Scatter(a, seg, outRows)
+}
+
+// ConcatCols returns [a | b] column-wise.
+func (t *Tape) ConcatCols(a, b *Node) *Node {
+	out := tensor.New(a.Rows(), a.Cols()+b.Cols())
+	tensor.ConcatCols(out, a.Value, b.Value)
+	var n *Node
+	n = t.node(out, anyNeedsGrad(a, b), func() {
+		g := n.Grad()
+		if a.needGrad {
+			tmp := tensor.New(a.Rows(), a.Cols())
+			tensor.SplitCols(tmp, g, 0, a.Cols())
+			tensor.AddInto(a.Grad(), tmp)
+		}
+		if b.needGrad {
+			tmp := tensor.New(b.Rows(), b.Cols())
+			tensor.SplitCols(tmp, g, a.Cols(), a.Cols()+b.Cols())
+			tensor.AddInto(b.Grad(), tmp)
+		}
+	})
+	return n
+}
+
+// AddRowVec adds the 1×C row vector v to every row of a (bias add).
+func (t *Tape) AddRowVec(a, v *Node) *Node {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.AddRowVector(out, a.Value, v.Value)
+	var n *Node
+	n = t.node(out, anyNeedsGrad(a, v), func() {
+		g := n.Grad()
+		if a.needGrad {
+			tensor.AddInto(a.Grad(), g)
+		}
+		if v.needGrad {
+			tmp := tensor.New(1, v.Cols())
+			tensor.SumRows(tmp, g)
+			tensor.AddInto(v.Grad(), tmp)
+		}
+	})
+	return n
+}
+
+// MulColVec scales row i of a by w[i] (w is Rows×1).
+func (t *Tape) MulColVec(a, w *Node) *Node {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.MulColVector(out, a.Value, w.Value)
+	var n *Node
+	n = t.node(out, anyNeedsGrad(a, w), func() {
+		g := n.Grad()
+		if a.needGrad {
+			tmp := tensor.New(a.Rows(), a.Cols())
+			tensor.MulColVector(tmp, g, w.Value)
+			tensor.AddInto(a.Grad(), tmp)
+		}
+		if w.needGrad { // dw[i] = <a_i, g_i>
+			tmp := tensor.New(w.Rows(), 1)
+			tensor.RowDot(tmp, a.Value, g)
+			tensor.AddInto(w.Grad(), tmp)
+		}
+	})
+	return n
+}
+
+// RowDot returns the per-row inner product <a_i, b_i> as a Rows×1 node.
+func (t *Tape) RowDot(a, b *Node) *Node {
+	out := tensor.New(a.Rows(), 1)
+	tensor.RowDot(out, a.Value, b.Value)
+	var n *Node
+	n = t.node(out, anyNeedsGrad(a, b), func() {
+		g := n.Grad()
+		if a.needGrad {
+			tmp := tensor.New(a.Rows(), a.Cols())
+			tensor.MulColVector(tmp, b.Value, g)
+			tensor.AddInto(a.Grad(), tmp)
+		}
+		if b.needGrad {
+			tmp := tensor.New(b.Rows(), b.Cols())
+			tensor.MulColVector(tmp, a.Value, g)
+			tensor.AddInto(b.Grad(), tmp)
+		}
+	})
+	return n
+}
+
+// RowSumSq returns Σ_j a[i][j]² per row as a Rows×1 node.
+func (t *Tape) RowSumSq(a *Node) *Node {
+	out := tensor.New(a.Rows(), 1)
+	tensor.RowSumSq(out, a.Value)
+	var n *Node
+	n = t.node(out, a.needGrad, func() {
+		if a.needGrad { // d a_ij = 2 a_ij g_i
+			tmp := tensor.New(a.Rows(), a.Cols())
+			tensor.MulColVector(tmp, a.Value, n.Grad())
+			tensor.AXPY(a.Grad(), 2, tmp)
+		}
+	})
+	return n
+}
+
+// SumAll reduces a to a 1×1 scalar.
+func (t *Tape) SumAll(a *Node) *Node {
+	out := tensor.New(1, 1)
+	out.Data[0] = a.Value.SumAll()
+	var n *Node
+	n = t.node(out, a.needGrad, func() {
+		if a.needGrad {
+			g := n.Grad().Data[0]
+			ag := a.Grad()
+			for i := range ag.Data {
+				ag.Data[i] += g
+			}
+		}
+	})
+	return n
+}
+
+// Mean reduces a to its arithmetic mean as a 1×1 scalar.
+func (t *Tape) Mean(a *Node) *Node {
+	return t.Scale(t.SumAll(a), 1/float64(a.Rows()*a.Cols()))
+}
+
+// unary builds an element-wise op given forward f and derivative df
+// expressed in terms of the INPUT value x and OUTPUT value y.
+func (t *Tape) unary(a *Node, f func(x float64) float64,
+	df func(x, y float64) float64) *Node {
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.Apply(out, a.Value, f)
+	var n *Node
+	n = t.node(out, a.needGrad, func() {
+		if !a.needGrad {
+			return
+		}
+		g := n.Grad()
+		ag := a.Grad()
+		for i := range ag.Data {
+			ag.Data[i] += g.Data[i] * df(a.Value.Data[i], out.Data[i])
+		}
+	})
+	return n
+}
+
+// Tanh returns tanh(a) element-wise.
+func (t *Tape) Tanh(a *Node) *Node {
+	return t.unary(a, math.Tanh, func(_, y float64) float64 { return 1 - y*y })
+}
+
+// Sigmoid returns σ(a) element-wise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 { return 1 / (1 + math.Exp(-x)) },
+		func(_, y float64) float64 { return y * (1 - y) })
+}
+
+// ReLU returns max(0, a) element-wise.
+func (t *Tape) ReLU(a *Node) *Node {
+	return t.LeakyReLU(a, 0)
+}
+
+// LeakyReLU returns a where a > 0 and alpha·a elsewhere.
+func (t *Tape) LeakyReLU(a *Node, alpha float64) *Node {
+	return t.unary(a,
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return alpha * x
+		},
+		func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return alpha
+		})
+}
+
+// Softplus returns ln(1+eˣ) element-wise using a numerically stable
+// form. Note -ln σ(x) = softplus(-x), which is how the BPR loss uses it.
+func (t *Tape) Softplus(a *Node) *Node {
+	return t.unary(a,
+		func(x float64) float64 {
+			if x > 30 {
+				return x
+			}
+			if x < -30 {
+				return math.Exp(x)
+			}
+			return math.Log1p(math.Exp(x))
+		},
+		func(x, _ float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// SegmentSoftmax normalizes the n×1 node a with an independent softmax
+// inside each contiguous segment given by segOffsets (see
+// tensor.SegmentSoftmax). The adjoint uses the standard softmax Jacobian
+// restricted to each segment: da_i = p_i (g_i − Σ_j p_j g_j).
+func (t *Tape) SegmentSoftmax(a *Node, segOffsets []int) *Node {
+	out := tensor.New(a.Rows(), 1)
+	tensor.SegmentSoftmax(out, a.Value, segOffsets)
+	var n *Node
+	n = t.node(out, a.needGrad, func() {
+		if !a.needGrad {
+			return
+		}
+		g := n.Grad()
+		ag := a.Grad()
+		for s := 0; s+1 < len(segOffsets); s++ {
+			lo, hi := segOffsets[s], segOffsets[s+1]
+			var dot float64
+			for i := lo; i < hi; i++ {
+				dot += out.Data[i] * g.Data[i]
+			}
+			for i := lo; i < hi; i++ {
+				ag.Data[i] += out.Data[i] * (g.Data[i] - dot)
+			}
+		}
+	})
+	return n
+}
+
+// Dropout zeroes each element independently with probability rate and
+// scales survivors by 1/(1-rate) (inverted dropout). With rate <= 0 it
+// is the identity. The mask is drawn from g, keeping training runs
+// reproducible.
+func (t *Tape) Dropout(a *Node, rate float64, g *rng.RNG) *Node {
+	if rate <= 0 {
+		return a
+	}
+	keep := 1 - rate
+	mask := tensor.New(a.Rows(), a.Cols())
+	for i := range mask.Data {
+		if g.Float64() < keep {
+			mask.Data[i] = 1 / keep
+		}
+	}
+	out := tensor.New(a.Rows(), a.Cols())
+	tensor.Mul(out, a.Value, mask)
+	var n *Node
+	n = t.node(out, a.needGrad, func() {
+		if a.needGrad {
+			tmp := tensor.New(a.Rows(), a.Cols())
+			tensor.Mul(tmp, n.Grad(), mask)
+			tensor.AddInto(a.Grad(), tmp)
+		}
+	})
+	return n
+}
+
+// L2NormalizeRows scales each row to unit Euclidean norm. Zero rows are
+// left untouched. Used to keep propagated embeddings bounded across
+// layers.
+func (t *Tape) L2NormalizeRows(a *Node) *Node {
+	norms := make([]float64, a.Rows())
+	out := tensor.New(a.Rows(), a.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		r := a.Value.Row(i)
+		var s float64
+		for _, v := range r {
+			s += v * v
+		}
+		nrm := math.Sqrt(s)
+		norms[i] = nrm
+		o := out.Row(i)
+		if nrm == 0 {
+			copy(o, r)
+			continue
+		}
+		for j, v := range r {
+			o[j] = v / nrm
+		}
+	}
+	var n *Node
+	n = t.node(out, a.needGrad, func() {
+		if !a.needGrad {
+			return
+		}
+		g := n.Grad()
+		ag := a.Grad()
+		for i := 0; i < a.Rows(); i++ {
+			nrm := norms[i]
+			gr := g.Row(i)
+			ar := a.Value.Row(i)
+			agr := ag.Row(i)
+			if nrm == 0 {
+				for j := range gr {
+					agr[j] += gr[j]
+				}
+				continue
+			}
+			// d x_j = g_j/‖x‖ − x_j (xᵀg)/‖x‖³
+			var dot float64
+			for j := range gr {
+				dot += ar[j] * gr[j]
+			}
+			inv := 1 / nrm
+			inv3 := inv * inv * inv
+			for j := range gr {
+				agr[j] += gr[j]*inv - ar[j]*dot*inv3
+			}
+		}
+	})
+	return n
+}

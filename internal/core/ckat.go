@@ -1,0 +1,336 @@
+// Package core implements the paper's primary contribution: the
+// Collaborative Knowledge-aware graph ATtention network (CKAT, §V).
+//
+// The model has three components:
+//
+//  1. An embedding layer that learns structured representations of the
+//     collaborative knowledge graph with TransR (Eq. 1), trained with
+//     the margin-based objective L1 (Eq. 2).
+//  2. A knowledge-aware attentive embedding propagation layer (Eq. 3-9)
+//     that refines every entity representation by aggregating messages
+//     from its CKG neighborhood, weighted by the relational attention
+//     fa(h,r,t) = (W_r e_t)ᵀ tanh(W_r e_h + e_r) (Eq. 4) normalized
+//     with a per-neighborhood softmax (Eq. 5). Layers stack (Eq. 8-9)
+//     with either the concatenate (Eq. 6) or sum (Eq. 7) aggregator.
+//  3. A prediction layer concatenating each node's per-layer
+//     representations (Eq. 10) and scoring user–item pairs with an
+//     inner product (Eq. 11).
+//
+// The objective L = L1 + L2 + λ‖Θ‖² (Eq. 13) combines the TransR loss
+// with the BPR pairwise ranking loss (Eq. 12). Training alternates the
+// two phases each epoch (the standard optimization for this family),
+// recomputing the attention coefficients from the embedding layer
+// between phases.
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/autograd"
+	"repro/internal/dataset"
+	"repro/internal/kg"
+	"repro/internal/models"
+	"repro/internal/models/shared"
+	"repro/internal/optim"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Aggregator selects how self and neighborhood representations combine
+// in each propagation layer.
+type Aggregator string
+
+// The two aggregators evaluated in Table IV.
+const (
+	AggConcat Aggregator = "concat" // Eq. 6 (the default, best in Table IV)
+	AggSum    Aggregator = "sum"    // Eq. 7
+)
+
+// Options are the CKAT-specific hyperparameters (§VI-D defaults).
+type Options struct {
+	// Layers lists the hidden dimension of each propagation layer;
+	// §VI-D: depth 3 with hidden dimensions 64, 32, 16.
+	Layers []int
+	// Aggregator is concat (default) or sum.
+	Aggregator Aggregator
+	// UseAttention enables the knowledge-aware attention (Eq. 4-5);
+	// when false, neighbors are weighted uniformly (the Table IV "w/o
+	// Att" ablation).
+	UseAttention bool
+	// Margin is the TransR margin γ of Eq. 2.
+	Margin float64
+	// KGSteps is the number of TransR mini-batch steps per epoch.
+	KGSteps int
+	// KGBatch is the TransR batch size.
+	KGBatch int
+	// SkipKGPhase disables the TransR embedding-layer training (the L1
+	// term of Eq. 13). Ablation only: attention scores then come from
+	// embeddings shaped solely by the BPR signal.
+	SkipKGPhase bool
+	// ParallelAttention computes the per-relation attention projections
+	// concurrently (§VII names CKAT parallelization as future work;
+	// this implements the relation-parallel part).
+	ParallelAttention bool
+}
+
+// DefaultOptions returns the paper's best configuration.
+func DefaultOptions() Options {
+	return Options{
+		Layers:            []int{64, 32, 16},
+		Aggregator:        AggConcat,
+		UseAttention:      true,
+		Margin:            1.0,
+		KGSteps:           20,
+		KGBatch:           1024,
+		ParallelAttention: true,
+	}
+}
+
+// Model is the CKAT recommender.
+type Model struct {
+	opts   Options
+	transr *shared.TransR    // embedding layer (entities, relations, projections)
+	w      []*autograd.Param // per propagation layer: d_l × (2·d_{l-1}) or d_l × d_{l-1}
+
+	adj     *kg.Adjacency
+	att     *tensor.Dense // E×1 attention coefficients (recomputed per epoch)
+	nEnt    int
+	dim     int
+	nItems  int
+	userEnt []int
+	itemEnt []int
+
+	final *tensor.Dense // N×D final representations (built after training)
+}
+
+// New returns an untrained CKAT with opts.
+func New(opts Options) *Model { return &Model{opts: opts} }
+
+// NewDefault returns an untrained CKAT with the paper's defaults.
+func NewDefault() *Model { return New(DefaultOptions()) }
+
+// Name implements models.Recommender.
+func (m *Model) Name() string { return "CKAT" }
+
+// computeAttention recomputes the per-edge attention coefficients from
+// the current embedding layer (Eq. 4-5). Without attention, every
+// neighborhood is weighted uniformly.
+func (m *Model) computeAttention() {
+	e := m.adj.NumEdges()
+	m.att = tensor.New(e, 1)
+	if !m.opts.UseAttention {
+		for h := 0; h < m.nEnt; h++ {
+			lo, hi := m.adj.Neighbors(h)
+			if hi == lo {
+				continue
+			}
+			w := 1 / float64(hi-lo)
+			for i := lo; i < hi; i++ {
+				m.att.Data[i] = w
+			}
+		}
+		return
+	}
+	// Project all entities into each relation's space once:
+	// P_r = Ent · W_rᵀ. Relations are independent, so with
+	// ParallelAttention each runs on its own goroutine (the
+	// relation-parallel decomposition of §VII's future-work item).
+	k := m.transr.Rel.Value.Cols
+	groups := shared.GroupByRelation(m.adj.Rels)
+	raw := tensor.New(e, 1)
+	scoreRelation := func(r int) {
+		proj := tensor.New(m.nEnt, k)
+		tensor.MatMulT(proj, m.transr.Ent.Value, m.transr.Proj[r].Value)
+		er := m.transr.Rel.Value.Row(r)
+		for _, i := range groups.Idx[r] {
+			ph := proj.Row(m.adj.Heads[i])
+			pt := proj.Row(m.adj.Tails[i])
+			var s float64
+			for j := 0; j < k; j++ {
+				s += pt[j] * math.Tanh(ph[j]+er[j])
+			}
+			raw.Data[i] = s
+		}
+	}
+	if m.opts.ParallelAttention {
+		workers := runtime.GOMAXPROCS(0)
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, r := range groups.Rels {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(r int) {
+				defer wg.Done()
+				scoreRelation(r)
+				<-sem
+			}(r)
+		}
+		wg.Wait()
+	} else {
+		for _, r := range groups.Rels {
+			scoreRelation(r)
+		}
+	}
+	tensor.SegmentSoftmax(m.att, raw, m.adj.Offsets)
+}
+
+// propagate builds the propagation layers on a tape and returns the
+// final concatenated representation node (Eq. 10). ent must be the
+// embedding-layer node (leaf for training, const for inference).
+func (m *Model) propagate(tp *autograd.Tape, ent *autograd.Node,
+	dropout float64, g *rng.RNG) *autograd.Node {
+	attNode := tp.Const(m.att)
+	final := ent
+	cur := ent
+	for l := range m.opts.Layers {
+		tails := tp.Gather(cur, m.adj.Tails)     // E×d
+		weighted := tp.MulColVec(tails, attNode) // Eq. 3/9
+		agg := tp.SegmentSumRows(weighted, m.adj.Heads, m.nEnt)
+		var mixed *autograd.Node
+		if m.opts.Aggregator == AggSum {
+			mixed = tp.Add(cur, agg) // Eq. 7
+		} else {
+			mixed = tp.ConcatCols(cur, agg) // Eq. 6
+		}
+		out := tp.LeakyReLU(tp.MatMulT(mixed, tp.Leaf(m.w[l])), 0.2)
+		if dropout > 0 {
+			out = tp.Dropout(out, dropout, g)
+		}
+		out = tp.L2NormalizeRows(out)
+		final = tp.ConcatCols(final, out)
+		cur = out
+	}
+	return final
+}
+
+// Fit trains CKAT: per epoch, (1) KGSteps TransR updates on sampled
+// triples, (2) attention recomputation, (3) BPR updates with full-graph
+// attentive propagation.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	g := rng.New(cfg.Seed).Split("ckat")
+	m.dim = cfg.EmbedDim
+	m.nEnt = d.Graph.NumEntities()
+	m.nItems = d.NumItems
+	m.userEnt = d.UserEnt
+	m.itemEnt = d.ItemEnt
+	m.adj = d.Graph.BuildAdjacency()
+	m.transr = shared.NewTransR(m.nEnt, d.Graph.NumRelations(),
+		cfg.EmbedDim, cfg.EmbedDim, g.Split("transr"))
+	m.w = nil
+	inDim := cfg.EmbedDim
+	cfParams := []*autograd.Param{m.transr.Ent}
+	for l, outDim := range m.opts.Layers {
+		width := inDim
+		if m.opts.Aggregator != AggSum {
+			width = 2 * inDim
+		}
+		w := shared.NewEmbedding("ckat.w", outDim, width, g.Split("w"))
+		m.w = append(m.w, w)
+		cfParams = append(cfParams, w)
+		inDim = outDim
+		_ = l
+	}
+	optKG := optim.NewAdam(m.transr.Params(), cfg.LR, 0)
+	optCF := optim.NewAdam(cfParams, cfg.LR, 0)
+	kgSampler := shared.NewKGSampler(d.Graph, g.Split("kgneg"))
+	neg := d.NewNegSampler(cfg.Seed)
+	drop := g.Split("dropout")
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// --- Phase 1: embedding layer (TransR, L1) ---------------------
+		var kgLoss float64
+		kgSteps := m.opts.KGSteps
+		if m.opts.SkipKGPhase {
+			kgSteps = 0
+		}
+		for s := 0; s < kgSteps; s++ {
+			h, r, tl, nt := kgSampler.Batch(m.opts.KGBatch)
+			tp := autograd.NewTape()
+			loss := m.transr.MarginLoss(tp, h, r, tl, nt, m.opts.Margin)
+			tp.Backward(loss)
+			optKG.Step()
+			kgLoss += loss.Value.Data[0]
+		}
+
+		// --- Phase 2: knowledge-aware attention (Eq. 4-5) --------------
+		m.computeAttention()
+
+		// --- Phase 3: attentive propagation + BPR (L2) -----------------
+		var cfLoss float64
+		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
+		for _, b := range batches {
+			users, pos, negs := b[0], b[1], b[2]
+			tp := autograd.NewTape()
+			ent := tp.Leaf(m.transr.Ent)
+			final := m.propagate(tp, ent, cfg.Dropout, drop)
+			u := tp.Gather(final, entIdx(m.userEnt, users))
+			vp := tp.Gather(final, entIdx(m.itemEnt, pos))
+			vn := tp.Gather(final, entIdx(m.itemEnt, negs))
+			loss := shared.BPRLoss(tp, tp.RowDot(u, vp), tp.RowDot(u, vn)) // Eq. 12
+			loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2, u, vp, vn))       // λ‖Θ‖²
+			tp.Backward(loss)
+			optCF.Step()
+			cfLoss += loss.Value.Data[0]
+		}
+		kgDen := float64(kgSteps)
+		if kgDen == 0 {
+			kgDen = 1
+		}
+		cfg.Log("ckat %s epoch %d/%d kgLoss=%.4f cfLoss=%.4f", d.Name,
+			epoch+1, cfg.Epochs, kgLoss/kgDen,
+			cfLoss/float64(len(batches)))
+	}
+
+	// Final representations for inference (attention from the trained
+	// embedding layer, no dropout).
+	m.computeAttention()
+	tp := autograd.NewTape()
+	final := m.propagate(tp, tp.Const(m.transr.Ent.Value), 0, nil)
+	m.final = final.Value
+}
+
+// entIdx maps user/item indices to entity IDs.
+func entIdx(ents, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, x := range idx {
+		out[i] = ents[x]
+	}
+	return out
+}
+
+// ScoreItems implements eval.Scorer: ŷ(u, v) = e*_uᵀ e*_v (Eq. 11).
+func (m *Model) ScoreItems(user int, out []float64) {
+	u := m.final.Row(m.userEnt[user])
+	for i := 0; i < m.nItems; i++ {
+		v := m.final.Row(m.itemEnt[i])
+		var s float64
+		for j := range u {
+			s += u[j] * v[j]
+		}
+		out[i] = s
+	}
+}
+
+// NumItems implements eval.Scorer.
+func (m *Model) NumItems() int { return m.nItems }
+
+// FinalEmbedding returns the final representation of an arbitrary CKG
+// entity (for diagnostics and the example applications). Only valid
+// after Fit.
+func (m *Model) FinalEmbedding(entity int) []float64 {
+	return m.final.Row(entity)
+}
+
+// RecomputeAttention refreshes the per-edge attention coefficients from
+// the current embedding layer (exposed for benchmarking the Table IV
+// attention cost). Only valid after Fit.
+func (m *Model) RecomputeAttention() { m.computeAttention() }
+
+// AttentionOn returns the current per-edge attention coefficients and
+// the adjacency they index, for introspection (e.g. explaining which
+// knowledge links drive a recommendation).
+func (m *Model) AttentionOn() (*kg.Adjacency, *tensor.Dense) {
+	return m.adj, m.att
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Snapshot is the serializable inference state of a trained CKAT: the
+// final propagated representations plus the user/item entity mappings.
+// It is everything a serving process needs to score users against the
+// full catalog — no training state, no graph.
+type Snapshot struct {
+	FacilityName string
+	Dim          int
+	UserEnt      []int
+	ItemEnt      []int
+	FinalRows    int
+	FinalCols    int
+	FinalData    []float64
+}
+
+// Snapshot extracts the inference state. Only valid after Fit.
+func (m *Model) Snapshot(facility string) *Snapshot {
+	if m.final == nil {
+		panic("core: Snapshot before Fit")
+	}
+	return &Snapshot{
+		FacilityName: facility,
+		Dim:          m.dim,
+		UserEnt:      m.userEnt,
+		ItemEnt:      m.itemEnt,
+		FinalRows:    m.final.Rows,
+		FinalCols:    m.final.Cols,
+		FinalData:    m.final.Data,
+	}
+}
+
+// Save writes the snapshot with encoding/gob.
+func (s *Snapshot) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadSnapshot reads a snapshot written by Save and validates its
+// internal consistency.
+func LoadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if s.FinalRows*s.FinalCols != len(s.FinalData) {
+		return nil, fmt.Errorf("core: snapshot shape %dx%d != data %d",
+			s.FinalRows, s.FinalCols, len(s.FinalData))
+	}
+	for _, e := range append(append([]int{}, s.UserEnt...), s.ItemEnt...) {
+		if e < 0 || e >= s.FinalRows {
+			return nil, fmt.Errorf("core: snapshot entity %d out of range", e)
+		}
+	}
+	return &s, nil
+}
+
+// Scorer turns the snapshot into an eval.Scorer usable for serving.
+func (s *Snapshot) Scorer() *SnapshotScorer {
+	return &SnapshotScorer{
+		final:   tensor.NewFromSlice(s.FinalRows, s.FinalCols, s.FinalData),
+		userEnt: s.UserEnt,
+		itemEnt: s.ItemEnt,
+	}
+}
+
+// SnapshotScorer scores users against the catalog from a loaded
+// snapshot. Safe for concurrent use (read-only state).
+type SnapshotScorer struct {
+	final   *tensor.Dense
+	userEnt []int
+	itemEnt []int
+}
+
+// ScoreItems implements eval.Scorer.
+func (s *SnapshotScorer) ScoreItems(user int, out []float64) {
+	u := s.final.Row(s.userEnt[user])
+	for i := range s.itemEnt {
+		v := s.final.Row(s.itemEnt[i])
+		var sum float64
+		for j := range u {
+			sum += u[j] * v[j]
+		}
+		out[i] = sum
+	}
+}
+
+// NumItems implements eval.Scorer.
+func (s *SnapshotScorer) NumItems() int { return len(s.itemEnt) }
+
+// NumUsers returns the number of users in the snapshot.
+func (s *SnapshotScorer) NumUsers() int { return len(s.userEnt) }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/models/modeltest"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	m := NewDefault()
+	cfg := modeltest.QuickConfig()
+	cfg.Epochs = 3
+	m.Fit(d, cfg)
+
+	var buf bytes.Buffer
+	if err := m.Snapshot(d.Name).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FacilityName != d.Name {
+		t.Fatalf("facility = %q", snap.FacilityName)
+	}
+	sc := snap.Scorer()
+	if sc.NumItems() != d.NumItems || sc.NumUsers() != d.NumUsers {
+		t.Fatal("snapshot scorer dimensions wrong")
+	}
+	// The loaded scorer must reproduce the live model's scores exactly.
+	a := make([]float64, d.NumItems)
+	b := make([]float64, d.NumItems)
+	for _, u := range []int{0, 3, 7} {
+		m.ScoreItems(u, a)
+		sc.ScoreItems(u, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %d item %d: live %v vs snapshot %v", u, i, a[i], b[i])
+			}
+		}
+	}
+	// And therefore identical evaluation metrics.
+	if eval.Evaluate(d, m, 20) != eval.Evaluate(d, sc, 20) {
+		t.Fatal("snapshot evaluation differs from live model")
+	}
+}
+
+func TestLoadSnapshotRejectsCorruptShape(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	m := NewDefault()
+	cfg := modeltest.QuickConfig()
+	cfg.Epochs = 1
+	m.Fit(d, cfg)
+	s := m.Snapshot(d.Name)
+	s.FinalRows++ // corrupt
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(&buf); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := LoadSnapshot(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSnapshotBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDefault().Snapshot("x")
+}

@@ -1,0 +1,379 @@
+// Package dataset turns a synthetic facility trace into the training
+// artifacts the recommendation models consume: the deduplicated
+// user–item interaction set with a per-user 80/20 train/test split
+// (§VI-A), a BPR negative sampler, and the collaborative knowledge
+// graph (CKG, §IV) assembled from a configurable combination of
+// knowledge sources — the switch behind Table III:
+//
+//	UIG  user–item interactions (training split only; no test leakage)
+//	UUG  user–user same-city links
+//	LOC  instrument-location subgraph (item→site→region / item→city→state)
+//	DKG  data-domain subgraph (item→instrument/type/discipline)
+//	MD   auxiliary instrument metadata (the noise source)
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/facility"
+	"repro/internal/kg"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Sources selects which knowledge subgraphs are merged into the CKG.
+type Sources struct {
+	UIG, UUG, LOC, DKG, MD bool
+}
+
+// AllSources is the paper's best configuration (UIG+UUG+LOC+DKG).
+func AllSources() Sources { return Sources{UIG: true, UUG: true, LOC: true, DKG: true} }
+
+// Name renders the Table III row label for the combination.
+func (s Sources) Name() string {
+	out := ""
+	add := func(on bool, label string) {
+		if on {
+			if out != "" {
+				out += "+"
+			}
+			out += label
+		}
+	}
+	add(s.UIG, "UIG")
+	add(s.UUG, "UUG")
+	add(s.LOC, "LOC")
+	add(s.DKG, "DKG")
+	add(s.MD, "MD")
+	return out
+}
+
+// Dataset bundles everything a model needs for one facility.
+type Dataset struct {
+	Name  string
+	Trace *trace.Trace
+
+	// Interactions, split per user 80/20.
+	Train, Test [][2]int // (user, item) index pairs
+	NumUsers    int
+	NumItems    int
+	TrainByUser [][]int // item indices per user (train)
+	TestByUser  [][]int // item indices per user (test)
+	trainSet    map[[2]int]struct{}
+
+	// The CKG and the entity-ID mappings into it.
+	Graph    *kg.Graph
+	UserEnt  []int // user index -> CKG entity ID
+	ItemEnt  []int // item index -> CKG entity ID
+	Sources  Sources
+	Interact int // relation ID of Interact in Graph
+}
+
+// Build constructs the dataset: splits the trace's interactions and
+// assembles the CKG from the selected sources. splitSeed controls the
+// 80/20 split only, so different source combinations (Table III) share
+// the identical split.
+func Build(tr *trace.Trace, src Sources, splitSeed int64) *Dataset {
+	return BuildSubset(tr, tr.Interactions(), src, splitSeed)
+}
+
+// BuildSubset builds a dataset over a restricted interaction universe.
+// Hyperparameter tuning uses it to carve an inner train/validation
+// split out of the outer training set: the CKG is rebuilt from the
+// inner training portion only, so neither the outer test set nor the
+// validation set ever leaks into the graph.
+func BuildSubset(tr *trace.Trace, inter [][2]int, src Sources, splitSeed int64) *Dataset {
+	d := &Dataset{
+		Name:     tr.Facility.Name,
+		Trace:    tr,
+		NumUsers: len(tr.Users),
+		NumItems: len(tr.Facility.Items),
+		Sources:  src,
+	}
+	d.split(inter, splitSeed)
+	d.buildCKG()
+	return d
+}
+
+// split partitions interactions 80/20 per user (§VI-A: "we randomly
+// select 80% of each user's query history for the training set").
+func (d *Dataset) split(inter [][2]int, seed int64) {
+	g := rng.New(seed).Split("split-" + d.Name)
+	byUser := make([][]int, d.NumUsers)
+	for _, p := range inter {
+		byUser[p[0]] = append(byUser[p[0]], p[1])
+	}
+	d.TrainByUser = make([][]int, d.NumUsers)
+	d.TestByUser = make([][]int, d.NumUsers)
+	d.trainSet = make(map[[2]int]struct{}, len(inter))
+	for u, items := range byUser {
+		perm := g.Perm(len(items))
+		nTrain := (len(items)*4 + 4) / 5 // ceil(0.8n): tiny users stay trainable
+		if nTrain == len(items) && len(items) > 1 {
+			nTrain--
+		}
+		for rank, pi := range perm {
+			it := items[pi]
+			if rank < nTrain {
+				d.TrainByUser[u] = append(d.TrainByUser[u], it)
+				d.Train = append(d.Train, [2]int{u, it})
+				d.trainSet[[2]int{u, it}] = struct{}{}
+			} else {
+				d.TestByUser[u] = append(d.TestByUser[u], it)
+				d.Test = append(d.Test, [2]int{u, it})
+			}
+		}
+	}
+}
+
+// InTrain reports whether (user, item) is a training positive.
+func (d *Dataset) InTrain(user, item int) bool {
+	_, ok := d.trainSet[[2]int{user, item}]
+	return ok
+}
+
+// buildCKG assembles the collaborative knowledge graph. Entities are
+// always registered for every user and item (models need embeddings for
+// all of them); the Sources flags control which triples are added.
+func (d *Dataset) buildCKG() {
+	cat := d.Trace.Facility
+	g := kg.NewGraph()
+
+	// Entity registration: items first (dense low IDs help locality),
+	// then users, then attribute entities on demand.
+	d.ItemEnt = make([]int, d.NumItems)
+	for i := range cat.Items {
+		d.ItemEnt[i] = g.AddEntity(kg.KindItem, cat.Items[i].Name)
+	}
+	// User names are namespaced by facility so cross-facility CKG
+	// merges never align unrelated users (items and cities already
+	// carry facility-specific names; disciplines and data types are
+	// meant to align).
+	d.UserEnt = make([]int, d.NumUsers)
+	for u := range d.UserEnt {
+		d.UserEnt[u] = g.AddEntity(kg.KindUser, fmt.Sprintf("%s-u%05d", d.Name, u))
+	}
+
+	rInteract := g.AddSymmetricRelation("interact")
+	d.Interact = rInteract
+
+	// --- UIG: training interactions as Interact triples ----------------
+	if d.Sources.UIG {
+		for _, p := range d.Train {
+			g.AddTriple(d.UserEnt[p[0]], rInteract, d.ItemEnt[p[1]])
+		}
+	}
+
+	// --- UUG: same-city user links --------------------------------------
+	// Users in one city are connected in a ring with 2 forward
+	// neighbors, giving each user ≈4 undirected associations — enough
+	// to carry the collaborative signal without a quadratic clique.
+	if d.Sources.UUG {
+		rCity := g.AddRelation("userLocatedIn", "cityOfUser")
+		byCity := make(map[int][]int)
+		for u, usr := range d.Trace.Users {
+			byCity[usr.City] = append(byCity[usr.City], u)
+		}
+		for city, users := range byCity {
+			cityEnt := g.AddEntity(kg.KindCity, d.Trace.Cities[city])
+			for i, u := range users {
+				g.AddTriple(d.UserEnt[u], rCity, cityEnt)
+				for k := 1; k <= 2; k++ {
+					if i+k < len(users) {
+						g.AddTriple(d.UserEnt[u], rInteract, d.UserEnt[users[i+k]])
+					}
+				}
+			}
+		}
+	}
+
+	// --- LOC: instrument-location subgraph ------------------------------
+	if d.Sources.LOC {
+		rLoc := g.AddRelation("locatedAt", "locationOf")
+		rPart := g.AddRelation("partOf", "contains")
+		gage := cat.Items[0].Instrument == -1
+		for i := range cat.Items {
+			it := &cat.Items[i]
+			site := cat.Sites[it.Site]
+			if gage {
+				// GAGE: station items locate in a city; cities nest in
+				// states. City entities are shared with the UUG.
+				cityEnt := g.AddEntity(kg.KindCity, cat.Cities[site.City])
+				stateEnt := g.AddEntity(kg.KindRegion, cat.Regions[site.Region])
+				g.AddTriple(d.ItemEnt[i], rLoc, cityEnt)
+				g.AddTriple(cityEnt, rPart, stateEnt)
+			} else {
+				// OOI: items locate at a site; sites nest in arrays.
+				siteEnt := g.AddEntity(kg.KindSite, site.Name)
+				arrayEnt := g.AddEntity(kg.KindRegion, cat.Regions[site.Region])
+				g.AddTriple(d.ItemEnt[i], rLoc, siteEnt)
+				g.AddTriple(siteEnt, rPart, arrayEnt)
+			}
+		}
+	}
+
+	// --- DKG: data-domain subgraph ---------------------------------------
+	if d.Sources.DKG {
+		rType := g.AddRelation("hasDataType", "dataTypeOf")
+		rDisc := g.AddRelation("inDiscipline", "disciplineContains")
+		var rGen int
+		hasInstr := cat.Items[0].Instrument >= 0
+		if hasInstr {
+			rGen = g.AddRelation("generatedBy", "generates")
+		}
+		for i := range cat.Items {
+			it := &cat.Items[i]
+			for _, dt := range it.AllTypes() {
+				typeEnt := g.AddEntity(kg.KindDataType, cat.DataTypes[dt].Name)
+				discEnt := g.AddEntity(kg.KindDiscipline, cat.DataTypes[dt].Discipline)
+				g.AddTriple(d.ItemEnt[i], rType, typeEnt)
+				g.AddTriple(typeEnt, rDisc, discEnt)
+			}
+			// Direct item→discipline link for the primary product (the
+			// Fig. 1 dataDiscipline edge).
+			primDisc := g.AddEntity(kg.KindDiscipline, cat.DataTypes[it.DataType].Discipline)
+			g.AddTriple(d.ItemEnt[i], rDisc, primDisc)
+			if hasInstr {
+				instrEnt := g.AddEntity(kg.KindInstrument, cat.Instrs[it.Instrument].Name)
+				g.AddTriple(d.ItemEnt[i], rGen, instrEnt)
+			}
+		}
+	}
+
+	// --- MD: auxiliary metadata (noise) ----------------------------------
+	// The paper treats additional instrument metadata — names and
+	// associated engineering groups — as information "not directly
+	// relevant to user data-query patterns", i.e. noise (§VI-A). We
+	// model it as maintenance/serial-batch group membership: assigned
+	// per item by a deterministic hash, so by construction it carries
+	// no signal about locality or domain, yet wires unrelated items
+	// together during propagation. With MD on, the relation count
+	// matches Table I exactly (8 for OOI, 7 for GAGE).
+	if d.Sources.MD {
+		rGroup := g.AddRelation("memberOfGroup", "groupHas")
+		for i := range cat.Items {
+			groupName := cat.MDGroups[(i*2654435761)%len(cat.MDGroups)]
+			groupEnt := g.AddEntity(kg.KindMetadata, groupName)
+			g.AddTriple(d.ItemEnt[i], rGroup, groupEnt)
+		}
+	}
+
+	d.Graph = g
+}
+
+// NegSampler draws BPR negatives: items the user has NOT interacted
+// with in training (§VI-A's negative sampling strategy).
+type NegSampler struct {
+	d *Dataset
+	g *rng.RNG
+}
+
+// NewNegSampler builds a sampler with its own RNG stream.
+func (d *Dataset) NewNegSampler(seed int64) *NegSampler {
+	return &NegSampler{d: d, g: rng.New(seed).Split("neg-" + d.Name)}
+}
+
+// Sample returns an item index j such that (user, j) is not a training
+// positive.
+func (s *NegSampler) Sample(user int) int {
+	for {
+		j := s.g.Intn(s.d.NumItems)
+		if !s.d.InTrain(user, j) {
+			return j
+		}
+	}
+}
+
+// Batches cuts the training pairs into shuffled mini-batches of at most
+// size elements, pairing each positive with one sampled negative.
+// It returns parallel slices (users, positives, negatives) per batch.
+func (d *Dataset) Batches(size int, epochSeed int64, neg *NegSampler) [][3][]int {
+	g := rng.New(epochSeed).Split("batches-" + d.Name)
+	perm := g.Perm(len(d.Train))
+	var out [][3][]int
+	for lo := 0; lo < len(perm); lo += size {
+		hi := lo + size
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		var users, pos, negs []int
+		for _, pi := range perm[lo:hi] {
+			p := d.Train[pi]
+			users = append(users, p[0])
+			pos = append(pos, p[1])
+			negs = append(negs, neg.Sample(p[0]))
+		}
+		out = append(out, [3][]int{users, pos, negs})
+	}
+	return out
+}
+
+// Stats returns the raw statistics of this dataset's CKG (all triples,
+// interactions included).
+func (d *Dataset) Stats() kg.Stats { return d.Graph.ComputeStats() }
+
+// TableIStats reports the Table I row following the convention of the
+// KG-recommendation literature the paper builds on: "KG triplets"
+// counts canonical knowledge triples excluding Interact edges, and
+// link-avg is the average number of such links per item.
+type TableIStats struct {
+	Entities  int
+	Relations int
+	KGTriples int
+	LinkAvg   float64
+}
+
+// TableI computes the Table I row for this CKG.
+func (d *Dataset) TableI() TableIStats {
+	g := d.Graph
+	var rels int
+	for _, r := range g.Relations {
+		if r.ID <= r.Inverse {
+			rels++
+		}
+	}
+	itemSet := make(map[int]bool, len(d.ItemEnt))
+	for _, e := range d.ItemEnt {
+		itemSet[e] = true
+	}
+	var kgTriples, itemLinks int
+	for _, tr := range g.Triples {
+		if tr.Rel == d.Interact {
+			continue
+		}
+		r := g.Relations[tr.Rel]
+		canonical := r.ID < r.Inverse || (r.ID == r.Inverse && tr.Head <= tr.Tail)
+		if !canonical {
+			continue
+		}
+		kgTriples++
+		if itemSet[tr.Head] || itemSet[tr.Tail] {
+			itemLinks++
+		}
+	}
+	linkAvg := 0.0
+	if len(d.ItemEnt) > 0 {
+		linkAvg = float64(itemLinks) / float64(len(d.ItemEnt))
+	}
+	return TableIStats{
+		Entities:  g.NumEntities(),
+		Relations: rels,
+		KGTriples: kgTriples,
+		LinkAvg:   linkAvg,
+	}
+}
+
+// BuildOOI is a convenience: generate the OOI catalog+trace and build
+// the dataset with the given sources.
+func BuildOOI(seed int64, src Sources) *Dataset {
+	cat := facility.OOI(seed)
+	tr := trace.Generate(cat, trace.DefaultOOIConfig(), seed)
+	return Build(tr, src, seed)
+}
+
+// BuildGAGE is the GAGE counterpart of BuildOOI.
+func BuildGAGE(seed int64, src Sources) *Dataset {
+	cat := facility.GAGE(seed, facility.DefaultGAGEConfig())
+	tr := trace.Generate(cat, trace.DefaultGAGEConfig(), seed)
+	return Build(tr, src, seed)
+}

@@ -1,0 +1,251 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/facility"
+	"repro/internal/kg"
+	"repro/internal/trace"
+)
+
+func tinyDataset(t *testing.T, src Sources) *Dataset {
+	t.Helper()
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 60
+	cfg.NumOrgs = 8
+	cfg.MeanQueries = 20
+	tr := trace.Generate(cat, cfg, 3)
+	return Build(tr, src, 3)
+}
+
+func TestSplitIs8020PerUser(t *testing.T) {
+	d := tinyDataset(t, AllSources())
+	for u := 0; u < d.NumUsers; u++ {
+		nTr, nTe := len(d.TrainByUser[u]), len(d.TestByUser[u])
+		n := nTr + nTe
+		if n == 0 {
+			continue
+		}
+		if n > 1 && nTe == 0 {
+			t.Fatalf("user %d: %d interactions but no test items", u, n)
+		}
+		if nTr == 0 {
+			t.Fatalf("user %d: no training items with %d interactions", u, n)
+		}
+		frac := float64(nTr) / float64(n)
+		if n >= 5 && (frac < 0.6 || frac > 0.95) {
+			t.Fatalf("user %d train fraction %.2f, want ≈0.8", u, frac)
+		}
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	d := tinyDataset(t, AllSources())
+	seen := map[[2]int]string{}
+	for _, p := range d.Train {
+		seen[p] = "train"
+	}
+	for _, p := range d.Test {
+		if seen[p] == "train" {
+			t.Fatalf("pair %v in both train and test", p)
+		}
+		seen[p] = "test"
+	}
+	inter := d.Trace.Interactions()
+	if len(seen) != len(inter) {
+		t.Fatalf("split covers %d pairs, want %d", len(seen), len(inter))
+	}
+}
+
+func TestSplitDeterministicAcrossSourceCombos(t *testing.T) {
+	a := tinyDataset(t, AllSources())
+	b := tinyDataset(t, Sources{UIG: true})
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("different source combos changed the split size")
+	}
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("different source combos changed the split content")
+		}
+	}
+}
+
+func TestInTrain(t *testing.T) {
+	d := tinyDataset(t, AllSources())
+	p := d.Train[0]
+	if !d.InTrain(p[0], p[1]) {
+		t.Fatal("InTrain false for training pair")
+	}
+	q := d.Test[0]
+	if d.InTrain(q[0], q[1]) {
+		t.Fatal("InTrain true for test pair")
+	}
+}
+
+func TestCKGHasNoTestLeakage(t *testing.T) {
+	d := tinyDataset(t, AllSources())
+	for _, p := range d.Test {
+		if d.Graph.HasTriple(d.UserEnt[p[0]], d.Interact, d.ItemEnt[p[1]]) {
+			t.Fatalf("test interaction %v leaked into the CKG", p)
+		}
+	}
+	// All training interactions must be present.
+	for _, p := range d.Train {
+		if !d.Graph.HasTriple(d.UserEnt[p[0]], d.Interact, d.ItemEnt[p[1]]) {
+			t.Fatalf("train interaction %v missing from the CKG", p)
+		}
+	}
+}
+
+func TestSourceTogglesControlTriples(t *testing.T) {
+	full := tinyDataset(t, AllSources())
+	uigOnly := tinyDataset(t, Sources{UIG: true})
+	if uigOnly.Graph.NumTriples() >= full.Graph.NumTriples() {
+		t.Fatal("UIG-only CKG should have fewer triples than the full CKG")
+	}
+	if _, ok := uigOnly.Graph.Relation("locatedAt"); ok {
+		t.Fatal("UIG-only CKG must not contain LOC relations")
+	}
+	if _, ok := uigOnly.Graph.Relation("hasDataType"); ok {
+		t.Fatal("UIG-only CKG must not contain DKG relations")
+	}
+	withMD := tinyDataset(t, Sources{UIG: true, UUG: true, LOC: true, DKG: true, MD: true})
+	if _, ok := withMD.Graph.Relation("memberOfGroup"); !ok {
+		t.Fatal("MD source missing memberOfGroup relation")
+	}
+	if withMD.Graph.NumTriples() <= full.Graph.NumTriples() {
+		t.Fatal("MD must add triples")
+	}
+}
+
+func TestSourceNames(t *testing.T) {
+	if got := AllSources().Name(); got != "UIG+UUG+LOC+DKG" {
+		t.Fatalf("AllSources name = %q", got)
+	}
+	if got := (Sources{UIG: true, LOC: true}).Name(); got != "UIG+LOC" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := (Sources{UIG: true, UUG: true, LOC: true, DKG: true, MD: true}).Name(); got != "UIG+UUG+LOC+DKG+MD" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestEntityMappingsValid(t *testing.T) {
+	d := tinyDataset(t, AllSources())
+	seen := map[int]bool{}
+	for _, e := range append(append([]int{}, d.UserEnt...), d.ItemEnt...) {
+		if e < 0 || e >= d.Graph.NumEntities() {
+			t.Fatalf("entity ID %d out of range", e)
+		}
+		if seen[e] {
+			t.Fatalf("entity ID %d mapped twice", e)
+		}
+		seen[e] = true
+	}
+	// Kinds must match.
+	for _, e := range d.UserEnt {
+		if d.Graph.Entities[e].Kind != kg.KindUser {
+			t.Fatal("user entity has wrong kind")
+		}
+	}
+	for _, e := range d.ItemEnt {
+		if d.Graph.Entities[e].Kind != kg.KindItem {
+			t.Fatal("item entity has wrong kind")
+		}
+	}
+}
+
+func TestNegSamplerAvoidsTrainPositives(t *testing.T) {
+	d := tinyDataset(t, AllSources())
+	s := d.NewNegSampler(1)
+	for i := 0; i < 2000; i++ {
+		u := d.Train[i%len(d.Train)][0]
+		j := s.Sample(u)
+		if d.InTrain(u, j) {
+			t.Fatalf("negative sample (%d,%d) is a training positive", u, j)
+		}
+	}
+}
+
+func TestBatchesCoverTrainingSetOnce(t *testing.T) {
+	d := tinyDataset(t, AllSources())
+	neg := d.NewNegSampler(2)
+	batches := d.Batches(64, 9, neg)
+	var total int
+	count := map[[2]int]int{}
+	for _, b := range batches {
+		users, pos, negs := b[0], b[1], b[2]
+		if len(users) != len(pos) || len(users) != len(negs) {
+			t.Fatal("ragged batch")
+		}
+		if len(users) > 64 {
+			t.Fatalf("batch size %d exceeds 64", len(users))
+		}
+		total += len(users)
+		for i := range users {
+			count[[2]int{users[i], pos[i]}]++
+			if d.InTrain(users[i], negs[i]) {
+				t.Fatal("negative in batch is a train positive")
+			}
+		}
+	}
+	if total != len(d.Train) {
+		t.Fatalf("batches cover %d pairs, want %d", total, len(d.Train))
+	}
+	for p, c := range count {
+		if c != 1 {
+			t.Fatalf("pair %v appears %d times in one epoch", p, c)
+		}
+	}
+}
+
+func TestUUGLinksConnectSameCityUsersOnly(t *testing.T) {
+	d := tinyDataset(t, AllSources())
+	userOfEnt := map[int]int{}
+	for u, e := range d.UserEnt {
+		userOfEnt[e] = u
+	}
+	for _, tr := range d.Graph.Triples {
+		if tr.Rel != d.Interact {
+			continue
+		}
+		hu, hOK := userOfEnt[tr.Head]
+		tu, tOK := userOfEnt[tr.Tail]
+		if hOK && tOK { // user-user interact edge
+			if d.Trace.Users[hu].City != d.Trace.Users[tu].City {
+				t.Fatalf("UUG links users %d and %d from different cities", hu, tu)
+			}
+		}
+	}
+}
+
+func TestTableIStatsOrdering(t *testing.T) {
+	ooi := BuildOOI(7, Sources{UIG: true, UUG: true, LOC: true, DKG: true, MD: true})
+	gage := BuildGAGE(7, Sources{UIG: true, UUG: true, LOC: true, DKG: true, MD: true})
+	o, g := ooi.TableI(), gage.TableI()
+	// The paper's Table I orderings: GAGE is larger in every dimension
+	// except relation count.
+	if o.Entities >= g.Entities {
+		t.Fatalf("OOI entities %d should be < GAGE %d", o.Entities, g.Entities)
+	}
+	if o.KGTriples >= g.KGTriples {
+		t.Fatal("OOI KG triples should be < GAGE")
+	}
+	if o.Relations != 8 {
+		t.Fatalf("OOI relations = %d, want 8 (Table I)", o.Relations)
+	}
+	if g.Relations != 7 {
+		t.Fatalf("GAGE relations = %d, want 7 (Table I)", g.Relations)
+	}
+	if o.LinkAvg >= g.LinkAvg {
+		t.Fatal("OOI link-avg should be < GAGE (6 vs 10 in Table I)")
+	}
+	// Entity counts within 15% of the paper.
+	if o.Entities < 1140 || o.Entities > 1550 {
+		t.Fatalf("OOI entities = %d, want ≈1342±15%%", o.Entities)
+	}
+	if g.Entities < 4040 || g.Entities > 5470 {
+		t.Fatalf("GAGE entities = %d, want ≈4754±15%%", g.Entities)
+	}
+}

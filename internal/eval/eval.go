@@ -1,0 +1,271 @@
+// Package eval implements the paper's evaluation protocol (§VI-B): for
+// every user with at least one test interaction, rank ALL items the
+// user has not interacted with in training, take the top-K (K=20 by
+// default), and report recall@K and ndcg@K averaged over users.
+// Evaluation parallelizes over users.
+package eval
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Scorer produces preference scores for every item for one user. The
+// returned slice is indexed by item and may be reused across calls from
+// the same goroutine, but Evaluate calls ScoreItems from multiple
+// goroutines, so implementations must be safe for concurrent reads of
+// model state.
+type Scorer interface {
+	ScoreItems(user int, out []float64)
+	NumItems() int
+}
+
+// Metrics aggregates ranking quality over evaluated users.
+type Metrics struct {
+	K         int
+	Users     int // users with ≥1 test item
+	Recall    float64
+	NDCG      float64
+	Precision float64
+	HitRate   float64
+}
+
+// Evaluate runs the full-ranking protocol over all test users.
+func Evaluate(d *dataset.Dataset, s Scorer, k int) Metrics {
+	type acc struct {
+		recall, ndcg, prec, hit float64
+		users                   int
+	}
+	workers := runtime.GOMAXPROCS(0)
+	results := make([]acc, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scores := make([]float64, s.NumItems())
+			for u := w; u < d.NumUsers; u += workers {
+				test := d.TestByUser[u]
+				if len(test) == 0 {
+					continue
+				}
+				s.ScoreItems(u, scores)
+				// Mask training positives.
+				for _, it := range d.TrainByUser[u] {
+					scores[it] = math.Inf(-1)
+				}
+				top := TopK(scores, k)
+				m := rankMetrics(top, test, k)
+				results[w].recall += m.Recall
+				results[w].ndcg += m.NDCG
+				results[w].prec += m.Precision
+				results[w].hit += m.HitRate
+				results[w].users++
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total acc
+	for _, r := range results {
+		total.recall += r.recall
+		total.ndcg += r.ndcg
+		total.prec += r.prec
+		total.hit += r.hit
+		total.users += r.users
+	}
+	if total.users == 0 {
+		return Metrics{K: k}
+	}
+	n := float64(total.users)
+	return Metrics{
+		K: k, Users: total.users,
+		Recall:    total.recall / n,
+		NDCG:      total.ndcg / n,
+		Precision: total.prec / n,
+		HitRate:   total.hit / n,
+	}
+}
+
+// EvaluateSweep evaluates several cutoffs in one ranking pass per user
+// (e.g. recall@{5,10,20,40}): the items are ranked once to max(ks) and
+// each cutoff's metrics derive from the prefix. Results are keyed by K.
+func EvaluateSweep(d *dataset.Dataset, s Scorer, ks []int) map[int]Metrics {
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	type acc struct {
+		recall, ndcg, prec, hit map[int]float64
+		users                   int
+	}
+	workers := runtime.GOMAXPROCS(0)
+	results := make([]acc, workers)
+	for w := range results {
+		results[w] = acc{
+			recall: map[int]float64{}, ndcg: map[int]float64{},
+			prec: map[int]float64{}, hit: map[int]float64{},
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scores := make([]float64, s.NumItems())
+			for u := w; u < d.NumUsers; u += workers {
+				test := d.TestByUser[u]
+				if len(test) == 0 {
+					continue
+				}
+				s.ScoreItems(u, scores)
+				for _, it := range d.TrainByUser[u] {
+					scores[it] = math.Inf(-1)
+				}
+				top := TopK(scores, maxK)
+				for _, k := range ks {
+					prefix := top
+					if k < len(prefix) {
+						prefix = prefix[:k]
+					}
+					m := rankMetrics(prefix, test, k)
+					results[w].recall[k] += m.Recall
+					results[w].ndcg[k] += m.NDCG
+					results[w].prec[k] += m.Precision
+					results[w].hit[k] += m.HitRate
+				}
+				results[w].users++
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := make(map[int]Metrics, len(ks))
+	var users int
+	for _, r := range results {
+		users += r.users
+	}
+	for _, k := range ks {
+		var m Metrics
+		m.K = k
+		m.Users = users
+		if users > 0 {
+			for _, r := range results {
+				m.Recall += r.recall[k]
+				m.NDCG += r.ndcg[k]
+				m.Precision += r.prec[k]
+				m.HitRate += r.hit[k]
+			}
+			n := float64(users)
+			m.Recall /= n
+			m.NDCG /= n
+			m.Precision /= n
+			m.HitRate /= n
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// rankMetrics computes per-user metrics given the ranked top-K item
+// list and the test ground truth.
+func rankMetrics(top []int, test []int, k int) Metrics {
+	inTest := make(map[int]bool, len(test))
+	for _, it := range test {
+		inTest[it] = true
+	}
+	var hits int
+	var dcg float64
+	for rank, it := range top {
+		if inTest[it] {
+			hits++
+			dcg += 1 / math.Log2(float64(rank)+2)
+		}
+	}
+	// Ideal DCG: all |test| items (capped at K) in the top positions.
+	ideal := len(test)
+	if ideal > k {
+		ideal = k
+	}
+	var idcg float64
+	for i := 0; i < ideal; i++ {
+		idcg += 1 / math.Log2(float64(i)+2)
+	}
+	m := Metrics{K: k}
+	m.Recall = float64(hits) / float64(len(test))
+	if idcg > 0 {
+		m.NDCG = dcg / idcg
+	}
+	m.Precision = float64(hits) / float64(k)
+	if hits > 0 {
+		m.HitRate = 1
+	}
+	return m
+}
+
+// itemHeap is a min-heap over (score, item) used for top-K selection;
+// the root is the weakest of the current top-K.
+type itemHeap struct {
+	scores []float64
+	items  []int
+}
+
+func (h *itemHeap) Len() int { return len(h.items) }
+func (h *itemHeap) Less(i, j int) bool {
+	if h.scores[i] != h.scores[j] {
+		return h.scores[i] < h.scores[j]
+	}
+	// Deterministic tie-break: larger item ID is "weaker".
+	return h.items[i] > h.items[j]
+}
+func (h *itemHeap) Swap(i, j int) {
+	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+}
+func (h *itemHeap) Push(x any) {
+	p := x.([2]float64)
+	h.scores = append(h.scores, p[0])
+	h.items = append(h.items, int(p[1]))
+}
+func (h *itemHeap) Pop() any {
+	n := len(h.items)
+	s, it := h.scores[n-1], h.items[n-1]
+	h.scores = h.scores[:n-1]
+	h.items = h.items[:n-1]
+	return [2]float64{s, float64(it)}
+}
+
+// TopK returns the indices of the k highest scores, best first, with
+// deterministic tie-breaking (smaller index wins). -Inf scores are
+// never returned unless fewer than k finite scores exist.
+func TopK(scores []float64, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	h := &itemHeap{scores: make([]float64, 0, k+1), items: make([]int, 0, k+1)}
+	for it, sc := range scores {
+		if math.IsInf(sc, -1) {
+			continue
+		}
+		if h.Len() < k {
+			heap.Push(h, [2]float64{sc, float64(it)})
+			continue
+		}
+		// Replace the weakest if strictly better (or equal with a
+		// smaller index, matching the Less tie-break).
+		if sc > h.scores[0] || (sc == h.scores[0] && it < h.items[0]) {
+			h.scores[0], h.items[0] = sc, it
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]int, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		p := heap.Pop(h).([2]float64)
+		out[i] = int(p[1])
+	}
+	return out
+}

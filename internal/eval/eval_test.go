@@ -1,0 +1,246 @@
+package eval
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/facility"
+	"repro/internal/trace"
+)
+
+func TestTopKBasic(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.7, 0.3}
+	got := TopK(scores, 3)
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKTieBreaksBySmallerIndex(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	got := TopK(scores, 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("tie-break wrong: %v", got)
+	}
+}
+
+func TestTopKSkipsNegInf(t *testing.T) {
+	scores := []float64{math.Inf(-1), 0.2, math.Inf(-1), 0.1}
+	got := TopK(scores, 3)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("TopK with -inf = %v", got)
+	}
+}
+
+func TestTopKLargerThanSlice(t *testing.T) {
+	got := TopK([]float64{1, 2}, 10)
+	if len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("TopK oversize = %v", got)
+	}
+}
+
+// Property: TopK agrees with full sort for random score vectors.
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = float64(i%7) * 0.1
+			}
+		}
+		k := int(kRaw)%len(raw) + 1
+		got := TopK(raw, k)
+		idx := make([]int, len(raw))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			if raw[idx[a]] != raw[idx[b]] {
+				return raw[idx[a]] > raw[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		for i := 0; i < k; i++ {
+			if got[i] != idx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankMetricsPerfect(t *testing.T) {
+	m := rankMetrics([]int{5, 7}, []int{5, 7}, 20)
+	if m.Recall != 1 || m.NDCG != 1 || m.HitRate != 1 {
+		t.Fatalf("perfect ranking metrics = %+v", m)
+	}
+	if math.Abs(m.Precision-2.0/20) > 1e-12 {
+		t.Fatalf("precision = %v", m.Precision)
+	}
+}
+
+func TestRankMetricsMiss(t *testing.T) {
+	m := rankMetrics([]int{1, 2, 3}, []int{9}, 20)
+	if m.Recall != 0 || m.NDCG != 0 || m.HitRate != 0 || m.Precision != 0 {
+		t.Fatalf("all-miss metrics = %+v", m)
+	}
+}
+
+func TestRankMetricsPositionSensitivity(t *testing.T) {
+	early := rankMetrics([]int{9, 1, 2}, []int{9}, 3)
+	late := rankMetrics([]int{1, 2, 9}, []int{9}, 3)
+	if early.NDCG <= late.NDCG {
+		t.Fatalf("ndcg should reward early hits: early %v vs late %v",
+			early.NDCG, late.NDCG)
+	}
+	if early.Recall != late.Recall {
+		t.Fatal("recall should be position-invariant")
+	}
+}
+
+func TestRankMetricsIDCGCap(t *testing.T) {
+	// More test items than K: the ideal DCG must cap at K so a perfect
+	// top-K still scores 1.
+	top := []int{0, 1}
+	test := []int{0, 1, 2, 3, 4}
+	m := rankMetrics(top, test, 2)
+	if math.Abs(m.NDCG-1) > 1e-12 {
+		t.Fatalf("ndcg with capped IDCG = %v, want 1", m.NDCG)
+	}
+}
+
+// oracleScorer ranks each user's test items first: recall must be
+// (close to) perfect. popularityScorer ranks by global popularity.
+type fnScorer struct {
+	n  int
+	fn func(u int, out []float64)
+}
+
+func (s fnScorer) ScoreItems(u int, out []float64) { s.fn(u, out) }
+func (s fnScorer) NumItems() int                   { return s.n }
+
+func evalDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 50
+	cfg.NumOrgs = 6
+	cfg.MeanQueries = 15
+	tr := trace.Generate(cat, cfg, 3)
+	return dataset.Build(tr, dataset.AllSources(), 3)
+}
+
+func TestEvaluateOracleGetsPerfectRecall(t *testing.T) {
+	d := evalDataset(t)
+	oracle := fnScorer{n: d.NumItems, fn: func(u int, out []float64) {
+		for i := range out {
+			out[i] = 0
+		}
+		for _, it := range d.TestByUser[u] {
+			out[it] = 1
+		}
+	}}
+	m := Evaluate(d, oracle, 20)
+	if m.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	if m.Recall < 0.99 {
+		t.Fatalf("oracle recall@20 = %v, want ≈1 (some users may have >20 test items)", m.Recall)
+	}
+	if m.NDCG < 0.99 {
+		t.Fatalf("oracle ndcg@20 = %v", m.NDCG)
+	}
+}
+
+func TestEvaluateRandomScorerIsWeak(t *testing.T) {
+	d := evalDataset(t)
+	arbitrary := fnScorer{n: d.NumItems, fn: func(u int, out []float64) {
+		for i := range out {
+			out[i] = float64((i*2654435761 + u) % 1000)
+		}
+	}}
+	m := Evaluate(d, arbitrary, 20)
+	if m.Recall > 0.4 {
+		t.Fatalf("arbitrary scorer recall@20 = %v, suspiciously high", m.Recall)
+	}
+}
+
+func TestEvaluateMasksTrainPositives(t *testing.T) {
+	d := evalDataset(t)
+	// Scorer that puts all train positives on top; with masking these
+	// must not consume top-K slots, so recall is driven by what remains.
+	trainTop := fnScorer{n: d.NumItems, fn: func(u int, out []float64) {
+		for i := range out {
+			out[i] = 0
+		}
+		for _, it := range d.TrainByUser[u] {
+			out[it] = 100
+		}
+		for _, it := range d.TestByUser[u] {
+			out[it] = 1
+		}
+	}}
+	m := Evaluate(d, trainTop, 20)
+	if m.Recall < 0.99 {
+		t.Fatalf("masking failed: recall = %v", m.Recall)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	d := evalDataset(t)
+	s := fnScorer{n: d.NumItems, fn: func(u int, out []float64) {
+		for i := range out {
+			out[i] = float64((i*31 + u*17) % 101)
+		}
+	}}
+	a := Evaluate(d, s, 20)
+	b := Evaluate(d, s, 20)
+	if a != b {
+		t.Fatalf("evaluation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestEvaluateSweepMatchesSingleK(t *testing.T) {
+	d := evalDataset(t)
+	s := fnScorer{n: d.NumItems, fn: func(u int, out []float64) {
+		for i := range out {
+			out[i] = float64((i*37 + u*13) % 211)
+		}
+	}}
+	sweep := EvaluateSweep(d, s, []int{5, 20})
+	single := Evaluate(d, s, 20)
+	if sweep[20] != single {
+		t.Fatalf("sweep@20 %+v != single %+v", sweep[20], single)
+	}
+	if sweep[5].Recall > sweep[20].Recall {
+		t.Fatal("recall must be non-decreasing in K")
+	}
+	if sweep[5].K != 5 || sweep[20].K != 20 {
+		t.Fatal("K labels wrong")
+	}
+}
+
+func TestEvaluateSweepConcurrencySafe(t *testing.T) {
+	d := evalDataset(t)
+	s := fnScorer{n: d.NumItems, fn: func(u int, out []float64) {
+		for i := range out {
+			out[i] = float64((i + u) % 97)
+		}
+	}}
+	a := EvaluateSweep(d, s, []int{10})
+	b := EvaluateSweep(d, s, []int{10})
+	if a[10] != b[10] {
+		t.Fatal("sweep not deterministic under concurrency")
+	}
+}

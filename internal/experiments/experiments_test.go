@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// tinyProfile keeps runner tests fast: no model training happens in
+// the Table I / figure runners, so only generation costs apply.
+func tinyProfile() Profile {
+	p := Quick()
+	p.GAGEStations = 150
+	p.GAGECities = 30
+	p.GAGEUsers = 120
+	p.GAGEOrgs = 15
+	p.OOIUsers = 80
+	p.OOIOrgs = 10
+	p.Fig5Pairs = 500
+	return p
+}
+
+func TestRunTable1Shape(t *testing.T) {
+	rows := RunTable1(tinyProfile())
+	if len(rows) != 2 || rows[0].Facility != "OOI" || rows[1].Facility != "GAGE" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Ours.Entities == 0 || r.Ours.KGTriples == 0 {
+			t.Fatalf("%s stats empty: %+v", r.Facility, r.Ours)
+		}
+		if r.Paper.Entities == 0 {
+			t.Fatal("paper reference missing")
+		}
+	}
+	// Relation counts must match the paper exactly at any scale.
+	if rows[0].Ours.Relations != 8 || rows[1].Ours.Relations != 7 {
+		t.Fatalf("relations = %d/%d, want 8/7", rows[0].Ours.Relations, rows[1].Ours.Relations)
+	}
+}
+
+func TestDatasetsShareSplitAcrossSources(t *testing.T) {
+	p := tinyProfile()
+	ooiA, _ := p.Datasets(dataset.AllSources())
+	ooiB, _ := p.Datasets(dataset.Sources{UIG: true})
+	if len(ooiA.Train) != len(ooiB.Train) {
+		t.Fatal("source combos changed the split")
+	}
+	for i := range ooiA.Train {
+		if ooiA.Train[i] != ooiB.Train[i] {
+			t.Fatal("source combos changed split contents")
+		}
+	}
+}
+
+func TestTable3CombosMatchPaperOrder(t *testing.T) {
+	combos := Table3Combos()
+	want := []string{
+		"UIG+LOC", "UIG+DKG", "UIG+UUG",
+		"UIG+LOC+DKG", "UIG+UUG+LOC+DKG", "UIG+UUG+LOC+DKG+MD",
+	}
+	if len(combos) != len(want) {
+		t.Fatalf("%d combos, want %d", len(combos), len(want))
+	}
+	for i, c := range combos {
+		if c.Name() != want[i] {
+			t.Fatalf("combo %d = %s, want %s", i, c.Name(), want[i])
+		}
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	rows := RunFig3(tinyProfile())
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 curves (2 facilities × 3), got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Max < r.P90 || r.P90 < r.Median {
+			t.Fatalf("curve %s/%s not monotone: %+v", r.Facility, r.Curve, r)
+		}
+		if r.Users == 0 {
+			t.Fatal("no users in curve")
+		}
+	}
+}
+
+func TestRunFig5Shape(t *testing.T) {
+	rows := RunFig5(tinyProfile())
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 facilities, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SameCityLocProb < r.RandomLocProb {
+			t.Fatalf("%s: same-city locality below random", r.Facility)
+		}
+		if r.LocRatio <= 1 {
+			t.Fatalf("%s: locality ratio %v not > 1", r.Facility, r.LocRatio)
+		}
+	}
+	// GAGE's type ratio is the smallest ratio in the paper; ensure the
+	// OOI type affinity ratio exceeds GAGE's.
+	if rows[0].TypeRatio <= rows[1].TypeRatio {
+		t.Fatalf("OOI type ratio %v should exceed GAGE %v (paper: 29.8x vs 2.21x)",
+			rows[0].TypeRatio, rows[1].TypeRatio)
+	}
+}
+
+func TestRunFig4Shape(t *testing.T) {
+	rows := RunFig4(tinyProfile())
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 facilities, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Points == 0 {
+			t.Fatalf("%s: no t-SNE points", r.Facility)
+		}
+		if r.SameOrgQuality <= 0 {
+			t.Fatalf("%s: same-org quality not computed", r.Facility)
+		}
+	}
+}
+
+func TestFormatTableAlignment(t *testing.T) {
+	out := FormatTable([]string{"a", "long-header"},
+		[][]string{{"x", "1"}, {"longer-cell", "2"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "long-header") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines[2]) == 0 || len(lines[3]) == 0 {
+		t.Fatal("rows missing")
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.GAGEStations >= f.GAGEStations {
+		t.Fatal("quick profile must downscale GAGE")
+	}
+	if q.EmbedDim > f.EmbedDim {
+		t.Fatal("quick profile must not exceed full embedding size")
+	}
+	if f.GAGEStations != 2106 || f.GAGECities != 338 {
+		t.Fatal("full profile must match §III-B facility scale")
+	}
+	if f.K != 20 {
+		t.Fatal("full profile must use K=20 (§VI-B)")
+	}
+}
+
+func TestCKATOptionsLayersFollowEmbedDim(t *testing.T) {
+	p := Quick()
+	o := p.ckatOptions()
+	if len(o.Layers) != 3 || o.Layers[0] != p.EmbedDim ||
+		o.Layers[1] != p.EmbedDim/2 || o.Layers[2] != p.EmbedDim/4 {
+		t.Fatalf("layers = %v", o.Layers)
+	}
+}
+
+func TestRunColdStartBuckets(t *testing.T) {
+	p := tinyProfile()
+	p.BaseEpochs = 4
+	p.PropEpochs = 3
+	rows := RunColdStart(p)
+	if len(rows) != 4 {
+		t.Fatalf("buckets = %d, want 4", len(rows))
+	}
+	var covered int
+	for _, r := range rows {
+		covered += r.Users
+		if r.Users > 0 && (r.CKATRecall < 0 || r.CKATRecall > 1 || r.CFRecall < 0 || r.CFRecall > 1) {
+			t.Fatalf("recall out of range: %+v", r)
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no users bucketed")
+	}
+}

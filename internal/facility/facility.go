@@ -1,0 +1,430 @@
+// Package facility models the structured metadata of the two facilities
+// studied in the paper: the Ocean Observatories Initiative (OOI) and the
+// Geodetic Facility for the Advancement of Geoscience (GAGE). The real
+// metadata lives on the facilities' websites; this package encodes the
+// same schema — research regions, deployment sites/stations, instrument
+// classes, data types, and science disciplines — with real OOI/GAGE
+// vocabulary where published and deterministic synthesis for the long
+// tail. The catalogs define the universe of queryable data objects
+// (items) that the trace simulator and the collaborative knowledge
+// graph are built from.
+package facility
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// DataType is one kind of measured/derived product (e.g. "seawater
+// pressure" or "RINEX observation"), tagged with its science
+// discipline.
+type DataType struct {
+	Name       string
+	Discipline string
+}
+
+// Instrument is a deployable instrument class and the data types it can
+// measure (indices into Catalog.DataTypes).
+type Instrument struct {
+	Name      string
+	DataTypes []int
+	// Group is auxiliary metadata (the MD knowledge source of Table
+	// III): the engineering series/group the instrument belongs to.
+	Group string
+}
+
+// Site is a deployment location: an OOI site within a research array,
+// or a GAGE GPS/GNSS station within a city.
+type Site struct {
+	Name     string
+	Region   int // index into Catalog.Regions (OOI array / GAGE state)
+	City     int // index into Catalog.Cities (GAGE; -1 for OOI open-ocean sites)
+	Lat, Lon float64
+}
+
+// Item is a queryable data object: the unit users request and the unit
+// the recommender ranks. For OOI an item is (site, instrument, data
+// type); for GAGE it is a station data bundle with a primary product
+// plus optional extra products, and Instrument == -1.
+type Item struct {
+	Name       string
+	Site       int
+	Instrument int // -1 when the facility has a single implicit instrument class
+	DataType   int // primary data type
+	ExtraTypes []int
+}
+
+// AllTypes returns the primary plus extra data types of the item.
+func (it *Item) AllTypes() []int {
+	return append([]int{it.DataType}, it.ExtraTypes...)
+}
+
+// Catalog is a facility's full structured metadata.
+type Catalog struct {
+	Name      string
+	Regions   []string // OOI research arrays / GAGE states
+	Cities    []string // city-granularity locations (GAGE stations, user homes)
+	Sites     []Site
+	Instrs    []Instrument
+	DataTypes []DataType
+	Items     []Item
+
+	// MDGroups lists the auxiliary metadata group names (noise source).
+	MDGroups []string
+}
+
+// ooiArrays are the eight OOI research arrays (§III-B).
+var ooiArrays = []string{
+	"Cabled Axial", "Cabled Continental Margin",
+	"Coastal Endurance", "Coastal Pioneer",
+	"Global Argentine Basin", "Global Irminger Sea",
+	"Global Southern Ocean", "Global Station Papa",
+}
+
+// ooiDataTypes is the facility data-product vocabulary with discipline
+// assignments following the OOI instrument-class documentation.
+var ooiDataTypes = []DataType{
+	{"seawater pressure", "Physical"},
+	{"seawater temperature", "Physical"},
+	{"seawater conductivity", "Physical"},
+	{"practical salinity", "Physical"},
+	{"seawater density", "Physical"},
+	{"current velocity", "Physical"},
+	{"turbulent velocity", "Physical"},
+	{"surface wave statistics", "Physical"},
+	{"photosynthetically active radiation", "Physical"},
+	{"spectral irradiance", "Physical"},
+	{"dissolved oxygen", "Chemical"},
+	{"pH", "Chemical"},
+	{"pCO2 water", "Chemical"},
+	{"pCO2 air", "Chemical"},
+	{"nitrate concentration", "Chemical"},
+	{"optical absorption", "Chemical"},
+	{"hydrothermal vent fluid temperature", "Chemical"},
+	{"chlorophyll-a fluorescence", "Biological"},
+	{"CDOM fluorescence", "Biological"},
+	{"optical backscatter", "Biological"},
+	{"bio-acoustic sonar profile", "Biological"},
+	{"digital stills imagery", "Biological"},
+	{"zooplankton concentration", "Biological"},
+	{"bottom pressure", "Geological"},
+	{"seafloor tilt", "Geological"},
+	{"seafloor uplift", "Geological"},
+	{"broadband ground motion", "Geological"},
+	{"short-period seismicity", "Geological"},
+	{"low-frequency hydrophone", "Geological"},
+	{"mass spectra of dissolved gases", "Geological"},
+	{"air temperature", "Meteorological"},
+	{"barometric pressure", "Meteorological"},
+	{"wind velocity", "Meteorological"},
+	{"relative humidity", "Meteorological"},
+	{"precipitation", "Meteorological"},
+	{"platform engineering status", "Engineering"},
+	{"battery voltage", "Engineering"},
+	{"mooring heading", "Engineering"},
+}
+
+// ooiInstruments lists 36 OOI instrument classes with the indices of
+// the data types each class measures and its engineering group (MD).
+var ooiInstruments = []Instrument{
+	{"CTDBP", []int{0, 1, 2, 3, 4}, "Seawater Properties"},
+	{"CTDMO", []int{0, 1, 2, 3, 4}, "Seawater Properties"},
+	{"CTDPF", []int{0, 1, 2, 3, 4}, "Seawater Properties"},
+	{"ADCPT", []int{5}, "Water Column Dynamics"},
+	{"ADCPS", []int{5}, "Water Column Dynamics"},
+	{"VELPT", []int{5}, "Water Column Dynamics"},
+	{"VEL3D", []int{6}, "Water Column Dynamics"},
+	{"WAVSS", []int{7}, "Water Column Dynamics"},
+	{"PARAD", []int{8}, "Optics"},
+	{"SPKIR", []int{9}, "Optics"},
+	{"OPTAA", []int{15}, "Optics"},
+	{"DOSTA", []int{10}, "Water Chemistry"},
+	{"DOFST", []int{10}, "Water Chemistry"},
+	{"PHSEN", []int{11}, "Water Chemistry"},
+	{"PCO2W", []int{12}, "Water Chemistry"},
+	{"PCO2A", []int{13}, "Water Chemistry"},
+	{"NUTNR", []int{14}, "Water Chemistry"},
+	{"TRHPH", []int{16}, "Vent Chemistry"},
+	{"THSPH", []int{16}, "Vent Chemistry"},
+	{"MASSP", []int{29}, "Vent Chemistry"},
+	{"FLORT", []int{17, 18, 19}, "Bio-optics"},
+	{"FLORD", []int{17, 19}, "Bio-optics"},
+	{"ZPLSC", []int{20, 22}, "Bio-acoustics"},
+	{"ZPLSG", []int{20, 22}, "Bio-acoustics"},
+	{"CAMDS", []int{21}, "Imaging"},
+	{"BOTPT", []int{23, 24, 25}, "Seafloor Geodesy"},
+	{"OBSBB", []int{26}, "Seismics"},
+	{"OBSSP", []int{27}, "Seismics"},
+	{"HYDBB", []int{28}, "Acoustics"},
+	{"HYDLF", []int{28}, "Acoustics"},
+	{"PRESF", []int{23, 0}, "Seafloor Pressure"},
+	{"TMPSF", []int{1}, "Seafloor Thermistor"},
+	{"METBK", []int{30, 31, 32, 33, 34}, "Surface Meteorology"},
+	{"FDCHP", []int{32}, "Surface Meteorology"},
+	{"ENG", []int{35, 36}, "Platform Engineering"},
+	{"STC", []int{37, 36}, "Platform Engineering"},
+}
+
+// ooiSitePrefixes provides realistic site-code prefixes per array.
+var ooiSitePrefixes = []string{"AX", "CM", "CE", "CP", "GA", "GI", "GS", "GP"}
+
+// OOI builds the Ocean Observatories Initiative catalog: 8 arrays, 55
+// sites, 36 instrument classes (§III-B), with deterministic deployments
+// derived from seed. Items are (site, instrument, data type) products.
+func OOI(seed int64) *Catalog {
+	g := rng.New(seed).Split("ooi-catalog")
+	c := &Catalog{
+		Name:      "OOI",
+		Regions:   append([]string(nil), ooiArrays...),
+		DataTypes: append([]DataType(nil), ooiDataTypes...),
+		Instrs:    append([]Instrument(nil), ooiInstruments...),
+	}
+	groups := map[string]bool{}
+	for _, in := range c.Instrs {
+		if !groups[in.Group] {
+			groups[in.Group] = true
+			c.MDGroups = append(c.MDGroups, in.Group)
+		}
+	}
+	// 55 sites spread over the 8 arrays (site counts weighted towards
+	// the coastal arrays, as in the real facility).
+	arrayShare := []int{7, 6, 9, 10, 5, 6, 6, 6} // sums to 55
+	// Rough array center coordinates (lat, lon).
+	centers := [][2]float64{
+		{45.95, -130.00}, {44.58, -125.15}, {44.65, -124.30}, {40.10, -70.88},
+		{-42.98, -42.50}, {59.93, -39.47}, {-54.47, -89.28}, {50.07, -144.80},
+	}
+	for a, n := range arrayShare {
+		for s := 0; s < n; s++ {
+			c.Sites = append(c.Sites, Site{
+				Name:   fmt.Sprintf("%s%02d", ooiSitePrefixes[a], s+1),
+				Region: a,
+				City:   -1,
+				Lat:    centers[a][0] + g.Uniform(-1.5, 1.5),
+				Lon:    centers[a][1] + g.Uniform(-1.5, 1.5),
+			})
+		}
+	}
+	// Deployments: every site hosts a CTD plus 5-7 further instrument
+	// classes; each deployed instrument exposes up to 4 of its data
+	// types. This yields ≈800 items, sized so the full CKG lands near
+	// the paper's Table I row for OOI (1,342 entities).
+	for si := range c.Sites {
+		instrs := []int{g.Intn(3)} // one of the three CTD classes
+		extra := 6 + g.Intn(3)
+		for len(instrs) < 1+extra {
+			cand := 3 + g.Intn(len(c.Instrs)-3)
+			dup := false
+			for _, e := range instrs {
+				if e == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				instrs = append(instrs, cand)
+			}
+		}
+		for _, ii := range instrs {
+			dts := c.Instrs[ii].DataTypes
+			take := len(dts)
+			if take > 4 {
+				take = 4
+			}
+			perm := g.Perm(len(dts))
+			for k := 0; k < take; k++ {
+				dt := dts[perm[k]]
+				c.Items = append(c.Items, Item{
+					Name: fmt.Sprintf("%s-%s-%s", c.Sites[si].Name,
+						c.Instrs[ii].Name, c.DataTypes[dt].Name),
+					Site:       si,
+					Instrument: ii,
+					DataType:   dt,
+				})
+			}
+		}
+	}
+	return c
+}
+
+// gageProducts are the 12 GAGE/UNAVCO data product types (§III-B: "12
+// types of data"). All belong to the geodesy discipline family but are
+// subdivided for the domain-knowledge subgraph.
+var gageProducts = []DataType{
+	{"RINEX observation", "GNSS"},
+	{"RINEX navigation", "GNSS"},
+	{"RINEX meteorology", "GNSS"},
+	{"high-rate RINEX", "GNSS"},
+	{"real-time NTRIP stream", "GNSS"},
+	{"position time series", "Geodesy Products"},
+	{"station velocity solution", "Geodesy Products"},
+	{"troposphere delay product", "Geodesy Products"},
+	{"borehole strainmeter series", "Borehole Geophysics"},
+	{"borehole seismic waveform", "Borehole Geophysics"},
+	{"tiltmeter series", "Borehole Geophysics"},
+	{"terrestrial laser scan", "Imaging Geodesy"},
+}
+
+// usStates are the 48 contiguous states hosting GAGE stations in the
+// trace (§III-B).
+var usStates = []string{
+	"AL", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "ID",
+	"IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI",
+	"MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+	"NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN",
+	"TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+}
+
+// GAGEConfig sizes the synthetic GAGE catalog. Defaults reproduce the
+// paper's §III-B numbers.
+type GAGEConfig struct {
+	Stations int // paper: 2,106
+	Cities   int // paper: 338
+}
+
+// DefaultGAGEConfig returns the paper's §III-B sizing.
+func DefaultGAGEConfig() GAGEConfig { return GAGEConfig{Stations: 2106, Cities: 338} }
+
+// GAGE builds the Geodetic Facility catalog: permanent GPS/GNSS
+// stations distributed over cities and states, each offering one
+// primary product (plus the product taxonomy for the domain-knowledge
+// subgraph). Items are (station, product) data objects.
+func GAGE(seed int64, cfg GAGEConfig) *Catalog {
+	g := rng.New(seed).Split("gage-catalog")
+	c := &Catalog{
+		Name:      "GAGE",
+		Regions:   append([]string(nil), usStates...),
+		DataTypes: append([]DataType(nil), gageProducts...),
+		MDGroups: []string{
+			"PBO core network", "NOTA expansion", "campaign",
+			"borehole network", "regional densification",
+		},
+	}
+	// Cities: Zipf-assigned to states so western states (earthquake
+	// country: CA, WA, OR, AK-adjacent...) carry most stations, as the
+	// paper notes 75.9% of stations are in the US West.
+	stateWeight := make([]float64, len(usStates))
+	heavy := map[string]float64{
+		"CA": 12, "WA": 6, "OR": 6, "NV": 4, "UT": 3, "AZ": 3,
+		"CO": 2.5, "MT": 2, "ID": 2, "NM": 2, "WY": 1.5, "TX": 1.5,
+	}
+	for i, st := range usStates {
+		if w, ok := heavy[st]; ok {
+			stateWeight[i] = w
+		} else {
+			stateWeight[i] = 0.4
+		}
+	}
+	c.Cities = make([]string, cfg.Cities)
+	cityState := make([]int, cfg.Cities)
+	for i := 0; i < cfg.Cities; i++ {
+		st := g.Choice(stateWeight)
+		c.Cities[i] = fmt.Sprintf("%s-city%03d", usStates[st], i)
+		cityState[i] = st
+	}
+	// Stations: mildly Zipf over cities (network hubs have more
+	// stations, but the long tail stays populated — this keeps the
+	// random-pair locality base rate of Fig. 5 low).
+	cityWeight := make([]float64, cfg.Cities)
+	for i := range cityWeight {
+		cityWeight[i] = 1 / math.Pow(float64(i+1), 0.55)
+	}
+	for s := 0; s < cfg.Stations; s++ {
+		city := g.Choice(cityWeight)
+		st := cityState[city]
+		c.Sites = append(c.Sites, Site{
+			Name:   fmt.Sprintf("P%04d", s),
+			Region: st,
+			City:   city,
+			Lat:    30 + g.Uniform(0, 18),
+			Lon:    -125 + g.Uniform(0, 55),
+		})
+	}
+	// Product availability is heavily skewed: most stations serve RINEX
+	// observation; specialized products (strainmeter, TLS) are rare.
+	// Each station bundle offers a primary product plus 1-3 extras,
+	// giving GAGE items the higher link density of Table I (link-avg 10
+	// vs OOI's 6).
+	productWeight := []float64{40, 10, 4, 8, 6, 14, 6, 3, 4, 3, 1.5, 0.5}
+	for si := range c.Sites {
+		dt := g.Choice(productWeight)
+		extras := []int{}
+		nExtra := 2 + g.Intn(4)
+		for len(extras) < nExtra {
+			e := g.Choice(productWeight)
+			if e == dt {
+				continue
+			}
+			dup := false
+			for _, x := range extras {
+				if x == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				extras = append(extras, e)
+			}
+		}
+		c.Items = append(c.Items, Item{
+			Name:       fmt.Sprintf("%s-data", c.Sites[si].Name),
+			Site:       si,
+			Instrument: -1,
+			DataType:   dt,
+			ExtraTypes: extras,
+		})
+	}
+	return c
+}
+
+// ItemsBySiteType indexes items by (site, dataType) for the trace
+// generator's affinity sampling, including extra product types.
+// Multiple items can share a key for OOI (different instruments
+// measuring the same quantity at one site).
+func (c *Catalog) ItemsBySiteType() map[[2]int][]int {
+	idx := make(map[[2]int][]int)
+	for i := range c.Items {
+		it := &c.Items[i]
+		for _, dt := range it.AllTypes() {
+			k := [2]int{it.Site, dt}
+			idx[k] = append(idx[k], i)
+		}
+	}
+	return idx
+}
+
+// ItemsByRegion groups item indices by the region of their site.
+func (c *Catalog) ItemsByRegion() [][]int {
+	out := make([][]int, len(c.Regions))
+	for i, it := range c.Items {
+		r := c.Sites[it.Site].Region
+		out[r] = append(out[r], i)
+	}
+	return out
+}
+
+// ItemsByDataType groups item indices by data type (extras included).
+func (c *Catalog) ItemsByDataType() [][]int {
+	out := make([][]int, len(c.DataTypes))
+	for i := range c.Items {
+		for _, dt := range c.Items[i].AllTypes() {
+			out[dt] = append(out[dt], i)
+		}
+	}
+	return out
+}
+
+// Disciplines returns the distinct discipline names in catalog order.
+func (c *Catalog) Disciplines() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, dt := range c.DataTypes {
+		if !seen[dt.Discipline] {
+			seen[dt.Discipline] = true
+			out = append(out, dt.Discipline)
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package facility
+
+import (
+	"testing"
+)
+
+func TestOOICatalogShape(t *testing.T) {
+	c := OOI(7)
+	if len(c.Regions) != 8 {
+		t.Fatalf("OOI arrays = %d, want 8 (§III-B)", len(c.Regions))
+	}
+	if len(c.Sites) != 55 {
+		t.Fatalf("OOI sites = %d, want 55 (§III-B)", len(c.Sites))
+	}
+	if len(c.Instrs) != 36 {
+		t.Fatalf("OOI instrument classes = %d, want 36 (§III-B)", len(c.Instrs))
+	}
+	if len(c.DataTypes) < 30 {
+		t.Fatalf("OOI data types = %d, want tens of distinct types", len(c.DataTypes))
+	}
+	// Items sized so the CKG lands near Table I (≈1342 entities).
+	if n := len(c.Items); n < 550 || n > 1000 {
+		t.Fatalf("OOI items = %d, want 550..1000", n)
+	}
+	if len(c.Disciplines()) < 5 {
+		t.Fatalf("OOI disciplines = %d, want >= 5", len(c.Disciplines()))
+	}
+}
+
+func TestOOIItemReferencesValid(t *testing.T) {
+	c := OOI(7)
+	for _, it := range c.Items {
+		if it.Site < 0 || it.Site >= len(c.Sites) {
+			t.Fatalf("item %q has invalid site %d", it.Name, it.Site)
+		}
+		if it.Instrument < 0 || it.Instrument >= len(c.Instrs) {
+			t.Fatalf("item %q has invalid instrument %d", it.Name, it.Instrument)
+		}
+		if it.DataType < 0 || it.DataType >= len(c.DataTypes) {
+			t.Fatalf("item %q has invalid data type %d", it.Name, it.DataType)
+		}
+		// The data type must be one the instrument actually measures.
+		ok := false
+		for _, dt := range c.Instrs[it.Instrument].DataTypes {
+			if dt == it.DataType {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("item %q pairs instrument %s with unmeasured type %s",
+				it.Name, c.Instrs[it.Instrument].Name, c.DataTypes[it.DataType].Name)
+		}
+	}
+}
+
+func TestOOIInstrumentTypeIndicesValid(t *testing.T) {
+	c := OOI(1)
+	for _, in := range c.Instrs {
+		if in.Group == "" {
+			t.Fatalf("instrument %s has no metadata group", in.Name)
+		}
+		for _, dt := range in.DataTypes {
+			if dt < 0 || dt >= len(c.DataTypes) {
+				t.Fatalf("instrument %s references data type %d out of range", in.Name, dt)
+			}
+		}
+	}
+}
+
+func TestOOIDeterminism(t *testing.T) {
+	a, b := OOI(42), OOI(42)
+	if len(a.Items) != len(b.Items) {
+		t.Fatal("same seed produced different item counts")
+	}
+	for i := range a.Items {
+		if a.Items[i].Name != b.Items[i].Name || a.Items[i].DataType != b.Items[i].DataType {
+			t.Fatal("same seed produced different items")
+		}
+	}
+	c := OOI(43)
+	diff := len(a.Items) != len(c.Items)
+	if !diff {
+		for i := range a.Items {
+			if a.Items[i].Name != c.Items[i].Name {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical catalogs")
+	}
+}
+
+func TestGAGECatalogShape(t *testing.T) {
+	c := GAGE(7, DefaultGAGEConfig())
+	if len(c.Regions) != 48 {
+		t.Fatalf("GAGE states = %d, want 48 (§III-B)", len(c.Regions))
+	}
+	if len(c.Cities) != 338 {
+		t.Fatalf("GAGE cities = %d, want 338 (§III-B)", len(c.Cities))
+	}
+	if len(c.Sites) != 2106 {
+		t.Fatalf("GAGE stations = %d, want 2106 (§III-B)", len(c.Sites))
+	}
+	if len(c.DataTypes) != 12 {
+		t.Fatalf("GAGE products = %d, want 12 (§III-B)", len(c.DataTypes))
+	}
+	if len(c.Items) != len(c.Sites) {
+		t.Fatal("GAGE should have one station data bundle per station")
+	}
+}
+
+func TestGAGEItemsHaveExtras(t *testing.T) {
+	c := GAGE(7, DefaultGAGEConfig())
+	var totalTypes int
+	for i := range c.Items {
+		it := &c.Items[i]
+		types := it.AllTypes()
+		totalTypes += len(types)
+		seen := map[int]bool{}
+		for _, dt := range types {
+			if dt < 0 || dt >= len(c.DataTypes) {
+				t.Fatalf("item %q references type %d out of range", it.Name, dt)
+			}
+			if seen[dt] {
+				t.Fatalf("item %q lists type %d twice", it.Name, dt)
+			}
+			seen[dt] = true
+		}
+	}
+	avg := float64(totalTypes) / float64(len(c.Items))
+	if avg < 2 || avg > 5.5 {
+		t.Fatalf("avg products per station = %.2f, want 2..5.5 (link-avg 10 sizing)", avg)
+	}
+}
+
+func TestGAGEWestCoastSkew(t *testing.T) {
+	c := GAGE(7, DefaultGAGEConfig())
+	west := map[string]bool{"CA": true, "WA": true, "OR": true, "NV": true,
+		"UT": true, "AZ": true, "CO": true, "MT": true, "ID": true,
+		"NM": true, "WY": true}
+	var n int
+	for _, s := range c.Sites {
+		if west[c.Regions[s.Region]] {
+			n++
+		}
+	}
+	frac := float64(n) / float64(len(c.Sites))
+	if frac < 0.5 {
+		t.Fatalf("western-state station fraction = %.2f, want > 0.5 (paper: 75.9%% US-west-heavy)", frac)
+	}
+}
+
+func TestItemsBySiteTypeCoversAllOfferings(t *testing.T) {
+	c := GAGE(3, GAGEConfig{Stations: 50, Cities: 10})
+	idx := c.ItemsBySiteType()
+	for i := range c.Items {
+		it := &c.Items[i]
+		for _, dt := range it.AllTypes() {
+			found := false
+			for _, j := range idx[[2]int{it.Site, dt}] {
+				if j == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("item %d missing from (site,type) index", i)
+			}
+		}
+	}
+}
+
+func TestItemsByRegionPartition(t *testing.T) {
+	c := OOI(5)
+	byRegion := c.ItemsByRegion()
+	var total int
+	for r, items := range byRegion {
+		total += len(items)
+		for _, i := range items {
+			if c.Sites[c.Items[i].Site].Region != r {
+				t.Fatalf("item %d filed under wrong region", i)
+			}
+		}
+	}
+	if total != len(c.Items) {
+		t.Fatalf("region partition covers %d of %d items", total, len(c.Items))
+	}
+}
+
+func TestItemsByDataTypeIncludesExtras(t *testing.T) {
+	c := GAGE(3, GAGEConfig{Stations: 50, Cities: 10})
+	byType := c.ItemsByDataType()
+	var total int
+	for _, items := range byType {
+		total += len(items)
+	}
+	var want int
+	for i := range c.Items {
+		want += len(c.Items[i].AllTypes())
+	}
+	if total != want {
+		t.Fatalf("type index has %d entries, want %d", total, want)
+	}
+}

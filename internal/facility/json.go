@@ -1,0 +1,86 @@
+package facility
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the catalog. Together with ReadJSON this lets a
+// real facility publish its metadata (regions, sites, instruments,
+// data types, items) in a portable format and run the whole pipeline —
+// CKG assembly, CKAT, evaluation, serving — on it unchanged.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadJSON parses and validates a catalog written by WriteJSON (or
+// hand-authored by a facility operator). Validation covers every
+// cross-reference so downstream code can index without bounds checks.
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	var c Catalog
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("facility: decode catalog: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks the catalog's internal consistency.
+func (c *Catalog) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("facility: catalog has no name")
+	}
+	if len(c.Regions) == 0 || len(c.Sites) == 0 ||
+		len(c.DataTypes) == 0 || len(c.Items) == 0 {
+		return fmt.Errorf("facility: catalog %s is missing regions, sites, data types, or items", c.Name)
+	}
+	for i, s := range c.Sites {
+		if s.Region < 0 || s.Region >= len(c.Regions) {
+			return fmt.Errorf("facility: site %d (%s) references region %d of %d",
+				i, s.Name, s.Region, len(c.Regions))
+		}
+		if s.City >= len(c.Cities) {
+			return fmt.Errorf("facility: site %d (%s) references city %d of %d",
+				i, s.Name, s.City, len(c.Cities))
+		}
+	}
+	for i, in := range c.Instrs {
+		for _, dt := range in.DataTypes {
+			if dt < 0 || dt >= len(c.DataTypes) {
+				return fmt.Errorf("facility: instrument %d (%s) references data type %d of %d",
+					i, in.Name, dt, len(c.DataTypes))
+			}
+		}
+	}
+	seen := make(map[string]bool, len(c.Items))
+	for i := range c.Items {
+		it := &c.Items[i]
+		if it.Name == "" {
+			return fmt.Errorf("facility: item %d has no name", i)
+		}
+		if seen[it.Name] {
+			return fmt.Errorf("facility: duplicate item name %q", it.Name)
+		}
+		seen[it.Name] = true
+		if it.Site < 0 || it.Site >= len(c.Sites) {
+			return fmt.Errorf("facility: item %q references site %d of %d",
+				it.Name, it.Site, len(c.Sites))
+		}
+		if it.Instrument >= len(c.Instrs) {
+			return fmt.Errorf("facility: item %q references instrument %d of %d",
+				it.Name, it.Instrument, len(c.Instrs))
+		}
+		for _, dt := range it.AllTypes() {
+			if dt < 0 || dt >= len(c.DataTypes) {
+				return fmt.Errorf("facility: item %q references data type %d of %d",
+					it.Name, dt, len(c.DataTypes))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package facility
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := OOI(7)
+	var b strings.Builder
+	if err := orig.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || len(got.Items) != len(orig.Items) ||
+		len(got.Sites) != len(orig.Sites) || len(got.Instrs) != len(orig.Instrs) {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range orig.Items {
+		if got.Items[i].Name != orig.Items[i].Name ||
+			got.Items[i].DataType != orig.Items[i].DataType {
+			t.Fatalf("item %d mismatch", i)
+		}
+	}
+}
+
+func TestJSONRoundTripGAGE(t *testing.T) {
+	orig := GAGE(7, GAGEConfig{Stations: 100, Cities: 20})
+	var b strings.Builder
+	if err := orig.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extra product types must survive.
+	for i := range orig.Items {
+		if len(got.Items[i].ExtraTypes) != len(orig.Items[i].ExtraTypes) {
+			t.Fatalf("item %d extras lost", i)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestValidateCatchesBadReferences(t *testing.T) {
+	mk := func(mut func(*Catalog)) error {
+		c := GAGE(7, GAGEConfig{Stations: 10, Cities: 4})
+		mut(c)
+		return c.Validate()
+	}
+	cases := map[string]func(*Catalog){
+		"no name":         func(c *Catalog) { c.Name = "" },
+		"bad site region": func(c *Catalog) { c.Sites[0].Region = 99 },
+		"bad site city":   func(c *Catalog) { c.Sites[0].City = 99 },
+		"bad item site":   func(c *Catalog) { c.Items[0].Site = -2 },
+		"bad item type":   func(c *Catalog) { c.Items[0].DataType = 99 },
+		"bad extra type":  func(c *Catalog) { c.Items[0].ExtraTypes = []int{99} },
+		"dup item name":   func(c *Catalog) { c.Items[1].Name = c.Items[0].Name },
+		"empty item name": func(c *Catalog) { c.Items[0].Name = "" },
+		"no items":        func(c *Catalog) { c.Items = nil },
+	}
+	for name, mut := range cases {
+		if err := mk(mut); err == nil {
+			t.Fatalf("%s: validation passed", name)
+		}
+	}
+	if err := mk(func(*Catalog) {}); err != nil {
+		t.Fatalf("pristine catalog rejected: %v", err)
+	}
+}
+
+func TestValidateBadInstrumentReference(t *testing.T) {
+	c := OOI(7)
+	c.Instrs[0].DataTypes = []int{999}
+	if err := c.Validate(); err == nil {
+		t.Fatal("bad instrument data type accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Package bprmf implements Bayesian Personalized Ranking Matrix
+// Factorization (Rendle et al. 2012), the collaborative-filtering
+// baseline of Table II: user and item latent factors trained with the
+// pairwise BPR loss on implicit feedback, with no knowledge-graph
+// information at all.
+package bprmf
+
+import (
+	"repro/internal/autograd"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/models/shared"
+	"repro/internal/optim"
+	"repro/internal/rng"
+)
+
+// Model is a BPR-MF recommender.
+type Model struct {
+	user, item *autograd.Param
+	nItems     int
+}
+
+// New returns an untrained model.
+func New() *Model { return &Model{} }
+
+// Name implements models.Recommender.
+func (m *Model) Name() string { return "BPRMF" }
+
+// Fit trains with mini-batch BPR and Adam.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	g := rng.New(cfg.Seed).Split("bprmf")
+	m.nItems = d.NumItems
+	m.user = shared.NewEmbedding("bprmf.user", d.NumUsers, cfg.EmbedDim, g.Split("u"))
+	m.item = shared.NewEmbedding("bprmf.item", d.NumItems, cfg.EmbedDim, g.Split("i"))
+	opt := optim.NewAdam([]*autograd.Param{m.user, m.item}, cfg.LR, 0)
+	neg := d.NewNegSampler(cfg.Seed)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
+		for _, b := range batches {
+			users, pos, negs := b[0], b[1], b[2]
+			tp := autograd.NewTape()
+			u := tp.Gather(tp.Leaf(m.user), users)
+			vp := tp.Gather(tp.Leaf(m.item), pos)
+			vn := tp.Gather(tp.Leaf(m.item), negs)
+			loss := shared.BPRLoss(tp, tp.RowDot(u, vp), tp.RowDot(u, vn))
+			loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2, u, vp, vn))
+			tp.Backward(loss)
+			opt.Step()
+			epochLoss += loss.Value.Data[0]
+		}
+		cfg.Log("bprmf %s epoch %d/%d loss=%.4f", d.Name, epoch+1, cfg.Epochs,
+			epochLoss/float64(len(batches)))
+	}
+}
+
+// ScoreItems implements eval.Scorer: out[i] = <e_u, e_i>.
+func (m *Model) ScoreItems(user int, out []float64) {
+	u := m.user.Value.Row(user)
+	for i := 0; i < m.nItems; i++ {
+		v := m.item.Value.Row(i)
+		var s float64
+		for j := range u {
+			s += u[j] * v[j]
+		}
+		out[i] = s
+	}
+}
+
+// NumItems implements eval.Scorer.
+func (m *Model) NumItems() int { return m.nItems }

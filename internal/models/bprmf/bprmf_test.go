@@ -1,0 +1,28 @@
+package bprmf
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/models/modeltest"
+)
+
+func TestBPRMFLearns(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	m := New()
+	got := modeltest.AssertLearns(t, m, d, modeltest.QuickConfig(), 2)
+	t.Logf("BPRMF recall@20=%.4f ndcg@20=%.4f", got.Recall, got.NDCG)
+}
+
+func TestBPRMFDeterministic(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	cfg := modeltest.QuickConfig()
+	cfg.Epochs = 2
+	modeltest.AssertDeterministic(t, func() models.Recommender { return New() }, d, cfg)
+}
+
+func TestBPRMFName(t *testing.T) {
+	if New().Name() != "BPRMF" {
+		t.Fatal("wrong name")
+	}
+}

@@ -1,0 +1,97 @@
+// Package cfkg implements the CFKG baseline (Ai et al. 2018) of Table
+// II: TransE over the unified graph in which the user–item Interact
+// edges are just one more relation type. Recommendation scores are
+// translation distances: ŷ(u, v) = −‖e_u + r_interact − e_v‖².
+package cfkg
+
+import (
+	"repro/internal/autograd"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/models/shared"
+	"repro/internal/optim"
+	"repro/internal/rng"
+)
+
+// Model is a CFKG recommender.
+type Model struct {
+	transe   *shared.TransE
+	userEnt  []int
+	itemEnt  []int
+	interact int
+	nItems   int
+}
+
+// New returns an untrained model.
+func New() *Model { return &Model{} }
+
+// Name implements models.Recommender.
+func (m *Model) Name() string { return "CFKG" }
+
+// Fit trains TransE over all CKG triples (which include the training
+// Interact edges) with the margin loss, plus extra Interact batches
+// with corrupted item tails so the recommendation relation is trained
+// against ranking-relevant negatives.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	g := rng.New(cfg.Seed).Split("cfkg")
+	m.nItems = d.NumItems
+	m.userEnt = d.UserEnt
+	m.itemEnt = d.ItemEnt
+	m.interact = d.Interact
+	m.transe = shared.NewTransE(d.Graph.NumEntities(), d.Graph.NumRelations(),
+		cfg.EmbedDim, g.Split("e"))
+	opt := optim.NewAdam(m.transe.Params(), cfg.LR, 0)
+	kgSampler := shared.NewKGSampler(d.Graph, g.Split("kgneg"))
+	neg := d.NewNegSampler(cfg.Seed)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
+		for _, b := range batches {
+			users, pos, negs := b[0], b[1], b[2]
+			tp := autograd.NewTape()
+			// Interact triples with item-space negatives.
+			n := len(users)
+			heads := make([]int, n)
+			rels := make([]int, n)
+			tails := make([]int, n)
+			negT := make([]int, n)
+			for i := range users {
+				heads[i] = m.userEnt[users[i]]
+				rels[i] = m.interact
+				tails[i] = m.itemEnt[pos[i]]
+				negT[i] = m.itemEnt[negs[i]]
+			}
+			loss := m.transe.MarginLoss(tp, heads, rels, tails, negT, 1.0)
+			// Structural triples with uniform corrupted tails.
+			h, r, tl, nt := kgSampler.Batch(n)
+			loss = tp.Add(loss, m.transe.MarginLoss(tp, h, r, tl, nt, 1.0))
+			tp.Backward(loss)
+			opt.Step()
+			epochLoss += loss.Value.Data[0]
+		}
+		cfg.Log("cfkg %s epoch %d/%d loss=%.4f", d.Name, epoch+1, cfg.Epochs,
+			epochLoss/float64(len(batches)))
+	}
+}
+
+// ScoreItems implements eval.Scorer: −‖e_u + r_interact − e_v‖².
+func (m *Model) ScoreItems(user int, out []float64) {
+	u := m.transe.Ent.Value.Row(m.userEnt[user])
+	r := m.transe.Rel.Value.Row(m.interact)
+	target := make([]float64, len(u))
+	for j := range u {
+		target[j] = u[j] + r[j]
+	}
+	for i := 0; i < m.nItems; i++ {
+		v := m.transe.Ent.Value.Row(m.itemEnt[i])
+		var dist float64
+		for j := range target {
+			diff := target[j] - v[j]
+			dist += diff * diff
+		}
+		out[i] = -dist
+	}
+}
+
+// NumItems implements eval.Scorer.
+func (m *Model) NumItems() int { return m.nItems }

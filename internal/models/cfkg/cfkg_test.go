@@ -1,0 +1,21 @@
+package cfkg
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/models/modeltest"
+)
+
+func TestCFKGLearns(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	got := modeltest.AssertLearns(t, New(), d, modeltest.QuickConfig(), 2)
+	t.Logf("CFKG recall@20=%.4f ndcg@20=%.4f", got.Recall, got.NDCG)
+}
+
+func TestCFKGDeterministic(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	cfg := modeltest.QuickConfig()
+	cfg.Epochs = 2
+	modeltest.AssertDeterministic(t, func() models.Recommender { return New() }, d, cfg)
+}

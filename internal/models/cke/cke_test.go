@@ -1,0 +1,21 @@
+package cke
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/models/modeltest"
+)
+
+func TestCKELearns(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	got := modeltest.AssertLearns(t, New(), d, modeltest.QuickConfig(), 2)
+	t.Logf("CKE recall@20=%.4f ndcg@20=%.4f", got.Recall, got.NDCG)
+}
+
+func TestCKEDeterministic(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	cfg := modeltest.QuickConfig()
+	cfg.Epochs = 2
+	modeltest.AssertDeterministic(t, func() models.Recommender { return New() }, d, cfg)
+}

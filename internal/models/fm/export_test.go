@@ -1,0 +1,12 @@
+package fm
+
+import "repro/internal/autograd"
+
+// newScoreTape exposes the training-graph score path for one pair so
+// tests can cross-check the cached inference path.
+func newScoreTape(m *Model, users, items []int) float64 {
+	tp := autograd.NewTape()
+	w := tp.Const(m.w.Value)
+	v := tp.Const(m.v.Value)
+	return m.batchNodes(tp, w, v, users, items).Value.Data[0]
+}

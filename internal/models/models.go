@@ -1,0 +1,56 @@
+// Package models defines the common interface implemented by every
+// recommendation model in the repository — the seven baselines of Table
+// II (BPRMF, FM, NFM, CKE, CFKG, RippleNet, KGCN) and the paper's CKAT
+// (in internal/core) — plus the shared training configuration.
+package models
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// Recommender is a trainable top-K recommendation model.
+type Recommender interface {
+	eval.Scorer
+	// Name returns the model's Table II row label.
+	Name() string
+	// Fit trains the model on d. Implementations must be deterministic
+	// given cfg.Seed.
+	Fit(d *dataset.Dataset, cfg TrainConfig)
+}
+
+// TrainConfig carries the hyperparameters shared across models
+// (§VI-D). Model-specific knobs live on the model constructors.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	L2        float64 // coefficient for L2 normalization
+	EmbedDim  int
+	Dropout   float64
+	Seed      int64
+	// Logf, when non-nil, receives per-epoch progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultTrainConfig mirrors the paper's settings (§VI-D): embedding
+// size 64, Adam, batch size 512. Epochs are capped for tractability on
+// the synthetic datasets; increase for closer convergence.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:    25,
+		BatchSize: 512,
+		LR:        0.01,
+		L2:        1e-5,
+		EmbedDim:  64,
+		Dropout:   0.1,
+		Seed:      2021,
+	}
+}
+
+// Log emits a progress line when Logf is configured.
+func (c TrainConfig) Log(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}

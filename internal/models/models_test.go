@@ -1,0 +1,27 @@
+package models
+
+import "testing"
+
+func TestDefaultTrainConfigMatchesPaper(t *testing.T) {
+	c := DefaultTrainConfig()
+	if c.EmbedDim != 64 {
+		t.Fatalf("embedding size %d, want 64 (§VI-D)", c.EmbedDim)
+	}
+	if c.BatchSize != 512 {
+		t.Fatalf("batch size %d, want 512 (§VI-D)", c.BatchSize)
+	}
+	if c.Epochs <= 0 || c.LR <= 0 || c.L2 < 0 {
+		t.Fatalf("degenerate defaults: %+v", c)
+	}
+}
+
+func TestLogNilSafe(t *testing.T) {
+	var c TrainConfig
+	c.Log("must not panic %d", 1)
+	var got string
+	c.Logf = func(format string, args ...any) { got = format }
+	c.Log("hello %d", 2)
+	if got != "hello %d" {
+		t.Fatalf("Logf not invoked: %q", got)
+	}
+}

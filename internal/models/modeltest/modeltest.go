@@ -1,0 +1,88 @@
+// Package modeltest provides the shared fixture used by every model's
+// test suite: a small deterministic OOI dataset with strong affinity
+// structure, plus assertions that a trained model (a) beats a random
+// ranker by a clear margin and (b) is deterministic under its seed.
+package modeltest
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/facility"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// TinyDataset builds a small OOI dataset (≈90 users) that trains in
+// well under a second per epoch yet preserves the locality/domain/user
+// affinity structure the models exploit.
+func TinyDataset(tb testing.TB) *dataset.Dataset {
+	tb.Helper()
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 90
+	cfg.NumOrgs = 10
+	cfg.NumCities = 8
+	cfg.MeanQueries = 30
+	tr := trace.Generate(cat, cfg, 13)
+	return dataset.Build(tr, dataset.AllSources(), 13)
+}
+
+// QuickConfig returns a training configuration small enough for unit
+// tests.
+func QuickConfig() models.TrainConfig {
+	cfg := models.DefaultTrainConfig()
+	cfg.Epochs = 8
+	cfg.BatchSize = 1024
+	cfg.EmbedDim = 32
+	return cfg
+}
+
+// RandomBaselineRecall evaluates an arbitrary fixed ranking on d,
+// giving the floor any trained model must clear.
+func RandomBaselineRecall(tb testing.TB, d *dataset.Dataset, k int) float64 {
+	tb.Helper()
+	s := fixedScorer{n: d.NumItems}
+	return eval.Evaluate(d, s, k).Recall
+}
+
+type fixedScorer struct{ n int }
+
+func (s fixedScorer) ScoreItems(u int, out []float64) {
+	for i := range out {
+		out[i] = float64((i*2654435761 + u*97) % 10007)
+	}
+}
+func (s fixedScorer) NumItems() int { return s.n }
+
+// AssertLearns trains m on d and fails unless recall@20 exceeds
+// minLift × the random baseline.
+func AssertLearns(t *testing.T, m models.Recommender, d *dataset.Dataset,
+	cfg models.TrainConfig, minLift float64) eval.Metrics {
+	t.Helper()
+	m.Fit(d, cfg)
+	got := eval.Evaluate(d, m, 20)
+	floor := RandomBaselineRecall(t, d, 20)
+	if got.Recall < floor*minLift {
+		t.Fatalf("%s recall@20 = %.4f, want > %.1f× random baseline (%.4f)",
+			m.Name(), got.Recall, minLift, floor)
+	}
+	return got
+}
+
+// AssertDeterministic trains two fresh instances with the same seed and
+// fails if their evaluations differ.
+func AssertDeterministic(t *testing.T, build func() models.Recommender,
+	d *dataset.Dataset, cfg models.TrainConfig) {
+	t.Helper()
+	a := build()
+	a.Fit(d, cfg)
+	ma := eval.Evaluate(d, a, 20)
+	b := build()
+	b.Fit(d, cfg)
+	mb := eval.Evaluate(d, b, 20)
+	if ma != mb {
+		t.Fatalf("same seed gave different results: %+v vs %+v", ma, mb)
+	}
+}

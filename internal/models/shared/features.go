@@ -1,0 +1,83 @@
+package shared
+
+import (
+	"repro/internal/dataset"
+)
+
+// Features encodes (user, item) pairs as sparse binary feature vectors
+// for the factorization-machine models (§VI-C: "we convert the user
+// IDs, data objects, and CKG entities as the input features"). The
+// feature space is the concatenation of a user one-hot block, an item
+// one-hot block, and a multi-hot block of the item's knowledge-graph
+// attribute entities.
+type Features struct {
+	NumFeatures int
+	numUsers    int
+	numItems    int
+	// itemAttrs[i] lists attribute-block feature IDs of item i.
+	itemAttrs [][]int
+}
+
+// BuildFeatures derives the feature encoding from the dataset's CKG.
+// Attribute entities are the non-user, non-item neighbors of each item
+// in the graph (its first-order knowledge links).
+func BuildFeatures(d *dataset.Dataset) *Features {
+	f := &Features{numUsers: d.NumUsers, numItems: d.NumItems}
+	isItem := make(map[int]int, d.NumItems) // entity -> item index
+	for i, e := range d.ItemEnt {
+		isItem[e] = i
+	}
+	isUser := make(map[int]bool, d.NumUsers)
+	for _, e := range d.UserEnt {
+		isUser[e] = true
+	}
+	attrFeat := make(map[int]int) // attribute entity -> feature offset within block
+	f.itemAttrs = make([][]int, d.NumItems)
+	for _, tr := range d.Graph.Triples {
+		i, ok := isItem[tr.Head]
+		if !ok || isUser[tr.Tail] {
+			continue
+		}
+		if _, alsoItem := isItem[tr.Tail]; alsoItem {
+			continue
+		}
+		fid, seen := attrFeat[tr.Tail]
+		if !seen {
+			fid = len(attrFeat)
+			attrFeat[tr.Tail] = fid
+		}
+		f.itemAttrs[i] = append(f.itemAttrs[i], fid)
+	}
+	// Deduplicate (inverse relations can repeat a neighbor) and shift
+	// into the global feature space.
+	base := d.NumUsers + d.NumItems
+	for i, attrs := range f.itemAttrs {
+		seen := map[int]bool{}
+		var out []int
+		for _, a := range attrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, base+a)
+			}
+		}
+		f.itemAttrs[i] = out
+	}
+	f.NumFeatures = base + len(attrFeat)
+	return f
+}
+
+// UserFeature returns the feature ID of user u's one-hot.
+func (f *Features) UserFeature(u int) int { return u }
+
+// ItemFeature returns the feature ID of item i's one-hot.
+func (f *Features) ItemFeature(i int) int { return f.numUsers + i }
+
+// ItemAttrFeatures returns the attribute feature IDs of item i.
+func (f *Features) ItemAttrFeatures(i int) []int { return f.itemAttrs[i] }
+
+// Pair appends the full feature list of (user, item) to dst and
+// returns it: user one-hot, item one-hot, item attributes.
+func (f *Features) Pair(dst []int, user, item int) []int {
+	dst = append(dst, f.UserFeature(user), f.ItemFeature(item))
+	return append(dst, f.itemAttrs[item]...)
+}

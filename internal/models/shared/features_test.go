@@ -1,0 +1,83 @@
+package shared
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/facility"
+	"repro/internal/trace"
+)
+
+func featureDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 40
+	cfg.NumOrgs = 6
+	cfg.MeanQueries = 10
+	tr := trace.Generate(cat, cfg, 3)
+	return dataset.Build(tr, dataset.AllSources(), 3)
+}
+
+func TestBuildFeaturesBlocks(t *testing.T) {
+	d := featureDataset(t)
+	f := BuildFeatures(d)
+	if f.NumFeatures <= d.NumUsers+d.NumItems {
+		t.Fatal("no attribute features extracted from the CKG")
+	}
+	if f.UserFeature(3) != 3 {
+		t.Fatal("user block must start at 0")
+	}
+	if f.ItemFeature(0) != d.NumUsers {
+		t.Fatal("item block must follow users")
+	}
+}
+
+func TestItemAttrFeaturesInAttrBlock(t *testing.T) {
+	d := featureDataset(t)
+	f := BuildFeatures(d)
+	base := d.NumUsers + d.NumItems
+	var withAttrs int
+	for i := 0; i < d.NumItems; i++ {
+		attrs := f.ItemAttrFeatures(i)
+		if len(attrs) > 0 {
+			withAttrs++
+		}
+		seen := map[int]bool{}
+		for _, a := range attrs {
+			if a < base || a >= f.NumFeatures {
+				t.Fatalf("attr feature %d outside attribute block", a)
+			}
+			if seen[a] {
+				t.Fatalf("item %d has duplicate attr feature %d", i, a)
+			}
+			seen[a] = true
+		}
+	}
+	if withAttrs < d.NumItems*9/10 {
+		t.Fatalf("only %d/%d items have KG attributes", withAttrs, d.NumItems)
+	}
+}
+
+func TestPairComposition(t *testing.T) {
+	d := featureDataset(t)
+	f := BuildFeatures(d)
+	feats := f.Pair(nil, 2, 5)
+	if feats[0] != f.UserFeature(2) || feats[1] != f.ItemFeature(5) {
+		t.Fatalf("Pair prefix wrong: %v", feats[:2])
+	}
+	if len(feats) != 2+len(f.ItemAttrFeatures(5)) {
+		t.Fatal("Pair length wrong")
+	}
+}
+
+func TestFeaturesExcludeUsersAndItemsAsAttrs(t *testing.T) {
+	d := featureDataset(t)
+	f := BuildFeatures(d)
+	// The attribute space must be far smaller than the entity space —
+	// users/items filtered out.
+	attrSpace := f.NumFeatures - d.NumUsers - d.NumItems
+	if attrSpace >= d.Graph.NumEntities()-d.NumItems {
+		t.Fatalf("attribute space %d too large (users or items leaked in)", attrSpace)
+	}
+}

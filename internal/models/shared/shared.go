@@ -1,0 +1,232 @@
+// Package shared provides the building blocks common to the
+// recommendation models: embedding tables, the BPR pairwise loss
+// (Eq. 12), L2 batch regularization, relation-grouped edge processing,
+// and the translation-based KG embedding losses (TransR, Eq. 1-2, and
+// TransE) reused by CKE, CFKG, and CKAT.
+package shared
+
+import (
+	"repro/internal/autograd"
+	"repro/internal/kg"
+	"repro/internal/optim"
+	"repro/internal/rng"
+)
+
+// NewEmbedding allocates a Xavier-initialized rows×dim embedding table.
+func NewEmbedding(name string, rows, dim int, g *rng.RNG) *autograd.Param {
+	p := autograd.NewParam(name, rows, dim)
+	optim.XavierInit(p, g)
+	return p
+}
+
+// BPRLoss returns the mean Bayesian-personalized-ranking loss
+// (Eq. 12): -ln σ(pos - neg) = softplus(neg - pos), averaged over the
+// batch. pos and neg are B×1 score nodes.
+func BPRLoss(tp *autograd.Tape, pos, neg *autograd.Node) *autograd.Node {
+	return tp.Mean(tp.Softplus(tp.Sub(neg, pos)))
+}
+
+// L2Reg returns lambda/2 · Σ‖n‖² over the given nodes (typically the
+// gathered batch embeddings, matching the λ‖Θ‖² term of Eq. 13 applied
+// per batch).
+func L2Reg(tp *autograd.Tape, lambda float64, nodes ...*autograd.Node) *autograd.Node {
+	var total *autograd.Node
+	for _, n := range nodes {
+		s := tp.SumAll(tp.Mul(n, n))
+		if total == nil {
+			total = s
+		} else {
+			total = tp.Add(total, s)
+		}
+	}
+	return tp.Scale(total, lambda/2)
+}
+
+// RelGroups indexes a set of edges by relation: for each relation ID
+// that occurs, Idx holds the positions (into the original edge arrays)
+// of its edges. Iterating Rels gives deterministic order.
+type RelGroups struct {
+	Rels []int
+	Idx  map[int][]int
+}
+
+// GroupByRelation builds RelGroups over rels.
+func GroupByRelation(rels []int) *RelGroups {
+	g := &RelGroups{Idx: make(map[int][]int)}
+	for i, r := range rels {
+		if _, seen := g.Idx[r]; !seen {
+			g.Rels = append(g.Rels, r)
+		}
+		g.Idx[r] = append(g.Idx[r], i)
+	}
+	return g
+}
+
+// Select gathers xs at the group's positions for relation r.
+func (g *RelGroups) Select(r int, xs []int) []int {
+	idx := g.Idx[r]
+	out := make([]int, len(idx))
+	for i, p := range idx {
+		out[i] = xs[p]
+	}
+	return out
+}
+
+// KGSampler draws training batches of knowledge-graph triples with
+// corrupted negatives (replace the tail with a random entity), the S'
+// construction of Eq. 2.
+type KGSampler struct {
+	triples []kg.Triple
+	nEnt    int
+	g       *rng.RNG
+}
+
+// NewKGSampler builds a sampler over the graph's triples.
+func NewKGSampler(graph *kg.Graph, g *rng.RNG) *KGSampler {
+	return &KGSampler{triples: graph.Triples, nEnt: graph.NumEntities(), g: g}
+}
+
+// NumTriples returns the number of (directed) triples available.
+func (s *KGSampler) NumTriples() int { return len(s.triples) }
+
+// Batch samples n triples uniformly, returning head, rel, tail and a
+// corrupted tail for each.
+func (s *KGSampler) Batch(n int) (heads, rels, tails, negTails []int) {
+	heads = make([]int, n)
+	rels = make([]int, n)
+	tails = make([]int, n)
+	negTails = make([]int, n)
+	for i := 0; i < n; i++ {
+		tr := s.triples[s.g.Intn(len(s.triples))]
+		heads[i], rels[i], tails[i] = tr.Head, tr.Rel, tr.Tail
+		negTails[i] = s.g.Intn(s.nEnt)
+	}
+	return
+}
+
+// TransR holds the parameters of a TransR embedding layer (Eq. 1):
+// entity embeddings (d), relation embeddings (k), and one k×d
+// projection matrix per relation.
+type TransR struct {
+	Ent  *autograd.Param   // nEnt × d
+	Rel  *autograd.Param   // nRel × k
+	Proj []*autograd.Param // per relation, k × d
+}
+
+// NewTransR allocates TransR parameters.
+func NewTransR(nEnt, nRel, d, k int, g *rng.RNG) *TransR {
+	t := &TransR{
+		Ent: NewEmbedding("transr.ent", nEnt, d, g),
+		Rel: NewEmbedding("transr.rel", nRel, k, g),
+	}
+	for r := 0; r < nRel; r++ {
+		t.Proj = append(t.Proj, NewEmbedding("transr.proj", k, d, g))
+	}
+	return t
+}
+
+// Params returns all trainable parameters.
+func (t *TransR) Params() []*autograd.Param {
+	out := []*autograd.Param{t.Ent, t.Rel}
+	return append(out, t.Proj...)
+}
+
+// MarginLoss builds the margin-based TransR objective (Eq. 2) for a
+// batch of triples with corrupted tails:
+//
+//	Σ max(0, f(h,r,t) + γ − f(h,r,t'))
+//
+// where f(h,r,t) = ‖W_r e_h + e_r − W_r e_t‖² (Eq. 1). Edges are
+// processed grouped by relation so each group shares its projection.
+func (t *TransR) MarginLoss(tp *autograd.Tape, heads, rels, tails, negTails []int,
+	margin float64) *autograd.Node {
+	ent := tp.Leaf(t.Ent)
+	rel := tp.Leaf(t.Rel)
+	groups := GroupByRelation(rels)
+	var loss *autograd.Node
+	for _, r := range groups.Rels {
+		w := tp.Leaf(t.Proj[r])
+		h := tp.MatMulT(tp.Gather(ent, groups.Select(r, heads)), w)  // n×k
+		tl := tp.MatMulT(tp.Gather(ent, groups.Select(r, tails)), w) // n×k
+		ng := tp.MatMulT(tp.Gather(ent, groups.Select(r, negTails)), w)
+		er := tp.Gather(rel, repeat(r, len(groups.Idx[r])))
+		fPos := tp.RowSumSq(tp.Sub(tp.Add(h, er), tl)) // n×1
+		fNeg := tp.RowSumSq(tp.Sub(tp.Add(h, er), ng))
+		// max(0, fPos + γ − fNeg) via ReLU.
+		gap := tp.ReLU(tp.Sub(tp.AddScalar(fPos, margin), fNeg))
+		s := tp.SumAll(gap)
+		if loss == nil {
+			loss = s
+		} else {
+			loss = tp.Add(loss, s)
+		}
+	}
+	return tp.Scale(loss, 1/float64(len(heads)))
+}
+
+// Score computes f(h,r,t) for a single triple outside any tape (plain
+// inference; lower is more plausible).
+func (t *TransR) Score(h, r, tl int) float64 {
+	d := t.Ent.Value.Cols
+	k := t.Rel.Value.Cols
+	w := t.Proj[r].Value
+	eh := t.Ent.Value.Row(h)
+	et := t.Ent.Value.Row(tl)
+	er := t.Rel.Value.Row(r)
+	var sum float64
+	for i := 0; i < k; i++ {
+		var ph, pt float64
+		wr := w.Row(i)
+		for j := 0; j < d; j++ {
+			ph += wr[j] * eh[j]
+			pt += wr[j] * et[j]
+		}
+		diff := ph + er[i] - pt
+		sum += diff * diff
+	}
+	return sum
+}
+
+// TransE holds TransE parameters: a single embedding space for entities
+// and relations, scored by ‖e_h + e_r − e_t‖².
+type TransE struct {
+	Ent *autograd.Param
+	Rel *autograd.Param
+}
+
+// NewTransE allocates TransE parameters.
+func NewTransE(nEnt, nRel, d int, g *rng.RNG) *TransE {
+	return &TransE{
+		Ent: NewEmbedding("transe.ent", nEnt, d, g),
+		Rel: NewEmbedding("transe.rel", nRel, d, g),
+	}
+}
+
+// Params returns all trainable parameters.
+func (t *TransE) Params() []*autograd.Param {
+	return []*autograd.Param{t.Ent, t.Rel}
+}
+
+// MarginLoss is the TransE counterpart of TransR.MarginLoss.
+func (t *TransE) MarginLoss(tp *autograd.Tape, heads, rels, tails, negTails []int,
+	margin float64) *autograd.Node {
+	ent := tp.Leaf(t.Ent)
+	rel := tp.Leaf(t.Rel)
+	h := tp.Gather(ent, heads)
+	r := tp.Gather(rel, rels)
+	tl := tp.Gather(ent, tails)
+	ng := tp.Gather(ent, negTails)
+	fPos := tp.RowSumSq(tp.Sub(tp.Add(h, r), tl))
+	fNeg := tp.RowSumSq(tp.Sub(tp.Add(h, r), ng))
+	gap := tp.ReLU(tp.Sub(tp.AddScalar(fPos, margin), fNeg))
+	return tp.Mean(gap)
+}
+
+// repeat returns a slice of n copies of v.
+func repeat(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

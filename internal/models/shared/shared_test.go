@@ -1,0 +1,162 @@
+package shared
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/autograd"
+	"repro/internal/kg"
+	"repro/internal/optim"
+	"repro/internal/rng"
+)
+
+func TestBPRLossDecreasesWithMargin(t *testing.T) {
+	mk := func(posVal, negVal float64) float64 {
+		tp := autograd.NewTape()
+		pos := autograd.NewParam("p", 2, 1)
+		neg := autograd.NewParam("n", 2, 1)
+		pos.Value.Fill(posVal)
+		neg.Value.Fill(negVal)
+		return BPRLoss(tp, tp.Const(pos.Value), tp.Const(neg.Value)).Value.Data[0]
+	}
+	wellRanked := mk(5, -5)
+	misRanked := mk(-5, 5)
+	if wellRanked >= misRanked {
+		t.Fatalf("BPR loss should reward correct ranking: %v vs %v", wellRanked, misRanked)
+	}
+	if wellRanked > 0.01 {
+		t.Fatalf("well-ranked BPR loss %v should be ≈0", wellRanked)
+	}
+}
+
+func TestL2RegValue(t *testing.T) {
+	tp := autograd.NewTape()
+	p := autograd.NewParam("p", 1, 2)
+	copy(p.Value.Data, []float64{3, 4}) // ‖p‖² = 25
+	got := L2Reg(tp, 0.1, tp.Const(p.Value)).Value.Data[0]
+	if math.Abs(got-0.1*25/2) > 1e-12 {
+		t.Fatalf("L2Reg = %v, want 1.25", got)
+	}
+}
+
+func TestGroupByRelation(t *testing.T) {
+	g := GroupByRelation([]int{2, 0, 2, 1, 0})
+	if len(g.Rels) != 3 {
+		t.Fatalf("groups = %v", g.Rels)
+	}
+	if got := g.Idx[2]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("rel 2 idx = %v", got)
+	}
+	xs := []int{10, 11, 12, 13, 14}
+	if sel := g.Select(0, xs); len(sel) != 2 || sel[0] != 11 || sel[1] != 14 {
+		t.Fatalf("Select = %v", sel)
+	}
+}
+
+func buildKG(t *testing.T) *kg.Graph {
+	t.Helper()
+	g := kg.NewGraph()
+	r := g.AddRelation("rel", "relOf")
+	for i := 0; i < 10; i++ {
+		a := g.AddEntity(kg.KindItem, string(rune('a'+i)))
+		b := g.AddEntity(kg.KindDataType, string(rune('A'+i)))
+		g.AddTriple(a, r, b)
+	}
+	return g
+}
+
+func TestKGSamplerBatch(t *testing.T) {
+	g := buildKG(t)
+	s := NewKGSampler(g, rng.New(1))
+	if s.NumTriples() != g.NumTriples() {
+		t.Fatal("sampler triple count mismatch")
+	}
+	h, r, tl, nt := s.Batch(64)
+	if len(h) != 64 || len(r) != 64 || len(tl) != 64 || len(nt) != 64 {
+		t.Fatal("batch lengths wrong")
+	}
+	for i := range h {
+		if !g.HasTriple(h[i], r[i], tl[i]) {
+			t.Fatal("sampled positive is not a real triple")
+		}
+		if nt[i] < 0 || nt[i] >= g.NumEntities() {
+			t.Fatal("corrupted tail out of range")
+		}
+	}
+}
+
+// TransR training must push true triples below corrupted ones.
+func TestTransRLearnsToRankTriples(t *testing.T) {
+	g := buildKG(t)
+	rnd := rng.New(2)
+	tr := NewTransR(g.NumEntities(), g.NumRelations(), 8, 8, rnd)
+	opt := optim.NewAdam(tr.Params(), 0.05, 0)
+	s := NewKGSampler(g, rnd.Split("s"))
+	for step := 0; step < 200; step++ {
+		h, r, tl, nt := s.Batch(32)
+		tp := autograd.NewTape()
+		loss := tr.MarginLoss(tp, h, r, tl, nt, 1.0)
+		tp.Backward(loss)
+		opt.Step()
+	}
+	// Check: true triples should score lower (more plausible) than
+	// corrupted ones on average.
+	var trueScore, corruptScore float64
+	var n int
+	chk := rng.New(3)
+	for _, triple := range g.Triples[:10] {
+		trueScore += tr.Score(triple.Head, triple.Rel, triple.Tail)
+		corruptScore += tr.Score(triple.Head, triple.Rel, chk.Intn(g.NumEntities()))
+		n++
+	}
+	if trueScore/float64(n) >= corruptScore/float64(n) {
+		t.Fatalf("TransR did not learn: true %.4f vs corrupt %.4f",
+			trueScore/float64(n), corruptScore/float64(n))
+	}
+}
+
+func TestTransELearnsToRankTriples(t *testing.T) {
+	g := buildKG(t)
+	rnd := rng.New(4)
+	te := NewTransE(g.NumEntities(), g.NumRelations(), 8, rnd)
+	opt := optim.NewAdam(te.Params(), 0.05, 0)
+	s := NewKGSampler(g, rnd.Split("s"))
+	for step := 0; step < 200; step++ {
+		h, r, tl, nt := s.Batch(32)
+		tp := autograd.NewTape()
+		loss := te.MarginLoss(tp, h, r, tl, nt, 1.0)
+		tp.Backward(loss)
+		opt.Step()
+	}
+	score := func(h, r, tl int) float64 {
+		var sum float64
+		eh := te.Ent.Value.Row(h)
+		er := te.Rel.Value.Row(r)
+		et := te.Ent.Value.Row(tl)
+		for j := range eh {
+			d := eh[j] + er[j] - et[j]
+			sum += d * d
+		}
+		return sum
+	}
+	var trueScore, corruptScore float64
+	chk := rng.New(5)
+	for _, triple := range g.Triples[:10] {
+		trueScore += score(triple.Head, triple.Rel, triple.Tail)
+		corruptScore += score(triple.Head, triple.Rel, chk.Intn(g.NumEntities()))
+	}
+	if trueScore >= corruptScore {
+		t.Fatalf("TransE did not learn: true %.4f vs corrupt %.4f", trueScore, corruptScore)
+	}
+}
+
+func TestTransRScoreMatchesMarginLossInputs(t *testing.T) {
+	g := buildKG(t)
+	tr := NewTransR(g.NumEntities(), g.NumRelations(), 4, 4, rng.New(6))
+	triple := g.Triples[0]
+	// Score must be non-negative (a squared norm) and finite.
+	s := tr.Score(triple.Head, triple.Rel, triple.Tail)
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		t.Fatalf("invalid TransR score %v", s)
+	}
+}

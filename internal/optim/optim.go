@@ -1,0 +1,139 @@
+// Package optim provides parameter initializers and first-order
+// optimizers (SGD, Adam) for the autograd parameters used by every
+// model in the repository. The paper trains all models with Adam and
+// Xavier initialization; both are reproduced here.
+package optim
+
+import (
+	"math"
+
+	"repro/internal/autograd"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// XavierInit fills p with the Glorot/Xavier uniform distribution
+// U(-a, a), a = sqrt(6/(fanIn+fanOut)), using the matrix dimensions as
+// fan-in/fan-out. This matches the paper's "default Xavier initializer".
+func XavierInit(p *autograd.Param, g *rng.RNG) {
+	fanIn, fanOut := p.Value.Cols, p.Value.Rows
+	a := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range p.Value.Data {
+		p.Value.Data[i] = g.Uniform(-a, a)
+	}
+}
+
+// NormalInit fills p with N(0, std²) values.
+func NormalInit(p *autograd.Param, g *rng.RNG, std float64) {
+	for i := range p.Value.Data {
+		p.Value.Data[i] = g.NormFloat64() * std
+	}
+}
+
+// ClipGradNorm rescales the concatenated gradient of params to have
+// global L2 norm at most maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params []*autograd.Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, v := range p.Grad.Data {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		s := maxNorm / norm
+		for _, p := range params {
+			tensor.Scale(p.Grad, s, p.Grad)
+		}
+	}
+	return norm
+}
+
+// Optimizer advances parameters using their accumulated gradients and
+// zeroes the gradients afterwards.
+type Optimizer interface {
+	// Step applies one update to every registered parameter.
+	Step()
+	// Params returns the registered parameters.
+	Params() []*autograd.Param
+}
+
+// SGD is plain stochastic gradient descent with optional L2 weight
+// decay applied directly to the update (decoupled decay).
+type SGD struct {
+	params []*autograd.Param
+	LR     float64
+	Decay  float64
+}
+
+// NewSGD builds an SGD optimizer over params.
+func NewSGD(params []*autograd.Param, lr, decay float64) *SGD {
+	return &SGD{params: params, LR: lr, Decay: decay}
+}
+
+// Params implements Optimizer.
+func (o *SGD) Params() []*autograd.Param { return o.params }
+
+// Step implements Optimizer.
+func (o *SGD) Step() {
+	for _, p := range o.params {
+		for i, g := range p.Grad.Data {
+			p.Value.Data[i] -= o.LR * (g + o.Decay*p.Value.Data[i])
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements Kingma & Ba's Adam with bias correction and optional
+// decoupled L2 decay.
+type Adam struct {
+	params []*autograd.Param
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	Decay  float64
+
+	m, v []*tensor.Dense
+	t    int
+}
+
+// NewAdam builds an Adam optimizer with the standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*autograd.Param, lr, decay float64) *Adam {
+	a := &Adam{
+		params: params, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		Decay: decay,
+	}
+	a.m = make([]*tensor.Dense, len(params))
+	a.v = make([]*tensor.Dense, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+		a.v[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	return a
+}
+
+// Params implements Optimizer.
+func (o *Adam) Params() []*autograd.Param { return o.params }
+
+// Step implements Optimizer.
+func (o *Adam) Step() {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for pi, p := range o.params {
+		m, v := o.m[pi], o.v[pi]
+		for i, g := range p.Grad.Data {
+			if o.Decay != 0 {
+				g += o.Decay * p.Value.Data[i]
+			}
+			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

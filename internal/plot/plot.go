@@ -1,0 +1,166 @@
+// Package plot renders small ASCII charts for the analysis CLIs: the
+// Fig. 3 distribution curves and the Fig. 5 probability bars print
+// directly in a terminal, so reproducing the paper's figures needs no
+// plotting stack.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line renders series (already ordered along X) as an ASCII line chart
+// of the given width and height, with a Y-axis scale. Multiple series
+// overlay with distinct glyphs.
+func Line(title string, series map[string][]float64, width, height int) string {
+	if width < 8 || height < 2 || len(series) == 0 {
+		return title + "\n(plot too small)\n"
+	}
+	glyphs := []rune{'*', '+', 'o', 'x', '#'}
+	var names []string
+	maxLen := 0
+	maxVal := math.Inf(-1)
+	for name, ys := range series {
+		names = append(names, name)
+		if len(ys) > maxLen {
+			maxLen = len(ys)
+		}
+		for _, y := range ys {
+			if y > maxVal {
+				maxVal = y
+			}
+		}
+	}
+	sortStrings(names)
+	if maxLen == 0 || maxVal <= 0 {
+		return title + "\n(no data)\n"
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, name := range names {
+		g := glyphs[si%len(glyphs)]
+		ys := series[name]
+		for x := 0; x < width; x++ {
+			idx := x * len(ys) / width
+			if idx >= len(ys) {
+				idx = len(ys) - 1
+			}
+			y := ys[idx]
+			row := height - 1 - int(y/maxVal*float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][x] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max=%.3g)\n", title, maxVal)
+	for r, row := range grid {
+		label := "      "
+		if r == 0 {
+			label = fmt.Sprintf("%5.3g ", maxVal)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%5.3g ", 0.0)
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString("      +" + strings.Repeat("-", width) + "\n")
+	legend := "       "
+	for si, name := range names {
+		if si > 0 {
+			legend += "   "
+		}
+		legend += string(glyphs[si%len(glyphs)]) + " " + name
+	}
+	return b.String() + legend + "\n"
+}
+
+// Bars renders labeled values as horizontal ASCII bars scaled to width.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		return title + "\n(label/value mismatch)\n"
+	}
+	maxVal := math.Inf(-1)
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for i, v := range values {
+		n := 0
+		if maxVal > 0 {
+			n = int(v / maxVal * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-*s %s %.4g\n", maxLabel, labels[i],
+			strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// Scatter renders labeled 2-D points (e.g. a t-SNE embedding) on an
+// ASCII canvas; each label uses one glyph (cycled past 10 labels).
+func Scatter(title string, pts [][2]float64, labels []int, width, height int) string {
+	if len(pts) == 0 {
+		return title + "\n(no points)\n"
+	}
+	glyphs := "0123456789"
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for i, p := range pts {
+		x := int((p[0] - minX) / (maxX - minX) * float64(width-1))
+		y := int((p[1] - minY) / (maxY - minY) * float64(height-1))
+		g := rune('?')
+		if i < len(labels) {
+			g = rune(glyphs[labels[i]%len(glyphs)])
+		}
+		grid[height-1-y][x] = g
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for _, row := range grid {
+		b.WriteString("  |" + string(row) + "\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}
+
+// sortStrings is a tiny insertion sort to keep the package dependency
+// free of sort (and deterministic for short legend lists).
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	out := Line("curve", map[string][]float64{
+		"a": {10, 8, 6, 4, 2, 1},
+		"b": {5, 5, 5, 5, 5, 5},
+	}, 20, 6)
+	if !strings.Contains(out, "curve (max=10)") {
+		t.Fatalf("title/scale missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 7 {
+		t.Fatal("chart body too short")
+	}
+	// The descending curve must place '*' at the top-left region.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("descending curve should start at the top row:\n%s", out)
+	}
+}
+
+func TestLineDegenerate(t *testing.T) {
+	if out := Line("x", map[string][]float64{}, 20, 5); !strings.Contains(out, "plot too small") && !strings.Contains(out, "no data") {
+		t.Fatalf("empty series should degrade gracefully: %q", out)
+	}
+	if out := Line("x", map[string][]float64{"a": {1}}, 2, 1); !strings.Contains(out, "plot too small") {
+		t.Fatalf("tiny canvas should degrade gracefully: %q", out)
+	}
+	if out := Line("x", map[string][]float64{"a": {}}, 20, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("no data should degrade gracefully: %q", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("ratios", []string{"same-city", "random"}, []float64{0.8, 0.1}, 20)
+	if !strings.Contains(out, "ratios") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	long := strings.Count(lines[1], "█")
+	short := strings.Count(lines[2], "█")
+	if long <= short {
+		t.Fatalf("bar lengths wrong: %d vs %d", long, short)
+	}
+	if long != 20 {
+		t.Fatalf("max bar should fill width: %d", long)
+	}
+}
+
+func TestBarsMismatch(t *testing.T) {
+	if out := Bars("x", []string{"a"}, []float64{1, 2}, 10); !strings.Contains(out, "mismatch") {
+		t.Fatal("mismatch not reported")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 1}, {0.5, 0.5}}
+	out := Scatter("tsne", pts, []int{0, 1, 2}, 10, 5)
+	for _, g := range []string{"0", "1", "2"} {
+		if !strings.Contains(out, g) {
+			t.Fatalf("glyph %s missing:\n%s", g, out)
+		}
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if out := Scatter("x", nil, nil, 10, 5); !strings.Contains(out, "no points") {
+		t.Fatal("empty scatter should degrade gracefully")
+	}
+	// Identical points must not divide by zero.
+	pts := [][2]float64{{2, 2}, {2, 2}}
+	out := Scatter("x", pts, []int{0, 0}, 10, 5)
+	if !strings.Contains(out, "0") {
+		t.Fatalf("degenerate extent lost points:\n%s", out)
+	}
+}

@@ -1,0 +1,154 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// A child stream depends only on (parent seed, label), not on how
+	// much of the parent or sibling streams was consumed.
+	p1 := New(7)
+	c1 := p1.Split("a")
+	first := c1.Float64()
+
+	p2 := New(7)
+	p2.Float64() // consume parent
+	p2.Split("b").Float64()
+	c2 := p2.Split("a")
+	if got := c2.Float64(); got != first {
+		t.Fatalf("Split not order-independent: %v vs %v", got, first)
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	p := New(7)
+	if p.Split("x").Float64() == p.Split("y").Float64() {
+		t.Fatal("different labels produced identical streams")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	g := New(1)
+	for i := 0; i < 1000; i++ {
+		v := g.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := New(2)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestZipfSkewsLow(t *testing.T) {
+	g := New(3)
+	counts := make([]int, 10)
+	for i := 0; i < 5000; i++ {
+		counts[g.Zipf(10, 1.2)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("Zipf not skewed: first=%d last=%d", counts[0], counts[9])
+	}
+	if counts[0] < 2*counts[4] {
+		t.Fatalf("Zipf skew too weak: %v", counts)
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	g := New(4)
+	if g.Zipf(0, 1) != 0 || g.Zipf(1, 1) != 0 {
+		t.Fatal("Zipf degenerate cases should return 0")
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	g := New(5)
+	counts := make([]int, 3)
+	for i := 0; i < 9000; i++ {
+		counts[g.Choice([]float64{1, 0, 8})]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight option chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 5 || ratio > 13 {
+		t.Fatalf("weight ratio %v, want ≈8", ratio)
+	}
+}
+
+func TestChoiceSingleAndTrailingZeros(t *testing.T) {
+	g := New(6)
+	if g.Choice([]float64{5}) != 0 {
+		t.Fatal("single option must be chosen")
+	}
+	for i := 0; i < 100; i++ {
+		if got := g.Choice([]float64{1, 0, 0}); got != 0 {
+			t.Fatalf("trailing-zero weights chose %d", got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	g := New(8)
+	xs := []int{1, 2, 3, 4, 5}
+	g.Shuffle(xs)
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 15 || len(xs) != 5 {
+		t.Fatal("Shuffle lost elements")
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	g := New(9)
+	var sum, sq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := g.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean) > 0.05 || math.Abs(std-1) > 0.05 {
+		t.Fatalf("normal moments off: mean=%v std=%v", mean, std)
+	}
+}

@@ -1,0 +1,205 @@
+// Package serve exposes a trained recommender as the facility-facing
+// data-discovery HTTP service the paper motivates: "intelligent
+// discovery and anticipatory delivery of data and data products from
+// large facilities" (§VII). It wraps any eval.Scorer behind a JSON API:
+//
+//	GET /health                         → service status
+//	GET /recommend?user=12&k=10         → top-K data objects for a user
+//	GET /similar?item=42&k=10           → items close to an item in the CKG
+//	GET /explain?user=12&item=42        → knowledge paths linking the
+//	                                      user's history to an item
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// Server is the HTTP handler set for one facility's recommender.
+type Server struct {
+	d      *dataset.Dataset
+	scorer eval.Scorer
+	mux    *http.ServeMux
+}
+
+// New builds a Server over a dataset and a trained scorer.
+func New(d *dataset.Dataset, scorer eval.Scorer) *Server {
+	s := &Server{d: d, scorer: scorer, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/health", s.handleHealth)
+	s.mux.HandleFunc("/recommend", s.handleRecommend)
+	s.mux.HandleFunc("/similar", s.handleSimilar)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Recommendation is one ranked data object.
+type Recommendation struct {
+	Rank     int     `json:"rank"`
+	Item     int     `json:"item"`
+	Name     string  `json:"name"`
+	Site     string  `json:"site"`
+	DataType string  `json:"dataType"`
+	Score    float64 `json:"score"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"facility": s.d.Name,
+		"users":    s.d.NumUsers,
+		"items":    s.d.NumItems,
+	})
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	user, err := intParam(r, "user", -1)
+	if err != nil || user < 0 || user >= s.d.NumUsers {
+		httpError(w, http.StatusBadRequest, "user must be in [0, %d)", s.d.NumUsers)
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil || k <= 0 || k > 200 {
+		httpError(w, http.StatusBadRequest, "k must be in [1, 200]")
+		return
+	}
+	scores := make([]float64, s.d.NumItems)
+	s.scorer.ScoreItems(user, scores)
+	for _, it := range s.d.TrainByUser[user] {
+		scores[it] = -1e18
+	}
+	top := eval.TopK(scores, k)
+	recs := make([]Recommendation, 0, len(top))
+	cat := s.d.Trace.Facility
+	for rank, it := range top {
+		item := cat.Items[it]
+		recs = append(recs, Recommendation{
+			Rank: rank + 1, Item: it, Name: item.Name,
+			Site:     cat.Sites[item.Site].Name,
+			DataType: cat.DataTypes[item.DataType].Name,
+			Score:    scores[it],
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"user": user, "recommendations": recs})
+}
+
+// handleSimilar ranks items by CKG-embedding proximity to a target
+// item, reusing the scorer's item space via a pseudo-query: the
+// returned list is items whose score vectors co-rank with the target
+// across a probe set of users. For scorers exposing item embeddings
+// this is equivalent to nearest neighbors; the probe construction only
+// needs the eval.Scorer interface.
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	item, err := intParam(r, "item", -1)
+	if err != nil || item < 0 || item >= s.d.NumItems {
+		httpError(w, http.StatusBadRequest, "item must be in [0, %d)", s.d.NumItems)
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil || k <= 0 || k > 200 {
+		httpError(w, http.StatusBadRequest, "k must be in [1, 200]")
+		return
+	}
+	// Probe users: those who queried the item in training.
+	var probes []int
+	for u := 0; u < s.d.NumUsers && len(probes) < 16; u++ {
+		if s.d.InTrain(u, item) {
+			probes = append(probes, u)
+		}
+	}
+	if len(probes) == 0 {
+		httpError(w, http.StatusNotFound, "item %d has no training interactions", item)
+		return
+	}
+	agg := make([]float64, s.d.NumItems)
+	scores := make([]float64, s.d.NumItems)
+	for _, u := range probes {
+		s.scorer.ScoreItems(u, scores)
+		for i, v := range scores {
+			agg[i] += v
+		}
+	}
+	agg[item] = -1e18
+	top := eval.TopK(agg, k)
+	cat := s.d.Trace.Facility
+	recs := make([]Recommendation, 0, len(top))
+	for rank, it := range top {
+		rec := Recommendation{
+			Rank: rank + 1, Item: it, Name: cat.Items[it].Name,
+			Site:     cat.Sites[cat.Items[it].Site].Name,
+			DataType: cat.DataTypes[cat.Items[it].DataType].Name,
+			Score:    agg[it] / float64(len(probes)),
+		}
+		recs = append(recs, rec)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"item": item, "similar": recs})
+}
+
+// ExplainPath is one knowledge path rendered for the API.
+type ExplainPath struct {
+	From string `json:"from"`
+	Path string `json:"path"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	user, err := intParam(r, "user", -1)
+	if err != nil || user < 0 || user >= s.d.NumUsers {
+		httpError(w, http.StatusBadRequest, "user must be in [0, %d)", s.d.NumUsers)
+		return
+	}
+	item, err := intParam(r, "item", -1)
+	if err != nil || item < 0 || item >= s.d.NumItems {
+		httpError(w, http.StatusBadRequest, "item must be in [0, %d)", s.d.NumItems)
+		return
+	}
+	adj := s.d.Graph.BuildAdjacency()
+	dst := s.d.ItemEnt[item]
+	var out []ExplainPath
+	for _, hist := range s.d.TrainByUser[user] {
+		if len(out) >= 5 {
+			break
+		}
+		src := s.d.ItemEnt[hist]
+		for _, p := range s.d.Graph.FindPaths(adj, src, dst, 4, 2) {
+			out = append(out, ExplainPath{
+				From: s.d.Trace.Facility.Items[hist].Name,
+				Path: s.d.Graph.FormatPath(p),
+			})
+			if len(out) >= 5 {
+				break
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"user": user, "item": item,
+		"itemName": s.d.Trace.Facility.Items[item].Name,
+		"paths":    out,
+	})
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

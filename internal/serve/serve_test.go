@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/facility"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+func testServer(t *testing.T) (*Server, *dataset.Dataset) {
+	t.Helper()
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 60
+	cfg.NumOrgs = 8
+	cfg.MeanQueries = 20
+	tr := trace.Generate(cat, cfg, 3)
+	d := dataset.Build(tr, dataset.AllSources(), 3)
+	m := core.NewDefault()
+	tc := models.DefaultTrainConfig()
+	tc.Epochs = 3
+	tc.EmbedDim = 16
+	m.Fit(d, tc)
+	return New(d, m), d
+}
+
+func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	s.ServeHTTP(rr, req)
+	var body map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s: invalid JSON: %v", path, err)
+	}
+	return rr, body
+}
+
+func TestHealth(t *testing.T) {
+	s, d := testServer(t)
+	rr, body := get(t, s, "/health")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if body["facility"] != d.Name {
+		t.Fatalf("facility = %v", body["facility"])
+	}
+}
+
+func TestRecommendHappyPath(t *testing.T) {
+	s, d := testServer(t)
+	rr, body := get(t, s, "/recommend?user=3&k=5")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rr.Code, body)
+	}
+	recs := body["recommendations"].([]any)
+	if len(recs) != 5 {
+		t.Fatalf("got %d recs, want 5", len(recs))
+	}
+	first := recs[0].(map[string]any)
+	if first["rank"].(float64) != 1 || first["name"] == "" {
+		t.Fatalf("bad first rec: %v", first)
+	}
+	// Train positives must be excluded.
+	trainSet := map[string]bool{}
+	for _, it := range d.TrainByUser[3] {
+		trainSet[d.Trace.Facility.Items[it].Name] = true
+	}
+	for _, r := range recs {
+		if trainSet[r.(map[string]any)["name"].(string)] {
+			t.Fatal("recommendation includes a training positive")
+		}
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	s, _ := testServer(t)
+	for _, path := range []string{
+		"/recommend",               // missing user
+		"/recommend?user=-1",       // negative
+		"/recommend?user=99999",    // out of range
+		"/recommend?user=1&k=0",    // bad k
+		"/recommend?user=1&k=9999", // k too large
+		"/recommend?user=abc",      // non-numeric
+	} {
+		rr, _ := get(t, s, path)
+		if rr.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", path, rr.Code)
+		}
+	}
+}
+
+func TestSimilar(t *testing.T) {
+	s, d := testServer(t)
+	// Pick an item with training interactions.
+	item := d.Train[0][1]
+	rr, body := get(t, s, "/similar?item="+itoa(item)+"&k=4")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rr.Code, body)
+	}
+	sim := body["similar"].([]any)
+	if len(sim) != 4 {
+		t.Fatalf("got %d similar items", len(sim))
+	}
+	for _, r := range sim {
+		if int(r.(map[string]any)["item"].(float64)) == item {
+			t.Fatal("item listed as similar to itself")
+		}
+	}
+}
+
+func TestSimilarNotFoundForColdItem(t *testing.T) {
+	s, d := testServer(t)
+	// Find an item with no training interactions.
+	inTrain := map[int]bool{}
+	for _, p := range d.Train {
+		inTrain[p[1]] = true
+	}
+	cold := -1
+	for i := 0; i < d.NumItems; i++ {
+		if !inTrain[i] {
+			cold = i
+			break
+		}
+	}
+	if cold < 0 {
+		t.Skip("no cold item")
+	}
+	rr, _ := get(t, s, "/similar?item="+itoa(cold))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("cold item status %d, want 404", rr.Code)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s, d := testServer(t)
+	user := d.Train[0][0]
+	item := d.Test[0][1]
+	rr, body := get(t, s, "/explain?user="+itoa(user)+"&item="+itoa(item))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rr.Code, body)
+	}
+	if body["itemName"] == "" {
+		t.Fatal("missing item name")
+	}
+	// Paths may be empty for distant items but the field must exist.
+	if _, ok := body["paths"]; !ok {
+		t.Fatal("missing paths field")
+	}
+}
+
+func itoa(i int) string {
+	return json.Number(jsonInt(i)).String()
+}
+
+func jsonInt(i int) string {
+	b, _ := json.Marshal(i)
+	return string(b)
+}

@@ -1,0 +1,152 @@
+// Package tensor provides dense float64 matrices and the parallel linear
+// algebra kernels that the autograd engine and all recommendation models
+// are built on. It is deliberately small: row-major dense storage, a
+// handful of BLAS-like kernels, and element-wise helpers. Everything is
+// stdlib-only and deterministic.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix of float64. A vector is represented
+// as a Dense with Cols == 1 (column vector) or Rows == 1 (row vector).
+// The zero value is not usable; construct with New, NewFromSlice, or
+// one of the initializer helpers.
+type Dense struct {
+	Rows, Cols int
+	// Data holds Rows*Cols values in row-major order: element (i, j)
+	// lives at Data[i*Cols+j].
+	Data []float64
+}
+
+// New allocates a zero-filled rows×cols matrix.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewFromSlice wraps data (not copied) as a rows×cols matrix.
+func NewFromSlice(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.Data[i*m.Cols+j] = v
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Zero overwrites every element with 0 and returns m.
+func (m *Dense) Zero() *Dense {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// Fill overwrites every element with v and returns m.
+func (m *Dense) Fill(v float64) *Dense {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+	return m
+}
+
+// SameShape reports whether m and other have identical dimensions.
+func (m *Dense) SameShape(other *Dense) bool {
+	return m.Rows == other.Rows && m.Cols == other.Cols
+}
+
+// assertSameShape panics with a descriptive message unless a and b match.
+func assertSameShape(op string, a, b *Dense) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d",
+			op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Dense) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SumAll returns the sum of all elements.
+func (m *Dense) SumAll() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty).
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equal reports element-wise equality within tolerance eps.
+func (m *Dense) Equal(other *Dense, eps float64) bool {
+	if !m.SameShape(other) {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-other.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging; large matrices are
+// summarized by shape.
+func (m *Dense) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Dense(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Dense(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,375 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := m.Row(1)[2]; got != 7.5 {
+		t.Fatalf("Row view = %v, want 7.5", got)
+	}
+}
+
+func TestNewFromSlicePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched data length")
+		}
+	}()
+	NewFromSlice(2, 3, []float64{1, 2})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestZeroFillSum(t *testing.T) {
+	m := New(2, 3).Fill(2)
+	if got := m.SumAll(); got != 12 {
+		t.Fatalf("SumAll after Fill(2) = %v, want 12", got)
+	}
+	m.Zero()
+	if got := m.SumAll(); got != 0 {
+		t.Fatalf("SumAll after Zero = %v, want 0", got)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	m := NewFromSlice(1, 2, []float64{3, 4})
+	if got := m.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := NewFromSlice(1, 3, []float64{-7, 2, 5})
+	if got := m.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a := NewFromSlice(1, 2, []float64{1, 2})
+	b := NewFromSlice(1, 2, []float64{1.0000001, 2})
+	if !a.Equal(b, 1e-5) {
+		t.Fatal("Equal should tolerate small differences")
+	}
+	if a.Equal(b, 1e-9) {
+		t.Fatal("Equal should reject differences above eps")
+	}
+	c := New(2, 1)
+	if a.Equal(c, 1) {
+		t.Fatal("Equal must reject shape mismatch")
+	}
+}
+
+func TestAddSubMulScale(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 2, []float64{10, 20, 30, 40})
+	dst := New(2, 2)
+	Add(dst, a, b)
+	if !dst.Equal(NewFromSlice(2, 2, []float64{11, 22, 33, 44}), 0) {
+		t.Fatalf("Add = %v", dst)
+	}
+	Sub(dst, b, a)
+	if !dst.Equal(NewFromSlice(2, 2, []float64{9, 18, 27, 36}), 0) {
+		t.Fatalf("Sub = %v", dst)
+	}
+	Mul(dst, a, b)
+	if !dst.Equal(NewFromSlice(2, 2, []float64{10, 40, 90, 160}), 0) {
+		t.Fatalf("Mul = %v", dst)
+	}
+	Scale(dst, 0.5, b)
+	if !dst.Equal(NewFromSlice(2, 2, []float64{5, 10, 15, 20}), 0) {
+		t.Fatalf("Scale = %v", dst)
+	}
+	AXPY(dst, 2, a) // dst = {5,10,15,20} + 2*{1,2,3,4}
+	if !dst.Equal(NewFromSlice(2, 2, []float64{7, 14, 21, 28}), 0) {
+		t.Fatalf("AXPY = %v", dst)
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := NewFromSlice(1, 3, []float64{10, 20, 30})
+	dst := New(2, 3)
+	AddRowVector(dst, a, v)
+	want := NewFromSlice(2, 3, []float64{11, 22, 33, 14, 25, 36})
+	if !dst.Equal(want, 0) {
+		t.Fatalf("AddRowVector = %v", dst)
+	}
+}
+
+func TestMulColVector(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	w := NewFromSlice(2, 1, []float64{2, -1})
+	dst := New(2, 2)
+	MulColVector(dst, a, w)
+	want := NewFromSlice(2, 2, []float64{2, 4, -3, -4})
+	if !dst.Equal(want, 0) {
+		t.Fatalf("MulColVector = %v", dst)
+	}
+}
+
+func TestRowDotRowSumSq(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 2, []float64{5, 6, 7, 8})
+	dst := New(2, 1)
+	RowDot(dst, a, b)
+	if dst.Data[0] != 17 || dst.Data[1] != 53 {
+		t.Fatalf("RowDot = %v", dst.Data)
+	}
+	RowSumSq(dst, a)
+	if dst.Data[0] != 5 || dst.Data[1] != 25 {
+		t.Fatalf("RowSumSq = %v", dst.Data)
+	}
+}
+
+func TestSumRows(t *testing.T) {
+	a := NewFromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	dst := New(1, 2)
+	SumRows(dst, a)
+	if dst.Data[0] != 9 || dst.Data[1] != 12 {
+		t.Fatalf("SumRows = %v", dst.Data)
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 1, []float64{9, 8})
+	cat := New(2, 3)
+	ConcatCols(cat, a, b)
+	want := NewFromSlice(2, 3, []float64{1, 2, 9, 3, 4, 8})
+	if !cat.Equal(want, 0) {
+		t.Fatalf("ConcatCols = %v", cat)
+	}
+	left := New(2, 2)
+	right := New(2, 1)
+	SplitCols(left, cat, 0, 2)
+	SplitCols(right, cat, 2, 3)
+	if !left.Equal(a, 0) || !right.Equal(b, 0) {
+		t.Fatal("SplitCols does not invert ConcatCols")
+	}
+}
+
+func TestGatherScatterAddAdjoint(t *testing.T) {
+	src := NewFromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	idx := []int{2, 0, 2}
+	g := New(3, 2)
+	Gather(g, src, idx)
+	want := NewFromSlice(3, 2, []float64{5, 6, 1, 2, 5, 6})
+	if !g.Equal(want, 0) {
+		t.Fatalf("Gather = %v", g)
+	}
+	// ScatterAdd with duplicate indices must accumulate.
+	dst := New(3, 2)
+	ScatterAdd(dst, g, idx)
+	want = NewFromSlice(3, 2, []float64{1, 2, 0, 0, 10, 12})
+	if !dst.Equal(want, 0) {
+		t.Fatalf("ScatterAdd = %v", dst)
+	}
+}
+
+func TestSegmentSoftmax(t *testing.T) {
+	vals := NewFromSlice(5, 1, []float64{1, 2, 3, 0, 0})
+	dst := New(5, 1)
+	SegmentSoftmax(dst, vals, []int{0, 3, 5})
+	// Segment 1 sums to 1; segment 2 is uniform 0.5/0.5.
+	var s float64
+	for i := 0; i < 3; i++ {
+		s += dst.Data[i]
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("segment 0 sums to %v", s)
+	}
+	if math.Abs(dst.Data[3]-0.5) > 1e-12 || math.Abs(dst.Data[4]-0.5) > 1e-12 {
+		t.Fatalf("segment 1 = %v", dst.Data[3:])
+	}
+	// Monotonicity inside a segment.
+	if !(dst.Data[2] > dst.Data[1] && dst.Data[1] > dst.Data[0]) {
+		t.Fatalf("softmax not monotone: %v", dst.Data[:3])
+	}
+}
+
+func TestSegmentSoftmaxEmptySegment(t *testing.T) {
+	vals := NewFromSlice(2, 1, []float64{1, 2})
+	dst := New(2, 1)
+	// Middle segment is empty; must not panic or write NaN.
+	SegmentSoftmax(dst, vals, []int{0, 1, 1, 2})
+	if dst.Data[0] != 1 || dst.Data[1] != 1 {
+		t.Fatalf("singleton segments should normalize to 1: %v", dst.Data)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	a := NewFromSlice(1, 3, []float64{-1, 0, 2})
+	dst := New(1, 3)
+	Tanh(dst, a)
+	if math.Abs(dst.Data[0]-math.Tanh(-1)) > 1e-15 {
+		t.Fatal("Tanh mismatch")
+	}
+	Sigmoid(dst, a)
+	if math.Abs(dst.Data[1]-0.5) > 1e-15 {
+		t.Fatal("Sigmoid(0) != 0.5")
+	}
+	LeakyReLU(dst, a, 0.1)
+	if dst.Data[0] != -0.1 || dst.Data[1] != 0 || dst.Data[2] != 2 {
+		t.Fatalf("LeakyReLU = %v", dst.Data)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewFromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	dst := New(2, 2)
+	MatMul(dst, a, b)
+	want := NewFromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !dst.Equal(want, 1e-12) {
+		t.Fatalf("MatMul = %v", dst)
+	}
+}
+
+func TestMatMulTAndMatTMulAgreeWithTranspose(t *testing.T) {
+	a := randMat(5, 7, 1)
+	b := randMat(4, 7, 2)
+	got := New(5, 4)
+	MatMulT(got, a, b)
+	want := New(5, 4)
+	MatMul(want, a, Transpose(b))
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("MatMulT disagrees with explicit transpose")
+	}
+
+	c := randMat(7, 5, 3)
+	d := randMat(7, 4, 4)
+	got2 := New(5, 4)
+	MatTMul(got2, c, d)
+	want2 := New(5, 4)
+	MatMul(want2, Transpose(c), d)
+	if !got2.Equal(want2, 1e-10) {
+		t.Fatal("MatTMul disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// Large enough to cross the parallel threshold.
+	a := randMat(80, 70, 5)
+	b := randMat(70, 90, 6)
+	par := New(80, 90)
+	MatMul(par, a, b)
+	ser := New(80, 90)
+	// Serial reference.
+	for i := 0; i < 80; i++ {
+		for k := 0; k < 70; k++ {
+			av := a.At(i, k)
+			for j := 0; j < 90; j++ {
+				ser.Data[i*90+j] += av * b.At(k, j)
+			}
+		}
+	}
+	if !par.Equal(ser, 1e-9) {
+		t.Fatal("parallel MatMul diverges from serial reference")
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(2, 2))
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random matrices.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := abs64(seed)%97 + 2
+		a := randMat(int(s%5)+2, int(s%7)+2, seed)
+		b := randMat(a.Cols, int(s%4)+2, seed+1)
+		ab := New(a.Rows, b.Cols)
+		MatMul(ab, a, b)
+		btat := New(b.Cols, a.Rows)
+		MatMul(btat, Transpose(b), Transpose(a))
+		return Transpose(ab).Equal(btat, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gather followed by ScatterAdd into zeros preserves column sums
+// restricted to gathered rows (adjoint consistency).
+func TestGatherScatterColumnSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randMat(6, 3, seed)
+		idx := []int{int(abs64(seed) % 6), int(abs64(seed+1) % 6), int(abs64(seed+2) % 6)}
+		g := New(3, 3)
+		Gather(g, src, idx)
+		back := New(6, 3)
+		ScatterAdd(back, g, idx)
+		// Column sums of back equal column sums of g.
+		gs, bs := New(1, 3), New(1, 3)
+		SumRows(gs, g)
+		SumRows(bs, back)
+		return gs.Equal(bs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		if x == math.MinInt64 {
+			return math.MaxInt64
+		}
+		return -x
+	}
+	return x
+}
+
+func randMat(rows, cols int, seed int64) *Dense {
+	m := New(rows, cols)
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := range m.Data {
+		state = state*6364136223846793005 + 1442695040888963407
+		m.Data[i] = float64(int64(state>>11))/float64(1<<52) - 1
+	}
+	return m
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	x := randMat(128, 128, 1)
+	y := randMat(128, 128, 2)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, x, y)
+	}
+}
+
+func BenchmarkMatMulT128(b *testing.B) {
+	x := randMat(128, 128, 1)
+	y := randMat(128, 128, 2)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT(dst, x, y)
+	}
+}

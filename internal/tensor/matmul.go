@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the flop count above which matrix products are
+// split across goroutines. Below it, scheduling overhead dominates.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul computes dst = a · b. dst must not alias a or b.
+// The kernel is an ikj loop (good cache behavior for row-major data)
+// parallelized over blocks of rows of a when the product is large.
+func MatMul(dst, a, b *Dense) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	matMulRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			dr := dst.Row(i)
+			for k, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Row(k)
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelRows(a.Rows, a.Cols*b.Cols, matMulRange)
+}
+
+// MatMulT computes dst = a · bᵀ without materializing the transpose.
+// dst must not alias a or b.
+func MatMulT(dst, a, b *Dense) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT shapes %dx%d · (%dx%d)ᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			dr := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				br := b.Row(j)
+				var s float64
+				for k := range ar {
+					s += ar[k] * br[k]
+				}
+				dr[j] = s
+			}
+		}
+	}
+	parallelRows(a.Rows, a.Cols*b.Rows, work)
+}
+
+// MatTMul computes dst = aᵀ · b without materializing the transpose.
+// dst must not alias a or b. Parallelized over columns of dst via row
+// blocks of the conceptual aᵀ (i.e., columns of a).
+func MatTMul(dst, a, b *Dense) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatTMul shapes (%dx%d)ᵀ · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	// Accumulate rank-1 contributions row-block by row-block of a/b.
+	// To parallelize safely, split over dst rows (columns of a): each
+	// worker owns a disjoint stripe of dst.
+	work := func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			ar := a.Row(k)
+			br := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := ar[i]
+				if av == 0 {
+					continue
+				}
+				dr := dst.Row(i)
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelRows(a.Cols, a.Rows*b.Cols, work)
+}
+
+// Transpose returns aᵀ as a new matrix.
+func Transpose(a *Dense) *Dense {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		for j, v := range ar {
+			out.Data[j*a.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// parallelRows runs work(lo, hi) over [0, rows) split into contiguous
+// chunks, one per worker, when rows*innerCost exceeds the parallel
+// threshold; otherwise it runs serially.
+func parallelRows(rows, innerCost int, work func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || rows < 2 || rows*innerCost < parallelThreshold {
+		work(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,246 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add computes dst = a + b element-wise. dst may alias a or b.
+func Add(dst, a, b *Dense) {
+	assertSameShape("Add", a, b)
+	assertSameShape("Add", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b element-wise. dst may alias a or b.
+func Sub(dst, a, b *Dense) {
+	assertSameShape("Sub", a, b)
+	assertSameShape("Sub", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Mul computes dst = a ⊙ b (Hadamard product). dst may alias a or b.
+func Mul(dst, a, b *Dense) {
+	assertSameShape("Mul", a, b)
+	assertSameShape("Mul", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Scale computes dst = s * a. dst may alias a.
+func Scale(dst *Dense, s float64, a *Dense) {
+	assertSameShape("Scale", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = s * a.Data[i]
+	}
+}
+
+// AXPY computes dst += s * a (accumulate). dst may alias a when s != 0.
+func AXPY(dst *Dense, s float64, a *Dense) {
+	assertSameShape("AXPY", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] += s * a.Data[i]
+	}
+}
+
+// AddInto accumulates dst += a.
+func AddInto(dst, a *Dense) {
+	AXPY(dst, 1, a)
+}
+
+// Apply computes dst[i] = f(a[i]) for every element.
+func Apply(dst, a *Dense, f func(float64) float64) {
+	assertSameShape("Apply", dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = f(a.Data[i])
+	}
+}
+
+// AddRowVector adds row vector v (1×Cols) to each row of a: dst = a + 1·vᵀ.
+func AddRowVector(dst, a, v *Dense) {
+	assertSameShape("AddRowVector", dst, a)
+	if v.Cols != a.Cols || v.Rows != 1 {
+		panic(fmt.Sprintf("tensor: AddRowVector vector shape %dx%d vs cols %d",
+			v.Rows, v.Cols, a.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j, vv := range v.Data {
+			dr[j] = ar[j] + vv
+		}
+	}
+}
+
+// MulColVector scales each row i of a by w[i] (w is Rows×1): dst = diag(w)·a.
+func MulColVector(dst, a, w *Dense) {
+	assertSameShape("MulColVector", dst, a)
+	if w.Rows != a.Rows || w.Cols != 1 {
+		panic(fmt.Sprintf("tensor: MulColVector weight shape %dx%d vs rows %d",
+			w.Rows, w.Cols, a.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		wi := w.Data[i]
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := range ar {
+			dr[j] = wi * ar[j]
+		}
+	}
+}
+
+// RowDot computes per-row inner products: dst[i] = <a_i, b_i>, dst is Rows×1.
+func RowDot(dst, a, b *Dense) {
+	assertSameShape("RowDot", a, b)
+	if dst.Rows != a.Rows || dst.Cols != 1 {
+		panic("tensor: RowDot dst must be Rows×1")
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar, br := a.Row(i), b.Row(i)
+		var s float64
+		for j := range ar {
+			s += ar[j] * br[j]
+		}
+		dst.Data[i] = s
+	}
+}
+
+// RowSumSq computes dst[i] = Σ_j a[i][j]² , dst is Rows×1.
+func RowSumSq(dst, a *Dense) {
+	if dst.Rows != a.Rows || dst.Cols != 1 {
+		panic("tensor: RowSumSq dst must be Rows×1")
+	}
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		var s float64
+		for _, v := range ar {
+			s += v * v
+		}
+		dst.Data[i] = s
+	}
+}
+
+// SumRows computes the column-wise sum of a into dst (1×Cols).
+func SumRows(dst, a *Dense) {
+	if dst.Rows != 1 || dst.Cols != a.Cols {
+		panic("tensor: SumRows dst must be 1×Cols")
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		for j, v := range ar {
+			dst.Data[j] += v
+		}
+	}
+}
+
+// ConcatCols writes [a | b] into dst (same rows, a.Cols+b.Cols columns).
+func ConcatCols(dst, a, b *Dense) {
+	if a.Rows != b.Rows || dst.Rows != a.Rows || dst.Cols != a.Cols+b.Cols {
+		panic(fmt.Sprintf("tensor: ConcatCols shapes %dx%d,%dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		copy(dst.Row(i)[:a.Cols], a.Row(i))
+		copy(dst.Row(i)[a.Cols:], b.Row(i))
+	}
+}
+
+// SplitCols extracts dst = a[:, from:to].
+func SplitCols(dst, a *Dense, from, to int) {
+	if dst.Rows != a.Rows || dst.Cols != to-from || from < 0 || to > a.Cols {
+		panic("tensor: SplitCols shape/range mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		copy(dst.Row(i), a.Row(i)[from:to])
+	}
+}
+
+// Gather copies rows of src selected by idx into dst (len(idx)×src.Cols).
+func Gather(dst, src *Dense, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("tensor: Gather dst shape mismatch")
+	}
+	for i, id := range idx {
+		copy(dst.Row(i), src.Row(id))
+	}
+}
+
+// ScatterAdd accumulates rows of src into dst at positions idx:
+// dst[idx[i]] += src[i]. Multiple occurrences of the same index
+// accumulate, which makes it the adjoint of Gather.
+func ScatterAdd(dst, src *Dense, idx []int) {
+	if src.Rows != len(idx) || dst.Cols != src.Cols {
+		panic("tensor: ScatterAdd shape mismatch")
+	}
+	for i, id := range idx {
+		dr := dst.Row(id)
+		sr := src.Row(i)
+		for j, v := range sr {
+			dr[j] += v
+		}
+	}
+}
+
+// SegmentSumRows sums rows of src belonging to the same segment:
+// dst[seg[i]] += src[i]. seg values must be < dst.Rows. It is the same
+// kernel as ScatterAdd but named for its role in graph aggregation.
+func SegmentSumRows(dst, src *Dense, seg []int) {
+	ScatterAdd(dst, src, seg)
+}
+
+// SegmentSoftmax normalizes vals (n×1) with a softmax computed
+// independently inside each segment. segOffsets gives the boundaries:
+// segment s covers vals[segOffsets[s]:segOffsets[s+1]] and entries of a
+// segment must therefore be contiguous. A numerically stable max-shift
+// is applied per segment.
+func SegmentSoftmax(dst, vals *Dense, segOffsets []int) {
+	if dst.Rows != vals.Rows || dst.Cols != 1 || vals.Cols != 1 {
+		panic("tensor: SegmentSoftmax expects n×1 vectors")
+	}
+	for s := 0; s+1 < len(segOffsets); s++ {
+		lo, hi := segOffsets[s], segOffsets[s+1]
+		if lo == hi {
+			continue
+		}
+		mx := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			if vals.Data[i] > mx {
+				mx = vals.Data[i]
+			}
+		}
+		var z float64
+		for i := lo; i < hi; i++ {
+			e := math.Exp(vals.Data[i] - mx)
+			dst.Data[i] = e
+			z += e
+		}
+		inv := 1 / z
+		for i := lo; i < hi; i++ {
+			dst.Data[i] *= inv
+		}
+	}
+}
+
+// Tanh computes dst = tanh(a) element-wise.
+func Tanh(dst, a *Dense) { Apply(dst, a, math.Tanh) }
+
+// Sigmoid computes dst = σ(a) element-wise.
+func Sigmoid(dst, a *Dense) {
+	Apply(dst, a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// LeakyReLU computes dst = a where a > 0 and alpha*a elsewhere.
+func LeakyReLU(dst, a *Dense, alpha float64) {
+	Apply(dst, a, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return alpha * x
+	})
+}

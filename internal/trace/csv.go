@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/facility"
+)
+
+// WriteCSV emits the trace's records in the repository's interchange
+// format (the same columns cmd/tracegen writes):
+//
+//	user,item,item_name,data_type,time,method
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user", "item", "item_name", "data_type", "time", "method"}); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		err := cw.Write([]string{
+			strconv.Itoa(r.User),
+			strconv.Itoa(r.Item),
+			t.Facility.Items[r.Item].Name,
+			t.Facility.DataTypes[r.DataType].Name,
+			r.Time.UTC().Format(time.RFC3339),
+			r.Method,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRecordsCSV parses records in the interchange format against a
+// catalog. This is the ingestion path for real facility logs: map each
+// log line to (user id, item name, data type name, time, method) and
+// the loader resolves names against the catalog, validating every row.
+// User/org metadata is not part of the record stream; callers that
+// have it should fill Trace.Users/Orgs/Cities themselves, and callers
+// that do not can use AssignUsersByBehavior.
+func ReadRecordsCSV(r io.Reader, cat *facility.Catalog) ([]Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, need := range []string{"user", "item_name", "data_type", "time", "method"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("trace: missing column %q", need)
+		}
+	}
+	itemByName := make(map[string]int, len(cat.Items))
+	for i := range cat.Items {
+		itemByName[cat.Items[i].Name] = i
+	}
+	typeByName := make(map[string]int, len(cat.DataTypes))
+	for i := range cat.DataTypes {
+		typeByName[cat.DataTypes[i].Name] = i
+	}
+	var out []Record
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		user, err := strconv.Atoi(row[col["user"]])
+		if err != nil || user < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad user %q", line, row[col["user"]])
+		}
+		item, ok := itemByName[row[col["item_name"]]]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown item %q", line, row[col["item_name"]])
+		}
+		dt, ok := typeByName[row[col["data_type"]]]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown data type %q", line, row[col["data_type"]])
+		}
+		ts, err := time.Parse(time.RFC3339, row[col["time"]])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q", line, row[col["time"]])
+		}
+		method := row[col["method"]]
+		if method != "streaming" && method != "download" {
+			return nil, fmt.Errorf("trace: line %d: bad method %q", line, method)
+		}
+		out = append(out, Record{User: user, Item: item, DataType: dt, Time: ts, Method: method})
+	}
+	return out, nil
+}
+
+// AssignUsersByBehavior reconstructs a Trace from bare records when no
+// user metadata exists (the paper's situation: only public IPs). Each
+// distinct user ID becomes a User; users are clustered into synthetic
+// "cities" by their modal query site, mirroring how the paper groups
+// IP-derived locations, so the UUG can still be built.
+func AssignUsersByBehavior(cat *facility.Catalog, records []Record) *Trace {
+	maxUser := -1
+	for _, r := range records {
+		if r.User > maxUser {
+			maxUser = r.User
+		}
+	}
+	t := &Trace{Facility: cat, Records: records}
+	// Modal site per user.
+	siteCount := make([]map[int]int, maxUser+1)
+	for i := range siteCount {
+		siteCount[i] = map[int]int{}
+	}
+	for _, r := range records {
+		siteCount[r.User][cat.Items[r.Item].Site]++
+	}
+	cityOfSite := map[int]int{}
+	for u := 0; u <= maxUser; u++ {
+		site, _ := argmax(siteCount[u])
+		if site < 0 {
+			site = 0
+		}
+		city, ok := cityOfSite[site]
+		if !ok {
+			city = len(t.Cities)
+			cityOfSite[site] = city
+			t.Cities = append(t.Cities, fmt.Sprintf("cluster-%s", cat.Sites[site].Name))
+			t.Orgs = append(t.Orgs, Org{
+				Name: fmt.Sprintf("cluster-org-%d", city), City: city,
+				Region: cat.Sites[site].Region, ModalSite: site,
+			})
+		}
+		t.Users = append(t.Users, User{ID: u, Org: city, City: city})
+	}
+	return t
+}

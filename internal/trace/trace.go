@@ -1,0 +1,422 @@
+// Package trace simulates the user query traces of §III. The real
+// traces (138M OOI / 77M GAGE records with user IPs) are private, so
+// this package generates synthetic traces from a generative model built
+// around the paper's three observed affinities:
+//
+//   - instrument locality: a user's queries concentrate on one region
+//     (43.1% OOI / 36.3% GAGE of queries hit the modal region),
+//   - data-domain affinity: queries concentrate on one data type
+//     (51.6% OOI / 68.8% GAGE hit the modal type),
+//   - user association: users from the same organization/city share
+//     query patterns (Fig. 4, Fig. 5).
+//
+// Users belong to organizations; each organization has a home city, a
+// home region, a modal site, and a modal data type. Per-user activity is
+// heavy-tailed (lognormal), reproducing the Fig. 3 distribution curves.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/facility"
+	"repro/internal/rng"
+)
+
+// Org is a research organization: the latent cluster behind the user
+// association affinity.
+type Org struct {
+	Name      string
+	City      int // index into Trace.Cities
+	Region    int // home region (OOI array / GAGE state)
+	ModalSite int // preferred site/station
+	ModalType int // preferred data type
+}
+
+// User is one trace identity (the paper uses public IPs; we use
+// synthetic users with a ground-truth organization).
+type User struct {
+	ID   int
+	Org  int
+	City int
+}
+
+// Record is one query event. DataType is the product the user asked
+// for, which for multi-product GAGE station bundles may be one of the
+// item's extra types rather than its primary type.
+type Record struct {
+	User     int
+	Item     int
+	DataType int
+	Time     time.Time
+	Method   string // "streaming" or "download" (Fig. 1's deliveryMethod)
+}
+
+// Trace is a complete synthetic query history for one facility.
+type Trace struct {
+	Facility *facility.Catalog
+	Cities   []string // user home cities (GAGE reuses catalog cities)
+	Orgs     []Org
+	Users    []User
+	Records  []Record
+}
+
+// Config controls the generative model.
+type Config struct {
+	NumUsers int
+	NumOrgs  int
+	// NumCities is the number of user home cities. For GAGE it is
+	// ignored: users live in the catalog's station cities.
+	NumCities int
+	// MeanQueries is the mean number of query records per user; actual
+	// counts are lognormal around it (heavy tail, Fig. 3).
+	MeanQueries int
+	// PLocality is the probability that a query targets the user's
+	// organization's home region (§III-B2).
+	PLocality float64
+	// PModalSite is, given a local query, the probability it goes to
+	// the organization's modal site rather than elsewhere in the region.
+	PModalSite float64
+	// PDataType is the probability that a query requests the
+	// organization's modal data type.
+	PDataType float64
+	// TypeSkew weights the non-modal data-type draw; larger values
+	// concentrate global traffic on few types (GAGE's RINEX dominance).
+	TypeSkew float64
+	// OrgTypeSkew weights the draw of an organization's modal data
+	// type. Small values spread research groups across the type
+	// catalog (OOI); large values concentrate them (GAGE's RINEX-heavy
+	// community), which raises the random-pair base rate behind the
+	// small GAGE type ratio in Fig. 5 (2.21×).
+	OrgTypeSkew float64
+	// OrgSiteSkew weights the draw of an organization's modal site;
+	// smaller values spread groups across the facility, lowering the
+	// random-pair locality base rate (the denominators of Fig. 5).
+	OrgSiteSkew float64
+}
+
+// DefaultOOIConfig reproduces the OOI affinity fractions of §III-B.
+func DefaultOOIConfig() Config {
+	return Config{
+		NumUsers: 350, NumOrgs: 32, NumCities: 40,
+		MeanQueries: 60,
+		PLocality:   0.34, PModalSite: 0.65,
+		PDataType: 0.62, TypeSkew: 0.8,
+		OrgTypeSkew: 0.2, OrgSiteSkew: 0.15,
+	}
+}
+
+// DefaultGAGEConfig reproduces the GAGE affinity fractions of §III-B.
+func DefaultGAGEConfig() Config {
+	return Config{
+		NumUsers: 2300, NumOrgs: 75,
+		MeanQueries: 18,
+		PLocality:   0.26, PModalSite: 0.70,
+		PDataType: 0.52, TypeSkew: 1.15,
+		OrgTypeSkew: 0.8, OrgSiteSkew: 0.2,
+	}
+}
+
+// Generate builds a synthetic trace over cat using cfg and seed. The
+// same (catalog, cfg, seed) triple always yields the identical trace.
+func Generate(cat *facility.Catalog, cfg Config, seed int64) *Trace {
+	g := rng.New(seed).Split("trace-" + cat.Name)
+	tr := &Trace{Facility: cat}
+
+	// --- Cities -------------------------------------------------------
+	gageMode := cat.Items[0].Instrument == -1
+	if gageMode {
+		tr.Cities = cat.Cities
+	} else {
+		tr.Cities = make([]string, cfg.NumCities)
+		for i := range tr.Cities {
+			tr.Cities[i] = fmt.Sprintf("city%03d", i)
+		}
+	}
+
+	// --- Organizations -------------------------------------------------
+	// Each org gets a home city (orgs cluster: a city hosts at most a
+	// few orgs), a modal site drawn Zipf-style over sites (popular sites
+	// attract many groups, which raises the random-pair base rate the
+	// way the paper's Fig. 5 denominators imply), the site's region as
+	// home region, and a modal data type.
+	typeWeights := globalTypeWeights(cat, cfg.TypeSkew)
+	orgTypeWeights := globalTypeWeights(cat, cfg.OrgTypeSkew)
+	sitePop := make([]float64, len(cat.Sites))
+	for i := range sitePop {
+		sitePop[i] = 1 / math.Pow(float64(i+1), cfg.OrgSiteSkew)
+	}
+	// Each city hosts a research theme (a modal site and data type);
+	// organizations sharing a city usually adopt it. This is what makes
+	// same-city users' query patterns cohere (Fig. 5) even when a city
+	// hosts several groups.
+	cityTheme := make([][2]int, len(tr.Cities))
+	for c := range cityTheme {
+		cityTheme[c] = [2]int{g.Choice(sitePop), g.Choice(orgTypeWeights)}
+	}
+	const themeAdoption = 0.85
+	for o := 0; o < cfg.NumOrgs; o++ {
+		site := g.Choice(sitePop)
+		modalType := g.Choice(orgTypeWeights)
+		city := o % len(tr.Cities)
+		if gageMode {
+			// GAGE researchers cluster in station country: reuse the
+			// modal site's city so locality is geographically coherent.
+			city = cat.Sites[site].City
+		} else if g.Float64() < themeAdoption {
+			site = cityTheme[city][0]
+			modalType = cityTheme[city][1]
+		}
+		tr.Orgs = append(tr.Orgs, Org{
+			Name:      fmt.Sprintf("org%03d", o),
+			City:      city,
+			Region:    cat.Sites[site].Region,
+			ModalSite: site,
+			ModalType: modalType,
+		})
+	}
+
+	// --- Users ----------------------------------------------------------
+	// Org sizes are mildly Zipf: larger groups exist but no single
+	// organization dominates the user population (the paper's traces
+	// span thousands of distinct IPs across institutions).
+	orgWeights := make([]float64, cfg.NumOrgs)
+	for i := range orgWeights {
+		orgWeights[i] = 1 / math.Pow(float64(i+1), 0.45)
+	}
+	for u := 0; u < cfg.NumUsers; u++ {
+		o := g.Choice(orgWeights)
+		tr.Users = append(tr.Users, User{ID: u, Org: o, City: tr.Orgs[o].City})
+	}
+
+	// --- Query records ---------------------------------------------------
+	bySiteType := cat.ItemsBySiteType()
+	byType := cat.ItemsByDataType()
+	byRegion := cat.ItemsByRegion()
+	sitesByRegion := make([][]int, len(cat.Regions))
+	for si, s := range cat.Sites {
+		sitesByRegion[s.Region] = append(sitesByRegion[s.Region], si)
+	}
+	start := time.Date(2019, 10, 1, 0, 0, 0, 0, time.UTC)
+	year := int64(365 * 24 * 3600)
+
+	for u := range tr.Users {
+		org := &tr.Orgs[tr.Users[u].Org]
+		n := lognormalCount(g, cfg.MeanQueries)
+		for q := 0; q < n; q++ {
+			item, dt := sampleItem(g, cat, cfg, org, bySiteType, byType, byRegion, sitesByRegion, typeWeights)
+			method := "download"
+			if g.Float64() < 0.3 {
+				method = "streaming"
+			}
+			tr.Records = append(tr.Records, Record{
+				User:     u,
+				Item:     item,
+				DataType: dt,
+				Time:     start.Add(time.Duration(g.Int63()%year) * time.Second),
+				Method:   method,
+			})
+		}
+	}
+	return tr
+}
+
+// globalTypeWeights builds the facility-wide popularity of data types:
+// proportional to availability raised to skew, so GAGE's RINEX
+// observation dominates while OOI stays comparatively flat.
+func globalTypeWeights(cat *facility.Catalog, skew float64) []float64 {
+	counts := make([]float64, len(cat.DataTypes))
+	for _, it := range cat.Items {
+		counts[it.DataType]++
+	}
+	w := make([]float64, len(counts))
+	for i, c := range counts {
+		if c > 0 {
+			w[i] = math.Pow(c, skew)
+		}
+	}
+	return w
+}
+
+// lognormalCount draws a heavy-tailed per-user query count with the
+// given mean scale, clamped to [3, 60*mean].
+func lognormalCount(g *rng.RNG, mean int) int {
+	v := float64(mean) * math.Exp(g.NormFloat64()*1.1-0.6)
+	n := int(v)
+	if n < 3 {
+		n = 3
+	}
+	if mx := 60 * mean; n > mx {
+		n = mx
+	}
+	return n
+}
+
+// sampleItem draws one queried data object following the affinity
+// model: pick a data type (modal vs global), then a site (modal site /
+// home region / anywhere) offering it, then an item at (site, type).
+func sampleItem(g *rng.RNG, cat *facility.Catalog, cfg Config, org *Org,
+	bySiteType map[[2]int][]int, byType, byRegion [][]int,
+	sitesByRegion [][]int, typeWeights []float64) (item, dataType int) {
+
+	// 1. Data type.
+	dt := org.ModalType
+	if g.Float64() >= cfg.PDataType {
+		dt = g.Choice(typeWeights)
+	}
+
+	// 2. Location.
+	if g.Float64() < cfg.PLocality {
+		// Local query: modal site first, then anywhere in home region.
+		if g.Float64() < cfg.PModalSite {
+			if items := bySiteType[[2]int{org.ModalSite, dt}]; len(items) > 0 {
+				return items[g.Intn(len(items))], dt
+			}
+			// The modal site does not serve this type: fall back to any
+			// item at the modal site (locality beats type fidelity).
+			if it, adt := anyItemAtSite(g, cat, bySiteType, org.ModalSite); it >= 0 {
+				return it, adt
+			}
+		}
+		sites := sitesByRegion[org.Region]
+		// Try a handful of regional sites for the requested type.
+		for try := 0; try < 6; try++ {
+			s := sites[g.Intn(len(sites))]
+			if items := bySiteType[[2]int{s, dt}]; len(items) > 0 {
+				return items[g.Intn(len(items))], dt
+			}
+		}
+		if items := byRegion[org.Region]; len(items) > 0 {
+			it := items[g.Intn(len(items))]
+			return it, cat.Items[it].DataType
+		}
+	}
+
+	// 3. Non-local (or fallback): any item with the requested type.
+	if items := byType[dt]; len(items) > 0 {
+		return items[g.Intn(len(items))], dt
+	}
+	it := g.Intn(len(cat.Items))
+	return it, cat.Items[it].DataType
+}
+
+// anyItemAtSite returns a random item deployed at site with a type it
+// serves, or (-1, -1).
+func anyItemAtSite(g *rng.RNG, cat *facility.Catalog,
+	bySiteType map[[2]int][]int, site int) (int, int) {
+	type cand struct{ item, dt int }
+	var candidates []cand
+	for dt := range cat.DataTypes {
+		for _, it := range bySiteType[[2]int{site, dt}] {
+			candidates = append(candidates, cand{it, dt})
+		}
+	}
+	if len(candidates) == 0 {
+		return -1, -1
+	}
+	c := candidates[g.Intn(len(candidates))]
+	return c.item, c.dt
+}
+
+// Interactions deduplicates records into the set of distinct
+// (user, item) pairs, ordered deterministically.
+func (t *Trace) Interactions() [][2]int {
+	seen := make(map[[2]int]struct{}, len(t.Records))
+	var out [][2]int
+	for _, r := range t.Records {
+		k := [2]int{r.User, r.Item}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// UserStats summarizes one user's query behaviour (Fig. 3 and §III-B).
+type UserStats struct {
+	User          int
+	Records       int
+	DistinctItems int
+	DistinctSites int
+	DistinctTypes int
+	ModalRegion   int // region receiving the most queries
+	ModalSite     int
+	ModalType     int
+	ModalCity     int     // city of the modal site (GAGE); -1 for OOI
+	RegionFrac    float64 // fraction of queries to the modal region
+	TypeFrac      float64 // fraction of queries to the modal type
+}
+
+// ComputeUserStats derives per-user statistics over the whole trace.
+// Users with zero records get zeroed stats and modal fields of -1.
+func (t *Trace) ComputeUserStats() []UserStats {
+	type counters struct {
+		items, sites, types, regions, cities map[int]int
+		n                                    int
+	}
+	per := make([]counters, len(t.Users))
+	for i := range per {
+		per[i] = counters{
+			items: map[int]int{}, sites: map[int]int{}, types: map[int]int{},
+			regions: map[int]int{}, cities: map[int]int{},
+		}
+	}
+	for _, r := range t.Records {
+		c := &per[r.User]
+		it := t.Facility.Items[r.Item]
+		site := t.Facility.Sites[it.Site]
+		c.items[r.Item]++
+		c.sites[it.Site]++
+		c.types[r.DataType]++
+		c.regions[site.Region]++
+		if site.City >= 0 {
+			c.cities[site.City]++
+		}
+		c.n++
+	}
+	out := make([]UserStats, len(t.Users))
+	for u := range per {
+		c := &per[u]
+		s := UserStats{
+			User: u, Records: c.n,
+			DistinctItems: len(c.items), DistinctSites: len(c.sites),
+			DistinctTypes: len(c.types),
+			ModalRegion:   -1, ModalSite: -1, ModalType: -1, ModalCity: -1,
+		}
+		if c.n > 0 {
+			var regionMax, typeMax int
+			s.ModalRegion, regionMax = argmax(c.regions)
+			s.ModalType, typeMax = argmax(c.types)
+			s.ModalSite, _ = argmax(c.sites)
+			if len(c.cities) > 0 {
+				s.ModalCity, _ = argmax(c.cities)
+			}
+			s.RegionFrac = float64(regionMax) / float64(c.n)
+			s.TypeFrac = float64(typeMax) / float64(c.n)
+		}
+		out[u] = s
+	}
+	return out
+}
+
+// argmax returns the key with the highest count (ties broken by the
+// smallest key, keeping results deterministic) and that count.
+func argmax(m map[int]int) (int, int) {
+	bestK, bestV := -1, -1
+	for k, v := range m {
+		if v > bestV || (v == bestV && k < bestK) {
+			bestK, bestV = k, v
+		}
+	}
+	return bestK, bestV
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/facility"
+)
+
+func smallOOITrace(t *testing.T) *Trace {
+	t.Helper()
+	cfg := DefaultOOIConfig()
+	cfg.NumUsers = 80
+	cfg.NumOrgs = 10
+	cfg.MeanQueries = 25
+	return Generate(facility.OOI(7), cfg, 11)
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cat := facility.OOI(7)
+	cfg := DefaultOOIConfig()
+	cfg.NumUsers = 40
+	a := Generate(cat, cfg, 5)
+	b := Generate(cat, cfg, 5)
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("same seed produced different record counts")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("same seed produced different records")
+		}
+	}
+	c := Generate(cat, cfg, 6)
+	if len(a.Records) == len(c.Records) {
+		same := true
+		for i := range a.Records {
+			if a.Records[i] != c.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestRecordsReferenceValidEntities(t *testing.T) {
+	tr := smallOOITrace(t)
+	for _, r := range tr.Records {
+		if r.User < 0 || r.User >= len(tr.Users) {
+			t.Fatalf("record user %d out of range", r.User)
+		}
+		if r.Item < 0 || r.Item >= len(tr.Facility.Items) {
+			t.Fatalf("record item %d out of range", r.Item)
+		}
+		if r.DataType < 0 || r.DataType >= len(tr.Facility.DataTypes) {
+			t.Fatalf("record type %d out of range", r.DataType)
+		}
+		if r.Method != "streaming" && r.Method != "download" {
+			t.Fatalf("unknown delivery method %q", r.Method)
+		}
+		if r.Time.Year() < 2019 || r.Time.Year() > 2020 {
+			t.Fatalf("timestamp %v outside the 1-year window", r.Time)
+		}
+	}
+}
+
+func TestUsersBelongToOrgCities(t *testing.T) {
+	tr := smallOOITrace(t)
+	for _, u := range tr.Users {
+		if u.Org < 0 || u.Org >= len(tr.Orgs) {
+			t.Fatalf("user %d has invalid org", u.ID)
+		}
+		if u.City != tr.Orgs[u.Org].City {
+			t.Fatalf("user %d city %d != org city %d", u.ID, u.City, tr.Orgs[u.Org].City)
+		}
+	}
+}
+
+func TestInteractionsAreDeduplicatedAndSorted(t *testing.T) {
+	tr := smallOOITrace(t)
+	inter := tr.Interactions()
+	seen := map[[2]int]bool{}
+	for i, p := range inter {
+		if seen[p] {
+			t.Fatalf("duplicate interaction %v", p)
+		}
+		seen[p] = true
+		if i > 0 {
+			prev := inter[i-1]
+			if prev[0] > p[0] || (prev[0] == p[0] && prev[1] >= p[1]) {
+				t.Fatal("interactions not sorted")
+			}
+		}
+	}
+	if len(inter) == 0 || len(inter) > len(tr.Records) {
+		t.Fatalf("interaction count %d out of bounds", len(inter))
+	}
+}
+
+// The headline §III-B calibration: modal-region and modal-type query
+// fractions must match the paper's published values within a tolerance.
+func TestOOIAffinityCalibration(t *testing.T) {
+	tr := Generate(facility.OOI(7), DefaultOOIConfig(), 42)
+	stats := tr.ComputeUserStats()
+	var rf, tf float64
+	var n int
+	for _, s := range stats {
+		if s.Records > 0 {
+			rf += s.RegionFrac
+			tf += s.TypeFrac
+			n++
+		}
+	}
+	rf /= float64(n)
+	tf /= float64(n)
+	if rf < 0.33 || rf > 0.53 {
+		t.Fatalf("OOI modal-region fraction %.3f, want 0.431±0.10 (§III-B)", rf)
+	}
+	if tf < 0.42 || tf > 0.62 {
+		t.Fatalf("OOI modal-type fraction %.3f, want 0.516±0.10 (§III-B)", tf)
+	}
+}
+
+func TestGAGEAffinityCalibration(t *testing.T) {
+	tr := Generate(facility.GAGE(7, facility.DefaultGAGEConfig()), DefaultGAGEConfig(), 42)
+	stats := tr.ComputeUserStats()
+	var rf, tf float64
+	var n int
+	for _, s := range stats {
+		if s.Records > 0 {
+			rf += s.RegionFrac
+			tf += s.TypeFrac
+			n++
+		}
+	}
+	rf /= float64(n)
+	tf /= float64(n)
+	if rf < 0.26 || rf > 0.46 {
+		t.Fatalf("GAGE modal-region fraction %.3f, want 0.363±0.10 (§III-B)", rf)
+	}
+	if tf < 0.59 || tf > 0.79 {
+		t.Fatalf("GAGE modal-type fraction %.3f, want 0.688±0.10 (§III-B)", tf)
+	}
+}
+
+// Per-user activity must be heavy-tailed (Fig. 3): the busiest user
+// queries at least 10x the median user.
+func TestActivityHeavyTail(t *testing.T) {
+	tr := smallOOITrace(t)
+	stats := tr.ComputeUserStats()
+	counts := make([]int, 0, len(stats))
+	for _, s := range stats {
+		counts = append(counts, s.Records)
+	}
+	max, median := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// crude median
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	median = sum / len(counts) // mean as stand-in lower bound
+	if max < 4*median {
+		t.Fatalf("activity tail too light: max %d vs mean %d", max, median)
+	}
+}
+
+// Users from the same org must share modal patterns far more often than
+// random pairs (the raw signal behind Fig. 5).
+func TestSameOrgUsersShareModalPatterns(t *testing.T) {
+	tr := smallOOITrace(t)
+	stats := tr.ComputeUserStats()
+	byOrg := map[int][]UserStats{}
+	for i, s := range stats {
+		if s.Records >= 5 {
+			byOrg[tr.Users[i].Org] = append(byOrg[tr.Users[i].Org], s)
+		}
+	}
+	var sameOrgMatch, sameOrgTotal int
+	for _, members := range byOrg {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				sameOrgTotal++
+				if members[i].ModalRegion == members[j].ModalRegion {
+					sameOrgMatch++
+				}
+			}
+		}
+	}
+	if sameOrgTotal == 0 {
+		t.Skip("no same-org pairs with enough records")
+	}
+	frac := float64(sameOrgMatch) / float64(sameOrgTotal)
+	if frac < 0.5 {
+		t.Fatalf("same-org modal-region match %.2f, want > 0.5", frac)
+	}
+}
+
+func TestComputeUserStatsZeroRecordUser(t *testing.T) {
+	cat := facility.OOI(7)
+	cfg := DefaultOOIConfig()
+	cfg.NumUsers = 5
+	cfg.MeanQueries = 3
+	tr := Generate(cat, cfg, 1)
+	// Remove all records of user 0 to simulate an inactive identity.
+	var kept []Record
+	for _, r := range tr.Records {
+		if r.User != 0 {
+			kept = append(kept, r)
+		}
+	}
+	tr.Records = kept
+	s := tr.ComputeUserStats()[0]
+	if s.Records != 0 || s.ModalRegion != -1 || s.ModalType != -1 {
+		t.Fatalf("zero-record user stats not zeroed: %+v", s)
+	}
+}

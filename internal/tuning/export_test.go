@@ -1,0 +1,15 @@
+package tuning
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+)
+
+// innerFor rebuilds the inner tuning dataset exactly as Search does, so
+// tests can inspect the split.
+func innerFor(t *testing.T, d *dataset.Dataset, base models.TrainConfig) *dataset.Dataset {
+	t.Helper()
+	return dataset.BuildSubset(d.Trace, d.Train, d.Sources, base.Seed+1)
+}

@@ -1,0 +1,99 @@
+package tuning
+
+import (
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/models/bprmf"
+	"repro/internal/models/modeltest"
+)
+
+func TestSearchCoversGridAndPicksBest(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	base := modeltest.QuickConfig()
+	base.Epochs = 3
+	grid := Grid{LR: []float64{0.05, 0.001}, L2: []float64{1e-5}}
+	best, all := Search(d, func() models.Recommender { return bprmf.New() },
+		base, grid, 20)
+	if len(all) != 2 {
+		t.Fatalf("grid points = %d, want 2", len(all))
+	}
+	for _, r := range all {
+		if best.Recall < r.Recall {
+			t.Fatal("best is not the max-recall point")
+		}
+	}
+	if best.LR != 0.05 && best.LR != 0.001 {
+		t.Fatalf("best LR %v not from grid", best.LR)
+	}
+}
+
+func TestSearchEmptyDimensionsInheritBase(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	base := modeltest.QuickConfig()
+	base.Epochs = 2
+	base.LR = 0.02
+	best, all := Search(d, func() models.Recommender { return bprmf.New() },
+		base, Grid{}, 20)
+	if len(all) != 1 {
+		t.Fatalf("empty grid should evaluate exactly the base point, got %d", len(all))
+	}
+	if best.LR != 0.02 || best.L2 != base.L2 || best.Dropout != base.Dropout {
+		t.Fatalf("base point not inherited: %+v", best)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	base := modeltest.QuickConfig()
+	base.Epochs = 2
+	grid := Grid{LR: []float64{0.05, 0.01}}
+	run := func() (Result, []Result) {
+		return Search(d, func() models.Recommender { return bprmf.New() }, base, grid, 20)
+	}
+	b1, a1 := run()
+	b2, a2 := run()
+	if b1 != b2 {
+		t.Fatalf("best differs: %+v vs %+v", b1, b2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("results differ across runs")
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	cfg := models.DefaultTrainConfig()
+	r := Result{LR: 0.005, L2: 0.01, Dropout: 0.3}
+	got := r.Apply(cfg)
+	if got.LR != 0.005 || got.L2 != 0.01 || got.Dropout != 0.3 {
+		t.Fatalf("Apply = %+v", got)
+	}
+	if got.Epochs != cfg.Epochs {
+		t.Fatal("Apply must not touch unrelated fields")
+	}
+}
+
+// The inner split must not evaluate on the outer test set: every inner
+// validation pair comes from the outer training universe.
+func TestSearchValidatesInsideOuterTrain(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	outerTrain := map[[2]int]bool{}
+	for _, p := range d.Train {
+		outerTrain[p] = true
+	}
+	// Reconstruct the inner dataset the way Search does and check it.
+	base := modeltest.QuickConfig()
+	inner := innerFor(t, d, base)
+	for _, p := range inner.Test {
+		if !outerTrain[p] {
+			t.Fatalf("inner validation pair %v not from outer train", p)
+		}
+	}
+	for _, p := range inner.Train {
+		if !outerTrain[p] {
+			t.Fatalf("inner training pair %v not from outer train", p)
+		}
+	}
+}
