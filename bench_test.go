@@ -10,8 +10,13 @@
 package repro
 
 import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -20,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/facility"
 	"repro/internal/models"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
@@ -318,5 +324,105 @@ func BenchmarkKSweep(b *testing.B) {
 		b.ReportMetric(sweep[10].Recall, "recall@10")
 		b.ReportMetric(sweep[20].Recall, "recall@20")
 		b.ReportMetric(sweep[40].Recall, "recall@40")
+	}
+}
+
+// benchServeModel trains one small CKAT for the serving benchmarks.
+func benchServeModel(b *testing.B) (*dataset.Dataset, *core.Model) {
+	b.Helper()
+	d := benchDataset(b)
+	m := core.NewDefault()
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 32
+	cfg.Epochs = 3
+	m.Fit(d, cfg)
+	return d, m
+}
+
+// BenchmarkServeRecommend drives the cached /v1/recommend path with
+// concurrent requests cycling over all users — the serving layer's
+// hot path (score-vector LRU + copy + mask + top-K + render).
+func BenchmarkServeRecommend(b *testing.B) {
+	d, m := benchServeModel(b)
+	s := serve.New(d, m)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		u := 0
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodGet,
+				fmt.Sprintf("/v1/recommend?user=%d&k=10", u%d.NumUsers), nil)
+			rr := httptest.NewRecorder()
+			s.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				b.Errorf("status %d", rr.Code)
+				return
+			}
+			u++
+		}
+	})
+}
+
+// BenchmarkServeSimilar measures the redesigned /v1/similar (parallel
+// probe scoring over cached score vectors) against the pre-redesign
+// algorithm — a linear user scan plus up-to-16 sequential full-catalog
+// scoring passes per request — and reports the speedup. The acceptance
+// bar for the serving-layer redesign is ≥ 2×.
+func BenchmarkServeSimilar(b *testing.B) {
+	d, m := benchServeModel(b)
+	s := serve.New(d, m)
+
+	// The busiest item exercises the full 16-probe budget.
+	counts := make([]int, d.NumItems)
+	for _, p := range d.Train {
+		counts[p[1]]++
+	}
+	item, best := 0, 0
+	for it, c := range counts {
+		if c > best {
+			item, best = it, c
+		}
+	}
+
+	// Sequential baseline: exactly the old handler's algorithm.
+	sequential := func() {
+		var probes []int
+		for u := 0; u < d.NumUsers && len(probes) < 16; u++ {
+			if d.InTrain(u, item) {
+				probes = append(probes, u)
+			}
+		}
+		agg := make([]float64, d.NumItems)
+		scores := make([]float64, d.NumItems)
+		for _, u := range probes {
+			m.ScoreItems(u, scores)
+			for i, v := range scores {
+				agg[i] += v
+			}
+		}
+		agg[item] = math.Inf(-1)
+		eval.TopK(agg, 10)
+	}
+	const baseReps = 10
+	baseStart := time.Now()
+	for i := 0; i < baseReps; i++ {
+		sequential()
+	}
+	basePerOp := time.Since(baseStart) / baseReps
+
+	path := fmt.Sprintf("/v1/similar?item=%d&k=10", item)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rr := httptest.NewRecorder()
+		s.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rr.Code, rr.Body)
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(basePerOp.Microseconds()), "sequential-baseline-us/op")
+	if perOp > 0 {
+		b.ReportMetric(float64(basePerOp)/float64(perOp), "speedup-vs-sequential")
 	}
 }

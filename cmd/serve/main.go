@@ -1,6 +1,7 @@
 // Command serve trains a CKAT model on a synthetic facility (or loads
-// a snapshot saved earlier) and exposes it as the JSON data-discovery
-// API of internal/serve.
+// a snapshot saved earlier) and exposes it as the versioned JSON
+// data-discovery API of internal/serve, with graceful shutdown on
+// SIGINT/SIGTERM.
 //
 //	serve -facility ooi -epochs 10 -addr :8080
 //	serve -facility ooi -snapshot /tmp/ckat.gob -save   # train + persist
@@ -8,10 +9,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -28,6 +35,9 @@ func main() {
 	seed := flag.Int64("seed", 7, "seed")
 	snapshot := flag.String("snapshot", "", "snapshot path (load, or save with -save)")
 	save := flag.Bool("save", false, "train and save the snapshot, then serve")
+	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
+	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "score-vector cache entries")
+	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	flag.Parse()
 
 	var d *dataset.Dataset
@@ -79,10 +89,48 @@ func main() {
 		scorer = m
 	}
 
+	opts := []serve.Option{
+		serve.WithTimeout(*timeout),
+		serve.WithCacheSize(*cacheSize),
+	}
+	if !*quiet {
+		opts = append(opts, serve.WithLogger(log.New(os.Stderr, "serve ", log.LstdFlags)))
+	}
+	handler := serve.New(d, scorer, opts...)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		// The per-request deadline lives in the serve middleware;
+		// WriteTimeout is a backstop slightly above it.
+		WriteTimeout: *timeout + 5*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
 	fmt.Printf("serving %s data discovery on %s\n", d.Name, *addr)
-	fmt.Println("  GET /health | /recommend?user=&k= | /similar?item=&k= | /explain?user=&item=")
-	if err := http.ListenAndServe(*addr, serve.New(d, scorer)); err != nil {
-		fatal(err)
+	fmt.Println("  GET  /v1/health | /v1/recommend?user=&k= | /v1/similar?item=&k= | /v1/explain?user=&item= | /v1/stats")
+	fmt.Println("  POST /v1/recommend:batch   {\"users\":[...],\"k\":10}")
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Println("\nshutting down (draining inflight requests)...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "forced shutdown: %v\n", err)
+			_ = srv.Close()
+		}
 	}
 }
 

@@ -53,11 +53,8 @@ func Evaluate(d *dataset.Dataset, s Scorer, k int) Metrics {
 				if len(test) == 0 {
 					continue
 				}
-				s.ScoreItems(u, scores)
-				// Mask training positives.
-				for _, it := range d.TrainByUser[u] {
-					scores[it] = math.Inf(-1)
-				}
+				scores = ScoreInto(s, u, scores)
+				MaskTrain(d, u, scores)
 				top := TopK(scores, k)
 				m := rankMetrics(top, test, k)
 				results[w].recall += m.Recall
@@ -123,10 +120,8 @@ func EvaluateSweep(d *dataset.Dataset, s Scorer, ks []int) map[int]Metrics {
 				if len(test) == 0 {
 					continue
 				}
-				s.ScoreItems(u, scores)
-				for _, it := range d.TrainByUser[u] {
-					scores[it] = math.Inf(-1)
-				}
+				scores = ScoreInto(s, u, scores)
+				MaskTrain(d, u, scores)
 				top := TopK(scores, maxK)
 				for _, k := range ks {
 					prefix := top

@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// ScoreInto scores every item for user into buf, growing buf when it
+// is too small, and returns the (possibly reallocated) slice. It is
+// the reusable scoring entry point shared by the evaluation protocol
+// and the serving layer: callers own the buffer, so hot paths can
+// amortize the allocation across requests or users.
+func ScoreInto(s Scorer, user int, buf []float64) []float64 {
+	n := s.NumItems()
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	s.ScoreItems(user, buf)
+	return buf
+}
+
+// MaskTrain sets the scores of the user's training positives to -Inf
+// so they can never be ranked (the paper's protocol ranks only items
+// the user has not interacted with in training, §VI-B).
+func MaskTrain(d *dataset.Dataset, user int, scores []float64) {
+	for _, it := range d.TrainByUser[user] {
+		scores[it] = math.Inf(-1)
+	}
+}
+
+// Recommend is the one-call ranking path: score all items for user
+// into buf, mask training positives, and return the top-k item IDs
+// (best first) together with the scored buffer for callers that need
+// the score values. buf may be nil.
+func Recommend(d *dataset.Dataset, s Scorer, user, k int, buf []float64) ([]int, []float64) {
+	buf = ScoreInto(s, user, buf)
+	MaskTrain(d, user, buf)
+	return TopK(buf, k), buf
+}

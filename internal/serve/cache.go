@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// scoreCache is an LRU cache of per-user score vectors. Trained
+// embeddings are fixed at serving time, so a user's full-catalog score
+// vector is immutable between retrains — exactly the property that
+// makes it cacheable. Cached slices are shared across requests and
+// must be treated as read-only; handlers that need to mutate (e.g. to
+// mask training positives) copy first.
+type scoreCache struct {
+	mu     sync.Mutex
+	cap    int
+	dim    int
+	ll     *list.List            // front = most recently used
+	byUser map[int]*list.Element // user -> entry
+	score  func(user int, out []float64)
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	user   int
+	scores []float64
+}
+
+func newScoreCache(capacity, dim int, score func(int, []float64)) *scoreCache {
+	return &scoreCache{
+		cap:    capacity,
+		dim:    dim,
+		ll:     list.New(),
+		byUser: make(map[int]*list.Element, capacity),
+		score:  score,
+	}
+}
+
+// Scores returns the score vector for user, computing and inserting it
+// on a miss. The returned slice is shared: callers must not write to
+// it. Scoring happens outside the lock so concurrent misses for
+// different users proceed in parallel; a duplicated computation for
+// the same user is benign (identical values, last insert wins).
+func (c *scoreCache) Scores(user int) []float64 {
+	c.mu.Lock()
+	if el, ok := c.byUser[user]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		v := el.Value.(*cacheEntry).scores
+		c.mu.Unlock()
+		return v
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	out := make([]float64, c.dim)
+	c.score(user, out)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byUser[user]; ok {
+		// Another goroutine filled it while we scored.
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).scores
+	}
+	c.byUser[user] = c.ll.PushFront(&cacheEntry{user: user, scores: out})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byUser, back.Value.(*cacheEntry).user)
+	}
+	return out
+}
+
+// Invalidate drops every entry. Hit/miss counters survive so the stats
+// endpoint keeps lifetime accounting across retrains.
+func (c *scoreCache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byUser = make(map[int]*list.Element, c.cap)
+}
+
+// Stats returns lifetime hit/miss counts and the current entry count.
+func (c *scoreCache) Stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// runBounded executes fn(0..n-1) across the server's shared worker
+// pool, blocking until all launched tasks finish. The pool bound is
+// global across requests, so a burst of batch calls cannot oversubscribe
+// the machine. If ctx expires while tasks are still waiting for a
+// slot, the remaining tasks are skipped and ctx.Err is returned after
+// the launched ones drain.
+func (s *Server) runBounded(ctx context.Context, n int, fn func(i int)) error {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-s.sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,220 @@
+// Package client is the typed Go consumer of the /v1 discovery API
+// served by internal/serve. It exists so the wire format has a
+// compiled contract: if a response shape drifts, this package's tests
+// fail to decode it. The client speaks only HTTP+JSON — it does not
+// import the server — so it is equally usable against a remote
+// deployment.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client calls one facility's discovery API.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New builds a client for the API at base, e.g. "http://localhost:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is the decoded uniform error envelope.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Health is the /v1/health payload.
+type Health struct {
+	Status   string `json:"status"`
+	Facility string `json:"facility"`
+	Users    int    `json:"users"`
+	Items    int    `json:"items"`
+}
+
+// Recommendation is one ranked data object.
+type Recommendation struct {
+	Rank     int     `json:"rank"`
+	Item     int     `json:"item"`
+	Name     string  `json:"name"`
+	Site     string  `json:"site"`
+	DataType string  `json:"dataType"`
+	Score    float64 `json:"score"`
+}
+
+// UserRecommendations pairs a user with their ranked items.
+type UserRecommendations struct {
+	User            int              `json:"user"`
+	Recommendations []Recommendation `json:"recommendations"`
+}
+
+// ExplainPath is one knowledge path linking history to a target item.
+type ExplainPath struct {
+	From string `json:"from"`
+	Path string `json:"path"`
+}
+
+// Explanation is the /v1/explain payload.
+type Explanation struct {
+	User     int           `json:"user"`
+	Item     int           `json:"item"`
+	ItemName string        `json:"itemName"`
+	Paths    []ExplainPath `json:"paths"`
+}
+
+// EndpointStats mirrors the per-endpoint block of /v1/stats.
+type EndpointStats struct {
+	Count  uint64            `json:"count"`
+	Errors uint64            `json:"errors"`
+	Status map[string]uint64 `json:"status"`
+	P50ms  float64           `json:"p50_ms"`
+	P95ms  float64           `json:"p95_ms"`
+	P99ms  float64           `json:"p99_ms"`
+}
+
+// CacheStats mirrors the cache block of /v1/stats.
+type CacheStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+	Cap     int     `json:"cap"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Facility  string                   `json:"facility"`
+	UptimeMS  float64                  `json:"uptime_ms"`
+	Inflight  int64                    `json:"inflight"`
+	Cache     CacheStats               `json:"cache"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// Health fetches service status.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.get(ctx, "/v1/health", nil, &out)
+	return out, err
+}
+
+// Recommend fetches the top-k data objects for a user.
+func (c *Client) Recommend(ctx context.Context, user, k int) ([]Recommendation, error) {
+	var out struct {
+		Recommendations []Recommendation `json:"recommendations"`
+	}
+	q := url.Values{"user": {strconv.Itoa(user)}, "k": {strconv.Itoa(k)}}
+	err := c.get(ctx, "/v1/recommend", q, &out)
+	return out.Recommendations, err
+}
+
+// RecommendBatch fetches top-k recommendations for many users in one
+// round trip; the server scores them concurrently.
+func (c *Client) RecommendBatch(ctx context.Context, users []int, k int) ([]UserRecommendations, error) {
+	body, err := json.Marshal(map[string]any{"users": users, "k": k})
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []UserRecommendations `json:"results"`
+	}
+	err = c.do(ctx, http.MethodPost, "/v1/recommend:batch", nil, bytes.NewReader(body), &out)
+	return out.Results, err
+}
+
+// Similar fetches the k items closest to item in the CKG embedding.
+func (c *Client) Similar(ctx context.Context, item, k int) ([]Recommendation, error) {
+	var out struct {
+		Similar []Recommendation `json:"similar"`
+	}
+	q := url.Values{"item": {strconv.Itoa(item)}, "k": {strconv.Itoa(k)}}
+	err := c.get(ctx, "/v1/similar", q, &out)
+	return out.Similar, err
+}
+
+// Explain fetches the knowledge paths linking a user's history to item.
+func (c *Client) Explain(ctx context.Context, user, item int) (Explanation, error) {
+	var out Explanation
+	q := url.Values{"user": {strconv.Itoa(user)}, "item": {strconv.Itoa(item)}}
+	err := c.get(ctx, "/v1/explain", q, &out)
+	return out, err
+}
+
+// Stats fetches the server's serving metrics.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.get(ctx, "/v1/stats", nil, &out)
+	return out, err
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	return c.do(ctx, http.MethodGet, path, q, nil, out)
+}
+
+// do performs one API round trip, decoding the error envelope on any
+// non-2xx status into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, body io.Reader, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env struct {
+			Error *APIError `json:"error"`
+		}
+		if jsonErr := json.Unmarshal(raw, &env); jsonErr == nil && env.Error != nil {
+			return env.Error
+		}
+		return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}

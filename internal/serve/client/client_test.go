@@ -1,0 +1,108 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/facility"
+	"repro/internal/models"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func testAPI(t *testing.T) (*Client, *dataset.Dataset) {
+	t.Helper()
+	cat := facility.OOI(7)
+	cfg := trace.DefaultOOIConfig()
+	cfg.NumUsers = 50
+	cfg.NumOrgs = 6
+	cfg.MeanQueries = 18
+	tr := trace.Generate(cat, cfg, 11)
+	d := dataset.Build(tr, dataset.AllSources(), 11)
+	m := core.NewDefault()
+	tc := models.DefaultTrainConfig()
+	tc.Epochs = 2
+	tc.EmbedDim = 16
+	m.Fit(d, tc)
+	srv := httptest.NewServer(serve.New(d, m))
+	t.Cleanup(srv.Close)
+	return New(srv.URL, WithHTTPClient(srv.Client())), d
+}
+
+func TestClientRoundTrips(t *testing.T) {
+	c, d := testAPI(t)
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Facility != d.Name || h.Users != d.NumUsers {
+		t.Fatalf("health mismatch: %+v", h)
+	}
+
+	recs, err := c.Recommend(ctx, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Rank != 1 || recs[0].Name == "" {
+		t.Fatalf("bad recommendations: %+v", recs)
+	}
+
+	batch, err := c.RecommendBatch(ctx, []int{0, 1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 || batch[2].User != 2 || len(batch[2].Recommendations) != 4 {
+		t.Fatalf("bad batch: %+v", batch)
+	}
+
+	item := d.Train[0][1]
+	sim, err := c.Similar(ctx, item, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim) != 4 {
+		t.Fatalf("bad similar: %+v", sim)
+	}
+
+	exp, err := c.Explain(ctx, d.Train[0][0], d.Test[0][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.ItemName == "" {
+		t.Fatalf("explanation missing item name: %+v", exp)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Endpoints["/v1/recommend"].Count == 0 {
+		t.Fatalf("stats missing recommend traffic: %+v", st.Endpoints)
+	}
+	if st.Cache.Misses == 0 {
+		t.Fatalf("stats missing cache accounting: %+v", st.Cache)
+	}
+}
+
+func TestClientDecodesErrorEnvelope(t *testing.T) {
+	c, d := testAPI(t)
+	_, err := c.Recommend(context.Background(), d.NumUsers+100, 5)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	if apiErr.Code != "not_found" || apiErr.Status != 404 {
+		t.Fatalf("unexpected APIError: %+v", apiErr)
+	}
+
+	_, err = c.Recommend(context.Background(), 1, -4)
+	if !errors.As(err, &apiErr) || apiErr.Code != "bad_param" {
+		t.Fatalf("bad k error: %v", err)
+	}
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/eval"
+)
+
+// apiError is the uniform error envelope carried by every non-2xx
+// response: {"error": {"code": "...", "message": "...", "status": N}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+}
+
+func (e *apiError) Error() string { return e.Code + ": " + e.Message }
+
+func badParam(format string, args ...any) *apiError {
+	return &apiError{Code: "bad_param", Message: fmt.Sprintf(format, args...), Status: http.StatusBadRequest}
+}
+
+func notFound(format string, args ...any) *apiError {
+	return &apiError{Code: "not_found", Message: fmt.Sprintf(format, args...), Status: http.StatusNotFound}
+}
+
+func timeoutErr() *apiError {
+	return &apiError{Code: "timeout", Message: "request deadline exceeded", Status: http.StatusGatewayTimeout}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.Status, map[string]*apiError{"error": e})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// queryDecoder centralizes query-parameter validation: handlers
+// declare what they need, then check Err once. The first failure wins.
+type queryDecoder struct {
+	q   url.Values
+	err *apiError
+}
+
+func decodeQuery(r *http.Request) *queryDecoder {
+	return &queryDecoder{q: r.URL.Query()}
+}
+
+func (qd *queryDecoder) fail(format string, args ...any) {
+	if qd.err == nil {
+		qd.err = badParam(format, args...)
+	}
+}
+
+// RequiredInt parses a mandatory integer parameter.
+func (qd *queryDecoder) RequiredInt(name string) int {
+	v := qd.q.Get(name)
+	if v == "" {
+		qd.fail("missing required parameter %q", name)
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		qd.fail("parameter %q must be an integer, got %q", name, v)
+		return 0
+	}
+	return n
+}
+
+// IntInRange parses an optional integer parameter with a default and
+// an inclusive [lo, hi] bound.
+func (qd *queryDecoder) IntInRange(name string, def, lo, hi int) int {
+	v := qd.q.Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		qd.fail("parameter %q must be an integer, got %q", name, v)
+		return def
+	}
+	if n < lo || n > hi {
+		qd.fail("parameter %q must be in [%d, %d]", name, lo, hi)
+		return def
+	}
+	return n
+}
+
+// Err returns the first validation failure, if any.
+func (qd *queryDecoder) Err() *apiError { return qd.err }
+
+// userID / itemID distinguish malformed input (400 bad_param, raised
+// by the decoder) from well-formed IDs that name no resource (404).
+func (s *Server) checkUser(user int) *apiError {
+	if user < 0 || user >= s.d.NumUsers {
+		return notFound("unknown user %d (facility has %d users)", user, s.d.NumUsers)
+	}
+	return nil
+}
+
+func (s *Server) checkItem(item int) *apiError {
+	if item < 0 || item >= s.d.NumItems {
+		return notFound("unknown item %d (facility has %d items)", item, s.d.NumItems)
+	}
+	return nil
+}
+
+// Recommendation is one ranked data object.
+type Recommendation struct {
+	Rank     int     `json:"rank"`
+	Item     int     `json:"item"`
+	Name     string  `json:"name"`
+	Site     string  `json:"site"`
+	DataType string  `json:"dataType"`
+	Score    float64 `json:"score"`
+}
+
+// renderTop decorates ranked item IDs with catalog metadata.
+func (s *Server) renderTop(top []int, scores []float64, scale float64) []Recommendation {
+	cat := s.d.Trace.Facility
+	recs := make([]Recommendation, 0, len(top))
+	for rank, it := range top {
+		item := cat.Items[it]
+		recs = append(recs, Recommendation{
+			Rank: rank + 1, Item: it, Name: item.Name,
+			Site:     cat.Sites[item.Site].Name,
+			DataType: cat.DataTypes[item.DataType].Name,
+			Score:    scores[it] * scale,
+		})
+	}
+	return recs
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"facility": s.d.Name,
+		"users":    s.d.NumUsers,
+		"items":    s.d.NumItems,
+	})
+}
+
+// recommendFor computes the masked top-k for one user from the cached
+// score vector. The cache entry is shared, so it is copied before the
+// training positives are masked.
+func (s *Server) recommendFor(user, k int) []Recommendation {
+	cached := s.cache.Scores(user)
+	scores := make([]float64, len(cached))
+	copy(scores, cached)
+	eval.MaskTrain(s.d, user, scores)
+	return s.renderTop(eval.TopK(scores, k), scores, 1)
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	qd := decodeQuery(r)
+	user := qd.RequiredInt("user")
+	k := qd.IntInRange("k", 10, 1, maxK)
+	if e := qd.Err(); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	if e := s.checkUser(user); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"user":            user,
+		"recommendations": s.recommendFor(user, k),
+	})
+}
+
+// batchRequest is the POST /v1/recommend:batch body.
+type batchRequest struct {
+	Users []int `json:"users"`
+	K     int   `json:"k"`
+}
+
+func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, &apiError{
+				Code:    "bad_param",
+				Message: fmt.Sprintf("request body exceeds %d bytes", maxBatchBody),
+				Status:  http.StatusRequestEntityTooLarge,
+			})
+			return
+		}
+		s.writeError(w, badParam("invalid JSON body: %v", err))
+		return
+	}
+	if len(req.Users) == 0 {
+		s.writeError(w, badParam("users must be non-empty"))
+		return
+	}
+	if len(req.Users) > s.maxBatch {
+		s.writeError(w, badParam("at most %d users per batch, got %d", s.maxBatch, len(req.Users)))
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.K < 1 || req.K > maxK {
+		s.writeError(w, badParam("k must be in [1, %d]", maxK))
+		return
+	}
+	for _, u := range req.Users {
+		if e := s.checkUser(u); e != nil {
+			s.writeError(w, e)
+			return
+		}
+	}
+
+	type userRecs struct {
+		User            int              `json:"user"`
+		Recommendations []Recommendation `json:"recommendations"`
+	}
+	results := make([]userRecs, len(req.Users))
+	err := s.runBounded(r.Context(), len(req.Users), func(i int) {
+		u := req.Users[i]
+		results[i] = userRecs{User: u, Recommendations: s.recommendFor(u, req.K)}
+	})
+	if err != nil {
+		s.writeError(w, timeoutErr())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"k": req.K, "results": results})
+}
+
+// probeUsers selects up to maxProbes training users of an item,
+// deterministically spread across the full matching set with a
+// rotation seeded by the item ID — replacing the old scan that always
+// took the 16 lowest user IDs and so biased every /similar answer
+// toward early users.
+func (s *Server) probeUsers(item int) []int {
+	m := s.usersByItem[item]
+	if len(m) <= s.maxProbes {
+		return m
+	}
+	probes := make([]int, s.maxProbes)
+	start := item % len(m)
+	for j := range probes {
+		probes[j] = m[(start+j*len(m)/s.maxProbes)%len(m)]
+	}
+	return probes
+}
+
+// handleSimilar ranks items by CKG-embedding proximity to a target
+// item, reusing the scorer's item space via a pseudo-query: the
+// returned list is items whose score vectors co-rank with the target
+// across a probe set of users. For scorers exposing item embeddings
+// this is equivalent to nearest neighbors; the probe construction only
+// needs the eval.Scorer interface. Probe score vectors come from the
+// LRU cache and are fetched in parallel on the worker pool.
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	qd := decodeQuery(r)
+	item := qd.RequiredInt("item")
+	k := qd.IntInRange("k", 10, 1, maxK)
+	if e := qd.Err(); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	if e := s.checkItem(item); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	probes := s.probeUsers(item)
+	if len(probes) == 0 {
+		s.writeError(w, notFound("item %d has no training interactions", item))
+		return
+	}
+
+	vecs := make([][]float64, len(probes))
+	if err := s.runBounded(r.Context(), len(probes), func(i int) {
+		vecs[i] = s.cache.Scores(probes[i])
+	}); err != nil {
+		s.writeError(w, timeoutErr())
+		return
+	}
+	agg := make([]float64, s.d.NumItems)
+	for _, v := range vecs {
+		for i, sc := range v {
+			agg[i] += sc
+		}
+	}
+	agg[item] = math.Inf(-1)
+	top := eval.TopK(agg, k)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"item":    item,
+		"similar": s.renderTop(top, agg, 1/float64(len(probes))),
+	})
+}
+
+// ExplainPath is one knowledge path rendered for the API.
+type ExplainPath struct {
+	From string `json:"from"`
+	Path string `json:"path"`
+}
+
+// handleExplain walks the precomputed CKG adjacency (built once in
+// New, not per request) for paths from the user's training history to
+// the target item.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	qd := decodeQuery(r)
+	user := qd.RequiredInt("user")
+	item := qd.RequiredInt("item")
+	if e := qd.Err(); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	if e := s.checkUser(user); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	if e := s.checkItem(item); e != nil {
+		s.writeError(w, e)
+		return
+	}
+	dst := s.d.ItemEnt[item]
+	var out []ExplainPath
+	for _, hist := range s.d.TrainByUser[user] {
+		if len(out) >= 5 || r.Context().Err() != nil {
+			break
+		}
+		src := s.d.ItemEnt[hist]
+		for _, p := range s.d.Graph.FindPaths(s.adj, src, dst, 4, 2) {
+			out = append(out, ExplainPath{
+				From: s.d.Trace.Facility.Items[hist].Name,
+				Path: s.d.Graph.FormatPath(p),
+			})
+			if len(out) >= 5 {
+				break
+			}
+		}
+	}
+	if err := r.Context().Err(); err != nil {
+		s.writeError(w, timeoutErr())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"user": user, "item": item,
+		"itemName": s.d.Trace.Facility.Items[item].Name,
+		"paths":    out,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent samples back each endpoint's
+// latency quantiles; a fixed ring keeps memory bounded under
+// production traffic while still tracking the current regime.
+const latencyWindow = 512
+
+// metrics is the in-process observability store behind /v1/stats:
+// per-endpoint request/status counters and latency quantiles, a global
+// inflight gauge, and process uptime. It is deliberately pull-based
+// (scraped over HTTP) so the serving path only pays for a mutex and a
+// ring write.
+type metrics struct {
+	start    time.Time
+	inflight atomic.Int64
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+type endpointStats struct {
+	mu      sync.Mutex
+	count   uint64
+	errors  uint64 // responses with status >= 400
+	byClass [6]uint64
+	ring    [latencyWindow]float64 // milliseconds
+	n       int                    // filled slots
+	idx     int                    // next write position
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+func (m *metrics) endpoint(path string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[path]
+	if e == nil {
+		e = &endpointStats{}
+		m.endpoints[path] = e
+	}
+	return e
+}
+
+// observe records one completed request.
+func (m *metrics) observe(path string, status int, d time.Duration) {
+	e := m.endpoint(path)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.count++
+	if status >= 400 {
+		e.errors++
+	}
+	if c := status / 100; c >= 1 && c <= 5 {
+		e.byClass[c]++
+	}
+	e.ring[e.idx] = float64(d.Nanoseconds()) / 1e6
+	e.idx = (e.idx + 1) % latencyWindow
+	if e.n < latencyWindow {
+		e.n++
+	}
+}
+
+// EndpointSnapshot is the per-endpoint view exposed by /v1/stats.
+type EndpointSnapshot struct {
+	Count  uint64            `json:"count"`
+	Errors uint64            `json:"errors"`
+	Status map[string]uint64 `json:"status"`
+	P50ms  float64           `json:"p50_ms"`
+	P95ms  float64           `json:"p95_ms"`
+	P99ms  float64           `json:"p99_ms"`
+}
+
+// CacheSnapshot is the score-cache view exposed by /v1/stats.
+type CacheSnapshot struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+	Cap     int     `json:"cap"`
+}
+
+// StatsSnapshot is the full /v1/stats payload.
+type StatsSnapshot struct {
+	Facility  string                      `json:"facility"`
+	UptimeMS  float64                     `json:"uptime_ms"`
+	Inflight  int64                       `json:"inflight"`
+	Cache     CacheSnapshot               `json:"cache"`
+	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	classes := [...]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	st := make(map[string]uint64)
+	for c := 1; c <= 5; c++ {
+		if e.byClass[c] > 0 {
+			st[classes[c]] = e.byClass[c]
+		}
+	}
+	sorted := make([]float64, e.n)
+	copy(sorted, e.ring[:e.n])
+	sort.Float64s(sorted)
+	return EndpointSnapshot{
+		Count:  e.count,
+		Errors: e.errors,
+		Status: st,
+		P50ms:  quantile(sorted, 0.50),
+		P95ms:  quantile(sorted, 0.95),
+		P99ms:  quantile(sorted, 0.99),
+	}
+}
+
+// quantile reads q from an ascending-sorted sample via nearest-rank.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// snapshot assembles the /v1/stats payload.
+func (s *Server) statsSnapshot() StatsSnapshot {
+	hits, misses, entries := s.cache.Stats()
+	var rate float64
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	s.metrics.mu.Lock()
+	paths := make([]string, 0, len(s.metrics.endpoints))
+	for p := range s.metrics.endpoints {
+		paths = append(paths, p)
+	}
+	s.metrics.mu.Unlock()
+	eps := make(map[string]EndpointSnapshot, len(paths))
+	for _, p := range paths {
+		eps[p] = s.metrics.endpoint(p).snapshot()
+	}
+	return StatsSnapshot{
+		Facility: s.d.Name,
+		UptimeMS: float64(time.Since(s.metrics.start).Nanoseconds()) / 1e6,
+		Inflight: s.metrics.inflight.Load(),
+		Cache: CacheSnapshot{
+			Hits: hits, Misses: misses, HitRate: rate,
+			Entries: entries, Cap: s.cacheSize,
+		},
+		Endpoints: eps,
+	}
+}

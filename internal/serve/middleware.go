@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// The middleware stack, outermost first:
+//
+//	requestID  → assigns X-Request-ID and threads it through context
+//	instrument → inflight gauge, per-endpoint latency/status metrics,
+//	             one log line per request
+//	recover    → converts handler panics into enveloped 500s
+//	deadline   → attaches the per-request timeout to the context
+//
+// recover sits inside instrument so a panic is still recorded as a
+// 500 in the metrics and the log.
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+var requestCounter atomic.Uint64
+
+// RequestID returns the request's assigned ID, or "" outside a request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+func (s *Server) requestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%08x", requestCounter.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// statusRecorder captures the response status for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.wrote {
+		sr.status = code
+		sr.wrote = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if !sr.wrote {
+		sr.status = http.StatusOK
+		sr.wrote = true
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(r.URL.Path, rec.status, elapsed)
+		if s.logger != nil {
+			s.logger.Printf("%s %s %s %d %s",
+				RequestID(r.Context()), r.Method, r.URL.RequestURI(), rec.status, elapsed)
+		}
+	})
+}
+
+func (s *Server) recover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if s.logger != nil {
+					s.logger.Printf("%s PANIC %s %s: %v",
+						RequestID(r.Context()), r.Method, r.URL.Path, p)
+				}
+				// Best effort: if the handler already started the
+				// body there is nothing safe left to write.
+				s.writeError(w, &apiError{
+					Code:    "internal",
+					Message: "internal server error",
+					Status:  http.StatusInternalServerError,
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) deadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.timeout <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

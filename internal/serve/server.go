@@ -1,0 +1,195 @@
+// Package serve exposes a trained recommender as the facility-facing
+// data-discovery HTTP service the paper motivates: "intelligent
+// discovery and anticipatory delivery of data and data products from
+// large facilities" (§VII). It wraps any eval.Scorer behind a
+// versioned JSON API:
+//
+//	GET  /v1/health                      → service status
+//	GET  /v1/recommend?user=12&k=10      → top-K data objects for a user
+//	POST /v1/recommend:batch             → top-K for many users at once
+//	GET  /v1/similar?item=42&k=10        → items close to an item in the CKG
+//	GET  /v1/explain?user=12&item=42     → knowledge paths linking the
+//	                                       user's history to an item
+//	GET  /v1/stats                       → latency/cache/inflight metrics
+//
+// The legacy unversioned paths (/health, /recommend, /similar,
+// /explain) answer with 308 permanent redirects into /v1.
+//
+// The server is built for query-time serving of fixed trained
+// embeddings (the KGAT-style property that scores are precomputable):
+// the CKG adjacency is built once at construction, per-user score
+// vectors live in an LRU cache with an invalidation hook for retrains,
+// and multi-user scoring (similar-item probes, batch recommendation)
+// fans out across a bounded worker pool. Every request passes through
+// a middleware stack providing request IDs, structured logs, latency
+// metrics, panic recovery, and per-request timeouts. All failures use
+// one error envelope: {"error": {"code", "message", "status"}}.
+package serve
+
+import (
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/kg"
+)
+
+// Defaults for the tunable knobs; override via Options.
+const (
+	DefaultCacheSize = 4096             // cached per-user score vectors
+	DefaultTimeout   = 10 * time.Second // per-request deadline
+	DefaultMaxProbes = 16               // probe users per /similar call
+	DefaultMaxBatch  = 256              // users per recommend:batch call
+	maxK             = 200              // largest accepted k
+	maxBatchBody     = 1 << 20          // recommend:batch body limit (bytes)
+)
+
+// Server is the HTTP handler set for one facility's recommender.
+type Server struct {
+	d      *dataset.Dataset
+	scorer eval.Scorer
+
+	// Precomputed at construction: the CKG adjacency (formerly rebuilt
+	// on every /explain request) and the users-by-item index (formerly
+	// a full user scan per /similar request).
+	adj         *kg.Adjacency
+	usersByItem [][]int
+
+	cache   *scoreCache
+	metrics *metrics
+	sem     chan struct{} // bounded worker pool for multi-user scoring
+
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the middleware stack
+
+	// Knobs.
+	logger    *log.Logger
+	timeout   time.Duration
+	workers   int
+	cacheSize int
+	maxProbes int
+	maxBatch  int
+}
+
+// Option customizes a Server at construction time.
+type Option func(*Server)
+
+// WithLogger directs per-request log lines to l. By default the server
+// is silent (nil logger), which keeps tests and benchmarks quiet.
+func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// WithTimeout sets the per-request deadline enforced by the timeout
+// middleware. Zero disables the deadline.
+func WithTimeout(d time.Duration) Option { return func(s *Server) { s.timeout = d } }
+
+// WithWorkers bounds the worker pool used for probe and batch scoring.
+func WithWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithCacheSize sets the LRU score-vector cache capacity (entries).
+func WithCacheSize(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.cacheSize = n
+		}
+	}
+}
+
+// WithMaxProbes caps the probe-user set per /similar request.
+func WithMaxProbes(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxProbes = n
+		}
+	}
+}
+
+// New builds a Server over a dataset and a trained scorer.
+func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
+	s := &Server{
+		d:         d,
+		scorer:    scorer,
+		timeout:   DefaultTimeout,
+		workers:   runtime.GOMAXPROCS(0),
+		cacheSize: DefaultCacheSize,
+		maxProbes: DefaultMaxProbes,
+		maxBatch:  DefaultMaxBatch,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+
+	s.adj = d.Graph.BuildAdjacency()
+	s.usersByItem = make([][]int, d.NumItems)
+	for _, p := range d.Train {
+		s.usersByItem[p[1]] = append(s.usersByItem[p[1]], p[0])
+	}
+
+	s.cache = newScoreCache(s.cacheSize, d.NumItems, func(user int, out []float64) {
+		scorer.ScoreItems(user, out)
+	})
+	s.metrics = newMetrics()
+	s.sem = make(chan struct{}, s.workers)
+
+	s.mux = http.NewServeMux()
+	s.route("/v1/health", http.MethodGet, s.handleHealth)
+	s.route("/v1/recommend", http.MethodGet, s.handleRecommend)
+	s.route("/v1/recommend:batch", http.MethodPost, s.handleRecommendBatch)
+	s.route("/v1/similar", http.MethodGet, s.handleSimilar)
+	s.route("/v1/explain", http.MethodGet, s.handleExplain)
+	s.route("/v1/stats", http.MethodGet, s.handleStats)
+	for _, legacy := range []string{"/health", "/recommend", "/similar", "/explain"} {
+		s.mux.HandleFunc(legacy, s.redirectV1)
+	}
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, notFound("no such endpoint %q", r.URL.Path))
+	})
+
+	s.handler = s.requestID(s.instrument(s.recover(s.deadline(s.mux))))
+	return s
+}
+
+// ServeHTTP implements http.Handler through the middleware stack.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// InvalidateCache drops every cached score vector. Call after swapping
+// in retrained model weights so subsequent requests re-score.
+func (s *Server) InvalidateCache() { s.cache.Invalidate() }
+
+// route registers a handler with method enforcement that keeps 405s
+// inside the error envelope (the stdlib mux would answer plain text).
+func (s *Server) route(path, method string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			s.writeError(w, &apiError{
+				Code:    "method_not_allowed",
+				Message: r.Method + " not allowed; use " + method,
+				Status:  http.StatusMethodNotAllowed,
+			})
+			return
+		}
+		h(w, r)
+	})
+}
+
+// redirectV1 maps a legacy unversioned path onto /v1, preserving the
+// query string. 308 keeps the method on replay, so existing clients
+// and examples continue to work unchanged.
+func (s *Server) redirectV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusPermanentRedirect)
+}

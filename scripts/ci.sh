@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Tier-1 verification loop plus the serving-layer race gate.
+#
+# The serving layer (internal/serve, internal/serve/client) is the one
+# subsystem handling concurrent traffic — LRU cache, worker pool,
+# metrics, middleware — so it runs under the race detector on every PR
+# in addition to the plain tier-1 suite.
+#
+#   scripts/ci.sh          # full loop: vet + build + tests + race gate
+#   scripts/ci.sh race     # race gate only
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${1:-all}" != "race" ]; then
+    echo "== go vet ./..."
+    go vet ./...
+    echo "== go build ./..."
+    go build ./...
+    echo "== go test ./..."
+    go test ./...
+fi
+
+echo "== go test -race ./internal/serve/..."
+go test -race ./internal/serve/...
+echo "CI OK"
