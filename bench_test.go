@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -422,6 +423,62 @@ func BenchmarkServeSimilar(b *testing.B) {
 	b.StopTimer()
 	perOp := b.Elapsed() / time.Duration(b.N)
 	b.ReportMetric(float64(basePerOp.Microseconds()), "sequential-baseline-us/op")
+	if perOp > 0 {
+		b.ReportMetric(float64(basePerOp)/float64(perOp), "speedup-vs-sequential")
+	}
+}
+
+// BenchmarkFitSequential is the baseline for BenchmarkFitParallel: one
+// CKAT training run on the legacy sequential path (workers=1).
+func BenchmarkFitSequential(b *testing.B) {
+	d := benchDataset(b)
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 32
+	cfg.Epochs = 1
+	cfg.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewDefault()
+		if err := m.Train(context.Background(), d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitParallel runs the same training with the round-parallel
+// engine at 4 workers and reports the speedup over an inline sequential
+// baseline. On a single-core host the two paths cost about the same
+// (the parallel schedule adds only round bookkeeping); the speedup
+// metric becomes meaningful with 4+ cores.
+func BenchmarkFitParallel(b *testing.B) {
+	d := benchDataset(b)
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 32
+	cfg.Epochs = 1
+
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	const baseReps = 2
+	baseStart := time.Now()
+	for i := 0; i < baseReps; i++ {
+		m := core.NewDefault()
+		if err := m.Train(context.Background(), d, seqCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	basePerOp := time.Since(baseStart) / baseReps
+
+	cfg.Workers = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewDefault()
+		if err := m.Train(context.Background(), d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(basePerOp.Seconds(), "sequential-baseline-s/op")
 	if perOp > 0 {
 		b.ReportMetric(float64(basePerOp)/float64(perOp), "speedup-vs-sequential")
 	}

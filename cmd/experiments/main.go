@@ -19,6 +19,7 @@ func main() {
 	profileName := flag.String("profile", "quick", "experiment scale: quick or full")
 	table := flag.String("table", "", "table to run: 1, 2, 3, 4, 5 or all")
 	fig := flag.String("fig", "", "figure to run: 3, 4, 5 or all")
+	workers := flag.Int("workers", 0, "training workers (<=1 sequential, >1 round-parallel)")
 	verbose := flag.Bool("v", false, "log per-epoch training progress")
 	flag.Parse()
 
@@ -32,6 +33,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileName)
 		os.Exit(2)
 	}
+	p.Workers = *workers
 	if *verbose {
 		p.Logf = func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)

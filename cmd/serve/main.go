@@ -37,6 +37,7 @@ func main() {
 	save := flag.Bool("save", false, "train and save the snapshot, then serve")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "score-vector cache entries")
+	workers := flag.Int("workers", 0, "training workers (<=1 sequential, >1 round-parallel)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	flag.Parse()
 
@@ -71,8 +72,16 @@ func main() {
 		cfg.Epochs = *epochs
 		cfg.EmbedDim = *dim
 		cfg.Seed = *seed
-		fmt.Printf("training CKAT on %s (%d epochs)...\n", d.Name, *epochs)
-		m.Fit(d, cfg)
+		cfg.Workers = *workers
+		cfg.Progress = func(ev models.ProgressEvent) {
+			fmt.Printf("  epoch %d/%d loss=%.4f %.2fs %.0f samples/s\n",
+				ev.Epoch, ev.Epochs, ev.Loss, ev.Duration.Seconds(), ev.SamplesPerSec)
+		}
+		fmt.Printf("training CKAT on %s (%d epochs, workers=%d)...\n",
+			d.Name, *epochs, cfg.EffectiveWorkers())
+		if err := m.Train(context.Background(), d, cfg); err != nil {
+			fatal(err)
+		}
 		metrics := eval.Evaluate(d, m, 20)
 		fmt.Printf("recall@20=%.4f ndcg@20=%.4f\n", metrics.Recall, metrics.NDCG)
 		if *save && *snapshot != "" {

@@ -5,12 +5,19 @@
 //	train -facility ooi -model ckat -epochs 20 -v
 //	train -facility gage -model kgcn -epochs 10 -user 12
 //	train -facility ooi -model ckat -sources UIG+LOC+DKG -no-attention
+//	train -facility ooi -model bprmf -workers 4 -metrics-out run.json
+//
+// Ctrl-C cancels training between optimizer rounds and exits cleanly.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -27,6 +34,27 @@ import (
 	"repro/internal/models/ripplenet"
 )
 
+// epochReport is one per-epoch entry of the -metrics-out artifact.
+type epochReport struct {
+	Epoch         int     `json:"epoch"`
+	Loss          float64 `json:"loss"`
+	Seconds       float64 `json:"seconds"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// trainReport is the -metrics-out artifact: the training configuration,
+// per-epoch progress, and the final evaluation.
+type trainReport struct {
+	Model        string        `json:"model"`
+	Facility     string        `json:"facility"`
+	Workers      int           `json:"workers"`
+	Epochs       []epochReport `json:"epochs"`
+	TotalSeconds float64       `json:"total_seconds"`
+	Recall       float64       `json:"recall"`
+	NDCG         float64       `json:"ndcg"`
+	K            int           `json:"k"`
+}
+
 func main() {
 	fac := flag.String("facility", "ooi", "facility: ooi or gage")
 	model := flag.String("model", "ckat", "model: bprmf, fm, nfm, cke, cfkg, ripplenet, kgcn, ckat")
@@ -42,6 +70,8 @@ func main() {
 	agg := flag.String("agg", "concat", "CKAT aggregator: concat or sum")
 	noAtt := flag.Bool("no-attention", false, "disable CKAT knowledge-aware attention")
 	user := flag.Int("user", -1, "print top-K recommendations for this user")
+	workers := flag.Int("workers", 0, "training workers (<=1 sequential, >1 round-parallel)")
+	metricsOut := flag.String("metrics-out", "", "write a JSON training report to this file")
 	verbose := flag.Bool("v", false, "per-epoch logging")
 	flag.Parse()
 
@@ -59,12 +89,24 @@ func main() {
 	fmt.Printf("%s: %d users, %d items, %d train / %d test interactions, CKG %v\n",
 		d.Name, d.NumUsers, d.NumItems, len(d.Train), len(d.Test), d.Stats())
 
+	report := trainReport{Model: *model, Facility: *fac, Workers: *workers, K: *k}
 	cfg := models.TrainConfig{
 		Epochs: *epochs, BatchSize: *batch, LR: *lr, L2: *l2,
-		EmbedDim: *dim, Dropout: 0.1, Seed: *seed,
+		EmbedDim: *dim, Dropout: 0.1, Seed: *seed, Workers: *workers,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	cfg.Progress = func(ev models.ProgressEvent) {
+		report.Epochs = append(report.Epochs, epochReport{
+			Epoch: ev.Epoch, Loss: ev.Loss,
+			Seconds:       ev.Duration.Seconds(),
+			SamplesPerSec: ev.SamplesPerSec,
+		})
+		if *verbose {
+			fmt.Printf("epoch %d/%d %.2fs %.0f samples/s\n",
+				ev.Epoch, ev.Epochs, ev.Duration.Seconds(), ev.SamplesPerSec)
+		}
 	}
 
 	m := buildModel(*model, *dim, *layers, *agg, !*noAtt)
@@ -72,14 +114,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	m.Fit(d, cfg)
-	fmt.Printf("trained %s in %v\n", m.Name(), time.Since(start).Round(time.Millisecond))
+	if err := m.Train(ctx, d, cfg); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "training cancelled")
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "training failed: %v\n", err)
+		os.Exit(1)
+	}
+	report.TotalSeconds = time.Since(start).Seconds()
+	fmt.Printf("trained %s in %v (workers=%d)\n", m.Name(),
+		time.Since(start).Round(time.Millisecond), cfg.EffectiveWorkers())
 
-	metrics := eval.Evaluate(d, m, *k)
+	metrics, err := eval.EvaluateCtx(ctx, d, m, *k, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluation cancelled")
+		os.Exit(130)
+	}
+	report.Recall, report.NDCG = metrics.Recall, metrics.NDCG
 	fmt.Printf("recall@%d=%.4f ndcg@%d=%.4f precision@%d=%.4f hit@%d=%.4f (%d users)\n",
 		*k, metrics.Recall, *k, metrics.NDCG, *k, metrics.Precision, *k, metrics.HitRate,
 		metrics.Users)
+
+	if *metricsOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metricsOut, buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *metricsOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote training report to %s\n", *metricsOut)
+	}
 
 	if *user >= 0 && *user < d.NumUsers {
 		printRecommendations(d, m, *user, *k)
@@ -105,7 +175,7 @@ func parseSources(s string) dataset.Sources {
 	return src
 }
 
-func buildModel(name string, dim, layers int, agg string, att bool) models.Recommender {
+func buildModel(name string, dim, layers int, agg string, att bool) models.Trainer {
 	switch name {
 	case "bprmf":
 		return bprmf.New()
@@ -133,7 +203,7 @@ func buildModel(name string, dim, layers int, agg string, att bool) models.Recom
 	return nil
 }
 
-func printRecommendations(d *dataset.Dataset, m models.Recommender, user, k int) {
+func printRecommendations(d *dataset.Dataset, m models.Trainer, user, k int) {
 	scores := make([]float64, d.NumItems)
 	m.ScoreItems(user, scores)
 	for _, it := range d.TrainByUser[user] {

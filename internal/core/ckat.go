@@ -21,12 +21,21 @@
 // two phases each epoch (the standard optimization for this family),
 // recomputing the attention coefficients from the embedding layer
 // between phases.
+//
+// Both phases run on the shared round-parallel engine
+// (internal/models/shared): with TrainConfig.Workers > 1, TransR steps
+// and BPR batches each fan out across a bounded worker pool with
+// sharded gradient accumulation, and the attention recomputation shards
+// its per-edge scoring over head entities. Workers <= 1 reproduces the
+// historical sequential results bit-for-bit.
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/autograd"
 	"repro/internal/dataset"
@@ -34,6 +43,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/models/shared"
 	"repro/internal/optim"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -69,9 +79,10 @@ type Options struct {
 	// term of Eq. 13). Ablation only: attention scores then come from
 	// embeddings shaped solely by the BPR signal.
 	SkipKGPhase bool
-	// ParallelAttention computes the per-relation attention projections
-	// concurrently (§VII names CKAT parallelization as future work;
-	// this implements the relation-parallel part).
+	// ParallelAttention shards the per-edge attention scoring over head
+	// entities across the worker pool (§VII names CKAT parallelization
+	// as future work; this implements the edge-parallel part). The
+	// scores are bit-identical for any worker count.
 	ParallelAttention bool
 }
 
@@ -95,15 +106,19 @@ type Model struct {
 	w      []*autograd.Param // per propagation layer: d_l × (2·d_{l-1}) or d_l × d_{l-1}
 
 	adj     *kg.Adjacency
+	attMu   sync.Mutex    // serializes concurrent RecomputeAttention calls
 	att     *tensor.Dense // E×1 attention coefficients (recomputed per epoch)
 	nEnt    int
 	dim     int
 	nItems  int
 	userEnt []int
 	itemEnt []int
+	workers int // training worker count, reused by computeAttention
 
 	final *tensor.Dense // N×D final representations (built after training)
 }
+
+var _ models.Trainer = (*Model)(nil)
 
 // New returns an untrained CKAT with opts.
 func New(opts Options) *Model { return &Model{opts: opts} }
@@ -111,12 +126,20 @@ func New(opts Options) *Model { return &Model{opts: opts} }
 // NewDefault returns an untrained CKAT with the paper's defaults.
 func NewDefault() *Model { return New(DefaultOptions()) }
 
-// Name implements models.Recommender.
+// Name implements models.Trainer.
 func (m *Model) Name() string { return "CKAT" }
 
 // computeAttention recomputes the per-edge attention coefficients from
 // the current embedding layer (Eq. 4-5). Without attention, every
 // neighborhood is weighted uniformly.
+//
+// Edges are scored per head entity: for head h with relation-r edges,
+// W_r e_h is projected once and reused across the neighborhood, and
+// each edge adds one W_r e_t projection — O(E·k·d) total instead of the
+// dense O(R·N·k·d) all-entities projection, and embarrassingly parallel
+// over heads. Each edge's score is a plain ascending-index dot chain,
+// so the result is bit-identical for any worker count and to the dense
+// formulation.
 func (m *Model) computeAttention() {
 	e := m.adj.NumEdges()
 	m.att = tensor.New(e, 1)
@@ -133,53 +156,76 @@ func (m *Model) computeAttention() {
 		}
 		return
 	}
-	// Project all entities into each relation's space once:
-	// P_r = Ent · W_rᵀ. Relations are independent, so with
-	// ParallelAttention each runs on its own goroutine (the
-	// relation-parallel decomposition of §VII's future-work item).
 	k := m.transr.Rel.Value.Cols
-	groups := shared.GroupByRelation(m.adj.Rels)
+	d := m.transr.Ent.Value.Cols
+	nRel := len(m.transr.Proj)
 	raw := tensor.New(e, 1)
-	scoreRelation := func(r int) {
-		proj := tensor.New(m.nEnt, k)
-		tensor.MatMulT(proj, m.transr.Ent.Value, m.transr.Proj[r].Value)
-		er := m.transr.Rel.Value.Row(r)
-		for _, i := range groups.Idx[r] {
-			ph := proj.Row(m.adj.Heads[i])
-			pt := proj.Row(m.adj.Tails[i])
-			var s float64
-			for j := 0; j < k; j++ {
-				s += pt[j] * math.Tanh(ph[j]+er[j])
+	scoreHeads := func(lo, hi int) {
+		// Per-worker scratch: cached head projections per relation.
+		ph := make([]float64, nRel*k)
+		have := make([]bool, nRel)
+		for h := lo; h < hi; h++ {
+			elo, ehi := m.adj.Neighbors(h)
+			if elo == ehi {
+				continue
 			}
-			raw.Data[i] = s
+			for r := range have {
+				have[r] = false
+			}
+			eh := m.transr.Ent.Value.Row(h)
+			for i := elo; i < ehi; i++ {
+				r := m.adj.Rels[i]
+				w := m.transr.Proj[r].Value
+				phr := ph[r*k : (r+1)*k]
+				if !have[r] {
+					for j := 0; j < k; j++ {
+						wr := w.Row(j)
+						var s float64
+						for t := 0; t < d; t++ {
+							s += wr[t] * eh[t]
+						}
+						phr[j] = s
+					}
+					have[r] = true
+				}
+				et := m.transr.Ent.Value.Row(m.adj.Tails[i])
+				er := m.transr.Rel.Value.Row(r)
+				var s float64
+				for j := 0; j < k; j++ {
+					wr := w.Row(j)
+					var pt float64
+					for t := 0; t < d; t++ {
+						pt += wr[t] * et[t]
+					}
+					s += pt * math.Tanh(phr[j]+er[j])
+				}
+				raw.Data[i] = s
+			}
 		}
 	}
+	workers := 1
 	if m.opts.ParallelAttention {
-		workers := runtime.GOMAXPROCS(0)
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for _, r := range groups.Rels {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(r int) {
-				defer wg.Done()
-				scoreRelation(r)
-				<-sem
-			}(r)
+		workers = m.workers
+		if workers <= 1 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-		wg.Wait()
+	}
+	if workers <= 1 {
+		scoreHeads(0, m.nEnt)
 	} else {
-		for _, r := range groups.Rels {
-			scoreRelation(r)
-		}
+		_ = parallel.New(workers).RunChunks(context.Background(), m.nEnt,
+			func(_, lo, hi int) { scoreHeads(lo, hi) })
 	}
 	tensor.SegmentSoftmax(m.att, raw, m.adj.Offsets)
 }
 
 // propagate builds the propagation layers on a tape and returns the
 // final concatenated representation node (Eq. 10). ent must be the
-// embedding-layer node (leaf for training, const for inference).
+// embedding-layer node (leaf for training, const for inference);
+// resolve, when non-nil, maps the layer parameters to their per-shard
+// gradient sinks.
 func (m *Model) propagate(tp *autograd.Tape, ent *autograd.Node,
+	resolve func(*autograd.Param) *autograd.Param,
 	dropout float64, g *rng.RNG) *autograd.Node {
 	attNode := tp.Const(m.att)
 	final := ent
@@ -194,7 +240,11 @@ func (m *Model) propagate(tp *autograd.Tape, ent *autograd.Node,
 		} else {
 			mixed = tp.ConcatCols(cur, agg) // Eq. 6
 		}
-		out := tp.LeakyReLU(tp.MatMulT(mixed, tp.Leaf(m.w[l])), 0.2)
+		wl := m.w[l]
+		if resolve != nil {
+			wl = resolve(wl)
+		}
+		out := tp.LeakyReLU(tp.MatMulT(mixed, tp.Leaf(wl)), 0.2)
 		if dropout > 0 {
 			out = tp.Dropout(out, dropout, g)
 		}
@@ -205,10 +255,13 @@ func (m *Model) propagate(tp *autograd.Tape, ent *autograd.Node,
 	return final
 }
 
-// Fit trains CKAT: per epoch, (1) KGSteps TransR updates on sampled
-// triples, (2) attention recomputation, (3) BPR updates with full-graph
-// attentive propagation.
-func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+// Train implements models.Trainer. Per epoch: (1) KGSteps TransR
+// updates on sampled triples, (2) attention recomputation, (3) BPR
+// updates with full-graph attentive propagation. With cfg.Workers > 1
+// phases (1) and (3) run in synchronous rounds on the shared engine.
+// On cancellation the model is left partially trained with no final
+// representations; the error is ctx.Err().
+func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig) error {
 	g := rng.New(cfg.Seed).Split("ckat")
 	m.dim = cfg.EmbedDim
 	m.nEnt = d.Graph.NumEntities()
@@ -237,21 +290,60 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 	kgSampler := shared.NewKGSampler(d.Graph, g.Split("kgneg"))
 	neg := d.NewNegSampler(cfg.Seed)
 	drop := g.Split("dropout")
+	base := g.Split("engine")
 
+	m.workers = cfg.EffectiveWorkers()
+	allParams := append(append([]*autograd.Param{}, m.transr.Params()...), m.w...)
+	sh := shared.NewShadows(allParams, m.workers)
+	var pool *parallel.Pool
+	if m.workers > 1 {
+		pool = parallel.New(m.workers)
+		optKG.Parallel(pool)
+		optCF.Parallel(pool)
+	}
+	// shardTransR views the embedding layer through shard s's gradient
+	// sinks (identity for the sequential shard).
+	shardTransR := func(s int) *shared.TransR {
+		if s < 0 {
+			return m.transr
+		}
+		v := &shared.TransR{
+			Ent: sh.Resolve(s, m.transr.Ent),
+			Rel: sh.Resolve(s, m.transr.Rel),
+		}
+		for _, p := range m.transr.Proj {
+			v.Proj = append(v.Proj, sh.Resolve(s, p))
+		}
+		return v
+	}
+
+	kgSteps := m.opts.KGSteps
+	if m.opts.SkipKGPhase {
+		kgSteps = 0
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		start := time.Now()
 		// --- Phase 1: embedding layer (TransR, L1) ---------------------
 		var kgLoss float64
-		kgSteps := m.opts.KGSteps
-		if m.opts.SkipKGPhase {
-			kgSteps = 0
-		}
-		for s := 0; s < kgSteps; s++ {
-			h, r, tl, nt := kgSampler.Batch(m.opts.KGBatch)
-			tp := autograd.NewTape()
-			loss := m.transr.MarginLoss(tp, h, r, tl, nt, m.opts.Margin)
-			tp.Backward(loss)
-			optKG.Step()
-			kgLoss += loss.Value.Data[0]
+		err := shared.RunRounds(ctx, kgSteps, pool, sh,
+			func(step, shard int) float64 {
+				sampler := kgSampler
+				if shard >= 0 {
+					sampler = shared.NewKGSampler(d.Graph,
+						base.SplitIndexed("kgneg", int64(epoch), int64(step)))
+				}
+				h, r, tl, nt := sampler.Batch(m.opts.KGBatch)
+				tp := autograd.NewTape()
+				loss := shardTransR(shard).MarginLoss(tp, h, r, tl, nt, m.opts.Margin)
+				tp.Backward(loss)
+				return loss.Value.Data[0]
+			},
+			func(_ int, loss float64) {
+				optKG.Step()
+				kgLoss += loss
+			})
+		if err != nil {
+			return err
 		}
 
 		// --- Phase 2: knowledge-aware attention (Eq. 4-5) --------------
@@ -259,20 +351,40 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 
 		// --- Phase 3: attentive propagation + BPR (L2) -----------------
 		var cfLoss float64
-		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
-		for _, b := range batches {
-			users, pos, negs := b[0], b[1], b[2]
-			tp := autograd.NewTape()
-			ent := tp.Leaf(m.transr.Ent)
-			final := m.propagate(tp, ent, cfg.Dropout, drop)
-			u := tp.Gather(final, entIdx(m.userEnt, users))
-			vp := tp.Gather(final, entIdx(m.itemEnt, pos))
-			vn := tp.Gather(final, entIdx(m.itemEnt, negs))
-			loss := shared.BPRLoss(tp, tp.RowDot(u, vp), tp.RowDot(u, vn)) // Eq. 12
-			loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2, u, vp, vn))       // λ‖Θ‖²
-			tp.Backward(loss)
-			optCF.Step()
-			cfLoss += loss.Value.Data[0]
+		pos := d.PosBatches(cfg.BatchSize, cfg.Seed+int64(epoch))
+		err = shared.RunRounds(ctx, len(pos), pool, sh,
+			func(b, shard int) float64 {
+				users, ps := pos[b][0], pos[b][1]
+				var negs []int
+				dropRNG := drop
+				var resolve func(*autograd.Param) *autograd.Param
+				if shard < 0 {
+					negs = neg.Fill(users)
+				} else {
+					negs = d.NegSamplerFrom(
+						base.SplitIndexed("neg", int64(epoch), int64(b))).Fill(users)
+					dropRNG = base.SplitIndexed("dropout", int64(epoch), int64(b))
+					resolve = func(p *autograd.Param) *autograd.Param {
+						return sh.Resolve(shard, p)
+					}
+				}
+				tp := autograd.NewTape()
+				ent := tp.Leaf(sh.Resolve(shard, m.transr.Ent))
+				final := m.propagate(tp, ent, resolve, cfg.Dropout, dropRNG)
+				u := tp.Gather(final, entIdx(m.userEnt, users))
+				vp := tp.Gather(final, entIdx(m.itemEnt, ps))
+				vn := tp.Gather(final, entIdx(m.itemEnt, negs))
+				loss := shared.BPRLoss(tp, tp.RowDot(u, vp), tp.RowDot(u, vn)) // Eq. 12
+				loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2, u, vp, vn))       // λ‖Θ‖²
+				tp.Backward(loss)
+				return loss.Value.Data[0]
+			},
+			func(_ int, loss float64) {
+				optCF.Step()
+				cfLoss += loss
+			})
+		if err != nil {
+			return err
 		}
 		kgDen := float64(kgSteps)
 		if kgDen == 0 {
@@ -280,15 +392,30 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 		}
 		cfg.Log("ckat %s epoch %d/%d kgLoss=%.4f cfLoss=%.4f", d.Name,
 			epoch+1, cfg.Epochs, kgLoss/kgDen,
-			cfLoss/float64(len(batches)))
+			cfLoss/float64(len(pos)))
+		cfg.ReportProgress(models.ProgressEvent{
+			Model: "ckat", Dataset: d.Name,
+			Epoch: epoch + 1, Epochs: cfg.Epochs,
+			Loss:     kgLoss/kgDen + cfLoss/float64(len(pos)),
+			Duration: time.Since(start),
+			Samples:  len(d.Train) + kgSteps*m.opts.KGBatch,
+		})
 	}
 
 	// Final representations for inference (attention from the trained
 	// embedding layer, no dropout).
 	m.computeAttention()
 	tp := autograd.NewTape()
-	final := m.propagate(tp, tp.Const(m.transr.Ent.Value), 0, nil)
+	final := m.propagate(tp, tp.Const(m.transr.Ent.Value), nil, 0, nil)
 	m.final = final.Value
+	return nil
+}
+
+// Fit implements the legacy models.Recommender contract.
+//
+// Deprecated: use Train.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	_ = m.Train(context.Background(), d, cfg)
 }
 
 // entIdx maps user/item indices to entity IDs.
@@ -318,15 +445,21 @@ func (m *Model) NumItems() int { return m.nItems }
 
 // FinalEmbedding returns the final representation of an arbitrary CKG
 // entity (for diagnostics and the example applications). Only valid
-// after Fit.
+// after training.
 func (m *Model) FinalEmbedding(entity int) []float64 {
 	return m.final.Row(entity)
 }
 
 // RecomputeAttention refreshes the per-edge attention coefficients from
 // the current embedding layer (exposed for benchmarking the Table IV
-// attention cost). Only valid after Fit.
-func (m *Model) RecomputeAttention() { m.computeAttention() }
+// attention cost). Only valid after training. Concurrent calls are
+// serialized; scoring reads only the final propagated embeddings, so it
+// may proceed in parallel.
+func (m *Model) RecomputeAttention() {
+	m.attMu.Lock()
+	defer m.attMu.Unlock()
+	m.computeAttention()
+}
 
 // AttentionOn returns the current per-edge attention coefficients and
 // the adjacency they index, for introspection (e.g. explaining which

@@ -19,7 +19,7 @@ func TestCKATDeterministic(t *testing.T) {
 	d := modeltest.TinyDataset(t)
 	cfg := modeltest.QuickConfig()
 	cfg.Epochs = 2
-	modeltest.AssertDeterministic(t, func() models.Recommender { return NewDefault() }, d, cfg)
+	modeltest.AssertDeterministic(t, func() models.Trainer { return NewDefault() }, d, cfg)
 }
 
 func TestCKATAttentionNormalized(t *testing.T) {

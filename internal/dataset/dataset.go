@@ -273,6 +273,13 @@ func (d *Dataset) NewNegSampler(seed int64) *NegSampler {
 	return &NegSampler{d: d, g: rng.New(seed).Split("neg-" + d.Name)}
 }
 
+// NegSamplerFrom builds a sampler drawing from an explicit stream. The
+// parallel training engine derives one stream per (epoch, batch) so
+// that negative sampling is independent of worker count and schedule.
+func (d *Dataset) NegSamplerFrom(g *rng.RNG) *NegSampler {
+	return &NegSampler{d: d, g: g}
+}
+
 // Sample returns an item index j such that (user, j) is not a training
 // positive.
 func (s *NegSampler) Sample(user int) int {
@@ -284,26 +291,48 @@ func (s *NegSampler) Sample(user int) int {
 	}
 }
 
-// Batches cuts the training pairs into shuffled mini-batches of at most
-// size elements, pairing each positive with one sampled negative.
-// It returns parallel slices (users, positives, negatives) per batch.
-func (d *Dataset) Batches(size int, epochSeed int64, neg *NegSampler) [][3][]int {
+// Fill samples one negative per user, in order.
+func (s *NegSampler) Fill(users []int) []int {
+	out := make([]int, len(users))
+	for i, u := range users {
+		out[i] = s.Sample(u)
+	}
+	return out
+}
+
+// PosBatches cuts the training pairs into shuffled mini-batches of at
+// most size elements, returning parallel (users, positives) slices per
+// batch. No negatives are drawn, so batches can be materialized up
+// front and each batch's negatives sampled later (sequentially or on a
+// per-batch stream) without perturbing the shuffle.
+func (d *Dataset) PosBatches(size int, epochSeed int64) [][2][]int {
 	g := rng.New(epochSeed).Split("batches-" + d.Name)
 	perm := g.Perm(len(d.Train))
-	var out [][3][]int
+	var out [][2][]int
 	for lo := 0; lo < len(perm); lo += size {
 		hi := lo + size
 		if hi > len(perm) {
 			hi = len(perm)
 		}
-		var users, pos, negs []int
+		var users, pos []int
 		for _, pi := range perm[lo:hi] {
 			p := d.Train[pi]
 			users = append(users, p[0])
 			pos = append(pos, p[1])
-			negs = append(negs, neg.Sample(p[0]))
 		}
-		out = append(out, [3][]int{users, pos, negs})
+		out = append(out, [2][]int{users, pos})
+	}
+	return out
+}
+
+// Batches cuts the training pairs into shuffled mini-batches of at most
+// size elements, pairing each positive with one sampled negative.
+// It returns parallel slices (users, positives, negatives) per batch.
+func (d *Dataset) Batches(size int, epochSeed int64, neg *NegSampler) [][3][]int {
+	pos := d.PosBatches(size, epochSeed)
+	out := make([][3][]int, len(pos))
+	for i, b := range pos {
+		out[i] = [3][]int{b[0], b[1], neg.Fill(b[0])}
 	}
 	return out
 }

@@ -2,16 +2,18 @@
 // every user with at least one test interaction, rank ALL items the
 // user has not interacted with in training, take the top-K (K=20 by
 // default), and report recall@K and ndcg@K averaged over users.
-// Evaluation parallelizes over users.
+// Evaluation fans out over users on a bounded worker pool; for a fixed
+// worker count the strided user partition and in-order merge make the
+// reported numbers independent of goroutine scheduling.
 package eval
 
 import (
 	"container/heap"
+	"context"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // Scorer produces preference scores for every item for one user. The
@@ -34,38 +36,53 @@ type Metrics struct {
 	HitRate   float64
 }
 
-// Evaluate runs the full-ranking protocol over all test users.
+// Evaluate runs the full-ranking protocol over all test users with the
+// default worker count (GOMAXPROCS).
 func Evaluate(d *dataset.Dataset, s Scorer, k int) Metrics {
+	m, _ := EvaluateCtx(context.Background(), d, s, k, 0)
+	return m
+}
+
+// EvaluateCtx is Evaluate with cancellation and an explicit worker
+// count (<= 0 selects GOMAXPROCS). Users are partitioned by stride
+// across workers and per-worker partial sums merge in worker order, so
+// the result depends only on the worker count, never on scheduling. On
+// cancellation it returns zero Metrics and ctx.Err().
+func EvaluateCtx(ctx context.Context, d *dataset.Dataset, s Scorer, k, workers int) (Metrics, error) {
 	type acc struct {
 		recall, ndcg, prec, hit float64
 		users                   int
 	}
-	workers := runtime.GOMAXPROCS(0)
+	pool := parallel.New(workers)
+	workers = pool.Workers()
 	results := make([]acc, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			scores := make([]float64, s.NumItems())
-			for u := w; u < d.NumUsers; u += workers {
-				test := d.TestByUser[u]
-				if len(test) == 0 {
-					continue
-				}
-				scores = ScoreInto(s, u, scores)
-				MaskTrain(d, u, scores)
-				top := TopK(scores, k)
-				m := rankMetrics(top, test, k)
-				results[w].recall += m.Recall
-				results[w].ndcg += m.NDCG
-				results[w].prec += m.Precision
-				results[w].hit += m.HitRate
-				results[w].users++
+	err := pool.Run(ctx, workers, func(w int) {
+		scores := make([]float64, s.NumItems())
+		for u := w; u < d.NumUsers; u += workers {
+			if ctx.Err() != nil {
+				return
 			}
-		}(w)
+			test := d.TestByUser[u]
+			if len(test) == 0 {
+				continue
+			}
+			scores = ScoreInto(s, u, scores)
+			MaskTrain(d, u, scores)
+			top := TopK(scores, k)
+			m := rankMetrics(top, test, k)
+			results[w].recall += m.Recall
+			results[w].ndcg += m.NDCG
+			results[w].prec += m.Precision
+			results[w].hit += m.HitRate
+			results[w].users++
+		}
+	})
+	if err == nil {
+		err = ctx.Err()
 	}
-	wg.Wait()
+	if err != nil {
+		return Metrics{}, err
+	}
 	var total acc
 	for _, r := range results {
 		total.recall += r.recall
@@ -75,7 +92,7 @@ func Evaluate(d *dataset.Dataset, s Scorer, k int) Metrics {
 		total.users += r.users
 	}
 	if total.users == 0 {
-		return Metrics{K: k}
+		return Metrics{K: k}, nil
 	}
 	n := float64(total.users)
 	return Metrics{
@@ -84,13 +101,22 @@ func Evaluate(d *dataset.Dataset, s Scorer, k int) Metrics {
 		NDCG:      total.ndcg / n,
 		Precision: total.prec / n,
 		HitRate:   total.hit / n,
-	}
+	}, nil
 }
 
 // EvaluateSweep evaluates several cutoffs in one ranking pass per user
 // (e.g. recall@{5,10,20,40}): the items are ranked once to max(ks) and
 // each cutoff's metrics derive from the prefix. Results are keyed by K.
 func EvaluateSweep(d *dataset.Dataset, s Scorer, ks []int) map[int]Metrics {
+	m, _ := EvaluateSweepCtx(context.Background(), d, s, ks, 0)
+	return m
+}
+
+// EvaluateSweepCtx is EvaluateSweep with cancellation and an explicit
+// worker count (<= 0 selects GOMAXPROCS), with the same deterministic
+// partition-and-merge discipline as EvaluateCtx.
+func EvaluateSweepCtx(ctx context.Context, d *dataset.Dataset, s Scorer,
+	ks []int, workers int) (map[int]Metrics, error) {
 	maxK := 0
 	for _, k := range ks {
 		if k > maxK {
@@ -101,7 +127,8 @@ func EvaluateSweep(d *dataset.Dataset, s Scorer, ks []int) map[int]Metrics {
 		recall, ndcg, prec, hit map[int]float64
 		users                   int
 	}
-	workers := runtime.GOMAXPROCS(0)
+	pool := parallel.New(workers)
+	workers = pool.Workers()
 	results := make([]acc, workers)
 	for w := range results {
 		results[w] = acc{
@@ -109,36 +136,39 @@ func EvaluateSweep(d *dataset.Dataset, s Scorer, ks []int) map[int]Metrics {
 			prec: map[int]float64{}, hit: map[int]float64{},
 		}
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			scores := make([]float64, s.NumItems())
-			for u := w; u < d.NumUsers; u += workers {
-				test := d.TestByUser[u]
-				if len(test) == 0 {
-					continue
-				}
-				scores = ScoreInto(s, u, scores)
-				MaskTrain(d, u, scores)
-				top := TopK(scores, maxK)
-				for _, k := range ks {
-					prefix := top
-					if k < len(prefix) {
-						prefix = prefix[:k]
-					}
-					m := rankMetrics(prefix, test, k)
-					results[w].recall[k] += m.Recall
-					results[w].ndcg[k] += m.NDCG
-					results[w].prec[k] += m.Precision
-					results[w].hit[k] += m.HitRate
-				}
-				results[w].users++
+	err := pool.Run(ctx, workers, func(w int) {
+		scores := make([]float64, s.NumItems())
+		for u := w; u < d.NumUsers; u += workers {
+			if ctx.Err() != nil {
+				return
 			}
-		}(w)
+			test := d.TestByUser[u]
+			if len(test) == 0 {
+				continue
+			}
+			scores = ScoreInto(s, u, scores)
+			MaskTrain(d, u, scores)
+			top := TopK(scores, maxK)
+			for _, k := range ks {
+				prefix := top
+				if k < len(prefix) {
+					prefix = prefix[:k]
+				}
+				m := rankMetrics(prefix, test, k)
+				results[w].recall[k] += m.Recall
+				results[w].ndcg[k] += m.NDCG
+				results[w].prec[k] += m.Precision
+				results[w].hit[k] += m.HitRate
+			}
+			results[w].users++
+		}
+	})
+	if err == nil {
+		err = ctx.Err()
 	}
-	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int]Metrics, len(ks))
 	var users int
 	for _, r := range results {
@@ -163,7 +193,7 @@ func EvaluateSweep(d *dataset.Dataset, s Scorer, ks []int) map[int]Metrics {
 		}
 		out[k] = m
 	}
-	return out
+	return out, nil
 }
 
 // rankMetrics computes per-user metrics given the ranked top-K item

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Evaluation partitions users across workers with per-worker
+// accumulators merged in worker order; the metrics must not depend on
+// the worker count.
+func TestEvaluateCtxWorkerInvariance(t *testing.T) {
+	d := evalDataset(t)
+	s := fnScorer{n: d.NumItems, fn: func(u int, out []float64) {
+		for i := range out {
+			out[i] = float64((i*41 + u*23) % 157)
+		}
+	}}
+	want := Evaluate(d, s, 20)
+	for _, workers := range []int{1, 2, 4, 7} {
+		got, err := EvaluateCtx(context.Background(), d, s, 20, workers)
+		if err != nil {
+			t.Fatalf("EvaluateCtx(workers=%d): %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("workers=%d: %+v != sequential %+v", workers, got, want)
+		}
+	}
+}
+
+func TestEvaluateCtxCancellation(t *testing.T) {
+	d := evalDataset(t)
+	s := fnScorer{n: d.NumItems, fn: func(u int, out []float64) {
+		for i := range out {
+			out[i] = float64(i % 7)
+		}
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := EvaluateCtx(ctx, d, s, 20, workers); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// Two parallel evaluations over the same scorer must not interfere —
+// exercised under -race.
+func TestEvaluateCtxConcurrent(t *testing.T) {
+	d := evalDataset(t)
+	s := fnScorer{n: d.NumItems, fn: func(u int, out []float64) {
+		for i := range out {
+			out[i] = float64((i*19 + u*11) % 97)
+		}
+	}}
+	want := Evaluate(d, s, 20)
+	var wg sync.WaitGroup
+	got := make([]Metrics, 4)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := EvaluateCtx(context.Background(), d, s, 20, 2)
+			if err != nil {
+				t.Errorf("EvaluateCtx: %v", err)
+				return
+			}
+			got[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i, m := range got {
+		if m != want {
+			t.Fatalf("concurrent eval %d: %+v != %+v", i, m, want)
+		}
+	}
+}

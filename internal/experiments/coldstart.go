@@ -27,10 +27,10 @@ func RunColdStart(p Profile) []ColdStartRow {
 	cfg := p.trainCfg(true)
 	ckat := core.New(p.ckatOptions())
 	p.log("== cold-start: CKAT ==")
-	ckat.Fit(ooi, cfg)
+	mustTrain(ckat, ooi, cfg)
 	cf := bprmf.New()
 	p.log("== cold-start: BPRMF ==")
-	cf.Fit(ooi, p.trainCfg(false))
+	mustTrain(cf, ooi, p.trainCfg(false))
 
 	buckets := []struct {
 		name   string
@@ -72,7 +72,7 @@ func usersWithHistory(d *dataset.Dataset, lo, hi int) []int {
 }
 
 // bucketRecall evaluates recall@K restricted to the given users.
-func bucketRecall(d *dataset.Dataset, m models.Recommender, users []int, k int) float64 {
+func bucketRecall(d *dataset.Dataset, m models.Trainer, users []int, k int) float64 {
 	scores := make([]float64, d.NumItems)
 	var total float64
 	for _, u := range users {

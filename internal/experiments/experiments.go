@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,6 +33,10 @@ import (
 type Profile struct {
 	Name string
 	Seed int64
+
+	// Workers is the training/evaluation worker count passed through to
+	// models.TrainConfig (<= 1 sequential, > 1 round-parallel).
+	Workers int
 
 	// GAGE catalog scale (OOI is cheap and always paper-scale).
 	GAGEStations int
@@ -89,6 +94,14 @@ func (p Profile) log(format string, args ...any) {
 	}
 }
 
+// mustTrain trains m with the background context; the experiment
+// runners never cancel, so a training error is a programming bug.
+func mustTrain(m models.Trainer, d *dataset.Dataset, cfg models.TrainConfig) {
+	if err := m.Train(context.Background(), d, cfg); err != nil {
+		panic(fmt.Sprintf("training %s on %s: %v", m.Name(), d.Name, err))
+	}
+}
+
 // traces builds the two facility traces for the profile.
 func (p Profile) traces() (*trace.Trace, *trace.Trace) {
 	ooiCfg := trace.DefaultOOIConfig()
@@ -126,6 +139,7 @@ func (p Profile) trainCfg(propagation bool) models.TrainConfig {
 		EmbedDim:  p.EmbedDim,
 		Dropout:   p.Dropout,
 		Seed:      p.Seed,
+		Workers:   p.Workers,
 		Logf:      p.Logf,
 	}
 }
@@ -197,7 +211,7 @@ type Table2Row struct {
 type baselineSpec struct {
 	name        string
 	propagation bool
-	build       func() models.Recommender
+	build       func() models.Trainer
 	// tune applies the per-model, per-dataset grid-search adjustments
 	// (§VI-D tunes every model's hyperparameters per dataset).
 	tune func(facility string, c *models.TrainConfig)
@@ -206,16 +220,16 @@ type baselineSpec struct {
 // baselineSpecs enumerates the Table II baselines in paper order.
 func baselineSpecs() []baselineSpec {
 	return []baselineSpec{
-		{"BPRMF", false, func() models.Recommender { return bprmf.New() }, nil},
-		{"FM", false, func() models.Recommender { return fm.New() }, nil},
-		{"NFM", false, func() models.Recommender { return nfm.New() }, nil},
-		{"CKE", false, func() models.Recommender { return cke.New() }, nil},
-		{"CFKG", false, func() models.Recommender { return cfkg.New() }, nil},
-		{"RippleNet", true, func() models.Recommender { return ripplenet.New() },
+		{"BPRMF", false, func() models.Trainer { return bprmf.New() }, nil},
+		{"FM", false, func() models.Trainer { return fm.New() }, nil},
+		{"NFM", false, func() models.Trainer { return nfm.New() }, nil},
+		{"CKE", false, func() models.Trainer { return cke.New() }, nil},
+		{"CFKG", false, func() models.Trainer { return cfkg.New() }, nil},
+		{"RippleNet", true, func() models.Trainer { return ripplenet.New() },
 			// RippleNet's 16-dim embeddings converge slowly; the grid
 			// search lands on a higher learning rate and longer budget.
 			func(_ string, c *models.TrainConfig) { c.LR *= 2; c.Epochs = c.Epochs * 3 / 2 }},
-		{"KGCN", true, func() models.Recommender { return kgcn.New() }, nil},
+		{"KGCN", true, func() models.Trainer { return kgcn.New() }, nil},
 	}
 }
 
@@ -233,7 +247,7 @@ func RunTable2(p Profile) ([]Table2Row, Table2Row) {
 			spec.tune("OOI", &cfgOOI)
 		}
 		mo := spec.build()
-		mo.Fit(ooi, cfgOOI)
+		mustTrain(mo, ooi, cfgOOI)
 		mOOI := eval.Evaluate(ooi, mo, p.K)
 		row.OOIRecall, row.OOINDCG = mOOI.Recall, mOOI.NDCG
 		p.log("== %s / GAGE ==", spec.name)
@@ -242,7 +256,7 @@ func RunTable2(p Profile) ([]Table2Row, Table2Row) {
 			spec.tune("GAGE", &cfgGAGE)
 		}
 		mg := spec.build()
-		mg.Fit(gage, cfgGAGE)
+		mustTrain(mg, gage, cfgGAGE)
 		mGAGE := eval.Evaluate(gage, mg, p.K)
 		row.GAGERecall, row.GAGENDCG = mGAGE.Recall, mGAGE.NDCG
 		p.log("%s: OOI %.4f/%.4f GAGE %.4f/%.4f", spec.name,
@@ -255,7 +269,7 @@ func RunTable2(p Profile) ([]Table2Row, Table2Row) {
 	opts := p.ckatOptions()
 	ckatRow := run(baselineSpec{
 		name: "CKAT", propagation: true,
-		build: func() models.Recommender { return core.New(opts) },
+		build: func() models.Trainer { return core.New(opts) },
 		tune:  p.ckatTune,
 	})
 	rows = append(rows, ckatRow)
@@ -320,10 +334,10 @@ func RunTable3(p Profile) []Table3Row {
 		ooi, gage := p.Datasets(src)
 		p.log("== CKAT / %s ==", src.Name())
 		mo := core.New(p.ckatOptions())
-		mo.Fit(ooi, cfgOOI)
+		mustTrain(mo, ooi, cfgOOI)
 		mOOI := eval.Evaluate(ooi, mo, p.K)
 		mg := core.New(p.ckatOptions())
-		mg.Fit(gage, cfgGAGE)
+		mustTrain(mg, gage, cfgGAGE)
 		mGAGE := eval.Evaluate(gage, mg, p.K)
 		rows = append(rows, Table3Row{
 			Sources:   src.Name(),
@@ -370,10 +384,10 @@ func RunTable4(p Profile) []Table4Row {
 		v.mod(&opts)
 		p.log("== CKAT %s ==", v.name)
 		mo := core.New(opts)
-		mo.Fit(ooi, cfgOOI)
+		mustTrain(mo, ooi, cfgOOI)
 		mOOI := eval.Evaluate(ooi, mo, p.K)
 		mg := core.New(opts)
-		mg.Fit(gage, cfgGAGE)
+		mustTrain(mg, gage, cfgGAGE)
 		mGAGE := eval.Evaluate(gage, mg, p.K)
 		rows = append(rows, Table4Row{
 			Config:    v.name,
@@ -405,10 +419,10 @@ func RunTable5(p Profile) []Table4Row {
 		name := fmt.Sprintf("CKAT-%d", depth)
 		p.log("== %s ==", name)
 		mo := core.New(opts)
-		mo.Fit(ooi, cfgOOI)
+		mustTrain(mo, ooi, cfgOOI)
 		mOOI := eval.Evaluate(ooi, mo, p.K)
 		mg := core.New(opts)
-		mg.Fit(gage, cfgGAGE)
+		mustTrain(mg, gage, cfgGAGE)
 		mGAGE := eval.Evaluate(gage, mg, p.K)
 		rows = append(rows, Table4Row{
 			Config:    name,

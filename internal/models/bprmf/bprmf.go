@@ -6,6 +6,8 @@
 package bprmf
 
 import (
+	"context"
+
 	"repro/internal/autograd"
 	"repro/internal/dataset"
 	"repro/internal/models"
@@ -20,38 +22,43 @@ type Model struct {
 	nItems     int
 }
 
+var _ models.Trainer = (*Model)(nil)
+
 // New returns an untrained model.
 func New() *Model { return &Model{} }
 
-// Name implements models.Recommender.
+// Name implements models.Trainer.
 func (m *Model) Name() string { return "BPRMF" }
 
-// Fit trains with mini-batch BPR and Adam.
-func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+// Train implements models.Trainer: mini-batch BPR with Adam on the
+// shared engine.
+func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig) error {
 	g := rng.New(cfg.Seed).Split("bprmf")
 	m.nItems = d.NumItems
 	m.user = shared.NewEmbedding("bprmf.user", d.NumUsers, cfg.EmbedDim, g.Split("u"))
 	m.item = shared.NewEmbedding("bprmf.item", d.NumItems, cfg.EmbedDim, g.Split("i"))
-	opt := optim.NewAdam([]*autograd.Param{m.user, m.item}, cfg.LR, 0)
-	neg := d.NewNegSampler(cfg.Seed)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		var epochLoss float64
-		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
-		for _, b := range batches {
-			users, pos, negs := b[0], b[1], b[2]
-			tp := autograd.NewTape()
-			u := tp.Gather(tp.Leaf(m.user), users)
-			vp := tp.Gather(tp.Leaf(m.item), pos)
-			vn := tp.Gather(tp.Leaf(m.item), negs)
+	params := []*autograd.Param{m.user, m.item}
+	return shared.Train(ctx, d, cfg, shared.Spec{
+		Label:  "bprmf",
+		Params: params,
+		Opt:    optim.NewAdam(params, cfg.LR, 0),
+		Base:   g.Split("engine"),
+		Neg:    d.NewNegSampler(cfg.Seed),
+		Loss: func(tp *autograd.Tape, bc *shared.BatchCtx, users, pos, negs []int) *autograd.Node {
+			u := tp.Gather(bc.Leaf(tp, m.user), users)
+			vp := tp.Gather(bc.Leaf(tp, m.item), pos)
+			vn := tp.Gather(bc.Leaf(tp, m.item), negs)
 			loss := shared.BPRLoss(tp, tp.RowDot(u, vp), tp.RowDot(u, vn))
-			loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2, u, vp, vn))
-			tp.Backward(loss)
-			opt.Step()
-			epochLoss += loss.Value.Data[0]
-		}
-		cfg.Log("bprmf %s epoch %d/%d loss=%.4f", d.Name, epoch+1, cfg.Epochs,
-			epochLoss/float64(len(batches)))
-	}
+			return tp.Add(loss, shared.L2Reg(tp, cfg.L2, u, vp, vn))
+		},
+	})
+}
+
+// Fit implements the legacy models.Recommender contract.
+//
+// Deprecated: use Train.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	_ = m.Train(context.Background(), d, cfg)
 }
 
 // ScoreItems implements eval.Scorer: out[i] = <e_u, e_i>.

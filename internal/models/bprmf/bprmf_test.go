@@ -18,7 +18,7 @@ func TestBPRMFDeterministic(t *testing.T) {
 	d := modeltest.TinyDataset(t)
 	cfg := modeltest.QuickConfig()
 	cfg.Epochs = 2
-	modeltest.AssertDeterministic(t, func() models.Recommender { return New() }, d, cfg)
+	modeltest.AssertDeterministic(t, func() models.Trainer { return New() }, d, cfg)
 }
 
 func TestBPRMFName(t *testing.T) {

@@ -5,6 +5,8 @@
 package cfkg
 
 import (
+	"context"
+
 	"repro/internal/autograd"
 	"repro/internal/dataset"
 	"repro/internal/models"
@@ -22,17 +24,19 @@ type Model struct {
 	nItems   int
 }
 
+var _ models.Trainer = (*Model)(nil)
+
 // New returns an untrained model.
 func New() *Model { return &Model{} }
 
-// Name implements models.Recommender.
+// Name implements models.Trainer.
 func (m *Model) Name() string { return "CFKG" }
 
-// Fit trains TransE over all CKG triples (which include the training
-// Interact edges) with the margin loss, plus extra Interact batches
-// with corrupted item tails so the recommendation relation is trained
-// against ranking-relevant negatives.
-func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+// Train implements models.Trainer: TransE over all CKG triples (which
+// include the training Interact edges) with the margin loss, plus extra
+// Interact batches with corrupted item tails so the recommendation
+// relation is trained against ranking-relevant negatives.
+func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig) error {
 	g := rng.New(cfg.Seed).Split("cfkg")
 	m.nItems = d.NumItems
 	m.userEnt = d.UserEnt
@@ -40,15 +44,16 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 	m.interact = d.Interact
 	m.transe = shared.NewTransE(d.Graph.NumEntities(), d.Graph.NumRelations(),
 		cfg.EmbedDim, g.Split("e"))
-	opt := optim.NewAdam(m.transe.Params(), cfg.LR, 0)
-	kgSampler := shared.NewKGSampler(d.Graph, g.Split("kgneg"))
-	neg := d.NewNegSampler(cfg.Seed)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		var epochLoss float64
-		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
-		for _, b := range batches {
-			users, pos, negs := b[0], b[1], b[2]
-			tp := autograd.NewTape()
+	return shared.Train(ctx, d, cfg, shared.Spec{
+		Label:        "cfkg",
+		Params:       m.transe.Params(),
+		Opt:          optim.NewAdam(m.transe.Params(), cfg.LR, 0),
+		Base:         g.Split("engine"),
+		Neg:          d.NewNegSampler(cfg.Seed),
+		Samplers:     map[string]*shared.KGSampler{"kgneg": shared.NewKGSampler(d.Graph, g.Split("kgneg"))},
+		ExtraSamples: len(d.Train), // one structural triple per interaction pair
+		Loss: func(tp *autograd.Tape, bc *shared.BatchCtx, users, pos, negs []int) *autograd.Node {
+			te := bc.TransE(m.transe)
 			// Interact triples with item-space negatives.
 			n := len(users)
 			heads := make([]int, n)
@@ -61,17 +66,19 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 				tails[i] = m.itemEnt[pos[i]]
 				negT[i] = m.itemEnt[negs[i]]
 			}
-			loss := m.transe.MarginLoss(tp, heads, rels, tails, negT, 1.0)
+			loss := te.MarginLoss(tp, heads, rels, tails, negT, 1.0)
 			// Structural triples with uniform corrupted tails.
-			h, r, tl, nt := kgSampler.Batch(n)
-			loss = tp.Add(loss, m.transe.MarginLoss(tp, h, r, tl, nt, 1.0))
-			tp.Backward(loss)
-			opt.Step()
-			epochLoss += loss.Value.Data[0]
-		}
-		cfg.Log("cfkg %s epoch %d/%d loss=%.4f", d.Name, epoch+1, cfg.Epochs,
-			epochLoss/float64(len(batches)))
-	}
+			h, r, tl, nt := bc.KG("kgneg").Batch(n)
+			return tp.Add(loss, te.MarginLoss(tp, h, r, tl, nt, 1.0))
+		},
+	})
+}
+
+// Fit implements the legacy models.Recommender contract.
+//
+// Deprecated: use Train.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	_ = m.Train(context.Background(), d, cfg)
 }
 
 // ScoreItems implements eval.Scorer: −‖e_u + r_interact − e_v‖².

@@ -17,5 +17,5 @@ func TestCFKGDeterministic(t *testing.T) {
 	d := modeltest.TinyDataset(t)
 	cfg := modeltest.QuickConfig()
 	cfg.Epochs = 2
-	modeltest.AssertDeterministic(t, func() models.Recommender { return New() }, d, cfg)
+	modeltest.AssertDeterministic(t, func() models.Trainer { return New() }, d, cfg)
 }

@@ -7,6 +7,8 @@
 package cke
 
 import (
+	"context"
+
 	"repro/internal/autograd"
 	"repro/internal/dataset"
 	"repro/internal/models"
@@ -25,15 +27,18 @@ type Model struct {
 	dim     int
 }
 
+var _ models.Trainer = (*Model)(nil)
+
 // New returns an untrained model.
 func New() *Model { return &Model{} }
 
-// Name implements models.Recommender.
+// Name implements models.Trainer.
 func (m *Model) Name() string { return "CKE" }
 
-// Fit trains BPR + TransR jointly, alternating one interaction batch
-// with one KG batch per step (the usual CKE optimization).
-func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+// Train implements models.Trainer: BPR + TransR trained jointly,
+// alternating one interaction batch with one KG batch per step (the
+// usual CKE optimization), on the shared engine.
+func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig) error {
 	g := rng.New(cfg.Seed).Split("cke")
 	m.nItems = d.NumItems
 	m.dim = cfg.EmbedDim
@@ -43,31 +48,33 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 	m.transr = shared.NewTransR(d.Graph.NumEntities(), d.Graph.NumRelations(),
 		cfg.EmbedDim, cfg.EmbedDim, g.Split("kg"))
 	params := append([]*autograd.Param{m.user, m.item}, m.transr.Params()...)
-	opt := optim.NewAdam(params, cfg.LR, 0)
-	neg := d.NewNegSampler(cfg.Seed)
-	kgSampler := shared.NewKGSampler(d.Graph, g.Split("kgneg"))
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		var epochLoss float64
-		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
-		for _, b := range batches {
-			users, pos, negs := b[0], b[1], b[2]
-			tp := autograd.NewTape()
-			u := tp.Gather(tp.Leaf(m.user), users)
-			ent := tp.Leaf(m.transr.Ent)
-			vp := tp.Add(tp.Gather(tp.Leaf(m.item), pos), tp.Gather(ent, entIdx(m.itemEnt, pos)))
-			vn := tp.Add(tp.Gather(tp.Leaf(m.item), negs), tp.Gather(ent, entIdx(m.itemEnt, negs)))
+	return shared.Train(ctx, d, cfg, shared.Spec{
+		Label:    "cke",
+		Params:   params,
+		Opt:      optim.NewAdam(params, cfg.LR, 0),
+		Base:     g.Split("engine"),
+		Neg:      d.NewNegSampler(cfg.Seed),
+		Samplers: map[string]*shared.KGSampler{"kgneg": shared.NewKGSampler(d.Graph, g.Split("kgneg"))},
+		ExtraSamples: len(d.Train), // one structural triple per interaction pair
+		Loss: func(tp *autograd.Tape, bc *shared.BatchCtx, users, pos, negs []int) *autograd.Node {
+			u := tp.Gather(bc.Leaf(tp, m.user), users)
+			ent := bc.Leaf(tp, m.transr.Ent)
+			vp := tp.Add(tp.Gather(bc.Leaf(tp, m.item), pos), tp.Gather(ent, entIdx(m.itemEnt, pos)))
+			vn := tp.Add(tp.Gather(bc.Leaf(tp, m.item), negs), tp.Gather(ent, entIdx(m.itemEnt, negs)))
 			loss := shared.BPRLoss(tp, tp.RowDot(u, vp), tp.RowDot(u, vn))
 			// TransR structural loss on a same-sized KG batch.
-			h, r, tl, nt := kgSampler.Batch(len(users))
-			loss = tp.Add(loss, m.transr.MarginLoss(tp, h, r, tl, nt, 1.0))
-			loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2, u, vp, vn))
-			tp.Backward(loss)
-			opt.Step()
-			epochLoss += loss.Value.Data[0]
-		}
-		cfg.Log("cke %s epoch %d/%d loss=%.4f", d.Name, epoch+1, cfg.Epochs,
-			epochLoss/float64(len(batches)))
-	}
+			h, r, tl, nt := bc.KG("kgneg").Batch(len(users))
+			loss = tp.Add(loss, bc.TransR(m.transr).MarginLoss(tp, h, r, tl, nt, 1.0))
+			return tp.Add(loss, shared.L2Reg(tp, cfg.L2, u, vp, vn))
+		},
+	})
+}
+
+// Fit implements the legacy models.Recommender contract.
+//
+// Deprecated: use Train.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	_ = m.Train(context.Background(), d, cfg)
 }
 
 // entIdx maps item indices to their CKG entity IDs.

@@ -12,6 +12,8 @@
 package fm
 
 import (
+	"context"
+
 	"repro/internal/autograd"
 	"repro/internal/dataset"
 	"repro/internal/models"
@@ -35,10 +37,12 @@ type Model struct {
 	itemWSum   []float64     // items: Σ w_f
 }
 
+var _ models.Trainer = (*Model)(nil)
+
 // New returns an untrained model.
 func New() *Model { return &Model{} }
 
-// Name implements models.Recommender.
+// Name implements models.Trainer.
 func (m *Model) Name() string { return "FM" }
 
 // batchNodes assembles the score node for a batch of (user, item)
@@ -67,8 +71,9 @@ func (m *Model) batchNodes(tp *autograd.Tape, w, v *autograd.Node,
 	return tp.Add(linear, pairwise)
 }
 
-// Fit trains the FM with BPR over (positive, sampled negative) pairs.
-func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+// Train implements models.Trainer: BPR over (positive, sampled
+// negative) pairs on the shared engine.
+func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig) error {
 	g := rng.New(cfg.Seed).Split("fm")
 	m.feats = shared.BuildFeatures(d)
 	m.dim = cfg.EmbedDim
@@ -76,28 +81,34 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 	m.w = autograd.NewParam("fm.w", m.feats.NumFeatures, 1)
 	m.v = shared.NewEmbedding("fm.v", m.feats.NumFeatures, cfg.EmbedDim, g.Split("v"))
 	optim.NormalInit(m.w, g.Split("w"), 0.01)
-	opt := optim.NewAdam([]*autograd.Param{m.w, m.v}, cfg.LR, 0)
-	neg := d.NewNegSampler(cfg.Seed)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		var epochLoss float64
-		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
-		for _, b := range batches {
-			users, pos, negs := b[0], b[1], b[2]
-			tp := autograd.NewTape()
-			w := tp.Leaf(m.w)
-			v := tp.Leaf(m.v)
+	params := []*autograd.Param{m.w, m.v}
+	err := shared.Train(ctx, d, cfg, shared.Spec{
+		Label:  "fm",
+		Params: params,
+		Opt:    optim.NewAdam(params, cfg.LR, 0),
+		Base:   g.Split("engine"),
+		Neg:    d.NewNegSampler(cfg.Seed),
+		Loss: func(tp *autograd.Tape, bc *shared.BatchCtx, users, pos, negs []int) *autograd.Node {
+			w := bc.Leaf(tp, m.w)
+			v := bc.Leaf(tp, m.v)
 			posScore := m.batchNodes(tp, w, v, users, pos)
 			negScore := m.batchNodes(tp, w, v, users, negs)
 			loss := shared.BPRLoss(tp, posScore, negScore)
-			loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2, v))
-			tp.Backward(loss)
-			opt.Step()
-			epochLoss += loss.Value.Data[0]
-		}
-		cfg.Log("fm %s epoch %d/%d loss=%.4f", d.Name, epoch+1, cfg.Epochs,
-			epochLoss/float64(len(batches)))
+			return tp.Add(loss, shared.L2Reg(tp, cfg.L2, v))
+		},
+	})
+	if err != nil {
+		return err
 	}
 	m.buildInferenceCache()
+	return nil
+}
+
+// Fit implements the legacy models.Recommender contract.
+//
+// Deprecated: use Train.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	_ = m.Train(context.Background(), d, cfg)
 }
 
 // buildInferenceCache precomputes the per-item feature aggregates so

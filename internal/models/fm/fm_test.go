@@ -17,7 +17,7 @@ func TestFMDeterministic(t *testing.T) {
 	d := modeltest.TinyDataset(t)
 	cfg := modeltest.QuickConfig()
 	cfg.Epochs = 2
-	modeltest.AssertDeterministic(t, func() models.Recommender { return New() }, d, cfg)
+	modeltest.AssertDeterministic(t, func() models.Trainer { return New() }, d, cfg)
 }
 
 // The inference cache must reproduce the training-graph scores exactly.

@@ -7,6 +7,7 @@
 package kgcn
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/autograd"
@@ -41,12 +42,14 @@ type Model struct {
 	evalRaw       []*tensor.Dense
 }
 
+var _ models.Trainer = (*Model)(nil)
+
 // New returns an untrained KGCN with 2 layers and a sampled
 // neighborhood of 8 (grid-searched on the synthetic facilities, the
 // same per-model tuning the paper applies in §VI-D).
 func New() *Model { return &Model{layers: 2, sample: 8} }
 
-// Name implements models.Recommender.
+// Name implements models.Trainer.
 func (m *Model) Name() string { return "KGCN" }
 
 // buildNeighborhoods samples the fixed-size receptive field over the
@@ -98,10 +101,10 @@ func (m *Model) receptive(cur []int) (ents, rels []int) {
 
 // forward builds the tape computation of final item representations for
 // a batch of (user, item) pairs and returns the B×1 score node.
-func (m *Model) forward(tp *autograd.Tape, users, items []int) *autograd.Node {
-	userN := tp.Leaf(m.user)
-	entN := tp.Leaf(m.ent)
-	relN := tp.Leaf(m.rel)
+func (m *Model) forward(tp *autograd.Tape, bc *shared.BatchCtx, users, items []int) *autograd.Node {
+	userN := bc.Leaf(tp, m.user)
+	entN := bc.Leaf(tp, m.ent)
+	relN := bc.Leaf(tp, m.rel)
 	b := len(items)
 
 	// Entity frontiers per depth: depth 0 = items, depth h = S^h per example.
@@ -149,14 +152,14 @@ func (m *Model) forward(tp *autograd.Tape, users, items []int) *autograd.Node {
 		aggN := tp.SegmentSumRows(weighted, seg, len(frontiers[h-1]))
 		// Sum aggregator: ReLU(W (self + agg) + b).
 		mixed := tp.Add(reps[h-1], aggN)
-		reps[h-1] = tp.ReLU(tp.AddRowVec(tp.MatMulT(mixed, tp.Leaf(m.w[h-1])),
-			tp.Leaf(m.b[h-1])))
+		reps[h-1] = tp.ReLU(tp.AddRowVec(tp.MatMulT(mixed, bc.Leaf(tp, m.w[h-1])),
+			bc.Leaf(tp, m.b[h-1])))
 	}
 	return tp.RowDot(uEmb, reps[0])
 }
 
-// Fit trains KGCN with BPR and Adam.
-func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+// Train implements models.Trainer: BPR with Adam on the shared engine.
+func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig) error {
 	g := rng.New(cfg.Seed).Split("kgcn")
 	m.dim = cfg.EmbedDim
 	m.nItems = d.NumItems
@@ -175,27 +178,32 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 		m.b = append(m.b, bb)
 		params = append(params, w, bb)
 	}
-	opt := optim.NewAdam(params, cfg.LR, 0)
-	neg := d.NewNegSampler(cfg.Seed)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		var epochLoss float64
-		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
-		for _, b := range batches {
-			users, pos, negs := b[0], b[1], b[2]
-			tp := autograd.NewTape()
-			posScore := m.forward(tp, users, pos)
-			negScore := m.forward(tp, users, negs)
+	err := shared.Train(ctx, d, cfg, shared.Spec{
+		Label:  "kgcn",
+		Params: params,
+		Opt:    optim.NewAdam(params, cfg.LR, 0),
+		Base:   g.Split("engine"),
+		Neg:    d.NewNegSampler(cfg.Seed),
+		Loss: func(tp *autograd.Tape, bc *shared.BatchCtx, users, pos, negs []int) *autograd.Node {
+			posScore := m.forward(tp, bc, users, pos)
+			negScore := m.forward(tp, bc, users, negs)
 			loss := shared.BPRLoss(tp, posScore, negScore)
-			loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2,
-				tp.Gather(tp.Leaf(m.user), users)))
-			tp.Backward(loss)
-			opt.Step()
-			epochLoss += loss.Value.Data[0]
-		}
-		cfg.Log("kgcn %s epoch %d/%d loss=%.4f", d.Name, epoch+1, cfg.Epochs,
-			epochLoss/float64(len(batches)))
+			return tp.Add(loss, shared.L2Reg(tp, cfg.L2,
+				tp.Gather(bc.Leaf(tp, m.user), users)))
+		},
+	})
+	if err != nil {
+		return err
 	}
 	m.buildEvalCache()
+	return nil
+}
+
+// Fit implements the legacy models.Recommender contract.
+//
+// Deprecated: use Train.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	_ = m.Train(context.Background(), d, cfg)
 }
 
 // buildEvalCache precomputes the user-independent parts of inference:

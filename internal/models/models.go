@@ -5,18 +5,59 @@
 package models
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/dataset"
 	"repro/internal/eval"
 )
 
-// Recommender is a trainable top-K recommendation model.
+// Trainer is the training contract every model implements: a trainable,
+// context-aware top-K recommender. Train must honor ctx (returning
+// ctx.Err() promptly when cancelled, leaving the model partially
+// trained) and must be deterministic given (cfg.Seed, cfg.Workers):
+// with Workers <= 1 it reproduces the historical single-goroutine
+// results bit-for-bit, and for any fixed Workers = N two runs produce
+// identical parameters.
+type Trainer interface {
+	eval.Scorer
+	// Name returns the model's Table II row label.
+	Name() string
+	// Train fits the model on d under cfg.
+	Train(ctx context.Context, d *dataset.Dataset, cfg TrainConfig) error
+}
+
+// Recommender is the legacy training contract.
+//
+// Deprecated: use Trainer. Fit is Train with context.Background() and a
+// discarded error; it is kept for one release so downstream callers
+// migrate at their own pace.
 type Recommender interface {
 	eval.Scorer
 	// Name returns the model's Table II row label.
 	Name() string
 	// Fit trains the model on d. Implementations must be deterministic
 	// given cfg.Seed.
+	//
+	// Deprecated: use Trainer.Train.
 	Fit(d *dataset.Dataset, cfg TrainConfig)
+}
+
+// ProgressEvent reports one completed training epoch to the
+// TrainConfig.Progress callback.
+type ProgressEvent struct {
+	Model   string
+	Dataset string
+	Epoch   int // 1-based
+	Epochs  int
+	// Loss is the mean per-batch training loss of the epoch (for CKAT,
+	// the BPR phase loss — the quantity its log line reports as cfLoss).
+	Loss     float64
+	Duration time.Duration // epoch wall time
+	// Samples counts training examples processed this epoch (including
+	// KG-phase triples for models with an embedding-layer phase).
+	Samples       int
+	SamplesPerSec float64
 }
 
 // TrainConfig carries the hyperparameters shared across models
@@ -29,8 +70,17 @@ type TrainConfig struct {
 	EmbedDim  int
 	Dropout   float64
 	Seed      int64
+	// Workers caps the number of concurrent gradient workers. 0 or 1
+	// trains sequentially, reproducing the pre-parallel results
+	// bit-for-bit. N > 1 runs synchronous rounds of N mini-batches:
+	// each round's gradients are computed concurrently from the same
+	// parameter snapshot, then applied in batch order, so results are
+	// deterministic for any fixed N (and independent of scheduling).
+	Workers int
 	// Logf, when non-nil, receives per-epoch progress lines.
 	Logf func(format string, args ...any)
+	// Progress, when non-nil, receives one ProgressEvent per epoch.
+	Progress func(ProgressEvent)
 }
 
 // DefaultTrainConfig mirrors the paper's settings (§VI-D): embedding
@@ -48,9 +98,29 @@ func DefaultTrainConfig() TrainConfig {
 	}
 }
 
+// EffectiveWorkers normalizes Workers to a positive worker count.
+func (c TrainConfig) EffectiveWorkers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
 // Log emits a progress line when Logf is configured.
 func (c TrainConfig) Log(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
 	}
+}
+
+// ReportProgress delivers ev to the Progress callback when one is
+// configured, deriving SamplesPerSec from Samples and Duration.
+func (c TrainConfig) ReportProgress(ev ProgressEvent) {
+	if c.Progress == nil {
+		return
+	}
+	if ev.Duration > 0 {
+		ev.SamplesPerSec = float64(ev.Samples) / ev.Duration.Seconds()
+	}
+	c.Progress(ev)
 }

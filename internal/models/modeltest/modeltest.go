@@ -5,6 +5,7 @@
 package modeltest
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -58,10 +59,12 @@ func (s fixedScorer) NumItems() int { return s.n }
 
 // AssertLearns trains m on d and fails unless recall@20 exceeds
 // minLift × the random baseline.
-func AssertLearns(t *testing.T, m models.Recommender, d *dataset.Dataset,
+func AssertLearns(t *testing.T, m models.Trainer, d *dataset.Dataset,
 	cfg models.TrainConfig, minLift float64) eval.Metrics {
 	t.Helper()
-	m.Fit(d, cfg)
+	if err := m.Train(context.Background(), d, cfg); err != nil {
+		t.Fatalf("%s Train: %v", m.Name(), err)
+	}
 	got := eval.Evaluate(d, m, 20)
 	floor := RandomBaselineRecall(t, d, 20)
 	if got.Recall < floor*minLift {
@@ -73,14 +76,18 @@ func AssertLearns(t *testing.T, m models.Recommender, d *dataset.Dataset,
 
 // AssertDeterministic trains two fresh instances with the same seed and
 // fails if their evaluations differ.
-func AssertDeterministic(t *testing.T, build func() models.Recommender,
+func AssertDeterministic(t *testing.T, build func() models.Trainer,
 	d *dataset.Dataset, cfg models.TrainConfig) {
 	t.Helper()
 	a := build()
-	a.Fit(d, cfg)
+	if err := a.Train(context.Background(), d, cfg); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
 	ma := eval.Evaluate(d, a, 20)
 	b := build()
-	b.Fit(d, cfg)
+	if err := b.Train(context.Background(), d, cfg); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
 	mb := eval.Evaluate(d, b, 20)
 	if ma != mb {
 		t.Fatalf("same seed gave different results: %+v vs %+v", ma, mb)

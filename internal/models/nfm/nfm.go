@@ -8,6 +8,8 @@
 package nfm
 
 import (
+	"context"
+
 	"repro/internal/autograd"
 	"repro/internal/dataset"
 	"repro/internal/models"
@@ -34,15 +36,17 @@ type Model struct {
 	itemWSum   []float64
 }
 
+var _ models.Trainer = (*Model)(nil)
+
 // New returns an untrained model with hidden width 64.
 func New() *Model { return &Model{hidden: 64} }
 
-// Name implements models.Recommender.
+// Name implements models.Trainer.
 func (m *Model) Name() string { return "NFM" }
 
 // biPool builds the bi-interaction vector for a batch.
-func (m *Model) biPool(tp *autograd.Tape, v *autograd.Node,
-	users, items []int) (bi, linear *autograd.Node, w *autograd.Node) {
+func (m *Model) biPool(tp *autograd.Tape, bc *shared.BatchCtx, v *autograd.Node,
+	users, items []int) (bi, linear *autograd.Node) {
 	var flat []int
 	var seg []int
 	for ex := range users {
@@ -58,26 +62,26 @@ func (m *Model) biPool(tp *autograd.Tape, v *autograd.Node,
 	sqOfSum := tp.Mul(sumV, sumV)
 	sumOfSq := tp.SegmentSumRows(tp.Mul(vf, vf), seg, b)
 	bi = tp.Scale(tp.Sub(sqOfSum, sumOfSq), 0.5)
-	w = tp.Leaf(m.w)
+	w := bc.Leaf(tp, m.w)
 	linear = tp.SegmentSumRows(tp.Gather(w, flat), seg, b)
-	return bi, linear, w
+	return bi, linear
 }
 
 // score builds the full NFM score node for a batch, applying dropout to
 // the bi-interaction layer during training.
-func (m *Model) score(tp *autograd.Tape, v *autograd.Node, users, items []int,
-	dropout float64, g *rng.RNG) *autograd.Node {
-	bi, linear, _ := m.biPool(tp, v, users, items)
+func (m *Model) score(tp *autograd.Tape, bc *shared.BatchCtx, v *autograd.Node,
+	users, items []int, dropout float64, g *rng.RNG) *autograd.Node {
+	bi, linear := m.biPool(tp, bc, v, users, items)
 	if dropout > 0 {
 		bi = tp.Dropout(bi, dropout, g)
 	}
-	h := tp.ReLU(tp.AddRowVec(tp.MatMulT(bi, tp.Leaf(m.w1)), tp.Leaf(m.b1)))
-	deep := tp.MatMul(h, tp.Leaf(m.p)) // B×1
+	h := tp.ReLU(tp.AddRowVec(tp.MatMulT(bi, bc.Leaf(tp, m.w1)), bc.Leaf(tp, m.b1)))
+	deep := tp.MatMul(h, bc.Leaf(tp, m.p)) // B×1
 	return tp.Add(linear, deep)
 }
 
-// Fit trains the NFM with BPR and Adam.
-func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+// Train implements models.Trainer: BPR with Adam on the shared engine.
+func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig) error {
 	g := rng.New(cfg.Seed).Split("nfm")
 	m.feats = shared.BuildFeatures(d)
 	m.dim = cfg.EmbedDim
@@ -89,28 +93,34 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 	m.b1 = autograd.NewParam("nfm.b1", 1, m.hidden)
 	m.p = shared.NewEmbedding("nfm.p", m.hidden, 1, g.Split("p"))
 	params := []*autograd.Param{m.w, m.v, m.w1, m.b1, m.p}
-	opt := optim.NewAdam(params, cfg.LR, 0)
-	neg := d.NewNegSampler(cfg.Seed)
-	drop := g.Split("dropout")
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		var epochLoss float64
-		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
-		for _, b := range batches {
-			users, pos, negs := b[0], b[1], b[2]
-			tp := autograd.NewTape()
-			v := tp.Leaf(m.v)
-			posScore := m.score(tp, v, users, pos, cfg.Dropout, drop)
-			negScore := m.score(tp, v, users, negs, cfg.Dropout, drop)
+	err := shared.Train(ctx, d, cfg, shared.Spec{
+		Label:   "nfm",
+		Params:  params,
+		Opt:     optim.NewAdam(params, cfg.LR, 0),
+		Base:    g.Split("engine"),
+		Neg:     d.NewNegSampler(cfg.Seed),
+		Streams: map[string]*rng.RNG{"dropout": g.Split("dropout")},
+		Loss: func(tp *autograd.Tape, bc *shared.BatchCtx, users, pos, negs []int) *autograd.Node {
+			v := bc.Leaf(tp, m.v)
+			drop := bc.RNG("dropout")
+			posScore := m.score(tp, bc, v, users, pos, cfg.Dropout, drop)
+			negScore := m.score(tp, bc, v, users, negs, cfg.Dropout, drop)
 			loss := shared.BPRLoss(tp, posScore, negScore)
-			loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2, v))
-			tp.Backward(loss)
-			opt.Step()
-			epochLoss += loss.Value.Data[0]
-		}
-		cfg.Log("nfm %s epoch %d/%d loss=%.4f", d.Name, epoch+1, cfg.Epochs,
-			epochLoss/float64(len(batches)))
+			return tp.Add(loss, shared.L2Reg(tp, cfg.L2, v))
+		},
+	})
+	if err != nil {
+		return err
 	}
 	m.buildInferenceCache()
+	return nil
+}
+
+// Fit implements the legacy models.Recommender contract.
+//
+// Deprecated: use Train.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	_ = m.Train(context.Background(), d, cfg)
 }
 
 func (m *Model) buildInferenceCache() {

@@ -13,6 +13,7 @@
 package ripplenet
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/autograd"
@@ -41,11 +42,13 @@ type Model struct {
 	rippleH, rippleR, rippleT [][][]int
 }
 
+var _ models.Trainer = (*Model)(nil)
+
 // New returns an untrained RippleNet with 2 hops (§VI-D: n_hop=2) and
 // ripple sets of 32 entries.
 func New() *Model { return &Model{hops: 2, setLen: 32} }
 
-// Name implements models.Recommender.
+// Name implements models.Trainer.
 func (m *Model) Name() string { return "RippleNet" }
 
 // buildRippleSets samples each user's per-hop ripple sets over the item
@@ -128,14 +131,14 @@ func (m *Model) batchRipples(users []int, h int) (heads, rels, tails []int) {
 
 // transformHeads computes R_{r_i} h_i for a flattened entry list,
 // grouping by relation so each group shares one d×d product.
-func (m *Model) transformHeads(tp *autograd.Tape, ent *autograd.Node,
-	heads, rels []int) *autograd.Node {
+func (m *Model) transformHeads(tp *autograd.Tape, bc *shared.BatchCtx,
+	ent *autograd.Node, heads, rels []int) *autograd.Node {
 	groups := shared.GroupByRelation(rels)
 	var scattered *autograd.Node
 	for _, r := range groups.Rels {
 		idx := groups.Idx[r]
 		hEmb := tp.Gather(ent, groups.Select(r, heads))
-		rh := tp.MatMulT(hEmb, tp.Leaf(m.relM[r])) // n_r×d
+		rh := tp.MatMulT(hEmb, bc.Leaf(tp, m.relM[r])) // n_r×d
 		sc := tp.Scatter(rh, idx, len(heads))
 		if scattered == nil {
 			scattered = sc
@@ -182,8 +185,8 @@ func (m *Model) scores(tp *autograd.Tape, ent *autograd.Node, users, items []int
 	return total
 }
 
-// Fit trains RippleNet with BPR and Adam.
-func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+// Train implements models.Trainer: BPR with Adam on the shared engine.
+func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig) error {
 	g := rng.New(cfg.Seed).Split("ripplenet")
 	m.dim = 16 // §VI-D: RippleNet embedding size fixed at 16
 	m.nItems = d.NumItems
@@ -197,33 +200,34 @@ func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
 		m.relM = append(m.relM, w)
 		params = append(params, w)
 	}
-	opt := optim.NewAdam(params, cfg.LR, 0)
-	neg := d.NewNegSampler(cfg.Seed)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		var epochLoss float64
-		batches := d.Batches(cfg.BatchSize, cfg.Seed+int64(epoch), neg)
-		for _, b := range batches {
-			users, pos, negs := b[0], b[1], b[2]
-			tp := autograd.NewTape()
-			ent := tp.Leaf(m.ent)
+	return shared.Train(ctx, d, cfg, shared.Spec{
+		Label:  "ripplenet",
+		Params: params,
+		Opt:    optim.NewAdam(params, cfg.LR, 0),
+		Base:   g.Split("engine"),
+		Neg:    d.NewNegSampler(cfg.Seed),
+		Loss: func(tp *autograd.Tape, bc *shared.BatchCtx, users, pos, negs []int) *autograd.Node {
+			ent := bc.Leaf(tp, m.ent)
 			rh := make([]*autograd.Node, m.hops)
 			tails := make([][]int, m.hops)
 			for h := 0; h < m.hops; h++ {
 				heads, rels, tl := m.batchRipples(users, h)
-				rh[h] = m.transformHeads(tp, ent, heads, rels)
+				rh[h] = m.transformHeads(tp, bc, ent, heads, rels)
 				tails[h] = tl
 			}
 			posScore := m.scores(tp, ent, users, pos, rh, tails)
 			negScore := m.scores(tp, ent, users, negs, rh, tails)
 			loss := shared.BPRLoss(tp, posScore, negScore)
-			loss = tp.Add(loss, shared.L2Reg(tp, cfg.L2, rh[0]))
-			tp.Backward(loss)
-			opt.Step()
-			epochLoss += loss.Value.Data[0]
-		}
-		cfg.Log("ripplenet %s epoch %d/%d loss=%.4f", d.Name, epoch+1, cfg.Epochs,
-			epochLoss/float64(len(batches)))
-	}
+			return tp.Add(loss, shared.L2Reg(tp, cfg.L2, rh[0]))
+		},
+	})
+}
+
+// Fit implements the legacy models.Recommender contract.
+//
+// Deprecated: use Train.
+func (m *Model) Fit(d *dataset.Dataset, cfg models.TrainConfig) {
+	_ = m.Train(context.Background(), d, cfg)
 }
 
 // ScoreItems implements eval.Scorer: for one user, score every item

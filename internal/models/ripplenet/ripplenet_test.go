@@ -17,7 +17,7 @@ func TestRippleNetDeterministic(t *testing.T) {
 	d := modeltest.TinyDataset(t)
 	cfg := modeltest.QuickConfig()
 	cfg.Epochs = 2
-	modeltest.AssertDeterministic(t, func() models.Recommender { return New() }, d, cfg)
+	modeltest.AssertDeterministic(t, func() models.Trainer { return New() }, d, cfg)
 }
 
 func TestRippleSetsStayOffUsers(t *testing.T) {

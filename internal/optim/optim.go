@@ -5,9 +5,11 @@
 package optim
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/autograd"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -96,6 +98,7 @@ type Adam struct {
 
 	m, v []*tensor.Dense
 	t    int
+	pool *parallel.Pool
 }
 
 // NewAdam builds an Adam optimizer with the standard defaults
@@ -117,23 +120,63 @@ func NewAdam(params []*autograd.Param, lr, decay float64) *Adam {
 // Params implements Optimizer.
 func (o *Adam) Params() []*autograd.Param { return o.params }
 
+// Parallel runs subsequent Steps on p, chunking parameters by element
+// range. The Adam update is element-wise, so the chunked update is
+// bit-identical to the serial loop for any worker count. Returns o for
+// chaining.
+func (o *Adam) Parallel(p *parallel.Pool) *Adam {
+	o.pool = p
+	return o
+}
+
+// adamChunkElems balances fan-out overhead against chunk granularity;
+// only the big embedding tables split into more than one chunk.
+const adamChunkElems = 16384
+
 // Step implements Optimizer.
 func (o *Adam) Step() {
 	o.t++
 	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
-	for pi, p := range o.params {
-		m, v := o.m[pi], o.v[pi]
-		for i, g := range p.Grad.Data {
-			if o.Decay != 0 {
-				g += o.Decay * p.Value.Data[i]
-			}
-			m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
-			v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
-			mhat := m.Data[i] / bc1
-			vhat := v.Data[i] / bc2
-			p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+	if o.pool == nil || o.pool.Workers() <= 1 {
+		for pi, p := range o.params {
+			o.update(pi, 0, len(p.Grad.Data), bc1, bc2)
 		}
-		p.ZeroGrad()
+		return
+	}
+	type chunk struct{ pi, lo, hi int }
+	var chunks []chunk
+	for pi, p := range o.params {
+		n := len(p.Grad.Data)
+		for lo := 0; lo < n; lo += adamChunkElems {
+			hi := lo + adamChunkElems
+			if hi > n {
+				hi = n
+			}
+			chunks = append(chunks, chunk{pi, lo, hi})
+		}
+	}
+	o.pool.Run(context.Background(), len(chunks), func(i int) {
+		c := chunks[i]
+		o.update(c.pi, c.lo, c.hi, bc1, bc2)
+	})
+}
+
+// update applies the Adam rule to elements [lo, hi) of parameter pi and
+// zeroes the consumed gradient range.
+func (o *Adam) update(pi, lo, hi int, bc1, bc2 float64) {
+	p := o.params[pi]
+	m, v := o.m[pi], o.v[pi]
+	for i := lo; i < hi; i++ {
+		g := p.Grad.Data[i]
+		if o.Decay != 0 {
+			g += o.Decay * p.Value.Data[i]
+		}
+		m.Data[i] = o.Beta1*m.Data[i] + (1-o.Beta1)*g
+		v.Data[i] = o.Beta2*v.Data[i] + (1-o.Beta2)*g*g
+		mhat := m.Data[i] / bc1
+		vhat := v.Data[i] / bc2
+		p.Value.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		p.Grad.Data[i] = 0
 	}
 }

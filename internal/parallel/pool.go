@@ -1,0 +1,84 @@
+// Package parallel provides the bounded worker pool shared by the
+// training engine, attention recomputation, evaluation, and the
+// optimizers. It generalizes the fan-out pattern proven in
+// internal/serve: a counting-semaphore bound on concurrency, context
+// cancellation between task starts, and a WaitGroup barrier, so a
+// caller can fan N independent tasks across at most W goroutines and
+// observe deterministic results (each task owns a disjoint output
+// slot; the pool itself never reorders or drops completed work).
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of concurrently executing tasks. The zero
+// value is not usable; construct with New. A Pool is safe for
+// concurrent use and may be shared by independent Run calls (the bound
+// then applies to their combined concurrency).
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// New returns a pool running at most workers tasks at once. workers <=
+// 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(i) for every i in [0, n), at most Workers() at a
+// time, and blocks until all started tasks finish. If ctx is cancelled,
+// tasks not yet started are skipped and ctx.Err() is returned; callers
+// must treat any partial outputs as invalid.
+func (p *Pool) Run(ctx context.Context, n int, fn func(i int)) error {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		case p.sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				<-p.sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// RunChunks partitions [0, n) into one contiguous chunk per worker and
+// executes fn(chunk, lo, hi) for each non-empty chunk. Chunk boundaries
+// depend only on (n, Workers()), so output written per-index is
+// identical for any schedule.
+func (p *Pool) RunChunks(ctx context.Context, n int, fn func(chunk, lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	size := (n + w - 1) / w
+	return p.Run(ctx, w, func(c int) {
+		lo := c * size
+		hi := min(lo+size, n)
+		if lo < hi {
+			fn(c, lo, hi)
+		}
+	})
+}

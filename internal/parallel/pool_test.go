@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesEveryTask(t *testing.T) {
+	p := New(4)
+	out := make([]int, 100)
+	if err := p.Run(context.Background(), len(out), func(i int) { out[i] = i + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("task %d not executed (got %d)", i, v)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	err := p.Run(context.Background(), 50, func(int) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds bound %d", got, workers)
+	}
+}
+
+func TestRunStopsOnCancel(t *testing.T) {
+	p := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := p.Run(ctx, 1000, func(i int) {
+		started.Add(1)
+		if i == 2 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop task starts (%d ran)", n)
+	}
+}
+
+func TestRunChunksCoverDisjointRanges(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 10}, {3, 10}, {4, 4}, {8, 3}, {5, 0},
+	} {
+		p := New(tc.workers)
+		seen := make([]int, tc.n)
+		if err := p.RunChunks(context.Background(), tc.n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d n=%d: index %d covered %d times",
+					tc.workers, tc.n, i, c)
+			}
+		}
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 || New(-1).Workers() < 1 {
+		t.Fatal("non-positive workers must fall back to a positive bound")
+	}
+}

@@ -8,6 +8,7 @@
 package rng
 
 import (
+	"encoding/binary"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -36,6 +37,23 @@ func (g *RNG) Split(label string) *RNG {
 	// the parent stream itself is not consumed.
 	mix := int64(h.Sum64())
 	return New(mix ^ g.baseSeed())
+}
+
+// SplitIndexed derives a child stream from a label plus integer
+// indices, hashing the indices directly instead of formatting them into
+// the label. The parallel training engine uses it for per-(epoch,
+// batch) substreams: SplitIndexed("neg", e, b) names the same stream no
+// matter which worker asks, so sampling is independent of worker count
+// and scheduling. Like Split, it does not consume the parent stream.
+func (g *RNG) SplitIndexed(label string, idx ...int64) *RNG {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	var buf [8]byte
+	for _, v := range idx {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return New(int64(h.Sum64()) ^ g.baseSeed())
 }
 
 // baseSeed returns the seed material recorded at construction; Split

@@ -9,6 +9,8 @@
 package tuning
 
 import (
+	"context"
+
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/models"
@@ -43,9 +45,11 @@ type Result struct {
 // on the inner split with the candidate configuration and scored on the
 // inner validation set with recall@K. It returns the best configuration
 // (ties resolved toward the earliest grid point, keeping the search
-// deterministic) and all results in grid order.
-func Search(d *dataset.Dataset, build func() models.Recommender,
-	base models.TrainConfig, grid Grid, k int) (Result, []Result) {
+// deterministic) and all results in grid order. Cancelling ctx aborts
+// the search between (and inside) grid points; the partial results
+// gathered so far are returned alongside ctx.Err().
+func Search(ctx context.Context, d *dataset.Dataset, build func() models.Trainer,
+	base models.TrainConfig, grid Grid, k int) (Result, []Result, error) {
 	inner := dataset.BuildSubset(d.Trace, d.Train, d.Sources, base.Seed+1)
 	lrs := orDefault(grid.LR, base.LR)
 	l2s := orDefault(grid.L2, base.L2)
@@ -59,8 +63,13 @@ func Search(d *dataset.Dataset, build func() models.Recommender,
 				cfg := base
 				cfg.LR, cfg.L2, cfg.Dropout = lr, l2, drop
 				m := build()
-				m.Fit(inner, cfg)
-				metrics := eval.Evaluate(inner, m, k)
+				if err := m.Train(ctx, inner, cfg); err != nil {
+					return best, all, err
+				}
+				metrics, err := eval.EvaluateCtx(ctx, inner, m, k, cfg.Workers)
+				if err != nil {
+					return best, all, err
+				}
 				r := Result{LR: lr, L2: l2, Dropout: drop,
 					Recall: metrics.Recall, NDCG: metrics.NDCG}
 				all = append(all, r)
@@ -72,7 +81,7 @@ func Search(d *dataset.Dataset, build func() models.Recommender,
 			}
 		}
 	}
-	return best, all
+	return best, all, nil
 }
 
 // Apply copies a result's hyperparameters into a training config.

@@ -1,6 +1,7 @@
 package tuning
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/models"
@@ -13,8 +14,11 @@ func TestSearchCoversGridAndPicksBest(t *testing.T) {
 	base := modeltest.QuickConfig()
 	base.Epochs = 3
 	grid := Grid{LR: []float64{0.05, 0.001}, L2: []float64{1e-5}}
-	best, all := Search(d, func() models.Recommender { return bprmf.New() },
-		base, grid, 20)
+	best, all, err := Search(context.Background(), d,
+		func() models.Trainer { return bprmf.New() }, base, grid, 20)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
 	if len(all) != 2 {
 		t.Fatalf("grid points = %d, want 2", len(all))
 	}
@@ -33,8 +37,11 @@ func TestSearchEmptyDimensionsInheritBase(t *testing.T) {
 	base := modeltest.QuickConfig()
 	base.Epochs = 2
 	base.LR = 0.02
-	best, all := Search(d, func() models.Recommender { return bprmf.New() },
-		base, Grid{}, 20)
+	best, all, err := Search(context.Background(), d,
+		func() models.Trainer { return bprmf.New() }, base, Grid{}, 20)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
 	if len(all) != 1 {
 		t.Fatalf("empty grid should evaluate exactly the base point, got %d", len(all))
 	}
@@ -49,7 +56,12 @@ func TestSearchDeterministic(t *testing.T) {
 	base.Epochs = 2
 	grid := Grid{LR: []float64{0.05, 0.01}}
 	run := func() (Result, []Result) {
-		return Search(d, func() models.Recommender { return bprmf.New() }, base, grid, 20)
+		b, a, err := Search(context.Background(), d,
+			func() models.Trainer { return bprmf.New() }, base, grid, 20)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		return b, a
 	}
 	b1, a1 := run()
 	b2, a2 := run()

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Produces BENCH_train.json: the -metrics-out training reports of a
+# sequential (workers=1) and a round-parallel (workers=4) run of the
+# same model/facility/seed, concatenated into one JSON array so the
+# per-epoch throughput and final quality can be compared side by side.
+#
+#   scripts/bench_train.sh                     # bprmf on OOI, 5 epochs
+#   MODEL=ckat EPOCHS=3 scripts/bench_train.sh # any cmd/train model
+set -eu
+cd "$(dirname "$0")/.."
+
+MODEL="${MODEL:-bprmf}"
+FACILITY="${FACILITY:-ooi}"
+EPOCHS="${EPOCHS:-5}"
+OUT="${OUT:-BENCH_train.json}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for w in 1 4; do
+    echo "== train -model $MODEL -facility $FACILITY -epochs $EPOCHS -workers $w"
+    go run ./cmd/train -model "$MODEL" -facility "$FACILITY" \
+        -epochs "$EPOCHS" -workers "$w" -metrics-out "$tmp/w$w.json"
+done
+
+{
+    printf '[\n'
+    cat "$tmp/w1.json"
+    printf ',\n'
+    cat "$tmp/w4.json"
+    printf '\n]\n'
+} > "$OUT"
+echo "wrote $OUT"

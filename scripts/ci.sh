@@ -1,13 +1,19 @@
 #!/usr/bin/env sh
-# Tier-1 verification loop plus the serving-layer race gate.
+# Tier-1 verification loop plus the concurrency race gates.
 #
-# The serving layer (internal/serve, internal/serve/client) is the one
-# subsystem handling concurrent traffic — LRU cache, worker pool,
-# metrics, middleware — so it runs under the race detector on every PR
-# in addition to the plain tier-1 suite.
+# Two subsystems run goroutines on every request or round and therefore
+# run under the race detector on every PR in addition to the plain
+# tier-1 suite:
+#   - the serving layer (internal/serve, internal/serve/client): LRU
+#     cache, worker pool, metrics, middleware;
+#   - the parallel training/eval engine (internal/parallel,
+#     internal/models/shared, internal/core, internal/eval): round-
+#     parallel gradient workers, sharded attention recompute, fanned
+#     evaluation — smoke-tested end to end by TestTrainingSmoke (tiny
+#     dataset, 2 epochs, workers=4).
 #
-#   scripts/ci.sh          # full loop: vet + build + tests + race gate
-#   scripts/ci.sh race     # race gate only
+#   scripts/ci.sh          # full loop: vet + build + tests + race gates
+#   scripts/ci.sh race     # race gates only
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,4 +28,8 @@ fi
 
 echo "== go test -race ./internal/serve/..."
 go test -race ./internal/serve/...
+echo "== go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/"
+go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/
+echo "== go test -race -run 'TestTrainingSmoke|TestCKATParallel|TestCKATRecomputeAttention' . ./internal/core/"
+go test -race -run 'TestTrainingSmoke|TestCKATParallel|TestCKATRecomputeAttention' . ./internal/core/
 echo "CI OK"

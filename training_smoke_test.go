@@ -1,0 +1,43 @@
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/facility"
+	"repro/internal/models"
+	"repro/internal/trace"
+)
+
+// TestTrainingSmoke is the ci.sh race gate for the parallel training
+// engine: a short CKAT run at 4 workers on a tiny facility, followed by
+// a parallel evaluation, all of which must be clean under -race.
+func TestTrainingSmoke(t *testing.T) {
+	cat := facility.OOI(7)
+	tcfg := trace.DefaultOOIConfig()
+	tcfg.NumUsers = 40
+	tcfg.NumOrgs = 5
+	tcfg.MeanQueries = 12
+	tr := trace.Generate(cat, tcfg, 7)
+	d := dataset.Build(tr, dataset.AllSources(), 7)
+
+	cfg := models.DefaultTrainConfig()
+	cfg.EmbedDim = 16
+	cfg.Epochs = 2
+	cfg.Workers = 4
+	m := core.NewDefault()
+	if err := m.Train(context.Background(), d, cfg); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	metrics, err := eval.EvaluateCtx(context.Background(), d, m, 20, 4)
+	if err != nil {
+		t.Fatalf("EvaluateCtx: %v", err)
+	}
+	if metrics.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	t.Logf("smoke recall@20=%.4f ndcg@20=%.4f", metrics.Recall, metrics.NDCG)
+}
