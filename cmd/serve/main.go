@@ -4,8 +4,15 @@
 // SIGINT/SIGTERM.
 //
 //	serve -facility ooi -epochs 10 -addr :8080
-//	serve -facility ooi -snapshot /tmp/ckat.gob -save   # train + persist
-//	serve -facility ooi -snapshot /tmp/ckat.gob         # load + serve
+//	serve -facility ooi -snapshot /tmp/ckat.ckpt -save   # train + persist
+//	serve -facility ooi -snapshot /tmp/ckat.ckpt         # load + serve
+//
+// Fault tolerance: a missing or corrupt snapshot does not abort
+// startup — the server boots degraded (popularity fallback,
+// /v1/health/ready answering 503) and keeps retrying via hot reload.
+// SIGHUP or POST /v1/admin/reload re-reads the snapshot and swaps it
+// in without dropping traffic. Snapshots are written atomically in the
+// checksummed ckpt framing; legacy raw-gob snapshot files still load.
 package main
 
 import (
@@ -37,6 +44,7 @@ func main() {
 	save := flag.Bool("save", false, "train and save the snapshot, then serve")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "score-vector cache entries")
+	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond this inflight cap (0 disables)")
 	workers := flag.Int("workers", 0, "training workers (<=1 sequential, >1 round-parallel)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	flag.Parse()
@@ -52,20 +60,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Resolve the scorer. A load failure degrades instead of exiting:
+	// the popularity fallback serves while the operator fixes or
+	// replaces the snapshot and triggers a reload.
 	var scorer eval.Scorer
+	degradedBoot := false
 	if *snapshot != "" && !*save {
-		f, err := os.Open(*snapshot)
+		snap, err := core.LoadSnapshotFile(*snapshot)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(os.Stderr, "snapshot unusable (%v); starting DEGRADED with popularity fallback\n", err)
+			degradedBoot = true
+		} else {
+			fmt.Printf("loaded snapshot for %s (%d users, %d items)\n",
+				snap.FacilityName, len(snap.UserEnt), len(snap.ItemEnt))
+			scorer = snap.Scorer()
 		}
-		snap, err := core.LoadSnapshot(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("loaded snapshot for %s (%d users, %d items)\n",
-			snap.FacilityName, len(snap.UserEnt), len(snap.ItemEnt))
-		scorer = snap.Scorer()
 	} else {
 		m := core.NewDefault()
 		cfg := models.DefaultTrainConfig()
@@ -85,15 +94,10 @@ func main() {
 		metrics := eval.Evaluate(d, m, 20)
 		fmt.Printf("recall@20=%.4f ndcg@20=%.4f\n", metrics.Recall, metrics.NDCG)
 		if *save && *snapshot != "" {
-			f, err := os.Create(*snapshot)
-			if err != nil {
+			if err := m.Snapshot(d.Name).SaveFile(*snapshot); err != nil {
 				fatal(err)
 			}
-			if err := m.Snapshot(d.Name).Save(f); err != nil {
-				fatal(err)
-			}
-			f.Close()
-			fmt.Printf("saved snapshot to %s\n", *snapshot)
+			fmt.Printf("saved snapshot to %s (atomic, checksummed)\n", *snapshot)
 		}
 		scorer = m
 	}
@@ -102,10 +106,26 @@ func main() {
 		serve.WithTimeout(*timeout),
 		serve.WithCacheSize(*cacheSize),
 	}
+	if *maxInflight > 0 {
+		opts = append(opts, serve.WithMaxInflight(*maxInflight))
+	}
+	if *snapshot != "" {
+		path := *snapshot
+		opts = append(opts, serve.WithLoader(func() (eval.Scorer, error) {
+			snap, err := core.LoadSnapshotFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return snap.Scorer(), nil
+		}))
+	}
 	if !*quiet {
 		opts = append(opts, serve.WithLogger(log.New(os.Stderr, "serve ", log.LstdFlags)))
 	}
 	handler := serve.New(d, scorer, opts...)
+	if degradedBoot {
+		fmt.Println("serving DEGRADED: /v1/health/ready is 503; SIGHUP or POST /v1/admin/reload to retry the snapshot")
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -120,12 +140,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP = hot reload the snapshot (the operator replaced the file).
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := handler.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "SIGHUP reload failed: %v\n", err)
+				continue
+			}
+			fmt.Println("SIGHUP reload: snapshot swapped in")
+		}
+	}()
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
 	fmt.Printf("serving %s data discovery on %s\n", d.Name, *addr)
-	fmt.Println("  GET  /v1/health | /v1/recommend?user=&k= | /v1/similar?item=&k= | /v1/explain?user=&item= | /v1/stats")
+	fmt.Println("  GET  /v1/health | /v1/health/live | /v1/health/ready | /v1/recommend?user=&k= | /v1/similar?item=&k= | /v1/explain?user=&item= | /v1/stats")
 	fmt.Println("  POST /v1/recommend:batch   {\"users\":[...],\"k\":10}")
+	fmt.Println("  POST /v1/admin/reload      (or SIGHUP) hot-swap the snapshot")
 
 	select {
 	case err := <-errc:

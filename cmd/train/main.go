@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
@@ -72,6 +73,10 @@ func main() {
 	user := flag.Int("user", -1, "print top-K recommendations for this user")
 	workers := flag.Int("workers", 0, "training workers (<=1 sequential, >1 round-parallel)")
 	metricsOut := flag.String("metrics-out", "", "write a JSON training report to this file")
+	ckptDir := flag.String("ckpt-dir", "", "checkpoint directory (enables epoch-boundary checkpointing)")
+	ckptEvery := flag.Int("ckpt-every", 1, "epochs between checkpoints")
+	ckptKeep := flag.Int("ckpt-keep", 3, "checkpoints retained per model (keep-last-K)")
+	resume := flag.Bool("resume", false, "resume from the latest valid checkpoint in -ckpt-dir")
 	verbose := flag.Bool("v", false, "per-epoch logging")
 	flag.Parse()
 
@@ -96,6 +101,20 @@ func main() {
 	}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -ckpt-dir")
+		os.Exit(2)
+	}
+	if *ckptDir != "" {
+		store, err := ckpt.NewStore(*ckptDir, *ckptKeep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening checkpoint store: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Checkpoint = &models.CheckpointSpec{
+			Store: store, Every: *ckptEvery, Resume: *resume,
+		}
 	}
 	cfg.Progress = func(ev models.ProgressEvent) {
 		report.Epochs = append(report.Epochs, epochReport{

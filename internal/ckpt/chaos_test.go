@@ -1,0 +1,113 @@
+package ckpt_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/faultinject"
+)
+
+// TestChaosCheckpointWritePath sweeps every filesystem operation of the
+// checkpoint write path with every failure mode — transient EIO, short
+// write, crash before the op takes effect, crash after — and asserts
+// the invariant the atomic writer promises: after any single fault the
+// store still recovers a fully intact checkpoint, either the previous
+// one or the new one. If Save reported success the new payload must be
+// durable; if the fault was transient (no crash) the previous
+// checkpoint must additionally still load by index.
+func TestChaosCheckpointWritePath(t *testing.T) {
+	payloadA := bytes.Repeat([]byte("epoch-1-state"), 200)
+	payloadB := bytes.Repeat([]byte("epoch-2-state"), 200)
+
+	// Probe: count the operations of one clean Save following an
+	// established checkpoint (the sweep's crash-point universe).
+	inj := faultinject.Wrap(ckpt.OSFS())
+	st, err := ckpt.NewStoreFS(inj, t.TempDir(), 2)
+	if err != nil {
+		t.Fatalf("NewStoreFS: %v", err)
+	}
+	if err := st.Save("model", 1, payloadA); err != nil {
+		t.Fatalf("probe Save 1: %v", err)
+	}
+	inj.Reset()
+	if err := st.Save("model", 2, payloadB); err != nil {
+		t.Fatalf("probe Save 2: %v", err)
+	}
+	n := inj.Ops()
+	if n < 5 { // create, ≥2 writes, sync, close, rename, syncdir
+		t.Fatalf("probe counted only %d ops; injector miswired?", n)
+	}
+
+	modes := []struct {
+		name string
+		mode faultinject.Mode
+	}{
+		{"eio", faultinject.ModeErr},
+		{"short-write", faultinject.ModeShortWrite},
+		{"crash", faultinject.ModeCrash},
+		{"crash-after", faultinject.ModeCrashAfter},
+	}
+	for k := 0; k < n; k++ {
+		for _, m := range modes {
+			t.Run(fmt.Sprintf("op%02d-%s", k, m.name), func(t *testing.T) {
+				inj := faultinject.Wrap(ckpt.OSFS())
+				st, err := ckpt.NewStoreFS(inj, t.TempDir(), 2)
+				if err != nil {
+					t.Fatalf("NewStoreFS: %v", err)
+				}
+				if err := st.Save("model", 1, payloadA); err != nil {
+					t.Fatalf("Save 1: %v", err)
+				}
+				inj.Reset()
+				inj.FailAt(k, m.mode)
+				saveErr := st.Save("model", 2, payloadB)
+				crashed := inj.Crashed()
+				inj.Disarm() // "restart the process" for recovery
+
+				idx, got, err := st.Latest("model")
+				if err != nil {
+					t.Fatalf("no recoverable checkpoint after fault: %v (save err: %v)", err, saveErr)
+				}
+				oldOK := bytes.Equal(got, payloadA)
+				newOK := bytes.Equal(got, payloadB)
+				if !oldOK && !newOK {
+					t.Fatalf("recovered entry %d is neither old nor new payload", idx)
+				}
+				if saveErr == nil && !newOK {
+					t.Fatalf("Save reported success but recovered entry %d is not the new payload", idx)
+				}
+				if !crashed {
+					// Transient fault: the surviving process must still
+					// see the previous checkpoint intact by index.
+					if _, err := st.Load("model", 1); err != nil {
+						t.Fatalf("transient fault destroyed previous checkpoint: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// A fault during Save must never be silently swallowed when the new
+// checkpoint did not become durable: either Save errors, or the new
+// payload is recoverable.
+func TestChaosSaveErrorOrDurable(t *testing.T) {
+	payload := []byte("only-checkpoint")
+	for k := 0; k < 12; k++ {
+		inj := faultinject.Wrap(ckpt.OSFS())
+		st, err := ckpt.NewStoreFS(inj, t.TempDir(), 2)
+		if err != nil {
+			t.Fatalf("NewStoreFS: %v", err)
+		}
+		inj.Reset()
+		inj.FailAt(k, faultinject.ModeCrash)
+		saveErr := st.Save("m", 1, payload)
+		inj.Disarm()
+		_, got, latestErr := st.Latest("m")
+		if saveErr == nil && (latestErr != nil || !bytes.Equal(got, payload)) {
+			t.Fatalf("op %d: Save succeeded but checkpoint not durable (%v)", k, latestErr)
+		}
+	}
+}

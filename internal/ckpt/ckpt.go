@@ -1,0 +1,214 @@
+// Package ckpt implements crash-safe checkpoint persistence for the
+// training and serving layers: a framed on-disk format (magic, version,
+// payload length, CRC32 checksum) with corruption detection on load,
+// atomic write-tmp/fsync/rename file replacement, and a keep-last-K
+// retention policy over checkpoint series.
+//
+// The package never half-writes a visible file: payloads go to a
+// temporary sibling first, are fsynced, and only then renamed over the
+// final name (followed by a directory fsync), so a crash at any point
+// leaves either the previous file or the complete new one. All
+// filesystem access goes through the FS interface so the faultinject
+// package can drive every crash point deterministically in tests.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Framed format: a fixed 20-byte header followed by the payload.
+//
+//	offset 0  magic   "CKPT"
+//	offset 4  version uint32 LE
+//	offset 8  length  uint64 LE (payload bytes)
+//	offset 16 crc     uint32 LE (IEEE CRC32 of payload)
+const (
+	headerSize = 20
+	// Version is the current on-disk format version.
+	Version = 1
+)
+
+var magic = [4]byte{'C', 'K', 'P', 'T'}
+
+// Corruption sentinels, wrapped with location detail by Decode.
+var (
+	ErrBadMagic   = errors.New("ckpt: bad magic (not a checkpoint file)")
+	ErrBadVersion = errors.New("ckpt: unsupported format version")
+	ErrTruncated  = errors.New("ckpt: truncated payload")
+	ErrChecksum   = errors.New("ckpt: payload checksum mismatch")
+	ErrNotFound   = errors.New("ckpt: no valid checkpoint found")
+)
+
+// Encode frames payload onto w: header (with CRC32 of payload) then the
+// payload itself. It performs exactly two writes so the faultinject
+// short-write mode can target either the header or the body.
+func Encode(w io.Writer, payload []byte) error {
+	var h [headerSize]byte
+	copy(h[0:4], magic[:])
+	binary.LittleEndian.PutUint32(h[4:8], Version)
+	binary.LittleEndian.PutUint64(h[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(h[16:20], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(h[:]); err != nil {
+		return fmt.Errorf("ckpt: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("ckpt: write payload: %w", err)
+	}
+	return nil
+}
+
+// Decode reads one framed payload from r, verifying magic, version,
+// length, and checksum. Any mismatch returns a descriptive error
+// wrapping one of the corruption sentinels; the payload is returned
+// only when it is bit-for-bit intact.
+func Decode(r io.Reader) ([]byte, error) {
+	var h [headerSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if [4]byte(h[0:4]) != magic {
+		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, h[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(h[4:8]); v != Version {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrBadVersion, v, Version)
+	}
+	n := binary.LittleEndian.Uint64(h[8:16])
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: declared payload %d exceeds limit %d",
+			ErrTruncated, n, maxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: want %d payload bytes: %v", ErrTruncated, n, err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(h[16:20]); got != want {
+		return nil, fmt.Errorf("%w: crc32 %08x != header %08x", ErrChecksum, got, want)
+	}
+	return payload, nil
+}
+
+// maxPayload bounds the allocation Decode will attempt from a declared
+// length, so a corrupt header cannot OOM the loader.
+const maxPayload = 1 << 32 // 4 GiB
+
+// File is the writable-file surface the atomic writer needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of the checkpoint write and
+// recovery paths. The faultinject package wraps it to inject short
+// writes, I/O errors, and simulated crashes at every operation.
+type FS interface {
+	MkdirAll(dir string) error
+	Create(name string) (File, error)
+	Open(name string) (io.ReadCloser, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	// ReadDir returns the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory so a completed rename survives a
+	// power loss.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production FS backed by package os.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) Rename(o, n string) error { return os.Rename(o, n) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// WriteFileFS atomically replaces path with the framed payload on fsys:
+// write to path.tmp, fsync, close, rename over path, fsync the parent
+// directory. On any failure the temporary file is removed (best effort)
+// and the previous contents of path are untouched.
+func WriteFileFS(fsys FS, path string, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("ckpt: create %s: %w", tmp, err)
+	}
+	if err := Encode(f, payload); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("ckpt: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("ckpt: close %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("ckpt: rename %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("ckpt: fsync dir of %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFile is WriteFileFS on the real filesystem.
+func WriteFile(path string, payload []byte) error {
+	return WriteFileFS(OSFS(), path, payload)
+}
+
+// ReadFileFS reads and verifies one framed payload from path.
+func ReadFileFS(fsys FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// ReadFile is ReadFileFS on the real filesystem.
+func ReadFile(path string) ([]byte, error) {
+	return ReadFileFS(OSFS(), path)
+}

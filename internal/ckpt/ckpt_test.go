@@ -1,0 +1,182 @@
+package ckpt_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc123"), 1000)} {
+		var buf bytes.Buffer
+		if err := ckpt.Encode(&buf, payload); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		got, err := ckpt.Decode(&buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip mismatch: %d bytes vs %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte("checkpoint-payload"), 64)
+	if err := ckpt.Encode(&buf, payload); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	clean := buf.Bytes()
+
+	cases := []struct {
+		name     string
+		mutate   func([]byte) []byte
+		sentinel error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ckpt.ErrTruncated},
+		{"short header", func(b []byte) []byte { return b[:10] }, ckpt.ErrTruncated},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)/2] }, ckpt.ErrTruncated},
+		{"bad magic", func(b []byte) []byte { c := clone(b); c[0] ^= 0xff; return c }, ckpt.ErrBadMagic},
+		{"bad version", func(b []byte) []byte { c := clone(b); c[4] = 99; return c }, ckpt.ErrBadVersion},
+		{"flipped payload bit", func(b []byte) []byte { c := clone(b); c[30] ^= 0x01; return c }, ckpt.ErrChecksum},
+		{"flipped crc", func(b []byte) []byte { c := clone(b); c[17] ^= 0x01; return c }, ckpt.ErrChecksum},
+		{"huge declared length", func(b []byte) []byte {
+			c := clone(b)
+			for i := 8; i < 16; i++ {
+				c[i] = 0xff
+			}
+			return c
+		}, ckpt.ErrTruncated},
+	}
+	for _, tc := range cases {
+		_, err := ckpt.Decode(bytes.NewReader(tc.mutate(clean)))
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.sentinel)
+		}
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+func TestWriteFileAtomicLeavesNoTmp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.ckpt")
+	if err := ckpt.WriteFile(path, []byte("v1")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := ckpt.WriteFile(path, []byte("v2")); err != nil {
+		t.Fatalf("WriteFile overwrite: %v", err)
+	}
+	got, err := ckpt.ReadFile(path)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("ReadFile = %q, %v; want v2", got, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("stale tmp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	dir := t.TempDir()
+	st, err := ckpt.NewStore(dir, 3)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := st.Save("bprmf", i, []byte{byte(i)}); err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+	}
+	idx, err := st.List("bprmf")
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(idx) != 3 || idx[0] != 8 || idx[2] != 10 {
+		t.Fatalf("retention kept %v, want [8 9 10]", idx)
+	}
+	i, payload, err := st.Latest("bprmf")
+	if err != nil || i != 10 || payload[0] != 10 {
+		t.Fatalf("Latest = %d, %v, %v; want 10", i, payload, err)
+	}
+}
+
+func TestStoreSeriesAreIndependent(t *testing.T) {
+	st, err := ckpt.NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if err := st.Save("ckat", 5, []byte("ckat5")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := st.Save("ckat-deep", 9, []byte("deep9")); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// "ckat" must not see "ckat-deep" files (prefix is delimiter-aware).
+	idx, err := st.List("ckat")
+	if err != nil || len(idx) != 1 || idx[0] != 5 {
+		t.Fatalf("List(ckat) = %v, %v; want [5]", idx, err)
+	}
+	_, payload, err := st.Latest("ckat-deep")
+	if err != nil || string(payload) != "deep9" {
+		t.Fatalf("Latest(ckat-deep) = %q, %v", payload, err)
+	}
+}
+
+// A corrupt newest checkpoint must not take the series down: Latest
+// skips it and falls back to the newest intact entry.
+func TestLatestSkipsCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	st, err := ckpt.NewStore(dir, 5)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := st.Save("m", i, []byte{byte(i)}); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+	}
+	// Corrupt entry 3 (flip a payload bit) and truncate entry 2.
+	p3 := filepath.Join(dir, "m-e000003.ckpt")
+	b, _ := os.ReadFile(p3)
+	b[len(b)-1] ^= 0x40
+	os.WriteFile(p3, b, 0o644)
+	p2 := filepath.Join(dir, "m-e000002.ckpt")
+	b2, _ := os.ReadFile(p2)
+	os.WriteFile(p2, b2[:8], 0o644)
+
+	i, payload, err := st.Latest("m")
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if i != 1 || payload[0] != 1 {
+		t.Fatalf("Latest = entry %d payload %v, want intact entry 1", i, payload)
+	}
+
+	// All corrupt → ErrNotFound.
+	p1 := filepath.Join(dir, "m-e000001.ckpt")
+	os.WriteFile(p1, []byte("junk"), 0o644)
+	os.WriteFile(p2, []byte("junk"), 0o644)
+	if _, _, err := st.Latest("m"); !errors.Is(err, ckpt.ErrNotFound) {
+		t.Fatalf("Latest over all-corrupt series = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLatestEmptySeries(t *testing.T) {
+	st, err := ckpt.NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if _, _, err := st.Latest("nothing"); !errors.Is(err, ckpt.ErrNotFound) {
+		t.Fatalf("Latest on empty series = %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,153 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Store manages a directory of checkpoint series. A series is a set of
+// files "<prefix>-e<NNNNNN>.ckpt" indexed by epoch; Save appends to a
+// series atomically and prunes it to the newest Keep entries, Latest
+// recovers the newest entry that passes corruption checks (skipping
+// torn or bit-rotted files, which a crash mid-write can legitimately
+// leave behind only as *.tmp debris).
+type Store struct {
+	dir  string
+	keep int
+	fsys FS
+}
+
+// NewStore opens (creating if needed) a checkpoint directory on the
+// real filesystem, retaining the newest keep entries per series
+// (keep < 1 retains exactly 1).
+func NewStore(dir string, keep int) (*Store, error) {
+	return NewStoreFS(OSFS(), dir, keep)
+}
+
+// NewStoreFS is NewStore over an explicit FS (fault-injection hooks).
+func NewStoreFS(fsys FS, dir string, keep int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("ckpt: empty store directory")
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("ckpt: mkdir %s: %w", dir, err)
+	}
+	return &Store{dir: dir, keep: keep, fsys: fsys}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// seriesName formats the file name of one series entry.
+func seriesName(prefix string, index int) string {
+	return fmt.Sprintf("%s-e%06d.ckpt", prefix, index)
+}
+
+// parseSeries inverts seriesName, reporting ok=false for foreign files.
+func parseSeries(prefix, name string) (index int, ok bool) {
+	rest, found := strings.CutPrefix(name, prefix+"-e")
+	if !found {
+		return 0, false
+	}
+	num, found := strings.CutSuffix(rest, ".ckpt")
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// join builds a path inside the store without importing path/filepath
+// semantics into names (names never contain separators).
+func (s *Store) join(name string) string { return s.dir + "/" + name }
+
+// Save atomically writes the payload as entry index of the prefix
+// series, then prunes the series to the retention limit. A failed save
+// leaves every previously saved entry intact.
+func (s *Store) Save(prefix string, index int, payload []byte) error {
+	if err := WriteFileFS(s.fsys, s.join(seriesName(prefix, index)), payload); err != nil {
+		return err
+	}
+	s.prune(prefix)
+	return nil
+}
+
+// Load reads and verifies series entry index.
+func (s *Store) Load(prefix string, index int) ([]byte, error) {
+	return ReadFileFS(s.fsys, s.join(seriesName(prefix, index)))
+}
+
+// List returns the indices present for a series, ascending. Presence
+// does not imply validity; Latest filters corrupt entries.
+func (s *Store) List(prefix string) ([]int, error) {
+	names, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: list %s: %w", s.dir, err)
+	}
+	var idx []int
+	for _, n := range names {
+		if i, ok := parseSeries(prefix, n); ok {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// Latest returns the newest series entry that decodes cleanly, skipping
+// corrupt files. If no entry is valid it returns an error wrapping
+// ErrNotFound (and the last corruption error seen, if any).
+func (s *Store) Latest(prefix string) (index int, payload []byte, err error) {
+	idx, err := s.List(prefix)
+	if err != nil {
+		return 0, nil, err
+	}
+	var lastErr error
+	for i := len(idx) - 1; i >= 0; i-- {
+		payload, err := s.Load(prefix, idx[i])
+		if err == nil {
+			return idx[i], payload, nil
+		}
+		lastErr = err
+	}
+	if lastErr != nil {
+		return 0, nil, fmt.Errorf("%w (newest corrupt: %v)", ErrNotFound, lastErr)
+	}
+	return 0, nil, ErrNotFound
+}
+
+// prune removes the oldest entries beyond the retention limit, plus any
+// stale *.tmp debris from interrupted writes. Removal is best effort: a
+// failure to delete an old checkpoint never fails the save that
+// triggered it, and a crash mid-prune merely leaves extra (valid) old
+// entries behind.
+func (s *Store) prune(prefix string) {
+	names, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var idx []int
+	for _, n := range names {
+		if strings.HasPrefix(n, prefix+"-e") && strings.HasSuffix(n, ".tmp") {
+			_ = s.fsys.Remove(s.join(n))
+			continue
+		}
+		if i, ok := parseSeries(prefix, n); ok {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	for len(idx) > s.keep {
+		_ = s.fsys.Remove(s.join(seriesName(prefix, idx[0])))
+		idx = idx[1:]
+	}
+}

@@ -293,6 +293,10 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 	base := g.Split("engine")
 
 	m.workers = cfg.EffectiveWorkers()
+	// Checkpointed training forces the counter-split RNG discipline at
+	// any worker count (see the shared engine): all randomness derives
+	// from (epoch, step), so resume needs no RNG state.
+	counter := m.workers > 1 || cfg.Checkpoint != nil
 	allParams := append(append([]*autograd.Param{}, m.transr.Params()...), m.w...)
 	sh := shared.NewShadows(allParams, m.workers)
 	var pool *parallel.Pool
@@ -300,6 +304,15 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 		pool = parallel.New(m.workers)
 		optKG.Parallel(pool)
 		optCF.Parallel(pool)
+	}
+	cp := shared.NewCheckpointer(cfg.Checkpoint, "ckat", cfg.Seed, allParams, optKG, optCF)
+	startEpoch, err := cp.Resume()
+	if err != nil {
+		return err
+	}
+	if startEpoch > 0 {
+		cfg.Log("ckat %s resumed from checkpoint at epoch %d/%d",
+			d.Name, startEpoch, cfg.Epochs)
 	}
 	// shardTransR views the embedding layer through shard s's gradient
 	// sinks (identity for the sequential shard).
@@ -321,14 +334,14 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 	if m.opts.SkipKGPhase {
 		kgSteps = 0
 	}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		start := time.Now()
 		// --- Phase 1: embedding layer (TransR, L1) ---------------------
 		var kgLoss float64
 		err := shared.RunRounds(ctx, kgSteps, pool, sh,
 			func(step, shard int) float64 {
 				sampler := kgSampler
-				if shard >= 0 {
+				if counter {
 					sampler = shared.NewKGSampler(d.Graph,
 						base.SplitIndexed("kgneg", int64(epoch), int64(step)))
 				}
@@ -358,12 +371,14 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 				var negs []int
 				dropRNG := drop
 				var resolve func(*autograd.Param) *autograd.Param
-				if shard < 0 {
-					negs = neg.Fill(users)
-				} else {
+				if counter {
 					negs = d.NegSamplerFrom(
 						base.SplitIndexed("neg", int64(epoch), int64(b))).Fill(users)
 					dropRNG = base.SplitIndexed("dropout", int64(epoch), int64(b))
+				} else {
+					negs = neg.Fill(users)
+				}
+				if shard >= 0 {
 					resolve = func(p *autograd.Param) *autograd.Param {
 						return sh.Resolve(shard, p)
 					}
@@ -400,6 +415,9 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 			Duration: time.Since(start),
 			Samples:  len(d.Train) + kgSteps*m.opts.KGBatch,
 		})
+		if err := cp.AfterEpoch(epoch + 1); err != nil {
+			return err
+		}
 	}
 
 	// Final representations for inference (attention from the trained

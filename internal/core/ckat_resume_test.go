@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/models/modeltest"
+)
+
+// ckatScores flattens every user's score vector for bit-exact run
+// comparison.
+func ckatScores(t *testing.T, m *Model, d *dataset.Dataset) []float64 {
+	t.Helper()
+	out := make([]float64, 0, d.NumUsers*d.NumItems)
+	row := make([]float64, d.NumItems)
+	for u := 0; u < d.NumUsers; u++ {
+		m.ScoreItems(u, row)
+		out = append(out, row...)
+	}
+	return out
+}
+
+// CKAT's two-phase loop (TransR steps, attention recompute, BPR) runs
+// two optimizers over shared parameters; kill-and-resume must still be
+// bit-identical to the uninterrupted run because both phases draw
+// checkpointed-mode randomness from (epoch, step) counters and both
+// optimizers' moments are checkpointed.
+func TestCKATKillAndResumeBitIdentical(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	opts := DefaultOptions()
+	opts.Layers = []int{16, 8}
+	opts.KGSteps = 4
+	opts.KGBatch = 256
+
+	cfg := modeltest.QuickConfig()
+	cfg.Epochs = 4
+	cfg.EmbedDim = 16
+	cfg.Workers = 2
+
+	refStore, err := ckpt.NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	ref := cfg
+	ref.Checkpoint = &models.CheckpointSpec{Store: refStore}
+	full := New(opts)
+	if err := full.Train(context.Background(), d, ref); err != nil {
+		t.Fatalf("uninterrupted Train: %v", err)
+	}
+	want := ckatScores(t, full, d)
+
+	store, err := ckpt.NewStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	killed := cfg
+	killed.Checkpoint = &models.CheckpointSpec{Store: store}
+	ctx, cancel := context.WithCancel(context.Background())
+	killed.Progress = func(ev models.ProgressEvent) {
+		if ev.Epoch == 2 {
+			cancel()
+		}
+	}
+	if err := New(opts).Train(ctx, d, killed); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed Train err = %v, want context.Canceled", err)
+	}
+
+	resumedCfg := cfg
+	resumedCfg.Checkpoint = &models.CheckpointSpec{Store: store, Resume: true}
+	resumed := New(opts)
+	if err := resumed.Train(context.Background(), d, resumedCfg); err != nil {
+		t.Fatalf("resumed Train: %v", err)
+	}
+	got := ckatScores(t, resumed, d)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("CKAT kill-and-resume diverged at %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+}

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/tensor"
 )
 
@@ -44,13 +48,28 @@ func (s *Snapshot) Save(w io.Writer) error {
 }
 
 // LoadSnapshot reads a snapshot written by Save and validates its
-// internal consistency.
-func LoadSnapshot(r io.Reader) (*Snapshot, error) {
-	var s Snapshot
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+// internal consistency. Truncated or garbage input yields a
+// descriptive error, never a panic: gob's occasional decode panics on
+// hostile input are recovered, and every field combination that could
+// drive an out-of-bounds index or overflowing allocation downstream is
+// rejected here.
+func LoadSnapshot(r io.Reader) (s *Snapshot, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s, err = nil, fmt.Errorf("core: decode snapshot: malformed input: %v", p)
+		}
+	}()
+	s = new(Snapshot)
+	if err := gob.NewDecoder(r).Decode(s); err != nil {
 		return nil, fmt.Errorf("core: decode snapshot: %w", err)
 	}
-	if s.FinalRows*s.FinalCols != len(s.FinalData) {
+	if s.Dim < 0 || s.FinalRows < 0 || s.FinalCols < 0 {
+		return nil, fmt.Errorf("core: snapshot has negative dims (%d, %dx%d)",
+			s.Dim, s.FinalRows, s.FinalCols)
+	}
+	// Multiply in int64 so crafted row/col pairs can't wrap int and
+	// sneak past the shape check on 32-bit platforms.
+	if int64(s.FinalRows)*int64(s.FinalCols) != int64(len(s.FinalData)) {
 		return nil, fmt.Errorf("core: snapshot shape %dx%d != data %d",
 			s.FinalRows, s.FinalCols, len(s.FinalData))
 	}
@@ -59,7 +78,39 @@ func LoadSnapshot(r io.Reader) (*Snapshot, error) {
 			return nil, fmt.Errorf("core: snapshot entity %d out of range", e)
 		}
 	}
-	return &s, nil
+	return s, nil
+}
+
+// SaveFile persists the snapshot to path atomically using the ckpt
+// framed format (magic + version + checksum): the bytes are written to
+// a temp file, fsynced, and renamed into place, so a crash mid-write
+// can never leave a half-written snapshot at path.
+func (s *Snapshot) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return err
+	}
+	return ckpt.WriteFile(path, buf.Bytes())
+}
+
+// LoadSnapshotFile reads a snapshot from path. Files written by
+// SaveFile are checksum-verified through the ckpt framing; files from
+// the legacy raw-gob format (pre-framing Save to a file) still load.
+func LoadSnapshotFile(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read snapshot: %w", err)
+	}
+	payload, err := ckpt.Decode(bytes.NewReader(raw))
+	switch {
+	case err == nil:
+		return LoadSnapshot(bytes.NewReader(payload))
+	case errors.Is(err, ckpt.ErrBadMagic):
+		// Legacy snapshot written as raw gob before the framed format.
+		return LoadSnapshot(bytes.NewReader(raw))
+	default:
+		return nil, fmt.Errorf("core: snapshot %s: %w", path, err)
+	}
 }
 
 // Scorer turns the snapshot into an eval.Scorer usable for serving.

@@ -1,0 +1,333 @@
+// Package faultinject provides deterministic fault injection for the
+// persistence layer. It wraps a ckpt.FS and fails exactly the Nth
+// filesystem operation with a chosen failure mode — a transient I/O
+// error, a short write, or a simulated process crash (everything after
+// the crash point fails too, modeling SIGKILL / power loss) — plus
+// plain io.Writer / io.Reader wrappers for stream-level injection.
+//
+// All injection is by operation index, so a chaos test can first probe
+// a code path to count its operations and then sweep every index: each
+// sweep step is a reproducible single-fault scenario, no randomness and
+// no timing dependence.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"repro/internal/ckpt"
+)
+
+// Injected failure errors.
+var (
+	// ErrInjected is returned for ModeErr and ModeShortWrite faults; the
+	// process is assumed to observe and handle it.
+	ErrInjected = errors.New("faultinject: injected I/O error")
+	// ErrCrashed is returned at and after a ModeCrash/ModeCrashAfter
+	// point; the process is assumed dead, so nothing observes it.
+	ErrCrashed = errors.New("faultinject: simulated crash")
+)
+
+// Mode selects what happens at the armed operation index.
+type Mode int
+
+const (
+	// ModeErr fails the operation with ErrInjected before it takes
+	// effect; subsequent operations proceed normally (transient EIO).
+	ModeErr Mode = iota
+	// ModeShortWrite applies only to Write: half the buffer is written,
+	// then ErrInjected. Other operations treat it as ModeErr.
+	ModeShortWrite
+	// ModeCrash kills the process before the operation takes effect:
+	// it and every later operation return ErrCrashed.
+	ModeCrash
+	// ModeCrashAfter kills the process after the operation takes
+	// effect (e.g. a rename that reached the disk but whose success the
+	// process never observed).
+	ModeCrashAfter
+)
+
+// FS wraps a base ckpt.FS with operation counting and single-fault
+// injection. The zero fault plan (Disarm) counts operations without
+// injecting, which chaos tests use to probe a path's operation count.
+// Counted operations are the mutating ones a crash can tear: MkdirAll,
+// Create, Write, Sync, Close, Rename, Remove, SyncDir. Reads (Open,
+// ReadDir) are passed through uncounted so recovery code does not shift
+// the crash points of the write path under test.
+type FS struct {
+	base ckpt.FS
+
+	mu      sync.Mutex
+	ops     int
+	failAt  int
+	mode    Mode
+	crashed bool
+}
+
+// Wrap returns a disarmed injector over base.
+func Wrap(base ckpt.FS) *FS {
+	return &FS{base: base, failAt: -1}
+}
+
+// FailAt arms a single fault: operation index n (0-based, counted from
+// the last Reset) fails with mode.
+func (f *FS) FailAt(n int, mode Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt, f.mode = n, mode
+}
+
+// Disarm removes the fault plan; counting continues.
+func (f *FS) Disarm() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = -1
+	f.crashed = false
+}
+
+// Reset zeroes the operation counter and disarms.
+func (f *FS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops, f.failAt, f.crashed = 0, -1, false
+}
+
+// Ops returns the operations counted since the last Reset.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the simulated process is dead.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// begin accounts one mutating operation and decides its fate:
+// apply=false means the operation must not take effect; fail, when
+// non-nil, is returned to the caller after the (possible) effect.
+func (f *FS) begin() (apply bool, fail error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	i := f.ops
+	f.ops++
+	if i != f.failAt {
+		return true, nil
+	}
+	switch f.mode {
+	case ModeCrash:
+		f.crashed = true
+		return false, ErrCrashed
+	case ModeCrashAfter:
+		f.crashed = true
+		return true, ErrCrashed
+	default: // ModeErr, ModeShortWrite outside Write
+		return false, ErrInjected
+	}
+}
+
+// beginWrite is begin with the ModeShortWrite distinction only Write
+// honors: short=true means "persist half the buffer, then fail".
+func (f *FS) beginWrite() (apply, short bool, fail error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, false, ErrCrashed
+	}
+	i := f.ops
+	f.ops++
+	if i != f.failAt {
+		return true, false, nil
+	}
+	switch f.mode {
+	case ModeCrash:
+		f.crashed = true
+		return false, false, ErrCrashed
+	case ModeCrashAfter:
+		f.crashed = true
+		return true, false, ErrCrashed
+	case ModeShortWrite:
+		return true, true, ErrInjected
+	default:
+		return false, false, ErrInjected
+	}
+}
+
+// MkdirAll implements ckpt.FS.
+func (f *FS) MkdirAll(dir string) error {
+	apply, fail := f.begin()
+	if apply {
+		if err := f.base.MkdirAll(dir); err != nil {
+			return err
+		}
+	}
+	return fail
+}
+
+// Create implements ckpt.FS. Under ModeCrashAfter the file is created
+// (empty) and then the crash hits, leaving zero-byte debris behind.
+func (f *FS) Create(name string) (ckpt.File, error) {
+	apply, fail := f.begin()
+	if !apply {
+		return nil, fail
+	}
+	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if fail != nil {
+		file.Close()
+		return nil, fail
+	}
+	return &injectFile{fs: f, base: file}, nil
+}
+
+// Open implements ckpt.FS (uncounted read path).
+func (f *FS) Open(name string) (io.ReadCloser, error) { return f.base.Open(name) }
+
+// Rename implements ckpt.FS.
+func (f *FS) Rename(o, n string) error {
+	apply, fail := f.begin()
+	if apply {
+		if err := f.base.Rename(o, n); err != nil {
+			return err
+		}
+	}
+	return fail
+}
+
+// Remove implements ckpt.FS.
+func (f *FS) Remove(name string) error {
+	apply, fail := f.begin()
+	if apply {
+		if err := f.base.Remove(name); err != nil {
+			return err
+		}
+	}
+	return fail
+}
+
+// ReadDir implements ckpt.FS (uncounted read path).
+func (f *FS) ReadDir(dir string) ([]string, error) { return f.base.ReadDir(dir) }
+
+// SyncDir implements ckpt.FS.
+func (f *FS) SyncDir(dir string) error {
+	apply, fail := f.begin()
+	if apply {
+		if err := f.base.SyncDir(dir); err != nil {
+			return err
+		}
+	}
+	return fail
+}
+
+// injectFile routes a file's Write/Sync/Close through the injector.
+type injectFile struct {
+	fs   *FS
+	base ckpt.File
+}
+
+// Write implements ckpt.File. ModeShortWrite persists half the buffer
+// before failing — a torn write the framed format must detect.
+func (w *injectFile) Write(p []byte) (int, error) {
+	apply, short, fail := w.fs.beginWrite()
+	if !apply {
+		return 0, fail
+	}
+	if short {
+		p = p[:len(p)/2]
+	}
+	n, err := w.base.Write(p)
+	if err != nil {
+		return n, err
+	}
+	return n, fail
+}
+
+// Sync implements ckpt.File.
+func (w *injectFile) Sync() error {
+	apply, fail := w.fs.begin()
+	if apply {
+		if err := w.base.Sync(); err != nil {
+			return err
+		}
+	}
+	return fail
+}
+
+// Close implements ckpt.File. The underlying file is always closed
+// (even at a crash point) so sweeps do not leak descriptors.
+func (w *injectFile) Close() error {
+	_, fail := w.fs.begin()
+	if err := w.base.Close(); err != nil && fail == nil {
+		return err
+	}
+	return fail
+}
+
+// Writer injects a failure into a plain io.Writer after N bytes have
+// passed through: the write that crosses the limit persists only the
+// bytes up to it and returns Err (ErrInjected when nil).
+type Writer struct {
+	W   io.Writer
+	N   int // bytes allowed through
+	Err error
+
+	written int
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	fail := w.Err
+	if fail == nil {
+		fail = ErrInjected
+	}
+	if w.written >= w.N {
+		return 0, fail
+	}
+	if w.written+len(p) <= w.N {
+		n, err := w.W.Write(p)
+		w.written += n
+		return n, err
+	}
+	allowed := w.N - w.written
+	n, err := w.W.Write(p[:allowed])
+	w.written += n
+	if err != nil {
+		return n, err
+	}
+	return n, fail
+}
+
+// Reader injects a failure into a plain io.Reader after N bytes.
+type Reader struct {
+	R   io.Reader
+	N   int
+	Err error
+
+	read int
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	fail := r.Err
+	if fail == nil {
+		fail = ErrInjected
+	}
+	if r.read >= r.N {
+		return 0, fail
+	}
+	if len(p) > r.N-r.read {
+		p = p[:r.N-r.read]
+	}
+	n, err := r.R.Read(p)
+	r.read += n
+	return n, err
+}

@@ -49,12 +49,12 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 		cfg.EmbedDim, cfg.EmbedDim, g.Split("kg"))
 	params := append([]*autograd.Param{m.user, m.item}, m.transr.Params()...)
 	return shared.Train(ctx, d, cfg, shared.Spec{
-		Label:    "cke",
-		Params:   params,
-		Opt:      optim.NewAdam(params, cfg.LR, 0),
-		Base:     g.Split("engine"),
-		Neg:      d.NewNegSampler(cfg.Seed),
-		Samplers: map[string]*shared.KGSampler{"kgneg": shared.NewKGSampler(d.Graph, g.Split("kgneg"))},
+		Label:        "cke",
+		Params:       params,
+		Opt:          optim.NewAdam(params, cfg.LR, 0),
+		Base:         g.Split("engine"),
+		Neg:          d.NewNegSampler(cfg.Seed),
+		Samplers:     map[string]*shared.KGSampler{"kgneg": shared.NewKGSampler(d.Graph, g.Split("kgneg"))},
 		ExtraSamples: len(d.Train), // one structural triple per interaction pair
 		Loss: func(tp *autograd.Tape, bc *shared.BatchCtx, users, pos, negs []int) *autograd.Node {
 			u := tp.Gather(bc.Leaf(tp, m.user), users)

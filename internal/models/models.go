@@ -8,6 +8,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/dataset"
 	"repro/internal/eval"
 )
@@ -81,6 +82,38 @@ type TrainConfig struct {
 	Logf func(format string, args ...any)
 	// Progress, when non-nil, receives one ProgressEvent per epoch.
 	Progress func(ProgressEvent)
+	// Checkpoint, when non-nil, enables epoch-boundary checkpointing
+	// (and, with Checkpoint.Resume, crash-resume) on the shared engine.
+	// Enabling it switches training to the counter-split RNG discipline
+	// for every worker count — randomness derived from (label, epoch,
+	// batch) instead of streams consumed across the whole run — so a
+	// resumed run is bit-identical to an uninterrupted one. Sequential
+	// results therefore match checkpointed-sequential results only
+	// within the same mode.
+	Checkpoint *CheckpointSpec
+}
+
+// CheckpointSpec configures training checkpoints: where they live, how
+// often they are cut, and whether training starts by restoring the
+// latest valid one.
+type CheckpointSpec struct {
+	// Store is the atomic checkpoint store (required).
+	Store *ckpt.Store
+	// Every saves a checkpoint each time this many epochs complete
+	// (<= 0 means every epoch).
+	Every int
+	// Resume restores the newest valid checkpoint for the model before
+	// training, continuing from its epoch. Corrupt checkpoints are
+	// skipped; with none valid, training starts from scratch.
+	Resume bool
+}
+
+// EveryN normalizes Every to a positive interval.
+func (s *CheckpointSpec) EveryN() int {
+	if s == nil || s.Every < 1 {
+		return 1
+	}
+	return s.Every
 }
 
 // DefaultTrainConfig mirrors the paper's settings (§VI-D): embedding

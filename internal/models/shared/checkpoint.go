@@ -1,0 +1,164 @@
+// checkpoint.go implements full-training-state checkpoint/resume for
+// the shared engine and CKAT: parameters, optimizer moments, and the
+// epoch index are gob-serialized and persisted through the atomic
+// internal/ckpt store at epoch boundaries.
+//
+// There is deliberately no RNG state in the checkpoint. Checkpointed
+// training always runs in the counter-split RNG discipline (see
+// engine.go): every random draw of epoch e is derived from
+// (label, epoch, batch) via rng.SplitIndexed, so the only "RNG counter"
+// a resumed run needs is the epoch index itself. That is what makes a
+// kill-and-resume run bit-identical to an uninterrupted one.
+package shared
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/autograd"
+	"repro/internal/ckpt"
+	"repro/internal/models"
+	"repro/internal/optim"
+)
+
+// TrainState is the serialized payload of one training checkpoint.
+type TrainState struct {
+	Label  string       // model label; must match on restore
+	Seed   int64        // cfg.Seed; must match on restore
+	Epoch  int          // completed epochs
+	Params []ParamState // in registration order
+	Optim  []optim.State
+}
+
+// ParamState is one parameter's serialized values.
+type ParamState struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// Checkpointer saves and restores the training state of one model run.
+// A nil Checkpointer (checkpointing disabled) is valid; its methods are
+// no-ops.
+type Checkpointer struct {
+	spec   models.CheckpointSpec
+	label  string
+	seed   int64
+	params []*autograd.Param
+	opts   []optim.Optimizer
+}
+
+// NewCheckpointer builds a Checkpointer for a model run, or nil when
+// spec is nil. params and opts must be the exact objects the training
+// loop updates, in a stable registration order across runs.
+func NewCheckpointer(spec *models.CheckpointSpec, label string, seed int64,
+	params []*autograd.Param, opts ...optim.Optimizer) *Checkpointer {
+	if spec == nil || spec.Store == nil {
+		return nil
+	}
+	return &Checkpointer{
+		spec: *spec, label: label, seed: seed, params: params, opts: opts,
+	}
+}
+
+// Resume restores the newest valid checkpoint and returns the epoch to
+// continue from (0 on a cold start: resume disabled, or no valid
+// checkpoint present). A checkpoint written for a different label,
+// seed, or parameter shape fails loudly rather than silently training
+// from a foreign state.
+func (c *Checkpointer) Resume() (int, error) {
+	if c == nil || !c.spec.Resume {
+		return 0, nil
+	}
+	_, payload, err := c.spec.Store.Latest(c.label)
+	if errors.Is(err, ckpt.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("shared: resume %s: %w", c.label, err)
+	}
+	var st TrainState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return 0, fmt.Errorf("shared: resume %s: decode state: %w", c.label, err)
+	}
+	if err := c.restore(&st); err != nil {
+		return 0, fmt.Errorf("shared: resume %s: %w", c.label, err)
+	}
+	return st.Epoch, nil
+}
+
+// restore validates st against the live run and copies it in.
+func (c *Checkpointer) restore(st *TrainState) error {
+	if st.Label != c.label {
+		return fmt.Errorf("checkpoint label %q != model %q", st.Label, c.label)
+	}
+	if st.Seed != c.seed {
+		return fmt.Errorf("checkpoint seed %d != config seed %d", st.Seed, c.seed)
+	}
+	if len(st.Params) != len(c.params) {
+		return fmt.Errorf("checkpoint has %d params, model has %d", len(st.Params), len(c.params))
+	}
+	if len(st.Optim) != len(c.opts) {
+		return fmt.Errorf("checkpoint has %d optimizer states, model has %d", len(st.Optim), len(c.opts))
+	}
+	for i, p := range c.params {
+		ps := st.Params[i]
+		if ps.Name != p.Name || ps.Rows != p.Value.Rows || ps.Cols != p.Value.Cols {
+			return fmt.Errorf("checkpoint param %d is %s[%dx%d], model has %s[%dx%d]",
+				i, ps.Name, ps.Rows, ps.Cols, p.Name, p.Value.Rows, p.Value.Cols)
+		}
+		if len(ps.Data) != p.Value.Rows*p.Value.Cols {
+			return fmt.Errorf("checkpoint param %s has %d values, want %d",
+				ps.Name, len(ps.Data), p.Value.Rows*p.Value.Cols)
+		}
+	}
+	// Validation passed for every piece; now mutate.
+	for i, p := range c.params {
+		copy(p.Value.Data, st.Params[i].Data)
+		p.ZeroGrad()
+	}
+	for i, o := range c.opts {
+		if err := optim.RestoreState(o, st.Optim[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AfterEpoch persists the training state once `epochsDone` (1-based
+// count of completed epochs) reaches a multiple of the checkpoint
+// interval. Persistence failures are returned so training does not run
+// on believing durability it does not have.
+func (c *Checkpointer) AfterEpoch(epochsDone int) error {
+	if c == nil || epochsDone%c.spec.EveryN() != 0 {
+		return nil
+	}
+	return c.save(epochsDone)
+}
+
+func (c *Checkpointer) save(epochsDone int) error {
+	st := TrainState{
+		Label: c.label, Seed: c.seed, Epoch: epochsDone,
+		Params: make([]ParamState, len(c.params)),
+		Optim:  make([]optim.State, len(c.opts)),
+	}
+	for i, p := range c.params {
+		st.Params[i] = ParamState{
+			Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols,
+			Data: p.Value.Data, // serialized synchronously; no copy needed
+		}
+	}
+	for i, o := range c.opts {
+		st.Optim[i] = optim.CaptureState(o)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return fmt.Errorf("shared: checkpoint %s epoch %d: encode: %w", c.label, epochsDone, err)
+	}
+	if err := c.spec.Store.Save(c.label, epochsDone, buf.Bytes()); err != nil {
+		return fmt.Errorf("shared: checkpoint %s epoch %d: %w", c.label, epochsDone, err)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package shared_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+	"repro/internal/models"
+	"repro/internal/models/bprmf"
+	"repro/internal/models/modeltest"
+	"repro/internal/rng"
+)
+
+// allScores flattens every user's full score vector into one slice so
+// two trained models can be compared bit-for-bit.
+func allScores(t *testing.T, m models.Trainer, d *dataset.Dataset) []float64 {
+	t.Helper()
+	out := make([]float64, 0, d.NumUsers*d.NumItems)
+	row := make([]float64, d.NumItems)
+	for u := 0; u < d.NumUsers; u++ {
+		m.ScoreItems(u, row)
+		out = append(out, row...)
+	}
+	return out
+}
+
+func assertBitIdentical(t *testing.T, a, b []float64, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: score lengths differ: %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: scores diverge at %d: %v vs %v", what, i, a[i], b[i])
+		}
+	}
+}
+
+func ckptConfig(t *testing.T, workers int, resume bool) models.TrainConfig {
+	t.Helper()
+	cfg := modeltest.QuickConfig()
+	cfg.Workers = workers
+	store, err := ckpt.NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	cfg.Checkpoint = &models.CheckpointSpec{Store: store, Resume: resume}
+	return cfg
+}
+
+// The headline fault-tolerance contract: training killed at an epoch
+// boundary and resumed from the on-disk checkpoint must produce
+// bit-identical final embeddings to an uninterrupted run, at any worker
+// count, because checkpointed training derives all randomness from
+// (epoch, batch) counters.
+func TestKillAndResumeBitIdentical(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	for _, workers := range []int{1, 3} {
+		// Uninterrupted reference run (checkpointing on, never resumed).
+		ref := ckptConfig(t, workers, false)
+		full := bprmf.New()
+		if err := full.Train(context.Background(), d, ref); err != nil {
+			t.Fatalf("workers=%d: uninterrupted Train: %v", workers, err)
+		}
+		want := allScores(t, full, d)
+
+		// Killed run: cancel (SIGKILL-style, mid-training) after a
+		// pseudo-random epoch, sharing one store across kill and resume.
+		killAt := 1 + rng.New(int64(workers)).Intn(ref.Epochs-2)
+		cfg := ckptConfig(t, workers, false)
+		ctx, cancel := context.WithCancel(context.Background())
+		cfg.Progress = func(ev models.ProgressEvent) {
+			if ev.Epoch == killAt {
+				cancel()
+			}
+		}
+		killed := bprmf.New()
+		if err := killed.Train(ctx, d, cfg); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: killed Train err = %v, want context.Canceled", workers, err)
+		}
+
+		// Resume in a "new process": fresh model, same store.
+		cfg.Progress = nil
+		cfg.Checkpoint.Resume = true
+		resumed := bprmf.New()
+		if err := resumed.Train(context.Background(), d, cfg); err != nil {
+			t.Fatalf("workers=%d: resumed Train: %v", workers, err)
+		}
+		assertBitIdentical(t, want, allScores(t, resumed, d),
+			"kill-and-resume vs uninterrupted")
+	}
+}
+
+// Crash-during-checkpoint-write variant: the process dies partway
+// through writing epoch k's checkpoint (faultinject crash at a
+// pseudo-random filesystem operation). The torn write must be detected
+// on resume, training must restart from the newest intact checkpoint,
+// and the final embeddings must still match the uninterrupted run.
+func TestCrashDuringCheckpointWriteResumes(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	dir := t.TempDir()
+
+	ref := modeltest.QuickConfig()
+	ref.Workers = 2
+	refStore, err := ckpt.NewStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	ref.Checkpoint = &models.CheckpointSpec{Store: refStore}
+	full := bprmf.New()
+	if err := full.Train(context.Background(), d, ref); err != nil {
+		t.Fatalf("uninterrupted Train: %v", err)
+	}
+	want := allScores(t, full, d)
+
+	// Probe: count the filesystem ops a full checkpointed run performs.
+	inj := faultinject.Wrap(ckpt.OSFS())
+	probeStore, err := ckpt.NewStoreFS(inj, t.TempDir(), 3)
+	if err != nil {
+		t.Fatalf("NewStoreFS: %v", err)
+	}
+	cfg := ref
+	cfg.Checkpoint = &models.CheckpointSpec{Store: probeStore}
+	if err := bprmf.New().Train(context.Background(), d, cfg); err != nil {
+		t.Fatalf("probe Train: %v", err)
+	}
+	totalOps := inj.Ops()
+
+	// Crash at a pseudo-random op somewhere in the write path.
+	inj = faultinject.Wrap(ckpt.OSFS())
+	crashStore, err := ckpt.NewStoreFS(inj, dir, 3)
+	if err != nil {
+		t.Fatalf("NewStoreFS: %v", err)
+	}
+	// Crash somewhere in the first half of the run so the failure always
+	// surfaces mid-training (a crash during the very last prune would
+	// otherwise let Train finish cleanly).
+	inj.FailAt(rng.New(41).Intn(totalOps/2), faultinject.ModeCrash)
+	cfg.Checkpoint = &models.CheckpointSpec{Store: crashStore}
+	err = bprmf.New().Train(context.Background(), d, cfg)
+	if err == nil {
+		t.Fatal("crashed Train returned nil error")
+	}
+
+	// Restart: plain filesystem over the same directory.
+	cleanStore, err := ckpt.NewStore(dir, 3)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	cfg.Checkpoint = &models.CheckpointSpec{Store: cleanStore, Resume: true}
+	resumed := bprmf.New()
+	if err := resumed.Train(context.Background(), d, cfg); err != nil {
+		t.Fatalf("resumed Train: %v", err)
+	}
+	assertBitIdentical(t, want, allScores(t, resumed, d),
+		"crash-during-write resume vs uninterrupted")
+}
+
+// Checkpointed sequential training still learns and is run-to-run
+// deterministic (the counter-RNG mode is a different stream discipline
+// from legacy sequential, so determinism must hold within the mode).
+func TestCheckpointedTrainingDeterministicAndLearns(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	run := func() []float64 {
+		cfg := ckptConfig(t, 1, false)
+		m := bprmf.New()
+		modeltest.AssertLearns(t, m, d, cfg, 3)
+		return allScores(t, m, d)
+	}
+	assertBitIdentical(t, run(), run(), "two checkpointed sequential runs")
+}
+
+// Resuming against a checkpoint from a different seed must fail loudly
+// instead of silently continuing from foreign state.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	cfg := ckptConfig(t, 1, false)
+	cfg.Epochs = 2
+	if err := bprmf.New().Train(context.Background(), d, cfg); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	cfg.Seed++
+	cfg.Checkpoint.Resume = true
+	err := bprmf.New().Train(context.Background(), d, cfg)
+	if err == nil {
+		t.Fatal("resume with mismatched seed succeeded")
+	}
+}
+
+// A fully-trained checkpoint resumes to an immediate no-op: Train
+// returns without running any epochs and the model state matches the
+// original run.
+func TestResumeAfterCompletionIsNoOp(t *testing.T) {
+	d := modeltest.TinyDataset(t)
+	cfg := ckptConfig(t, 1, false)
+	cfg.Epochs = 3
+	first := bprmf.New()
+	if err := first.Train(context.Background(), d, cfg); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	want := allScores(t, first, d)
+
+	cfg.Checkpoint.Resume = true
+	epochs := 0
+	cfg.Progress = func(models.ProgressEvent) { epochs++ }
+	again := bprmf.New()
+	if err := again.Train(context.Background(), d, cfg); err != nil {
+		t.Fatalf("resumed Train: %v", err)
+	}
+	if epochs != 0 {
+		t.Fatalf("resume of a complete run trained %d extra epochs", epochs)
+	}
+	assertBitIdentical(t, want, allScores(t, again, d), "no-op resume")
+}

@@ -30,6 +30,10 @@
 // run). Parallel mode derives an independent stream per (name, epoch,
 // batch) from Spec.Base via rng.SplitIndexed, so draws depend only on
 // the batch identity — not on which worker runs it or on W.
+// Checkpointed training (cfg.Checkpoint != nil) uses the counter-split
+// streams at every worker count, including W <= 1: with all randomness
+// a pure function of (epoch, batch), checkpoints need no RNG state and
+// a resumed run is bit-identical to an uninterrupted one.
 package shared
 
 import (
@@ -184,10 +188,11 @@ type BatchCtx struct {
 	Epoch int
 	Batch int
 
-	shard int
-	sh    *Shadows
-	spec  *Spec
-	d     *dataset.Dataset
+	shard   int
+	counter bool // counter-split RNG streams (parallel or checkpointed)
+	sh      *Shadows
+	spec    *Spec
+	d       *dataset.Dataset
 }
 
 // Leaf records p on tp, resolving to this shard's gradient sink.
@@ -197,18 +202,18 @@ func (bc *BatchCtx) Leaf(tp *autograd.Tape, p *autograd.Param) *autograd.Node {
 
 // RNG returns the named random stream for this batch: the single
 // legacy stream in sequential mode, a per-(name, epoch, batch) derived
-// stream in parallel mode.
+// stream in counter mode (parallel or checkpointed training).
 func (bc *BatchCtx) RNG(name string) *rng.RNG {
-	if bc.shard < 0 {
+	if !bc.counter {
 		return bc.spec.Streams[name]
 	}
 	return bc.spec.Base.SplitIndexed(name, int64(bc.Epoch), int64(bc.Batch))
 }
 
 // KG returns the named knowledge-graph sampler for this batch, with the
-// same sequential/parallel stream discipline as RNG.
+// same sequential/counter stream discipline as RNG.
 func (bc *BatchCtx) KG(name string) *KGSampler {
-	if bc.shard < 0 {
+	if !bc.counter {
 		return bc.spec.Samplers[name]
 	}
 	return NewKGSampler(bc.d.Graph,
@@ -245,10 +250,17 @@ func (bc *BatchCtx) TransE(t *TransE) *TransE {
 // Train drives the engine's multi-epoch BPR loop for spec: batching,
 // negative sampling, round-parallel gradient computation, per-epoch
 // logging ("<label> <dataset> epoch e/E loss=L", the historical line),
-// and progress reporting. It returns ctx.Err() if cancelled between
-// rounds, leaving the model partially trained.
+// progress reporting, and (when cfg.Checkpoint is set) epoch-boundary
+// checkpointing with optional resume. It returns ctx.Err() if cancelled
+// between rounds, leaving the model partially trained.
+//
+// Checkpointed training always uses the counter-split RNG streams, even
+// with Workers <= 1: every draw is a function of (epoch, batch), so the
+// checkpoint needs no RNG state and a resumed run replays the remaining
+// epochs bit-identically.
 func Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig, spec Spec) error {
 	workers := cfg.EffectiveWorkers()
+	counter := workers > 1 || cfg.Checkpoint != nil
 	sh := NewShadows(spec.Params, workers)
 	var pool *parallel.Pool
 	if workers > 1 {
@@ -257,20 +269,30 @@ func Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig, spec
 			a.Parallel(pool)
 		}
 	}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	cp := NewCheckpointer(cfg.Checkpoint, spec.Label, cfg.Seed, spec.Params, spec.Opt)
+	startEpoch, err := cp.Resume()
+	if err != nil {
+		return err
+	}
+	if startEpoch > 0 {
+		cfg.Log("%s %s resumed from checkpoint at epoch %d/%d",
+			spec.Label, d.Name, startEpoch, cfg.Epochs)
+	}
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		start := time.Now()
 		pos := d.PosBatches(cfg.BatchSize, cfg.Seed+int64(epoch))
 		var epochLoss float64
 		compute := func(b, shard int) float64 {
 			users, ps := pos[b][0], pos[b][1]
 			var negs []int
-			if shard < 0 {
+			if !counter {
 				negs = spec.Neg.Fill(users)
 			} else {
 				negs = d.NegSamplerFrom(
 					spec.Base.SplitIndexed("neg", int64(epoch), int64(b))).Fill(users)
 			}
-			bc := &BatchCtx{Epoch: epoch, Batch: b, shard: shard, sh: sh, spec: &spec, d: d}
+			bc := &BatchCtx{Epoch: epoch, Batch: b, shard: shard, counter: counter,
+				sh: sh, spec: &spec, d: d}
 			tp := autograd.NewTape()
 			loss := spec.Loss(tp, bc, users, ps, negs)
 			tp.Backward(loss)
@@ -292,6 +314,9 @@ func Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig, spec
 			Duration: time.Since(start),
 			Samples:  len(d.Train) + spec.ExtraSamples,
 		})
+		if err := cp.AfterEpoch(epoch + 1); err != nil {
+			return err
+		}
 	}
 	return nil
 }

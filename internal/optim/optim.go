@@ -6,6 +6,7 @@ package optim
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/autograd"
@@ -58,6 +59,53 @@ type Optimizer interface {
 	Step()
 	// Params returns the registered parameters.
 	Params() []*autograd.Param
+}
+
+// State is a serializable snapshot of an optimizer's internal state,
+// captured at training-state checkpoints so a resumed run continues
+// bit-for-bit where the interrupted one stopped. Kind discriminates the
+// optimizer family; Moments is empty for stateless optimizers.
+type State struct {
+	Kind    string   // "adam", "sgd"
+	Step    int      // update count (Adam's bias-correction t)
+	Moments []Moment // per-parameter slot state, in Params() order
+}
+
+// Moment holds one parameter's first/second moment estimates.
+type Moment struct {
+	M, V []float64
+}
+
+// Stateful is implemented by optimizers whose update rule carries state
+// beyond the parameters themselves. Stateless optimizers (plain SGD)
+// need no capture: restoring parameters alone resumes them exactly.
+type Stateful interface {
+	// CaptureState deep-copies the optimizer state.
+	CaptureState() State
+	// RestoreState replaces the optimizer state, validating that the
+	// captured shapes match the registered parameters.
+	RestoreState(State) error
+}
+
+// CaptureState returns o's state when it is Stateful, or a stateless
+// placeholder otherwise.
+func CaptureState(o Optimizer) State {
+	if s, ok := o.(Stateful); ok {
+		return s.CaptureState()
+	}
+	return State{Kind: "stateless"}
+}
+
+// RestoreState applies st to o when o is Stateful; stateless optimizers
+// accept only a stateless placeholder.
+func RestoreState(o Optimizer, st State) error {
+	if s, ok := o.(Stateful); ok {
+		return s.RestoreState(st)
+	}
+	if st.Kind != "stateless" {
+		return fmt.Errorf("optim: cannot restore %q state into stateless optimizer", st.Kind)
+	}
+	return nil
 }
 
 // SGD is plain stochastic gradient descent with optional L2 weight
@@ -119,6 +167,43 @@ func NewAdam(params []*autograd.Param, lr, decay float64) *Adam {
 
 // Params implements Optimizer.
 func (o *Adam) Params() []*autograd.Param { return o.params }
+
+// CaptureState implements Stateful: a deep copy of the moment
+// estimates and the step counter.
+func (o *Adam) CaptureState() State {
+	st := State{Kind: "adam", Step: o.t, Moments: make([]Moment, len(o.params))}
+	for i := range o.params {
+		st.Moments[i] = Moment{
+			M: append([]float64(nil), o.m[i].Data...),
+			V: append([]float64(nil), o.v[i].Data...),
+		}
+	}
+	return st
+}
+
+// RestoreState implements Stateful.
+func (o *Adam) RestoreState(st State) error {
+	if st.Kind != "adam" {
+		return fmt.Errorf("optim: restoring %q state into Adam", st.Kind)
+	}
+	if len(st.Moments) != len(o.params) {
+		return fmt.Errorf("optim: adam state has %d moment sets, optimizer has %d params",
+			len(st.Moments), len(o.params))
+	}
+	for i, p := range o.params {
+		n := len(p.Value.Data)
+		if len(st.Moments[i].M) != n || len(st.Moments[i].V) != n {
+			return fmt.Errorf("optim: adam state moment %d sized %d/%d, param %q has %d elements",
+				i, len(st.Moments[i].M), len(st.Moments[i].V), p.Name, n)
+		}
+	}
+	o.t = st.Step
+	for i := range o.params {
+		copy(o.m[i].Data, st.Moments[i].M)
+		copy(o.v[i].Data, st.Moments[i].V)
+	}
+	return nil
+}
 
 // Parallel runs subsequent Steps on p, chunking parameters by element
 // range. The Adam update is element-wise, so the chunked update is

@@ -20,6 +20,12 @@ type scoreCache struct {
 	byUser map[int]*list.Element // user -> entry
 	score  func(user int, out []float64)
 
+	// gen is bumped by Invalidate. A fill that started under an older
+	// generation is discarded instead of inserted, so a vector computed
+	// against a scorer that was hot-swapped away mid-fill can never
+	// poison the cache for later requests.
+	gen uint64
+
 	hits, misses uint64
 }
 
@@ -53,6 +59,7 @@ func (c *scoreCache) Scores(user int) []float64 {
 		return v
 	}
 	c.misses++
+	gen := c.gen
 	c.mu.Unlock()
 
 	out := make([]float64, c.dim)
@@ -60,6 +67,12 @@ func (c *scoreCache) Scores(user int) []float64 {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.gen != gen {
+		// The cache was invalidated (model hot swap) while scoring.
+		// Serve this request its computed vector but do not insert it:
+		// it may predate the swap.
+		return out
+	}
 	if el, ok := c.byUser[user]; ok {
 		// Another goroutine filled it while we scored.
 		c.ll.MoveToFront(el)
@@ -74,11 +87,14 @@ func (c *scoreCache) Scores(user int) []float64 {
 	return out
 }
 
-// Invalidate drops every entry. Hit/miss counters survive so the stats
-// endpoint keeps lifetime accounting across retrains.
+// Invalidate drops every entry and advances the generation so inflight
+// fills started before the call cannot re-insert pre-swap vectors.
+// Hit/miss counters survive so the stats endpoint keeps lifetime
+// accounting across retrains.
 func (c *scoreCache) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	c.ll.Init()
 	c.byUser = make(map[int]*list.Element, c.cap)
 }

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// Graceful degradation: the server never holds a request hostage to a
+// missing model. The active scorer lives behind an atomic pointer so
+// it can be hot-swapped (admin reload, SIGHUP) without a restart, and
+// when no trained scorer is available — snapshot absent, corrupt, or a
+// reload that keeps failing — requests are answered from a
+// popularity-prior fallback ranker with "degraded": true in the body
+// instead of a 5xx. Load beyond the configured inflight cap is shed
+// with 503 + Retry-After so the requests that are admitted keep their
+// latency budget.
+
+// scorerState is the atomically-swapped serving state: the scorer all
+// cache fills go through and whether it is the degraded fallback.
+type scorerState struct {
+	scorer   eval.Scorer
+	degraded bool
+}
+
+// Loader produces a fresh scorer for hot reload — typically by reading
+// a snapshot file from disk. It must be safe to call repeatedly.
+type Loader func() (eval.Scorer, error)
+
+// WithLoader installs the scorer loader used by Reload (and therefore
+// by POST /v1/admin/reload and SIGHUP handling in cmd/serve).
+func WithLoader(l Loader) Option { return func(s *Server) { s.loader = l } }
+
+// WithMaxInflight caps concurrently-admitted requests; excess traffic
+// is shed with 503 + Retry-After. Health endpoints are exempt so
+// orchestrator probes keep working under overload. Zero disables
+// shedding.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxInflight = n
+		}
+	}
+}
+
+// WithReloadPolicy tunes Reload's retry loop: attempts total tries and
+// the initial backoff between them (doubling each retry).
+func WithReloadPolicy(attempts int, backoff time.Duration) Option {
+	return func(s *Server) {
+		if attempts > 0 {
+			s.reloadAttempts = attempts
+		}
+		if backoff > 0 {
+			s.reloadBackoff = backoff
+		}
+	}
+}
+
+// popScorer is the popularity-prior fallback ranker: every user gets
+// the catalog ranked by training interaction counts. It needs no
+// trained model, only the dataset, so it is always available.
+type popScorer struct {
+	scores []float64
+}
+
+func newPopScorer(d *dataset.Dataset) *popScorer {
+	sc := make([]float64, d.NumItems)
+	for _, p := range d.Train {
+		sc[p[1]]++
+	}
+	return &popScorer{scores: sc}
+}
+
+// ScoreItems implements eval.Scorer: the same popularity vector for
+// every user (per-user masking of training positives still happens in
+// the handlers).
+func (p *popScorer) ScoreItems(_ int, out []float64) { copy(out, p.scores) }
+
+// NumItems implements eval.Scorer.
+func (p *popScorer) NumItems() int { return len(p.scores) }
+
+// state returns the current serving state; never nil.
+func (s *Server) state() *scorerState { return s.cur.Load() }
+
+// Degraded reports whether requests are currently served by the
+// popularity fallback.
+func (s *Server) Degraded() bool { return s.state().degraded }
+
+// SetScorer atomically swaps the active scorer and invalidates the
+// score-vector cache so no vector computed by the previous scorer can
+// be served afterward. A nil scorer degrades to the popularity
+// fallback.
+func (s *Server) SetScorer(sc eval.Scorer) {
+	if sc == nil {
+		s.cur.Store(&scorerState{scorer: s.fallback, degraded: true})
+	} else {
+		s.cur.Store(&scorerState{scorer: sc, degraded: false})
+	}
+	// Invalidate AFTER the swap: a fill racing the swap may insert a
+	// vector from the old scorer, but only before the invalidate that
+	// follows it clears the cache; fills that start after the
+	// invalidate observe the new scorer through the atomic pointer.
+	s.cache.Invalidate()
+}
+
+// Reload pulls a fresh scorer from the configured Loader and swaps it
+// in, retrying with exponential backoff. Reloads are serialized; a
+// failed reload leaves the current scorer (trained or fallback)
+// serving untouched.
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.loader == nil {
+		return errNoLoader
+	}
+	backoff := s.reloadBackoff
+	var err error
+	for attempt := 0; attempt < s.reloadAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var sc eval.Scorer
+		if sc, err = s.loader(); err == nil {
+			s.SetScorer(sc)
+			s.metrics.reloads.Add(1)
+			return nil
+		}
+		if s.logger != nil {
+			s.logger.Printf("reload attempt %d/%d failed: %v",
+				attempt+1, s.reloadAttempts, err)
+		}
+	}
+	s.metrics.reloadFailures.Add(1)
+	return err
+}
+
+var errNoLoader = &apiError{
+	Code:    "no_loader",
+	Message: "hot reload is not configured for this server",
+	Status:  http.StatusNotImplemented,
+}
+
+// handleReload is POST /v1/admin/reload: swap in a freshly loaded
+// scorer, or report why the swap did not happen. Failure keeps the
+// previous scorer serving, so the error is informational.
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Reload(); err != nil {
+		if api, ok := err.(*apiError); ok {
+			s.writeError(w, api)
+			return
+		}
+		s.writeError(w, &apiError{
+			Code:    "reload_failed",
+			Message: err.Error(),
+			Status:  http.StatusServiceUnavailable,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "reloaded",
+		"degraded": s.Degraded(),
+	})
+}
+
+// handleLive is GET /v1/health/live: process liveness only. It is
+// always 200 while the process can serve HTTP — even degraded — so
+// orchestrators do not restart a server that is usefully shedding or
+// falling back.
+func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReady is GET /v1/health/ready: readiness for full-quality
+// traffic. Degraded serving answers 503 so load balancers prefer
+// replicas with a real model, while the body still explains the state.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.Degraded() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "degraded",
+			"degraded": true,
+			"reason":   "no trained scorer loaded; serving popularity fallback",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "degraded": false})
+}
+
+// shed is the admission-control middleware: beyond maxInflight
+// concurrently-admitted requests, respond 503 with Retry-After rather
+// than queueing work the deadline middleware would time out anyway.
+// Health probes bypass the cap.
+func (s *Server) shed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.maxInflight <= 0 || isHealthPath(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		n := s.shedInflight.Add(1)
+		defer s.shedInflight.Add(-1)
+		if n > int64(s.maxInflight) {
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			s.writeError(w, &apiError{
+				Code:    "overloaded",
+				Message: "server is at its inflight request cap; retry shortly",
+				Status:  http.StatusServiceUnavailable,
+			})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// retryAfterSeconds is the Retry-After hint on shed responses.
+const retryAfterSeconds = 1
+
+func isHealthPath(p string) bool {
+	return p == "/v1/health" || p == "/v1/health/live" || p == "/v1/health/ready" ||
+		p == "/health"
+}

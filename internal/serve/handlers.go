@@ -146,6 +146,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"facility": s.d.Name,
 		"users":    s.d.NumUsers,
 		"items":    s.d.NumItems,
+		"degraded": s.Degraded(),
 	})
 }
 
@@ -156,6 +157,17 @@ func (s *Server) recommendFor(user, k int) []Recommendation {
 	cached := s.cache.Scores(user)
 	scores := make([]float64, len(cached))
 	copy(scores, cached)
+	eval.MaskTrain(s.d, user, scores)
+	return s.renderTop(eval.TopK(scores, k), scores, 1)
+}
+
+// fallbackFor answers recommendFor's question from the popularity
+// prior, bypassing cache and scorer entirely. It is O(items) with no
+// model in the loop, so it is the degraded answer when the primary
+// scoring path misses its deadline.
+func (s *Server) fallbackFor(user, k int) []Recommendation {
+	scores := make([]float64, s.d.NumItems)
+	s.fallback.ScoreItems(user, scores)
 	eval.MaskTrain(s.d, user, scores)
 	return s.renderTop(eval.TopK(scores, k), scores, 1)
 }
@@ -172,9 +184,20 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, e)
 		return
 	}
+	degraded := s.Degraded()
+	recs := s.recommendFor(user, k)
+	if !degraded && r.Context().Err() != nil {
+		// The model path blew the deadline; answer from the popularity
+		// prior rather than 504ing a recommendation request.
+		recs, degraded = s.fallbackFor(user, k), true
+	}
+	if degraded {
+		s.metrics.degraded.Add(1)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"user":            user,
-		"recommendations": s.recommendFor(user, k),
+		"recommendations": recs,
+		"degraded":        degraded,
 	})
 }
 
@@ -226,16 +249,26 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		User            int              `json:"user"`
 		Recommendations []Recommendation `json:"recommendations"`
 	}
+	degraded := s.Degraded()
 	results := make([]userRecs, len(req.Users))
 	err := s.runBounded(r.Context(), len(req.Users), func(i int) {
 		u := req.Users[i]
 		results[i] = userRecs{User: u, Recommendations: s.recommendFor(u, req.K)}
 	})
 	if err != nil {
-		s.writeError(w, timeoutErr())
-		return
+		// Deadline tripped mid-batch: rather than 504, answer every
+		// user from the popularity prior so the response is uniform.
+		for i, u := range req.Users {
+			results[i] = userRecs{User: u, Recommendations: s.fallbackFor(u, req.K)}
+		}
+		degraded = true
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"k": req.K, "results": results})
+	if degraded {
+		s.metrics.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"k": req.K, "results": results, "degraded": degraded,
+	})
 }
 
 // probeUsers selects up to maxProbes training users of an item,
@@ -296,9 +329,13 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	}
 	agg[item] = math.Inf(-1)
 	top := eval.TopK(agg, k)
+	if s.Degraded() {
+		s.metrics.degraded.Add(1)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"item":    item,
-		"similar": s.renderTop(top, agg, 1/float64(len(probes))),
+		"item":     item,
+		"similar":  s.renderTop(top, agg, 1/float64(len(probes))),
+		"degraded": s.Degraded(),
 	})
 }
 

@@ -21,6 +21,14 @@ type metrics struct {
 	start    time.Time
 	inflight atomic.Int64
 
+	// Degradation counters: requests answered by the popularity
+	// fallback, requests shed at the inflight cap, and hot-reload
+	// outcomes.
+	degraded       atomic.Uint64
+	shed           atomic.Uint64
+	reloads        atomic.Uint64
+	reloadFailures atomic.Uint64
+
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 }
@@ -93,6 +101,11 @@ type StatsSnapshot struct {
 	Facility  string                      `json:"facility"`
 	UptimeMS  float64                     `json:"uptime_ms"`
 	Inflight  int64                       `json:"inflight"`
+	Ready     bool                        `json:"ready"`
+	Degraded  uint64                      `json:"degraded_requests"`
+	Shed      uint64                      `json:"shed_requests"`
+	Reloads   uint64                      `json:"reloads"`
+	ReloadErr uint64                      `json:"reload_failures"`
 	Cache     CacheSnapshot               `json:"cache"`
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
@@ -150,9 +163,14 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 		eps[p] = s.metrics.endpoint(p).snapshot()
 	}
 	return StatsSnapshot{
-		Facility: s.d.Name,
-		UptimeMS: float64(time.Since(s.metrics.start).Nanoseconds()) / 1e6,
-		Inflight: s.metrics.inflight.Load(),
+		Facility:  s.d.Name,
+		UptimeMS:  float64(time.Since(s.metrics.start).Nanoseconds()) / 1e6,
+		Inflight:  s.metrics.inflight.Load(),
+		Ready:     !s.Degraded(),
+		Degraded:  s.metrics.degraded.Load(),
+		Shed:      s.metrics.shed.Load(),
+		Reloads:   s.metrics.reloads.Load(),
+		ReloadErr: s.metrics.reloadFailures.Load(),
 		Cache: CacheSnapshot{
 			Hits: hits, Misses: misses, HitRate: rate,
 			Entries: entries, Cap: s.cacheSize,

@@ -5,12 +5,15 @@
 // versioned JSON API:
 //
 //	GET  /v1/health                      → service status
+//	GET  /v1/health/live                 → process liveness (always 200)
+//	GET  /v1/health/ready                → readiness (503 while degraded)
 //	GET  /v1/recommend?user=12&k=10      → top-K data objects for a user
 //	POST /v1/recommend:batch             → top-K for many users at once
 //	GET  /v1/similar?item=42&k=10        → items close to an item in the CKG
 //	GET  /v1/explain?user=12&item=42     → knowledge paths linking the
 //	                                       user's history to an item
 //	GET  /v1/stats                       → latency/cache/inflight metrics
+//	POST /v1/admin/reload                → hot-swap the model snapshot
 //
 // The legacy unversioned paths (/health, /recommend, /similar,
 // /explain) answer with 308 permanent redirects into /v1.
@@ -22,14 +25,22 @@
 // and multi-user scoring (similar-item probes, batch recommendation)
 // fans out across a bounded worker pool. Every request passes through
 // a middleware stack providing request IDs, structured logs, latency
-// metrics, panic recovery, and per-request timeouts. All failures use
-// one error envelope: {"error": {"code", "message", "status"}}.
+// metrics, load shedding, panic recovery, and per-request timeouts.
+// All failures use one error envelope: {"error": {"code", "message",
+// "status"}}.
+//
+// The server degrades instead of failing: when no trained snapshot is
+// loadable the ranking endpoints answer from a popularity-prior
+// fallback with "degraded": true (see degrade.go), and the model can
+// be hot-swapped at runtime via Reload without dropping traffic.
 package serve
 
 import (
 	"log"
 	"net/http"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -39,18 +50,31 @@ import (
 
 // Defaults for the tunable knobs; override via Options.
 const (
-	DefaultCacheSize = 4096             // cached per-user score vectors
-	DefaultTimeout   = 10 * time.Second // per-request deadline
-	DefaultMaxProbes = 16               // probe users per /similar call
-	DefaultMaxBatch  = 256              // users per recommend:batch call
-	maxK             = 200              // largest accepted k
-	maxBatchBody     = 1 << 20          // recommend:batch body limit (bytes)
+	DefaultCacheSize      = 4096                   // cached per-user score vectors
+	DefaultTimeout        = 10 * time.Second       // per-request deadline
+	DefaultMaxProbes      = 16                     // probe users per /similar call
+	DefaultMaxBatch       = 256                    // users per recommend:batch call
+	DefaultReloadAttempts = 3                      // tries per Reload call
+	DefaultReloadBackoff  = 100 * time.Millisecond // initial retry backoff
+	maxK                  = 200                    // largest accepted k
+	maxBatchBody          = 1 << 20                // recommend:batch body limit (bytes)
 )
 
 // Server is the HTTP handler set for one facility's recommender.
 type Server struct {
-	d      *dataset.Dataset
-	scorer eval.Scorer
+	d *dataset.Dataset
+
+	// Degradation state: the active scorer is hot-swappable (SetScorer,
+	// Reload) and falls back to a popularity ranker when no trained
+	// scorer is available.
+	cur      atomic.Pointer[scorerState]
+	fallback *popScorer
+	loader   Loader
+	reloadMu sync.Mutex
+
+	// Admission control.
+	maxInflight  int
+	shedInflight atomic.Int64
 
 	// Precomputed at construction: the CKG adjacency (formerly rebuilt
 	// on every /explain request) and the users-by-item index (formerly
@@ -66,12 +90,14 @@ type Server struct {
 	handler http.Handler // mux wrapped in the middleware stack
 
 	// Knobs.
-	logger    *log.Logger
-	timeout   time.Duration
-	workers   int
-	cacheSize int
-	maxProbes int
-	maxBatch  int
+	logger         *log.Logger
+	timeout        time.Duration
+	workers        int
+	cacheSize      int
+	maxProbes      int
+	maxBatch       int
+	reloadAttempts int
+	reloadBackoff  time.Duration
 }
 
 // Option customizes a Server at construction time.
@@ -112,16 +138,19 @@ func WithMaxProbes(n int) Option {
 	}
 }
 
-// New builds a Server over a dataset and a trained scorer.
+// New builds a Server over a dataset and a trained scorer. A nil
+// scorer is allowed: the server boots degraded, answering from the
+// popularity fallback until SetScorer or Reload installs a real one.
 func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 	s := &Server{
-		d:         d,
-		scorer:    scorer,
-		timeout:   DefaultTimeout,
-		workers:   runtime.GOMAXPROCS(0),
-		cacheSize: DefaultCacheSize,
-		maxProbes: DefaultMaxProbes,
-		maxBatch:  DefaultMaxBatch,
+		d:              d,
+		timeout:        DefaultTimeout,
+		workers:        runtime.GOMAXPROCS(0),
+		cacheSize:      DefaultCacheSize,
+		maxProbes:      DefaultMaxProbes,
+		maxBatch:       DefaultMaxBatch,
+		reloadAttempts: DefaultReloadAttempts,
+		reloadBackoff:  DefaultReloadBackoff,
 	}
 	for _, o := range opts {
 		o(s)
@@ -133,19 +162,30 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		s.usersByItem[p[1]] = append(s.usersByItem[p[1]], p[0])
 	}
 
+	s.fallback = newPopScorer(d)
+	if scorer == nil {
+		s.cur.Store(&scorerState{scorer: s.fallback, degraded: true})
+	} else {
+		s.cur.Store(&scorerState{scorer: scorer, degraded: false})
+	}
+	// Cache fills read the scorer through the atomic pointer so a hot
+	// swap redirects every post-invalidate fill to the new scorer.
 	s.cache = newScoreCache(s.cacheSize, d.NumItems, func(user int, out []float64) {
-		scorer.ScoreItems(user, out)
+		s.state().scorer.ScoreItems(user, out)
 	})
 	s.metrics = newMetrics()
 	s.sem = make(chan struct{}, s.workers)
 
 	s.mux = http.NewServeMux()
 	s.route("/v1/health", http.MethodGet, s.handleHealth)
+	s.route("/v1/health/live", http.MethodGet, s.handleLive)
+	s.route("/v1/health/ready", http.MethodGet, s.handleReady)
 	s.route("/v1/recommend", http.MethodGet, s.handleRecommend)
 	s.route("/v1/recommend:batch", http.MethodPost, s.handleRecommendBatch)
 	s.route("/v1/similar", http.MethodGet, s.handleSimilar)
 	s.route("/v1/explain", http.MethodGet, s.handleExplain)
 	s.route("/v1/stats", http.MethodGet, s.handleStats)
+	s.route("/v1/admin/reload", http.MethodPost, s.handleReload)
 	for _, legacy := range []string{"/health", "/recommend", "/similar", "/explain"} {
 		s.mux.HandleFunc(legacy, s.redirectV1)
 	}
@@ -153,7 +193,7 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		s.writeError(w, notFound("no such endpoint %q", r.URL.Path))
 	})
 
-	s.handler = s.requestID(s.instrument(s.recover(s.deadline(s.mux))))
+	s.handler = s.requestID(s.instrument(s.shed(s.recover(s.deadline(s.mux)))))
 	return s
 }
 

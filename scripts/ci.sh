@@ -1,23 +1,33 @@
 #!/usr/bin/env sh
-# Tier-1 verification loop plus the concurrency race gates.
+# Tier-1 verification loop plus the concurrency race gates and the
+# fault-injection (chaos) gate.
 #
 # Two subsystems run goroutines on every request or round and therefore
 # run under the race detector on every PR in addition to the plain
 # tier-1 suite:
 #   - the serving layer (internal/serve, internal/serve/client): LRU
-#     cache, worker pool, metrics, middleware;
+#     cache, worker pool, metrics, middleware, hot reload / degraded
+#     fallback;
 #   - the parallel training/eval engine (internal/parallel,
 #     internal/models/shared, internal/core, internal/eval): round-
 #     parallel gradient workers, sharded attention recompute, fanned
 #     evaluation — smoke-tested end to end by TestTrainingSmoke (tiny
 #     dataset, 2 epochs, workers=4).
 #
-#   scripts/ci.sh          # full loop: vet + build + tests + race gates
+# The chaos gate sweeps deterministic filesystem faults (EIO, short
+# writes, torn renames, sticky crashes) through every op index of the
+# checkpoint write path and runs the kill/crash-and-resume equivalence
+# tests — including under -race.
+#
+#   scripts/ci.sh          # full loop: vet + build + tests + race + chaos
 #   scripts/ci.sh race     # race gates only
+#   scripts/ci.sh chaos    # fault-injection + resume-equivalence gates only
 set -eu
 cd "$(dirname "$0")/.."
 
-if [ "${1:-all}" != "race" ]; then
+mode="${1:-all}"
+
+if [ "$mode" = "all" ]; then
     echo "== go vet ./..."
     go vet ./...
     echo "== go build ./..."
@@ -26,10 +36,22 @@ if [ "${1:-all}" != "race" ]; then
     go test ./...
 fi
 
-echo "== go test -race ./internal/serve/..."
-go test -race ./internal/serve/...
-echo "== go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/"
-go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/
-echo "== go test -race -run 'TestTrainingSmoke|TestCKATParallel|TestCKATRecomputeAttention' . ./internal/core/"
-go test -race -run 'TestTrainingSmoke|TestCKATParallel|TestCKATRecomputeAttention' . ./internal/core/
+if [ "$mode" = "all" ] || [ "$mode" = "race" ]; then
+    echo "== go test -race ./internal/serve/..."
+    go test -race ./internal/serve/...
+    echo "== go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/"
+    go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/
+    echo "== go test -race -run 'TestTrainingSmoke|TestCKATParallel|TestCKATRecomputeAttention' . ./internal/core/"
+    go test -race -run 'TestTrainingSmoke|TestCKATParallel|TestCKATRecomputeAttention' . ./internal/core/
+fi
+
+if [ "$mode" = "all" ] || [ "$mode" = "chaos" ]; then
+    echo "== chaos: go test ./internal/ckpt/ ./internal/faultinject/"
+    go test ./internal/ckpt/ ./internal/faultinject/
+    echo "== chaos: resume equivalence under -race"
+    go test -race -run 'TestKillAndResume|TestCrashDuringCheckpointWrite|TestResume' \
+        ./internal/models/shared/
+    go test -race -run 'TestCKATKillAndResume' ./internal/core/
+fi
+
 echo "CI OK"
