@@ -411,6 +411,48 @@ func BenchmarkServeSimilar(b *testing.B) {
 	basePerOp := time.Since(baseStart) / baseReps
 
 	path := fmt.Sprintf("/v1/similar?item=%d&k=10", item)
+	drive := func(b *testing.B, s *serve.Server) {
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rr := httptest.NewRecorder()
+			s.ServeHTTP(rr, req)
+			if rr.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rr.Code, rr.Body)
+			}
+		}
+	}
+
+	b.Run("model", func(b *testing.B) {
+		drive(b, s)
+		b.StopTimer()
+		perOp := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(basePerOp.Microseconds()), "sequential-baseline-us/op")
+		if perOp > 0 {
+			b.ReportMetric(float64(basePerOp)/float64(perOp), "speedup-vs-sequential")
+		}
+	})
+
+	// Degraded serving answers from the popularity prior, which is now
+	// derived from the frozen CSR's Interact-partition degrees instead
+	// of a d.Train scan — the graph-core path the serving layer shares
+	// with eval.
+	b.Run("degraded-csr-prior", func(b *testing.B) {
+		ds := serve.New(d, nil)
+		drive(b, ds)
+	})
+}
+
+// BenchmarkServeExplain measures /v1/explain: bounded path enumeration
+// over the frozen CSR using a pooled PathFinder, so steady-state
+// requests reuse the visited bitmap and path scratch instead of
+// rebuilding a BFS queue and visited maps per call.
+func BenchmarkServeExplain(b *testing.B) {
+	d, m := benchServeModel(b)
+	s := serve.New(d, m)
+	// A training pair guarantees at least one knowledge path exists.
+	u, item := d.Train[0][0], d.Train[0][1]
+	path := fmt.Sprintf("/v1/explain?user=%d&item=%d", u, item)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		req := httptest.NewRequest(http.MethodGet, path, nil)
@@ -419,12 +461,6 @@ func BenchmarkServeSimilar(b *testing.B) {
 		if rr.Code != http.StatusOK {
 			b.Fatalf("status %d: %s", rr.Code, rr.Body)
 		}
-	}
-	b.StopTimer()
-	perOp := b.Elapsed() / time.Duration(b.N)
-	b.ReportMetric(float64(basePerOp.Microseconds()), "sequential-baseline-us/op")
-	if perOp > 0 {
-		b.ReportMetric(float64(basePerOp)/float64(perOp), "speedup-vs-sequential")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/serve"
 )
@@ -64,6 +65,7 @@ func main() {
 	// the popularity fallback serves while the operator fixes or
 	// replaces the snapshot and triggers a reload.
 	var scorer eval.Scorer
+	var snapCSR *graph.CSR
 	degradedBoot := false
 	if *snapshot != "" && !*save {
 		snap, err := core.LoadSnapshotFile(*snapshot)
@@ -74,6 +76,15 @@ func main() {
 			fmt.Printf("loaded snapshot for %s (%d users, %d items)\n",
 				snap.FacilityName, len(snap.UserEnt), len(snap.ItemEnt))
 			scorer = snap.Scorer()
+			// Snapshots persisted since the graph core carry the frozen
+			// CKG; booting from it skips the freeze of the rebuilt
+			// dataset graph. Legacy snapshots return (nil, nil) and the
+			// server freezes the dataset's CKG itself.
+			if c, err := snap.CSR(); err != nil {
+				fmt.Fprintf(os.Stderr, "snapshot graph unusable (%v); refreezing the dataset CKG\n", err)
+			} else if c != nil && c.NumEntities() == d.Graph.NumEntities() {
+				snapCSR = c
+			}
 		}
 	} else {
 		m := core.NewDefault()
@@ -105,6 +116,9 @@ func main() {
 	opts := []serve.Option{
 		serve.WithTimeout(*timeout),
 		serve.WithCacheSize(*cacheSize),
+	}
+	if snapCSR != nil {
+		opts = append(opts, serve.WithCSR(snapCSR))
 	}
 	if *maxInflight > 0 {
 		opts = append(opts, serve.WithMaxInflight(*maxInflight))

@@ -39,7 +39,7 @@ import (
 
 	"repro/internal/autograd"
 	"repro/internal/dataset"
-	"repro/internal/kg"
+	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/models/shared"
 	"repro/internal/optim"
@@ -105,7 +105,7 @@ type Model struct {
 	transr *shared.TransR    // embedding layer (entities, relations, projections)
 	w      []*autograd.Param // per propagation layer: d_l × (2·d_{l-1}) or d_l × d_{l-1}
 
-	adj     *kg.Adjacency
+	csr     *graph.CSR
 	attMu   sync.Mutex    // serializes concurrent RecomputeAttention calls
 	att     *tensor.Dense // E×1 attention coefficients (recomputed per epoch)
 	nEnt    int
@@ -141,11 +141,11 @@ func (m *Model) Name() string { return "CKAT" }
 // so the result is bit-identical for any worker count and to the dense
 // formulation.
 func (m *Model) computeAttention() {
-	e := m.adj.NumEdges()
+	e := m.csr.NumEdges()
 	m.att = tensor.New(e, 1)
 	if !m.opts.UseAttention {
 		for h := 0; h < m.nEnt; h++ {
-			lo, hi := m.adj.Neighbors(h)
+			lo, hi := m.csr.Neighbors(h)
 			if hi == lo {
 				continue
 			}
@@ -160,12 +160,13 @@ func (m *Model) computeAttention() {
 	d := m.transr.Ent.Value.Cols
 	nRel := len(m.transr.Proj)
 	raw := tensor.New(e, 1)
+	edgeRels, edgeTails := m.csr.Rels(), m.csr.Tails()
 	scoreHeads := func(lo, hi int) {
 		// Per-worker scratch: cached head projections per relation.
 		ph := make([]float64, nRel*k)
 		have := make([]bool, nRel)
 		for h := lo; h < hi; h++ {
-			elo, ehi := m.adj.Neighbors(h)
+			elo, ehi := m.csr.Neighbors(h)
 			if elo == ehi {
 				continue
 			}
@@ -174,7 +175,7 @@ func (m *Model) computeAttention() {
 			}
 			eh := m.transr.Ent.Value.Row(h)
 			for i := elo; i < ehi; i++ {
-				r := m.adj.Rels[i]
+				r := edgeRels[i]
 				w := m.transr.Proj[r].Value
 				phr := ph[r*k : (r+1)*k]
 				if !have[r] {
@@ -188,7 +189,7 @@ func (m *Model) computeAttention() {
 					}
 					have[r] = true
 				}
-				et := m.transr.Ent.Value.Row(m.adj.Tails[i])
+				et := m.transr.Ent.Value.Row(edgeTails[i])
 				er := m.transr.Rel.Value.Row(r)
 				var s float64
 				for j := 0; j < k; j++ {
@@ -216,7 +217,7 @@ func (m *Model) computeAttention() {
 		_ = parallel.New(workers).RunChunks(context.Background(), m.nEnt,
 			func(_, lo, hi int) { scoreHeads(lo, hi) })
 	}
-	tensor.SegmentSoftmax(m.att, raw, m.adj.Offsets)
+	tensor.SegmentSoftmax(m.att, raw, m.csr.Offsets())
 }
 
 // propagate builds the propagation layers on a tape and returns the
@@ -231,9 +232,9 @@ func (m *Model) propagate(tp *autograd.Tape, ent *autograd.Node,
 	final := ent
 	cur := ent
 	for l := range m.opts.Layers {
-		tails := tp.Gather(cur, m.adj.Tails)     // E×d
+		tails := tp.Gather(cur, m.csr.Tails())   // E×d
 		weighted := tp.MulColVec(tails, attNode) // Eq. 3/9
-		agg := tp.SegmentSumRows(weighted, m.adj.Heads, m.nEnt)
+		agg := tp.SegmentSumRows(weighted, m.csr.Heads(), m.nEnt)
 		var mixed *autograd.Node
 		if m.opts.Aggregator == AggSum {
 			mixed = tp.Add(cur, agg) // Eq. 7
@@ -268,7 +269,7 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 	m.nItems = d.NumItems
 	m.userEnt = d.UserEnt
 	m.itemEnt = d.ItemEnt
-	m.adj = d.Graph.BuildAdjacency()
+	m.csr = d.CSR()
 	m.transr = shared.NewTransR(m.nEnt, d.Graph.NumRelations(),
 		cfg.EmbedDim, cfg.EmbedDim, g.Split("transr"))
 	m.w = nil
@@ -480,8 +481,8 @@ func (m *Model) RecomputeAttention() {
 }
 
 // AttentionOn returns the current per-edge attention coefficients and
-// the adjacency they index, for introspection (e.g. explaining which
-// knowledge links drive a recommendation).
-func (m *Model) AttentionOn() (*kg.Adjacency, *tensor.Dense) {
-	return m.adj, m.att
+// the frozen graph whose edge order they index, for introspection
+// (e.g. explaining which knowledge links drive a recommendation).
+func (m *Model) AttentionOn() (*graph.CSR, *tensor.Dense) {
+	return m.csr, m.att
 }

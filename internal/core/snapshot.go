@@ -9,13 +9,19 @@ import (
 	"os"
 
 	"repro/internal/ckpt"
+	"repro/internal/graph"
 	"repro/internal/tensor"
 )
 
 // Snapshot is the serializable inference state of a trained CKAT: the
-// final propagated representations plus the user/item entity mappings.
-// It is everything a serving process needs to score users against the
-// full catalog — no training state, no graph.
+// final propagated representations, the user/item entity mappings, and
+// the frozen CKG in CSR form. It is everything a serving process needs
+// to score users, rank similar items, and walk explanation paths —
+// cmd/serve boots from it without re-deriving adjacency.
+//
+// The CSR fields are optional for backward compatibility: snapshots
+// written before the graph core decode with them nil, and CSR()
+// reports that the graph is absent.
 type Snapshot struct {
 	FacilityName string
 	Dim          int
@@ -24,6 +30,13 @@ type Snapshot struct {
 	FinalRows    int
 	FinalCols    int
 	FinalData    []float64
+
+	// Frozen CKG (DESIGN.md §9). CSROffsets has NumEntities+1 entries;
+	// CSRRels/CSRTails are the edge arrays sorted by (head, rel, tail).
+	CSRRelations int
+	CSROffsets   []int
+	CSRRels      []int
+	CSRTails     []int
 }
 
 // Snapshot extracts the inference state. Only valid after Fit.
@@ -31,7 +44,7 @@ func (m *Model) Snapshot(facility string) *Snapshot {
 	if m.final == nil {
 		panic("core: Snapshot before Fit")
 	}
-	return &Snapshot{
+	s := &Snapshot{
 		FacilityName: facility,
 		Dim:          m.dim,
 		UserEnt:      m.userEnt,
@@ -40,6 +53,30 @@ func (m *Model) Snapshot(facility string) *Snapshot {
 		FinalCols:    m.final.Cols,
 		FinalData:    m.final.Data,
 	}
+	if m.csr != nil {
+		s.CSRRelations = m.csr.NumRelations()
+		s.CSROffsets = m.csr.Offsets()
+		s.CSRRels = m.csr.Rels()
+		s.CSRTails = m.csr.Tails()
+	}
+	return s
+}
+
+// CSR reconstructs the frozen CKG persisted in the snapshot, running
+// the full graph.FromParts invariant validation (a corrupt or
+// hand-edited snapshot yields an error, never a panic downstream). It
+// returns (nil, nil) for legacy snapshots written before the graph
+// core, which carried no graph.
+func (s *Snapshot) CSR() (*graph.CSR, error) {
+	if s.CSROffsets == nil {
+		return nil, nil
+	}
+	c, err := graph.FromParts(len(s.CSROffsets)-1, s.CSRRelations,
+		s.CSROffsets, s.CSRRels, s.CSRTails)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot graph: %w", err)
+	}
+	return c, nil
 }
 
 // Save writes the snapshot with encoding/gob.
@@ -76,6 +113,13 @@ func LoadSnapshot(r io.Reader) (s *Snapshot, err error) {
 	for _, e := range append(append([]int{}, s.UserEnt...), s.ItemEnt...) {
 		if e < 0 || e >= s.FinalRows {
 			return nil, fmt.Errorf("core: snapshot entity %d out of range", e)
+		}
+	}
+	// The persisted graph (if any) must satisfy the CSR invariants;
+	// reject corruption at load time rather than at first query.
+	if s.CSROffsets != nil {
+		if _, err := s.CSR(); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil

@@ -14,8 +14,10 @@ package dataset
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/facility"
+	"repro/internal/graph"
 	"repro/internal/kg"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -67,6 +69,19 @@ type Dataset struct {
 	ItemEnt  []int // item index -> CKG entity ID
 	Sources  Sources
 	Interact int // relation ID of Interact in Graph
+
+	csrOnce sync.Once
+	csr     *graph.CSR
+}
+
+// CSR freezes the CKG into the immutable graph core (DESIGN.md §9) on
+// first use and returns the same instance afterwards. Every layer —
+// CKAT propagation, the baseline samplers, evaluation, serving — shares
+// this one frozen graph instead of each deriving a private adjacency.
+// The CKG must not be mutated after the first call.
+func (d *Dataset) CSR() *graph.CSR {
+	d.csrOnce.Do(func() { d.csr = graph.Freeze(d.Graph) })
+	return d.csr
 }
 
 // Build constructs the dataset: splits the trace's interactions and
@@ -170,11 +185,17 @@ func (d *Dataset) buildCKG() {
 	// to carry the collaborative signal without a quadratic clique.
 	if d.Sources.UUG {
 		rCity := g.AddRelation("userLocatedIn", "cityOfUser")
-		byCity := make(map[int][]int)
+		byCity := make([][]int, len(d.Trace.Cities))
 		for u, usr := range d.Trace.Users {
 			byCity[usr.City] = append(byCity[usr.City], u)
 		}
+		// Iterate cities by index, not via a map: triple and city-entity
+		// insertion order must be deterministic or CKAT's TransR phase
+		// (which samples g.Triples by position) varies run to run.
 		for city, users := range byCity {
+			if len(users) == 0 {
+				continue
+			}
 			cityEnt := g.AddEntity(kg.KindCity, d.Trace.Cities[city])
 			for i, u := range users {
 				g.AddTriple(d.UserEnt[u], rCity, cityEnt)

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+// PopularityScorer is the non-personalized popularity-prior baseline:
+// every user gets the catalog ranked by training interaction counts.
+// It needs no trained model, only the frozen CKG (or the raw training
+// split), so it doubles as the serving layer's always-available
+// degraded fallback and as the floor baseline in evaluation runs.
+type PopularityScorer struct {
+	scores []float64
+}
+
+// Popularity derives the prior from the frozen CSR when the CKG
+// carries the user–item interaction subgraph: an item's popularity is
+// its Interact-partition degree (train interactions only — the graph
+// never sees test pairs — and deduplicated exactly like d.Train, since
+// the builder stores facts as a set). Without UIG (or with a nil CSR)
+// the graph has no interaction edges, so the prior falls back to
+// counting d.Train directly.
+func Popularity(d *dataset.Dataset, c *graph.CSR) *PopularityScorer {
+	sc := make([]float64, d.NumItems)
+	if d.Sources.UIG && c != nil {
+		for i, ent := range d.ItemEnt {
+			lo, hi := c.NeighborsByRel(ent, d.Interact)
+			sc[i] = float64(hi - lo)
+		}
+	} else {
+		for _, p := range d.Train {
+			sc[p[1]]++
+		}
+	}
+	return &PopularityScorer{scores: sc}
+}
+
+// ScoreItems implements Scorer: the same popularity vector for every
+// user (per-user masking of training positives is the caller's job, as
+// everywhere else).
+func (p *PopularityScorer) ScoreItems(_ int, out []float64) { copy(out, p.scores) }
+
+// NumItems implements Scorer.
+func (p *PopularityScorer) NumItems() int { return len(p.scores) }

@@ -1,0 +1,86 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func benchCSR(b *testing.B) *graph.CSR {
+	b.Helper()
+	return graph.Freeze(randomGraph(1, 400, 8, 6000))
+}
+
+// BenchmarkFreeze measures the builder→CSR freeze (counting sort +
+// per-head insertion sort + segment index).
+func BenchmarkFreeze(b *testing.B) {
+	g := randomGraph(1, 400, 8, 6000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := graph.Freeze(g); c.NumEdges() == 0 {
+			b.Fatal("empty freeze")
+		}
+	}
+}
+
+// BenchmarkCSRPropagate sweeps every entity's full neighborhood through
+// the zero-copy views — the access pattern of one CKAT propagation
+// layer. The allocation report is the acceptance gate: it must show 0
+// B/op, proving Neighbors/NeighborRels/NeighborTails allocate nothing.
+func BenchmarkCSRPropagate(b *testing.B) {
+	c := benchCSR(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for h := 0; h < c.NumEntities(); h++ {
+			rels := c.NeighborRels(h)
+			tails := c.NeighborTails(h)
+			for j := range rels {
+				sink += rels[j] ^ tails[j]
+			}
+		}
+	}
+	if sink == -1 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkNeighborsByRel measures the per-relation partition lookup
+// (binary search over the per-head segment index).
+func BenchmarkNeighborsByRel(b *testing.B) {
+	c := benchCSR(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for h := 0; h < c.NumEntities(); h++ {
+			for r := 0; r < c.NumRelations(); r++ {
+				lo, hi := c.NeighborsByRel(h, r)
+				sink += hi - lo
+			}
+		}
+	}
+	if sink == -1 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkSampleNeighbors measures the shared degree-capped sampler at
+// the KGCN-like fanout.
+func BenchmarkSampleNeighbors(b *testing.B) {
+	c := benchCSR(b)
+	s := graph.NewSampler(c, nil)
+	g := rng.New(3)
+	const k = 8
+	rels, tails := make([]int, k), make([]int, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for h := 0; h < c.NumEntities(); h++ {
+			s.SampleNeighbors(h, k, g, rels, tails)
+		}
+	}
+}

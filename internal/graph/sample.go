@@ -1,0 +1,79 @@
+package graph
+
+import "repro/internal/rng"
+
+// Sampler draws fixed-size neighbor samples from a frozen CSR — the
+// one implementation behind every model's receptive-field construction
+// (KGCN's sampled neighborhoods, RippleNet's ripple sets). Centralizing
+// it keeps the draw discipline identical across models: all randomness
+// comes from the caller's rng stream, samples are with replacement, and
+// the candidate scan follows the CSR's deterministic (rel, tail) edge
+// order, so a fixed seed yields a fixed sample no matter which layer
+// asks.
+//
+// A Sampler reuses one internal candidate scratch buffer between calls
+// and is therefore NOT safe for concurrent use; build one per goroutine
+// (construction is O(1)).
+type Sampler struct {
+	c       *CSR
+	exclude []bool // optional per-entity mask; excluded tails never sampled
+	scratch []int  // candidate edge indexes of the current head
+}
+
+// NewSampler builds a sampler over c. exclude, when non-nil, marks
+// entities whose incoming-edge tails must never be drawn (the models
+// exclude user entities so sampling stays on knowledge edges); it is
+// retained, not copied.
+func NewSampler(c *CSR, exclude []bool) *Sampler {
+	return &Sampler{c: c, exclude: exclude, scratch: make([]int, 0, c.MaxDegree())}
+}
+
+// CSR returns the frozen graph this sampler draws from.
+func (s *Sampler) CSR() *CSR { return s.c }
+
+// SampleNeighbors fills rels and tails (each len k) with k draws, with
+// replacement, from h's non-excluded edges using g. It reports false —
+// leaving the outputs untouched — when h has no eligible edge, letting
+// the caller install its model-specific fallback (self-loops for KGCN,
+// degenerate ripples for RippleNet). Exactly k rng draws are consumed
+// on success and none on failure: the degree cap k bounds both the
+// sample size and the randomness budget, which is what makes training
+// bit-reproducible from the seed alone.
+func (s *Sampler) SampleNeighbors(h, k int, g *rng.RNG, rels, tails []int) bool {
+	lo, hi := s.c.Neighbors(h)
+	s.scratch = s.scratch[:0]
+	for i := lo; i < hi; i++ {
+		if s.exclude != nil && s.exclude[s.c.tails[i]] {
+			continue
+		}
+		s.scratch = append(s.scratch, i)
+	}
+	if len(s.scratch) == 0 {
+		return false
+	}
+	for j := 0; j < k; j++ {
+		i := s.scratch[g.Intn(len(s.scratch))]
+		rels[j] = s.c.rels[i]
+		tails[j] = s.c.tails[i]
+	}
+	return true
+}
+
+// SampleEdge draws one edge of h uniformly (a single rng draw),
+// ignoring the exclusion mask — callers that need filtering apply their
+// own rejection so historical draw sequences are preserved. ok is false
+// (and no randomness is consumed) when h has no edges.
+func (s *Sampler) SampleEdge(h int, g *rng.RNG) (rel, tail int, ok bool) {
+	lo, hi := s.c.Neighbors(h)
+	if hi == lo {
+		return 0, 0, false
+	}
+	i := lo + g.Intn(hi-lo)
+	return s.c.rels[i], s.c.tails[i], true
+}
+
+// Excluded reports whether entity t is masked out of SampleNeighbors
+// draws.
+func (s *Sampler) Excluded(t int) bool {
+	return s.exclude != nil && s.exclude[t]
+}

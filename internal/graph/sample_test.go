@@ -1,0 +1,140 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestSampleNeighborsMatchesLegacyLoop replays the pre-refactor KGCN
+// neighborhood-sampling loop (collect non-excluded (tail, rel)
+// candidates in edge order, then k replacement draws) against
+// SampleNeighbors with the same rng stream: both the draws consumed and
+// the samples produced must match exactly.
+func TestSampleNeighborsMatchesLegacyLoop(t *testing.T) {
+	g := randomGraph(7, 30, 5, 220)
+	c := graph.Freeze(g)
+	exclude := make([]bool, c.NumEntities())
+	for i := range exclude {
+		exclude[i] = i%4 == 0 // arbitrary mask standing in for "is a user"
+	}
+	s := graph.NewSampler(c, exclude)
+	const k = 6
+
+	legacy := rng.New(99)
+	shared := rng.New(99)
+	rels := make([]int, k)
+	tails := make([]int, k)
+	for h := 0; h < c.NumEntities(); h++ {
+		// Legacy inline loop, verbatim shape from the old kgcn code.
+		var cand [][2]int
+		lo, hi := c.Neighbors(h)
+		for i := lo; i < hi; i++ {
+			if exclude[c.Tails()[i]] {
+				continue
+			}
+			cand = append(cand, [2]int{c.Tails()[i], c.Rels()[i]})
+		}
+		var wantRels, wantTails []int
+		if len(cand) > 0 {
+			for j := 0; j < k; j++ {
+				p := cand[legacy.Intn(len(cand))]
+				wantTails = append(wantTails, p[0])
+				wantRels = append(wantRels, p[1])
+			}
+		}
+
+		ok := s.SampleNeighbors(h, k, shared, rels, tails)
+		if ok != (len(cand) > 0) {
+			t.Fatalf("head %d: ok=%v, want %v", h, ok, len(cand) > 0)
+		}
+		if !ok {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			if rels[j] != wantRels[j] || tails[j] != wantTails[j] {
+				t.Fatalf("head %d draw %d: got (%d,%d), legacy (%d,%d)",
+					h, j, rels[j], tails[j], wantRels[j], wantTails[j])
+			}
+		}
+	}
+	// Draw-budget equivalence: both streams must now be in lockstep.
+	if legacy.Intn(1<<30) != shared.Intn(1<<30) {
+		t.Fatal("rng streams diverged: SampleNeighbors consumed a different number of draws")
+	}
+}
+
+// TestSampleEdgeMatchesLegacyLoop replays RippleNet's single-edge draw
+// (one Intn over the degree) against SampleEdge.
+func TestSampleEdgeMatchesLegacyLoop(t *testing.T) {
+	g := randomGraph(8, 25, 4, 150)
+	c := graph.Freeze(g)
+	s := graph.NewSampler(c, nil)
+
+	legacy := rng.New(5)
+	shared := rng.New(5)
+	for h := 0; h < c.NumEntities(); h++ {
+		lo, hi := c.Neighbors(h)
+		var wantRel, wantTail int
+		wantOK := hi > lo
+		if wantOK {
+			i := lo + legacy.Intn(hi-lo)
+			wantRel, wantTail = c.Rels()[i], c.Tails()[i]
+		}
+		rel, tail, ok := s.SampleEdge(h, shared)
+		if ok != wantOK {
+			t.Fatalf("head %d: ok=%v, want %v", h, ok, wantOK)
+		}
+		if ok && (rel != wantRel || tail != wantTail) {
+			t.Fatalf("head %d: got (%d,%d), legacy (%d,%d)", h, rel, tail, wantRel, wantTail)
+		}
+	}
+	if legacy.Intn(1<<30) != shared.Intn(1<<30) {
+		t.Fatal("rng streams diverged: SampleEdge consumed a different number of draws")
+	}
+}
+
+// TestSamplerDeterministic: same seed, same samples, across two
+// independently built samplers.
+func TestSamplerDeterministic(t *testing.T) {
+	g := randomGraph(9, 20, 3, 120)
+	c := graph.Freeze(g)
+	a, b := graph.NewSampler(c, nil), graph.NewSampler(c, nil)
+	ra, rb := rng.New(42), rng.New(42)
+	const k = 4
+	relsA, tailsA := make([]int, k), make([]int, k)
+	relsB, tailsB := make([]int, k), make([]int, k)
+	for h := 0; h < c.NumEntities(); h++ {
+		okA := a.SampleNeighbors(h, k, ra, relsA, tailsA)
+		okB := b.SampleNeighbors(h, k, rb, relsB, tailsB)
+		if okA != okB {
+			t.Fatalf("head %d: determinism broken (ok)", h)
+		}
+		for j := 0; okA && j < k; j++ {
+			if relsA[j] != relsB[j] || tailsA[j] != tailsB[j] {
+				t.Fatalf("head %d: determinism broken at draw %d", h, j)
+			}
+		}
+	}
+}
+
+// TestSampleNeighborsZeroAlloc: after construction, sampling must not
+// allocate (the scratch buffer is capacity-bounded by MaxDegree).
+func TestSampleNeighborsZeroAlloc(t *testing.T) {
+	g := randomGraph(10, 30, 4, 200)
+	c := graph.Freeze(g)
+	s := graph.NewSampler(c, nil)
+	r := rng.New(1)
+	const k = 8
+	rels, tails := make([]int, k), make([]int, k)
+	allocs := testing.AllocsPerRun(50, func() {
+		for h := 0; h < c.NumEntities(); h++ {
+			s.SampleNeighbors(h, k, r, rels, tails)
+			s.SampleEdge(h, r)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sampler allocated %.1f times per sweep, want 0", allocs)
+	}
+}

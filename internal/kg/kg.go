@@ -11,7 +11,9 @@ package kg
 
 import (
 	"fmt"
-	"sort"
+	"sync"
+
+	"repro/internal/graph"
 )
 
 // EntityKind labels the node types that occur in facility knowledge
@@ -98,10 +100,22 @@ func (g *Graph) Entity(kind EntityKind, name string) (int, bool) {
 
 // AddRelation registers a canonical relation and its inverse, returning
 // the canonical relation's ID. Calling it again with the same name
-// returns the existing ID.
+// returns the existing ID. If only the inverse name is already
+// registered — by an earlier pairing in the other orientation, or as a
+// symmetric relation — the existing pairing is reused (the ID of that
+// relation's inverse is returned) rather than shadowing the registered
+// name with a clashing duplicate; this is what lets Merge align
+// relations across graphs that declared them differently. Equal name
+// and inverseName degrade to AddSymmetricRelation.
 func (g *Graph) AddRelation(name, inverseName string) int {
 	if id, ok := g.relByNm[name]; ok {
 		return id
+	}
+	if name == inverseName {
+		return g.AddSymmetricRelation(name)
+	}
+	if inv, ok := g.relByNm[inverseName]; ok {
+		return g.Relations[inv].Inverse
 	}
 	id := len(g.Relations)
 	inv := id + 1
@@ -165,6 +179,15 @@ func (g *Graph) NumRelations() int { return len(g.Relations) }
 // NumTriples returns the number of stored facts (inverses included).
 func (g *Graph) NumTriples() int { return len(g.Triples) }
 
+// EachTriple calls yield for every stored fact (inverse directions
+// included) in insertion order. It implements graph.Source, so a Graph
+// can be frozen into the immutable CSR core with graph.Freeze.
+func (g *Graph) EachTriple(yield func(head, rel, tail int)) {
+	for _, tr := range g.Triples {
+		yield(tr.Head, tr.Rel, tr.Tail)
+	}
+}
+
 // EntitiesOfKind returns the IDs of all entities of the given kind, in
 // ascending ID order.
 func (g *Graph) EntitiesOfKind(kind EntityKind) []int {
@@ -180,6 +203,12 @@ func (g *Graph) EntitiesOfKind(kind EntityKind) []int {
 // Merge copies every entity and triple of other into g, aligning
 // entities by (Kind, Name) — the paper's "entity alignment" (§IV). It
 // returns the mapping from other's entity IDs to g's.
+//
+// Relations align by name, carrying inverse-name pairings across: a
+// pair known to g under either of its two names (even in the flipped
+// orientation, or collapsed to a symmetric relation) maps onto the
+// existing registration instead of creating a same-named duplicate, so
+// symmetric relations keep their self-inverse through a merge.
 func (g *Graph) Merge(other *Graph) []int {
 	idMap := make([]int, len(other.Entities))
 	for i, e := range other.Entities {
@@ -261,51 +290,51 @@ func (s Stats) String() string {
 		s.Entities, s.Relations, s.Triples, s.LinkAvg)
 }
 
-// Adjacency is a CSR view of the graph used by the GNN models: edges
-// sorted by head entity, with Offsets[h]..Offsets[h+1] delimiting the
-// neighborhood of head h. This contiguity is what lets attention use
-// tensor.SegmentSoftmax directly.
+// Adjacency is the legacy CSR view of the graph: edges sorted by head
+// entity, with Offsets[h]..Offsets[h+1] delimiting the neighborhood of
+// head h.
+//
+// Deprecated: new code should freeze the graph into the immutable
+// graph.CSR core (graph.Freeze) and use its zero-copy views and
+// relation partitions directly; Adjacency remains as a thin field-level
+// view over the same frozen arrays for older call sites. See DESIGN.md
+// §9 for the migration path.
 type Adjacency struct {
 	Heads   []int // len E, sorted ascending
 	Rels    []int // len E
 	Tails   []int // len E
 	Offsets []int // len NumEntities+1
+
+	csr     *graph.CSR // the frozen core these slices alias
+	finders sync.Pool  // reusable *graph.PathFinder scratch for FindPaths
 }
 
 // BuildAdjacency constructs the CSR adjacency over all triples
 // (inverse directions included, so propagation flows both ways).
+//
+// Deprecated: use graph.Freeze(g) — BuildAdjacency now freezes the
+// same CSR and exposes its arrays, so edge ordering is unchanged
+// (head, then relation, then tail).
 func (g *Graph) BuildAdjacency() *Adjacency {
-	edges := make([]Triple, len(g.Triples))
-	copy(edges, g.Triples)
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].Head != edges[j].Head {
-			return edges[i].Head < edges[j].Head
-		}
-		if edges[i].Rel != edges[j].Rel {
-			return edges[i].Rel < edges[j].Rel
-		}
-		return edges[i].Tail < edges[j].Tail
-	})
-	a := &Adjacency{
-		Heads:   make([]int, len(edges)),
-		Rels:    make([]int, len(edges)),
-		Tails:   make([]int, len(edges)),
-		Offsets: make([]int, g.NumEntities()+1),
-	}
-	for i, e := range edges {
-		a.Heads[i] = e.Head
-		a.Rels[i] = e.Rel
-		a.Tails[i] = e.Tail
-	}
-	// Counting sort offsets.
-	for _, e := range edges {
-		a.Offsets[e.Head+1]++
-	}
-	for i := 1; i < len(a.Offsets); i++ {
-		a.Offsets[i] += a.Offsets[i-1]
-	}
-	return a
+	return WrapCSR(graph.Freeze(g))
 }
+
+// WrapCSR exposes a frozen CSR through the legacy Adjacency field
+// layout without copying; the slices alias the CSR's arrays and must
+// not be mutated.
+func WrapCSR(c *graph.CSR) *Adjacency {
+	return &Adjacency{
+		Heads:   c.Heads(),
+		Rels:    c.Rels(),
+		Tails:   c.Tails(),
+		Offsets: c.Offsets(),
+		csr:     c,
+	}
+}
+
+// CSR returns the frozen graph core backing this adjacency, or nil for
+// an Adjacency assembled by hand from raw slices.
+func (a *Adjacency) CSR() *graph.CSR { return a.csr }
 
 // Neighbors returns the edge index range of head h.
 func (a *Adjacency) Neighbors(h int) (lo, hi int) {
@@ -319,45 +348,37 @@ func (a *Adjacency) NumEdges() int { return len(a.Heads) }
 type Path []Triple
 
 // FindPaths enumerates up to maxPaths simple paths from src to dst of
-// length at most maxLen edges, exploring breadth-first. It reproduces
-// the "high-order connectivity" examples of Fig. 1/2 (e.g. Object#1 →
-// Pressure → Physical → Density → Object#2).
+// length at most maxLen edges. It reproduces the "high-order
+// connectivity" examples of Fig. 1/2 (e.g. Object#1 → Pressure →
+// Physical → Density → Object#2). Output ordering is deterministic:
+// shortest paths first, and equal-length paths in lexicographic order
+// of the CSR's sorted (rel, tail) neighbor iteration — the exact
+// emission order of the historical BFS.
+//
+// Deprecated: use graph.CSR.FindPaths (or a reusable graph.PathFinder
+// in loops). This wrapper delegates to the same iterative-deepening
+// search, which reuses one visited bitmap and one working path for the
+// whole exploration instead of copying the partial path into every
+// frontier state. The finder itself is pooled per Adjacency, so
+// repeated calls (and concurrent ones) amortize the scratch and
+// allocations are bounded by the paths actually returned.
 func (g *Graph) FindPaths(adj *Adjacency, src, dst, maxLen, maxPaths int) []Path {
-	type state struct {
-		node int
-		path Path
+	f, _ := adj.finders.Get().(*graph.PathFinder)
+	if f == nil {
+		f = graph.NewPathFinder(adj.Offsets, adj.Rels, adj.Tails)
 	}
-	var out []Path
-	queue := []state{{node: src}}
-	for len(queue) > 0 && len(out) < maxPaths {
-		cur := queue[0]
-		queue = queue[1:]
-		if len(cur.path) >= maxLen {
-			continue
+	gp := f.FindPaths(src, dst, maxLen, maxPaths)
+	adj.finders.Put(f)
+	if len(gp) == 0 {
+		return nil
+	}
+	out := make([]Path, len(gp))
+	for i, p := range gp {
+		q := make(Path, len(p))
+		for j, s := range p {
+			q[j] = Triple{Head: s.Head, Rel: s.Rel, Tail: s.Tail}
 		}
-		lo, hi := adj.Neighbors(cur.node)
-		for i := lo; i < hi && len(out) < maxPaths; i++ {
-			next := adj.Tails[i]
-			// Keep the path simple.
-			visited := next == src
-			for _, tr := range cur.path {
-				if tr.Tail == next {
-					visited = true
-					break
-				}
-			}
-			if visited {
-				continue
-			}
-			np := make(Path, len(cur.path)+1)
-			copy(np, cur.path)
-			np[len(cur.path)] = Triple{Head: cur.node, Rel: adj.Rels[i], Tail: next}
-			if next == dst {
-				out = append(out, np)
-				continue
-			}
-			queue = append(queue, state{node: next, path: np})
-		}
+		out[i] = q
 	}
 	return out
 }
@@ -370,6 +391,19 @@ func (g *Graph) FormatPath(p Path) string {
 	s := g.Entities[p[0].Head].Name
 	for _, tr := range p {
 		s += fmt.Sprintf(" -[%s]-> %s", g.Relations[tr.Rel].Name, g.Entities[tr.Tail].Name)
+	}
+	return s
+}
+
+// FormatSteps renders a CSR step path (graph.Path) using entity and
+// relation names, in the same arrow notation as FormatPath.
+func (g *Graph) FormatSteps(p graph.Path) string {
+	if len(p) == 0 {
+		return ""
+	}
+	s := g.Entities[p[0].Head].Name
+	for _, st := range p {
+		s += fmt.Sprintf(" -[%s]-> %s", g.Relations[st.Rel].Name, g.Entities[st.Tail].Name)
 	}
 	return s
 }

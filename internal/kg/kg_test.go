@@ -150,6 +150,93 @@ func TestMergePreservesInversePairing(t *testing.T) {
 	}
 }
 
+// Regression: merging a graph that pairs ("relatedTo" ↔ "related")
+// into one where "related" is a symmetric relation used to shadow the
+// symmetric registration with a duplicate relation of the same name —
+// after the merge, Relation("related") resolved to the duplicate and
+// the original lost its name. The pairing must instead collapse onto
+// the existing symmetric relation.
+func TestMergeSymmetricRelationSurvivesPairedCollision(t *testing.T) {
+	g1 := NewGraph()
+	a1 := g1.AddEntity(KindItem, "a")
+	b1 := g1.AddEntity(KindItem, "b")
+	sym := g1.AddSymmetricRelation("related")
+	g1.AddTriple(a1, sym, b1)
+
+	g2 := NewGraph()
+	a2 := g2.AddEntity(KindItem, "a")
+	c2 := g2.AddEntity(KindItem, "c")
+	rel := g2.AddRelation("relatedTo", "related")
+	g2.AddTriple(a2, rel, c2)
+
+	m := g1.Merge(g2)
+
+	// The symmetric relation still owns its name and self-inverse.
+	sid, ok := g1.Relation("related")
+	if !ok || sid != sym {
+		t.Fatalf("Relation(related) = (%d, %v), want original symmetric %d", sid, ok, sym)
+	}
+	if g1.Relations[sid].Inverse != sid {
+		t.Fatalf("symmetric relation lost self-inverse: %+v", g1.Relations[sid])
+	}
+	// The name index stays consistent: every name resolves to a
+	// relation actually carrying that name.
+	for name, id := range g1.relByNm {
+		if g1.Relations[id].Name != name {
+			t.Fatalf("relByNm[%q] = %d (%q)", name, id, g1.Relations[id].Name)
+		}
+	}
+	// g2's triple arrived through the collapsed relation (both
+	// directions, since it is symmetric in g1).
+	cID, _ := g1.Entity(KindItem, "c")
+	if !g1.HasTriple(m[a2], sid, cID) || !g1.HasTriple(cID, sid, m[a2]) {
+		t.Fatal("merged triple missing through the collapsed symmetric relation")
+	}
+}
+
+// A pair registered in the flipped orientation must align onto the
+// existing pairing rather than duplicate it.
+func TestMergeAlignsFlippedInversePairing(t *testing.T) {
+	g1 := NewGraph()
+	s1 := g1.AddEntity(KindSite, "s")
+	o1 := g1.AddEntity(KindItem, "o")
+	contains := g1.AddRelation("contains", "containedBy")
+	g1.AddTriple(s1, contains, o1)
+
+	g2 := NewGraph()
+	o2 := g2.AddEntity(KindItem, "o2")
+	s2 := g2.AddEntity(KindSite, "s")
+	containedBy := g2.AddRelation("containedBy", "contains")
+	g2.AddTriple(o2, containedBy, s2)
+
+	before := g1.NumRelations()
+	m := g1.Merge(g2)
+	if g1.NumRelations() != before {
+		t.Fatalf("flipped pairing grew relations: %d -> %d", before, g1.NumRelations())
+	}
+	// g2's (o2 containedBy s) must land on g1's inverse of contains.
+	inv := g1.Relations[contains].Inverse
+	if !g1.HasTriple(m[o2], inv, s1) {
+		t.Fatal("flipped-orientation triple not aligned onto existing pairing")
+	}
+	if !g1.HasTriple(s1, contains, m[o2]) {
+		t.Fatal("canonical direction of the aligned triple missing")
+	}
+}
+
+// AddRelation with identical canonical and inverse names is a
+// self-inverse relation, not a two-row pair sharing one name.
+func TestAddRelationEqualNamesIsSymmetric(t *testing.T) {
+	g := NewGraph()
+	id := g.AddRelation("adjacent", "adjacent")
+	if g.Relations[id].Inverse != id {
+		t.Fatalf("equal-name pairing not symmetric: %+v", g.Relations[id])
+	}
+	if g.NumRelations() != 1 {
+		t.Fatalf("NumRelations = %d, want 1", g.NumRelations())
+	}
+}
+
 func TestBuildAdjacencyCSRInvariants(t *testing.T) {
 	g := buildTiny(t)
 	adj := g.BuildAdjacency()
@@ -213,6 +300,61 @@ func TestFindPathsRespectsLimits(t *testing.T) {
 	many := g.FindPaths(adj, o1, o2, 6, 1)
 	if len(many) > 1 {
 		t.Fatalf("maxPaths 1 exceeded: %d", len(many))
+	}
+}
+
+// FindPaths ordering is part of the API contract: shortest paths
+// first, equal lengths in the CSR's sorted (rel, tail) neighbor order.
+// Repeated calls must therefore return identical sequences.
+func TestFindPathsDeterministicOrdering(t *testing.T) {
+	g := buildTiny(t)
+	adj := g.BuildAdjacency()
+	o1, _ := g.Entity(KindItem, "obj1")
+	o2, _ := g.Entity(KindItem, "obj2")
+	ref := g.FindPaths(adj, o1, o2, 6, 10)
+	if len(ref) == 0 {
+		t.Fatal("no paths found")
+	}
+	for i := 1; i < len(ref); i++ {
+		if len(ref[i]) < len(ref[i-1]) {
+			t.Fatalf("path %d shorter than path %d: not shortest-first", i, i-1)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		got := g.FindPaths(adj, o1, o2, 6, 10)
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: %d paths, want %d", trial, len(got), len(ref))
+		}
+		for i := range ref {
+			if len(got[i]) != len(ref[i]) {
+				t.Fatalf("trial %d path %d: length differs", trial, i)
+			}
+			for j := range ref[i] {
+				if got[i][j] != ref[i][j] {
+					t.Fatalf("trial %d path %d step %d: %+v != %+v",
+						trial, i, j, got[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// The visited-state scratch is pooled on the Adjacency: after a warmup
+// call sizes the finder, a search that yields no paths must not
+// allocate at all.
+func TestFindPathsBoundedAllocations(t *testing.T) {
+	g := buildTiny(t)
+	island := g.AddEntity(KindItem, "island") // no triples: unreachable
+	adj := g.BuildAdjacency()
+	o1, _ := g.Entity(KindItem, "obj1")
+	g.FindPaths(adj, o1, island, 6, 10) // warmup: builds + pools the finder
+	allocs := testing.AllocsPerRun(50, func() {
+		if p := g.FindPaths(adj, o1, island, 6, 10); p != nil {
+			t.Fatal("unexpected path to isolated entity")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hitless FindPaths allocated %.1f times per call, want 0", allocs)
 	}
 }
 

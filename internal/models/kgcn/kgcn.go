@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/autograd"
 	"repro/internal/dataset"
+	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/models/shared"
 	"repro/internal/optim"
@@ -53,36 +54,30 @@ func New() *Model { return &Model{layers: 2, sample: 8} }
 func (m *Model) Name() string { return "KGCN" }
 
 // buildNeighborhoods samples the fixed-size receptive field over the
-// item KG (user entities excluded, so convolution stays on knowledge).
+// item KG through the shared degree-capped sampler (user entities
+// excluded, so convolution stays on knowledge). The sampler scans
+// candidates in the frozen CSR's edge order and spends one rng draw per
+// sampled slot — the same draw sequence as the historical private loop,
+// so trained scores are bit-identical.
 func (m *Model) buildNeighborhoods(d *dataset.Dataset, g *rng.RNG) {
 	isUser := make([]bool, d.Graph.NumEntities())
 	for _, e := range d.UserEnt {
 		isUser[e] = true
 	}
-	adj := d.Graph.BuildAdjacency()
+	sampler := graph.NewSampler(d.CSR(), isUser)
 	n := d.Graph.NumEntities()
 	m.neighbors = make([][]int, n)
 	m.neighRels = make([][]int, n)
 	for e := 0; e < n; e++ {
-		lo, hi := adj.Neighbors(e)
-		var cand [][2]int
-		for i := lo; i < hi; i++ {
-			if !isUser[adj.Tails[i]] {
-				cand = append(cand, [2]int{adj.Tails[i], adj.Rels[i]})
-			}
-		}
 		m.neighbors[e] = make([]int, m.sample)
 		m.neighRels[e] = make([]int, m.sample)
-		for s := 0; s < m.sample; s++ {
-			if len(cand) == 0 {
-				// Isolated entity: self-loop with relation 0.
+		if !sampler.SampleNeighbors(e, m.sample, g, m.neighRels[e], m.neighbors[e]) {
+			// Isolated entity (or user-only neighborhood): self-loops
+			// with relation 0.
+			for s := 0; s < m.sample; s++ {
 				m.neighbors[e][s] = e
 				m.neighRels[e][s] = 0
-				continue
 			}
-			c := cand[g.Intn(len(cand))]
-			m.neighbors[e][s] = c[0]
-			m.neighRels[e][s] = c[1]
 		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/autograd"
 	"repro/internal/dataset"
+	"repro/internal/graph"
 	"repro/internal/kg"
 	"repro/internal/models"
 	"repro/internal/models/shared"
@@ -52,13 +53,16 @@ func New() *Model { return &Model{hops: 2, setLen: 32} }
 func (m *Model) Name() string { return "RippleNet" }
 
 // buildRippleSets samples each user's per-hop ripple sets over the item
-// KG (user entities excluded so ripples stay on knowledge edges).
+// KG (user entities excluded so ripples stay on knowledge edges). Edge
+// draws go through the shared CSR sampler — exactly one rng draw per
+// attempted edge, with the user-entity rejection kept here — replaying
+// the historical private loop's draw sequence bit-for-bit.
 func (m *Model) buildRippleSets(d *dataset.Dataset, g *rng.RNG) {
 	isUser := make([]bool, d.Graph.NumEntities())
 	for _, e := range d.UserEnt {
 		isUser[e] = true
 	}
-	adj := d.Graph.BuildAdjacency()
+	sampler := graph.NewSampler(d.CSR(), isUser)
 	nU := d.NumUsers
 	m.rippleH = make([][][]int, nU)
 	m.rippleR = make([][][]int, nU)
@@ -87,15 +91,11 @@ func (m *Model) buildRippleSets(d *dataset.Dataset, g *rng.RNG) {
 				found := false
 				for try := 0; try < 8 && !found; try++ {
 					seed := seeds[g.Intn(len(seeds))]
-					lo, hi := adj.Neighbors(seed)
-					if hi == lo {
+					rel, tail, ok := sampler.SampleEdge(seed, g)
+					if !ok || sampler.Excluded(tail) {
 						continue
 					}
-					i := lo + g.Intn(hi-lo)
-					if isUser[adj.Tails[i]] {
-						continue
-					}
-					tr = kg.Triple{Head: seed, Rel: adj.Rels[i], Tail: adj.Tails[i]}
+					tr = kg.Triple{Head: seed, Rel: rel, Tail: tail}
 					found = true
 				}
 				if !found {

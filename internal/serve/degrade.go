@@ -5,7 +5,6 @@ import (
 	"strconv"
 	"time"
 
-	"repro/internal/dataset"
 	"repro/internal/eval"
 )
 
@@ -59,28 +58,10 @@ func WithReloadPolicy(attempts int, backoff time.Duration) Option {
 	}
 }
 
-// popScorer is the popularity-prior fallback ranker: every user gets
-// the catalog ranked by training interaction counts. It needs no
-// trained model, only the dataset, so it is always available.
-type popScorer struct {
-	scores []float64
-}
-
-func newPopScorer(d *dataset.Dataset) *popScorer {
-	sc := make([]float64, d.NumItems)
-	for _, p := range d.Train {
-		sc[p[1]]++
-	}
-	return &popScorer{scores: sc}
-}
-
-// ScoreItems implements eval.Scorer: the same popularity vector for
-// every user (per-user masking of training positives still happens in
-// the handlers).
-func (p *popScorer) ScoreItems(_ int, out []float64) { copy(out, p.scores) }
-
-// NumItems implements eval.Scorer.
-func (p *popScorer) NumItems() int { return len(p.scores) }
+// The popularity-prior fallback ranker itself lives in eval
+// (eval.Popularity): it is the same CSR-derived baseline the
+// evaluation layer uses, so serving and eval share one definition of
+// "popular" built from the same frozen CKG.
 
 // state returns the current serving state; never nil.
 func (s *Server) state() *scorerState { return s.cur.Load() }

@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"repro/internal/eval"
+	"repro/internal/graph"
 )
 
 // apiError is the uniform error envelope carried by every non-2xx
@@ -345,9 +346,10 @@ type ExplainPath struct {
 	Path string `json:"path"`
 }
 
-// handleExplain walks the precomputed CKG adjacency (built once in
-// New, not per request) for paths from the user's training history to
-// the target item.
+// handleExplain walks the frozen CSR (shared with everything else, not
+// rebuilt per request) for paths from the user's training history to
+// the target item, using a pooled PathFinder so concurrent requests
+// reuse search scratch instead of allocating per frontier state.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	qd := decodeQuery(r)
 	user := qd.RequiredInt("user")
@@ -365,16 +367,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dst := s.d.ItemEnt[item]
+	finder := s.pathers.Get().(*graph.PathFinder)
+	defer s.pathers.Put(finder)
 	var out []ExplainPath
 	for _, hist := range s.d.TrainByUser[user] {
 		if len(out) >= 5 || r.Context().Err() != nil {
 			break
 		}
 		src := s.d.ItemEnt[hist]
-		for _, p := range s.d.Graph.FindPaths(s.adj, src, dst, 4, 2) {
+		for _, p := range finder.FindPaths(src, dst, 4, 2) {
 			out = append(out, ExplainPath{
 				From: s.d.Trace.Facility.Items[hist].Name,
-				Path: s.d.Graph.FormatPath(p),
+				Path: s.d.Graph.FormatSteps(p),
 			})
 			if len(out) >= 5 {
 				break

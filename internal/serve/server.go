@@ -45,7 +45,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/eval"
-	"repro/internal/kg"
+	"repro/internal/graph"
 )
 
 // Defaults for the tunable knobs; override via Options.
@@ -68,7 +68,7 @@ type Server struct {
 	// Reload) and falls back to a popularity ranker when no trained
 	// scorer is available.
 	cur      atomic.Pointer[scorerState]
-	fallback *popScorer
+	fallback *eval.PopularityScorer
 	loader   Loader
 	reloadMu sync.Mutex
 
@@ -76,10 +76,12 @@ type Server struct {
 	maxInflight  int
 	shedInflight atomic.Int64
 
-	// Precomputed at construction: the CKG adjacency (formerly rebuilt
-	// on every /explain request) and the users-by-item index (formerly
-	// a full user scan per /similar request).
-	adj         *kg.Adjacency
+	// The frozen CKG shared with training and eval (or restored from
+	// the snapshot via WithCSR, so boot skips re-deriving adjacency),
+	// a pool of reusable path-finder scratch for /explain, and the
+	// users-by-item index (formerly a full user scan per /similar).
+	csr         *graph.CSR
+	pathers     sync.Pool
 	usersByItem [][]int
 
 	cache   *scoreCache
@@ -138,6 +140,12 @@ func WithMaxProbes(n int) Option {
 	}
 }
 
+// WithCSR serves graph queries (/explain, the degraded popularity
+// prior) from an already-frozen CSR — typically one restored from a
+// model snapshot — instead of re-freezing the dataset's CKG at boot.
+// The CSR must describe the same entity space as the dataset.
+func WithCSR(c *graph.CSR) Option { return func(s *Server) { s.csr = c } }
+
 // New builds a Server over a dataset and a trained scorer. A nil
 // scorer is allowed: the server boots degraded, answering from the
 // popularity fallback until SetScorer or Reload installs a real one.
@@ -156,13 +164,16 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		o(s)
 	}
 
-	s.adj = d.Graph.BuildAdjacency()
+	if s.csr == nil {
+		s.csr = d.CSR()
+	}
+	s.pathers = sync.Pool{New: func() any { return s.csr.PathFinder() }}
 	s.usersByItem = make([][]int, d.NumItems)
 	for _, p := range d.Train {
 		s.usersByItem[p[1]] = append(s.usersByItem[p[1]], p[0])
 	}
 
-	s.fallback = newPopScorer(d)
+	s.fallback = eval.Popularity(d, s.csr)
 	if scorer == nil {
 		s.cur.Store(&scorerState{scorer: s.fallback, degraded: true})
 	} else {

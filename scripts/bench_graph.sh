@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Produces BENCH_graph.json: the graph-core benchmark suite (CSR freeze,
+# zero-allocation propagation sweep, relation-partition lookup, shared
+# neighbor sampling) as a JSON array, one object per benchmark, for the
+# perf trajectory across PRs. The propagate row is also the acceptance
+# gate that the CSR hot path allocates nothing.
+#
+#   scripts/bench_graph.sh                 # default 2s per benchmark
+#   BENCHTIME=100x scripts/bench_graph.sh  # fixed iteration count
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_graph.json}"
+BENCHTIME="${BENCHTIME:-2s}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run XXX -bench 'BenchmarkFreeze|BenchmarkCSRPropagate|BenchmarkNeighborsByRel|BenchmarkSampleNeighbors' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/graph/ | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp" > "$OUT"
+echo "wrote $OUT"

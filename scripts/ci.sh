@@ -28,12 +28,21 @@ cd "$(dirname "$0")/.."
 mode="${1:-all}"
 
 if [ "$mode" = "all" ]; then
+    echo "== gofmt -l"
+    unformatted="$(gofmt -l .)"
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
     echo "== go vet ./..."
     go vet ./...
     echo "== go build ./..."
     go build ./...
     echo "== go test ./..."
     go test ./...
+    echo "== graph benchmarks -> BENCH_graph.json"
+    scripts/bench_graph.sh
 fi
 
 if [ "$mode" = "all" ] || [ "$mode" = "race" ]; then
