@@ -20,10 +20,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -48,6 +50,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond this inflight cap (0 disables)")
 	workers := flag.Int("workers", 0, "training workers (<=1 sequential, >1 round-parallel)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ on the serving address")
 	flag.Parse()
 
 	var d *dataset.Dataset
@@ -134,16 +138,34 @@ func main() {
 		}))
 	}
 	if !*quiet {
-		opts = append(opts, serve.WithLogger(log.New(os.Stderr, "serve ", log.LstdFlags)))
+		if *logJSON {
+			opts = append(opts, serve.WithSlog(obs.NewJSONLogger(os.Stderr, slog.LevelInfo)))
+		} else {
+			opts = append(opts, serve.WithSlog(obs.NewLogger(os.Stderr, slog.LevelInfo)))
+		}
 	}
 	handler := serve.New(d, scorer, opts...)
 	if degradedBoot {
 		fmt.Println("serving DEGRADED: /v1/health/ready is 503; SIGHUP or POST /v1/admin/reload to retry the snapshot")
 	}
 
+	// -pprof mounts the profiling handlers next to the API on the same
+	// listener, on a private mux so they stay opt-in.
+	var root http.Handler = handler
+	if *pprofOn {
+		pprofMux := obs.PprofMux()
+		root = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+				pprofMux.ServeHTTP(w, r)
+				return
+			}
+			handler.ServeHTTP(w, r)
+		})
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
 		// The per-request deadline lives in the serve middleware;
 		// WriteTimeout is a backstop slightly above it.
@@ -172,8 +194,12 @@ func main() {
 
 	fmt.Printf("serving %s data discovery on %s\n", d.Name, *addr)
 	fmt.Println("  GET  /v1/health | /v1/health/live | /v1/health/ready | /v1/recommend?user=&k= | /v1/similar?item=&k= | /v1/explain?user=&item= | /v1/stats")
+	fmt.Println("  GET  /metrics (Prometheus) | /v1/debug/traces (recent request traces)")
 	fmt.Println("  POST /v1/recommend:batch   {\"users\":[...],\"k\":10}")
 	fmt.Println("  POST /v1/admin/reload      (or SIGHUP) hot-swap the snapshot")
+	if *pprofOn {
+		fmt.Println("  GET  /debug/pprof/ (profiling enabled)")
+	}
 
 	select {
 	case err := <-errc:

@@ -6,6 +6,13 @@
 //	train -facility gage -model kgcn -epochs 10 -user 12
 //	train -facility ooi -model ckat -sources UIG+LOC+DKG -no-attention
 //	train -facility ooi -model bprmf -workers 4 -metrics-out run.json
+//	train -facility ooi -model ckat -obs-addr :9090   # live metrics + pprof
+//
+// With -obs-addr the process serves its training telemetry while it
+// runs: GET /metrics (Prometheus text — per-epoch loss, throughput,
+// epoch/checkpoint duration histograms), GET /v1/debug/traces (epoch
+// and phase spans), and /debug/pprof for CPU/heap profiling of the
+// training loop itself.
 //
 // Ctrl-C cancels training between optimizer rounds and exits cleanly.
 package main
@@ -16,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,6 +41,7 @@ import (
 	"repro/internal/models/kgcn"
 	"repro/internal/models/nfm"
 	"repro/internal/models/ripplenet"
+	"repro/internal/obs"
 )
 
 // epochReport is one per-epoch entry of the -metrics-out artifact.
@@ -77,6 +86,7 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 1, "epochs between checkpoints")
 	ckptKeep := flag.Int("ckpt-keep", 3, "checkpoints retained per model (keep-last-K)")
 	resume := flag.Bool("resume", false, "resume from the latest valid checkpoint in -ckpt-dir")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /v1/debug/traces, and /debug/pprof on this address while training")
 	verbose := flag.Bool("v", false, "per-epoch logging")
 	flag.Parse()
 
@@ -135,6 +145,29 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// With -obs-addr, the run publishes its own telemetry: per-epoch
+	// metrics through the ProgressEvent path onto a registry served as
+	// /metrics, epoch/phase spans into a trace ring at /v1/debug/traces,
+	// and the pprof handlers for profiling the training loop.
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(obs.DefaultTraceRing)
+		cfg.Progress = models.InstrumentProgress(reg, cfg.Progress)
+		ctx = obs.WithTracer(obs.WithRegistry(ctx, reg), tracer)
+
+		mux := obs.PprofMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/v1/debug/traces", obs.TracesHandler(tracer))
+		obsSrv := &http.Server{Addr: *obsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := obsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "obs server: %v\n", err)
+			}
+		}()
+		defer obsSrv.Close()
+		fmt.Printf("telemetry on %s: /metrics /v1/debug/traces /debug/pprof/\n", *obsAddr)
+	}
 	start := time.Now()
 	if err := m.Train(ctx, d, cfg); err != nil {
 		if errors.Is(err, context.Canceled) {

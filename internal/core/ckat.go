@@ -32,6 +32,7 @@ package core
 
 import (
 	"context"
+	"log/slog"
 	"math"
 	"runtime"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/models/shared"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/parallel"
 	"repro/internal/rng"
@@ -314,6 +316,14 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 	if startEpoch > 0 {
 		cfg.Log("ckat %s resumed from checkpoint at epoch %d/%d",
 			d.Name, startEpoch, cfg.Epochs)
+		if cfg.Logger != nil {
+			cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "resumed from checkpoint",
+				slog.String("model", "ckat"),
+				slog.String("dataset", d.Name),
+				slog.Int("epoch", startEpoch),
+				slog.Int("epochs", cfg.Epochs),
+			)
+		}
 	}
 	// shardTransR views the embedding layer through shard s's gradient
 	// sinks (identity for the sequential shard).
@@ -336,9 +346,13 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 		kgSteps = 0
 	}
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		epochCtx, epochSpan := obs.StartSpan(ctx, "train.epoch")
+		epochSpan.SetAttr("model", "ckat")
+		epochSpan.SetAttrInt("epoch", epoch+1)
 		start := time.Now()
 		// --- Phase 1: embedding layer (TransR, L1) ---------------------
 		var kgLoss float64
+		_, kgSpan := obs.StartSpan(epochCtx, "train.phase.kg")
 		err := shared.RunRounds(ctx, kgSteps, pool, sh,
 			func(step, shard int) float64 {
 				sampler := kgSampler
@@ -356,7 +370,9 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 				optKG.Step()
 				kgLoss += loss
 			})
+		kgSpan.End()
 		if err != nil {
+			epochSpan.End()
 			return err
 		}
 
@@ -366,6 +382,7 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 		// --- Phase 3: attentive propagation + BPR (L2) -----------------
 		var cfLoss float64
 		pos := d.PosBatches(cfg.BatchSize, cfg.Seed+int64(epoch))
+		_, cfSpan := obs.StartSpan(epochCtx, "train.phase.cf")
 		err = shared.RunRounds(ctx, len(pos), pool, sh,
 			func(b, shard int) float64 {
 				users, ps := pos[b][0], pos[b][1]
@@ -399,26 +416,55 @@ func (m *Model) Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainC
 				optCF.Step()
 				cfLoss += loss
 			})
+		cfSpan.End()
 		if err != nil {
+			epochSpan.End()
 			return err
 		}
 		kgDen := float64(kgSteps)
 		if kgDen == 0 {
 			kgDen = 1
 		}
+		elapsed := time.Since(start)
+
+		// Checkpoint before reporting so the event carries the measured
+		// checkpoint duration (same ordering as the shared engine).
+		ckptStart := time.Now()
+		if err := cp.AfterEpoch(epoch + 1); err != nil {
+			epochSpan.End()
+			return err
+		}
+		var ckptDur time.Duration
+		if cp.Due(epoch + 1) {
+			ckptDur = time.Since(ckptStart)
+			_, ckptSpan := obs.StartSpan(epochCtx, "train.checkpoint")
+			ckptSpan.SetAttrInt("epoch", epoch+1)
+			ckptSpan.End()
+		}
+
 		cfg.Log("ckat %s epoch %d/%d kgLoss=%.4f cfLoss=%.4f", d.Name,
 			epoch+1, cfg.Epochs, kgLoss/kgDen,
 			cfLoss/float64(len(pos)))
+		if cfg.Logger != nil {
+			cfg.Logger.LogAttrs(epochCtx, slog.LevelInfo, "epoch complete",
+				slog.String("model", "ckat"),
+				slog.String("dataset", d.Name),
+				slog.Int("epoch", epoch+1),
+				slog.Int("epochs", cfg.Epochs),
+				slog.Float64("kg_loss", kgLoss/kgDen),
+				slog.Float64("cf_loss", cfLoss/float64(len(pos))),
+				slog.Float64("duration_ms", float64(elapsed.Nanoseconds())/1e6),
+			)
+		}
 		cfg.ReportProgress(models.ProgressEvent{
 			Model: "ckat", Dataset: d.Name,
 			Epoch: epoch + 1, Epochs: cfg.Epochs,
-			Loss:     kgLoss/kgDen + cfLoss/float64(len(pos)),
-			Duration: time.Since(start),
-			Samples:  len(d.Train) + kgSteps*m.opts.KGBatch,
+			Loss:               kgLoss/kgDen + cfLoss/float64(len(pos)),
+			Duration:           elapsed,
+			Samples:            len(d.Train) + kgSteps*m.opts.KGBatch,
+			CheckpointDuration: ckptDur,
 		})
-		if err := cp.AfterEpoch(epoch + 1); err != nil {
-			return err
-		}
+		epochSpan.End()
 	}
 
 	// Final representations for inference (attention from the trained

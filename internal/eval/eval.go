@@ -8,7 +8,6 @@
 package eval
 
 import (
-	"container/heap"
 	"context"
 	"math"
 
@@ -233,35 +232,56 @@ func rankMetrics(top []int, test []int, k int) Metrics {
 }
 
 // itemHeap is a min-heap over (score, item) used for top-K selection;
-// the root is the weakest of the current top-K.
+// the root is the weakest of the current top-K. The sift routines are
+// hand-rolled (mirroring container/heap's exact algorithm, so ordering
+// is unchanged) because the container/heap interface boxes every
+// pushed and popped element through `any`, which costs one allocation
+// per element on the serving hot path.
 type itemHeap struct {
 	scores []float64
 	items  []int
 }
 
-func (h *itemHeap) Len() int { return len(h.items) }
-func (h *itemHeap) Less(i, j int) bool {
+func (h *itemHeap) less(i, j int) bool {
 	if h.scores[i] != h.scores[j] {
 		return h.scores[i] < h.scores[j]
 	}
 	// Deterministic tie-break: larger item ID is "weaker".
 	return h.items[i] > h.items[j]
 }
-func (h *itemHeap) Swap(i, j int) {
+
+func (h *itemHeap) swap(i, j int) {
 	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
 	h.items[i], h.items[j] = h.items[j], h.items[i]
 }
-func (h *itemHeap) Push(x any) {
-	p := x.([2]float64)
-	h.scores = append(h.scores, p[0])
-	h.items = append(h.items, int(p[1]))
+
+func (h *itemHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			return
+		}
+		h.swap(i, j)
+		j = i
+	}
 }
-func (h *itemHeap) Pop() any {
+
+func (h *itemHeap) down(i int) {
 	n := len(h.items)
-	s, it := h.scores[n-1], h.items[n-1]
-	h.scores = h.scores[:n-1]
-	h.items = h.items[:n-1]
-	return [2]float64{s, float64(it)}
+	for {
+		j := 2*i + 1
+		if j >= n {
+			return
+		}
+		if r := j + 1; r < n && h.less(r, j) {
+			j = r
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h.swap(i, j)
+		i = j
+	}
 }
 
 // TopK returns the indices of the k highest scores, best first, with
@@ -276,21 +296,26 @@ func TopK(scores []float64, k int) []int {
 		if math.IsInf(sc, -1) {
 			continue
 		}
-		if h.Len() < k {
-			heap.Push(h, [2]float64{sc, float64(it)})
+		if len(h.items) < k {
+			h.scores = append(h.scores, sc)
+			h.items = append(h.items, it)
+			h.up(len(h.items) - 1)
 			continue
 		}
 		// Replace the weakest if strictly better (or equal with a
-		// smaller index, matching the Less tie-break).
+		// smaller index, matching the less tie-break).
 		if sc > h.scores[0] || (sc == h.scores[0] && it < h.items[0]) {
 			h.scores[0], h.items[0] = sc, it
-			heap.Fix(h, 0)
+			h.down(0)
 		}
 	}
-	out := make([]int, h.Len())
+	out := make([]int, len(h.items))
 	for i := len(out) - 1; i >= 0; i-- {
-		p := heap.Pop(h).([2]float64)
-		out[i] = int(p[1])
+		out[i] = h.items[0]
+		n := len(h.items) - 1
+		h.swap(0, n)
+		h.scores, h.items = h.scores[:n], h.items[:n]
+		h.down(0)
 	}
 	return out
 }

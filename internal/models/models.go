@@ -6,6 +6,7 @@ package models
 
 import (
 	"context"
+	"log/slog"
 	"time"
 
 	"repro/internal/ckpt"
@@ -59,6 +60,10 @@ type ProgressEvent struct {
 	// KG-phase triples for models with an embedding-layer phase).
 	Samples       int
 	SamplesPerSec float64
+	// CheckpointDuration is the wall time spent cutting this epoch's
+	// checkpoint; zero when checkpointing is disabled or the epoch fell
+	// between checkpoint intervals.
+	CheckpointDuration time.Duration
 }
 
 // TrainConfig carries the hyperparameters shared across models
@@ -80,6 +85,11 @@ type TrainConfig struct {
 	Workers int
 	// Logf, when non-nil, receives per-epoch progress lines.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured per-epoch records (and
+	// resume/checkpoint events) in addition to any Logf lines. Training
+	// loops log through it with the training context, so records carry
+	// trace correlation when the caller traced the run.
+	Logger *slog.Logger
 	// Progress, when non-nil, receives one ProgressEvent per epoch.
 	Progress func(ProgressEvent)
 	// Checkpoint, when non-nil, enables epoch-boundary checkpointing

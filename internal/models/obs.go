@@ -1,0 +1,49 @@
+package models
+
+import (
+	"repro/internal/obs"
+)
+
+// trainBuckets covers epoch and checkpoint durations in milliseconds:
+// synthetic-dataset epochs run tens of milliseconds, real ones minutes.
+var trainBuckets = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+	10000, 30000, 60000, 300000}
+
+// InstrumentProgress registers the training instrument families on reg
+// and returns a Progress callback that records every ProgressEvent
+// before forwarding it to next (which may be nil). All models share the
+// same families, distinguished by the model label, so one registration
+// serves a whole benchmark sweep — but call it only once per registry:
+// the registry rejects duplicate family names.
+//
+// Families:
+//
+//	train_epochs_total{model}            — completed epochs
+//	train_epoch_loss{model}              — last epoch's mean batch loss
+//	train_epoch_duration_ms{model}       — epoch wall time histogram
+//	train_samples_per_second{model}      — last epoch's throughput
+//	train_checkpoint_duration_ms{model}  — checkpoint cut time histogram
+func InstrumentProgress(reg *obs.Registry, next func(ProgressEvent)) func(ProgressEvent) {
+	epochs := reg.NewCounterVec("train_epochs_total",
+		"Completed training epochs by model.", "model")
+	loss := reg.NewGaugeVec("train_epoch_loss",
+		"Mean per-batch training loss of the last completed epoch.", "model")
+	dur := reg.NewHistogramVec("train_epoch_duration_ms",
+		"Epoch wall time in milliseconds by model.", trainBuckets, "model")
+	tput := reg.NewGaugeVec("train_samples_per_second",
+		"Training throughput of the last completed epoch.", "model")
+	ckptDur := reg.NewHistogramVec("train_checkpoint_duration_ms",
+		"Checkpoint cut time in milliseconds by model.", trainBuckets, "model")
+	return func(ev ProgressEvent) {
+		epochs.With(ev.Model).Inc()
+		loss.With(ev.Model).Set(ev.Loss)
+		dur.With(ev.Model).Observe(float64(ev.Duration.Nanoseconds()) / 1e6)
+		tput.With(ev.Model).Set(ev.SamplesPerSec)
+		if ev.CheckpointDuration > 0 {
+			ckptDur.With(ev.Model).Observe(float64(ev.CheckpointDuration.Nanoseconds()) / 1e6)
+		}
+		if next != nil {
+			next(ev)
+		}
+	}
+}

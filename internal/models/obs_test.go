@@ -1,0 +1,60 @@
+package models
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestInstrumentProgressRecordsAndForwards(t *testing.T) {
+	reg := obs.NewRegistry()
+	var forwarded []ProgressEvent
+	cb := InstrumentProgress(reg, func(ev ProgressEvent) {
+		forwarded = append(forwarded, ev)
+	})
+
+	cb(ProgressEvent{
+		Model: "ckat", Epoch: 1, Epochs: 2, Loss: 0.75,
+		Duration: 40 * time.Millisecond, SamplesPerSec: 1200,
+		CheckpointDuration: 5 * time.Millisecond,
+	})
+	cb(ProgressEvent{
+		Model: "bprmf", Epoch: 1, Epochs: 2, Loss: 0.5,
+		Duration: 20 * time.Millisecond, SamplesPerSec: 900,
+	})
+
+	if len(forwarded) != 2 {
+		t.Fatalf("forwarded %d events, want 2", len(forwarded))
+	}
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`train_epochs_total{model="bprmf"} 1`,
+		`train_epochs_total{model="ckat"} 1`,
+		`train_epoch_loss{model="ckat"} 0.75`,
+		`train_epoch_loss{model="bprmf"} 0.5`,
+		`train_samples_per_second{model="ckat"} 1200`,
+		`train_checkpoint_duration_ms_count{model="ckat"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// No checkpoint duration on the bprmf event → no observation.
+	if strings.Contains(text, `train_checkpoint_duration_ms_count{model="bprmf"}`) {
+		t.Fatal("checkpoint histogram recorded for event without a checkpoint")
+	}
+}
+
+// A nil next callback must be accepted: cmd/train composes the
+// adapter unconditionally even when no other Progress sink exists.
+func TestInstrumentProgressNilNext(t *testing.T) {
+	reg := obs.NewRegistry()
+	cb := InstrumentProgress(reg, nil)
+	cb(ProgressEvent{Model: "fm", Epoch: 1, Epochs: 1, Loss: 1})
+}

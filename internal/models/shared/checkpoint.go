@@ -127,12 +127,19 @@ func (c *Checkpointer) restore(st *TrainState) error {
 	return nil
 }
 
+// Due reports whether AfterEpoch(epochsDone) actually cuts a
+// checkpoint — used by the training loop to attribute checkpoint time
+// in its telemetry only when a write happened.
+func (c *Checkpointer) Due(epochsDone int) bool {
+	return c != nil && epochsDone%c.spec.EveryN() == 0
+}
+
 // AfterEpoch persists the training state once `epochsDone` (1-based
 // count of completed epochs) reaches a multiple of the checkpoint
 // interval. Persistence failures are returned so training does not run
 // on believing durability it does not have.
 func (c *Checkpointer) AfterEpoch(epochsDone int) error {
-	if c == nil || epochsDone%c.spec.EveryN() != 0 {
+	if !c.Due(epochsDone) {
 		return nil
 	}
 	return c.save(epochsDone)

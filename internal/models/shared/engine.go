@@ -38,11 +38,13 @@ package shared
 
 import (
 	"context"
+	"log/slog"
 	"time"
 
 	"repro/internal/autograd"
 	"repro/internal/dataset"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/parallel"
 	"repro/internal/rng"
@@ -277,8 +279,19 @@ func Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig, spec
 	if startEpoch > 0 {
 		cfg.Log("%s %s resumed from checkpoint at epoch %d/%d",
 			spec.Label, d.Name, startEpoch, cfg.Epochs)
+		if cfg.Logger != nil {
+			cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "resumed from checkpoint",
+				slog.String("model", spec.Label),
+				slog.String("dataset", d.Name),
+				slog.Int("epoch", startEpoch),
+				slog.Int("epochs", cfg.Epochs),
+			)
+		}
 	}
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		epochCtx, epochSpan := obs.StartSpan(ctx, "train.epoch")
+		epochSpan.SetAttr("model", spec.Label)
+		epochSpan.SetAttrInt("epoch", epoch+1)
 		start := time.Now()
 		pos := d.PosBatches(cfg.BatchSize, cfg.Seed+int64(epoch))
 		var epochLoss float64
@@ -303,20 +316,51 @@ func Train(ctx context.Context, d *dataset.Dataset, cfg models.TrainConfig, spec
 			epochLoss += loss
 		}
 		if err := RunRounds(ctx, len(pos), pool, sh, compute, apply); err != nil {
+			epochSpan.End()
 			return err
 		}
+		elapsed := time.Since(start)
+		meanLoss := epochLoss / float64(len(pos))
+
+		// Cut the checkpoint before reporting, so the ProgressEvent can
+		// carry the measured checkpoint duration. Resume semantics are
+		// unaffected: a crash between the cut and the report replays
+		// from the checkpoint either way.
+		ckptStart := time.Now()
+		if err := cp.AfterEpoch(epoch + 1); err != nil {
+			epochSpan.End()
+			return err
+		}
+		var ckptDur time.Duration
+		if cp.Due(epoch + 1) {
+			ckptDur = time.Since(ckptStart)
+			_, ckptSpan := obs.StartSpan(epochCtx, "train.checkpoint")
+			ckptSpan.SetAttrInt("epoch", epoch+1)
+			ckptSpan.End()
+		}
+
 		cfg.Log("%s %s epoch %d/%d loss=%.4f", spec.Label, d.Name,
-			epoch+1, cfg.Epochs, epochLoss/float64(len(pos)))
+			epoch+1, cfg.Epochs, meanLoss)
+		if cfg.Logger != nil {
+			cfg.Logger.LogAttrs(epochCtx, slog.LevelInfo, "epoch complete",
+				slog.String("model", spec.Label),
+				slog.String("dataset", d.Name),
+				slog.Int("epoch", epoch+1),
+				slog.Int("epochs", cfg.Epochs),
+				slog.Float64("loss", meanLoss),
+				slog.Float64("duration_ms", float64(elapsed.Nanoseconds())/1e6),
+			)
+		}
 		cfg.ReportProgress(models.ProgressEvent{
 			Model: spec.Label, Dataset: d.Name,
 			Epoch: epoch + 1, Epochs: cfg.Epochs,
-			Loss:     epochLoss / float64(len(pos)),
-			Duration: time.Since(start),
-			Samples:  len(d.Train) + spec.ExtraSamples,
+			Loss:               meanLoss,
+			Duration:           elapsed,
+			Samples:            len(d.Train) + spec.ExtraSamples,
+			CheckpointDuration: ckptDur,
 		})
-		if err := cp.AfterEpoch(epoch + 1); err != nil {
-			return err
-		}
+		epochSpan.SetAttrInt("batches", len(pos))
+		epochSpan.End()
 	}
 	return nil
 }

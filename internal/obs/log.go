@@ -1,0 +1,60 @@
+// log.go wires structured logging (log/slog) into the telemetry core:
+// a wrapping slog.Handler that stamps every record with the trace,
+// span, and request IDs carried by the context, so one grep over the
+// log finds everything a trace touched and vice versa.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// CtxHandler decorates an inner slog.Handler with trace correlation:
+// records logged with a context carrying an active span (or request
+// ID) gain trace_id / span_id / request_id attributes.
+type CtxHandler struct{ inner slog.Handler }
+
+// NewCtxHandler wraps h with trace/request-ID correlation.
+func NewCtxHandler(h slog.Handler) *CtxHandler { return &CtxHandler{inner: h} }
+
+// Enabled implements slog.Handler.
+func (h *CtxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler, adding the correlation attributes.
+func (h *CtxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := SpanFrom(ctx); sp != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", sp.TraceID()),
+			slog.String("span_id", sp.spanID),
+		)
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *CtxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &CtxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *CtxHandler) WithGroup(name string) slog.Handler {
+	return &CtxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger returns a correlated structured logger writing the slog
+// text format to w at the given level.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(NewCtxHandler(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// NewJSONLogger is NewLogger in the slog JSON format, for log
+// pipelines that ingest structured records directly.
+func NewJSONLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(NewCtxHandler(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})))
+}

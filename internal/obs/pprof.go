@@ -1,0 +1,23 @@
+// pprof.go exposes the runtime profiling surface on a private mux so
+// cmd/serve (-pprof) and cmd/train (-obs-addr) gate it explicitly:
+// none of the repo's servers ever serve http.DefaultServeMux, so the
+// global registration net/http/pprof performs on import is inert.
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMux returns a mux serving the standard /debug/pprof surface
+// (index, cmdline, profile, symbol, trace, and the named runtime
+// profiles via the index handler).
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,430 @@
+// Package obs is the repository's unified telemetry core: a typed
+// metrics registry with Prometheus text exposition, lightweight
+// context-propagated tracing, and slog-based structured logging with
+// trace correlation. It is stdlib-only and imported by every layer —
+// the serving stack, the shared training engine, CKAT, and the command
+// binaries — so one registry and one span contract describe the whole
+// system.
+//
+// The registry is pull-based: instruments are lock-free (atomics) on
+// the hot path, and aggregation work happens only when a scraper reads
+// /metrics or /v1/stats. Histograms use fixed buckets so a scrape is
+// O(buckets), never O(samples) — replacing the sort-on-snapshot
+// quantile rings the serving layer used to carry.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the metric families a Registry can hold.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds named metric families. All methods are safe for
+// concurrent use. Registering the same name twice panics: metric names
+// are a static, code-owned namespace and a collision is a bug.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label schema and one child
+// per observed label-value combination.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	fn func() float64 // func-backed families have no children
+
+	mu       sync.RWMutex
+	children map[string]metric
+}
+
+type metric interface {
+	// write appends the exposition lines for one child.
+	write(b *strings.Builder, fam *family, labelValues []string)
+}
+
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64, fn func() float64) *family {
+	if name == "" || !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...),
+		fn:     fn,
+	}
+	if kind == KindHistogram {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+	}
+	if fn == nil {
+		f.children = make(map[string]metric)
+	}
+	r.fams[name] = f
+	return f
+}
+
+// validName enforces the Prometheus metric/label charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// child resolves (creating on first use) the metric for one
+// label-value tuple.
+func (f *family) child(values []string, make func() metric) metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.RLock()
+	m, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	m = make()
+	f.children[key] = m
+	return m
+}
+
+// sortedChildren returns (key, metric) pairs in deterministic order.
+func (f *family) sortedChildren() (keys []string, ms []metric) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	keys = make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ms = make([]metric, len(keys))
+	for i, k := range keys {
+		ms[i] = f.children[k]
+	}
+	return keys, ms
+}
+
+// ---------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing float64. Hot-path methods are
+// lock-free.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v; negative deltas are ignored (counters never go down).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) write(b *strings.Builder, fam *family, lv []string) {
+	writeSample(b, fam.name, fam.labels, lv, "", "", c.Value())
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ fam *family }
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, labels, nil, nil)}
+}
+
+// NewCounter registers an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return (&CounterVec{r.register(name, help, KindCounter, nil, nil, nil)}).With()
+}
+
+// With returns the counter for one label-value tuple, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.fam.child(values, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Each visits every child in deterministic label order.
+func (v *CounterVec) Each(fn func(labelValues []string, c *Counter)) {
+	keys, ms := v.fam.sortedChildren()
+	for i, k := range keys {
+		fn(splitKey(k, len(v.fam.labels)), ms[i].(*Counter))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Gauge
+
+// Gauge is an arbitrarily settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(b *strings.Builder, fam *family, lv []string) {
+	writeSample(b, fam.name, fam.labels, lv, "", "", g.Value())
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ fam *family }
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, labels, nil, nil)}
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return (&GaugeVec{r.register(name, help, KindGauge, nil, nil, nil)}).With()
+}
+
+// NewGaugeFunc registers a gauge whose value is computed by fn at
+// scrape time — for values another subsystem already tracks (cache
+// entry counts, uptime) so the registry never double-accounts.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, KindGauge, nil, nil, fn)
+}
+
+// NewCounterFunc is NewGaugeFunc with counter exposition semantics; fn
+// must be monotone (e.g. lifetime hit counts owned by a cache).
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, KindCounter, nil, nil, fn)
+}
+
+// With returns the gauge for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.fam.child(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Each visits every child in deterministic label order.
+func (v *GaugeVec) Each(fn func(labelValues []string, g *Gauge)) {
+	keys, ms := v.fam.sortedChildren()
+	for i, k := range keys {
+		fn(splitKey(k, len(v.fam.labels)), ms[i].(*Gauge))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+// DefBuckets is the default bucket layout, tuned for request latencies
+// in milliseconds: sub-100µs cache hits through 10s timeouts.
+var DefBuckets = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free; cumulative bucket counts are derived at scrape time, so a
+// mid-scrape Observe can only make later buckets larger — monotonicity
+// of the rendered cumulative counts is preserved by summing
+// least-significant-first.
+type Histogram struct {
+	upper   []float64 // ascending upper bounds (no +Inf)
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.upper, v) // first bound >= v
+	if idx < len(h.upper) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// cumulative returns per-bucket cumulative counts (excluding +Inf) and
+// the +Inf total.
+func (h *Histogram) cumulative() ([]uint64, uint64) {
+	cum := make([]uint64, len(h.upper))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, run + h.inf.Load()
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
+// counts with linear interpolation inside the target bucket — the same
+// estimator as Prometheus's histogram_quantile. Samples beyond the
+// largest finite bucket clamp to that bound. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, total := h.cumulative()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			lo := 0.0
+			var below uint64
+			if i > 0 {
+				lo = h.upper[i-1]
+				below = cum[i-1]
+			}
+			width := h.upper[i] - lo
+			inBucket := float64(c - below)
+			if inBucket <= 0 {
+				return h.upper[i]
+			}
+			return lo + width*(rank-float64(below))/inBucket
+		}
+	}
+	// Target rank lives in the +Inf bucket: clamp to the largest bound.
+	if len(h.upper) > 0 {
+		return h.upper[len(h.upper)-1]
+	}
+	return 0
+}
+
+func (h *Histogram) write(b *strings.Builder, fam *family, lv []string) {
+	cum, total := h.cumulative()
+	for i, bound := range h.upper {
+		writeSample(b, fam.name+"_bucket", fam.labels, lv, "le", formatFloat(bound), float64(cum[i]))
+	}
+	writeSample(b, fam.name+"_bucket", fam.labels, lv, "le", "+Inf", float64(total))
+	writeSample(b, fam.name+"_sum", fam.labels, lv, "", "", h.Sum())
+	writeSample(b, fam.name+"_count", fam.labels, lv, "", "", float64(total))
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ fam *family }
+
+// NewHistogramVec registers a labeled histogram family; nil buckets
+// selects DefBuckets.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, KindHistogram, labels, buckets, nil)}
+}
+
+// NewHistogram registers an unlabeled histogram.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	return (&HistogramVec{r.register(name, help, KindHistogram, nil, buckets, nil)}).With()
+}
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.fam.child(values, func() metric { return newHistogram(v.fam.buckets) }).(*Histogram)
+}
+
+// Each visits every child in deterministic label order.
+func (v *HistogramVec) Each(fn func(labelValues []string, h *Histogram)) {
+	keys, ms := v.fam.sortedChildren()
+	for i, k := range keys {
+		fn(splitKey(k, len(v.fam.labels)), ms[i].(*Histogram))
+	}
+}
+
+// ---------------------------------------------------------------------
+// shared plumbing
+
+// addFloat atomically adds delta to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+func splitKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	return strings.SplitN(key, "\xff", n)
+}

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "jobs")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.NewGauge("queue_depth", "depth")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestVecChildrenAndEach(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("req_total", "requests", "endpoint", "class")
+	v.With("/a", "2xx").Add(3)
+	v.With("/b", "5xx").Inc()
+	if v.With("/a", "2xx") != v.With("/a", "2xx") {
+		t.Fatal("With is not stable for identical label values")
+	}
+	seen := map[string]float64{}
+	v.Each(func(lv []string, c *Counter) {
+		seen[strings.Join(lv, "|")] = c.Value()
+	})
+	if len(seen) != 2 || seen["/a|2xx"] != 3 || seen["/b|5xx"] != 1 {
+		t.Fatalf("Each saw %v", seen)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup_total", "y")
+}
+
+func TestBadMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.NewCounter("bad-name", "x")
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_ms", "latency", []float64{1, 10, 100})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i)) // 0..99: 2 in (≤1], 9 in (1,10], 89 in (10,100]
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 4950 {
+		t.Fatalf("sum = %v", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 10 || p50 > 100 {
+		t.Fatalf("p50 = %v, want inside (10,100]", p50)
+	}
+	// Monotone in q.
+	if !(h.Quantile(0.1) <= h.Quantile(0.5) && h.Quantile(0.5) <= h.Quantile(0.99)) {
+		t.Fatal("quantiles not monotone in q")
+	}
+	// Overflow clamps to the largest finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(1.0); got != 100 {
+		t.Fatalf("overflow quantile = %v, want clamp to 100", got)
+	}
+	// Empty histogram.
+	e := r.NewHistogram("empty_ms", "none", []float64{1})
+	if e.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+// parseExposition splits text-format output into HELP/TYPE headers and
+// sample lines per metric name.
+type expoFamily struct {
+	help, typ string
+	samples   []string
+}
+
+func parseExposition(t *testing.T, out string) map[string]*expoFamily {
+	t.Helper()
+	fams := map[string]*expoFamily{}
+	get := func(name string) *expoFamily {
+		f := fams[name]
+		if f == nil {
+			f = &expoFamily{}
+			fams[name] = f
+		}
+		return f
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(rest) != 2 {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			get(rest[0]).help = rest[1]
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(rest) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			get(rest[0]).typ = rest[1]
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("unknown comment line %q", line)
+		default:
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+				"_bucket"), "_sum"), "_count")
+			get(base).samples = append(get(base).samples, line)
+		}
+	}
+	return fams
+}
+
+// TestPromExposition is the satellite line-by-line contract test for
+// /metrics: HELP/TYPE headers for every family, escaped label values,
+// and monotone cumulative histogram buckets ending at _count.
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("http_requests_total", "Total HTTP requests.", "endpoint")
+	c.With("/v1/recommend").Add(7)
+	c.With(`weird"path\with` + "\nnewline").Inc()
+	g := r.NewGauge("inflight", "In-flight requests.")
+	g.Set(2)
+	h := r.NewHistogramVec("latency_ms", "Request latency.", []float64{1, 5, 25}, "endpoint")
+	for _, v := range []float64{0.5, 3, 3, 7, 100} {
+		h.With("/v1/recommend").Observe(v)
+	}
+	r.NewGaugeFunc("uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := sb.String()
+	fams := parseExposition(t, out)
+
+	for _, want := range []struct{ name, typ string }{
+		{"http_requests_total", "counter"},
+		{"inflight", "gauge"},
+		{"latency_ms", "histogram"},
+		{"uptime_seconds", "gauge"},
+	} {
+		f := fams[want.name]
+		if f == nil {
+			t.Fatalf("family %q missing from exposition:\n%s", want.name, out)
+		}
+		if f.typ != want.typ {
+			t.Fatalf("%s TYPE = %q, want %q", want.name, f.typ, want.typ)
+		}
+		if f.help == "" {
+			t.Fatalf("%s has no HELP text", want.name)
+		}
+		if len(f.samples) == 0 {
+			t.Fatalf("%s has no samples", want.name)
+		}
+	}
+
+	// Label escaping: quote, backslash, and newline must be escaped.
+	if !strings.Contains(out, `endpoint="weird\"path\\with\nnewline"`) {
+		t.Fatalf("label escaping wrong in:\n%s", out)
+	}
+	if !strings.Contains(out, `http_requests_total{endpoint="/v1/recommend"} 7`) {
+		t.Fatalf("counter sample missing in:\n%s", out)
+	}
+
+	// Histogram: cumulative buckets are non-decreasing, +Inf equals
+	// _count, and _sum matches the observations.
+	var prev float64 = -1
+	var infVal, countVal, sumVal float64
+	bucketLines := 0
+	for _, line := range fams["latency_ms"].samples {
+		fields := strings.Fields(line)
+		val, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q", line)
+		}
+		switch {
+		case strings.HasPrefix(line, "latency_ms_bucket"):
+			bucketLines++
+			if strings.Contains(line, `le="+Inf"`) {
+				infVal = val
+			}
+			if val < prev {
+				t.Fatalf("bucket counts not monotone at %q (prev %v)", line, prev)
+			}
+			prev = val
+		case strings.HasPrefix(line, "latency_ms_sum"):
+			sumVal = val
+		case strings.HasPrefix(line, "latency_ms_count"):
+			countVal = val
+		}
+	}
+	if bucketLines != 4 { // 3 finite bounds + +Inf
+		t.Fatalf("got %d bucket lines, want 4", bucketLines)
+	}
+	if infVal != 5 || countVal != 5 {
+		t.Fatalf("+Inf bucket %v / count %v, want 5/5", infVal, countVal)
+	}
+	if math.Abs(sumVal-113.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 113.5", sumVal)
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	if formatFloat(math.Inf(1)) != "+Inf" || formatFloat(math.Inf(-1)) != "-Inf" {
+		t.Fatal("infinity formatting wrong")
+	}
+	if formatFloat(math.NaN()) != "NaN" {
+		t.Fatal("NaN formatting wrong")
+	}
+	if formatFloat(0.25) != "0.25" {
+		t.Fatalf("0.25 formatted as %q", formatFloat(0.25))
+	}
+}
+
+// TestRegistryConcurrentScrape is the -race registry stress test:
+// concurrent observes across every instrument type while another
+// goroutine scrapes continuously. Run under `go test -race`.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("ops_total", "ops", "kind")
+	g := r.NewGauge("depth", "depth")
+	h := r.NewHistogramVec("dur_ms", "durations", nil, "kind")
+
+	const writers = 8
+	const perWriter = 500
+	var writersWG, scraperWG sync.WaitGroup
+	stop := make(chan struct{})
+	scraperWG.Add(1)
+	go func() { // concurrent scraper
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var sb strings.Builder
+				if err := r.WriteProm(&sb); err != nil {
+					t.Errorf("WriteProm: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			kind := fmt.Sprintf("k%d", w%3)
+			for i := 0; i < perWriter; i++ {
+				c.With(kind).Inc()
+				g.Add(1)
+				h.With(kind).Observe(float64(i % 50))
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	scraperWG.Wait()
+
+	if got := g.Value(); got != writers*perWriter {
+		t.Fatalf("gauge = %v, want %d", got, writers*perWriter)
+	}
+	var total float64
+	c.Each(func(_ []string, cc *Counter) { total += cc.Value() })
+	if total != writers*perWriter {
+		t.Fatalf("counter total = %v, want %d", total, writers*perWriter)
+	}
+	var hcount uint64
+	h.Each(func(_ []string, hh *Histogram) { hcount += hh.Count() })
+	if hcount != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", hcount, writers*perWriter)
+	}
+}

@@ -1,0 +1,438 @@
+// trace.go is the lightweight tracing half of the telemetry core:
+// StartSpan(ctx, name) mints trace/span IDs, propagates them through
+// context across layer boundaries (middleware → handler → cache fill →
+// scorer → path finder; engine → epoch → checkpoint), and completed
+// traces land in a bounded in-memory ring served as JSON at
+// /v1/debug/traces. There is no wire protocol and no sampling decision
+// beyond the ring bound: every trace is recorded until the ring evicts
+// it, which is exactly what "why was that one request slow five
+// minutes ago" needs.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// idCounter seeds span/trace IDs: a process-random base advanced by a
+// large odd constant and mixed through splitmix64, giving unique,
+// cheap, lock-free IDs without consuming crypto entropy per request.
+var idCounter atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		idCounter.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		idCounter.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// newID returns a fresh 16-hex-digit identifier. IDs are minted on
+// every request's hot path, so the encoding is a manual hex loop
+// rather than fmt.Sprintf.
+func newID() string {
+	x := idCounter.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}
+
+// Attr is one span attribute. Attributes live in a small slice rather
+// than a map: spans carry a handful at most, and the slice avoids a
+// per-span map allocation on the request hot path.
+type Attr struct{ Key, Value string }
+
+// Attrs is a span's attribute list. It marshals as a JSON object, so
+// the debug endpoint's payload reads like a map even though the
+// in-memory form is a slice.
+type Attrs []Attr
+
+// Get returns the value for key, or "".
+func (a Attrs) Get(key string) string {
+	for _, kv := range a {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the attribute list as a JSON object.
+func (a Attrs) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 16+24*len(a))
+	b = append(b, '{')
+	for i, kv := range a {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendQuote(b, kv.Key)
+		b = append(b, ':')
+		b = strconv.AppendQuote(b, kv.Value)
+	}
+	return append(b, '}'), nil
+}
+
+// UnmarshalJSON accepts the object form produced by MarshalJSON.
+func (a *Attrs) UnmarshalJSON(data []byte) error {
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*a = (*a)[:0]
+	for k, v := range m {
+		*a = append(*a, Attr{k, v})
+	}
+	return nil
+}
+
+// SpanData is one finished span as stored in the ring and rendered by
+// the debug endpoint.
+type SpanData struct {
+	TraceID    string    `json:"trace_id"`
+	SpanID     string    `json:"span_id"`
+	ParentID   string    `json:"parent_id,omitempty"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Attrs      Attrs     `json:"attrs,omitempty"`
+}
+
+// TraceData is one completed trace: the root span plus every child
+// that finished under it, in end order.
+type TraceData struct {
+	TraceID    string     `json:"trace_id"`
+	Root       string     `json:"root"`
+	Start      time.Time  `json:"start"`
+	DurationMS float64    `json:"duration_ms"`
+	Spans      []SpanData `json:"spans"`
+}
+
+// activeTrace accumulates spans while a trace is in flight.
+type activeTrace struct {
+	id    string
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// Span is an in-flight span. A nil *Span is valid and inert, so
+// instrumented code never needs to check whether tracing is enabled.
+type Span struct {
+	tracer *Tracer
+	tr     *activeTrace
+	root   bool
+
+	name     string
+	spanID   string
+	parentID string
+	start    time.Time
+
+	mu sync.Mutex
+	// Attributes fill attrbuf first (no allocation for the common
+	// span); only a span with more than len(attrbuf) distinct keys
+	// spills into overflow. At End the SpanData aliases attrbuf
+	// directly — safe because SetAttr refuses writes once ended.
+	nattrs   int
+	attrbuf  [4]Attr
+	overflow Attrs
+	ended    bool
+
+	// ownTrace backs tr for root spans, folding the trace accumulator
+	// into the span's allocation. Unused (zero) on child spans.
+	ownTrace activeTrace
+
+	// td, when non-nil, is the preallocated TraceData the root span
+	// commits into (see rootSpan).
+	td *TraceData
+}
+
+// rootSpan is the allocation shape for root spans: the span itself
+// plus the buffers a complete trace of up to 4 spans needs, so the
+// per-request steady state is one allocation for the whole trace
+// record instead of four.
+type rootSpan struct {
+	Span
+	spanBuf [4]SpanData
+	ownTD   TraceData
+}
+
+// Tracer owns the bounded ring of completed traces. The ring is
+// lock-free — every request commits exactly one trace, so a mutex here
+// would serialize all request goroutines at end-of-request.
+type Tracer struct {
+	ring []atomic.Pointer[TraceData]
+	next atomic.Uint64 // lifetime completed traces; next slot = next % len(ring)
+}
+
+// DefaultTraceRing is the default ring capacity.
+const DefaultTraceRing = 128
+
+// NewTracer returns a tracer retaining the last `capacity` completed
+// traces (capacity <= 0 selects DefaultTraceRing).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceRing
+	}
+	return &Tracer{ring: make([]atomic.Pointer[TraceData], capacity)}
+}
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	tracerKey
+	registryKey
+	requestIDKey
+)
+
+// WithTracer returns ctx carrying t; StartSpan below it opens root
+// spans recorded into t's ring.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithRegistry returns ctx carrying reg for instrumentation points
+// that are reached through context rather than construction (e.g. the
+// training engine).
+func WithRegistry(ctx context.Context, reg *Registry) context.Context {
+	return context.WithValue(ctx, registryKey, reg)
+}
+
+// RegistryFrom returns the registry carried by ctx, or nil.
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey).(*Registry)
+	return r
+}
+
+// ContextWithRequestID returns ctx carrying the request ID used for
+// log correlation.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// StartSpan opens a span named name. Under an existing span it opens a
+// child in the same trace; otherwise it opens a new root trace in the
+// context's Tracer. With neither an active span nor a tracer it
+// returns (ctx, nil) — and the nil Span's methods are no-ops — so
+// instrumentation is free when telemetry is not wired up.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey).(*Span)
+	if parent != nil {
+		sp := &Span{name: name, spanID: newID(), start: time.Now(),
+			tracer: parent.tracer, tr: parent.tr, parentID: parent.spanID}
+		return context.WithValue(ctx, spanKey, sp), sp
+	}
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	return StartRootSpan(ctx, t, name)
+}
+
+// StartRootSpan opens a new root trace recorded into t, regardless of
+// what ctx carries. Request entry points (HTTP middleware) use it to
+// avoid threading the tracer through a context value they would read
+// back one frame later; deeper layers use StartSpan.
+func StartRootSpan(ctx context.Context, t *Tracer, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	rs := &rootSpan{Span: Span{name: name, spanID: newID(), start: time.Now(),
+		tracer: t, root: true}}
+	sp := &rs.Span
+	sp.ownTrace.id = newID()
+	sp.ownTrace.spans = rs.spanBuf[:0]
+	sp.tr = &sp.ownTrace
+	sp.td = &rs.ownTD
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// SpanFrom returns the active span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// TraceID returns the trace ID of the active span in ctx, or "".
+func TraceID(ctx context.Context) string {
+	if sp := SpanFrom(ctx); sp != nil {
+		return sp.tr.id
+	}
+	return ""
+}
+
+// TraceID returns the span's trace identifier ("" on a nil span).
+func (sp *Span) TraceID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.tr.id
+}
+
+// SetAttr attaches a key/value attribute to the span, replacing any
+// previous value for the same key.
+func (sp *Span) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.ended {
+		return
+	}
+	for i := 0; i < sp.nattrs; i++ {
+		if sp.attrbuf[i].Key == key {
+			sp.attrbuf[i].Value = value
+			return
+		}
+	}
+	for i := range sp.overflow {
+		if sp.overflow[i].Key == key {
+			sp.overflow[i].Value = value
+			return
+		}
+	}
+	if sp.nattrs < len(sp.attrbuf) {
+		sp.attrbuf[sp.nattrs] = Attr{key, value}
+		sp.nattrs++
+		return
+	}
+	sp.overflow = append(sp.overflow, Attr{key, value})
+}
+
+// SetAttrInt is SetAttr for integer values.
+func (sp *Span) SetAttrInt(key string, value int) {
+	sp.SetAttr(key, strconv.Itoa(value))
+}
+
+// End finishes the span, appending it to its trace; ending the root
+// span commits the whole trace to the tracer's ring. End is idempotent.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	end := time.Now()
+	sp.mu.Lock()
+	if sp.ended {
+		sp.mu.Unlock()
+		return
+	}
+	sp.ended = true
+	// Alias the inline buffer (immutable once ended) unless attributes
+	// spilled into overflow.
+	var attrs Attrs
+	if len(sp.overflow) > 0 {
+		attrs = make(Attrs, 0, sp.nattrs+len(sp.overflow))
+		attrs = append(attrs, sp.attrbuf[:sp.nattrs]...)
+		attrs = append(attrs, sp.overflow...)
+	} else if sp.nattrs > 0 {
+		attrs = sp.attrbuf[:sp.nattrs:sp.nattrs]
+	}
+	sp.mu.Unlock()
+
+	data := SpanData{
+		TraceID:    sp.tr.id,
+		SpanID:     sp.spanID,
+		ParentID:   sp.parentID,
+		Name:       sp.name,
+		Start:      sp.start,
+		DurationMS: float64(end.Sub(sp.start).Nanoseconds()) / 1e6,
+		Attrs:      attrs,
+	}
+	sp.tr.mu.Lock()
+	sp.tr.spans = append(sp.tr.spans, data)
+	spans := sp.tr.spans
+	sp.tr.mu.Unlock()
+
+	if sp.root {
+		td := sp.td
+		if td == nil {
+			td = &TraceData{}
+		}
+		*td = TraceData{
+			TraceID:    sp.tr.id,
+			Root:       sp.name,
+			Start:      sp.start,
+			DurationMS: data.DurationMS,
+			Spans:      spans,
+		}
+		sp.tracer.commit(td)
+	}
+}
+
+func (t *Tracer) commit(td *TraceData) {
+	slot := (t.next.Add(1) - 1) % uint64(len(t.ring))
+	t.ring[slot].Store(td)
+}
+
+// Recent returns up to limit completed traces, newest first
+// (limit <= 0 returns everything retained).
+func (t *Tracer) Recent(limit int) []*TraceData {
+	out := make([]*TraceData, 0, len(t.ring))
+	for i := range t.ring {
+		if td := t.ring[i].Load(); td != nil {
+			out = append(out, td)
+		}
+	}
+	// Slot order is arbitrary under concurrent commits; report newest
+	// first by start time.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Count returns the lifetime number of completed traces.
+func (t *Tracer) Count() uint64 {
+	return t.next.Load()
+}
+
+// TracesHandler serves the ring as JSON:
+// {"count": N, "traces": [...]}, newest first, honoring ?limit=K.
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if v := r.URL.Query().Get("limit"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		traces := t.Recent(limit)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"count":  t.Count(),
+			"traces": traces,
+		})
+	})
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanParentChildAndRing(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+
+	rctx, root := StartSpan(ctx, "http /v1/recommend")
+	if root == nil {
+		t.Fatal("root span nil with tracer in context")
+	}
+	root.SetAttr("method", "GET")
+	cctx, child := StartSpan(rctx, "handler")
+	_, grand := StartSpan(cctx, "scorer.score")
+	grand.SetAttrInt("user", 7)
+	grand.End()
+	child.End()
+	root.End()
+
+	traces := tr.Recent(0)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	td := traces[0]
+	if td.Root != "http /v1/recommend" {
+		t.Fatalf("root = %q", td.Root)
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(td.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range td.Spans {
+		if sp.TraceID != td.TraceID {
+			t.Fatalf("span %q trace %q != %q", sp.Name, sp.TraceID, td.TraceID)
+		}
+		byName[sp.Name] = sp
+	}
+	if byName["handler"].ParentID != byName["http /v1/recommend"].SpanID {
+		t.Fatal("handler's parent is not the root span")
+	}
+	if byName["scorer.score"].ParentID != byName["handler"].SpanID {
+		t.Fatal("scorer's parent is not the handler span")
+	}
+	if byName["scorer.score"].Attrs.Get("user") != "7" {
+		t.Fatalf("attrs = %v", byName["scorer.score"].Attrs)
+	}
+	if byName["http /v1/recommend"].Attrs.Get("method") != "GET" {
+		t.Fatal("root attr lost")
+	}
+}
+
+func TestTraceIDFromContext(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	if TraceID(ctx) != "" {
+		t.Fatal("trace ID before any span")
+	}
+	sctx, sp := StartSpan(ctx, "op")
+	if TraceID(sctx) == "" || TraceID(sctx) != sp.TraceID() {
+		t.Fatalf("TraceID(ctx) = %q, span %q", TraceID(sctx), sp.TraceID())
+	}
+	sp.End()
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "op")
+	if sp != nil {
+		t.Fatal("expected nil span without a tracer")
+	}
+	// All methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("n", 1)
+	sp.End()
+	if sp.TraceID() != "" {
+		t.Fatal("nil span has a trace ID")
+	}
+	if TraceID(ctx) != "" {
+		t.Fatal("context gained a trace ID")
+	}
+}
+
+func TestRingBoundedAndNewestFirst(t *testing.T) {
+	tr := NewTracer(3)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, fmt.Sprintf("op-%d", i))
+		sp.End()
+	}
+	traces := tr.Recent(0)
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(traces))
+	}
+	if traces[0].Root != "op-9" || traces[2].Root != "op-7" {
+		t.Fatalf("order wrong: %s .. %s", traces[0].Root, traces[2].Root)
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("lifetime count %d, want 10", tr.Count())
+	}
+	if got := tr.Recent(2); len(got) != 2 {
+		t.Fatalf("Recent(2) returned %d", len(got))
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "op")
+	sp.End()
+	sp.End()
+	if got := len(tr.Recent(0)); got != 1 {
+		t.Fatalf("double End produced %d traces", got)
+	}
+	if got := len(tr.Recent(0)[0].Spans); got != 1 {
+		t.Fatalf("double End produced %d spans", got)
+	}
+}
+
+func TestTracesHandlerJSON(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+	sctx, root := StartSpan(ctx, "http /v1/similar")
+	_, child := StartSpan(sctx, "cache.fill")
+	child.End()
+	root.End()
+
+	rr := httptest.NewRecorder()
+	TracesHandler(tr).ServeHTTP(rr, httptest.NewRequest("GET", "/v1/debug/traces", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var body struct {
+		Count  uint64      `json:"count"`
+		Traces []TraceData `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if body.Count != 1 || len(body.Traces) != 1 {
+		t.Fatalf("count=%d traces=%d", body.Count, len(body.Traces))
+	}
+	if len(body.Traces[0].Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(body.Traces[0].Spans))
+	}
+
+	// ?limit works.
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, "extra")
+		sp.End()
+	}
+	rr = httptest.NewRecorder()
+	TracesHandler(tr).ServeHTTP(rr, httptest.NewRequest("GET", "/v1/debug/traces?limit=2", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(body.Traces) != 2 {
+		t.Fatalf("limit=2 returned %d traces", len(body.Traces))
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(64)
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sctx, root := StartSpan(ctx, fmt.Sprintf("g%d", g))
+				_, child := StartSpan(sctx, "child")
+				child.SetAttrInt("i", i)
+				child.End()
+				root.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Count() != 16*50 {
+		t.Fatalf("count = %d, want %d", tr.Count(), 16*50)
+	}
+	ids := map[string]bool{}
+	for _, td := range tr.Recent(0) {
+		if ids[td.TraceID] {
+			t.Fatalf("duplicate trace ID %s", td.TraceID)
+		}
+		ids[td.TraceID] = true
+	}
+}
+
+func TestCtxHandlerCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, slog.LevelInfo)
+
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+	ctx = ContextWithRequestID(ctx, "req-42")
+	sctx, sp := StartSpan(ctx, "op")
+	logger.InfoContext(sctx, "doing work", "user", 7)
+	sp.End()
+
+	line := buf.String()
+	if !strings.Contains(line, "trace_id="+sp.TraceID()) {
+		t.Fatalf("log line missing trace_id: %s", line)
+	}
+	if !strings.Contains(line, "span_id=") {
+		t.Fatalf("log line missing span_id: %s", line)
+	}
+	if !strings.Contains(line, "request_id=req-42") {
+		t.Fatalf("log line missing request_id: %s", line)
+	}
+	if !strings.Contains(line, "user=7") {
+		t.Fatalf("log line missing caller attr: %s", line)
+	}
+
+	// Without a span or request ID, no correlation attrs appear.
+	buf.Reset()
+	logger.InfoContext(context.Background(), "plain")
+	if strings.Contains(buf.String(), "trace_id") || strings.Contains(buf.String(), "request_id") {
+		t.Fatalf("unexpected correlation attrs: %s", buf.String())
+	}
+
+	// JSON variant parses and carries the same fields.
+	buf.Reset()
+	jl := NewJSONLogger(&buf, slog.LevelInfo)
+	sctx2, sp2 := StartSpan(WithTracer(context.Background(), tr), "op2")
+	jl.InfoContext(sctx2, "structured")
+	sp2.End()
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSON log line invalid: %v", err)
+	}
+	if rec["trace_id"] != sp2.TraceID() {
+		t.Fatalf("JSON trace_id = %v", rec["trace_id"])
+	}
+}
+
+func TestRegistryAndTracerFromContext(t *testing.T) {
+	if RegistryFrom(context.Background()) != nil || TracerFrom(context.Background()) != nil {
+		t.Fatal("empty context returned non-nil telemetry")
+	}
+	reg := NewRegistry()
+	tr := NewTracer(1)
+	ctx := WithRegistry(WithTracer(context.Background(), tr), reg)
+	if RegistryFrom(ctx) != reg || TracerFrom(ctx) != tr {
+		t.Fatal("context round-trip failed")
+	}
+	if RequestIDFrom(ctx) != "" {
+		t.Fatal("unexpected request ID")
+	}
+	if got := RequestIDFrom(ContextWithRequestID(ctx, "r1")); got != "r1" {
+		t.Fatalf("request ID = %q", got)
+	}
+}

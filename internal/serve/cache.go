@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"context"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // scoreCache is an LRU cache of per-user score vectors. Trained
@@ -18,7 +20,7 @@ type scoreCache struct {
 	dim    int
 	ll     *list.List            // front = most recently used
 	byUser map[int]*list.Element // user -> entry
-	score  func(user int, out []float64)
+	score  func(ctx context.Context, user int, out []float64)
 
 	// gen is bumped by Invalidate. A fill that started under an older
 	// generation is discarded instead of inserted, so a vector computed
@@ -34,7 +36,7 @@ type cacheEntry struct {
 	scores []float64
 }
 
-func newScoreCache(capacity, dim int, score func(int, []float64)) *scoreCache {
+func newScoreCache(capacity, dim int, score func(context.Context, int, []float64)) *scoreCache {
 	return &scoreCache{
 		cap:    capacity,
 		dim:    dim,
@@ -48,8 +50,9 @@ func newScoreCache(capacity, dim int, score func(int, []float64)) *scoreCache {
 // on a miss. The returned slice is shared: callers must not write to
 // it. Scoring happens outside the lock so concurrent misses for
 // different users proceed in parallel; a duplicated computation for
-// the same user is benign (identical values, last insert wins).
-func (c *scoreCache) Scores(user int) []float64 {
+// the same user is benign (identical values, last insert wins). A miss
+// is traced as a cache.fill span under the request's trace in ctx.
+func (c *scoreCache) Scores(ctx context.Context, user int) []float64 {
 	c.mu.Lock()
 	if el, ok := c.byUser[user]; ok {
 		c.ll.MoveToFront(el)
@@ -62,8 +65,11 @@ func (c *scoreCache) Scores(user int) []float64 {
 	gen := c.gen
 	c.mu.Unlock()
 
+	fillCtx, sp := obs.StartSpan(ctx, "cache.fill")
+	sp.SetAttrInt("user", user)
 	out := make([]float64, c.dim)
-	c.score(user, out)
+	c.score(fillCtx, user, out)
+	sp.End()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()

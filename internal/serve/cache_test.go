@@ -1,14 +1,15 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
 )
 
 // fakeScorer fills deterministic values and counts invocations.
-func fakeScoreFn(calls *atomic.Int64, dim int) func(int, []float64) {
-	return func(user int, out []float64) {
+func fakeScoreFn(calls *atomic.Int64, dim int) func(context.Context, int, []float64) {
+	return func(_ context.Context, user int, out []float64) {
 		calls.Add(1)
 		for i := range out {
 			out[i] = float64(user*dim + i)
@@ -20,13 +21,13 @@ func TestScoreCacheHitMissAccounting(t *testing.T) {
 	var calls atomic.Int64
 	c := newScoreCache(8, 4, fakeScoreFn(&calls, 4))
 
-	v := c.Scores(3)
+	v := c.Scores(context.Background(), 3)
 	if v[1] != 13 {
 		t.Fatalf("scores wrong: %v", v)
 	}
-	c.Scores(3)
-	c.Scores(3)
-	c.Scores(5)
+	c.Scores(context.Background(), 3)
+	c.Scores(context.Background(), 3)
+	c.Scores(context.Background(), 5)
 	hits, misses, entries := c.Stats()
 	if hits != 2 || misses != 2 {
 		t.Fatalf("hits/misses = %d/%d, want 2/2", hits, misses)
@@ -42,12 +43,12 @@ func TestScoreCacheHitMissAccounting(t *testing.T) {
 func TestScoreCacheLRUEviction(t *testing.T) {
 	var calls atomic.Int64
 	c := newScoreCache(2, 2, fakeScoreFn(&calls, 2))
-	c.Scores(0) // miss
-	c.Scores(1) // miss
-	c.Scores(0) // hit, moves 0 to front
-	c.Scores(2) // miss, evicts 1 (LRU)
-	c.Scores(0) // hit: still resident
-	c.Scores(1) // miss: was evicted
+	c.Scores(context.Background(), 0) // miss
+	c.Scores(context.Background(), 1) // miss
+	c.Scores(context.Background(), 0) // hit, moves 0 to front
+	c.Scores(context.Background(), 2) // miss, evicts 1 (LRU)
+	c.Scores(context.Background(), 0) // hit: still resident
+	c.Scores(context.Background(), 1) // miss: was evicted
 	hits, misses, entries := c.Stats()
 	if hits != 2 || misses != 4 {
 		t.Fatalf("hits/misses = %d/%d, want 2/4", hits, misses)
@@ -60,12 +61,12 @@ func TestScoreCacheLRUEviction(t *testing.T) {
 func TestScoreCacheInvalidate(t *testing.T) {
 	var calls atomic.Int64
 	c := newScoreCache(8, 2, fakeScoreFn(&calls, 2))
-	c.Scores(1)
+	c.Scores(context.Background(), 1)
 	c.Invalidate()
 	if _, _, entries := c.Stats(); entries != 0 {
 		t.Fatalf("entries after invalidate = %d", entries)
 	}
-	c.Scores(1)
+	c.Scores(context.Background(), 1)
 	if calls.Load() != 2 {
 		t.Fatalf("invalidate did not force a re-score (calls=%d)", calls.Load())
 	}
@@ -84,7 +85,7 @@ func TestScoreCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				u := (g + i) % 24
-				v := c.Scores(u)
+				v := c.Scores(context.Background(), u)
 				if v[0] != float64(u*8) {
 					t.Errorf("user %d got vector starting %v", u, v[0])
 					return

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -111,8 +113,11 @@ func (s *Server) Reload() error {
 			return nil
 		}
 		if s.logger != nil {
-			s.logger.Printf("reload attempt %d/%d failed: %v",
-				attempt+1, s.reloadAttempts, err)
+			s.logger.LogAttrs(context.Background(), slog.LevelWarn, "reload attempt failed",
+				slog.Int("attempt", attempt+1),
+				slog.Int("attempts", s.reloadAttempts),
+				slog.String("error", err.Error()),
+			)
 		}
 	}
 	s.metrics.reloadFailures.Add(1)
@@ -128,13 +133,13 @@ var errNoLoader = &apiError{
 // handleReload is POST /v1/admin/reload: swap in a freshly loaded
 // scorer, or report why the swap did not happen. Failure keeps the
 // previous scorer serving, so the error is informational.
-func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if err := s.Reload(); err != nil {
 		if api, ok := err.(*apiError); ok {
-			s.writeError(w, api)
+			s.writeError(w, r, api)
 			return
 		}
-		s.writeError(w, &apiError{
+		s.writeError(w, r, &apiError{
 			Code:    "reload_failed",
 			Message: err.Error(),
 			Status:  http.StatusServiceUnavailable,
@@ -173,10 +178,11 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 // shed is the admission-control middleware: beyond maxInflight
 // concurrently-admitted requests, respond 503 with Retry-After rather
 // than queueing work the deadline middleware would time out anyway.
-// Health probes bypass the cap.
+// Health probes and the metrics scrape bypass the cap: an overloaded
+// server is exactly when the scrapes matter most.
 func (s *Server) shed(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.maxInflight <= 0 || isHealthPath(r.URL.Path) {
+		if s.maxInflight <= 0 || isHealthPath(r.URL.Path) || r.URL.Path == "/metrics" {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -185,7 +191,7 @@ func (s *Server) shed(next http.Handler) http.Handler {
 		if n > int64(s.maxInflight) {
 			s.metrics.shed.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-			s.writeError(w, &apiError{
+			s.writeError(w, r, &apiError{
 				Code:    "overloaded",
 				Message: "server is at its inflight request cap; retry shortly",
 				Status:  http.StatusServiceUnavailable,

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"sync"
@@ -245,7 +246,7 @@ func TestCacheGenerationDiscardsRacingFill(t *testing.T) {
 	var calls atomic.Int32
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	c := newScoreCache(4, 3, func(_ int, out []float64) {
+	c := newScoreCache(4, 3, func(_ context.Context, _ int, out []float64) {
 		n := calls.Add(1)
 		if n == 1 {
 			close(entered)
@@ -257,7 +258,7 @@ func TestCacheGenerationDiscardsRacingFill(t *testing.T) {
 	})
 
 	first := make(chan []float64, 1)
-	go func() { first <- c.Scores(0) }()
+	go func() { first <- c.Scores(context.Background(), 0) }()
 	<-entered      // fill #1 is mid-score
 	c.Invalidate() // hot swap happens here
 	close(release)
@@ -266,7 +267,7 @@ func TestCacheGenerationDiscardsRacingFill(t *testing.T) {
 		t.Fatalf("racing fill returned %v, want its own (old) vector", got)
 	}
 	// The stale fill must not have been cached: this lookup re-scores.
-	if got := c.Scores(0); got[0] != 2 {
+	if got := c.Scores(context.Background(), 0); got[0] != 2 {
 		t.Fatalf("post-invalidate Scores = %v, want freshly computed 2s", got)
 	}
 	if _, _, entries := c.Stats(); entries != 1 {

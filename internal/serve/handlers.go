@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,14 +12,19 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // apiError is the uniform error envelope carried by every non-2xx
-// response: {"error": {"code": "...", "message": "...", "status": N}}.
+// response: {"error": {"code": "...", "message": "...", "status": N,
+// "trace_id": "..."}}. The trace ID is stamped by writeError from the
+// request context, so degraded, shed, and timeout responses are
+// correlatable with the structured log and /v1/debug/traces.
 type apiError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Status  int    `json:"status"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (e *apiError) Error() string { return e.Code + ": " + e.Message }
@@ -35,7 +41,10 @@ func timeoutErr() *apiError {
 	return &apiError{Code: "timeout", Message: "request deadline exceeded", Status: http.StatusGatewayTimeout}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, e *apiError) {
+	if e.TraceID == "" && r != nil {
+		e.TraceID = obs.TraceID(r.Context())
+	}
 	writeJSON(w, e.Status, map[string]*apiError{"error": e})
 }
 
@@ -154,12 +163,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // recommendFor computes the masked top-k for one user from the cached
 // score vector. The cache entry is shared, so it is copied before the
 // training positives are masked.
-func (s *Server) recommendFor(user, k int) []Recommendation {
-	cached := s.cache.Scores(user)
-	scores := make([]float64, len(cached))
+func (s *Server) recommendFor(ctx context.Context, user, k int) []Recommendation {
+	cached := s.cache.Scores(ctx, user)
+	scores := s.scoreBufs.Get().([]float64)[:len(cached)]
 	copy(scores, cached)
 	eval.MaskTrain(s.d, user, scores)
-	return s.renderTop(eval.TopK(scores, k), scores, 1)
+	recs := s.renderTop(eval.TopK(scores, k), scores, 1)
+	s.scoreBufs.Put(scores)
+	return recs
 }
 
 // fallbackFor answers recommendFor's question from the popularity
@@ -167,10 +178,12 @@ func (s *Server) recommendFor(user, k int) []Recommendation {
 // model in the loop, so it is the degraded answer when the primary
 // scoring path misses its deadline.
 func (s *Server) fallbackFor(user, k int) []Recommendation {
-	scores := make([]float64, s.d.NumItems)
+	scores := s.scoreBufs.Get().([]float64)[:s.d.NumItems]
 	s.fallback.ScoreItems(user, scores)
 	eval.MaskTrain(s.d, user, scores)
-	return s.renderTop(eval.TopK(scores, k), scores, 1)
+	recs := s.renderTop(eval.TopK(scores, k), scores, 1)
+	s.scoreBufs.Put(scores)
+	return recs
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
@@ -178,15 +191,15 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	user := qd.RequiredInt("user")
 	k := qd.IntInRange("k", 10, 1, maxK)
 	if e := qd.Err(); e != nil {
-		s.writeError(w, e)
+		s.writeError(w, r, e)
 		return
 	}
 	if e := s.checkUser(user); e != nil {
-		s.writeError(w, e)
+		s.writeError(w, r, e)
 		return
 	}
 	degraded := s.Degraded()
-	recs := s.recommendFor(user, k)
+	recs := s.recommendFor(r.Context(), user, k)
 	if !degraded && r.Context().Err() != nil {
 		// The model path blew the deadline; answer from the popularity
 		// prior rather than 504ing a recommendation request.
@@ -214,34 +227,34 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.writeError(w, &apiError{
+			s.writeError(w, r, &apiError{
 				Code:    "bad_param",
 				Message: fmt.Sprintf("request body exceeds %d bytes", maxBatchBody),
 				Status:  http.StatusRequestEntityTooLarge,
 			})
 			return
 		}
-		s.writeError(w, badParam("invalid JSON body: %v", err))
+		s.writeError(w, r, badParam("invalid JSON body: %v", err))
 		return
 	}
 	if len(req.Users) == 0 {
-		s.writeError(w, badParam("users must be non-empty"))
+		s.writeError(w, r, badParam("users must be non-empty"))
 		return
 	}
 	if len(req.Users) > s.maxBatch {
-		s.writeError(w, badParam("at most %d users per batch, got %d", s.maxBatch, len(req.Users)))
+		s.writeError(w, r, badParam("at most %d users per batch, got %d", s.maxBatch, len(req.Users)))
 		return
 	}
 	if req.K == 0 {
 		req.K = 10
 	}
 	if req.K < 1 || req.K > maxK {
-		s.writeError(w, badParam("k must be in [1, %d]", maxK))
+		s.writeError(w, r, badParam("k must be in [1, %d]", maxK))
 		return
 	}
 	for _, u := range req.Users {
 		if e := s.checkUser(u); e != nil {
-			s.writeError(w, e)
+			s.writeError(w, r, e)
 			return
 		}
 	}
@@ -254,7 +267,7 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	results := make([]userRecs, len(req.Users))
 	err := s.runBounded(r.Context(), len(req.Users), func(i int) {
 		u := req.Users[i]
-		results[i] = userRecs{User: u, Recommendations: s.recommendFor(u, req.K)}
+		results[i] = userRecs{User: u, Recommendations: s.recommendFor(r.Context(), u, req.K)}
 	})
 	if err != nil {
 		// Deadline tripped mid-batch: rather than 504, answer every
@@ -302,24 +315,24 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	item := qd.RequiredInt("item")
 	k := qd.IntInRange("k", 10, 1, maxK)
 	if e := qd.Err(); e != nil {
-		s.writeError(w, e)
+		s.writeError(w, r, e)
 		return
 	}
 	if e := s.checkItem(item); e != nil {
-		s.writeError(w, e)
+		s.writeError(w, r, e)
 		return
 	}
 	probes := s.probeUsers(item)
 	if len(probes) == 0 {
-		s.writeError(w, notFound("item %d has no training interactions", item))
+		s.writeError(w, r, notFound("item %d has no training interactions", item))
 		return
 	}
 
 	vecs := make([][]float64, len(probes))
 	if err := s.runBounded(r.Context(), len(probes), func(i int) {
-		vecs[i] = s.cache.Scores(probes[i])
+		vecs[i] = s.cache.Scores(r.Context(), probes[i])
 	}); err != nil {
-		s.writeError(w, timeoutErr())
+		s.writeError(w, r, timeoutErr())
 		return
 	}
 	agg := make([]float64, s.d.NumItems)
@@ -355,20 +368,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	user := qd.RequiredInt("user")
 	item := qd.RequiredInt("item")
 	if e := qd.Err(); e != nil {
-		s.writeError(w, e)
+		s.writeError(w, r, e)
 		return
 	}
 	if e := s.checkUser(user); e != nil {
-		s.writeError(w, e)
+		s.writeError(w, r, e)
 		return
 	}
 	if e := s.checkItem(item); e != nil {
-		s.writeError(w, e)
+		s.writeError(w, r, e)
 		return
 	}
 	dst := s.d.ItemEnt[item]
 	finder := s.pathers.Get().(*graph.PathFinder)
 	defer s.pathers.Put(finder)
+	_, sp := obs.StartSpan(r.Context(), "explain.paths")
+	sp.SetAttrInt("user", user)
+	sp.SetAttrInt("item", item)
 	var out []ExplainPath
 	for _, hist := range s.d.TrainByUser[user] {
 		if len(out) >= 5 || r.Context().Err() != nil {
@@ -385,8 +401,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	sp.SetAttrInt("paths", len(out))
+	sp.End()
 	if err := r.Context().Err(); err != nil {
-		s.writeError(w, timeoutErr())
+		s.writeError(w, r, timeoutErr())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -1,80 +1,157 @@
 package serve
 
 import (
-	"sort"
-	"sync"
-	"sync/atomic"
+	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latencyWindow is how many recent samples back each endpoint's
-// latency quantiles; a fixed ring keeps memory bounded under
-// production traffic while still tracking the current regime.
-const latencyWindow = 512
+// serveMetrics is the serving layer's view over the shared obs
+// registry. One registry backs both exposition surfaces: GET /metrics
+// renders the Prometheus text format, and /v1/stats renders the same
+// instruments as the historical JSON schema (per-endpoint counts,
+// status classes, and latency quantiles — now estimated from fixed
+// histogram buckets instead of a sort-on-snapshot sample ring).
+//
+// Endpoint labels are normalized to the registered route set, with
+// everything else bucketed as "other" (see normalizeEndpoint), so a
+// scan of random 404 paths cannot grow label cardinality without
+// bound.
+type serveMetrics struct {
+	reg   *obs.Registry
+	start time.Time
 
-// metrics is the in-process observability store behind /v1/stats:
-// per-endpoint request/status counters and latency quantiles, a global
-// inflight gauge, and process uptime. It is deliberately pull-based
-// (scraped over HTTP) so the serving path only pays for a mutex and a
-// ring write.
-type metrics struct {
-	start    time.Time
-	inflight atomic.Int64
+	requests *obs.CounterVec   // serve_http_requests_total{endpoint,class}
+	latency  *obs.HistogramVec // serve_http_request_duration_ms{endpoint}
+	inflight *obs.Gauge
 
-	// Degradation counters: requests answered by the popularity
-	// fallback, requests shed at the inflight cap, and hot-reload
-	// outcomes.
-	degraded       atomic.Uint64
-	shed           atomic.Uint64
-	reloads        atomic.Uint64
-	reloadFailures atomic.Uint64
+	// hot holds pre-resolved children for every registered endpoint,
+	// built once by prime(); the per-request path then reads an
+	// immutable map instead of going through the vec lookup (which
+	// joins label values into a key per call).
+	hot map[string]*endpointInstruments
 
-	mu        sync.Mutex
-	endpoints map[string]*endpointStats
+	degraded       *obs.Counter
+	shed           *obs.Counter
+	reloads        *obs.Counter
+	reloadFailures *obs.Counter
 }
 
-type endpointStats struct {
-	mu      sync.Mutex
-	count   uint64
-	errors  uint64 // responses with status >= 400
-	byClass [6]uint64
-	ring    [latencyWindow]float64 // milliseconds
-	n       int                    // filled slots
-	idx     int                    // next write position
+// endpointInstruments are one endpoint's pre-resolved children:
+// classes is indexed by status/100 (slot 0 = the "other" class).
+type endpointInstruments struct {
+	classes [len(statusClasses)]*obs.Counter
+	latency *obs.Histogram
 }
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+// otherEndpoint is the cardinality bucket for unregistered paths.
+const otherEndpoint = "other"
+
+// newServeMetrics registers the serving instruments on a fresh
+// registry. The cache, readiness, and uptime families are func-backed:
+// their source of truth lives in the cache and the degradation state,
+// and the registry reads them at scrape time instead of keeping a
+// second counter that could drift.
+func newServeMetrics(s *Server) *serveMetrics {
+	reg := obs.NewRegistry()
+	m := &serveMetrics{
+		reg:   reg,
+		start: time.Now(),
+		requests: reg.NewCounterVec("serve_http_requests_total",
+			"Completed HTTP requests by normalized endpoint and status class.",
+			"endpoint", "class"),
+		latency: reg.NewHistogramVec("serve_http_request_duration_ms",
+			"HTTP request latency in milliseconds by normalized endpoint.",
+			nil, "endpoint"),
+		inflight: reg.NewGauge("serve_http_inflight_requests",
+			"Requests currently being handled."),
+		degraded: reg.NewCounter("serve_degraded_requests_total",
+			"Requests answered by the popularity fallback."),
+		shed: reg.NewCounter("serve_shed_requests_total",
+			"Requests shed at the inflight cap."),
+		reloads: reg.NewCounter("serve_reloads_total",
+			"Successful hot reloads of the model snapshot."),
+		reloadFailures: reg.NewCounter("serve_reload_failures_total",
+			"Hot reloads that exhausted their retries."),
+	}
+	reg.NewGaugeFunc("serve_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	reg.NewGaugeFunc("serve_ready",
+		"1 when a trained scorer is serving, 0 while degraded.",
+		func() float64 {
+			if s.Degraded() {
+				return 0
+			}
+			return 1
+		})
+	reg.NewCounterFunc("serve_cache_hits_total",
+		"Score-vector cache hits.",
+		func() float64 { hits, _, _ := s.cache.Stats(); return float64(hits) })
+	reg.NewCounterFunc("serve_cache_misses_total",
+		"Score-vector cache misses.",
+		func() float64 { _, misses, _ := s.cache.Stats(); return float64(misses) })
+	reg.NewGaugeFunc("serve_cache_entries",
+		"Score-vector cache entries currently resident.",
+		func() float64 { _, _, entries := s.cache.Stats(); return float64(entries) })
+	reg.NewGaugeFunc("serve_cache_capacity",
+		"Score-vector cache capacity.",
+		func() float64 { return float64(s.cacheSize) })
+	return m
 }
 
-func (m *metrics) endpoint(path string) *endpointStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.endpoints[path]
-	if e == nil {
-		e = &endpointStats{}
-		m.endpoints[path] = e
+// prime pre-resolves children for every endpoint label (the registered
+// routes plus the "other" bucket). Called once after route
+// registration; also fixes the label sets Prometheus sees, so every
+// endpoint×class series exists from the first scrape.
+func (m *serveMetrics) prime(endpoints map[string]bool) {
+	m.hot = make(map[string]*endpointInstruments, len(endpoints)+1)
+	add := func(ep string) {
+		ei := &endpointInstruments{latency: m.latency.With(ep)}
+		ei.classes[0] = m.requests.With(ep, "other")
+		for c := 1; c < len(statusClasses); c++ {
+			ei.classes[c] = m.requests.With(ep, statusClasses[c])
+		}
+		m.hot[ep] = ei
 	}
-	return e
+	for ep := range endpoints {
+		add(ep)
+	}
+	add(otherEndpoint)
 }
 
-// observe records one completed request.
-func (m *metrics) observe(path string, status int, d time.Duration) {
-	e := m.endpoint(path)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.count++
-	if status >= 400 {
-		e.errors++
+// observe records one completed request under the normalized endpoint.
+func (m *serveMetrics) observe(endpoint string, status int, d time.Duration) {
+	c := status / 100
+	if c < 1 || c >= len(statusClasses) {
+		c = 0
 	}
-	if c := status / 100; c >= 1 && c <= 5 {
-		e.byClass[c]++
+	ms := float64(d.Nanoseconds()) / 1e6
+	if ei, ok := m.hot[endpoint]; ok {
+		ei.classes[c].Inc()
+		ei.latency.Observe(ms)
+		return
 	}
-	e.ring[e.idx] = float64(d.Nanoseconds()) / 1e6
-	e.idx = (e.idx + 1) % latencyWindow
-	if e.n < latencyWindow {
-		e.n++
+	class := "other"
+	if c != 0 {
+		class = statusClasses[c]
 	}
+	m.requests.With(endpoint, class).Inc()
+	m.latency.With(endpoint).Observe(ms)
+}
+
+var statusClasses = [...]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// normalizeEndpoint maps a request path onto the bounded endpoint
+// label set: a registered route keeps its path, everything else —
+// scans, typos, junk — collapses into "other" so metric cardinality
+// stays fixed no matter what traffic arrives.
+func (s *Server) normalizeEndpoint(path string) string {
+	if s.routes[path] {
+		return path
+	}
+	return otherEndpoint
 }
 
 // EndpointSnapshot is the per-endpoint view exposed by /v1/stats.
@@ -110,67 +187,47 @@ type StatsSnapshot struct {
 	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
 }
 
-func (e *endpointStats) snapshot() EndpointSnapshot {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	classes := [...]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
-	st := make(map[string]uint64)
-	for c := 1; c <= 5; c++ {
-		if e.byClass[c] > 0 {
-			st[classes[c]] = e.byClass[c]
-		}
-	}
-	sorted := make([]float64, e.n)
-	copy(sorted, e.ring[:e.n])
-	sort.Float64s(sorted)
-	return EndpointSnapshot{
-		Count:  e.count,
-		Errors: e.errors,
-		Status: st,
-		P50ms:  quantile(sorted, 0.50),
-		P95ms:  quantile(sorted, 0.95),
-		P99ms:  quantile(sorted, 0.99),
-	}
-}
-
-// quantile reads q from an ascending-sorted sample via nearest-rank.
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted)-1) + 0.5)
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
-}
-
-// snapshot assembles the /v1/stats payload.
+// statsSnapshot assembles the /v1/stats payload as a read over the
+// registry, keeping the pre-registry JSON schema byte-compatible.
 func (s *Server) statsSnapshot() StatsSnapshot {
 	hits, misses, entries := s.cache.Stats()
 	var rate float64
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
-	s.metrics.mu.Lock()
-	paths := make([]string, 0, len(s.metrics.endpoints))
-	for p := range s.metrics.endpoints {
-		paths = append(paths, p)
-	}
-	s.metrics.mu.Unlock()
-	eps := make(map[string]EndpointSnapshot, len(paths))
-	for _, p := range paths {
-		eps[p] = s.metrics.endpoint(p).snapshot()
-	}
+	eps := make(map[string]EndpointSnapshot)
+	s.metrics.requests.Each(func(lv []string, c *obs.Counter) {
+		endpoint, class := lv[0], lv[1]
+		ep := eps[endpoint]
+		n := uint64(c.Value())
+		ep.Count += n
+		if class == "4xx" || class == "5xx" {
+			ep.Errors += n
+		}
+		if n > 0 && strings.HasSuffix(class, "xx") {
+			if ep.Status == nil {
+				ep.Status = make(map[string]uint64)
+			}
+			ep.Status[class] += n
+		}
+		eps[endpoint] = ep
+	})
+	s.metrics.latency.Each(func(lv []string, h *obs.Histogram) {
+		ep := eps[lv[0]]
+		ep.P50ms = h.Quantile(0.50)
+		ep.P95ms = h.Quantile(0.95)
+		ep.P99ms = h.Quantile(0.99)
+		eps[lv[0]] = ep
+	})
 	return StatsSnapshot{
 		Facility:  s.d.Name,
 		UptimeMS:  float64(time.Since(s.metrics.start).Nanoseconds()) / 1e6,
-		Inflight:  s.metrics.inflight.Load(),
+		Inflight:  int64(s.metrics.inflight.Value()),
 		Ready:     !s.Degraded(),
-		Degraded:  s.metrics.degraded.Load(),
-		Shed:      s.metrics.shed.Load(),
-		Reloads:   s.metrics.reloads.Load(),
-		ReloadErr: s.metrics.reloadFailures.Load(),
+		Degraded:  uint64(s.metrics.degraded.Value()),
+		Shed:      uint64(s.metrics.shed.Value()),
+		Reloads:   uint64(s.metrics.reloads.Value()),
+		ReloadErr: uint64(s.metrics.reloadFailures.Value()),
 		Cache: CacheSnapshot{
 			Hits: hits, Misses: misses, HitRate: rate,
 			Entries: entries, Cap: s.cacheSize,

@@ -3,42 +3,88 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The middleware stack, outermost first:
 //
-//	requestID  → assigns X-Request-ID and threads it through context
-//	instrument → inflight gauge, per-endpoint latency/status metrics,
-//	             one log line per request
+//	observe    → assigns X-Request-ID, opens the root span (X-Trace-ID),
+//	             threads both through context in one request clone, and
+//	             on the way out records the inflight gauge, per-endpoint
+//	             latency/status metrics on the obs registry, and one
+//	             structured log line
+//	shed       → admission control beyond the inflight cap (degrade.go)
 //	recover    → converts handler panics into enveloped 500s
 //	deadline   → attaches the per-request timeout to the context
 //
-// recover sits inside instrument so a panic is still recorded as a
-// 500 in the metrics and the log.
-
-type ctxKey int
-
-const requestIDKey ctxKey = iota
+// recover sits inside observe so a panic is still recorded as a 500 in
+// the metrics, the log, and the trace.
 
 var requestCounter atomic.Uint64
 
-// RequestID returns the request's assigned ID, or "" outside a request.
-func RequestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey).(string)
-	return id
+const hexDigits = "0123456789abcdef"
+
+// nextRequestID mints "req-XXXXXXXX" without fmt (hot path).
+func nextRequestID() string {
+	n := requestCounter.Add(1)
+	var b [12]byte
+	copy(b[:], "req-")
+	for i := len(b) - 1; i >= 4; i-- {
+		b[i] = hexDigits[n&0xf]
+		n >>= 4
+	}
+	return string(b[:])
 }
 
-func (s *Server) requestID(next http.Handler) http.Handler {
+// RequestID returns the request's assigned ID, or "" outside a
+// request. The ID lives in the obs context slot so log correlation and
+// the serve API read the same value.
+func RequestID(ctx context.Context) string {
+	return obs.RequestIDFrom(ctx)
+}
+
+// observe is the outermost middleware: request identity, the root
+// span, and request metrics in a single layer so the request is cloned
+// once for the combined context instead of once per concern.
+func (s *Server) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
 		if id == "" {
-			id = fmt.Sprintf("req-%08x", requestCounter.Add(1))
+			id = nextRequestID()
 		}
-		w.Header().Set("X-Request-ID", id)
-		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+		endpoint := s.normalizeEndpoint(r.URL.Path)
+		ctx := obs.ContextWithRequestID(r.Context(), id)
+		ctx, sp := obs.StartRootSpan(ctx, s.tracer, s.rootSpanName[endpoint])
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		sp.SetAttr("request_id", id)
+		hdr := w.Header()
+		hdr.Set("X-Request-ID", id)
+		hdr.Set("X-Trace-ID", sp.TraceID())
+		r = r.WithContext(ctx)
+
+		s.metrics.inflight.Inc()
+		defer s.metrics.inflight.Dec()
+		defer sp.End() // idempotent; commits even on an aborting panic
+		rec := statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(&rec, r)
+		elapsed := time.Since(start)
+		sp.SetAttrInt("status", rec.status)
+		s.metrics.observe(endpoint, rec.status, elapsed)
+		if s.logger != nil {
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("uri", r.URL.RequestURI()),
+				slog.Int("status", rec.status),
+				slog.Float64("duration_ms", float64(elapsed.Nanoseconds())/1e6),
+			)
+		}
 	})
 }
 
@@ -65,33 +111,20 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	return sr.ResponseWriter.Write(b)
 }
 
-func (s *Server) instrument(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.metrics.inflight.Add(1)
-		defer s.metrics.inflight.Add(-1)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		next.ServeHTTP(rec, r)
-		elapsed := time.Since(start)
-		s.metrics.observe(r.URL.Path, rec.status, elapsed)
-		if s.logger != nil {
-			s.logger.Printf("%s %s %s %d %s",
-				RequestID(r.Context()), r.Method, r.URL.RequestURI(), rec.status, elapsed)
-		}
-	})
-}
-
 func (s *Server) recover(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
 				if s.logger != nil {
-					s.logger.Printf("%s PANIC %s %s: %v",
-						RequestID(r.Context()), r.Method, r.URL.Path, p)
+					s.logger.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+						slog.String("method", r.Method),
+						slog.String("path", r.URL.Path),
+						slog.String("panic", fmt.Sprint(p)),
+					)
 				}
 				// Best effort: if the handler already started the
 				// body there is nothing safe left to write.
-				s.writeError(w, &apiError{
+				s.writeError(w, r, &apiError{
 					Code:    "internal",
 					Message: "internal server error",
 					Status:  http.StatusInternalServerError,

@@ -12,7 +12,9 @@
 //	GET  /v1/similar?item=42&k=10        → items close to an item in the CKG
 //	GET  /v1/explain?user=12&item=42     → knowledge paths linking the
 //	                                       user's history to an item
-//	GET  /v1/stats                       → latency/cache/inflight metrics
+//	GET  /v1/stats                       → latency/cache/inflight metrics (JSON)
+//	GET  /metrics                        → the same registry, Prometheus text format
+//	GET  /v1/debug/traces                → recent request traces (bounded ring)
 //	POST /v1/admin/reload                → hot-swap the model snapshot
 //
 // The legacy unversioned paths (/health, /recommend, /similar,
@@ -24,10 +26,12 @@
 // vectors live in an LRU cache with an invalidation hook for retrains,
 // and multi-user scoring (similar-item probes, batch recommendation)
 // fans out across a bounded worker pool. Every request passes through
-// a middleware stack providing request IDs, structured logs, latency
-// metrics, load shedding, panic recovery, and per-request timeouts.
-// All failures use one error envelope: {"error": {"code", "message",
-// "status"}}.
+// a middleware stack providing request IDs, tracing (X-Trace-ID,
+// spans from middleware through handlers into cache fills, scorer
+// calls, and path finds), structured logs correlated by trace ID,
+// latency metrics on the shared obs registry, load shedding, panic
+// recovery, and per-request timeouts. All failures use one error
+// envelope: {"error": {"code", "message", "status", "trace_id"}}.
 //
 // The server degrades instead of failing: when no trained snapshot is
 // loadable the ranking endpoints answer from a popularity-prior
@@ -36,7 +40,9 @@
 package serve
 
 import (
+	"context"
 	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -46,6 +52,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Defaults for the tunable knobs; override via Options.
@@ -56,6 +63,7 @@ const (
 	DefaultMaxBatch       = 256                    // users per recommend:batch call
 	DefaultReloadAttempts = 3                      // tries per Reload call
 	DefaultReloadBackoff  = 100 * time.Millisecond // initial retry backoff
+	DefaultTraceRing      = 128                    // retained traces for /v1/debug/traces
 	maxK                  = 200                    // largest accepted k
 	maxBatchBody          = 1 << 20                // recommend:batch body limit (bytes)
 )
@@ -84,15 +92,23 @@ type Server struct {
 	pathers     sync.Pool
 	usersByItem [][]int
 
+	// scoreBufs recycles the per-request NumItems-wide score scratch
+	// (recommendFor masks train items in place, so it cannot rank
+	// straight off the cached vector).
+	scoreBufs sync.Pool
+
 	cache   *scoreCache
-	metrics *metrics
+	metrics *serveMetrics
+	tracer  *obs.Tracer
 	sem     chan struct{} // bounded worker pool for multi-user scoring
 
-	mux     *http.ServeMux
-	handler http.Handler // mux wrapped in the middleware stack
+	mux          *http.ServeMux
+	routes       map[string]bool   // registered paths; the metrics label set
+	rootSpanName map[string]string // endpoint → precomputed "http <endpoint>"
+	handler      http.Handler      // mux wrapped in the middleware stack
 
 	// Knobs.
-	logger         *log.Logger
+	logger         *slog.Logger
 	timeout        time.Duration
 	workers        int
 	cacheSize      int
@@ -100,14 +116,29 @@ type Server struct {
 	maxBatch       int
 	reloadAttempts int
 	reloadBackoff  time.Duration
+	traceRing      int
 }
 
 // Option customizes a Server at construction time.
 type Option func(*Server)
 
-// WithLogger directs per-request log lines to l. By default the server
-// is silent (nil logger), which keeps tests and benchmarks quiet.
-func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l } }
+// WithSlog directs structured per-request logs to l (typically built
+// with obs.NewLogger so records carry trace/request correlation). By
+// default the server is silent (nil logger), which keeps tests and
+// benchmarks quiet.
+func WithSlog(l *slog.Logger) Option { return func(s *Server) { s.logger = l } }
+
+// WithLogger adapts a legacy *log.Logger destination into the
+// structured logging path.
+//
+// Deprecated: use WithSlog.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.logger = obs.NewLogger(l.Writer(), slog.LevelInfo)
+		}
+	}
+}
 
 // WithTimeout sets the per-request deadline enforced by the timeout
 // middleware. Zero disables the deadline.
@@ -140,6 +171,16 @@ func WithMaxProbes(n int) Option {
 	}
 }
 
+// WithTraceRing sets how many completed traces /v1/debug/traces
+// retains.
+func WithTraceRing(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.traceRing = n
+		}
+	}
+}
+
 // WithCSR serves graph queries (/explain, the degraded popularity
 // prior) from an already-frozen CSR — typically one restored from a
 // model snapshot — instead of re-freezing the dataset's CKG at boot.
@@ -159,6 +200,8 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		maxBatch:       DefaultMaxBatch,
 		reloadAttempts: DefaultReloadAttempts,
 		reloadBackoff:  DefaultReloadBackoff,
+		traceRing:      DefaultTraceRing,
+		routes:         make(map[string]bool),
 	}
 	for _, o := range opts {
 		o(s)
@@ -168,6 +211,7 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		s.csr = d.CSR()
 	}
 	s.pathers = sync.Pool{New: func() any { return s.csr.PathFinder() }}
+	s.scoreBufs = sync.Pool{New: func() any { return make([]float64, d.NumItems) }}
 	s.usersByItem = make([][]int, d.NumItems)
 	for _, p := range d.Train {
 		s.usersByItem[p[1]] = append(s.usersByItem[p[1]], p[0])
@@ -180,11 +224,16 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		s.cur.Store(&scorerState{scorer: scorer, degraded: false})
 	}
 	// Cache fills read the scorer through the atomic pointer so a hot
-	// swap redirects every post-invalidate fill to the new scorer.
-	s.cache = newScoreCache(s.cacheSize, d.NumItems, func(user int, out []float64) {
+	// swap redirects every post-invalidate fill to the new scorer; the
+	// fill is traced as the scorer span of the requesting trace.
+	s.cache = newScoreCache(s.cacheSize, d.NumItems, func(ctx context.Context, user int, out []float64) {
+		_, sp := obs.StartSpan(ctx, "scorer.score")
+		sp.SetAttrInt("user", user)
 		s.state().scorer.ScoreItems(user, out)
+		sp.End()
 	})
-	s.metrics = newMetrics()
+	s.metrics = newServeMetrics(s)
+	s.tracer = obs.NewTracer(s.traceRing)
 	s.sem = make(chan struct{}, s.workers)
 
 	s.mux = http.NewServeMux()
@@ -197,16 +246,33 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 	s.route("/v1/explain", http.MethodGet, s.handleExplain)
 	s.route("/v1/stats", http.MethodGet, s.handleStats)
 	s.route("/v1/admin/reload", http.MethodPost, s.handleReload)
+	s.route("/metrics", http.MethodGet, s.metrics.reg.Handler().ServeHTTP)
+	s.route("/v1/debug/traces", http.MethodGet, obs.TracesHandler(s.tracer).ServeHTTP)
 	for _, legacy := range []string{"/health", "/recommend", "/similar", "/explain"} {
 		s.mux.HandleFunc(legacy, s.redirectV1)
+		s.routes[legacy] = true
 	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		s.writeError(w, notFound("no such endpoint %q", r.URL.Path))
+		s.writeError(w, r, notFound("no such endpoint %q", r.URL.Path))
 	})
+	s.metrics.prime(s.routes)
+	s.rootSpanName = make(map[string]string, len(s.routes)+1)
+	for ep := range s.routes {
+		s.rootSpanName[ep] = "http " + ep
+	}
+	s.rootSpanName[otherEndpoint] = "http " + otherEndpoint
 
-	s.handler = s.requestID(s.instrument(s.shed(s.recover(s.deadline(s.mux)))))
+	s.handler = s.observe(s.shed(s.recover(s.deadline(s.mux))))
 	return s
 }
+
+// Registry exposes the server's metrics registry so embedding callers
+// (cmd/serve, tests) can register additional instruments on the same
+// exposition surface.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// Tracer exposes the server's trace ring.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // ServeHTTP implements http.Handler through the middleware stack.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -218,19 +284,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) InvalidateCache() { s.cache.Invalidate() }
 
 // route registers a handler with method enforcement that keeps 405s
-// inside the error envelope (the stdlib mux would answer plain text).
+// inside the error envelope (the stdlib mux would answer plain text),
+// records the path in the normalized endpoint set, and wraps the
+// handler in its own span so traces separate middleware time from
+// handler time.
 func (s *Server) route(path, method string, h http.HandlerFunc) {
+	s.routes[path] = true
+	spanName := "handler " + path
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != method {
 			w.Header().Set("Allow", method)
-			s.writeError(w, &apiError{
+			s.writeError(w, r, &apiError{
 				Code:    "method_not_allowed",
 				Message: r.Method + " not allowed; use " + method,
 				Status:  http.StatusMethodNotAllowed,
 			})
 			return
 		}
-		h(w, r)
+		ctx, sp := obs.StartSpan(r.Context(), spanName)
+		defer sp.End()
+		h(w, r.WithContext(ctx))
 	})
 }
 

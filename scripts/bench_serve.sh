@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# Produces BENCH_serve.json: the serving-path benchmark suite
+# (recommend, similar under model and degraded scoring, explain) as a
+# JSON array, one object per benchmark, for the perf trajectory across
+# PRs. The BenchmarkServeRecommend row also carries the pre-PR
+# baseline and the computed overhead percentage — the acceptance gate
+# that the telemetry core (metrics + tracing + logging middleware)
+# costs at most 5% on the recommend hot path.
+#
+# Each benchmark runs BENCHCOUNT times and the minimum ns/op is kept:
+# the minimum is the standard robust estimator on shared machines,
+# where co-tenant load only ever adds time.
+#
+#   scripts/bench_serve.sh                 # default 1s x 3 per benchmark
+#   BENCHTIME=100x scripts/bench_serve.sh  # fixed iteration count
+#   BASELINE_RECOMMEND=19838 scripts/bench_serve.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_serve.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+BENCHCOUNT="${BENCHCOUNT:-3}"
+# ns/op of BenchmarkServeRecommend at the commit before the telemetry
+# core landed, on the reference machine.
+BASELINE_RECOMMEND="${BASELINE_RECOMMEND:-19838}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run XXX -bench 'BenchmarkServeRecommend|BenchmarkServeSimilar|BenchmarkServeExplain' \
+    -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" . | tee "$tmp"
+
+awk -v base="$BASELINE_RECOMMEND" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        if (!(name in best)) order[nn++] = name
+        best[name] = ns
+        iters[name] = $2
+        mem[name] = bytes
+        alloc[name] = allocs
+    }
+}
+END {
+    printf "[\n"
+    for (k = 0; k < nn; k++) {
+        name = order[k]
+        if (k) printf ",\n"
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters[name], best[name]
+        if (mem[name] != "")   printf ", \"bytes_per_op\": %s", mem[name]
+        if (alloc[name] != "") printf ", \"allocs_per_op\": %s", alloc[name]
+        if (name == "BenchmarkServeRecommend" && base != "") {
+            printf ", \"pre_obs_baseline_ns_per_op\": %s", base
+            printf ", \"overhead_pct\": %.2f", (best[name] - base) / base * 100
+        }
+        printf "}"
+    }
+    printf "\n]\n"
+}
+' "$tmp" > "$OUT"
+echo "wrote $OUT"

@@ -2,9 +2,12 @@
 # Tier-1 verification loop plus the concurrency race gates and the
 # fault-injection (chaos) gate.
 #
-# Two subsystems run goroutines on every request or round and therefore
-# run under the race detector on every PR in addition to the plain
-# tier-1 suite:
+# Three subsystems run goroutines on every request or round and
+# therefore run under the race detector on every PR in addition to the
+# plain tier-1 suite:
+#   - the telemetry core (internal/obs): lock-free metric instruments,
+#     the trace ring, and context propagation, all shared by every
+#     request goroutine;
 #   - the serving layer (internal/serve, internal/serve/client): LRU
 #     cache, worker pool, metrics, middleware, hot reload / degraded
 #     fallback;
@@ -41,11 +44,18 @@ if [ "$mode" = "all" ]; then
     go build ./...
     echo "== go test ./..."
     go test ./...
+    echo "== scrape smoke: /metrics exposition + trace round trip (httptest)"
+    go test -run 'TestMetricsEndpointExposition|TestEndpointCardinalityBounded|TestTraceEndToEnd' \
+        -count 1 ./internal/serve/
     echo "== graph benchmarks -> BENCH_graph.json"
     scripts/bench_graph.sh
+    echo "== serve benchmarks -> BENCH_serve.json"
+    scripts/bench_serve.sh
 fi
 
 if [ "$mode" = "all" ] || [ "$mode" = "race" ]; then
+    echo "== go test -race ./internal/obs/"
+    go test -race ./internal/obs/
     echo "== go test -race ./internal/serve/..."
     go test -race ./internal/serve/...
     echo "== go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/"
