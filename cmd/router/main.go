@@ -1,0 +1,80 @@
+// Command router fronts N serve processes with the consistent-hash
+// /v1 router of internal/router: single-entity requests go to the
+// owning backend, recommend:batch is split and merged, and the
+// health/stats/reload endpoints aggregate the whole cluster.
+//
+//	router -addr :9090 -backends http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+// The router is stateless; backends can be restarted underneath it and
+// requests simply fail over to 502 envelopes until they return.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	backends := flag.String("backends", "", "comma-separated backend base URLs (required)")
+	timeout := flag.Duration("timeout", router.DefaultTimeout, "per-backend round-trip deadline")
+	flag.Parse()
+
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	rt, err := router.New(router.Config{Backends: urls, Timeout: *timeout})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "usage: router -addr :9090 -backends http://host1:8080,http://host2:8080")
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      *timeout + 5*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	fmt.Printf("routing /v1 on %s across %d backend(s):\n", *addr, rt.NumBackends())
+	for _, u := range urls {
+		fmt.Printf("  %s\n", u)
+	}
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Println("\nshutting down (draining inflight requests)...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "forced shutdown: %v\n", err)
+			_ = srv.Close()
+		}
+	}
+}

@@ -47,6 +47,7 @@ func main() {
 	save := flag.Bool("save", false, "train and save the snapshot, then serve")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "score-vector cache entries")
+	shards := flag.Int("shards", serve.DefaultShards, "in-process scorer shards (consistent-hash partitioned)")
 	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond this inflight cap (0 disables)")
 	workers := flag.Int("workers", 0, "training workers (<=1 sequential, >1 round-parallel)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
@@ -120,6 +121,7 @@ func main() {
 	opts := []serve.Option{
 		serve.WithTimeout(*timeout),
 		serve.WithCacheSize(*cacheSize),
+		serve.WithShards(*shards),
 	}
 	if snapCSR != nil {
 		opts = append(opts, serve.WithCSR(snapCSR))
@@ -192,7 +194,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
-	fmt.Printf("serving %s data discovery on %s\n", d.Name, *addr)
+	fmt.Printf("serving %s data discovery on %s (%d scorer shard(s))\n", d.Name, *addr, *shards)
 	fmt.Println("  GET  /v1/health | /v1/health/live | /v1/health/ready | /v1/recommend?user=&k= | /v1/similar?item=&k= | /v1/explain?user=&item= | /v1/stats")
 	fmt.Println("  GET  /metrics (Prometheus) | /v1/debug/traces (recent request traces)")
 	fmt.Println("  POST /v1/recommend:batch   {\"users\":[...],\"k\":10}")

@@ -1,0 +1,508 @@
+// Package router is the multi-process face of sharded serving: a thin
+// HTTP router that speaks the existing /v1 discovery protocol to N
+// backend serve processes. Where internal/shard partitions scorer
+// replicas inside one process, the router applies the same rendezvous
+// hashing (shard.UserKey/ItemKey/Owner) to whole backends, so a
+// deployment can scale past one machine without the client noticing:
+// the router exposes the identical wire contract (internal/serve/api)
+// the backends do.
+//
+// Routing rules mirror the in-process dispatcher:
+//
+//   - /v1/recommend and /v1/explain route to the user's owning backend
+//     and /v1/similar to the item's, proxied byte-for-byte (status,
+//     error envelopes, trace headers pass through untouched).
+//   - /v1/recommend:batch splits the user list by owner, fans the
+//     sub-batches out concurrently, and reassembles the per-user
+//     results in request order.
+//   - /v1/health, /v1/health/ready, /v1/stats, and /v1/admin/reload
+//     fan out to every backend and merge, so one degraded or
+//     unreachable backend is visible without hiding the healthy rest.
+//
+// The router holds no model state; a backend that cannot be reached
+// answers as a 502 bad_gateway envelope in the same error shape as
+// everything else.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve/api"
+	"repro/internal/shard"
+)
+
+// DefaultTimeout bounds each backend round trip.
+const DefaultTimeout = 15 * time.Second
+
+// maxBatchBody mirrors the serve-side recommend:batch body cap.
+const maxBatchBody = 1 << 20
+
+// Config assembles a Router.
+type Config struct {
+	// Backends are the base URLs of the serve processes, e.g.
+	// ["http://10.0.0.1:8080", "http://10.0.0.2:8080"]. Order defines
+	// backend identity for consistent hashing: growing the list
+	// reassigns only the keys the new backend wins.
+	Backends []string
+
+	// Timeout bounds each backend round trip; zero uses DefaultTimeout.
+	Timeout time.Duration
+
+	// HTTPClient overrides the transport (tests, custom pooling). Its
+	// own Timeout is respected when set; otherwise Config.Timeout
+	// applies per request.
+	HTTPClient *http.Client
+}
+
+// Router fans /v1 traffic out across the configured backends.
+type Router struct {
+	backends []string
+	hc       *http.Client
+	timeout  time.Duration
+	mux      *http.ServeMux
+}
+
+// New validates the backend list and builds the router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: at least one backend is required")
+	}
+	rt := &Router{
+		hc:      cfg.HTTPClient,
+		timeout: cfg.Timeout,
+	}
+	if rt.timeout <= 0 {
+		rt.timeout = DefaultTimeout
+	}
+	if rt.hc == nil {
+		rt.hc = &http.Client{}
+	}
+	for _, b := range cfg.Backends {
+		rt.backends = append(rt.backends, strings.TrimRight(b, "/"))
+	}
+
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/v1/recommend", rt.byKey("user", shard.UserKey))
+	rt.mux.HandleFunc("/v1/explain", rt.byKey("user", shard.UserKey))
+	rt.mux.HandleFunc("/v1/similar", rt.byKey("item", shard.ItemKey))
+	rt.mux.HandleFunc("/v1/recommend:batch", rt.handleBatch)
+	rt.mux.HandleFunc("/v1/health", rt.handleHealth)
+	rt.mux.HandleFunc("/v1/health/live", rt.handleLive)
+	rt.mux.HandleFunc("/v1/health/ready", rt.handleReady)
+	rt.mux.HandleFunc("/v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("/v1/admin/reload", rt.handleReload)
+	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, api.NotFound("no such endpoint %q", r.URL.Path))
+	})
+	return rt, nil
+}
+
+// NumBackends reports the fan-out width.
+func (rt *Router) NumBackends() int { return len(rt.backends) }
+
+// BackendFor returns the index of the backend owning key under the
+// shared rendezvous placement.
+func (rt *Router) BackendFor(key uint64) int { return shard.Owner(key, len(rt.backends)) }
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, e.Status, api.ErrorEnvelope{Error: e})
+}
+
+func badGateway(backend string, err error) *api.Error {
+	return api.Errorf("bad_gateway", http.StatusBadGateway, "backend %s unreachable: %v", backend, err)
+}
+
+// byKey routes a single-entity GET to the owning backend, proxying the
+// exchange byte-for-byte. A missing or malformed ID parameter goes to
+// backend 0 so the canonical serve-side validation error comes back
+// unmodified.
+func (rt *Router) byKey(param string, key func(int) uint64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		idx := 0
+		if v, err := strconv.Atoi(r.URL.Query().Get(param)); err == nil {
+			idx = rt.BackendFor(key(v))
+		}
+		rt.proxy(w, r, idx)
+	}
+}
+
+// proxy forwards the request to one backend and streams the response
+// back unchanged: status, content type, trace and retry headers, body.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout)
+	defer cancel()
+	u := rt.backends[idx] + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, r.Body)
+	if err != nil {
+		writeError(w, badGateway(rt.backends[idx], err))
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		writeError(w, badGateway(rt.backends[idx], err))
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-Trace-ID", "X-Request-ID", "Retry-After", "Allow"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// call performs one JSON exchange with a backend, decoding 2xx into
+// out and non-2xx into the error envelope.
+func (rt *Router) call(ctx context.Context, idx int, method, path string, body []byte, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, rt.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rt.backends[idx]+path, rd)
+	if err != nil {
+		return badGateway(rt.backends[idx], err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return badGateway(rt.backends[idx], err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return badGateway(rt.backends[idx], err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var env api.ErrorEnvelope
+		if jsonErr := json.Unmarshal(raw, &env); jsonErr == nil && env.Error != nil {
+			return env.Error
+		}
+		return api.Errorf("bad_gateway", http.StatusBadGateway,
+			"backend %s: status %d: %s", rt.backends[idx], resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return badGateway(rt.backends[idx], err)
+	}
+	return nil
+}
+
+// handleBatch splits the user list across owning backends, fans the
+// sub-batches out concurrently, and reassembles per-user results in
+// request order. The merged response is exactly what one backend
+// holding every user would have answered: the per-user rankings are
+// deterministic, so reassembly is pure permutation.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, api.Errorf("method_not_allowed", http.StatusMethodNotAllowed,
+			"%s not allowed; use POST", r.Method))
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBody))
+	if err != nil {
+		writeError(w, api.BadParam("unreadable body: %v", err))
+		return
+	}
+	var req api.BatchRequest
+	if err := json.Unmarshal(raw, &req); err != nil || len(req.Users) == 0 {
+		// Forward the raw body to backend 0 so the canonical serve-side
+		// validation envelope (invalid JSON, empty users) comes back.
+		r.Body = io.NopCloser(bytes.NewReader(raw))
+		rt.proxy(w, r, 0)
+		return
+	}
+
+	// Group users by owning backend, remembering request positions.
+	groups := make(map[int][]int)    // backend -> users
+	positions := make(map[int][]int) // backend -> original indices
+	for i, u := range req.Users {
+		b := rt.BackendFor(shard.UserKey(u))
+		groups[b] = append(groups[b], u)
+		positions[b] = append(positions[b], i)
+	}
+
+	type sub struct {
+		backend int
+		resp    api.BatchResponse
+		err     error
+	}
+	subs := make([]sub, 0, len(groups))
+	for b := range groups {
+		subs = append(subs, sub{backend: b})
+	}
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(s *sub) {
+			defer wg.Done()
+			body, err := json.Marshal(api.BatchRequest{Users: groups[s.backend], K: req.K})
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.err = rt.call(r.Context(), s.backend, http.MethodPost, "/v1/recommend:batch", body, &s.resp)
+		}(&subs[i])
+	}
+	wg.Wait()
+
+	out := api.BatchResponse{Results: make([]api.UserRecommendations, len(req.Users))}
+	for _, s := range subs {
+		if s.err != nil {
+			// Any sub-batch failure fails the whole request with the
+			// backend's own envelope: partial batch answers would be
+			// indistinguishable from complete ones.
+			if ae, ok := s.err.(*api.Error); ok {
+				writeError(w, ae)
+				return
+			}
+			writeError(w, badGateway(rt.backends[s.backend], s.err))
+			return
+		}
+		out.K = s.resp.K
+		if s.resp.Degraded {
+			out.Degraded = true
+		}
+		for j, res := range s.resp.Results {
+			out.Results[positions[s.backend][j]] = res
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// fanOut runs fn against every backend concurrently.
+func (rt *Router) fanOut(fn func(idx int) error) []error {
+	errs := make([]error, len(rt.backends))
+	var wg sync.WaitGroup
+	for i := range rt.backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	healths := make([]api.Health, len(rt.backends))
+	errs := rt.fanOut(func(i int) error {
+		return rt.call(r.Context(), i, http.MethodGet, "/v1/health", nil, &healths[i])
+	})
+	merged := api.Health{Status: "ok"}
+	for i, err := range errs {
+		if err != nil {
+			if ae, ok := err.(*api.Error); ok {
+				writeError(w, ae)
+				return
+			}
+			writeError(w, badGateway(rt.backends[i], err))
+			return
+		}
+		if i == 0 {
+			merged.Facility = healths[i].Facility
+			merged.Users = healths[i].Users
+			merged.Items = healths[i].Items
+		}
+		merged.Shards += healths[i].Shards
+		if healths[i].Degraded {
+			merged.Degraded = true
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (rt *Router) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReady is ready only when every backend is ready: a degraded or
+// unreachable backend flips the router to 503 so load balancers steer
+// to a fully healthy cluster, while the body names the laggards.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Backend string `json:"backend"`
+		Ready   bool   `json:"ready"`
+	}
+	state := make([]readiness, len(rt.backends))
+	allReady := true
+	rt.fanOut(func(i int) error {
+		err := rt.call(r.Context(), i, http.MethodGet, "/v1/health/ready", nil, nil)
+		state[i] = readiness{Backend: rt.backends[i], Ready: err == nil}
+		if err != nil {
+			allReady = false
+		}
+		return nil
+	})
+	if allReady {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "degraded": false})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status":   "degraded",
+		"degraded": true,
+		"backends": state,
+	})
+}
+
+// handleStats merges every backend's /v1/stats into one cluster view:
+// counters and cache accounting sum; latency quantiles take the
+// worst backend (a safe upper bound — per-backend detail stays behind
+// each backend's own endpoint); the shards block concatenates every
+// backend's shards with globally re-numbered IDs.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := make([]api.Stats, len(rt.backends))
+	errs := rt.fanOut(func(i int) error {
+		return rt.call(r.Context(), i, http.MethodGet, "/v1/stats", nil, &stats[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			if ae, ok := err.(*api.Error); ok {
+				writeError(w, ae)
+				return
+			}
+			writeError(w, badGateway(rt.backends[i], err))
+			return
+		}
+	}
+	merged := api.Stats{
+		Facility:  stats[0].Facility,
+		Limits:    stats[0].Limits,
+		Ready:     true,
+		Endpoints: make(map[string]api.EndpointStats),
+	}
+	shardID := 0
+	for _, st := range stats {
+		if st.UptimeMS > merged.UptimeMS {
+			merged.UptimeMS = st.UptimeMS
+		}
+		merged.Inflight += st.Inflight
+		if !st.Ready {
+			merged.Ready = false
+		}
+		merged.Degraded += st.Degraded
+		merged.Shed += st.Shed
+		merged.Reloads += st.Reloads
+		merged.ReloadErr += st.ReloadErr
+		merged.Cache.Hits += st.Cache.Hits
+		merged.Cache.Misses += st.Cache.Misses
+		merged.Cache.Entries += st.Cache.Entries
+		merged.Cache.Cap += st.Cache.Cap
+		for ep, es := range st.Endpoints {
+			m := merged.Endpoints[ep]
+			m.Count += es.Count
+			m.Errors += es.Errors
+			for cls, n := range es.Status {
+				if m.Status == nil {
+					m.Status = make(map[string]uint64)
+				}
+				m.Status[cls] += n
+			}
+			if es.P50ms > m.P50ms {
+				m.P50ms = es.P50ms
+			}
+			if es.P95ms > m.P95ms {
+				m.P95ms = es.P95ms
+			}
+			if es.P99ms > m.P99ms {
+				m.P99ms = es.P99ms
+			}
+			merged.Endpoints[ep] = m
+		}
+		for _, sh := range st.Shards {
+			sh.Shard = shardID
+			shardID++
+			merged.Shards = append(merged.Shards, sh)
+		}
+	}
+	if merged.Cache.Hits+merged.Cache.Misses > 0 {
+		merged.Cache.HitRate = float64(merged.Cache.Hits) / float64(merged.Cache.Hits+merged.Cache.Misses)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleReload fans the reload out to every backend and merges the
+// per-shard reports (shard IDs re-numbered across backends). Any
+// backend failure turns the aggregate into a 503 with the collected
+// detail, while backends that succeeded keep their fresh scorers.
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, api.Errorf("method_not_allowed", http.StatusMethodNotAllowed,
+			"%s not allowed; use POST", r.Method))
+		return
+	}
+	resps := make([]api.ReloadResponse, len(rt.backends))
+	errs := rt.fanOut(func(i int) error {
+		return rt.call(r.Context(), i, http.MethodPost, "/v1/admin/reload", nil, &resps[i])
+	})
+	out := api.ReloadResponse{Status: "reloaded"}
+	var firstErr *api.Error
+	shardID := 0
+	for i, err := range errs {
+		if err != nil {
+			out.Status = "reload_failed"
+			out.Degraded = true
+			ae, ok := err.(*api.Error)
+			if !ok {
+				ae = badGateway(rt.backends[i], err)
+			}
+			if firstErr == nil {
+				firstErr = ae
+			}
+			out.Shards = append(out.Shards, api.ShardReload{
+				Shard: shardID, Status: "failed", Degraded: true, Error: ae.Message,
+			})
+			shardID++
+			continue
+		}
+		if resps[i].Degraded {
+			out.Degraded = true
+		}
+		for _, sh := range resps[i].Shards {
+			sh.Shard = shardID
+			shardID++
+			out.Shards = append(out.Shards, sh)
+		}
+	}
+	if firstErr != nil {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Error  *api.Error        `json:"error"`
+			Shards []api.ShardReload `json:"shards,omitempty"`
+		}{Error: api.Errorf("reload_failed", http.StatusServiceUnavailable, "%s", firstErr.Message), Shards: out.Shards})
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}

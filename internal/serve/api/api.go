@@ -1,0 +1,207 @@
+// Package api is the compiled contract for the /v1 discovery wire
+// protocol. It holds every request, response, and error shape exchanged
+// between the server (internal/serve), the typed Go client
+// (internal/serve/client), and the multi-process router
+// (internal/router), so the two sides of the wire import one set of
+// DTOs and cannot drift: a field added to a response here is
+// simultaneously encoded by the server and decoded by the client.
+//
+// The package deliberately imports nothing outside the standard
+// library — it describes bytes on the wire, not server internals — and
+// is therefore equally usable by out-of-process consumers.
+package api
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Error is the uniform error envelope payload carried by every non-2xx
+// response: {"error": {"code": "...", "message": "...", "status": N,
+// "trace_id": "..."}}. TraceID is stamped by the server from the
+// request context so failures are correlatable with structured logs
+// and /v1/debug/traces.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// ErrorEnvelope is the top-level shape of every error response.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code string, status int, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...), Status: status}
+}
+
+// BadParam is a 400 bad_param error: the request itself is malformed.
+func BadParam(format string, args ...any) *Error {
+	return Errorf("bad_param", http.StatusBadRequest, format, args...)
+}
+
+// NotFound is a 404 not_found error: a well-formed ID names no
+// resource.
+func NotFound(format string, args ...any) *Error {
+	return Errorf("not_found", http.StatusNotFound, format, args...)
+}
+
+// Timeout is the 504 envelope for requests that outlive their
+// deadline.
+func Timeout() *Error {
+	return &Error{Code: "timeout", Message: "request deadline exceeded", Status: http.StatusGatewayTimeout}
+}
+
+// Overloaded is the 503 envelope for load-shed requests; it travels
+// with a Retry-After header.
+func Overloaded() *Error {
+	return &Error{
+		Code:    "overloaded",
+		Message: "server is at its inflight request cap; retry shortly",
+		Status:  http.StatusServiceUnavailable,
+	}
+}
+
+// Recommendation is one ranked data object.
+type Recommendation struct {
+	Rank     int     `json:"rank"`
+	Item     int     `json:"item"`
+	Name     string  `json:"name"`
+	Site     string  `json:"site"`
+	DataType string  `json:"dataType"`
+	Score    float64 `json:"score"`
+}
+
+// Health is the GET /v1/health payload.
+type Health struct {
+	Degraded bool   `json:"degraded"`
+	Facility string `json:"facility"`
+	Items    int    `json:"items"`
+	Shards   int    `json:"shards"`
+	Status   string `json:"status"`
+	Users    int    `json:"users"`
+}
+
+// RecommendResponse is the GET /v1/recommend payload.
+type RecommendResponse struct {
+	Degraded        bool             `json:"degraded"`
+	Recommendations []Recommendation `json:"recommendations"`
+	User            int              `json:"user"`
+}
+
+// BatchRequest is the POST /v1/recommend:batch body.
+type BatchRequest struct {
+	Users []int `json:"users"`
+	K     int   `json:"k"`
+}
+
+// UserRecommendations pairs a user with their ranked items. Degraded
+// is set per user when that user's owning shard answered from the
+// popularity fallback; it is omitted on full-quality answers so the
+// single-shard response shape is unchanged.
+type UserRecommendations struct {
+	User            int              `json:"user"`
+	Recommendations []Recommendation `json:"recommendations"`
+	Degraded        bool             `json:"degraded,omitempty"`
+}
+
+// BatchResponse is the POST /v1/recommend:batch payload. Degraded is
+// true when any user in the batch was answered by the fallback.
+type BatchResponse struct {
+	Degraded bool                  `json:"degraded"`
+	K        int                   `json:"k"`
+	Results  []UserRecommendations `json:"results"`
+}
+
+// SimilarResponse is the GET /v1/similar payload.
+type SimilarResponse struct {
+	Degraded bool             `json:"degraded"`
+	Item     int              `json:"item"`
+	Similar  []Recommendation `json:"similar"`
+}
+
+// ExplainPath is one knowledge path linking history to a target item.
+type ExplainPath struct {
+	From string `json:"from"`
+	Path string `json:"path"`
+}
+
+// ExplainResponse is the GET /v1/explain payload. It carries the same
+// top-level degraded field as the ranking endpoints.
+type ExplainResponse struct {
+	Degraded bool          `json:"degraded"`
+	Item     int           `json:"item"`
+	ItemName string        `json:"itemName"`
+	Paths    []ExplainPath `json:"paths"`
+	User     int           `json:"user"`
+}
+
+// ShardReload is one shard's outcome in a POST /v1/admin/reload
+// response.
+type ShardReload struct {
+	Shard    int    `json:"shard"`
+	Status   string `json:"status"` // "reloaded" or "failed"
+	Degraded bool   `json:"degraded"`
+	Error    string `json:"error,omitempty"`
+}
+
+// ReloadResponse is the POST /v1/admin/reload payload: the aggregate
+// outcome plus per-shard reporting.
+type ReloadResponse struct {
+	Degraded bool          `json:"degraded"`
+	Shards   []ShardReload `json:"shards"`
+	Status   string        `json:"status"`
+}
+
+// EndpointStats is the per-endpoint block of /v1/stats.
+type EndpointStats struct {
+	Count  uint64            `json:"count"`
+	Errors uint64            `json:"errors"`
+	Status map[string]uint64 `json:"status"`
+	P50ms  float64           `json:"p50_ms"`
+	P95ms  float64           `json:"p95_ms"`
+	P99ms  float64           `json:"p99_ms"`
+}
+
+// CacheStats is the score-cache block of /v1/stats. In sharded serving
+// the top-level block aggregates every shard; per-shard figures live
+// in ShardStats.
+type CacheStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
+	Cap     int     `json:"cap"`
+}
+
+// ShardStats is one scorer shard's block in /v1/stats.
+type ShardStats struct {
+	Shard    int        `json:"shard"`
+	Degraded bool       `json:"degraded"`
+	Inflight int64      `json:"inflight"`
+	Requests uint64     `json:"requests"`
+	Cache    CacheStats `json:"cache"`
+}
+
+// Stats is the full /v1/stats payload.
+type Stats struct {
+	Facility  string                   `json:"facility"`
+	UptimeMS  float64                  `json:"uptime_ms"`
+	Inflight  int64                    `json:"inflight"`
+	Ready     bool                     `json:"ready"`
+	Degraded  uint64                   `json:"degraded_requests"`
+	Shed      uint64                   `json:"shed_requests"`
+	Reloads   uint64                   `json:"reloads"`
+	ReloadErr uint64                   `json:"reload_failures"`
+	Limits    Limits                   `json:"limits"`
+	Cache     CacheStats               `json:"cache"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Shards    []ShardStats             `json:"shards"`
+}

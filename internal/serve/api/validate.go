@@ -1,0 +1,101 @@
+package api
+
+// Request validation lives with the wire types so every server-side
+// entry point — the in-process handlers, the sharded dispatcher, and
+// the multi-process router — enforces one set of bounds with one set
+// of error messages, and so the bounds themselves are publishable
+// through /v1/stats (the Limits block) instead of living as scattered
+// per-handler constants.
+
+// Default bounds for the tunable request limits.
+const (
+	DefaultK        = 10  // k when the caller omits it
+	DefaultMaxK     = 200 // largest accepted k
+	DefaultMaxBatch = 256 // most users per recommend:batch call
+)
+
+// Limits are the documented request bounds, surfaced verbatim in the
+// /v1/stats "limits" block so clients can discover them.
+type Limits struct {
+	MaxK     int `json:"max_k"`
+	MaxBatch int `json:"max_batch"`
+}
+
+// DefaultLimits returns the standard bounds.
+func DefaultLimits() Limits {
+	return Limits{MaxK: DefaultMaxK, MaxBatch: DefaultMaxBatch}
+}
+
+// Validator checks request parameters against one facility's
+// dimensions and the configured limits. The zero NumUsers/NumItems
+// validator rejects every ID, so construction always flows from a
+// loaded dataset.
+type Validator struct {
+	Limits   Limits
+	NumUsers int
+	NumItems int
+}
+
+// User distinguishes a well-formed ID that names no user (404) from
+// malformed input, which the query decoding layer rejects as 400.
+func (v Validator) User(user int) *Error {
+	if user < 0 || user >= v.NumUsers {
+		return NotFound("unknown user %d (facility has %d users)", user, v.NumUsers)
+	}
+	return nil
+}
+
+// Item is the item-ID counterpart of User.
+func (v Validator) Item(item int) *Error {
+	if item < 0 || item >= v.NumItems {
+		return NotFound("unknown item %d (facility has %d items)", item, v.NumItems)
+	}
+	return nil
+}
+
+// K validates an explicitly supplied list length against the
+// published bound.
+func (v Validator) K(k int) *Error {
+	if k < 1 || k > v.Limits.MaxK {
+		return BadParam("k must be in [1, %d]", v.Limits.MaxK)
+	}
+	return nil
+}
+
+// KOrDefault resolves k for request bodies where an omitted field
+// decodes to zero: zero takes the default, anything else must pass K.
+func (v Validator) KOrDefault(k int) (int, *Error) {
+	if k == 0 {
+		return DefaultK, nil
+	}
+	if e := v.K(k); e != nil {
+		return 0, e
+	}
+	return k, nil
+}
+
+// BatchSize validates a recommend:batch user list's shape: non-empty
+// and within the batch bound.
+func (v Validator) BatchSize(users []int) *Error {
+	if len(users) == 0 {
+		return BadParam("users must be non-empty")
+	}
+	if len(users) > v.Limits.MaxBatch {
+		return BadParam("at most %d users per batch, got %d", v.Limits.MaxBatch, len(users))
+	}
+	return nil
+}
+
+// Batch validates shape and membership in one call: BatchSize plus a
+// per-user existence check. The first failure wins.
+func (v Validator) Batch(users []int) *Error {
+	if e := v.BatchSize(users); e != nil {
+		return e
+	}
+	for _, u := range users {
+		if e := v.User(u); e != nil {
+			return e
+		}
+	}
+	return nil
+}

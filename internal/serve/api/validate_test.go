@@ -1,0 +1,92 @@
+package api
+
+import "testing"
+
+func testValidator() Validator {
+	return Validator{Limits: DefaultLimits(), NumUsers: 10, NumItems: 20}
+}
+
+func TestValidatorUserItemBounds(t *testing.T) {
+	v := testValidator()
+	for _, u := range []int{0, 9} {
+		if e := v.User(u); e != nil {
+			t.Fatalf("User(%d): %v", u, e)
+		}
+	}
+	for _, u := range []int{-1, 10, 999} {
+		e := v.User(u)
+		if e == nil || e.Code != "not_found" || e.Status != 404 {
+			t.Fatalf("User(%d) = %v, want not_found 404", u, e)
+		}
+	}
+	if e := v.Item(19); e != nil {
+		t.Fatalf("Item(19): %v", e)
+	}
+	if e := v.Item(20); e == nil || e.Code != "not_found" {
+		t.Fatalf("Item(20) = %v, want not_found", e)
+	}
+}
+
+func TestValidatorK(t *testing.T) {
+	v := testValidator()
+	if e := v.K(1); e != nil {
+		t.Fatalf("K(1): %v", e)
+	}
+	if e := v.K(DefaultMaxK); e != nil {
+		t.Fatalf("K(max): %v", e)
+	}
+	// An explicit zero is malformed — only KOrDefault treats zero as
+	// "field omitted".
+	for _, k := range []int{0, -1, DefaultMaxK + 1} {
+		e := v.K(k)
+		if e == nil || e.Code != "bad_param" || e.Status != 400 {
+			t.Fatalf("K(%d) = %v, want bad_param 400", k, e)
+		}
+	}
+	k, e := v.KOrDefault(0)
+	if e != nil || k != DefaultK {
+		t.Fatalf("KOrDefault(0) = %d, %v, want default %d", k, e, DefaultK)
+	}
+	k, e = v.KOrDefault(7)
+	if e != nil || k != 7 {
+		t.Fatalf("KOrDefault(7) = %d, %v", k, e)
+	}
+	if _, e = v.KOrDefault(-3); e == nil || e.Code != "bad_param" {
+		t.Fatalf("KOrDefault(-3) = %v, want bad_param", e)
+	}
+}
+
+func TestValidatorBatch(t *testing.T) {
+	v := testValidator()
+	if e := v.BatchSize(nil); e == nil || e.Code != "bad_param" {
+		t.Fatalf("empty batch = %v, want bad_param", e)
+	}
+	big := make([]int, DefaultMaxBatch+1)
+	if e := v.BatchSize(big); e == nil || e.Code != "bad_param" {
+		t.Fatalf("oversized batch = %v, want bad_param", e)
+	}
+	if e := v.Batch([]int{0, 1, 2}); e != nil {
+		t.Fatalf("valid batch: %v", e)
+	}
+	if e := v.Batch([]int{0, 10}); e == nil || e.Code != "not_found" {
+		t.Fatalf("batch with unknown user = %v, want not_found", e)
+	}
+}
+
+func TestErrorConstructors(t *testing.T) {
+	if e := BadParam("x %d", 7); e.Code != "bad_param" || e.Status != 400 || e.Message != "x 7" {
+		t.Fatalf("BadParam: %+v", e)
+	}
+	if e := NotFound("y"); e.Code != "not_found" || e.Status != 404 {
+		t.Fatalf("NotFound: %+v", e)
+	}
+	if e := Timeout(); e.Code != "timeout" || e.Status != 504 {
+		t.Fatalf("Timeout: %+v", e)
+	}
+	if e := Overloaded(); e.Code != "overloaded" || e.Status != 503 {
+		t.Fatalf("Overloaded: %+v", e)
+	}
+	if got := Errorf("c", 418, "m").Error(); got != "c (418): m" {
+		t.Fatalf("Error() = %q", got)
+	}
+}

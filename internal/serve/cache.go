@@ -1,139 +1,32 @@
 package serve
 
 import (
-	"container/list"
 	"context"
-	"sync"
 
-	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
-// scoreCache is an LRU cache of per-user score vectors. Trained
-// embeddings are fixed at serving time, so a user's full-catalog score
-// vector is immutable between retrains — exactly the property that
-// makes it cacheable. Cached slices are shared across requests and
-// must be treated as read-only; handlers that need to mutate (e.g. to
-// mask training positives) copy first.
-type scoreCache struct {
-	mu     sync.Mutex
-	cap    int
-	dim    int
-	ll     *list.List            // front = most recently used
-	byUser map[int]*list.Element // user -> entry
-	score  func(ctx context.Context, user int, out []float64)
-
-	// gen is bumped by Invalidate. A fill that started under an older
-	// generation is discarded instead of inserted, so a vector computed
-	// against a scorer that was hot-swapped away mid-fill can never
-	// poison the cache for later requests.
-	gen uint64
-
-	hits, misses uint64
-}
-
-type cacheEntry struct {
-	user   int
-	scores []float64
-}
+// The LRU score-vector cache moved to internal/shard with the sharded
+// dispatcher: each shard owns a private instance, so the working set
+// and the lock scale with the replica count. The serve package keeps
+// these thin aliases so in-package callers (and the cache tests, which
+// pin down the hit/miss/generation semantics the handlers rely on)
+// keep reading naturally.
+type scoreCache = shard.ScoreCache
 
 func newScoreCache(capacity, dim int, score func(context.Context, int, []float64)) *scoreCache {
-	return &scoreCache{
-		cap:    capacity,
-		dim:    dim,
-		ll:     list.New(),
-		byUser: make(map[int]*list.Element, capacity),
-		score:  score,
-	}
+	return shard.NewScoreCache(capacity, dim, score)
 }
 
-// Scores returns the score vector for user, computing and inserting it
-// on a miss. The returned slice is shared: callers must not write to
-// it. Scoring happens outside the lock so concurrent misses for
-// different users proceed in parallel; a duplicated computation for
-// the same user is benign (identical values, last insert wins). A miss
-// is traced as a cache.fill span under the request's trace in ctx.
-func (c *scoreCache) Scores(ctx context.Context, user int) []float64 {
-	c.mu.Lock()
-	if el, ok := c.byUser[user]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		v := el.Value.(*cacheEntry).scores
-		c.mu.Unlock()
-		return v
-	}
-	c.misses++
-	gen := c.gen
-	c.mu.Unlock()
-
-	fillCtx, sp := obs.StartSpan(ctx, "cache.fill")
-	sp.SetAttrInt("user", user)
-	out := make([]float64, c.dim)
-	c.score(fillCtx, user, out)
-	sp.End()
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.gen != gen {
-		// The cache was invalidated (model hot swap) while scoring.
-		// Serve this request its computed vector but do not insert it:
-		// it may predate the swap.
-		return out
-	}
-	if el, ok := c.byUser[user]; ok {
-		// Another goroutine filled it while we scored.
-		c.ll.MoveToFront(el)
-		return el.Value.(*cacheEntry).scores
-	}
-	c.byUser[user] = c.ll.PushFront(&cacheEntry{user: user, scores: out})
-	for c.ll.Len() > c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.byUser, back.Value.(*cacheEntry).user)
-	}
-	return out
+// cacheView is the server's aggregate window over every shard's score
+// cache: Stats sums the per-shard accounting (at one shard this is the
+// historical single-cache view), Invalidate drops all of them.
+type cacheView struct {
+	disp *shard.Dispatcher
 }
 
-// Invalidate drops every entry and advances the generation so inflight
-// fills started before the call cannot re-insert pre-swap vectors.
-// Hit/miss counters survive so the stats endpoint keeps lifetime
-// accounting across retrains.
-func (c *scoreCache) Invalidate() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.gen++
-	c.ll.Init()
-	c.byUser = make(map[int]*list.Element, c.cap)
+func (v cacheView) Stats() (hits, misses uint64, entries int) {
+	return v.disp.CacheStats()
 }
 
-// Stats returns lifetime hit/miss counts and the current entry count.
-func (c *scoreCache) Stats() (hits, misses uint64, entries int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
-}
-
-// runBounded executes fn(0..n-1) across the server's shared worker
-// pool, blocking until all launched tasks finish. The pool bound is
-// global across requests, so a burst of batch calls cannot oversubscribe
-// the machine. If ctx expires while tasks are still waiting for a
-// slot, the remaining tasks are skipped and ctx.Err is returned after
-// the launched ones drain.
-func (s *Server) runBounded(ctx context.Context, n int, fn func(i int)) error {
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			wg.Wait()
-			return ctx.Err()
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-s.sem }()
-			fn(i)
-		}(i)
-	}
-	wg.Wait()
-	return ctx.Err()
-}
+func (v cacheView) Invalidate() { v.disp.Invalidate() }

@@ -1,9 +1,9 @@
 // Package client is the typed Go consumer of the /v1 discovery API
-// served by internal/serve. It exists so the wire format has a
-// compiled contract: if a response shape drifts, this package's tests
-// fail to decode it. The client speaks only HTTP+JSON — it does not
-// import the server — so it is equally usable against a remote
-// deployment.
+// served by internal/serve. Response and error shapes come from
+// internal/serve/api — the same package the server encodes with — so
+// the wire format has one compiled contract and cannot drift. The
+// client speaks only HTTP+JSON; it is equally usable against a remote
+// deployment or the multi-process router (cmd/router).
 package client
 
 import (
@@ -17,12 +17,15 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/serve/api"
 )
 
 // Client calls one facility's discovery API.
 type Client struct {
-	base string
-	hc   *http.Client
+	base        string
+	hc          *http.Client
+	retryOnShed bool
 }
 
 // Option customizes a Client.
@@ -31,6 +34,12 @@ type Option func(*Client)
 // WithHTTPClient substitutes the underlying *http.Client (timeouts,
 // transports, test doubles).
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetryOnShed retries a request exactly once when the server sheds
+// it at the inflight cap, sleeping for the server's Retry-After hint
+// first (respecting ctx cancellation). Off by default: callers with
+// their own retry/backoff layer should see every ErrShed.
+func WithRetryOnShed() Option { return func(c *Client) { c.retryOnShed = true } }
 
 // New builds a client for the API at base, e.g. "http://localhost:8080".
 func New(base string, opts ...Option) *Client {
@@ -44,82 +53,38 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// APIError is the decoded uniform error envelope.
-type APIError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	Status  int    `json:"status"`
+// APIError is the decoded uniform error envelope — the shared
+// api.Error shape.
+type APIError = api.Error
+
+// ErrShed is the typed surface of a 503 load-shed response: the server
+// is at its inflight cap and hinted when to come back. It wraps the
+// underlying envelope, so errors.As works for both *ErrShed and
+// *APIError.
+type ErrShed struct {
+	RetryAfter time.Duration // the server's Retry-After hint (0 if absent)
+	Err        *APIError     // the decoded "overloaded" envelope
 }
 
-func (e *APIError) Error() string {
-	return fmt.Sprintf("%s (%d): %s", e.Code, e.Status, e.Message)
+func (e *ErrShed) Error() string {
+	return fmt.Sprintf("%s (retry after %s)", e.Err.Error(), e.RetryAfter)
 }
 
-// Health is the /v1/health payload.
-type Health struct {
-	Status   string `json:"status"`
-	Facility string `json:"facility"`
-	Users    int    `json:"users"`
-	Items    int    `json:"items"`
-}
+func (e *ErrShed) Unwrap() error { return e.Err }
 
-// Recommendation is one ranked data object.
-type Recommendation struct {
-	Rank     int     `json:"rank"`
-	Item     int     `json:"item"`
-	Name     string  `json:"name"`
-	Site     string  `json:"site"`
-	DataType string  `json:"dataType"`
-	Score    float64 `json:"score"`
-}
-
-// UserRecommendations pairs a user with their ranked items.
-type UserRecommendations struct {
-	User            int              `json:"user"`
-	Recommendations []Recommendation `json:"recommendations"`
-}
-
-// ExplainPath is one knowledge path linking history to a target item.
-type ExplainPath struct {
-	From string `json:"from"`
-	Path string `json:"path"`
-}
-
-// Explanation is the /v1/explain payload.
-type Explanation struct {
-	User     int           `json:"user"`
-	Item     int           `json:"item"`
-	ItemName string        `json:"itemName"`
-	Paths    []ExplainPath `json:"paths"`
-}
-
-// EndpointStats mirrors the per-endpoint block of /v1/stats.
-type EndpointStats struct {
-	Count  uint64            `json:"count"`
-	Errors uint64            `json:"errors"`
-	Status map[string]uint64 `json:"status"`
-	P50ms  float64           `json:"p50_ms"`
-	P95ms  float64           `json:"p95_ms"`
-	P99ms  float64           `json:"p99_ms"`
-}
-
-// CacheStats mirrors the cache block of /v1/stats.
-type CacheStats struct {
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
-	Entries int     `json:"entries"`
-	Cap     int     `json:"cap"`
-}
-
-// Stats is the /v1/stats payload.
-type Stats struct {
-	Facility  string                   `json:"facility"`
-	UptimeMS  float64                  `json:"uptime_ms"`
-	Inflight  int64                    `json:"inflight"`
-	Cache     CacheStats               `json:"cache"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
-}
+// Wire shapes re-exported from the shared api package.
+type (
+	Recommendation      = api.Recommendation
+	UserRecommendations = api.UserRecommendations
+	ExplainPath         = api.ExplainPath
+	Explanation         = api.ExplainResponse
+	EndpointStats       = api.EndpointStats
+	CacheStats          = api.CacheStats
+	ShardStats          = api.ShardStats
+	Stats               = api.Stats
+	Health              = api.Health
+	ReloadResponse      = api.ReloadResponse
+)
 
 // Health fetches service status.
 func (c *Client) Health(ctx context.Context) (Health, error) {
@@ -130,33 +95,27 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 
 // Recommend fetches the top-k data objects for a user.
 func (c *Client) Recommend(ctx context.Context, user, k int) ([]Recommendation, error) {
-	var out struct {
-		Recommendations []Recommendation `json:"recommendations"`
-	}
+	var out api.RecommendResponse
 	q := url.Values{"user": {strconv.Itoa(user)}, "k": {strconv.Itoa(k)}}
 	err := c.get(ctx, "/v1/recommend", q, &out)
 	return out.Recommendations, err
 }
 
 // RecommendBatch fetches top-k recommendations for many users in one
-// round trip; the server scores them concurrently.
+// round trip; the server fans them out across its scorer shards.
 func (c *Client) RecommendBatch(ctx context.Context, users []int, k int) ([]UserRecommendations, error) {
-	body, err := json.Marshal(map[string]any{"users": users, "k": k})
+	body, err := json.Marshal(api.BatchRequest{Users: users, K: k})
 	if err != nil {
 		return nil, err
 	}
-	var out struct {
-		Results []UserRecommendations `json:"results"`
-	}
-	err = c.do(ctx, http.MethodPost, "/v1/recommend:batch", nil, bytes.NewReader(body), &out)
+	var out api.BatchResponse
+	err = c.do(ctx, http.MethodPost, "/v1/recommend:batch", nil, body, &out)
 	return out.Results, err
 }
 
 // Similar fetches the k items closest to item in the CKG embedding.
 func (c *Client) Similar(ctx context.Context, item, k int) ([]Recommendation, error) {
-	var out struct {
-		Similar []Recommendation `json:"similar"`
-	}
+	var out api.SimilarResponse
 	q := url.Values{"item": {strconv.Itoa(item)}, "k": {strconv.Itoa(k)}}
 	err := c.get(ctx, "/v1/similar", q, &out)
 	return out.Similar, err
@@ -177,18 +136,49 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	return out, err
 }
 
+// Reload triggers a hot reload and returns the per-shard outcomes.
+func (c *Client) Reload(ctx context.Context) (ReloadResponse, error) {
+	var out ReloadResponse
+	err := c.do(ctx, http.MethodPost, "/v1/admin/reload", nil, nil, &out)
+	return out, err
+}
+
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
 	return c.do(ctx, http.MethodGet, path, q, nil, out)
 }
 
-// do performs one API round trip, decoding the error envelope on any
-// non-2xx status into an *APIError.
-func (c *Client) do(ctx context.Context, method, path string, q url.Values, body io.Reader, out any) error {
+// do performs one API round trip (body is replayable bytes so a shed
+// retry can resend it), decoding the error envelope on any non-2xx
+// status: load sheds become *ErrShed, everything else *APIError.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, body []byte, out any) error {
+	err := c.once(ctx, method, path, q, body, out)
+	if !c.retryOnShed {
+		return err
+	}
+	shed, ok := err.(*ErrShed)
+	if !ok {
+		return err
+	}
+	if wait := shed.RetryAfter; wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return c.once(ctx, method, path, q, body, out)
+}
+
+func (c *Client) once(ctx context.Context, method, path string, q url.Values, body []byte, out any) error {
 	u := c.base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return err
 	}
@@ -205,10 +195,11 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		var env struct {
-			Error *APIError `json:"error"`
-		}
+		var env api.ErrorEnvelope
 		if jsonErr := json.Unmarshal(raw, &env); jsonErr == nil && env.Error != nil {
+			if resp.StatusCode == http.StatusServiceUnavailable && env.Error.Code == "overloaded" {
+				return &ErrShed{RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")), Err: env.Error}
+			}
 			return env.Error
 		}
 		return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, raw)
@@ -217,4 +208,16 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 		return nil
 	}
 	return json.Unmarshal(raw, out)
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After; the
+// HTTP-date form (rare on APIs) and absent/garbage values yield 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
 }

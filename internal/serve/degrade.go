@@ -8,27 +8,25 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/serve/api"
 )
 
 // Graceful degradation: the server never holds a request hostage to a
-// missing model. The active scorer lives behind an atomic pointer so
-// it can be hot-swapped (admin reload, SIGHUP) without a restart, and
-// when no trained scorer is available — snapshot absent, corrupt, or a
-// reload that keeps failing — requests are answered from a
-// popularity-prior fallback ranker with "degraded": true in the body
-// instead of a 5xx. Load beyond the configured inflight cap is shed
-// with 503 + Retry-After so the requests that are admitted keep their
-// latency budget.
-
-// scorerState is the atomically-swapped serving state: the scorer all
-// cache fills go through and whether it is the degraded fallback.
-type scorerState struct {
-	scorer   eval.Scorer
-	degraded bool
-}
+// missing model. Each shard's active scorer lives behind an atomic
+// pointer in the dispatcher so it can be hot-swapped (admin reload,
+// SIGHUP) without a restart, and a shard with no trained scorer —
+// snapshot absent, corrupt, or a reload that keeps failing — answers
+// from a popularity-prior fallback ranker with "degraded": true
+// instead of a 5xx, while its sibling shards keep serving at full
+// quality. Load beyond the configured inflight cap is shed with 503 +
+// Retry-After so the requests that are admitted keep their latency
+// budget.
 
 // Loader produces a fresh scorer for hot reload — typically by reading
-// a snapshot file from disk. It must be safe to call repeatedly.
+// a snapshot file from disk. It must be safe to call repeatedly: a
+// multi-shard reload invokes it once per shard so every replica gets
+// its own scorer instance.
 type Loader func() (eval.Scorer, error)
 
 // WithLoader installs the scorer loader used by Reload (and therefore
@@ -47,8 +45,8 @@ func WithMaxInflight(n int) Option {
 	}
 }
 
-// WithReloadPolicy tunes Reload's retry loop: attempts total tries and
-// the initial backoff between them (doubling each retry).
+// WithReloadPolicy tunes Reload's retry loop: attempts total tries per
+// shard and the initial backoff between them (doubling each retry).
 func WithReloadPolicy(attempts int, backoff time.Duration) Option {
 	return func(s *Server) {
 		if attempts > 0 {
@@ -65,63 +63,55 @@ func WithReloadPolicy(attempts int, backoff time.Duration) Option {
 // evaluation layer uses, so serving and eval share one definition of
 // "popular" built from the same frozen CKG.
 
-// state returns the current serving state; never nil.
-func (s *Server) state() *scorerState { return s.cur.Load() }
+// Degraded reports whether ANY shard is currently serving from the
+// popularity fallback. Readiness keys off this strictest view so load
+// balancers prefer replicas where every shard has a real model; the
+// per-shard picture is in /v1/stats.
+func (s *Server) Degraded() bool { return s.disp.Degraded() }
 
-// Degraded reports whether requests are currently served by the
-// popularity fallback.
-func (s *Server) Degraded() bool { return s.state().degraded }
+// SetScorer atomically swaps the active scorer on every shard and
+// invalidates their score-vector caches so no vector computed by the
+// previous scorer can be served afterward. A nil scorer degrades to
+// the popularity fallback.
+func (s *Server) SetScorer(sc eval.Scorer) { s.disp.SetScorer(sc) }
 
-// SetScorer atomically swaps the active scorer and invalidates the
-// score-vector cache so no vector computed by the previous scorer can
-// be served afterward. A nil scorer degrades to the popularity
-// fallback.
-func (s *Server) SetScorer(sc eval.Scorer) {
-	if sc == nil {
-		s.cur.Store(&scorerState{scorer: s.fallback, degraded: true})
-	} else {
-		s.cur.Store(&scorerState{scorer: sc, degraded: false})
-	}
-	// Invalidate AFTER the swap: a fill racing the swap may insert a
-	// vector from the old scorer, but only before the invalidate that
-	// follows it clears the cache; fills that start after the
-	// invalidate observe the new scorer through the atomic pointer.
-	s.cache.Invalidate()
+// Reload pulls fresh scorers from the configured Loader and swaps them
+// in shard by shard. It reports only the aggregate outcome; callers
+// that need per-shard detail use ReloadShards.
+func (s *Server) Reload() error {
+	_, err := s.ReloadShards()
+	return err
 }
 
-// Reload pulls a fresh scorer from the configured Loader and swaps it
-// in, retrying with exponential backoff. Reloads are serialized; a
-// failed reload leaves the current scorer (trained or fallback)
-// serving untouched.
-func (s *Server) Reload() error {
+// ReloadShards reloads every shard (each with its own retry loop and
+// exponential backoff) and returns the per-shard outcomes. Reloads are
+// serialized; a shard whose loads all fail keeps its previous state —
+// trained or fallback — serving, and its siblings still swap, so a
+// partial failure degrades partially instead of globally.
+func (s *Server) ReloadShards() ([]api.ShardReload, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	if s.loader == nil {
-		return errNoLoader
+		return nil, errNoLoader
 	}
-	backoff := s.reloadBackoff
-	var err error
-	for attempt := 0; attempt < s.reloadAttempts; attempt++ {
-		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-		}
-		var sc eval.Scorer
-		if sc, err = s.loader(); err == nil {
-			s.SetScorer(sc)
-			s.metrics.reloads.Add(1)
-			return nil
-		}
-		if s.logger != nil {
+	loader := func() (eval.Scorer, error) {
+		sc, err := s.loader()
+		if err != nil && s.logger != nil {
 			s.logger.LogAttrs(context.Background(), slog.LevelWarn, "reload attempt failed",
-				slog.Int("attempt", attempt+1),
-				slog.Int("attempts", s.reloadAttempts),
 				slog.String("error", err.Error()),
 			)
 		}
+		return sc, err
 	}
-	s.metrics.reloadFailures.Add(1)
-	return err
+	reports, err := s.disp.Reload(loader, s.reloadAttempts, s.reloadBackoff)
+	for _, rep := range reports {
+		if rep.Status == "reloaded" {
+			s.metrics.reloads.Add(1)
+		} else {
+			s.metrics.reloadFailures.Add(1)
+		}
+	}
+	return reports, err
 }
 
 var errNoLoader = &apiError{
@@ -130,25 +120,33 @@ var errNoLoader = &apiError{
 	Status:  http.StatusNotImplemented,
 }
 
-// handleReload is POST /v1/admin/reload: swap in a freshly loaded
-// scorer, or report why the swap did not happen. Failure keeps the
-// previous scorer serving, so the error is informational.
+// handleReload is POST /v1/admin/reload: swap in freshly loaded
+// scorers and report every shard's outcome. Failure keeps the previous
+// scorers serving, so the error is informational; a partial failure
+// returns the envelope plus the per-shard detail.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if err := s.Reload(); err != nil {
-		if api, ok := err.(*apiError); ok {
-			s.writeError(w, r, api)
+	reports, err := s.ReloadShards()
+	if err != nil {
+		if ae, ok := err.(*apiError); ok {
+			s.writeError(w, r, ae)
 			return
 		}
-		s.writeError(w, r, &apiError{
+		e := &apiError{
 			Code:    "reload_failed",
 			Message: err.Error(),
 			Status:  http.StatusServiceUnavailable,
-		})
+			TraceID: obs.TraceID(r.Context()),
+		}
+		writeJSON(w, e.Status, struct {
+			Error  *apiError         `json:"error"`
+			Shards []api.ShardReload `json:"shards,omitempty"`
+		}{Error: e, Shards: reports})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "reloaded",
-		"degraded": s.Degraded(),
+	writeJSON(w, http.StatusOK, api.ReloadResponse{
+		Degraded: s.Degraded(),
+		Shards:   reports,
+		Status:   "reloaded",
 	})
 }
 
@@ -161,13 +159,15 @@ func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReady is GET /v1/health/ready: readiness for full-quality
-// traffic. Degraded serving answers 503 so load balancers prefer
-// replicas with a real model, while the body still explains the state.
+// traffic. Any degraded shard answers 503 so load balancers prefer
+// replicas with a real model on every shard, while the body still
+// explains the state.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if s.Degraded() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status":   "degraded",
 			"degraded": true,
+			"shards":   s.disp.DegradedShards(),
 			"reason":   "no trained scorer loaded; serving popularity fallback",
 		})
 		return
@@ -191,11 +191,7 @@ func (s *Server) shed(next http.Handler) http.Handler {
 		if n > int64(s.maxInflight) {
 			s.metrics.shed.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-			s.writeError(w, r, &apiError{
-				Code:    "overloaded",
-				Message: "server is at its inflight request cap; retry shortly",
-				Status:  http.StatusServiceUnavailable,
-			})
+			s.writeError(w, r, api.Overloaded())
 			return
 		}
 		next.ServeHTTP(w, r)

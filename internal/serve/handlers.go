@@ -1,51 +1,40 @@
 package serve
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"net/url"
 	"strconv"
 
-	"repro/internal/eval"
-	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/serve/api"
+	"repro/internal/shard"
 )
 
-// apiError is the uniform error envelope carried by every non-2xx
-// response: {"error": {"code": "...", "message": "...", "status": N,
-// "trace_id": "..."}}. The trace ID is stamped by writeError from the
-// request context, so degraded, shed, and timeout responses are
-// correlatable with the structured log and /v1/debug/traces.
-type apiError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	Status  int    `json:"status"`
-	TraceID string `json:"trace_id,omitempty"`
-}
+// The wire shapes (requests, responses, the uniform error envelope)
+// live in internal/serve/api, shared with the typed client and the
+// multi-process router; handlers here only decode, validate through
+// api.Validator, route onto the shard dispatcher, and render.
 
-func (e *apiError) Error() string { return e.Code + ": " + e.Message }
+// apiError is retained as an in-package name for the shared envelope
+// payload.
+type apiError = api.Error
 
-func badParam(format string, args ...any) *apiError {
-	return &apiError{Code: "bad_param", Message: fmt.Sprintf(format, args...), Status: http.StatusBadRequest}
-}
+func badParam(format string, args ...any) *apiError { return api.BadParam(format, args...) }
+func notFound(format string, args ...any) *apiError { return api.NotFound(format, args...) }
+func timeoutErr() *apiError                         { return api.Timeout() }
 
-func notFound(format string, args ...any) *apiError {
-	return &apiError{Code: "not_found", Message: fmt.Sprintf(format, args...), Status: http.StatusNotFound}
-}
-
-func timeoutErr() *apiError {
-	return &apiError{Code: "timeout", Message: "request deadline exceeded", Status: http.StatusGatewayTimeout}
-}
-
+// writeError stamps the trace ID and writes the envelope. The error is
+// copied before stamping so shared sentinel errors (errNoLoader) are
+// never mutated across requests.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, e *apiError) {
-	if e.TraceID == "" && r != nil {
-		e.TraceID = obs.TraceID(r.Context())
+	ec := *e
+	if ec.TraceID == "" && r != nil {
+		ec.TraceID = obs.TraceID(r.Context())
 	}
-	writeJSON(w, e.Status, map[string]*apiError{"error": e})
+	writeJSON(w, ec.Status, api.ErrorEnvelope{Error: &ec})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -54,8 +43,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// queryDecoder centralizes query-parameter validation: handlers
-// declare what they need, then check Err once. The first failure wins.
+// queryDecoder centralizes query-parameter parsing: handlers declare
+// what they need, then check Err once. The first failure wins.
+// Semantic bounds (ID ranges, k limits) belong to api.Validator; the
+// decoder only distinguishes missing/malformed input.
 type queryDecoder struct {
 	q   url.Values
 	err *apiError
@@ -86,144 +77,102 @@ func (qd *queryDecoder) RequiredInt(name string) int {
 	return n
 }
 
-// IntInRange parses an optional integer parameter with a default and
-// an inclusive [lo, hi] bound.
-func (qd *queryDecoder) IntInRange(name string, def, lo, hi int) int {
+// OptionalInt parses an optional integer parameter, reporting whether
+// it was present at all so callers can distinguish "omitted" (apply
+// the default) from an explicit out-of-range value (reject).
+func (qd *queryDecoder) OptionalInt(name string) (int, bool) {
 	v := qd.q.Get(name)
 	if v == "" {
-		return def
+		return 0, false
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
 		qd.fail("parameter %q must be an integer, got %q", name, v)
-		return def
+		return 0, false
 	}
-	if n < lo || n > hi {
-		qd.fail("parameter %q must be in [%d, %d]", name, lo, hi)
-		return def
-	}
-	return n
+	return n, true
 }
 
-// Err returns the first validation failure, if any.
+// Err returns the first parse failure, if any.
 func (qd *queryDecoder) Err() *apiError { return qd.err }
 
-// userID / itemID distinguish malformed input (400 bad_param, raised
-// by the decoder) from well-formed IDs that name no resource (404).
-func (s *Server) checkUser(user int) *apiError {
-	if user < 0 || user >= s.d.NumUsers {
-		return notFound("unknown user %d (facility has %d users)", user, s.d.NumUsers)
+// kParam resolves the optional k query parameter: omitted applies the
+// default, present values are validated against the published limit.
+func (s *Server) kParam(qd *queryDecoder) (int, *apiError) {
+	k, present := qd.OptionalInt("k")
+	if !present {
+		return api.DefaultK, nil
 	}
-	return nil
-}
-
-func (s *Server) checkItem(item int) *apiError {
-	if item < 0 || item >= s.d.NumItems {
-		return notFound("unknown item %d (facility has %d items)", item, s.d.NumItems)
+	if e := s.validate.K(k); e != nil {
+		return 0, e
 	}
-	return nil
+	return k, nil
 }
 
-// Recommendation is one ranked data object.
-type Recommendation struct {
-	Rank     int     `json:"rank"`
-	Item     int     `json:"item"`
-	Name     string  `json:"name"`
-	Site     string  `json:"site"`
-	DataType string  `json:"dataType"`
-	Score    float64 `json:"score"`
-}
+// Recommendation and ExplainPath remain exported from serve for
+// back-compat; they are the shared wire types.
+type (
+	Recommendation = api.Recommendation
+	ExplainPath    = api.ExplainPath
+)
 
-// renderTop decorates ranked item IDs with catalog metadata.
-func (s *Server) renderTop(top []int, scores []float64, scale float64) []Recommendation {
+// render decorates an aligned ranking with catalog metadata.
+func (s *Server) render(rk shard.Ranked, scale float64) []api.Recommendation {
 	cat := s.d.Trace.Facility
-	recs := make([]Recommendation, 0, len(top))
-	for rank, it := range top {
+	recs := make([]api.Recommendation, 0, len(rk.Items))
+	for rank, it := range rk.Items {
 		item := cat.Items[it]
-		recs = append(recs, Recommendation{
+		recs = append(recs, api.Recommendation{
 			Rank: rank + 1, Item: it, Name: item.Name,
 			Site:     cat.Sites[item.Site].Name,
 			DataType: cat.DataTypes[item.DataType].Name,
-			Score:    scores[it] * scale,
+			Score:    rk.Scores[rank] * scale,
 		})
 	}
 	return recs
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"facility": s.d.Name,
-		"users":    s.d.NumUsers,
-		"items":    s.d.NumItems,
-		"degraded": s.Degraded(),
+	writeJSON(w, http.StatusOK, api.Health{
+		Degraded: s.Degraded(),
+		Facility: s.d.Name,
+		Items:    s.d.NumItems,
+		Shards:   s.disp.NumShards(),
+		Status:   "ok",
+		Users:    s.d.NumUsers,
 	})
-}
-
-// recommendFor computes the masked top-k for one user from the cached
-// score vector. The cache entry is shared, so it is copied before the
-// training positives are masked.
-func (s *Server) recommendFor(ctx context.Context, user, k int) []Recommendation {
-	cached := s.cache.Scores(ctx, user)
-	scores := s.scoreBufs.Get().([]float64)[:len(cached)]
-	copy(scores, cached)
-	eval.MaskTrain(s.d, user, scores)
-	recs := s.renderTop(eval.TopK(scores, k), scores, 1)
-	s.scoreBufs.Put(scores)
-	return recs
-}
-
-// fallbackFor answers recommendFor's question from the popularity
-// prior, bypassing cache and scorer entirely. It is O(items) with no
-// model in the loop, so it is the degraded answer when the primary
-// scoring path misses its deadline.
-func (s *Server) fallbackFor(user, k int) []Recommendation {
-	scores := s.scoreBufs.Get().([]float64)[:s.d.NumItems]
-	s.fallback.ScoreItems(user, scores)
-	eval.MaskTrain(s.d, user, scores)
-	recs := s.renderTop(eval.TopK(scores, k), scores, 1)
-	s.scoreBufs.Put(scores)
-	return recs
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	qd := decodeQuery(r)
 	user := qd.RequiredInt("user")
-	k := qd.IntInRange("k", 10, 1, maxK)
 	if e := qd.Err(); e != nil {
 		s.writeError(w, r, e)
 		return
 	}
-	if e := s.checkUser(user); e != nil {
+	k, e := s.kParam(qd)
+	if e != nil {
 		s.writeError(w, r, e)
 		return
 	}
-	degraded := s.Degraded()
-	recs := s.recommendFor(r.Context(), user, k)
-	if !degraded && r.Context().Err() != nil {
-		// The model path blew the deadline; answer from the popularity
-		// prior rather than 504ing a recommendation request.
-		recs, degraded = s.fallbackFor(user, k), true
+	if e := s.validate.User(user); e != nil {
+		s.writeError(w, r, e)
+		return
 	}
+	rk, degraded := s.disp.Recommend(r.Context(), user, k)
 	if degraded {
 		s.metrics.degraded.Add(1)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"user":            user,
-		"recommendations": recs,
-		"degraded":        degraded,
+	writeJSON(w, http.StatusOK, api.RecommendResponse{
+		Degraded:        degraded,
+		Recommendations: s.render(rk, 1),
+		User:            user,
 	})
-}
-
-// batchRequest is the POST /v1/recommend:batch body.
-type batchRequest struct {
-	Users []int `json:"users"`
-	K     int   `json:"k"`
 }
 
 func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
-	var req batchRequest
+	var req api.BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -237,52 +186,39 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, badParam("invalid JSON body: %v", err))
 		return
 	}
-	if len(req.Users) == 0 {
-		s.writeError(w, r, badParam("users must be non-empty"))
+	if e := s.validate.BatchSize(req.Users); e != nil {
+		s.writeError(w, r, e)
 		return
 	}
-	if len(req.Users) > s.maxBatch {
-		s.writeError(w, r, badParam("at most %d users per batch, got %d", s.maxBatch, len(req.Users)))
-		return
-	}
-	if req.K == 0 {
-		req.K = 10
-	}
-	if req.K < 1 || req.K > maxK {
-		s.writeError(w, r, badParam("k must be in [1, %d]", maxK))
+	k, e := s.validate.KOrDefault(req.K)
+	if e != nil {
+		s.writeError(w, r, e)
 		return
 	}
 	for _, u := range req.Users {
-		if e := s.checkUser(u); e != nil {
+		if e := s.validate.User(u); e != nil {
 			s.writeError(w, r, e)
 			return
 		}
 	}
 
-	type userRecs struct {
-		User            int              `json:"user"`
-		Recommendations []Recommendation `json:"recommendations"`
-	}
-	degraded := s.Degraded()
-	results := make([]userRecs, len(req.Users))
-	err := s.runBounded(r.Context(), len(req.Users), func(i int) {
-		u := req.Users[i]
-		results[i] = userRecs{User: u, Recommendations: s.recommendFor(r.Context(), u, req.K)}
-	})
-	if err != nil {
-		// Deadline tripped mid-batch: rather than 504, answer every
-		// user from the popularity prior so the response is uniform.
-		for i, u := range req.Users {
-			results[i] = userRecs{User: u, Recommendations: s.fallbackFor(u, req.K)}
+	ranked, perUser := s.disp.RecommendBatch(r.Context(), req.Users, k)
+	degraded := false
+	results := make([]api.UserRecommendations, len(req.Users))
+	for i, u := range req.Users {
+		results[i] = api.UserRecommendations{
+			User:            u,
+			Recommendations: s.render(ranked[i], 1),
+			Degraded:        perUser[i],
 		}
-		degraded = true
+		if perUser[i] {
+			degraded = true
+		}
 	}
 	if degraded {
 		s.metrics.degraded.Add(1)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"k": req.K, "results": results, "degraded": degraded,
-	})
+	writeJSON(w, http.StatusOK, api.BatchResponse{Degraded: degraded, K: k, Results: results})
 }
 
 // probeUsers selects up to maxProbes training users of an item,
@@ -306,19 +242,22 @@ func (s *Server) probeUsers(item int) []int {
 // handleSimilar ranks items by CKG-embedding proximity to a target
 // item, reusing the scorer's item space via a pseudo-query: the
 // returned list is items whose score vectors co-rank with the target
-// across a probe set of users. For scorers exposing item embeddings
-// this is equivalent to nearest neighbors; the probe construction only
-// needs the eval.Scorer interface. Probe score vectors come from the
-// LRU cache and are fetched in parallel on the worker pool.
+// across a probe set of users. Probe selection stays here (it reads
+// the serve-side users-by-item index); vector aggregation fans out
+// across the probes' owning shards inside the dispatcher.
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	qd := decodeQuery(r)
 	item := qd.RequiredInt("item")
-	k := qd.IntInRange("k", 10, 1, maxK)
 	if e := qd.Err(); e != nil {
 		s.writeError(w, r, e)
 		return
 	}
-	if e := s.checkItem(item); e != nil {
+	k, e := s.kParam(qd)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	if e := s.validate.Item(item); e != nil {
 		s.writeError(w, r, e)
 		return
 	}
@@ -327,42 +266,24 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, notFound("item %d has no training interactions", item))
 		return
 	}
-
-	vecs := make([][]float64, len(probes))
-	if err := s.runBounded(r.Context(), len(probes), func(i int) {
-		vecs[i] = s.cache.Scores(r.Context(), probes[i])
-	}); err != nil {
+	rk, scale, degraded, err := s.disp.Similar(r.Context(), item, k, probes)
+	if err != nil {
 		s.writeError(w, r, timeoutErr())
 		return
 	}
-	agg := make([]float64, s.d.NumItems)
-	for _, v := range vecs {
-		for i, sc := range v {
-			agg[i] += sc
-		}
-	}
-	agg[item] = math.Inf(-1)
-	top := eval.TopK(agg, k)
-	if s.Degraded() {
+	if degraded {
 		s.metrics.degraded.Add(1)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"item":     item,
-		"similar":  s.renderTop(top, agg, 1/float64(len(probes))),
-		"degraded": s.Degraded(),
+	writeJSON(w, http.StatusOK, api.SimilarResponse{
+		Degraded: degraded,
+		Item:     item,
+		Similar:  s.render(rk, scale),
 	})
 }
 
-// ExplainPath is one knowledge path rendered for the API.
-type ExplainPath struct {
-	From string `json:"from"`
-	Path string `json:"path"`
-}
-
-// handleExplain walks the frozen CSR (shared with everything else, not
-// rebuilt per request) for paths from the user's training history to
-// the target item, using a pooled PathFinder so concurrent requests
-// reuse search scratch instead of allocating per frontier state.
+// handleExplain returns knowledge paths from the user's training
+// history to the target item; the CSR walk runs on the user's owning
+// shard with its pooled PathFinder.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	qd := decodeQuery(r)
 	user := qd.RequiredInt("user")
@@ -371,46 +292,25 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, e)
 		return
 	}
-	if e := s.checkUser(user); e != nil {
+	if e := s.validate.User(user); e != nil {
 		s.writeError(w, r, e)
 		return
 	}
-	if e := s.checkItem(item); e != nil {
+	if e := s.validate.Item(item); e != nil {
 		s.writeError(w, r, e)
 		return
 	}
-	dst := s.d.ItemEnt[item]
-	finder := s.pathers.Get().(*graph.PathFinder)
-	defer s.pathers.Put(finder)
-	_, sp := obs.StartSpan(r.Context(), "explain.paths")
-	sp.SetAttrInt("user", user)
-	sp.SetAttrInt("item", item)
-	var out []ExplainPath
-	for _, hist := range s.d.TrainByUser[user] {
-		if len(out) >= 5 || r.Context().Err() != nil {
-			break
-		}
-		src := s.d.ItemEnt[hist]
-		for _, p := range finder.FindPaths(src, dst, 4, 2) {
-			out = append(out, ExplainPath{
-				From: s.d.Trace.Facility.Items[hist].Name,
-				Path: s.d.Graph.FormatSteps(p),
-			})
-			if len(out) >= 5 {
-				break
-			}
-		}
-	}
-	sp.SetAttrInt("paths", len(out))
-	sp.End()
-	if err := r.Context().Err(); err != nil {
+	paths, degraded, err := s.disp.Explain(r.Context(), user, item)
+	if err != nil {
 		s.writeError(w, r, timeoutErr())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"user": user, "item": item,
-		"itemName": s.d.Trace.Facility.Items[item].Name,
-		"paths":    out,
+	writeJSON(w, http.StatusOK, api.ExplainResponse{
+		Degraded: degraded,
+		Item:     item,
+		ItemName: s.d.Trace.Facility.Items[item].Name,
+		Paths:    paths,
+		User:     user,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/serve/api"
 )
 
 // serveMetrics is the serving layer's view over the shared obs
@@ -154,38 +155,14 @@ func (s *Server) normalizeEndpoint(path string) string {
 	return otherEndpoint
 }
 
-// EndpointSnapshot is the per-endpoint view exposed by /v1/stats.
-type EndpointSnapshot struct {
-	Count  uint64            `json:"count"`
-	Errors uint64            `json:"errors"`
-	Status map[string]uint64 `json:"status"`
-	P50ms  float64           `json:"p50_ms"`
-	P95ms  float64           `json:"p95_ms"`
-	P99ms  float64           `json:"p99_ms"`
-}
-
-// CacheSnapshot is the score-cache view exposed by /v1/stats.
-type CacheSnapshot struct {
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
-	Entries int     `json:"entries"`
-	Cap     int     `json:"cap"`
-}
-
-// StatsSnapshot is the full /v1/stats payload.
-type StatsSnapshot struct {
-	Facility  string                      `json:"facility"`
-	UptimeMS  float64                     `json:"uptime_ms"`
-	Inflight  int64                       `json:"inflight"`
-	Ready     bool                        `json:"ready"`
-	Degraded  uint64                      `json:"degraded_requests"`
-	Shed      uint64                      `json:"shed_requests"`
-	Reloads   uint64                      `json:"reloads"`
-	ReloadErr uint64                      `json:"reload_failures"`
-	Cache     CacheSnapshot               `json:"cache"`
-	Endpoints map[string]EndpointSnapshot `json:"endpoints"`
-}
+// The /v1/stats shapes are the shared wire types from
+// internal/serve/api; the historical snapshot names stay as aliases
+// for in-package and embedding callers.
+type (
+	EndpointSnapshot = api.EndpointStats
+	CacheSnapshot    = api.CacheStats
+	StatsSnapshot    = api.Stats
+)
 
 // statsSnapshot assembles the /v1/stats payload as a read over the
 // registry, keeping the pre-registry JSON schema byte-compatible.
@@ -228,10 +205,12 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 		Shed:      uint64(s.metrics.shed.Value()),
 		Reloads:   uint64(s.metrics.reloads.Value()),
 		ReloadErr: uint64(s.metrics.reloadFailures.Value()),
+		Limits:    s.limits,
 		Cache: CacheSnapshot{
 			Hits: hits, Misses: misses, HitRate: rate,
 			Entries: entries, Cap: s.cacheSize,
 		},
 		Endpoints: eps,
+		Shards:    s.disp.Stats(),
 	}
 }

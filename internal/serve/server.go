@@ -20,27 +20,29 @@
 // The legacy unversioned paths (/health, /recommend, /similar,
 // /explain) answer with 308 permanent redirects into /v1.
 //
-// The server is built for query-time serving of fixed trained
-// embeddings (the KGAT-style property that scores are precomputable):
-// the CKG adjacency is built once at construction, per-user score
-// vectors live in an LRU cache with an invalidation hook for retrains,
-// and multi-user scoring (similar-item probes, batch recommendation)
-// fans out across a bounded worker pool. Every request passes through
-// a middleware stack providing request IDs, tracing (X-Trace-ID,
-// spans from middleware through handlers into cache fills, scorer
-// calls, and path finds), structured logs correlated by trace ID,
-// latency metrics on the shared obs registry, load shedding, panic
-// recovery, and per-request timeouts. All failures use one error
-// envelope: {"error": {"code", "message", "status", "trace_id"}}.
+// Serving state lives behind a shard dispatcher (internal/shard):
+// WithShards partitions users and items across N in-process scorer
+// replicas by consistent hashing of CKG entity IDs, each with its own
+// score cache, degraded flag, and hot-swap path — the default single
+// shard is bit-identical to the historical single-scorer server. Wire
+// shapes and request validation are shared with the typed client and
+// the multi-process router through internal/serve/api.
 //
-// The server degrades instead of failing: when no trained snapshot is
-// loadable the ranking endpoints answer from a popularity-prior
-// fallback with "degraded": true (see degrade.go), and the model can
-// be hot-swapped at runtime via Reload without dropping traffic.
+// Every request passes through a middleware stack providing request
+// IDs, tracing (X-Trace-ID, spans from middleware through handlers
+// into cache fills, scorer calls, and path finds), structured logs
+// correlated by trace ID, latency metrics on the shared obs registry,
+// load shedding, panic recovery, and per-request timeouts. All
+// failures use one error envelope: {"error": {"code", "message",
+// "status", "trace_id"}}.
+//
+// The server degrades instead of failing: a shard with no trained
+// snapshot answers from a popularity-prior fallback with "degraded":
+// true (see degrade.go), and models hot-swap at runtime via Reload —
+// per shard — without dropping traffic.
 package serve
 
 import (
-	"context"
 	"log"
 	"log/slog"
 	"net/http"
@@ -53,18 +55,20 @@ import (
 	"repro/internal/eval"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/serve/api"
+	"repro/internal/shard"
 )
 
 // Defaults for the tunable knobs; override via Options.
 const (
-	DefaultCacheSize      = 4096                   // cached per-user score vectors
+	DefaultShards         = 1                      // scorer shards behind the dispatcher
+	DefaultCacheSize      = 4096                   // cached per-user score vectors (total, split across shards)
 	DefaultTimeout        = 10 * time.Second       // per-request deadline
 	DefaultMaxProbes      = 16                     // probe users per /similar call
-	DefaultMaxBatch       = 256                    // users per recommend:batch call
-	DefaultReloadAttempts = 3                      // tries per Reload call
+	DefaultMaxBatch       = api.DefaultMaxBatch    // users per recommend:batch call
+	DefaultReloadAttempts = 3                      // tries per shard per Reload call
 	DefaultReloadBackoff  = 100 * time.Millisecond // initial retry backoff
 	DefaultTraceRing      = 128                    // retained traces for /v1/debug/traces
-	maxK                  = 200                    // largest accepted k
 	maxBatchBody          = 1 << 20                // recommend:batch body limit (bytes)
 )
 
@@ -72,11 +76,14 @@ const (
 type Server struct {
 	d *dataset.Dataset
 
-	// Degradation state: the active scorer is hot-swappable (SetScorer,
-	// Reload) and falls back to a popularity ranker when no trained
-	// scorer is available.
-	cur      atomic.Pointer[scorerState]
-	fallback *eval.PopularityScorer
+	// disp owns all serving state: per-shard scorers, score caches,
+	// degraded flags, and the fan-out pool. cache is the aggregate
+	// window over the shards' caches.
+	disp  *shard.Dispatcher
+	cache cacheView
+
+	// Hot-reload wiring (the dispatcher swaps scorers; Reload drives
+	// it through the configured loader).
 	loader   Loader
 	reloadMu sync.Mutex
 
@@ -86,21 +93,13 @@ type Server struct {
 
 	// The frozen CKG shared with training and eval (or restored from
 	// the snapshot via WithCSR, so boot skips re-deriving adjacency),
-	// a pool of reusable path-finder scratch for /explain, and the
-	// users-by-item index (formerly a full user scan per /similar).
+	// and the users-by-item index backing /similar probe selection.
 	csr         *graph.CSR
-	pathers     sync.Pool
 	usersByItem [][]int
 
-	// scoreBufs recycles the per-request NumItems-wide score scratch
-	// (recommendFor masks train items in place, so it cannot rank
-	// straight off the cached vector).
-	scoreBufs sync.Pool
-
-	cache   *scoreCache
-	metrics *serveMetrics
-	tracer  *obs.Tracer
-	sem     chan struct{} // bounded worker pool for multi-user scoring
+	validate api.Validator
+	metrics  *serveMetrics
+	tracer   *obs.Tracer
 
 	mux          *http.ServeMux
 	routes       map[string]bool   // registered paths; the metrics label set
@@ -111,9 +110,10 @@ type Server struct {
 	logger         *slog.Logger
 	timeout        time.Duration
 	workers        int
+	shards         int
 	cacheSize      int
 	maxProbes      int
-	maxBatch       int
+	limits         api.Limits
 	reloadAttempts int
 	reloadBackoff  time.Duration
 	traceRing      int
@@ -153,7 +153,20 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithCacheSize sets the LRU score-vector cache capacity (entries).
+// WithShards partitions serving across n scorer replicas behind the
+// consistent-hash dispatcher. Each shard owns its own scorer, score
+// cache, and degraded flag; n = 1 (the default) reproduces the
+// single-scorer server exactly.
+func WithShards(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.shards = n
+		}
+	}
+}
+
+// WithCacheSize sets the total LRU score-vector cache capacity
+// (entries), divided evenly across shards.
 func WithCacheSize(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
@@ -167,6 +180,19 @@ func WithMaxProbes(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
 			s.maxProbes = n
+		}
+	}
+}
+
+// WithLimits overrides the published request bounds (max k, max batch
+// size); they surface in the /v1/stats "limits" block.
+func WithLimits(l api.Limits) Option {
+	return func(s *Server) {
+		if l.MaxK > 0 {
+			s.limits.MaxK = l.MaxK
+		}
+		if l.MaxBatch > 0 {
+			s.limits.MaxBatch = l.MaxBatch
 		}
 	}
 }
@@ -188,16 +214,17 @@ func WithTraceRing(n int) Option {
 func WithCSR(c *graph.CSR) Option { return func(s *Server) { s.csr = c } }
 
 // New builds a Server over a dataset and a trained scorer. A nil
-// scorer is allowed: the server boots degraded, answering from the
-// popularity fallback until SetScorer or Reload installs a real one.
+// scorer is allowed: the server boots degraded (every shard on the
+// popularity fallback) until SetScorer or Reload installs a real one.
 func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 	s := &Server{
 		d:              d,
 		timeout:        DefaultTimeout,
 		workers:        runtime.GOMAXPROCS(0),
+		shards:         DefaultShards,
 		cacheSize:      DefaultCacheSize,
 		maxProbes:      DefaultMaxProbes,
-		maxBatch:       DefaultMaxBatch,
+		limits:         api.DefaultLimits(),
 		reloadAttempts: DefaultReloadAttempts,
 		reloadBackoff:  DefaultReloadBackoff,
 		traceRing:      DefaultTraceRing,
@@ -210,31 +237,25 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 	if s.csr == nil {
 		s.csr = d.CSR()
 	}
-	s.pathers = sync.Pool{New: func() any { return s.csr.PathFinder() }}
-	s.scoreBufs = sync.Pool{New: func() any { return make([]float64, d.NumItems) }}
 	s.usersByItem = make([][]int, d.NumItems)
 	for _, p := range d.Train {
 		s.usersByItem[p[1]] = append(s.usersByItem[p[1]], p[0])
 	}
 
-	s.fallback = eval.Popularity(d, s.csr)
-	if scorer == nil {
-		s.cur.Store(&scorerState{scorer: s.fallback, degraded: true})
-	} else {
-		s.cur.Store(&scorerState{scorer: scorer, degraded: false})
-	}
-	// Cache fills read the scorer through the atomic pointer so a hot
-	// swap redirects every post-invalidate fill to the new scorer; the
-	// fill is traced as the scorer span of the requesting trace.
-	s.cache = newScoreCache(s.cacheSize, d.NumItems, func(ctx context.Context, user int, out []float64) {
-		_, sp := obs.StartSpan(ctx, "scorer.score")
-		sp.SetAttrInt("user", user)
-		s.state().scorer.ScoreItems(user, out)
-		sp.End()
+	s.disp = shard.New(shard.Config{
+		Shards:    s.shards,
+		CacheSize: s.cacheSize,
+		Workers:   s.workers,
+		Dataset:   d,
+		CSR:       s.csr,
+		Fallback:  eval.Popularity(d, s.csr),
+		Scorer:    scorer,
 	})
+	s.cache = cacheView{disp: s.disp}
+	s.validate = api.Validator{Limits: s.limits, NumUsers: d.NumUsers, NumItems: d.NumItems}
 	s.metrics = newServeMetrics(s)
+	s.disp.Register(s.metrics.reg)
 	s.tracer = obs.NewTracer(s.traceRing)
-	s.sem = make(chan struct{}, s.workers)
 
 	s.mux = http.NewServeMux()
 	s.route("/v1/health", http.MethodGet, s.handleHealth)
@@ -274,13 +295,17 @@ func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 // Tracer exposes the server's trace ring.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
+// Dispatcher exposes the shard dispatcher for embedding callers that
+// need shard-level control (tests, cmd/serve diagnostics).
+func (s *Server) Dispatcher() *shard.Dispatcher { return s.disp }
+
 // ServeHTTP implements http.Handler through the middleware stack.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-// InvalidateCache drops every cached score vector. Call after swapping
-// in retrained model weights so subsequent requests re-score.
+// InvalidateCache drops every shard's cached score vectors. Call after
+// swapping in retrained model weights so subsequent requests re-score.
 func (s *Server) InvalidateCache() { s.cache.Invalidate() }
 
 // route registers a handler with method enforcement that keeps 405s

@@ -1,0 +1,622 @@
+// Package shard partitions serving across N in-process scorer
+// replicas behind one dispatcher, the horizontal-scale step between
+// "one process, one scorer" and a multi-process deployment (ROADMAP
+// item 2). Users and items are placed on shards by rendezvous hashing
+// of their CKG entity IDs (hash.go), so ownership is deterministic,
+// balanced, and stable under shard-count changes. Single-entity
+// requests (recommend, similar, explain) route to the owning shard;
+// recommend:batch fans out across the owning shards of its users with
+// bounded concurrency and the per-user rankings merge back
+// deterministically in request order.
+//
+// Each shard owns its own serving state — hot-swappable scorer behind
+// an atomic pointer, LRU score-vector cache with an invalidation
+// generation, path-finder pool, inflight/request accounting, and a
+// degraded flag — so one shard with a corrupt or missing model
+// degrades alone (answering from the shared popularity fallback with
+// degraded=true) while every other shard keeps serving at full
+// quality. Per-shard hot reload rides the same scorer-swap +
+// cache-generation path the single-scorer server used.
+//
+// With Shards=1 the dispatcher is bit-identical to the historical
+// single-scorer path: same cache, same mask, same TopK tie-breaks,
+// same span structure. The shape deliberately follows the mgpusim
+// driver/dispatcher/command-processor split: a thin dispatcher routes
+// work items to devices (shards) that own their local state.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/serve/api"
+)
+
+// DefaultCacheSize is the total score-vector cache capacity divided
+// across shards when Config.CacheSize is unset.
+const DefaultCacheSize = 4096
+
+// explain limits, identical to the historical handler constants.
+const (
+	explainMaxPaths = 5
+	explainDepth    = 4
+	explainPerPair  = 2
+)
+
+// scorerState is one shard's atomically-swapped serving state.
+type scorerState struct {
+	scorer   eval.Scorer
+	degraded bool
+}
+
+// Shard is one scorer replica: private scorer state, score cache,
+// path-finder pool, and accounting. All routing goes through the
+// Dispatcher; a Shard never reaches into its siblings.
+type Shard struct {
+	id  int
+	cur atomic.Pointer[scorerState]
+
+	cache   *ScoreCache
+	pathers sync.Pool
+
+	inflight atomic.Int64
+	requests atomic.Uint64
+
+	// Registered mirrors; nil until Dispatcher.Register, which must be
+	// called before traffic starts.
+	inflightG *obs.Gauge
+	degradedG *obs.Gauge
+	requestsC *obs.Counter
+}
+
+func (sh *Shard) state() *scorerState { return sh.cur.Load() }
+
+// setState swaps the shard's scorer, invalidates its cache (the
+// generation counter discards racing fills, exactly as on the
+// single-scorer path), and syncs the degraded gauge.
+func (sh *Shard) setState(sc eval.Scorer, fallback eval.Scorer) {
+	if sc == nil {
+		sh.cur.Store(&scorerState{scorer: fallback, degraded: true})
+	} else {
+		sh.cur.Store(&scorerState{scorer: sc, degraded: false})
+	}
+	// Invalidate AFTER the swap: fills that start after the invalidate
+	// observe the new scorer through the atomic pointer.
+	sh.cache.Invalidate()
+	if sh.degradedG != nil {
+		if sh.state().degraded {
+			sh.degradedG.Set(1)
+		} else {
+			sh.degradedG.Set(0)
+		}
+	}
+}
+
+// begin/end bracket one routed request (or fan-out task) on the shard.
+func (sh *Shard) begin() {
+	sh.inflight.Add(1)
+	sh.requests.Add(1)
+	if sh.inflightG != nil {
+		sh.inflightG.Inc()
+	}
+	if sh.requestsC != nil {
+		sh.requestsC.Inc()
+	}
+}
+
+func (sh *Shard) end() {
+	sh.inflight.Add(-1)
+	if sh.inflightG != nil {
+		sh.inflightG.Dec()
+	}
+}
+
+// Config assembles a Dispatcher.
+type Config struct {
+	Shards    int // scorer replicas; <=0 means 1
+	CacheSize int // total cached score vectors, divided across shards
+	Workers   int // fan-out concurrency bound; <=0 means GOMAXPROCS
+
+	Dataset  *dataset.Dataset
+	CSR      *graph.CSR
+	Fallback *eval.PopularityScorer
+	Scorer   eval.Scorer // initial scorer; nil boots every shard degraded
+}
+
+// Dispatcher routes /v1 work onto its shards.
+type Dispatcher struct {
+	d        *dataset.Dataset
+	csr      *graph.CSR
+	fallback *eval.PopularityScorer
+	shards   []*Shard
+	sem      chan struct{} // bounded pool for cross-shard fan-out
+
+	// scoreBufs recycles the per-request NumItems-wide scratch
+	// (ranking masks train items in place, so it cannot rank straight
+	// off a shared cached vector).
+	scoreBufs sync.Pool
+
+	// Precomputed owners: entity-ID rendezvous hashing evaluated once
+	// at construction, so the hot path is one slice read.
+	userOwner []int32
+	itemOwner []int32
+
+	fanout *obs.Histogram // nil until Register
+}
+
+// New builds a Dispatcher. Panics on a nil dataset, CSR, or fallback —
+// those are construction bugs, not runtime conditions.
+func New(cfg Config) *Dispatcher {
+	if cfg.Dataset == nil || cfg.CSR == nil || cfg.Fallback == nil {
+		panic("shard.New: Dataset, CSR, and Fallback are required")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	perShard := (cacheSize + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+
+	dp := &Dispatcher{
+		d:        cfg.Dataset,
+		csr:      cfg.CSR,
+		fallback: cfg.Fallback,
+		shards:   make([]*Shard, n),
+		sem:      make(chan struct{}, workers),
+	}
+	dp.scoreBufs = sync.Pool{New: func() any { return make([]float64, cfg.Dataset.NumItems) }}
+
+	for i := range dp.shards {
+		sh := &Shard{id: i}
+		sh.cache = NewScoreCache(perShard, cfg.Dataset.NumItems, func(ctx context.Context, user int, out []float64) {
+			_, sp := obs.StartSpan(ctx, "scorer.score")
+			sp.SetAttrInt("user", user)
+			sh.state().scorer.ScoreItems(user, out)
+			sp.End()
+		})
+		sh.pathers = sync.Pool{New: func() any { return dp.csr.PathFinder() }}
+		if cfg.Scorer == nil {
+			sh.cur.Store(&scorerState{scorer: dp.fallback, degraded: true})
+		} else {
+			sh.cur.Store(&scorerState{scorer: cfg.Scorer, degraded: false})
+		}
+		dp.shards[i] = sh
+	}
+
+	dp.userOwner = make([]int32, cfg.Dataset.NumUsers)
+	for u, ent := range cfg.Dataset.UserEnt {
+		dp.userOwner[u] = int32(Owner(UserKey(ent), n))
+	}
+	dp.itemOwner = make([]int32, cfg.Dataset.NumItems)
+	for it, ent := range cfg.Dataset.ItemEnt {
+		dp.itemOwner[it] = int32(Owner(ItemKey(ent), n))
+	}
+	return dp
+}
+
+// NumShards reports the replica count.
+func (dp *Dispatcher) NumShards() int { return len(dp.shards) }
+
+// ShardForUser returns the shard owning user's serving state.
+func (dp *Dispatcher) ShardForUser(user int) int { return int(dp.userOwner[user]) }
+
+// ShardForItem returns the shard owning item-rooted requests.
+func (dp *Dispatcher) ShardForItem(item int) int { return int(dp.itemOwner[item]) }
+
+// Degraded reports whether ANY shard is serving the popularity
+// fallback. With one shard this is the historical global flag.
+func (dp *Dispatcher) Degraded() bool {
+	for _, sh := range dp.shards {
+		if sh.state().degraded {
+			return true
+		}
+	}
+	return false
+}
+
+// DegradedShards lists the IDs of shards currently degraded.
+func (dp *Dispatcher) DegradedShards() []int {
+	var ids []int
+	for _, sh := range dp.shards {
+		if sh.state().degraded {
+			ids = append(ids, sh.id)
+		}
+	}
+	return ids
+}
+
+// ShardDegraded reports one shard's flag.
+func (dp *Dispatcher) ShardDegraded(i int) bool { return dp.shards[i].state().degraded }
+
+// SetScorer swaps every shard to sc (nil degrades all to the
+// popularity fallback), invalidating each shard's cache.
+func (dp *Dispatcher) SetScorer(sc eval.Scorer) {
+	for _, sh := range dp.shards {
+		sh.setState(sc, dp.fallback)
+	}
+}
+
+// SetShardScorer swaps exactly one shard's scorer, leaving its
+// siblings — and their caches — untouched. A nil scorer degrades only
+// that shard.
+func (dp *Dispatcher) SetShardScorer(i int, sc eval.Scorer) {
+	dp.shards[i].setState(sc, dp.fallback)
+}
+
+// Invalidate drops every shard's cached score vectors.
+func (dp *Dispatcher) Invalidate() {
+	for _, sh := range dp.shards {
+		sh.cache.Invalidate()
+	}
+}
+
+// CacheStats aggregates hit/miss/entry accounting across shards.
+func (dp *Dispatcher) CacheStats() (hits, misses uint64, entries int) {
+	for _, sh := range dp.shards {
+		h, m, e := sh.cache.Stats()
+		hits += h
+		misses += m
+		entries += e
+	}
+	return hits, misses, entries
+}
+
+// Stats renders the per-shard /v1/stats block.
+func (dp *Dispatcher) Stats() []api.ShardStats {
+	out := make([]api.ShardStats, len(dp.shards))
+	for i, sh := range dp.shards {
+		h, m, e := sh.cache.Stats()
+		var rate float64
+		if h+m > 0 {
+			rate = float64(h) / float64(h+m)
+		}
+		out[i] = api.ShardStats{
+			Shard:    sh.id,
+			Degraded: sh.state().degraded,
+			Inflight: sh.inflight.Load(),
+			Requests: sh.requests.Load(),
+			Cache: api.CacheStats{
+				Hits: h, Misses: m, HitRate: rate,
+				Entries: e, Cap: sh.cache.Cap(),
+			},
+		}
+	}
+	return out
+}
+
+// Register installs the shard_* instrument families on reg: shard
+// count, per-shard inflight/degraded/request/cache series (bounded
+// cardinality: one label value per shard), and the fan-out latency
+// histogram. Must be called before serving starts.
+func (dp *Dispatcher) Register(reg *obs.Registry) {
+	reg.NewGaugeFunc("shard_count",
+		"Scorer shards behind the dispatcher.",
+		func() float64 { return float64(len(dp.shards)) })
+	inflight := reg.NewGaugeVec("shard_inflight_requests",
+		"Requests currently routed into each shard.", "shard")
+	degraded := reg.NewGaugeVec("shard_degraded",
+		"1 when the shard serves the popularity fallback, 0 with a trained scorer.", "shard")
+	requests := reg.NewCounterVec("shard_requests_total",
+		"Requests and fan-out tasks routed to each shard.", "shard")
+	hits := reg.NewCounterVec("shard_cache_hits_total",
+		"Per-shard score-vector cache hits.", "shard")
+	misses := reg.NewCounterVec("shard_cache_misses_total",
+		"Per-shard score-vector cache misses.", "shard")
+	dp.fanout = reg.NewHistogram("shard_fanout_duration_ms",
+		"Cross-shard fan-out latency (recommend:batch, similar probes) in milliseconds.", nil)
+	for _, sh := range dp.shards {
+		id := strconv.Itoa(sh.id)
+		sh.inflightG = inflight.With(id)
+		sh.degradedG = degraded.With(id)
+		if sh.state().degraded {
+			sh.degradedG.Set(1)
+		}
+		sh.requestsC = requests.With(id)
+		sh.cache.CountInto(hits.With(id), misses.With(id))
+	}
+}
+
+// Ranked is a ranking slice: Items[i] is the i-th best item and
+// Scores[i] its raw model score. Lists are ordered by score descending
+// with ties broken toward the smaller item ID — the package-wide merge
+// contract.
+type Ranked struct {
+	Items  []int
+	Scores []float64
+}
+
+// rankedFrom extracts the aligned top-k view of a full score vector.
+func rankedFrom(scores []float64, k int) Ranked {
+	top := eval.TopK(scores, k)
+	r := Ranked{Items: top, Scores: make([]float64, len(top))}
+	for i, it := range top {
+		r.Scores[i] = scores[it]
+	}
+	return r
+}
+
+// MergeRanked merges ranked lists over disjoint item sets (each
+// already ordered by score desc, item asc) into one global top-k under
+// the same order. The merge is fully deterministic — equal scores
+// break toward the smaller item ID regardless of input list order —
+// and merging a single list is the identity (truncated to k), which is
+// what makes the N=1 dispatcher bit-identical to the unsharded path.
+func MergeRanked(k int, lists ...Ranked) Ranked {
+	total := 0
+	for _, l := range lists {
+		total += len(l.Items)
+	}
+	if k > total {
+		k = total
+	}
+	out := Ranked{Items: make([]int, 0, k), Scores: make([]float64, 0, k)}
+	heads := make([]int, len(lists))
+	for len(out.Items) < k {
+		best := -1
+		for li, l := range lists {
+			h := heads[li]
+			if h >= len(l.Items) {
+				continue
+			}
+			if best < 0 {
+				best = li
+				continue
+			}
+			b := lists[best]
+			bs, ls := b.Scores[heads[best]], l.Scores[h]
+			if ls > bs || (ls == bs && l.Items[h] < b.Items[heads[best]]) {
+				best = li
+			}
+		}
+		if best < 0 {
+			break
+		}
+		h := heads[best]
+		out.Items = append(out.Items, lists[best].Items[h])
+		out.Scores = append(out.Scores, lists[best].Scores[h])
+		heads[best]++
+	}
+	return out
+}
+
+// recommendOn computes user's masked top-k on sh from the shard's
+// cached score vector, copying before the in-place mask.
+func (dp *Dispatcher) recommendOn(sh *Shard, ctx context.Context, user, k int) Ranked {
+	cached := sh.cache.Scores(ctx, user)
+	buf := dp.scoreBufs.Get().([]float64)[:len(cached)]
+	copy(buf, cached)
+	eval.MaskTrain(dp.d, user, buf)
+	r := rankedFrom(buf, k)
+	dp.scoreBufs.Put(buf)
+	return r
+}
+
+// fallbackRank answers from the shared popularity prior, bypassing
+// shard caches and scorers entirely: the degraded answer when a
+// shard's model path misses its deadline.
+func (dp *Dispatcher) fallbackRank(user, k int) Ranked {
+	buf := dp.scoreBufs.Get().([]float64)[:dp.d.NumItems]
+	dp.fallback.ScoreItems(user, buf)
+	eval.MaskTrain(dp.d, user, buf)
+	r := rankedFrom(buf, k)
+	dp.scoreBufs.Put(buf)
+	return r
+}
+
+// Recommend routes one user's top-k to the owning shard. degraded
+// reports whether the answer came from the popularity fallback —
+// either because the shard is degraded or because the model path blew
+// the deadline.
+func (dp *Dispatcher) Recommend(ctx context.Context, user, k int) (Ranked, bool) {
+	sh := dp.shards[dp.userOwner[user]]
+	sh.begin()
+	defer sh.end()
+	degraded := sh.state().degraded
+	r := dp.recommendOn(sh, ctx, user, k)
+	if !degraded && ctx.Err() != nil {
+		// The model path blew the deadline; answer from the popularity
+		// prior rather than failing a recommendation request.
+		r, degraded = dp.fallbackRank(user, k), true
+	}
+	return r, degraded
+}
+
+// RecommendBatch fans the batch out across the owning shards of its
+// users on the bounded pool and merges the per-user rankings back in
+// request order. degraded[i] reports per-user fallback answers. If the
+// deadline trips mid-batch every user is answered from the popularity
+// prior so the response is uniform.
+func (dp *Dispatcher) RecommendBatch(ctx context.Context, users []int, k int) ([]Ranked, []bool) {
+	start := time.Now()
+	results := make([]Ranked, len(users))
+	degraded := make([]bool, len(users))
+	err := dp.runBounded(ctx, len(users), func(i int) {
+		sh := dp.shards[dp.userOwner[users[i]]]
+		sh.begin()
+		defer sh.end()
+		degraded[i] = sh.state().degraded
+		results[i] = dp.recommendOn(sh, ctx, users[i], k)
+	})
+	if err != nil {
+		for i, u := range users {
+			results[i] = dp.fallbackRank(u, k)
+			degraded[i] = true
+		}
+	}
+	if dp.fanout != nil {
+		dp.fanout.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	}
+	return results, degraded
+}
+
+// Similar aggregates the probe users' score vectors — each fetched
+// from its owning shard's cache on the bounded pool — and ranks items
+// by the summed co-score, excluding the target item. The request is
+// accounted against the item's owning shard; degraded reports whether
+// any shard that contributed a probe vector (or the owner) is
+// degraded. scale is the factor the caller applies to scores when
+// rendering (1/len(probes)).
+func (dp *Dispatcher) Similar(ctx context.Context, item, k int, probes []int) (r Ranked, scale float64, degraded bool, err error) {
+	owner := dp.shards[dp.itemOwner[item]]
+	owner.begin()
+	defer owner.end()
+	start := time.Now()
+
+	var degradedBits atomic.Uint64
+	if owner.state().degraded {
+		degradedBits.Store(1)
+	}
+	vecs := make([][]float64, len(probes))
+	err = dp.runBounded(ctx, len(probes), func(i int) {
+		sh := dp.shards[dp.userOwner[probes[i]]]
+		if sh.state().degraded {
+			degradedBits.Store(1)
+		}
+		vecs[i] = sh.cache.Scores(ctx, probes[i])
+	})
+	if dp.fanout != nil {
+		dp.fanout.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	}
+	if err != nil {
+		return Ranked{}, 0, false, err
+	}
+
+	agg := dp.scoreBufs.Get().([]float64)[:dp.d.NumItems]
+	for i := range agg {
+		agg[i] = 0
+	}
+	for _, v := range vecs {
+		for i, sc := range v {
+			agg[i] += sc
+		}
+	}
+	agg[item] = math.Inf(-1)
+	r = rankedFrom(agg, k)
+	dp.scoreBufs.Put(agg)
+	return r, 1 / float64(len(probes)), degradedBits.Load() != 0, nil
+}
+
+// Explain walks the frozen CSR for knowledge paths from the user's
+// training history to the target item, using the owning shard's pooled
+// PathFinder. degraded mirrors the owning shard's flag so the response
+// envelope matches the ranking endpoints. err is the context error
+// when the deadline expired mid-walk.
+func (dp *Dispatcher) Explain(ctx context.Context, user, item int) (out []api.ExplainPath, degraded bool, err error) {
+	sh := dp.shards[dp.userOwner[user]]
+	sh.begin()
+	defer sh.end()
+	degraded = sh.state().degraded
+
+	dst := dp.d.ItemEnt[item]
+	finder := sh.pathers.Get().(*graph.PathFinder)
+	defer sh.pathers.Put(finder)
+	_, sp := obs.StartSpan(ctx, "explain.paths")
+	sp.SetAttrInt("user", user)
+	sp.SetAttrInt("item", item)
+	for _, hist := range dp.d.TrainByUser[user] {
+		if len(out) >= explainMaxPaths || ctx.Err() != nil {
+			break
+		}
+		src := dp.d.ItemEnt[hist]
+		for _, p := range finder.FindPaths(src, dst, explainDepth, explainPerPair) {
+			out = append(out, api.ExplainPath{
+				From: dp.d.Trace.Facility.Items[hist].Name,
+				Path: dp.d.Graph.FormatSteps(p),
+			})
+			if len(out) >= explainMaxPaths {
+				break
+			}
+		}
+	}
+	sp.SetAttrInt("paths", len(out))
+	sp.End()
+	return out, degraded, ctx.Err()
+}
+
+// Reload swaps in a freshly loaded scorer shard by shard, each with
+// its own retry loop (attempts tries, exponential backoff starting at
+// backoff), and reports every shard's outcome. A shard whose loads all
+// fail keeps its previous state — trained or degraded — serving; its
+// siblings still swap, so a partial failure degrades partially instead
+// of globally. The returned error joins the per-shard failures (nil
+// when every shard reloaded).
+func (dp *Dispatcher) Reload(loader func() (eval.Scorer, error), attempts int, backoff time.Duration) ([]api.ShardReload, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	reports := make([]api.ShardReload, len(dp.shards))
+	var failures []error
+	for i, sh := range dp.shards {
+		var sc eval.Scorer
+		var err error
+		b := backoff
+		for a := 0; a < attempts; a++ {
+			if a > 0 {
+				time.Sleep(b)
+				b *= 2
+			}
+			if sc, err = loader(); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			reports[i] = api.ShardReload{
+				Shard: i, Status: "failed",
+				Degraded: sh.state().degraded,
+				Error:    err.Error(),
+			}
+			failures = append(failures, fmt.Errorf("shard %d: %w", i, err))
+			continue
+		}
+		dp.SetShardScorer(i, sc)
+		reports[i] = api.ShardReload{Shard: i, Status: "reloaded", Degraded: false}
+	}
+	return reports, errors.Join(failures...)
+}
+
+// runBounded executes fn(0..n-1) across the dispatcher's shared
+// bounded pool, blocking until all launched tasks finish. The bound is
+// global across requests, so a burst of batch calls cannot
+// oversubscribe the machine. If ctx expires while tasks are still
+// waiting for a slot, the remaining tasks are skipped and ctx.Err is
+// returned after the launched ones drain.
+func (dp *Dispatcher) runBounded(ctx context.Context, n int, fn func(i int)) error {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case dp.sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-dp.sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,387 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/facility"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// One dataset is shared across the package's tests (building it
+// dominates test time); every test gets its own Dispatcher.
+var testDataOnce struct {
+	sync.Once
+	d *dataset.Dataset
+}
+
+func testData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	testDataOnce.Do(func() {
+		cat := facility.OOI(7)
+		cfg := trace.DefaultOOIConfig()
+		cfg.NumUsers = 60
+		cfg.NumOrgs = 8
+		cfg.MeanQueries = 20
+		tr := trace.Generate(cat, cfg, 3)
+		testDataOnce.d = dataset.Build(tr, dataset.AllSources(), 3)
+	})
+	return testDataOnce.d
+}
+
+// fakeScorer produces deterministic user-dependent scores with many
+// exact ties, so ranking equality across shard counts also proves the
+// score-then-lower-ID tiebreak survives the dispatch path.
+type fakeScorer struct{ n int }
+
+func (f *fakeScorer) ScoreItems(user int, out []float64) {
+	for i := range out {
+		out[i] = float64((user*31 + i*17) % 23)
+	}
+}
+
+func (f *fakeScorer) NumItems() int { return f.n }
+
+func testDispatcher(t testing.TB, shards int, sc eval.Scorer) (*Dispatcher, *dataset.Dataset) {
+	t.Helper()
+	d := testData(t)
+	csr := d.CSR()
+	return New(Config{
+		Shards:   shards,
+		Dataset:  d,
+		CSR:      csr,
+		Fallback: eval.Popularity(d, csr),
+		Scorer:   sc,
+	}), d
+}
+
+func rankedEqual(a, b Ranked) bool {
+	if len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] || a.Scores[i] != b.Scores[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The N=1 dispatcher must be bit-identical to the direct eval path:
+// score, mask training positives, TopK.
+func TestDispatcherSingleShardMatchesDirect(t *testing.T) {
+	d := testData(t)
+	sc := &fakeScorer{n: d.NumItems}
+	dp, _ := testDispatcher(t, 1, sc)
+	ctx := context.Background()
+	for u := 0; u < d.NumUsers; u++ {
+		got, degraded := dp.Recommend(ctx, u, 10)
+		if degraded {
+			t.Fatalf("user %d: degraded with a healthy scorer", u)
+		}
+		scores := make([]float64, d.NumItems)
+		sc.ScoreItems(u, scores)
+		eval.MaskTrain(d, u, scores)
+		want := rankedFrom(scores, 10)
+		if !rankedEqual(got, want) {
+			t.Fatalf("user %d: dispatcher %v != direct %v", u, got, want)
+		}
+	}
+}
+
+// The headline merge-determinism contract: for every user and every
+// shard count, single and batch recommendations are exactly the
+// single-shard ranking — items AND scores.
+func TestMergeDeterminismAcrossShardCounts(t *testing.T) {
+	d := testData(t)
+	sc := &fakeScorer{n: d.NumItems}
+	ref, _ := testDispatcher(t, 1, sc)
+	ctx := context.Background()
+
+	users := make([]int, d.NumUsers)
+	want := make([]Ranked, d.NumUsers)
+	for u := range users {
+		users[u] = u
+		want[u], _ = ref.Recommend(ctx, u, 10)
+	}
+
+	for _, n := range []int{2, 3, 4} {
+		dp, _ := testDispatcher(t, n, sc)
+		// Sanity: with multiple shards the users must actually spread out.
+		seen := map[int]bool{}
+		for u := range users {
+			seen[dp.ShardForUser(u)] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("N=%d: all users landed on one shard", n)
+		}
+		for u := range users {
+			got, degraded := dp.Recommend(ctx, u, 10)
+			if degraded {
+				t.Fatalf("N=%d user %d: unexpectedly degraded", n, u)
+			}
+			if !rankedEqual(got, want[u]) {
+				t.Fatalf("N=%d user %d: %v != single-shard %v", n, u, got, want[u])
+			}
+		}
+		batch, perUser := dp.RecommendBatch(ctx, users, 10)
+		for u := range users {
+			if perUser[u] {
+				t.Fatalf("N=%d user %d: batch degraded", n, u)
+			}
+			if !rankedEqual(batch[u], want[u]) {
+				t.Fatalf("N=%d user %d: batch %v != single-shard %v", n, u, batch[u], want[u])
+			}
+		}
+	}
+}
+
+// MergeRanked is the documented contract for combining rankings over
+// disjoint item sets: score descending, ties toward the smaller ID,
+// independent of input list order; a single list is the identity.
+func TestMergeRanked(t *testing.T) {
+	a := Ranked{Items: []int{2, 10, 4}, Scores: []float64{9, 5, 3}}
+	b := Ranked{Items: []int{1, 3, 11}, Scores: []float64{5, 5, 1}}
+	want := Ranked{Items: []int{2, 1, 3, 10, 4}, Scores: []float64{9, 5, 5, 5, 3}}
+	for _, lists := range [][]Ranked{{a, b}, {b, a}} {
+		got := MergeRanked(5, lists...)
+		if !rankedEqual(got, want) {
+			t.Fatalf("MergeRanked(%v) = %v, want %v", lists, got, want)
+		}
+	}
+	if got := MergeRanked(2, a); !rankedEqual(got, Ranked{Items: []int{2, 10}, Scores: []float64{9, 5}}) {
+		t.Fatalf("single-list merge not identity: %v", got)
+	}
+	if got := MergeRanked(10, a, b); len(got.Items) != 6 {
+		t.Fatalf("merge past exhaustion returned %d items, want 6", len(got.Items))
+	}
+	if got := MergeRanked(3); len(got.Items) != 0 {
+		t.Fatalf("empty merge returned %v", got)
+	}
+}
+
+// One corrupt shard must degrade alone: its users answer from the
+// fallback with degraded=true while every other shard keeps serving
+// the trained scorer non-degraded.
+func TestShardDegradationIsolation(t *testing.T) {
+	d := testData(t)
+	sc := &fakeScorer{n: d.NumItems}
+	dp, _ := testDispatcher(t, 4, sc)
+	ref, _ := testDispatcher(t, 1, sc)
+	ctx := context.Background()
+
+	const bad = 2
+	dp.SetShardScorer(bad, nil)
+	if !dp.Degraded() {
+		t.Fatal("dispatcher not degraded with a corrupt shard")
+	}
+	if got := dp.DegradedShards(); len(got) != 1 || got[0] != bad {
+		t.Fatalf("DegradedShards = %v, want [%d]", got, bad)
+	}
+
+	fallbackRef := testFallbackRanked(d, 10)
+	checkedGood, checkedBad := false, false
+	for u := 0; u < d.NumUsers; u++ {
+		got, degraded := dp.Recommend(ctx, u, 10)
+		if dp.ShardForUser(u) == bad {
+			checkedBad = true
+			if !degraded {
+				t.Fatalf("user %d on corrupt shard served non-degraded", u)
+			}
+			if !rankedEqual(got, fallbackRef[u]) {
+				t.Fatalf("user %d: degraded answer %v != popularity fallback %v", u, got, fallbackRef[u])
+			}
+			continue
+		}
+		checkedGood = true
+		if degraded {
+			t.Fatalf("user %d on healthy shard %d degraded", u, dp.ShardForUser(u))
+		}
+		want, _ := ref.Recommend(ctx, u, 10)
+		if !rankedEqual(got, want) {
+			t.Fatalf("user %d on healthy shard: %v != trained ranking %v", u, got, want)
+		}
+	}
+	if !checkedGood || !checkedBad {
+		t.Fatalf("test did not cover both shard states (good=%v bad=%v)", checkedGood, checkedBad)
+	}
+
+	// Batch across the same users reports per-user degradation.
+	users := []int{}
+	for u := 0; u < d.NumUsers; u++ {
+		users = append(users, u)
+	}
+	_, perUser := dp.RecommendBatch(ctx, users, 5)
+	for u := range users {
+		if want := dp.ShardForUser(u) == bad; perUser[u] != want {
+			t.Fatalf("batch degraded[%d] = %v, want %v", u, perUser[u], want)
+		}
+	}
+
+	// Healing the shard restores full quality everywhere.
+	dp.SetShardScorer(bad, sc)
+	if dp.Degraded() {
+		t.Fatal("dispatcher still degraded after healing the shard")
+	}
+}
+
+// testFallbackRanked computes every user's popularity-fallback ranking
+// through the same mask/TopK path the dispatcher uses.
+func testFallbackRanked(d *dataset.Dataset, k int) []Ranked {
+	csr := d.CSR()
+	fb := eval.Popularity(d, csr)
+	out := make([]Ranked, d.NumUsers)
+	for u := range out {
+		scores := make([]float64, d.NumItems)
+		fb.ScoreItems(u, scores)
+		eval.MaskTrain(d, u, scores)
+		out[u] = rankedFrom(scores, k)
+	}
+	return out
+}
+
+// Reload swaps shard by shard with per-shard retry loops and per-shard
+// outcomes; a shard whose loads keep failing is reported failed while
+// its siblings swap.
+func TestReloadPerShardReporting(t *testing.T) {
+	d := testData(t)
+	dp, _ := testDispatcher(t, 3, nil) // boots fully degraded
+	if got := len(dp.DegradedShards()); got != 3 {
+		t.Fatalf("boot degraded shards = %d, want 3", got)
+	}
+
+	// Loader: fails both attempts for the first shard, succeeds after.
+	const attempts = 2
+	calls := 0
+	loader := func() (eval.Scorer, error) {
+		calls++
+		if calls <= attempts {
+			return nil, errors.New("snapshot still syncing")
+		}
+		return &fakeScorer{n: d.NumItems}, nil
+	}
+	reports, err := dp.Reload(loader, attempts, time.Millisecond)
+	if err == nil {
+		t.Fatal("partial reload failure reported no error")
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	if reports[0].Status != "failed" || reports[0].Error == "" || !reports[0].Degraded {
+		t.Fatalf("shard 0 report = %+v, want failed+degraded with error", reports[0])
+	}
+	for i := 1; i < 3; i++ {
+		if reports[i].Status != "reloaded" || reports[i].Degraded {
+			t.Fatalf("shard %d report = %+v, want reloaded", i, reports[i])
+		}
+	}
+	if got := dp.DegradedShards(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("degraded shards after partial reload = %v, want [0]", got)
+	}
+
+	// A second reload heals the remaining shard.
+	if _, err := dp.Reload(loader, attempts, time.Millisecond); err != nil {
+		t.Fatalf("healing reload failed: %v", err)
+	}
+	if dp.Degraded() {
+		t.Fatal("still degraded after full reload")
+	}
+}
+
+// Swapping one shard's scorer must invalidate only that shard's cache.
+func TestSetShardScorerInvalidatesOnlyThatShard(t *testing.T) {
+	d := testData(t)
+	sc := &fakeScorer{n: d.NumItems}
+	dp, _ := testDispatcher(t, 4, sc)
+	ctx := context.Background()
+
+	// Warm one user's vector on every shard.
+	warmed := map[int]bool{}
+	for u := 0; u < d.NumUsers && len(warmed) < 4; u++ {
+		sh := dp.ShardForUser(u)
+		if !warmed[sh] {
+			warmed[sh] = true
+			dp.Recommend(ctx, u, 5)
+		}
+	}
+	if len(warmed) < 2 {
+		t.Skip("users did not spread across shards")
+	}
+
+	entriesBefore := map[int]int{}
+	for _, st := range dp.Stats() {
+		entriesBefore[st.Shard] = st.Cache.Entries
+	}
+	const swapped = 1
+	dp.SetShardScorer(swapped, sc)
+	for _, st := range dp.Stats() {
+		if st.Shard == swapped {
+			if st.Cache.Entries != 0 {
+				t.Fatalf("swapped shard kept %d cache entries", st.Cache.Entries)
+			}
+			continue
+		}
+		if st.Cache.Entries != entriesBefore[st.Shard] {
+			t.Fatalf("shard %d cache disturbed by sibling swap: %d → %d",
+				st.Shard, entriesBefore[st.Shard], st.Cache.Entries)
+		}
+	}
+}
+
+// Register must mint the shard_* families with one series per shard.
+func TestRegisterShardMetrics(t *testing.T) {
+	d := testData(t)
+	dp, _ := testDispatcher(t, 2, &fakeScorer{n: d.NumItems})
+	reg := obs.NewRegistry()
+	dp.Register(reg)
+	dp.Recommend(context.Background(), 0, 5)
+
+	var buf strings.Builder
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"shard_count 2",
+		`shard_requests_total{shard="` + fmt.Sprint(dp.ShardForUser(0)) + `"} 1`,
+		`shard_degraded{shard="0"} 0`,
+		`shard_degraded{shard="1"} 0`,
+		"shard_inflight_requests{",
+		"shard_cache_misses_total{",
+		"shard_fanout_duration_ms",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// BenchmarkDispatcherBatch drives recommend:batch through 1/2/4-shard
+// dispatchers (the payload scripts/bench_shard.sh records).
+func BenchmarkDispatcherBatch(b *testing.B) {
+	d := testData(b)
+	sc := &fakeScorer{n: d.NumItems}
+	users := make([]int, d.NumUsers)
+	for u := range users {
+		users[u] = u
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			dp, _ := testDispatcher(b, n, sc)
+			ctx := context.Background()
+			dp.RecommendBatch(ctx, users, 10) // warm caches
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dp.RecommendBatch(ctx, users, 10)
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package shard
+
+import "testing"
+
+// Rendezvous placement must be deterministic and in range.
+func TestOwnerDeterministicInRange(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for e := 0; e < 1000; e++ {
+			a := Owner(UserKey(e), n)
+			b := Owner(UserKey(e), n)
+			if a != b {
+				t.Fatalf("Owner not deterministic for entity %d n=%d: %d vs %d", e, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("Owner(UserKey(%d), %d) = %d out of range", e, n, a)
+			}
+		}
+	}
+}
+
+// The consistent-hashing contract: growing N → N+1 moves at most
+// ~K/(N+1) of K keys, and every moved key lands on the NEW shard —
+// no key ever migrates between two pre-existing shards.
+func TestOwnerStabilityOnGrowth(t *testing.T) {
+	const K = 20000
+	keys := make([]uint64, K)
+	for i := 0; i < K/2; i++ {
+		keys[i] = UserKey(i)
+		keys[K/2+i] = ItemKey(i)
+	}
+	for n := 1; n <= 7; n++ {
+		moved := 0
+		for _, k := range keys {
+			before := Owner(k, n)
+			after := Owner(k, n+1)
+			if before != after {
+				moved++
+				if after != n {
+					t.Fatalf("n=%d→%d: key moved %d→%d, not to the new shard %d",
+						n, n+1, before, after, n)
+				}
+			}
+		}
+		// Expected K/(n+1); allow 25% slack, and require a ceiling of
+		// K/n (the satellite's "≤ K/N keys move" bound).
+		exp := K / (n + 1)
+		if moved > exp+exp/4 {
+			t.Fatalf("n=%d→%d: %d keys moved, expected ≈%d", n, n+1, moved, exp)
+		}
+		if moved > K/n {
+			t.Fatalf("n=%d→%d: %d keys moved, above the K/N bound %d", n, n+1, moved, K/n)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d→%d: no keys moved to the new shard at all", n, n+1)
+		}
+	}
+}
+
+// Placement must be reasonably balanced: no shard far off the mean.
+func TestOwnerBalance(t *testing.T) {
+	const K = 20000
+	for _, n := range []int{2, 3, 4, 8} {
+		counts := make([]int, n)
+		for e := 0; e < K; e++ {
+			counts[Owner(UserKey(e), n)]++
+		}
+		mean := K / n
+		for i, c := range counts {
+			if c < mean*7/10 || c > mean*13/10 {
+				t.Fatalf("n=%d: shard %d owns %d keys, mean %d — imbalanced %v",
+					n, i, c, mean, counts)
+			}
+		}
+	}
+}
+
+// User and item key spaces must be independent: the same entity ID
+// should not systematically co-locate under both salts.
+func TestUserItemSaltsIndependent(t *testing.T) {
+	same := 0
+	const K = 10000
+	for e := 0; e < K; e++ {
+		if Owner(UserKey(e), 4) == Owner(ItemKey(e), 4) {
+			same++
+		}
+	}
+	// Independent placement collides 1/4 of the time; flag gross
+	// correlation either way.
+	if same < K/8 || same > K/2 {
+		t.Fatalf("user/item co-location %d/%d, want ≈%d", same, K, K/4)
+	}
+}

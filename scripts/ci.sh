@@ -8,9 +8,12 @@
 #   - the telemetry core (internal/obs): lock-free metric instruments,
 #     the trace ring, and context propagation, all shared by every
 #     request goroutine;
-#   - the serving layer (internal/serve, internal/serve/client): LRU
-#     cache, worker pool, metrics, middleware, hot reload / degraded
-#     fallback;
+#   - the serving layer (internal/serve, internal/serve/client,
+#     internal/serve/api, internal/router): LRU cache, worker pool,
+#     metrics, middleware, hot reload / degraded fallback, and the
+#     multi-process router's fan-out;
+#   - the sharded dispatcher (internal/shard): per-shard scorer swap,
+#     bounded fan-out/merge, per-shard caches — raced at N>=2 shards;
 #   - the parallel training/eval engine (internal/parallel,
 #     internal/models/shared, internal/core, internal/eval): round-
 #     parallel gradient workers, sharded attention recompute, fanned
@@ -51,13 +54,19 @@ if [ "$mode" = "all" ]; then
     scripts/bench_graph.sh
     echo "== serve benchmarks -> BENCH_serve.json"
     scripts/bench_serve.sh
+    echo "== shard benchmarks -> BENCH_shard.json"
+    scripts/bench_shard.sh
 fi
 
 if [ "$mode" = "all" ] || [ "$mode" = "race" ]; then
     echo "== go test -race ./internal/obs/"
     go test -race ./internal/obs/
-    echo "== go test -race ./internal/serve/..."
-    go test -race ./internal/serve/...
+    echo "== go test -race ./internal/serve/... ./internal/router/"
+    go test -race ./internal/serve/... ./internal/router/
+    echo "== shard race gate: dispatcher + sharded serving at N>=2 under -race"
+    go test -race ./internal/shard/
+    go test -race -run 'TestSharded|TestMergeDeterminism|TestShardDegradationIsolation' \
+        ./internal/serve/ ./internal/shard/
     echo "== go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/"
     go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/
     echo "== go test -race -run 'TestTrainingSmoke|TestCKATParallel|TestCKATRecomputeAttention' . ./internal/core/"
