@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -49,6 +51,10 @@ func main() {
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "score-vector cache entries")
 	shards := flag.Int("shards", serve.DefaultShards, "in-process scorer shards (consistent-hash partitioned)")
 	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond this inflight cap (0 disables)")
+	annOn := flag.Bool("ann", true, "build per-shard HNSW indexes for mode=ann and the /v1/query endpoints")
+	annEF := flag.Int("ann-ef", ann.DefaultEfSearch, "default ann search breadth (per-request ef overrides)")
+	annM := flag.Int("ann-m", ann.DefaultM, "HNSW connectivity (neighbors per node)")
+	annSeed := flag.Int64("ann-seed", ann.DefaultSeed, "deterministic HNSW construction seed")
 	workers := flag.Int("workers", 0, "training workers (<=1 sequential, >1 round-parallel)")
 	quiet := flag.Bool("quiet", false, "disable per-request logging")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -123,6 +129,13 @@ func main() {
 		serve.WithCacheSize(*cacheSize),
 		serve.WithShards(*shards),
 	}
+	if *annOn {
+		opts = append(opts, serve.WithANN(shard.ANNConfig{
+			Index: ann.Config{M: *annM, EfSearch: *annEF, Seed: *annSeed},
+		}))
+	} else {
+		opts = append(opts, serve.WithoutANN())
+	}
 	if snapCSR != nil {
 		opts = append(opts, serve.WithCSR(snapCSR))
 	}
@@ -196,6 +209,7 @@ func main() {
 
 	fmt.Printf("serving %s data discovery on %s (%d scorer shard(s))\n", d.Name, *addr, *shards)
 	fmt.Println("  GET  /v1/health | /v1/health/live | /v1/health/ready | /v1/recommend?user=&k= | /v1/similar?item=&k= | /v1/explain?user=&item= | /v1/stats")
+	fmt.Println("  GET  /v1/query:nearest?entity=item:42&k=&type= | /v1/query:analogy?a=&b=&c=&k= (semantic queries; &mode=exact|ann, &ef=)")
 	fmt.Println("  GET  /metrics (Prometheus) | /v1/debug/traces (recent request traces)")
 	fmt.Println("  POST /v1/recommend:batch   {\"users\":[...],\"k\":10}")
 	fmt.Println("  POST /v1/admin/reload      (or SIGHUP) hot-swap the snapshot")

@@ -101,6 +101,35 @@ func main() {
 			ur.Recommendations[0].Name, ur.Recommendations[1].Name)
 	}
 
+	// Semantic queries over the embedding space: nearest entities to a
+	// data object (ann-accelerated by default) and a vector analogy
+	// a - b + c per the paper's knowledge-graph embedding geometry.
+	near, err := c.Nearest(ctx, client.Item(recs[0].Item), 3, "any")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnearest entities to %q (mode=%s ef=%d):\n",
+		recs[0].Name, near.Ranking.Mode, near.Ranking.EF)
+	for _, n := range near.Neighbors {
+		fmt.Printf("  %d. %s:%d %s  score=%.3f\n", n.Rank, n.Kind, n.ID, n.Name, n.Score)
+	}
+
+	ana, err := c.Analogy(ctx, client.Item(recs[0].Item), client.Item(sim[0].Item), client.User(user), 3, "item")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanalogy %s - %s + %s:\n", ana.A, ana.B, ana.C)
+	for _, n := range ana.Neighbors {
+		fmt.Printf("  %d. %s  score=%.3f\n", n.Rank, n.Name, n.Score)
+	}
+
+	// A client pinned to exact scoring: identical endpoints, mode knob
+	// stamped on every ranking request.
+	exact := client.New(base, client.WithMode("exact"))
+	if _, err := exact.Recommend(ctx, user, 5); err != nil {
+		log.Fatal(err)
+	}
+
 	// Typed error handling: the envelope decodes into *client.APIError.
 	if _, err := c.Recommend(ctx, 10_000_000, 5); err != nil {
 		fmt.Printf("\nexpected API error: %v\n", err)
@@ -113,6 +142,8 @@ func main() {
 	}
 	fmt.Printf("\nserving stats: inflight=%d cache hit-rate=%.0f%% (%d hits / %d misses)\n",
 		st.Inflight, 100*st.Cache.HitRate, st.Cache.Hits, st.Cache.Misses)
+	fmt.Printf("  ann: enabled=%v build=%.1fms levels=%d ef_search=%d\n",
+		st.ANN.Enabled, st.ANN.BuildMS, st.ANN.Levels, st.ANN.EfSearch)
 	for path, ep := range map[string]client.EndpointStats{
 		"/v1/recommend": st.Endpoints["/v1/recommend"],
 		"/v1/similar":   st.Endpoints["/v1/similar"],

@@ -1,0 +1,58 @@
+package ann
+
+// SelfCheck estimates the index's recall by replaying a deterministic
+// sample of its own stored vectors as queries and comparing the graph
+// search against an exhaustive scan over the same vectors. It is the
+// cheap post-build health gate behind the "recall-suspect" fallback: a
+// structurally broken graph (disconnected levels, bad links) scores
+// near zero here, and the caller discards the index and serves
+// exhaustively instead of silently returning bad rankings.
+//
+// The sample is derived from seed with the same splitmix64 stream the
+// builder uses, so the check itself is reproducible. Returns 1 for
+// indexes too small to misrank (n <= k).
+func SelfCheck(ix *Index, seed int64, samples, k, ef int) float64 {
+	n := ix.Len()
+	if n == 0 || n <= k {
+		return 1
+	}
+	if samples <= 0 {
+		samples = 8
+	}
+	if k <= 0 {
+		k = 10
+	}
+	var total float64
+	for s := 0; s < samples; s++ {
+		// Deterministic query: the stored vector of a pseudo-random node.
+		node := int(mix64(uint64(seed)^uint64(s)*0x9e3779b97f4a7c15) % uint64(n))
+		q := ix.Vector(node)
+		got, _ := ix.Search(q, k, ef, nil)
+		exact := ix.exactTopK(q, k)
+		in := make(map[int]struct{}, len(got))
+		for _, id := range got {
+			in[id] = struct{}{}
+		}
+		hits := 0
+		for _, id := range exact {
+			if _, ok := in[id]; ok {
+				hits++
+			}
+		}
+		total += float64(hits) / float64(len(exact))
+	}
+	return total / float64(samples)
+}
+
+// exactTopK is the exhaustive reference ranking over the index's own
+// vectors: score desc, ties toward the smaller ID — the same contract
+// Search promises.
+func (ix *Index) exactTopK(q []float64, k int) []int {
+	var t topK
+	t.reset(k, nil)
+	for i := 0; i < ix.n; i++ {
+		t.offer(ix.dot(q, int32(i)), int32(i))
+	}
+	ids, _ := t.ranked()
+	return ids
+}

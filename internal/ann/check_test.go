@@ -1,0 +1,22 @@
+package ann
+
+import "testing"
+
+func TestSelfCheck(t *testing.T) {
+	vecs := randVecs(1500, 12, 41)
+	ix := FromMatrix(vecs, 12, Config{})
+	if r := SelfCheck(ix, 1, 8, 10, 128); r < 0.9 {
+		t.Fatalf("healthy index self-check recall = %.3f, want >= 0.9", r)
+	}
+	// Deterministic: same seed, same estimate.
+	a := SelfCheck(ix, 7, 8, 10, 128)
+	b := SelfCheck(ix, 7, 8, 10, 128)
+	if a != b {
+		t.Fatalf("self-check not deterministic: %v != %v", a, b)
+	}
+	// Tiny index is trivially healthy.
+	tiny := FromMatrix(vecs[:5*12], 12, Config{})
+	if r := SelfCheck(tiny, 1, 4, 10, 64); r != 1 {
+		t.Fatalf("tiny index self-check = %v, want 1", r)
+	}
+}

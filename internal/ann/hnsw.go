@@ -1,0 +1,578 @@
+// Package ann makes ranking sublinear in catalog size: a Hierarchical
+// Navigable Small World (HNSW) index over the frozen embedding
+// matrices behind an inner-product scorer (ROADMAP item 1). CKAT's
+// prediction ŷ(u,v) = e*_uᵀ e*_v (Eq. 11) is a maximum-inner-product
+// search over the item rows of the final representation matrix, so a
+// proximity graph over those rows answers top-k in O(ef·d·log N)
+// neighbor expansions instead of the exhaustive O(N·d) scan — and the
+// same graph over the user rows unlocks the embedding-space semantic
+// queries (/v1/query:nearest, /v1/query:analogy) of Tran & Takasu's
+// semantic-query-on-KG-embeddings work.
+//
+// The index is immutable after Build, exactly like the CSR graph core:
+// it freezes one scorer generation's vectors and is rebuilt (never
+// patched) when the scorer hot-swaps. Scores returned by Search are
+// plain float64 dot products accumulated in ascending-dimension order —
+// bit-identical to the exhaustive scorer's values — so an ANN ranking
+// differs from the exact one only by recall misses, never by score
+// disagreement.
+//
+// Construction is deterministic: level assignment derives from a
+// splitmix64 stream over (Seed, node ID), insertion order is node
+// order, and every heap tie breaks on node ID, so two builds over the
+// same vectors at the same seed produce identical graphs (pinned by
+// Fingerprint in the rebuild-determinism tests).
+package ann
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+)
+
+// Defaults for the construction and search knobs.
+const (
+	DefaultM              = 16  // neighbors kept per node per layer (level 0 keeps 2M)
+	DefaultEfConstruction = 128 // candidate breadth while inserting
+	DefaultEfSearch       = 96  // default candidate breadth while querying
+	DefaultSeed           = 1   // level-assignment stream seed
+)
+
+// Config are the HNSW construction parameters. The zero value selects
+// every default, so Config{} is a valid configuration.
+type Config struct {
+	M              int   // max neighbors per node per layer (level 0 caps at 2M)
+	EfConstruction int   // dynamic candidate-list size during insertion
+	EfSearch       int   // default candidate-list size during search
+	Seed           int64 // deterministic level-assignment seed
+}
+
+// DefaultConfig returns the standard knobs.
+func DefaultConfig() Config {
+	return Config{
+		M:              DefaultM,
+		EfConstruction: DefaultEfConstruction,
+		EfSearch:       DefaultEfSearch,
+		Seed:           DefaultSeed,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.M <= 0 {
+		c.M = DefaultM
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = DefaultEfConstruction
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = DefaultEfSearch
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// Index is a frozen HNSW graph over n vectors of dimension dim.
+// All fields are immutable after Build; Search is safe for concurrent
+// use from any number of goroutines.
+type Index struct {
+	cfg Config
+	dim int
+	n   int
+
+	// vecs is the row-major copy of the indexed matrix; the index owns
+	// it so a hot-swapped scorer cannot mutate a live graph's geometry.
+	vecs []float64
+
+	// links[i][l] is node i's neighbor list on level l (present for
+	// l <= level(i)); lists are what insertion produced, capped at M
+	// (2M on level 0).
+	links [][][]int32
+
+	entry    int
+	maxLevel int
+
+	buildDur time.Duration
+
+	// scratch pools the per-search visited bitmap and heaps so
+	// concurrent queries on the serving hot path stay allocation-frugal.
+	scratch sync.Pool
+}
+
+// Build constructs the index over n vectors supplied row by row. The
+// row callback must return a slice of length dim for every i in
+// [0, n); rows are copied, so callers may reuse the backing storage.
+// Build is sequential and deterministic for a fixed (vectors, Config).
+func Build(n, dim int, row func(i int) []float64, cfg Config) *Index {
+	start := time.Now()
+	cfg = cfg.withDefaults()
+	ix := &Index{
+		cfg:   cfg,
+		dim:   dim,
+		n:     n,
+		vecs:  make([]float64, n*dim),
+		links: make([][][]int32, n),
+		entry: -1,
+	}
+	for i := 0; i < n; i++ {
+		copy(ix.vecs[i*dim:(i+1)*dim], row(i))
+	}
+	b := &builder{ix: ix, mL: 1 / math.Log(float64(cfg.M))}
+	b.visited = make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		b.insert(i)
+	}
+	ix.scratch.New = func() any {
+		return &searchScratch{visited: make([]uint64, (n+63)/64)}
+	}
+	ix.buildDur = time.Since(start)
+	return ix
+}
+
+// FromMatrix builds the index over a flat row-major matrix (n rows of
+// dim columns).
+func FromMatrix(vecs []float64, dim int, cfg Config) *Index {
+	n := 0
+	if dim > 0 {
+		n = len(vecs) / dim
+	}
+	return Build(n, dim, func(i int) []float64 { return vecs[i*dim : (i+1)*dim] }, cfg)
+}
+
+// Len reports the number of indexed vectors.
+func (ix *Index) Len() int { return ix.n }
+
+// Dim reports the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Levels reports the number of graph layers (maxLevel + 1); 0 for an
+// empty index.
+func (ix *Index) Levels() int {
+	if ix.n == 0 {
+		return 0
+	}
+	return ix.maxLevel + 1
+}
+
+// EfSearch reports the configured default search breadth.
+func (ix *Index) EfSearch() int { return ix.cfg.EfSearch }
+
+// BuildDuration reports how long Build took.
+func (ix *Index) BuildDuration() time.Duration { return ix.buildDur }
+
+// Vector returns the indexed copy of row i (read-only).
+func (ix *Index) Vector(i int) []float64 { return ix.vecs[i*ix.dim : (i+1)*ix.dim] }
+
+// Fingerprint hashes the graph structure (entry point, levels, and
+// every adjacency list in order) so rebuild-determinism tests can pin
+// that two builds over identical input produced identical graphs.
+func (ix *Index) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	w(uint64(ix.n))
+	w(uint64(int64(ix.entry)))
+	w(uint64(ix.maxLevel))
+	for i, levels := range ix.links {
+		w(uint64(i))
+		for l, nbrs := range levels {
+			w(uint64(l))
+			for _, nb := range nbrs {
+				w(uint64(nb))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// dot is the scoring kernel: a plain ascending-index multiply-add,
+// matching the exhaustive scorer's accumulation order bit for bit.
+func (ix *Index) dot(q []float64, node int32) float64 {
+	v := ix.vecs[int(node)*ix.dim : (int(node)+1)*ix.dim]
+	var s float64
+	for j, x := range q {
+		s += x * v[j]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Construction
+
+type builder struct {
+	ix      *builderIndex
+	mL      float64
+	visited []uint64
+	cands   heap // max-heap working set
+	results heap // min-heap bounded result set
+}
+
+// builderIndex is just *Index; the alias keeps the builder methods
+// readable without re-exporting internals.
+type builderIndex = Index
+
+// level draws node i's top layer from the deterministic splitmix64
+// stream: l = floor(-ln(U) · mL) with U in (0, 1].
+func (b *builder) level(i int) int {
+	x := mix64(uint64(b.ix.cfg.Seed)<<32 ^ uint64(i) ^ 0x9e3779b97f4a7c15)
+	u := (float64(x>>11) + 1) / (1 << 53)
+	return int(-math.Log(u) * b.mL)
+}
+
+// mix64 is the splitmix64 finalizer (same mixer the shard placement
+// hashing uses).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (b *builder) insert(i int) {
+	ix := b.ix
+	l := b.level(i)
+	ix.links[i] = make([][]int32, l+1)
+	if ix.entry < 0 {
+		ix.entry, ix.maxLevel = i, l
+		return
+	}
+	q := ix.Vector(i)
+	ep := int32(ix.entry)
+	// Greedy descent through the layers above the node's top level.
+	for lc := ix.maxLevel; lc > l; lc-- {
+		ep = b.greedy(q, ep, lc)
+	}
+	top := l
+	if top > ix.maxLevel {
+		top = ix.maxLevel
+	}
+	for lc := top; lc >= 0; lc-- {
+		cands := b.searchLayer(q, ep, ix.cfg.EfConstruction, lc, nil)
+		m := ix.cfg.M
+		maxLinks := m
+		if lc == 0 {
+			maxLinks = 2 * m
+		}
+		if len(cands.ids) > 0 {
+			ep = cands.best()
+		}
+		// Select the top-M candidates as neighbors (popped best-first).
+		sel := cands.sortedDesc()
+		if len(sel) > m {
+			sel = sel[:m]
+		}
+		nbrs := make([]int32, len(sel))
+		copy(nbrs, sel)
+		ix.links[i][lc] = nbrs
+		for _, nb := range nbrs {
+			b.linkBack(nb, int32(i), lc, maxLinks)
+		}
+	}
+	if l > ix.maxLevel {
+		ix.entry, ix.maxLevel = i, l
+	}
+}
+
+// linkBack appends node to nb's level-lc list, pruning to maxLinks by
+// similarity to nb (ties toward the lower ID) when the list overflows.
+func (b *builder) linkBack(nb, node int32, lc, maxLinks int) {
+	ix := b.ix
+	lst := append(ix.links[nb][lc], node)
+	if len(lst) > maxLinks {
+		v := ix.Vector(int(nb))
+		// Selection by similarity: keep the cap best. The list is tiny
+		// (≤ 2M+1), so an insertion sort is cheapest and deterministic.
+		sims := make([]float64, len(lst))
+		for k, id := range lst {
+			sims[k] = ix.dot(v, id)
+		}
+		for a := 1; a < len(lst); a++ {
+			s, id := sims[a], lst[a]
+			c := a - 1
+			for c >= 0 && (sims[c] < s || (sims[c] == s && lst[c] > id)) {
+				sims[c+1], lst[c+1] = sims[c], lst[c]
+				c--
+			}
+			sims[c+1], lst[c+1] = s, id
+		}
+		lst = lst[:maxLinks]
+	}
+	ix.links[nb][lc] = lst
+}
+
+// greedy walks level lc from ep to the locally best node for q.
+func (b *builder) greedy(q []float64, ep int32, lc int) int32 {
+	ix := b.ix
+	best, bestSim := ep, ix.dot(q, ep)
+	for {
+		improved := false
+		for _, nb := range ix.links[best][lc] {
+			if s := ix.dot(q, nb); s > bestSim || (s == bestSim && nb < best) {
+				best, bestSim, improved = nb, s, true
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+// searchLayer is the classic ef-bounded best-first expansion on one
+// layer. keep, when non-nil, additionally offers every visited node to
+// an accept-filtered top-k collector (the query path's way of filtering
+// without starving the result set). The returned heap is the min-heap
+// of up to ef unfiltered results.
+func (b *builder) searchLayer(q []float64, ep int32, ef, lc int, keep *topK) heap {
+	ix := b.ix
+	for i := range b.visited {
+		b.visited[i] = 0
+	}
+	visit := func(id int32) bool {
+		w, bit := id>>6, uint64(1)<<(id&63)
+		if b.visited[w]&bit != 0 {
+			return false
+		}
+		b.visited[w] |= bit
+		return true
+	}
+
+	b.cands.reset(false)  // max-heap: best candidate first
+	b.results.reset(true) // min-heap: weakest result first
+	visit(ep)
+	s := ix.dot(q, ep)
+	b.cands.push(s, ep)
+	b.results.push(s, ep)
+	if keep != nil {
+		keep.offer(s, ep)
+	}
+	for b.cands.len() > 0 {
+		cs, c := b.cands.pop()
+		if b.results.len() >= ef {
+			ws, _ := b.results.peek()
+			if cs < ws {
+				break
+			}
+		}
+		for _, nb := range ix.links[c][lc] {
+			if !visit(nb) {
+				continue
+			}
+			ns := ix.dot(q, nb)
+			if keep != nil {
+				keep.offer(ns, nb)
+			}
+			if b.results.len() < ef {
+				b.cands.push(ns, nb)
+				b.results.push(ns, nb)
+				continue
+			}
+			ws, wid := b.results.peek()
+			if ns > ws || (ns == ws && nb < wid) {
+				b.cands.push(ns, nb)
+				b.results.pop()
+				b.results.push(ns, nb)
+			}
+		}
+	}
+	return b.results
+}
+
+// ---------------------------------------------------------------------
+// Search
+
+type searchScratch struct {
+	visited []uint64
+	b       builder
+	keep    topK
+}
+
+// Search returns up to k node IDs ranked best-first by inner product
+// with q, together with their scores. ef bounds the candidate breadth
+// (clamped to at least k and to the configured default when <= 0).
+// accept, when non-nil, filters which nodes may appear in the result;
+// rejected nodes still guide graph traversal, so filtering (masking a
+// user's training items, excluding an anchor entity) does not shrink
+// the returned list as long as enough accepted nodes are reachable.
+func (ix *Index) Search(q []float64, k, ef int, accept func(int) bool) ([]int, []float64) {
+	if ix.n == 0 || k <= 0 {
+		return nil, nil
+	}
+	if ef <= 0 {
+		ef = ix.cfg.EfSearch
+	}
+	if ef < k {
+		ef = k
+	}
+	sc := ix.scratch.Get().(*searchScratch)
+	defer ix.scratch.Put(sc)
+	sc.b.ix = ix
+	sc.b.visited = sc.visited
+	sc.keep.reset(k, accept)
+
+	ep := int32(ix.entry)
+	for lc := ix.maxLevel; lc > 0; lc-- {
+		ep = sc.b.greedy(q, ep, lc)
+	}
+	sc.b.searchLayer(q, ep, ef, 0, &sc.keep)
+	return sc.keep.ranked()
+}
+
+// ---------------------------------------------------------------------
+// Heaps
+
+// heap is a binary heap over (score, id) pairs. min selects the
+// ordering: a min-heap surfaces the weakest element (bounded result
+// sets), a max-heap the strongest (candidate expansion). Ties always
+// break on ID — in a min-heap the larger ID is "weaker", mirroring
+// eval.TopK — so every traversal order is deterministic.
+type heap struct {
+	scores []float64
+	ids    []int32
+	min    bool
+}
+
+func (h *heap) reset(min bool) {
+	h.scores, h.ids, h.min = h.scores[:0], h.ids[:0], min
+}
+
+func (h *heap) len() int { return len(h.ids) }
+
+// less reports whether element i sorts before element j under the
+// heap's ordering.
+func (h *heap) less(i, j int) bool {
+	if h.scores[i] != h.scores[j] {
+		if h.min {
+			return h.scores[i] < h.scores[j]
+		}
+		return h.scores[i] > h.scores[j]
+	}
+	if h.min {
+		return h.ids[i] > h.ids[j]
+	}
+	return h.ids[i] < h.ids[j]
+}
+
+func (h *heap) swap(i, j int) {
+	h.scores[i], h.scores[j] = h.scores[j], h.scores[i]
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+}
+
+func (h *heap) push(s float64, id int32) {
+	h.scores = append(h.scores, s)
+	h.ids = append(h.ids, id)
+	j := len(h.ids) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		j = i
+	}
+}
+
+func (h *heap) peek() (float64, int32) { return h.scores[0], h.ids[0] }
+
+func (h *heap) pop() (float64, int32) {
+	s, id := h.scores[0], h.ids[0]
+	n := len(h.ids) - 1
+	h.swap(0, n)
+	h.scores, h.ids = h.scores[:n], h.ids[:n]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && h.less(r, j) {
+			j = r
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+	return s, id
+}
+
+// best returns the strongest element without popping (min-heaps scan).
+func (h *heap) best() int32 {
+	if !h.min {
+		return h.ids[0]
+	}
+	bi := 0
+	for i := 1; i < len(h.ids); i++ {
+		if h.scores[i] > h.scores[bi] || (h.scores[i] == h.scores[bi] && h.ids[i] < h.ids[bi]) {
+			bi = i
+		}
+	}
+	return h.ids[bi]
+}
+
+// sortedDesc drains the heap into a best-first ID list.
+func (h *heap) sortedDesc() []int32 {
+	n := len(h.ids)
+	out := make([]int32, n)
+	if h.min {
+		for i := n - 1; i >= 0; i-- {
+			_, out[i] = h.pop()
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			_, out[i] = h.pop()
+		}
+	}
+	return out
+}
+
+// topK is the accept-filtered bounded collector fed by searchLayer: a
+// min-heap of the k best accepted nodes seen anywhere during the
+// traversal, independent of the unfiltered ef result set.
+type topK struct {
+	h      heap
+	k      int
+	accept func(int) bool
+}
+
+func (t *topK) reset(k int, accept func(int) bool) {
+	t.h.reset(true)
+	t.k, t.accept = k, accept
+}
+
+func (t *topK) offer(s float64, id int32) {
+	if t.accept != nil && !t.accept(int(id)) {
+		return
+	}
+	if t.h.len() < t.k {
+		t.h.push(s, id)
+		return
+	}
+	ws, wid := t.h.peek()
+	if s > ws || (s == ws && id < wid) {
+		t.h.pop()
+		t.h.push(s, id)
+	}
+}
+
+// ranked drains the collector best-first.
+func (t *topK) ranked() ([]int, []float64) {
+	n := t.h.len()
+	ids := make([]int, n)
+	scores := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s, id := t.h.pop()
+		scores[i], ids[i] = s, int(id)
+	}
+	return ids, scores
+}

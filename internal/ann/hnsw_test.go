@@ -1,0 +1,299 @@
+package ann
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randVecs draws n deterministic Gaussian vectors of dimension dim.
+func randVecs(n, dim int, seed int64) []float64 {
+	g := rng.New(seed).Split("ann-test")
+	out := make([]float64, n*dim)
+	for i := range out {
+		out[i] = g.NormFloat64()
+	}
+	return out
+}
+
+// exactTopK is the brute-force reference ranking by inner product with
+// the same tie-break (smaller ID wins) the index promises.
+func exactTopK(vecs []float64, dim int, q []float64, k int, accept func(int) bool) []int {
+	n := len(vecs) / dim
+	ids := make([]int, 0, k)
+	scores := make([]float64, 0, k)
+	worst := func() (float64, int) { // weakest kept entry
+		wi := 0
+		for i := 1; i < len(ids); i++ {
+			if scores[i] < scores[wi] || (scores[i] == scores[wi] && ids[i] > ids[wi]) {
+				wi = i
+			}
+		}
+		return scores[wi], ids[wi]
+	}
+	for i := 0; i < n; i++ {
+		if accept != nil && !accept(i) {
+			continue
+		}
+		var s float64
+		v := vecs[i*dim : (i+1)*dim]
+		for j := range q {
+			s += q[j] * v[j]
+		}
+		if len(ids) < k {
+			ids = append(ids, i)
+			scores = append(scores, s)
+			continue
+		}
+		if ws, wid := worst(); s > ws || (s == ws && i < wid) {
+			for x := range ids {
+				if ids[x] == wid {
+					ids[x], scores[x] = i, s
+					break
+				}
+			}
+		}
+	}
+	// Sort desc by score, ties toward smaller ID.
+	for a := 1; a < len(ids); a++ {
+		s, id := scores[a], ids[a]
+		c := a - 1
+		for c >= 0 && (scores[c] < s || (scores[c] == s && ids[c] > id)) {
+			scores[c+1], ids[c+1] = scores[c], ids[c]
+			c--
+		}
+		scores[c+1], ids[c+1] = s, id
+	}
+	return ids
+}
+
+func recall(exact, got []int) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(got))
+	for _, id := range got {
+		in[id] = true
+	}
+	hits := 0
+	for _, id := range exact {
+		if in[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}
+
+func TestSearchRecall(t *testing.T) {
+	const n, dim, k, queries = 2000, 16, 10, 50
+	vecs := randVecs(n, dim, 7)
+	ix := FromMatrix(vecs, dim, Config{})
+	if ix.Len() != n || ix.Dim() != dim {
+		t.Fatalf("index shape %dx%d, want %dx%d", ix.Len(), ix.Dim(), n, dim)
+	}
+	if ix.Levels() < 2 {
+		t.Fatalf("expected a multi-level graph over %d nodes, got %d levels", n, ix.Levels())
+	}
+	qs := randVecs(queries, dim, 11)
+	var total float64
+	for qi := 0; qi < queries; qi++ {
+		q := qs[qi*dim : (qi+1)*dim]
+		got, scores := ix.Search(q, k, 128, nil)
+		if len(got) != k {
+			t.Fatalf("query %d returned %d results, want %d", qi, len(got), k)
+		}
+		for i := 1; i < len(scores); i++ {
+			if scores[i] > scores[i-1] {
+				t.Fatalf("query %d results not score-descending at %d", qi, i)
+			}
+		}
+		// Returned scores must be the exact dot products.
+		for i, id := range got {
+			var s float64
+			v := vecs[id*dim : (id+1)*dim]
+			for j := range q {
+				s += q[j] * v[j]
+			}
+			if s != scores[i] {
+				t.Fatalf("query %d: score %v != exact dot %v for node %d", qi, scores[i], s, id)
+			}
+		}
+		total += recall(exactTopK(vecs, dim, q, k, nil), got)
+	}
+	if avg := total / queries; avg < 0.95 {
+		t.Fatalf("mean recall@%d = %.3f, want >= 0.95", k, avg)
+	}
+}
+
+// Two builds over the same vectors at the same seed must produce the
+// identical graph — the contract that makes per-shard rebuilds on hot
+// reload reproducible.
+func TestBuildDeterministicAcrossRebuilds(t *testing.T) {
+	const n, dim = 800, 12
+	vecs := randVecs(n, dim, 3)
+	a := FromMatrix(vecs, dim, Config{Seed: 42})
+	b := FromMatrix(vecs, dim, Config{Seed: 42})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("rebuild changed the graph: %x != %x", a.Fingerprint(), b.Fingerprint())
+	}
+	q := randVecs(1, dim, 9)
+	ga, sa := a.Search(q, 20, 0, nil)
+	gb, sb := b.Search(q, 20, 0, nil)
+	if len(ga) != len(gb) {
+		t.Fatalf("result lengths differ: %d vs %d", len(ga), len(gb))
+	}
+	for i := range ga {
+		if ga[i] != gb[i] || sa[i] != sb[i] {
+			t.Fatalf("rebuild changed search results at %d: (%d,%v) vs (%d,%v)",
+				i, ga[i], sa[i], gb[i], sb[i])
+		}
+	}
+	// A different seed draws different levels and so a different graph.
+	c := FromMatrix(vecs, dim, Config{Seed: 43})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatalf("distinct seeds produced identical graphs")
+	}
+}
+
+// Filtered nodes never appear in results, and filtering does not starve
+// the result set: the collector still fills k from accepted nodes.
+func TestSearchFilter(t *testing.T) {
+	const n, dim, k = 1000, 8, 15
+	vecs := randVecs(n, dim, 5)
+	ix := FromMatrix(vecs, dim, Config{})
+	q := randVecs(1, dim, 6)
+	blocked := map[int]bool{}
+	// Block the unfiltered top-5 so the filter provably bites.
+	top, _ := ix.Search(q, 5, 64, nil)
+	for _, id := range top {
+		blocked[id] = true
+	}
+	got, _ := ix.Search(q, k, 64, func(id int) bool { return !blocked[id] })
+	if len(got) != k {
+		t.Fatalf("filtered search returned %d results, want %d", len(got), k)
+	}
+	for _, id := range got {
+		if blocked[id] {
+			t.Fatalf("filtered node %d appeared in results", id)
+		}
+	}
+	exact := exactTopK(vecs, dim, q, k, func(id int) bool { return !blocked[id] })
+	if r := recall(exact, got); r < 0.9 {
+		t.Fatalf("filtered recall@%d = %.3f, want >= 0.9", k, r)
+	}
+}
+
+func TestEmptyAndTinyIndex(t *testing.T) {
+	empty := FromMatrix(nil, 4, Config{})
+	if ids, _ := empty.Search([]float64{1, 0, 0, 0}, 3, 0, nil); len(ids) != 0 {
+		t.Fatalf("empty index returned %d results", len(ids))
+	}
+	if empty.Levels() != 0 {
+		t.Fatalf("empty index reports %d levels", empty.Levels())
+	}
+	one := FromMatrix([]float64{1, 2}, 2, Config{})
+	ids, scores := one.Search([]float64{3, 4}, 5, 0, nil)
+	if len(ids) != 1 || ids[0] != 0 || scores[0] != 11 {
+		t.Fatalf("single-node search = (%v, %v), want ([0], [11])", ids, scores)
+	}
+}
+
+func TestConcurrentSearch(t *testing.T) {
+	const n, dim = 500, 8
+	vecs := randVecs(n, dim, 13)
+	ix := FromMatrix(vecs, dim, Config{})
+	q := randVecs(1, dim, 17)
+	want, _ := ix.Search(q, 10, 64, nil)
+	done := make(chan []int, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				got, _ := ix.Search(q, 10, 64, nil)
+				if i == 49 {
+					done <- got
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		got := <-done
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("concurrent search diverged at %d: %d != %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEfClampedToK(t *testing.T) {
+	const n, dim = 300, 8
+	ix := FromMatrix(randVecs(n, dim, 19), dim, Config{EfSearch: 4})
+	q := randVecs(1, dim, 23)
+	// k far above the configured ef must still return k results.
+	if ids, _ := ix.Search(q, 50, 0, nil); len(ids) != 50 {
+		t.Fatalf("got %d results with k=50 > ef=4", len(ids))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.M != DefaultM || c.EfConstruction != DefaultEfConstruction ||
+		c.EfSearch != DefaultEfSearch || c.Seed != DefaultSeed {
+		t.Fatalf("zero config did not take defaults: %+v", c)
+	}
+	if math.IsInf(1/math.Log(float64(c.M)), 0) {
+		t.Fatalf("level normalizer degenerate for M=%d", c.M)
+	}
+}
+
+// BenchmarkSearchANN vs BenchmarkSearchExact: the sublinear claim at a
+// catalog size where it matters (20k items).
+func benchIndex(b *testing.B) (*Index, []float64, []float64) {
+	const n, dim = 20000, 32
+	vecs := randVecs(n, dim, 29)
+	ix := FromMatrix(vecs, dim, Config{})
+	qs := randVecs(64, dim, 31)
+	return ix, vecs, qs
+}
+
+func BenchmarkSearchANN(b *testing.B) {
+	ix, vecs, qs := benchIndex(b)
+	dim := ix.Dim()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := qs[(i%64)*dim : (i%64+1)*dim]
+		ix.Search(q, 10, 0, nil)
+	}
+	b.StopTimer()
+	// Pin the fidelity of the exact operation benchmarked next to its
+	// speedup (reported after the loop: ResetTimer clears user metrics).
+	var sum float64
+	for qi := 0; qi < 64; qi++ {
+		q := qs[qi*dim : (qi+1)*dim]
+		got, _ := ix.Search(q, 10, 0, nil)
+		sum += recall(exactTopK(vecs, dim, q, 10, nil), got)
+	}
+	b.ReportMetric(sum/64, "recall@10")
+}
+
+func BenchmarkSearchExact(b *testing.B) {
+	ix, vecs, qs := benchIndex(b)
+	dim := ix.Dim()
+	scores := make([]float64, ix.Len())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := qs[(i%64)*dim : (i%64+1)*dim]
+		for id := 0; id < ix.Len(); id++ {
+			var s float64
+			v := vecs[id*dim : (id+1)*dim]
+			for j := range q {
+				s += q[j] * v[j]
+			}
+			scores[id] = s
+		}
+	}
+}

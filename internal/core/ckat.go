@@ -508,6 +508,21 @@ func (m *Model) ScoreItems(user int, out []float64) {
 // NumItems implements eval.Scorer.
 func (m *Model) NumItems() int { return m.nItems }
 
+// NumUsers implements eval.VectorScorer.
+func (m *Model) NumUsers() int { return len(m.userEnt) }
+
+// UserVector implements eval.VectorScorer: e*_u, the row ScoreItems
+// dots against every item. The slice aliases model state. Only valid
+// after training.
+func (m *Model) UserVector(u int) []float64 { return m.final.Row(m.userEnt[u]) }
+
+// ItemVector implements eval.VectorScorer: e*_v for item i. The slice
+// aliases model state. Only valid after training.
+func (m *Model) ItemVector(i int) []float64 { return m.final.Row(m.itemEnt[i]) }
+
+// Dim implements eval.VectorScorer: the final representation width.
+func (m *Model) Dim() int { return m.final.Cols }
+
 // FinalEmbedding returns the final representation of an arbitrary CKG
 // entity (for diagnostics and the example applications). Only valid
 // after training.

@@ -192,3 +192,15 @@ func (s *SnapshotScorer) NumItems() int { return len(s.itemEnt) }
 
 // NumUsers returns the number of users in the snapshot.
 func (s *SnapshotScorer) NumUsers() int { return len(s.userEnt) }
+
+// UserVector implements eval.VectorScorer: the final propagated
+// representation row for user u. The slice aliases snapshot state.
+func (s *SnapshotScorer) UserVector(u int) []float64 { return s.final.Row(s.userEnt[u]) }
+
+// ItemVector implements eval.VectorScorer: the final propagated
+// representation row for item i. The slice aliases snapshot state.
+func (s *SnapshotScorer) ItemVector(i int) []float64 { return s.final.Row(s.itemEnt[i]) }
+
+// Dim implements eval.VectorScorer: the width of the final
+// representation rows (all layers concatenated).
+func (s *SnapshotScorer) Dim() int { return s.final.Cols }

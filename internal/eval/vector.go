@@ -1,0 +1,47 @@
+package eval
+
+// VectorScorer is a Scorer whose predictions are inner products between
+// per-user and per-item embedding vectors — CKAT's ŷ(u, v) = e*_uᵀ e*_v
+// (Eq. 11) and every snapshot-backed scorer have this shape. Exposing
+// the raw vectors lets an approximate index (internal/ann) reproduce
+// the exact scorer's arithmetic bit for bit: a dot product over the
+// same rows in the same order yields the same float64, so approximate
+// and exhaustive rankings differ only by recall misses, never by score.
+//
+// Scorers with no embedding geometry (the CSR popularity prior) simply
+// do not implement this interface; callers detect that with a type
+// assertion and fall back to exhaustive scoring.
+type VectorScorer interface {
+	Scorer
+	// UserVector returns the embedding row for user u. The slice
+	// aliases internal state and must not be mutated.
+	UserVector(u int) []float64
+	// ItemVector returns the embedding row for item i. The slice
+	// aliases internal state and must not be mutated.
+	ItemVector(i int) []float64
+	// NumUsers reports how many users have embedding rows.
+	NumUsers() int
+	// Dim is the embedding width shared by user and item rows.
+	Dim() int
+}
+
+// Overlap reports |exact ∩ got| / |exact| — recall of an approximate
+// ranking against the exact reference list. It is the parity metric the
+// ANN suite pins: Overlap(exactTopK, annTopK) ≥ floor. An empty exact
+// list counts as perfect recall.
+func Overlap(exact, got []int) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int]struct{}, len(got))
+	for _, id := range got {
+		in[id] = struct{}{}
+	}
+	hits := 0
+	for _, id := range exact {
+		if _, ok := in[id]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(exact))
+}

@@ -1,0 +1,154 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/serve/api"
+	"repro/internal/shard"
+)
+
+// The semantic query endpoints route by their anchor entity and must
+// come back byte-identical to asking the owning backend directly.
+func TestRouterQueryProxiesBitIdentical(t *testing.T) {
+	rt, backends, d := testCluster(t, 3)
+
+	anchors := []api.EntityRef{
+		{Kind: api.KindItem, ID: 3},
+		{Kind: api.KindItem, ID: d.Train[0][1]},
+		{Kind: api.KindUser, ID: 0},
+		{Kind: api.KindUser, ID: d.NumUsers - 1},
+	}
+	ownerOf := func(ref api.EntityRef) int {
+		if ref.Kind == api.KindUser {
+			return rt.BackendFor(shard.UserKey(ref.ID))
+		}
+		return rt.BackendFor(shard.ItemKey(ref.ID))
+	}
+
+	for _, ref := range anchors {
+		path := fmt.Sprintf("/v1/query:nearest?entity=%s&k=5&type=any", ref)
+		owner := ownerOf(ref)
+		gotCode, gotBody := get(t, rt, path)
+		wantCode, wantBody := getDirect(t, backends[owner].URL, path)
+		if gotCode != wantCode || gotBody != wantBody {
+			t.Fatalf("nearest %s (backend %d): routed response differs\nrouted: %d %s\ndirect: %d %s",
+				ref, owner, gotCode, gotBody, wantCode, wantBody)
+		}
+	}
+
+	a := anchors[0]
+	path := fmt.Sprintf("/v1/query:analogy?a=%s&b=item:9&c=user:2&k=5", a)
+	owner := ownerOf(a)
+	gotCode, gotBody := get(t, rt, path)
+	wantCode, wantBody := getDirect(t, backends[owner].URL, path)
+	if gotCode != wantCode || gotBody != wantBody {
+		t.Fatalf("analogy: routed %d %s, direct %d %s", gotCode, gotBody, wantCode, wantBody)
+	}
+
+	// Malformed or missing anchors fall to backend 0 and surface the
+	// canonical serve-side validation envelope.
+	for _, path := range []string{
+		"/v1/query:nearest?entity=banana&k=5",
+		"/v1/query:nearest?k=5",
+		"/v1/query:analogy?a=org:1&b=item:9&c=user:2&k=5",
+	} {
+		code, body := get(t, rt, path)
+		if code != http.StatusBadRequest || !strings.Contains(body, "bad_param") {
+			t.Fatalf("%s: got %d %s, want 400 bad_param", path, code, body)
+		}
+	}
+}
+
+// The batch fan-out must stamp the resolved scoring mode on every
+// sub-batch: each user's ann ranking through the router must equal the
+// owning backend's own ann answer, and the merged ranking block must
+// report the mode that actually ran.
+func TestRouterBatchModePropagation(t *testing.T) {
+	rt, backends, _ := testCluster(t, 2)
+
+	users := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	raw, _ := json.Marshal(api.BatchRequest{Users: users, K: 5, Mode: api.ModeANN})
+	code, body := post(t, rt, "/v1/recommend:batch", raw)
+	if code != http.StatusOK {
+		t.Fatalf("ann batch status = %d: %s", code, body)
+	}
+	var merged api.BatchResponse
+	if err := json.Unmarshal([]byte(body), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Ranking.Mode != api.ModeANN || merged.Ranking.Fallback {
+		t.Fatalf("merged ranking = %+v, want ann without fallback", merged.Ranking)
+	}
+	if len(merged.Results) != len(users) {
+		t.Fatalf("got %d results, want %d", len(merged.Results), len(users))
+	}
+
+	// Backends span both owners, otherwise the test proves nothing.
+	seen := map[int]bool{}
+	for _, u := range users {
+		seen[rt.BackendFor(shard.UserKey(u))] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("test users all map to one backend: %v", seen)
+	}
+
+	for i, u := range users {
+		if merged.Results[i].User != u {
+			t.Fatalf("result %d is user %d, want %d (order not preserved)", i, merged.Results[i].User, u)
+		}
+		owner := rt.BackendFor(shard.UserKey(u))
+		sub, _ := json.Marshal(api.BatchRequest{Users: []int{u}, K: 5, Mode: api.ModeANN})
+		resp, err := http.Post(backends[owner].URL+"/v1/recommend:batch", "application/json", strings.NewReader(string(sub)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var direct api.BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&direct); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !reflect.DeepEqual(merged.Results[i].Recommendations, direct.Results[0].Recommendations) {
+			t.Fatalf("user %d: routed ann ranking differs from owner backend's ann ranking\nrouted: %+v\ndirect: %+v",
+				u, merged.Results[i].Recommendations, direct.Results[0].Recommendations)
+		}
+	}
+
+	// A mixed-mode batch is rejected whole with the canonical 400.
+	mixed := []byte(`{"users":[0,1],"k":5,"modes":["exact","ann"]}`)
+	code, body = post(t, rt, "/v1/recommend:batch", mixed)
+	if code != http.StatusBadRequest || !strings.Contains(body, "mixed-mode") {
+		t.Fatalf("mixed batch: got %d %s, want 400 mixed-mode", code, body)
+	}
+}
+
+// The merged stats view reports cluster-wide ann state: enabled only
+// when every backend has a live index.
+func TestRouterStatsANNMerge(t *testing.T) {
+	rt, _, _ := testCluster(t, 2)
+	var st api.Stats
+	_, body := get(t, rt, "/v1/stats")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.ANN.Enabled {
+		t.Fatalf("merged ann.enabled = false on an all-ann cluster: %+v", st.ANN)
+	}
+	if st.ANN.EfSearch <= 0 || st.ANN.Levels < 1 {
+		t.Fatalf("merged ann block not populated: %+v", st.ANN)
+	}
+
+	rtOff, _, _ := testCluster(t, 2, serve.WithoutANN())
+	_, body = get(t, rtOff, "/v1/stats")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ANN.Enabled {
+		t.Fatal("merged ann.enabled = true on an index-less cluster")
+	}
+}

@@ -12,9 +12,14 @@
 //   - /v1/recommend and /v1/explain route to the user's owning backend
 //     and /v1/similar to the item's, proxied byte-for-byte (status,
 //     error envelopes, trace headers pass through untouched).
-//   - /v1/recommend:batch splits the user list by owner, fans the
-//     sub-batches out concurrently, and reassembles the per-user
-//     results in request order.
+//   - /v1/query:nearest and /v1/query:analogy route to the backend
+//     owning their anchor entity (the "entity" and "a" parameters),
+//     proxied byte-for-byte like the single-key endpoints.
+//   - /v1/recommend:batch splits the user list by owner, resolves the
+//     batch-wide scoring mode (rejecting mixed-mode batches with the
+//     canonical serve-side 400), stamps that mode on every sub-batch,
+//     fans the sub-batches out concurrently, and reassembles the
+//     per-user results in request order.
 //   - /v1/health, /v1/health/ready, /v1/stats, and /v1/admin/reload
 //     fan out to every backend and merge, so one degraded or
 //     unreachable backend is visible without hiding the healthy rest.
@@ -94,6 +99,8 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/v1/recommend", rt.byKey("user", shard.UserKey))
 	rt.mux.HandleFunc("/v1/explain", rt.byKey("user", shard.UserKey))
 	rt.mux.HandleFunc("/v1/similar", rt.byKey("item", shard.ItemKey))
+	rt.mux.HandleFunc("/v1/query:nearest", rt.byEntity("entity"))
+	rt.mux.HandleFunc("/v1/query:analogy", rt.byEntity("a"))
 	rt.mux.HandleFunc("/v1/recommend:batch", rt.handleBatch)
 	rt.mux.HandleFunc("/v1/health", rt.handleHealth)
 	rt.mux.HandleFunc("/v1/health/live", rt.handleLive)
@@ -141,6 +148,26 @@ func (rt *Router) byKey(param string, key func(int) uint64) http.HandlerFunc {
 		idx := 0
 		if v, err := strconv.Atoi(r.URL.Query().Get(param)); err == nil {
 			idx = rt.BackendFor(key(v))
+		}
+		rt.proxy(w, r, idx)
+	}
+}
+
+// byEntity routes a semantic-query GET to the backend owning its
+// anchor entity ("kind:id" in param — the "entity" anchor of
+// query:nearest, the "a" anchor of query:analogy), proxying the
+// exchange byte-for-byte exactly like byKey. Malformed or missing
+// anchors go to backend 0 so the canonical serve-side validation
+// envelope comes back unmodified.
+func (rt *Router) byEntity(param string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		idx := 0
+		if ref, e := api.ParseEntityRef(r.URL.Query().Get(param)); e == nil {
+			if ref.Kind == api.KindUser {
+				idx = rt.BackendFor(shard.UserKey(ref.ID))
+			} else {
+				idx = rt.BackendFor(shard.ItemKey(ref.ID))
+			}
 		}
 		rt.proxy(w, r, idx)
 	}
@@ -243,6 +270,17 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		rt.proxy(w, r, 0)
 		return
 	}
+	// Resolve the batch-wide scoring mode before splitting: each
+	// sub-batch must carry the same resolved mode, and a mixed-mode
+	// batch must be rejected whole rather than split into sub-batches
+	// that would each look uniform. A resolution failure forwards the
+	// raw body so the canonical serve-side 400 envelope comes back.
+	mode, modeErr := (api.Validator{}).ResolveBatchMode(&req)
+	if modeErr != nil {
+		r.Body = io.NopCloser(bytes.NewReader(raw))
+		rt.proxy(w, r, 0)
+		return
+	}
 
 	// Group users by owning backend, remembering request positions.
 	groups := make(map[int][]int)    // backend -> users
@@ -267,7 +305,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(s *sub) {
 			defer wg.Done()
-			body, err := json.Marshal(api.BatchRequest{Users: groups[s.backend], K: req.K})
+			body, err := json.Marshal(api.BatchRequest{Users: groups[s.backend], K: req.K, Mode: mode})
 			if err != nil {
 				s.err = err
 				return
@@ -278,6 +316,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 
 	out := api.BatchResponse{Results: make([]api.UserRecommendations, len(req.Users))}
+	first := true
 	for _, s := range subs {
 		if s.err != nil {
 			// Any sub-batch failure fails the whole request with the
@@ -293,6 +332,20 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out.K = s.resp.K
 		if s.resp.Degraded {
 			out.Degraded = true
+		}
+		// Ranking merges like the dispatcher merges per-user info: any
+		// sub-batch still in ann mode keeps the batch in ann mode (with
+		// the widest ef), and a merged all-exact answer to an ann
+		// request reads as a fallback.
+		if first || s.resp.Ranking.Mode == api.ModeANN && out.Ranking.Mode != api.ModeANN {
+			out.Ranking.Mode = s.resp.Ranking.Mode
+			first = false
+		}
+		if s.resp.Ranking.EF > out.Ranking.EF {
+			out.Ranking.EF = s.resp.Ranking.EF
+		}
+		if s.resp.Ranking.Fallback {
+			out.Ranking.Fallback = true
 		}
 		for j, res := range s.resp.Results {
 			out.Results[positions[s.backend][j]] = res
@@ -403,8 +456,23 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Ready:     true,
 		Endpoints: make(map[string]api.EndpointStats),
 	}
+	// The ann block is enabled only when every backend has a live
+	// index (one exhaustive-only backend makes cluster-wide ann claims
+	// false); build cost and depth take the worst backend like the
+	// latency quantiles do, and ef_search comes from backend 0 since
+	// every backend publishes the same configured default.
+	merged.ANN = stats[0].ANN
 	shardID := 0
 	for _, st := range stats {
+		if !st.ANN.Enabled {
+			merged.ANN.Enabled = false
+		}
+		if st.ANN.BuildMS > merged.ANN.BuildMS {
+			merged.ANN.BuildMS = st.ANN.BuildMS
+		}
+		if st.ANN.Levels > merged.ANN.Levels {
+			merged.ANN.Levels = st.ANN.Levels
+		}
 		if st.UptimeMS > merged.UptimeMS {
 			merged.UptimeMS = st.UptimeMS
 		}

@@ -69,6 +69,18 @@ func Overloaded() *Error {
 	}
 }
 
+// NoEmbeddings is the 503 envelope for semantic queries routed to a
+// shard whose scorer has no embedding geometry (it is serving the
+// popularity fallback): nearest/analogy are defined on the embedding
+// space and have no degraded approximation.
+func NoEmbeddings() *Error {
+	return &Error{
+		Code:    "degraded",
+		Message: "shard is serving the popularity fallback; semantic queries need model embeddings",
+		Status:  http.StatusServiceUnavailable,
+	}
+}
+
 // Recommendation is one ranked data object.
 type Recommendation struct {
 	Rank     int     `json:"rank"`
@@ -92,14 +104,20 @@ type Health struct {
 // RecommendResponse is the GET /v1/recommend payload.
 type RecommendResponse struct {
 	Degraded        bool             `json:"degraded"`
+	Ranking         RankingInfo      `json:"ranking"`
 	Recommendations []Recommendation `json:"recommendations"`
 	User            int              `json:"user"`
 }
 
-// BatchRequest is the POST /v1/recommend:batch body.
+// BatchRequest is the POST /v1/recommend:batch body. Mode selects the
+// scoring mode for the whole batch; Modes optionally spells it per
+// user, but every entry must agree (a mixed-mode batch is a 400, never
+// a silent default) — see Validator.ResolveBatchMode.
 type BatchRequest struct {
-	Users []int `json:"users"`
-	K     int   `json:"k"`
+	Users []int    `json:"users"`
+	K     int      `json:"k"`
+	Mode  string   `json:"mode,omitempty"`
+	Modes []string `json:"modes,omitempty"`
 }
 
 // UserRecommendations pairs a user with their ranked items. Degraded
@@ -114,9 +132,12 @@ type UserRecommendations struct {
 
 // BatchResponse is the POST /v1/recommend:batch payload. Degraded is
 // true when any user in the batch was answered by the fallback.
+// Ranking reports the batch-wide scoring mode; Fallback is set when
+// any user's shard fell back to exhaustive scoring.
 type BatchResponse struct {
 	Degraded bool                  `json:"degraded"`
 	K        int                   `json:"k"`
+	Ranking  RankingInfo           `json:"ranking"`
 	Results  []UserRecommendations `json:"results"`
 }
 
@@ -124,6 +145,7 @@ type BatchResponse struct {
 type SimilarResponse struct {
 	Degraded bool             `json:"degraded"`
 	Item     int              `json:"item"`
+	Ranking  RankingInfo      `json:"ranking"`
 	Similar  []Recommendation `json:"similar"`
 }
 
@@ -201,6 +223,7 @@ type Stats struct {
 	Reloads   uint64                   `json:"reloads"`
 	ReloadErr uint64                   `json:"reload_failures"`
 	Limits    Limits                   `json:"limits"`
+	ANN       ANNStats                 `json:"ann"`
 	Cache     CacheStats               `json:"cache"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Shards    []ShardStats             `json:"shards"`

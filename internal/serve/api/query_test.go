@@ -1,0 +1,114 @@
+package api
+
+import "testing"
+
+func TestParseEntityRef(t *testing.T) {
+	ref, e := ParseEntityRef("item:42")
+	if e != nil || ref.Kind != KindItem || ref.ID != 42 {
+		t.Fatalf("ParseEntityRef(item:42) = %+v, %v", ref, e)
+	}
+	ref, e = ParseEntityRef("user:0")
+	if e != nil || ref.Kind != KindUser || ref.ID != 0 {
+		t.Fatalf("ParseEntityRef(user:0) = %+v, %v", ref, e)
+	}
+	if got := ref.String(); got != "user:0" {
+		t.Fatalf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "item", "item:", "item:x", "thing:3", "item:1:2"} {
+		if _, e := ParseEntityRef(bad); e == nil || e.Code != "bad_param" || e.Status != 400 {
+			t.Fatalf("ParseEntityRef(%q) = %v, want bad_param 400", bad, e)
+		}
+	}
+}
+
+func TestValidatorMode(t *testing.T) {
+	v := testValidator()
+	m, e := v.Mode("")
+	if e != nil || m != ModeExact {
+		t.Fatalf("Mode(\"\") = %q, %v, want exact default", m, e)
+	}
+	for _, ok := range []string{ModeExact, ModeANN} {
+		if m, e := v.Mode(ok); e != nil || m != ok {
+			t.Fatalf("Mode(%q) = %q, %v", ok, m, e)
+		}
+	}
+	for _, bad := range []string{"fast", "ANN", "exactish"} {
+		if _, e := v.Mode(bad); e == nil || e.Code != "bad_param" || e.Status != 400 {
+			t.Fatalf("Mode(%q) = %v, want bad_param 400", bad, e)
+		}
+	}
+}
+
+func TestValidatorEF(t *testing.T) {
+	v := testValidator()
+	for _, ok := range []int{0, 1, DefaultMaxEF} {
+		if e := v.EF(ok); e != nil {
+			t.Fatalf("EF(%d): %v", ok, e)
+		}
+	}
+	for _, bad := range []int{-1, DefaultMaxEF + 1} {
+		if e := v.EF(bad); e == nil || e.Code != "bad_param" {
+			t.Fatalf("EF(%d) = %v, want bad_param", bad, e)
+		}
+	}
+	// A zero-limit validator still bounds ef by the package default.
+	loose := Validator{NumUsers: 1, NumItems: 1}
+	if e := loose.EF(DefaultMaxEF + 1); e == nil {
+		t.Fatalf("zero-limit EF accepted %d", DefaultMaxEF+1)
+	}
+}
+
+func TestValidatorEntityAndTypeFilter(t *testing.T) {
+	v := testValidator() // 10 users, 20 items
+	if e := v.Entity(EntityRef{Kind: KindUser, ID: 9}); e != nil {
+		t.Fatalf("Entity(user:9): %v", e)
+	}
+	if e := v.Entity(EntityRef{Kind: KindItem, ID: 19}); e != nil {
+		t.Fatalf("Entity(item:19): %v", e)
+	}
+	if e := v.Entity(EntityRef{Kind: KindUser, ID: 10}); e == nil || e.Code != "not_found" {
+		t.Fatalf("Entity(user:10) = %v, want not_found", e)
+	}
+	if e := v.Entity(EntityRef{Kind: "thing", ID: 0}); e == nil || e.Code != "bad_param" {
+		t.Fatalf("Entity(thing:0) = %v, want bad_param", e)
+	}
+	for _, ok := range []string{"", KindUser, KindItem, "any"} {
+		if e := v.TypeFilter(ok); e != nil {
+			t.Fatalf("TypeFilter(%q): %v", ok, e)
+		}
+	}
+	if e := v.TypeFilter("dataset"); e == nil || e.Code != "bad_param" {
+		t.Fatalf("TypeFilter(dataset) = %v, want bad_param", e)
+	}
+}
+
+func TestResolveBatchMode(t *testing.T) {
+	v := testValidator()
+	cases := []struct {
+		name string
+		req  BatchRequest
+		want string
+		bad  bool
+	}{
+		{"default", BatchRequest{}, ModeExact, false},
+		{"mode only", BatchRequest{Mode: ModeANN}, ModeANN, false},
+		{"uniform modes", BatchRequest{Modes: []string{ModeANN, ModeANN}}, ModeANN, false},
+		{"modes agree with mode", BatchRequest{Mode: ModeANN, Modes: []string{ModeANN}}, ModeANN, false},
+		{"mixed modes", BatchRequest{Modes: []string{ModeANN, ModeExact}}, "", true},
+		{"modes conflict with mode", BatchRequest{Mode: ModeExact, Modes: []string{ModeANN}}, "", true},
+		{"invalid mode", BatchRequest{Mode: "turbo"}, "", true},
+		{"invalid entry", BatchRequest{Modes: []string{ModeANN, "turbo"}}, "", true},
+	}
+	for _, tc := range cases {
+		got, e := v.ResolveBatchMode(&tc.req)
+		if tc.bad {
+			if e == nil || e.Code != "bad_param" || e.Status != 400 {
+				t.Fatalf("%s: err = %v, want bad_param 400", tc.name, e)
+			}
+			continue
+		}
+		if e != nil || got != tc.want {
+			t.Fatalf("%s: = %q, %v, want %q", tc.name, got, e, tc.want)
+		}
+	}
+}

@@ -9,9 +9,10 @@ package api
 
 // Default bounds for the tunable request limits.
 const (
-	DefaultK        = 10  // k when the caller omits it
-	DefaultMaxK     = 200 // largest accepted k
-	DefaultMaxBatch = 256 // most users per recommend:batch call
+	DefaultK        = 10   // k when the caller omits it
+	DefaultMaxK     = 200  // largest accepted k
+	DefaultMaxBatch = 256  // most users per recommend:batch call
+	DefaultMaxEF    = 4096 // largest accepted ann search breadth
 )
 
 // Limits are the documented request bounds, surfaced verbatim in the
@@ -19,11 +20,12 @@ const (
 type Limits struct {
 	MaxK     int `json:"max_k"`
 	MaxBatch int `json:"max_batch"`
+	MaxEF    int `json:"max_ef"`
 }
 
 // DefaultLimits returns the standard bounds.
 func DefaultLimits() Limits {
-	return Limits{MaxK: DefaultMaxK, MaxBatch: DefaultMaxBatch}
+	return Limits{MaxK: DefaultMaxK, MaxBatch: DefaultMaxBatch, MaxEF: DefaultMaxEF}
 }
 
 // Validator checks request parameters against one facility's
@@ -98,4 +100,83 @@ func (v Validator) Batch(users []int) *Error {
 		}
 	}
 	return nil
+}
+
+// Mode resolves a scoring-mode parameter: empty takes the exact
+// default, anything but the two published modes is a 400.
+func (v Validator) Mode(mode string) (string, *Error) {
+	switch mode {
+	case "":
+		return ModeExact, nil
+	case ModeExact, ModeANN:
+		return mode, nil
+	}
+	return "", BadParam("mode must be %q or %q, got %q", ModeExact, ModeANN, mode)
+}
+
+// EF validates an explicitly supplied ann search breadth; zero means
+// "server default" and is always accepted.
+func (v Validator) EF(ef int) *Error {
+	max := v.Limits.MaxEF
+	if max == 0 {
+		max = DefaultMaxEF
+	}
+	if ef < 0 || ef > max {
+		return BadParam("ef must be in [0, %d]", max)
+	}
+	return nil
+}
+
+// Entity checks that a parsed EntityRef names a real user or item.
+func (v Validator) Entity(ref EntityRef) *Error {
+	switch ref.Kind {
+	case KindUser:
+		return v.User(ref.ID)
+	case KindItem:
+		return v.Item(ref.ID)
+	}
+	return BadParam("entity kind must be %q or %q, got %q", KindUser, KindItem, ref.Kind)
+}
+
+// TypeFilter validates the result-type filter of the query endpoints:
+// empty means "same kind as the anchor decides" (resolved by the
+// handler), otherwise the filter restricts results to one kind or
+// explicitly allows both.
+func (v Validator) TypeFilter(t string) *Error {
+	switch t {
+	case "", KindUser, KindItem, "any":
+		return nil
+	}
+	return BadParam("type must be %q, %q, or \"any\", got %q", KindUser, KindItem, t)
+}
+
+// ResolveBatchMode resolves the scoring mode of a recommend:batch
+// request. Modes, when present, must be uniform and agree with Mode —
+// a heterogeneous batch cannot fan out to shards under one contract,
+// so it is rejected with a 400 rather than silently defaulting.
+func (v Validator) ResolveBatchMode(req *BatchRequest) (string, *Error) {
+	mode, e := v.Mode(req.Mode)
+	if e != nil {
+		return "", e
+	}
+	if len(req.Modes) == 0 {
+		return mode, nil
+	}
+	first, e := v.Mode(req.Modes[0])
+	if e != nil {
+		return "", e
+	}
+	for _, m := range req.Modes[1:] {
+		got, e := v.Mode(m)
+		if e != nil {
+			return "", e
+		}
+		if got != first {
+			return "", BadParam("mixed-mode batch: modes[] mixes %q and %q; split the batch per mode", first, got)
+		}
+	}
+	if req.Mode != "" && first != mode {
+		return "", BadParam("mixed-mode batch: mode=%q conflicts with modes[]=%q", mode, first)
+	}
+	return first, nil
 }

@@ -26,6 +26,8 @@ type Client struct {
 	base        string
 	hc          *http.Client
 	retryOnShed bool
+	mode        string
+	ef          int
 }
 
 // Option customizes a Client.
@@ -40,6 +42,17 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // first (respecting ctx cancellation). Off by default: callers with
 // their own retry/backoff layer should see every ErrShed.
 func WithRetryOnShed() Option { return func(c *Client) { c.retryOnShed = true } }
+
+// WithMode stamps a scoring mode (api.ModeExact or api.ModeANN) on
+// every ranking request the client sends — Recommend, RecommendBatch,
+// Similar, Nearest, and Analogy. The zero value leaves the server's
+// per-endpoint default in force (exact for recommend/similar, ann for
+// the query endpoints).
+func WithMode(mode string) Option { return func(c *Client) { c.mode = mode } }
+
+// WithEF stamps an ann search-breadth override (the "ef" parameter) on
+// every ranking request; zero leaves the server default.
+func WithEF(ef int) Option { return func(c *Client) { c.ef = ef } }
 
 // New builds a client for the API at base, e.g. "http://localhost:8080".
 func New(base string, opts ...Option) *Client {
@@ -84,7 +97,16 @@ type (
 	Stats               = api.Stats
 	Health              = api.Health
 	ReloadResponse      = api.ReloadResponse
+	EntityRef           = api.EntityRef
+	Neighbor            = api.Neighbor
+	NearestResponse     = api.NearestResponse
+	AnalogyResponse     = api.AnalogyResponse
+	RankingInfo         = api.RankingInfo
 )
+
+// User and Item build entity references for the query endpoints.
+func User(id int) EntityRef { return EntityRef{Kind: api.KindUser, ID: id} }
+func Item(id int) EntityRef { return EntityRef{Kind: api.KindItem, ID: id} }
 
 // Health fetches service status.
 func (c *Client) Health(ctx context.Context) (Health, error) {
@@ -93,10 +115,22 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	return out, err
 }
 
+// rankValues applies the client-wide mode/ef overrides to a ranking
+// request's query parameters.
+func (c *Client) rankValues(q url.Values) url.Values {
+	if c.mode != "" {
+		q.Set("mode", c.mode)
+	}
+	if c.ef > 0 {
+		q.Set("ef", strconv.Itoa(c.ef))
+	}
+	return q
+}
+
 // Recommend fetches the top-k data objects for a user.
 func (c *Client) Recommend(ctx context.Context, user, k int) ([]Recommendation, error) {
 	var out api.RecommendResponse
-	q := url.Values{"user": {strconv.Itoa(user)}, "k": {strconv.Itoa(k)}}
+	q := c.rankValues(url.Values{"user": {strconv.Itoa(user)}, "k": {strconv.Itoa(k)}})
 	err := c.get(ctx, "/v1/recommend", q, &out)
 	return out.Recommendations, err
 }
@@ -104,7 +138,7 @@ func (c *Client) Recommend(ctx context.Context, user, k int) ([]Recommendation, 
 // RecommendBatch fetches top-k recommendations for many users in one
 // round trip; the server fans them out across its scorer shards.
 func (c *Client) RecommendBatch(ctx context.Context, users []int, k int) ([]UserRecommendations, error) {
-	body, err := json.Marshal(api.BatchRequest{Users: users, K: k})
+	body, err := json.Marshal(api.BatchRequest{Users: users, K: k, Mode: c.mode})
 	if err != nil {
 		return nil, err
 	}
@@ -116,9 +150,39 @@ func (c *Client) RecommendBatch(ctx context.Context, users []int, k int) ([]User
 // Similar fetches the k items closest to item in the CKG embedding.
 func (c *Client) Similar(ctx context.Context, item, k int) ([]Recommendation, error) {
 	var out api.SimilarResponse
-	q := url.Values{"item": {strconv.Itoa(item)}, "k": {strconv.Itoa(k)}}
+	q := c.rankValues(url.Values{"item": {strconv.Itoa(item)}, "k": {strconv.Itoa(k)}})
 	err := c.get(ctx, "/v1/similar", q, &out)
 	return out.Similar, err
+}
+
+// Nearest fetches the k entities closest to entity in the embedding
+// space. typ filters the result kind ("user", "item", or "any"); empty
+// defaults to the anchor's own kind. The full response is returned so
+// callers can inspect the ranking block (mode, ef, fallback).
+func (c *Client) Nearest(ctx context.Context, entity EntityRef, k int, typ string) (NearestResponse, error) {
+	var out NearestResponse
+	q := url.Values{"entity": {entity.String()}, "k": {strconv.Itoa(k)}}
+	if typ != "" {
+		q.Set("type", typ)
+	}
+	err := c.get(ctx, "/v1/query:nearest", c.rankValues(q), &out)
+	return out, err
+}
+
+// Analogy solves a - b + c in the embedding space and returns the k
+// entities nearest the resulting point, excluding the three anchors.
+// typ filters the result kind; empty defaults to a's kind.
+func (c *Client) Analogy(ctx context.Context, a, b, cc EntityRef, k int, typ string) (AnalogyResponse, error) {
+	var out AnalogyResponse
+	q := url.Values{
+		"a": {a.String()}, "b": {b.String()}, "c": {cc.String()},
+		"k": {strconv.Itoa(k)},
+	}
+	if typ != "" {
+		q.Set("type", typ)
+	}
+	err := c.get(ctx, "/v1/query:analogy", c.rankValues(q), &out)
+	return out, err
 }
 
 // Explain fetches the knowledge paths linking a user's history to item.

@@ -109,6 +109,35 @@ func (s *Server) kParam(qd *queryDecoder) (int, *apiError) {
 	return k, nil
 }
 
+// rankParams resolves the mode/ef scoring knobs shared by the ranking
+// endpoints. defaultMode fills an omitted mode: exact on recommend/
+// similar (the proven path), ann on the semantic query endpoints.
+func (s *Server) rankParams(qd *queryDecoder, defaultMode string) (shard.Query, *apiError) {
+	mode := qd.q.Get("mode")
+	if mode == "" {
+		mode = defaultMode
+	}
+	mode, e := s.validate.Mode(mode)
+	if e != nil {
+		return shard.Query{}, e
+	}
+	ef, present := qd.OptionalInt("ef")
+	if e := qd.Err(); e != nil {
+		return shard.Query{}, e
+	}
+	if present {
+		if e := s.validate.EF(ef); e != nil {
+			return shard.Query{}, e
+		}
+	}
+	return shard.Query{Mode: mode, EF: ef}, nil
+}
+
+// rankingInfo mirrors the dispatcher's report into the wire block.
+func rankingInfo(in shard.RankInfo) api.RankingInfo {
+	return api.RankingInfo{Mode: in.Mode, EF: in.EF, Fallback: in.Fallback}
+}
+
 // Recommendation and ExplainPath remain exported from serve for
 // back-compat; they are the shared wire types.
 type (
@@ -159,12 +188,18 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, e)
 		return
 	}
-	rk, degraded := s.disp.Recommend(r.Context(), user, k)
+	q, e := s.rankParams(qd, api.ModeExact)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	rk, info, degraded := s.disp.Recommend(r.Context(), user, k, q)
 	if degraded {
 		s.metrics.degraded.Add(1)
 	}
 	writeJSON(w, http.StatusOK, api.RecommendResponse{
 		Degraded:        degraded,
+		Ranking:         rankingInfo(info),
 		Recommendations: s.render(rk, 1),
 		User:            user,
 	})
@@ -201,8 +236,13 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	mode, e := s.validate.ResolveBatchMode(&req)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
 
-	ranked, perUser := s.disp.RecommendBatch(r.Context(), req.Users, k)
+	ranked, perUser, info := s.disp.RecommendBatch(r.Context(), req.Users, k, shard.Query{Mode: mode})
 	degraded := false
 	results := make([]api.UserRecommendations, len(req.Users))
 	for i, u := range req.Users {
@@ -218,7 +258,9 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	if degraded {
 		s.metrics.degraded.Add(1)
 	}
-	writeJSON(w, http.StatusOK, api.BatchResponse{Degraded: degraded, K: k, Results: results})
+	writeJSON(w, http.StatusOK, api.BatchResponse{
+		Degraded: degraded, K: k, Ranking: rankingInfo(info), Results: results,
+	})
 }
 
 // probeUsers selects up to maxProbes training users of an item,
@@ -261,12 +303,17 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, e)
 		return
 	}
+	q, e := s.rankParams(qd, api.ModeExact)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
 	probes := s.probeUsers(item)
 	if len(probes) == 0 {
 		s.writeError(w, r, notFound("item %d has no training interactions", item))
 		return
 	}
-	rk, scale, degraded, err := s.disp.Similar(r.Context(), item, k, probes)
+	rk, scale, info, degraded, err := s.disp.Similar(r.Context(), item, k, probes, q)
 	if err != nil {
 		s.writeError(w, r, timeoutErr())
 		return
@@ -277,7 +324,157 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.SimilarResponse{
 		Degraded: degraded,
 		Item:     item,
+		Ranking:  rankingInfo(info),
 		Similar:  s.render(rk, scale),
+	})
+}
+
+// entityParam decodes and validates one kind:id entity reference.
+func (s *Server) entityParam(qd *queryDecoder, name string) (api.EntityRef, *apiError) {
+	v := qd.q.Get(name)
+	if v == "" {
+		return api.EntityRef{}, badParam("missing required parameter %q", name)
+	}
+	ref, e := api.ParseEntityRef(v)
+	if e != nil {
+		return api.EntityRef{}, e
+	}
+	if e := s.validate.Entity(ref); e != nil {
+		return api.EntityRef{}, e
+	}
+	return ref, nil
+}
+
+// renderNeighbors decorates ranked entities with catalog metadata
+// (items only; users carry just their ID).
+func (s *Server) renderNeighbors(ns []shard.Neighbor) []api.Neighbor {
+	cat := s.d.Trace.Facility
+	out := make([]api.Neighbor, len(ns))
+	for i, n := range ns {
+		an := api.Neighbor{Rank: i + 1, Kind: n.Kind, ID: n.ID, Score: n.Score}
+		if n.Kind == api.KindItem {
+			item := cat.Items[n.ID]
+			an.Name = item.Name
+			an.Site = cat.Sites[item.Site].Name
+			an.DataType = cat.DataTypes[item.DataType].Name
+		}
+		out[i] = an
+	}
+	return out
+}
+
+// writeSemanticError maps dispatcher errors from the query endpoints
+// onto the envelope: no embedding geometry → 503, deadline → 504.
+func (s *Server) writeSemanticError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, shard.ErrNoEmbeddings) {
+		s.metrics.degraded.Add(1)
+		s.writeError(w, r, api.NoEmbeddings())
+		return
+	}
+	s.writeError(w, r, timeoutErr())
+}
+
+// handleQueryNearest serves GET /v1/query:nearest: the k entities
+// nearest to the anchor in embedding space (inner product), routed to
+// the anchor's owning shard. mode defaults to ann here — there is no
+// legacy behavior to preserve — with ?mode=exact forcing the linear
+// scan.
+func (s *Server) handleQueryNearest(w http.ResponseWriter, r *http.Request) {
+	qd := decodeQuery(r)
+	ref, e := s.entityParam(qd, "entity")
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	k, e := s.kParam(qd)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	typ := qd.q.Get("type")
+	if e := s.validate.TypeFilter(typ); e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	q, e := s.rankParams(qd, api.ModeANN)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	if typ == "" {
+		typ = ref.Kind
+	}
+	ns, info, degraded, err := s.disp.Nearest(r.Context(), ref, k, typ, q)
+	if err != nil {
+		s.writeSemanticError(w, r, err)
+		return
+	}
+	if degraded {
+		s.metrics.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, api.NearestResponse{
+		Degraded:  degraded,
+		Entity:    ref,
+		Type:      typ,
+		Ranking:   rankingInfo(info),
+		Neighbors: s.renderNeighbors(ns),
+	})
+}
+
+// handleQueryAnalogy serves GET /v1/query:analogy: entities nearest to
+// e_a − e_b + e_c ("datasets like a, but shifted the way c differs
+// from b"), routed to a's owning shard.
+func (s *Server) handleQueryAnalogy(w http.ResponseWriter, r *http.Request) {
+	qd := decodeQuery(r)
+	a, e := s.entityParam(qd, "a")
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	b, e := s.entityParam(qd, "b")
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	c, e := s.entityParam(qd, "c")
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	k, e := s.kParam(qd)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	typ := qd.q.Get("type")
+	if e := s.validate.TypeFilter(typ); e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	q, e := s.rankParams(qd, api.ModeANN)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
+	if typ == "" {
+		typ = a.Kind
+	}
+	ns, info, degraded, err := s.disp.Analogy(r.Context(), a, b, c, k, typ, q)
+	if err != nil {
+		s.writeSemanticError(w, r, err)
+		return
+	}
+	if degraded {
+		s.metrics.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, api.AnalogyResponse{
+		Degraded:  degraded,
+		A:         a,
+		B:         b,
+		C:         c,
+		Type:      typ,
+		Ranking:   rankingInfo(info),
+		Neighbors: s.renderNeighbors(ns),
 	})
 }
 

@@ -210,6 +210,7 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 			Hits: hits, Misses: misses, HitRate: rate,
 			Entries: entries, Cap: s.cacheSize,
 		},
+		ANN:       s.disp.ANNStats(),
 		Endpoints: eps,
 		Shards:    s.disp.Stats(),
 	}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// neighborList pulls the neighbors array out of a query response body.
+func neighborList(t *testing.T, body map[string]any) []map[string]any {
+	t.Helper()
+	raw, ok := body["neighbors"].([]any)
+	if !ok {
+		t.Fatalf("missing neighbors array in %v", body)
+	}
+	out := make([]map[string]any, len(raw))
+	for i, n := range raw {
+		out[i] = n.(map[string]any)
+	}
+	return out
+}
+
+func rankingBlock(t *testing.T, body map[string]any) map[string]any {
+	t.Helper()
+	rb, ok := body["ranking"].(map[string]any)
+	if !ok {
+		t.Fatalf("missing ranking block in %v", body)
+	}
+	return rb
+}
+
+// TestQueryNearestHTTP: the nearest endpoint answers ann-mode by
+// default with ranked, score-descending neighbors that exclude the
+// anchor and respect the type filter.
+func TestQueryNearestHTTP(t *testing.T) {
+	s, _ := testServer(t)
+
+	rr, body := get(t, s, "/v1/query:nearest?entity=item:5&k=6&type=any")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("nearest status = %d, body %v", rr.Code, body)
+	}
+	if body["degraded"] != false {
+		t.Fatalf("degraded = %v, want false", body["degraded"])
+	}
+	if body["entity"] != "item:5" {
+		t.Fatalf("entity echo = %v, want item:5", body["entity"])
+	}
+	rb := rankingBlock(t, body)
+	if rb["mode"] != "ann" {
+		t.Fatalf("default query mode = %v, want ann", rb["mode"])
+	}
+	if rb["ef"].(float64) < 6 {
+		t.Fatalf("resolved ef = %v, want >= k", rb["ef"])
+	}
+	ns := neighborList(t, body)
+	if len(ns) != 6 {
+		t.Fatalf("got %d neighbors, want 6", len(ns))
+	}
+	prev := ns[0]["score"].(float64)
+	for i, n := range ns {
+		if int(n["rank"].(float64)) != i+1 {
+			t.Fatalf("neighbor %d has rank %v", i, n["rank"])
+		}
+		if n["kind"] == "item" && int(n["id"].(float64)) == 5 {
+			t.Fatal("anchor item:5 appeared in its own neighbor list")
+		}
+		if sc := n["score"].(float64); sc > prev {
+			t.Fatalf("scores not descending: %v after %v", sc, prev)
+		} else {
+			prev = sc
+		}
+	}
+
+	// Omitted type defaults to the anchor's kind; explicit filters
+	// restrict the result kind.
+	for _, tc := range []struct{ query, kind string }{
+		{"entity=item:5&k=4", "item"},
+		{"entity=user:3&k=4", "user"},
+		{"entity=item:5&k=4&type=user", "user"},
+	} {
+		_, body := get(t, s, "/v1/query:nearest?"+tc.query)
+		for _, n := range neighborList(t, body) {
+			if n["kind"] != tc.kind {
+				t.Fatalf("%s: neighbor kind %v, want %s", tc.query, n["kind"], tc.kind)
+			}
+		}
+	}
+
+	// Explicit exact mode bypasses the index but answers the same
+	// query shape.
+	_, body = get(t, s, "/v1/query:nearest?entity=item:5&k=6&mode=exact")
+	if rb := rankingBlock(t, body); rb["mode"] != "exact" {
+		t.Fatalf("exact-mode query reported mode %v", rb["mode"])
+	}
+
+	// Validation: malformed refs and unknown IDs use the standard
+	// envelope, exactly like the pre-existing endpoints.
+	for _, tc := range []struct {
+		path string
+		code string
+		st   int
+	}{
+		{"/v1/query:nearest?k=5", "bad_param", 400},
+		{"/v1/query:nearest?entity=banana&k=5", "bad_param", 400},
+		{"/v1/query:nearest?entity=org:3&k=5", "bad_param", 400},
+		{"/v1/query:nearest?entity=item:999999&k=5", "not_found", 404},
+		{"/v1/query:nearest?entity=item:5&k=5&type=thing", "bad_param", 400},
+		{"/v1/query:nearest?entity=item:5&k=5&mode=fast", "bad_param", 400},
+		{"/v1/query:nearest?entity=item:5&k=5&ef=999999", "bad_param", 400},
+	} {
+		rr, body := get(t, s, tc.path)
+		code, _ := envelopeCode(t, body)
+		if rr.Code != tc.st || code != tc.code {
+			t.Fatalf("%s: got %d %q, want %d %q", tc.path, rr.Code, code, tc.st, tc.code)
+		}
+	}
+}
+
+// TestQueryAnalogyHTTP: a - b + c excludes all three anchors and
+// carries the same ranking/envelope contract.
+func TestQueryAnalogyHTTP(t *testing.T) {
+	s, _ := testServer(t)
+
+	rr, body := get(t, s, "/v1/query:analogy?a=item:3&b=item:9&c=user:2&k=5&type=any")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("analogy status = %d, body %v", rr.Code, body)
+	}
+	if body["a"] != "item:3" || body["b"] != "item:9" || body["c"] != "user:2" {
+		t.Fatalf("anchor echo wrong: %v %v %v", body["a"], body["b"], body["c"])
+	}
+	if rb := rankingBlock(t, body); rb["mode"] != "ann" {
+		t.Fatalf("analogy default mode = %v, want ann", rb["mode"])
+	}
+	for _, n := range neighborList(t, body) {
+		kind, id := n["kind"].(string), int(n["id"].(float64))
+		for _, anchor := range []string{"item:3", "item:9", "user:2"} {
+			if fmt.Sprintf("%s:%d", kind, id) == anchor {
+				t.Fatalf("anchor %s leaked into analogy neighbors", anchor)
+			}
+		}
+	}
+
+	for _, tc := range []struct {
+		path string
+		code string
+		st   int
+	}{
+		{"/v1/query:analogy?a=item:3&b=item:9&k=5", "bad_param", 400},
+		{"/v1/query:analogy?a=item:3&b=nope&c=user:2&k=5", "bad_param", 400},
+		{"/v1/query:analogy?a=item:3&b=item:9&c=user:999999&k=5", "not_found", 404},
+	} {
+		rr, body := get(t, s, tc.path)
+		code, _ := envelopeCode(t, body)
+		if rr.Code != tc.st || code != tc.code {
+			t.Fatalf("%s: got %d %q, want %d %q", tc.path, rr.Code, code, tc.st, tc.code)
+		}
+	}
+}
+
+// TestQueryNoEmbeddingsHTTP: with no snapshot loaded the ranking
+// endpoints degrade to popularity, but the semantic queries have no
+// popularity analogue — they must answer the documented 503 envelope.
+func TestQueryNoEmbeddingsHTTP(t *testing.T) {
+	s, _ := degradedServer(t)
+	for _, path := range []string{
+		"/v1/query:nearest?entity=item:5&k=5",
+		"/v1/query:analogy?a=item:3&b=item:9&c=user:2&k=5",
+	} {
+		rr, body := get(t, s, path)
+		code, _ := envelopeCode(t, body)
+		if rr.Code != http.StatusServiceUnavailable || code != "degraded" {
+			t.Fatalf("%s on fallback server: got %d %q, want 503 degraded", path, rr.Code, code)
+		}
+	}
+}
+
+// TestRecommendModeKnobHTTP: recommend/similar keep exact as the
+// default, honor mode=ann with an honest ranking block, and reject
+// unknown modes.
+func TestRecommendModeKnobHTTP(t *testing.T) {
+	s, d := testServer(t)
+
+	_, body := get(t, s, "/v1/recommend?user=3&k=5")
+	if rb := rankingBlock(t, body); rb["mode"] != "exact" || rb["fallback"] != nil {
+		t.Fatalf("default recommend ranking = %v, want exact without fallback", rb)
+	}
+
+	rr, body := get(t, s, "/v1/recommend?user=3&k=5&mode=ann")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ann recommend status = %d", rr.Code)
+	}
+	if rb := rankingBlock(t, body); rb["mode"] != "ann" || rb["fallback"] != nil {
+		t.Fatalf("ann recommend ranking = %v, want ann without fallback", rb)
+	}
+	if len(body["recommendations"].([]any)) != 5 {
+		t.Fatalf("ann recommend returned %d items", len(body["recommendations"].([]any)))
+	}
+
+	warm := d.Train[0][1] // similar requires an item with interactions
+	_, body = get(t, s, fmt.Sprintf("/v1/similar?item=%d&k=5&mode=ann", warm))
+	if rb := rankingBlock(t, body); rb["mode"] != "ann" {
+		t.Fatalf("ann similar ranking = %v", rb)
+	}
+
+	rr, body = get(t, s, "/v1/recommend?user=3&k=5&mode=fast")
+	if code, _ := envelopeCode(t, body); rr.Code != 400 || code != "bad_param" {
+		t.Fatalf("bad mode: got %d %q", rr.Code, code)
+	}
+}
+
+// TestANNFallbackOverHTTP: a server with the index disabled still
+// honors mode=ann requests by falling back to exhaustive scoring, and
+// says so in the ranking block instead of failing or lying.
+func TestANNFallbackOverHTTP(t *testing.T) {
+	s, _ := testServer(t, WithoutANN())
+
+	rr, annBody := get(t, s, "/v1/recommend?user=3&k=5&mode=ann")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("fallback recommend status = %d", rr.Code)
+	}
+	rb := rankingBlock(t, annBody)
+	if rb["mode"] != "exact" || rb["fallback"] != true {
+		t.Fatalf("fallback ranking = %v, want exact+fallback", rb)
+	}
+	// The fallback answer is the exact answer, not an approximation.
+	_, exactBody := get(t, s, "/v1/recommend?user=3&k=5")
+	if fmt.Sprint(annBody["recommendations"]) != fmt.Sprint(exactBody["recommendations"]) {
+		t.Fatal("fallback rankings differ from exact rankings")
+	}
+
+	// The semantic queries serve exhaustively and report the fallback.
+	rr, body := get(t, s, "/v1/query:nearest?entity=item:5&k=5")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("nearest without index status = %d", rr.Code)
+	}
+	if rb := rankingBlock(t, body); rb["mode"] != "exact" || rb["fallback"] != true {
+		t.Fatalf("nearest without index ranking = %v, want exact+fallback", rb)
+	}
+
+	// The stats block is honest about the missing index.
+	_, st := get(t, s, "/v1/stats")
+	if ann := st["ann"].(map[string]any); ann["enabled"] != false {
+		t.Fatalf("stats ann.enabled = %v on WithoutANN server", ann["enabled"])
+	}
+}
+
+// TestBatchModeHTTP: the batch endpoint resolves one mode for the
+// whole request and rejects heterogeneous mode lists with a 400.
+func TestBatchModeHTTP(t *testing.T) {
+	s, _ := testServer(t)
+
+	rr, body := do(t, s, http.MethodPost, "/v1/recommend:batch",
+		`{"users":[1,2,3],"k":4,"mode":"ann"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ann batch status = %d, body %v", rr.Code, body)
+	}
+	if rb := rankingBlock(t, body); rb["mode"] != "ann" {
+		t.Fatalf("ann batch ranking = %v", rb)
+	}
+
+	// Uniform modes[] agreeing with mode is accepted.
+	rr, _ = do(t, s, http.MethodPost, "/v1/recommend:batch",
+		`{"users":[1,2],"k":4,"mode":"ann","modes":["ann","ann"]}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("uniform modes[] batch status = %d", rr.Code)
+	}
+
+	for _, payload := range []string{
+		`{"users":[1,2],"k":4,"modes":["exact","ann"]}`,
+		`{"users":[1,2],"k":4,"mode":"exact","modes":["ann","ann"]}`,
+	} {
+		rr, body := do(t, s, http.MethodPost, "/v1/recommend:batch", payload)
+		code, _ := envelopeCode(t, body)
+		msg := body["error"].(map[string]any)["message"].(string)
+		if rr.Code != 400 || code != "bad_param" || !strings.Contains(msg, "mixed-mode") {
+			t.Fatalf("mixed batch %s: got %d %q %q", payload, rr.Code, code, msg)
+		}
+	}
+}
+
+// TestStatsANNBlockHTTP: /v1/stats publishes the index's vitals so
+// operators can see what the mode knob will actually do.
+func TestStatsANNBlockHTTP(t *testing.T) {
+	s, _ := testServer(t)
+	_, body := get(t, s, "/v1/stats")
+	ann, ok := body["ann"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing ann block: %v", body)
+	}
+	if ann["enabled"] != true {
+		t.Fatalf("ann.enabled = %v, want true", ann["enabled"])
+	}
+	if ann["ef_search"].(float64) <= 0 {
+		t.Fatalf("ann.ef_search = %v, want > 0", ann["ef_search"])
+	}
+	if ann["levels"].(float64) < 1 {
+		t.Fatalf("ann.levels = %v, want >= 1", ann["levels"])
+	}
+	if ann["build_ms"].(float64) < 0 {
+		t.Fatalf("ann.build_ms = %v, want >= 0", ann["build_ms"])
+	}
+}

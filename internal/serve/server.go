@@ -10,6 +10,8 @@
 //	GET  /v1/recommend?user=12&k=10      → top-K data objects for a user
 //	POST /v1/recommend:batch             → top-K for many users at once
 //	GET  /v1/similar?item=42&k=10        → items close to an item in the CKG
+//	GET  /v1/query:nearest?entity=item:42 → entities nearest in embedding space
+//	GET  /v1/query:analogy?a=item:1&b=item:2&c=item:3 → analogy query e_a−e_b+e_c
 //	GET  /v1/explain?user=12&item=42     → knowledge paths linking the
 //	                                       user's history to an item
 //	GET  /v1/stats                       → latency/cache/inflight metrics (JSON)
@@ -117,6 +119,7 @@ type Server struct {
 	reloadAttempts int
 	reloadBackoff  time.Duration
 	traceRing      int
+	annCfg         shard.ANNConfig
 }
 
 // Option customizes a Server at construction time.
@@ -185,7 +188,8 @@ func WithMaxProbes(n int) Option {
 }
 
 // WithLimits overrides the published request bounds (max k, max batch
-// size); they surface in the /v1/stats "limits" block.
+// size, max ann search breadth); they surface in the /v1/stats
+// "limits" block.
 func WithLimits(l api.Limits) Option {
 	return func(s *Server) {
 		if l.MaxK > 0 {
@@ -194,7 +198,27 @@ func WithLimits(l api.Limits) Option {
 		if l.MaxBatch > 0 {
 			s.limits.MaxBatch = l.MaxBatch
 		}
+		if l.MaxEF > 0 {
+			s.limits.MaxEF = l.MaxEF
+		}
 	}
+}
+
+// WithANN overrides the approximate-index configuration (construction
+// parameters, self-check floor). The index is on by default whenever
+// the scorer exposes embedding vectors; this option tunes it.
+func WithANN(cfg shard.ANNConfig) Option {
+	return func(s *Server) {
+		cfg.Enabled = true
+		s.annCfg = cfg
+	}
+}
+
+// WithoutANN disables the approximate index entirely: mode=ann
+// requests answer exhaustively with ranking.fallback=true, and the
+// semantic query endpoints scan the embedding rows linearly.
+func WithoutANN() Option {
+	return func(s *Server) { s.annCfg = shard.ANNConfig{Enabled: false} }
 }
 
 // WithTraceRing sets how many completed traces /v1/debug/traces
@@ -228,6 +252,7 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		reloadAttempts: DefaultReloadAttempts,
 		reloadBackoff:  DefaultReloadBackoff,
 		traceRing:      DefaultTraceRing,
+		annCfg:         shard.ANNConfig{Enabled: true},
 		routes:         make(map[string]bool),
 	}
 	for _, o := range opts {
@@ -250,6 +275,7 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		CSR:       s.csr,
 		Fallback:  eval.Popularity(d, s.csr),
 		Scorer:    scorer,
+		ANN:       s.annCfg,
 	})
 	s.cache = cacheView{disp: s.disp}
 	s.validate = api.Validator{Limits: s.limits, NumUsers: d.NumUsers, NumItems: d.NumItems}
@@ -264,6 +290,8 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 	s.route("/v1/recommend", http.MethodGet, s.handleRecommend)
 	s.route("/v1/recommend:batch", http.MethodPost, s.handleRecommendBatch)
 	s.route("/v1/similar", http.MethodGet, s.handleSimilar)
+	s.route("/v1/query:nearest", http.MethodGet, s.handleQueryNearest)
+	s.route("/v1/query:analogy", http.MethodGet, s.handleQueryAnalogy)
 	s.route("/v1/explain", http.MethodGet, s.handleExplain)
 	s.route("/v1/stats", http.MethodGet, s.handleStats)
 	s.route("/v1/admin/reload", http.MethodPost, s.handleReload)

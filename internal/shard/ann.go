@@ -1,0 +1,355 @@
+package shard
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/eval"
+	"repro/internal/serve/api"
+)
+
+// DefaultMinRecall is the self-check floor below which a freshly built
+// index is declared recall-suspect and discarded (the shard keeps
+// serving exhaustively).
+const DefaultMinRecall = 0.85
+
+// ErrNoEmbeddings reports that the shard's current scorer has no
+// embedding geometry (it is serving the popularity fallback), so
+// semantic queries — which are defined on the embedding space, not on
+// scores — cannot be answered at all, exactly or approximately.
+var ErrNoEmbeddings = errors.New("shard: scorer has no embedding geometry")
+
+// ANNConfig configures the per-shard approximate index.
+type ANNConfig struct {
+	Enabled   bool
+	Index     ann.Config // construction/search parameters (zero fields take ann defaults)
+	MinRecall float64    // self-check floor; <=0 means DefaultMinRecall
+	SyncBuild bool       // build synchronously on scorer swaps (tests; New always builds sync)
+}
+
+// Query carries the per-request scoring knobs threaded from the /v1
+// surface: the requested mode (api.ModeExact / api.ModeANN; empty means
+// exact) and an optional ann search breadth override.
+type Query struct {
+	Mode string
+	EF   int
+}
+
+// RankInfo reports how a ranking was actually produced, mirrored into
+// the response "ranking" block: the requested mode, the effective ef
+// when the index answered, and whether an ann request fell back to
+// exhaustive scoring (index absent, still building, or discarded as
+// recall-suspect).
+type RankInfo struct {
+	Mode     string
+	EF       int
+	Fallback bool
+}
+
+// annState is one shard's frozen approximate view of its scorer: dual
+// HNSW indexes over the item and user embedding rows plus the
+// VectorScorer they were built from. It rides inside scorerState so an
+// index can never outlive — or be consulted alongside — a scorer it
+// was not built from.
+type annState struct {
+	vs       eval.VectorScorer
+	items    *ann.Index
+	users    *ann.Index
+	buildDur time.Duration
+}
+
+// buildANN freezes sc's embedding matrices into HNSW indexes, then
+// self-checks both; a recall-suspect build returns nil and the caller
+// keeps serving exhaustively. Returns nil when sc has no embedding
+// geometry.
+func buildANN(sc eval.Scorer, cfg ANNConfig) *annState {
+	vs, ok := sc.(eval.VectorScorer)
+	if !ok || vs.Dim() == 0 {
+		return nil
+	}
+	minRecall := cfg.MinRecall
+	if minRecall <= 0 {
+		minRecall = DefaultMinRecall
+	}
+	start := time.Now()
+	items := ann.Build(vs.NumItems(), vs.Dim(), vs.ItemVector, cfg.Index)
+	users := ann.Build(vs.NumUsers(), vs.Dim(), vs.UserVector, cfg.Index)
+	st := &annState{vs: vs, items: items, users: users, buildDur: time.Since(start)}
+	seed := cfg.Index.Seed
+	if ann.SelfCheck(items, seed, 8, 10, 0) < minRecall ||
+		ann.SelfCheck(users, seed, 8, 10, 0) < minRecall {
+		return nil
+	}
+	return st
+}
+
+// attachANN publishes a built index onto sh if — and only if — the
+// shard still serves the state the build started from: a concurrent
+// scorer swap wins the CAS and the stale index is dropped on the floor.
+func (sh *Shard) attachANN(prev *scorerState, a *annState) bool {
+	if a == nil {
+		return false
+	}
+	next := &scorerState{scorer: prev.scorer, degraded: prev.degraded, ann: a}
+	if !sh.cur.CompareAndSwap(prev, next) {
+		return false
+	}
+	// No cache invalidation: the scorer is unchanged, and the index
+	// reproduces its arithmetic exactly.
+	if sh.annBuildG != nil {
+		sh.annBuildG.Set(float64(a.buildDur.Nanoseconds()) / 1e6)
+		sh.annLevelsG.Set(float64(a.items.Levels()))
+	}
+	return true
+}
+
+// spawnANNBuild (re)builds indexes for the freshly swapped states —
+// one shared build when every state carries the same scorer (the
+// SetScorer path), asynchronously unless SyncBuild — and CAS-attaches
+// the result per shard. Shards whose state moved on keep their new
+// state untouched.
+func (dp *Dispatcher) spawnANNBuild(states map[*Shard]*scorerState) {
+	if !dp.annCfg.Enabled {
+		return
+	}
+	// All states share one scorer instance on the SetScorer path; the
+	// deterministic build makes the shared index identical to per-shard
+	// builds, so build once and attach everywhere.
+	var shared eval.Scorer
+	same := true
+	for _, st := range states {
+		if shared == nil {
+			shared = st.scorer
+		} else if st.scorer != shared {
+			same = false
+		}
+	}
+	build := func() {
+		if same {
+			a := buildANN(shared, dp.annCfg)
+			for sh, st := range states {
+				sh.attachANN(st, a)
+			}
+			return
+		}
+		for sh, st := range states {
+			sh.attachANN(st, buildANN(st.scorer, dp.annCfg))
+		}
+	}
+	if dp.annCfg.SyncBuild {
+		build()
+		return
+	}
+	go build()
+}
+
+// resolveEF reports the effective search breadth: the request override
+// when present, else the configured default, floored at k (Search
+// cannot return k results with a narrower frontier).
+func (a *annState) resolveEF(ef, k int) int {
+	if ef <= 0 {
+		ef = a.items.EfSearch()
+	}
+	if ef < k {
+		ef = k
+	}
+	return ef
+}
+
+// annRecommendOn ranks user's top-k through the item index, excluding
+// training positives via the accept filter — the same set MaskTrain
+// suppresses on the exact path. Scores are bit-identical to the
+// exhaustive scorer's, so the two paths differ only by recall misses.
+func (dp *Dispatcher) annRecommendOn(a *annState, user, k, ef int) Ranked {
+	qv := a.vs.UserVector(user)
+	var accept func(int) bool
+	if train := dp.d.TrainByUser[user]; len(train) > 0 {
+		mask := make(map[int]struct{}, len(train))
+		for _, it := range train {
+			mask[it] = struct{}{}
+		}
+		accept = func(id int) bool { _, ok := mask[id]; return !ok }
+	}
+	items, scores := a.items.Search(qv, k, ef, accept)
+	return Ranked{Items: items, Scores: scores}
+}
+
+// ANNStats renders the /v1/stats "ann" block: enabled only when every
+// shard holds a live index, the slowest build, and the deepest graph.
+func (dp *Dispatcher) ANNStats() api.ANNStats {
+	out := api.ANNStats{Enabled: dp.annCfg.Enabled}
+	ef := dp.annCfg.Index.EfSearch
+	if ef <= 0 {
+		ef = ann.DefaultEfSearch
+	}
+	out.EfSearch = ef
+	for _, sh := range dp.shards {
+		a := sh.state().ann
+		if a == nil {
+			out.Enabled = false
+			continue
+		}
+		if ms := float64(a.buildDur.Nanoseconds()) / 1e6; ms > out.BuildMS {
+			out.BuildMS = ms
+		}
+		if lv := a.items.Levels(); lv > out.Levels {
+			out.Levels = lv
+		}
+	}
+	return out
+}
+
+// ShardANNReady reports whether shard i currently holds a live index
+// (tests and readiness probes).
+func (dp *Dispatcher) ShardANNReady(i int) bool { return dp.shards[i].state().ann != nil }
+
+// Neighbor is one ranked entity from a semantic query: a user or item
+// with its inner-product score against the query point.
+type Neighbor struct {
+	Kind  string
+	ID    int
+	Score float64
+}
+
+// vectorOf resolves an entity reference to its embedding row.
+func vectorOf(vs eval.VectorScorer, ref api.EntityRef) []float64 {
+	if ref.Kind == api.KindUser {
+		return vs.UserVector(ref.ID)
+	}
+	return vs.ItemVector(ref.ID)
+}
+
+// searchKind ranks the k entities of one kind nearest to qv, through
+// the index when available, exhaustively over the embedding rows
+// otherwise. skip suppresses anchor entities. usedANN reports which
+// path ran.
+func searchKind(a *annState, vs eval.VectorScorer, kind string, qv []float64, k, ef int, skip func(string, int) bool) (ids []int, scores []float64, usedANN bool) {
+	accept := func(id int) bool { return skip == nil || !skip(kind, id) }
+	if a != nil {
+		ix := a.items
+		if kind == api.KindUser {
+			ix = a.users
+		}
+		ids, scores = ix.Search(qv, k, ef, accept)
+		return ids, scores, true
+	}
+	n := vs.NumItems()
+	row := vs.ItemVector
+	if kind == api.KindUser {
+		n = vs.NumUsers()
+		row = vs.UserVector
+	}
+	ids, scores = exhaustiveTopK(n, row, qv, k, accept)
+	return ids, scores, false
+}
+
+// exhaustiveTopK is the index-free nearest scan: same scores, same
+// (score desc, ID asc) order, linear cost.
+func exhaustiveTopK(n int, row func(int) []float64, qv []float64, k int, accept func(int) bool) ([]int, []float64) {
+	ids := make([]int, 0, k)
+	scores := make([]float64, 0, k)
+	for i := 0; i < n; i++ {
+		if accept != nil && !accept(i) {
+			continue
+		}
+		v := row(i)
+		var s float64
+		for j := range qv {
+			s += qv[j] * v[j]
+		}
+		// Insertion into the running top-k (k is request-bounded small).
+		if len(ids) == k && s <= scores[k-1] {
+			continue
+		}
+		pos := len(ids)
+		for pos > 0 && (scores[pos-1] < s) {
+			pos--
+		}
+		if len(ids) < k {
+			ids = append(ids, 0)
+			scores = append(scores, 0)
+		}
+		copy(ids[pos+1:], ids[pos:])
+		copy(scores[pos+1:], scores[pos:])
+		ids[pos], scores[pos] = i, s
+	}
+	return ids, scores
+}
+
+// mergeNeighbors interleaves per-kind rankings into one list ordered by
+// score desc, ties toward items first then smaller IDs — deterministic
+// regardless of which kinds contributed.
+func mergeNeighbors(k int, kinds []string, lists [][]int, scores [][]float64) []Neighbor {
+	heads := make([]int, len(lists))
+	out := make([]Neighbor, 0, k)
+	for len(out) < k {
+		best := -1
+		for li := range lists {
+			if heads[li] >= len(lists[li]) {
+				continue
+			}
+			if best < 0 {
+				best = li
+				continue
+			}
+			bs, ls := scores[best][heads[best]], scores[li][heads[li]]
+			if ls > bs || (ls == bs && kinds[li] < kinds[best]) ||
+				(ls == bs && kinds[li] == kinds[best] && lists[li][heads[li]] < lists[best][heads[best]]) {
+				best = li
+			}
+		}
+		if best < 0 {
+			break
+		}
+		h := heads[best]
+		out = append(out, Neighbor{Kind: kinds[best], ID: lists[best][h], Score: scores[best][h]})
+		heads[best]++
+	}
+	return out
+}
+
+// semanticSearch answers one embedding-space query: rank the entities
+// of the requested kinds nearest to qv, skipping anchors. It runs on
+// the owner shard's current state; an absent index answers exhaustively
+// with Fallback set when ann was requested.
+func (dp *Dispatcher) semanticSearch(sh *Shard, qv []float64, k int, typ string, q Query, skip func(string, int) bool) ([]Neighbor, RankInfo, bool, error) {
+	st := sh.state()
+	degraded := st.degraded
+	vs, ok := st.scorer.(eval.VectorScorer)
+	if !ok {
+		return nil, RankInfo{}, degraded, ErrNoEmbeddings
+	}
+	a := st.ann
+	if q.Mode == api.ModeExact {
+		a = nil // exact explicitly requested: bypass the index
+	}
+	kinds := []string{typ}
+	if typ == "any" {
+		kinds = []string{api.KindItem, api.KindUser}
+	}
+	ids := make([][]int, len(kinds))
+	scores := make([][]float64, len(kinds))
+	info := RankInfo{Mode: api.ModeExact}
+	anyANN := false
+	ef := 0
+	for i, kind := range kinds {
+		var used bool
+		var eff int
+		if a != nil {
+			eff = a.resolveEF(q.EF, k)
+		}
+		ids[i], scores[i], used = searchKind(a, vs, kind, qv, k, eff, skip)
+		if used {
+			anyANN = true
+			ef = eff
+		}
+	}
+	if anyANN {
+		info = RankInfo{Mode: api.ModeANN, EF: ef}
+	} else if q.Mode == api.ModeANN {
+		info.Fallback = true
+		dp.countANNFallback()
+	}
+	return mergeNeighbors(k, kinds, ids, scores), info, degraded, nil
+}

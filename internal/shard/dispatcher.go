@@ -54,10 +54,15 @@ const (
 	explainPerPair  = 2
 )
 
-// scorerState is one shard's atomically-swapped serving state.
+// scorerState is one shard's atomically-swapped serving state. ann is
+// the approximate index built from (and only ever consulted alongside)
+// this exact scorer; nil while absent, still building, or discarded as
+// recall-suspect — ann-mode requests then fall back to exhaustive
+// scoring.
 type scorerState struct {
 	scorer   eval.Scorer
 	degraded bool
+	ann      *annState
 }
 
 // Shard is one scorer replica: private scorer state, score cache,
@@ -75,22 +80,27 @@ type Shard struct {
 
 	// Registered mirrors; nil until Dispatcher.Register, which must be
 	// called before traffic starts.
-	inflightG *obs.Gauge
-	degradedG *obs.Gauge
-	requestsC *obs.Counter
+	inflightG  *obs.Gauge
+	degradedG  *obs.Gauge
+	requestsC  *obs.Counter
+	annBuildG  *obs.Gauge
+	annLevelsG *obs.Gauge
 }
 
 func (sh *Shard) state() *scorerState { return sh.cur.Load() }
 
 // setState swaps the shard's scorer, invalidates its cache (the
 // generation counter discards racing fills, exactly as on the
-// single-scorer path), and syncs the degraded gauge.
-func (sh *Shard) setState(sc eval.Scorer, fallback eval.Scorer) {
+// single-scorer path), and syncs the degraded gauge. The swap always
+// publishes with a nil index — a rebuild (spawnANNBuild) CAS-attaches
+// one later, so a stale index can never serve against a new scorer.
+// Returns the stored state so the rebuild can anchor its CAS.
+func (sh *Shard) setState(sc eval.Scorer, fallback eval.Scorer) *scorerState {
+	st := &scorerState{scorer: sc, degraded: false}
 	if sc == nil {
-		sh.cur.Store(&scorerState{scorer: fallback, degraded: true})
-	} else {
-		sh.cur.Store(&scorerState{scorer: sc, degraded: false})
+		st = &scorerState{scorer: fallback, degraded: true}
 	}
+	sh.cur.Store(st)
 	// Invalidate AFTER the swap: fills that start after the invalidate
 	// observe the new scorer through the atomic pointer.
 	sh.cache.Invalidate()
@@ -101,6 +111,7 @@ func (sh *Shard) setState(sc eval.Scorer, fallback eval.Scorer) {
 			sh.degradedG.Set(0)
 		}
 	}
+	return st
 }
 
 // begin/end bracket one routed request (or fan-out task) on the shard.
@@ -132,6 +143,12 @@ type Config struct {
 	CSR      *graph.CSR
 	Fallback *eval.PopularityScorer
 	Scorer   eval.Scorer // initial scorer; nil boots every shard degraded
+
+	// ANN configures the per-shard approximate index. When enabled and
+	// the initial scorer exposes embedding vectors, New builds the
+	// index synchronously — the snapshot-load freeze — while scorer
+	// swaps rebuild asynchronously behind a CAS attach.
+	ANN ANNConfig
 }
 
 // Dispatcher routes /v1 work onto its shards.
@@ -152,7 +169,26 @@ type Dispatcher struct {
 	userOwner []int32
 	itemOwner []int32
 
-	fanout *obs.Histogram // nil until Register
+	annCfg ANNConfig
+
+	fanout       *obs.Histogram    // nil until Register
+	rankLatency  *obs.HistogramVec // per-mode ranking latency, nil until Register
+	annFallbacks *obs.Counter      // nil until Register
+}
+
+// countANNFallback bumps the ann_fallback_total counter when an ann
+// request was answered exhaustively.
+func (dp *Dispatcher) countANNFallback() {
+	if dp.annFallbacks != nil {
+		dp.annFallbacks.Inc()
+	}
+}
+
+// observeRank records one ranking request's latency under its mode.
+func (dp *Dispatcher) observeRank(mode string, start time.Time) {
+	if dp.rankLatency != nil {
+		dp.rankLatency.With(mode).Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	}
 }
 
 // New builds a Dispatcher. Panics on a nil dataset, CSR, or fallback —
@@ -212,6 +248,18 @@ func New(cfg Config) *Dispatcher {
 	for it, ent := range cfg.Dataset.ItemEnt {
 		dp.itemOwner[it] = int32(Owner(ItemKey(ent), n))
 	}
+
+	// Snapshot-load freeze: the initial index builds synchronously, so
+	// a dispatcher constructed from a snapshot serves ann from its
+	// first request — only later hot swaps rebuild in the background.
+	dp.annCfg = cfg.ANN
+	if cfg.ANN.Enabled && cfg.Scorer != nil {
+		if a := buildANN(cfg.Scorer, dp.annCfg); a != nil {
+			for _, sh := range dp.shards {
+				sh.attachANN(sh.state(), a)
+			}
+		}
+	}
 	return dp
 }
 
@@ -250,18 +298,29 @@ func (dp *Dispatcher) DegradedShards() []int {
 func (dp *Dispatcher) ShardDegraded(i int) bool { return dp.shards[i].state().degraded }
 
 // SetScorer swaps every shard to sc (nil degrades all to the
-// popularity fallback), invalidating each shard's cache.
+// popularity fallback), invalidating each shard's cache. With ANN
+// enabled the index rebuilds once for the shared scorer and attaches
+// to every shard whose state has not moved on; requests served in the
+// window answer exhaustively with ranking.fallback=true.
 func (dp *Dispatcher) SetScorer(sc eval.Scorer) {
+	states := make(map[*Shard]*scorerState, len(dp.shards))
 	for _, sh := range dp.shards {
-		sh.setState(sc, dp.fallback)
+		states[sh] = sh.setState(sc, dp.fallback)
+	}
+	if sc != nil {
+		dp.spawnANNBuild(states)
 	}
 }
 
 // SetShardScorer swaps exactly one shard's scorer, leaving its
 // siblings — and their caches — untouched. A nil scorer degrades only
-// that shard.
+// that shard; otherwise the shard's index rebuilds in the background.
 func (dp *Dispatcher) SetShardScorer(i int, sc eval.Scorer) {
-	dp.shards[i].setState(sc, dp.fallback)
+	sh := dp.shards[i]
+	st := sh.setState(sc, dp.fallback)
+	if sc != nil {
+		dp.spawnANNBuild(map[*Shard]*scorerState{sh: st})
+	}
 }
 
 // Invalidate drops every shard's cached score vectors.
@@ -325,6 +384,25 @@ func (dp *Dispatcher) Register(reg *obs.Registry) {
 		"Per-shard score-vector cache misses.", "shard")
 	dp.fanout = reg.NewHistogram("shard_fanout_duration_ms",
 		"Cross-shard fan-out latency (recommend:batch, similar probes) in milliseconds.", nil)
+	reg.NewGaugeFunc("ann_enabled",
+		"1 when every shard holds a live approximate index.",
+		func() float64 {
+			if dp.ANNStats().Enabled {
+				return 1
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("ann_ef_search",
+		"Configured default ann search breadth.",
+		func() float64 { return float64(dp.ANNStats().EfSearch) })
+	annBuild := reg.NewGaugeVec("ann_build_duration_ms",
+		"Wall time of the shard's last successful index build.", "shard")
+	annLevels := reg.NewGaugeVec("ann_levels",
+		"Layer count of the shard's item index.", "shard")
+	dp.annFallbacks = reg.NewCounter("ann_fallback_total",
+		"ann-mode requests answered exhaustively (index absent, building, or recall-suspect).")
+	dp.rankLatency = reg.NewHistogramVec("shard_rank_duration_ms",
+		"Ranking latency by scoring mode (exact/ann) in milliseconds.", nil, "mode")
 	for _, sh := range dp.shards {
 		id := strconv.Itoa(sh.id)
 		sh.inflightG = inflight.With(id)
@@ -334,6 +412,12 @@ func (dp *Dispatcher) Register(reg *obs.Registry) {
 		}
 		sh.requestsC = requests.With(id)
 		sh.cache.CountInto(hits.With(id), misses.With(id))
+		sh.annBuildG = annBuild.With(id)
+		sh.annLevelsG = annLevels.With(id)
+		if a := sh.state().ann; a != nil {
+			sh.annBuildG.Set(float64(a.buildDur.Nanoseconds()) / 1e6)
+			sh.annLevelsG.Set(float64(a.items.Levels()))
+		}
 	}
 }
 
@@ -424,22 +508,41 @@ func (dp *Dispatcher) fallbackRank(user, k int) Ranked {
 	return r
 }
 
+// recommendWith runs one user's ranking on sh under the requested
+// mode: the shard's index when mode=ann and a live index exists,
+// exhaustive scoring otherwise (with info.Fallback set on an
+// unsatisfied ann request).
+func (dp *Dispatcher) recommendWith(sh *Shard, ctx context.Context, user, k int, q Query) (Ranked, RankInfo) {
+	if q.Mode == api.ModeANN {
+		if a := sh.state().ann; a != nil {
+			ef := a.resolveEF(q.EF, k)
+			return dp.annRecommendOn(a, user, k, ef), RankInfo{Mode: api.ModeANN, EF: ef}
+		}
+		dp.countANNFallback()
+		return dp.recommendOn(sh, ctx, user, k), RankInfo{Mode: api.ModeExact, Fallback: true}
+	}
+	return dp.recommendOn(sh, ctx, user, k), RankInfo{Mode: api.ModeExact}
+}
+
 // Recommend routes one user's top-k to the owning shard. degraded
 // reports whether the answer came from the popularity fallback —
 // either because the shard is degraded or because the model path blew
 // the deadline.
-func (dp *Dispatcher) Recommend(ctx context.Context, user, k int) (Ranked, bool) {
+func (dp *Dispatcher) Recommend(ctx context.Context, user, k int, q Query) (Ranked, RankInfo, bool) {
 	sh := dp.shards[dp.userOwner[user]]
 	sh.begin()
 	defer sh.end()
+	start := time.Now()
 	degraded := sh.state().degraded
-	r := dp.recommendOn(sh, ctx, user, k)
+	r, info := dp.recommendWith(sh, ctx, user, k, q)
 	if !degraded && ctx.Err() != nil {
 		// The model path blew the deadline; answer from the popularity
 		// prior rather than failing a recommendation request.
 		r, degraded = dp.fallbackRank(user, k), true
+		info = RankInfo{Mode: api.ModeExact, Fallback: q.Mode == api.ModeANN}
 	}
-	return r, degraded
+	dp.observeRank(info.Mode, start)
+	return r, info, degraded
 }
 
 // RecommendBatch fans the batch out across the owning shards of its
@@ -447,27 +550,50 @@ func (dp *Dispatcher) Recommend(ctx context.Context, user, k int) (Ranked, bool)
 // request order. degraded[i] reports per-user fallback answers. If the
 // deadline trips mid-batch every user is answered from the popularity
 // prior so the response is uniform.
-func (dp *Dispatcher) RecommendBatch(ctx context.Context, users []int, k int) ([]Ranked, []bool) {
+// RecommendBatch propagates the resolved batch mode to every fan-out
+// task — each user's owning shard ranks under the same Query — and
+// reports a batch-wide RankInfo: Fallback is set when any user's shard
+// answered exhaustively against an ann request.
+func (dp *Dispatcher) RecommendBatch(ctx context.Context, users []int, k int, q Query) ([]Ranked, []bool, RankInfo) {
 	start := time.Now()
 	results := make([]Ranked, len(users))
 	degraded := make([]bool, len(users))
+	infos := make([]RankInfo, len(users))
 	err := dp.runBounded(ctx, len(users), func(i int) {
 		sh := dp.shards[dp.userOwner[users[i]]]
 		sh.begin()
 		defer sh.end()
 		degraded[i] = sh.state().degraded
-		results[i] = dp.recommendOn(sh, ctx, users[i], k)
+		results[i], infos[i] = dp.recommendWith(sh, ctx, users[i], k, q)
 	})
+	info := RankInfo{Mode: api.ModeExact}
+	if q.Mode == api.ModeANN {
+		info.Mode = api.ModeANN
+		for _, in := range infos {
+			if in.EF > info.EF {
+				info.EF = in.EF
+			}
+			if in.Fallback {
+				info.Fallback = true
+			}
+		}
+		if info.EF == 0 {
+			// Every shard fell back; the batch ran exhaustively.
+			info = RankInfo{Mode: api.ModeExact, Fallback: true}
+		}
+	}
 	if err != nil {
 		for i, u := range users {
 			results[i] = dp.fallbackRank(u, k)
 			degraded[i] = true
 		}
+		info = RankInfo{Mode: api.ModeExact, Fallback: q.Mode == api.ModeANN}
 	}
 	if dp.fanout != nil {
 		dp.fanout.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 	}
-	return results, degraded
+	dp.observeRank(info.Mode, start)
+	return results, degraded, info
 }
 
 // Similar aggregates the probe users' score vectors — each fetched
@@ -477,11 +603,37 @@ func (dp *Dispatcher) RecommendBatch(ctx context.Context, users []int, k int) ([
 // any shard that contributed a probe vector (or the owner) is
 // degraded. scale is the factor the caller applies to scores when
 // rendering (1/len(probes)).
-func (dp *Dispatcher) Similar(ctx context.Context, item, k int, probes []int) (r Ranked, scale float64, degraded bool, err error) {
+func (dp *Dispatcher) Similar(ctx context.Context, item, k int, probes []int, q Query) (r Ranked, scale float64, info RankInfo, degraded bool, err error) {
 	owner := dp.shards[dp.itemOwner[item]]
 	owner.begin()
 	defer owner.end()
 	start := time.Now()
+
+	// ann path: Σ_p(e_p·e_i) = (Σ_p e_p)·e_i, so the cross-shard probe
+	// fan-out collapses to one index search on the owner with the
+	// summed probe vector. The aggregation is mathematically identical
+	// to the exact path; only float summation order differs.
+	if q.Mode == api.ModeANN {
+		if a := owner.state().ann; a != nil {
+			qv := make([]float64, a.vs.Dim())
+			for _, p := range probes {
+				uv := a.vs.UserVector(p)
+				for j := range qv {
+					qv[j] += uv[j]
+				}
+			}
+			ef := a.resolveEF(q.EF, k)
+			items, scores := a.items.Search(qv, k, ef, func(id int) bool { return id != item })
+			info = RankInfo{Mode: api.ModeANN, EF: ef}
+			dp.observeRank(info.Mode, start)
+			return Ranked{Items: items, Scores: scores}, 1 / float64(len(probes)), info,
+				owner.state().degraded, nil
+		}
+		dp.countANNFallback()
+		info.Fallback = true
+	}
+	info.Mode = api.ModeExact
+	defer func() { dp.observeRank(info.Mode, start) }()
 
 	var degradedBits atomic.Uint64
 	if owner.state().degraded {
@@ -499,7 +651,7 @@ func (dp *Dispatcher) Similar(ctx context.Context, item, k int, probes []int) (r
 		dp.fanout.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 	}
 	if err != nil {
-		return Ranked{}, 0, false, err
+		return Ranked{}, 0, info, false, err
 	}
 
 	agg := dp.scoreBufs.Get().([]float64)[:dp.d.NumItems]
@@ -514,7 +666,75 @@ func (dp *Dispatcher) Similar(ctx context.Context, item, k int, probes []int) (r
 	agg[item] = math.Inf(-1)
 	r = rankedFrom(agg, k)
 	dp.scoreBufs.Put(agg)
-	return r, 1 / float64(len(probes)), degradedBits.Load() != 0, nil
+	return r, 1 / float64(len(probes)), info, degradedBits.Load() != 0, nil
+}
+
+// Nearest answers /v1/query:nearest: the k entities closest to ref in
+// embedding space under inner product, excluding ref itself. The
+// request routes to — and is accounted against — the shard owning the
+// anchor entity. typ filters results to one kind ("" defaults to the
+// anchor's kind; "any" returns both). ErrNoEmbeddings when the owning
+// shard serves a scorer without embedding geometry.
+func (dp *Dispatcher) Nearest(ctx context.Context, ref api.EntityRef, k int, typ string, q Query) ([]Neighbor, RankInfo, bool, error) {
+	sh := dp.ownerOf(ref)
+	sh.begin()
+	defer sh.end()
+	start := time.Now()
+	st := sh.state()
+	vs, ok := st.scorer.(eval.VectorScorer)
+	if !ok {
+		return nil, RankInfo{}, st.degraded, ErrNoEmbeddings
+	}
+	if typ == "" {
+		typ = ref.Kind
+	}
+	skip := func(kind string, id int) bool { return kind == ref.Kind && id == ref.ID }
+	out, info, degraded, err := dp.semanticSearch(sh, vectorOf(vs, ref), k, typ, q, skip)
+	dp.observeRank(info.Mode, start)
+	return out, info, degraded, err
+}
+
+// Analogy answers /v1/query:analogy: entities nearest to the analogy
+// point e_a − e_b + e_c (Tran & Takasu's semantic query), excluding the
+// three anchors. Routed to a's owning shard. typ defaults to a's kind.
+func (dp *Dispatcher) Analogy(ctx context.Context, a, b, c api.EntityRef, k int, typ string, q Query) ([]Neighbor, RankInfo, bool, error) {
+	sh := dp.ownerOf(a)
+	sh.begin()
+	defer sh.end()
+	start := time.Now()
+	st := sh.state()
+	vs, ok := st.scorer.(eval.VectorScorer)
+	if !ok {
+		return nil, RankInfo{}, st.degraded, ErrNoEmbeddings
+	}
+	if typ == "" {
+		typ = a.Kind
+	}
+	va, vb, vc := vectorOf(vs, a), vectorOf(vs, b), vectorOf(vs, c)
+	qv := make([]float64, vs.Dim())
+	for j := range qv {
+		qv[j] = va[j] - vb[j] + vc[j]
+	}
+	anchors := []api.EntityRef{a, b, c}
+	skip := func(kind string, id int) bool {
+		for _, ref := range anchors {
+			if kind == ref.Kind && id == ref.ID {
+				return true
+			}
+		}
+		return false
+	}
+	out, info, degraded, err := dp.semanticSearch(sh, qv, k, typ, q, skip)
+	dp.observeRank(info.Mode, start)
+	return out, info, degraded, err
+}
+
+// ownerOf resolves the shard owning an entity reference.
+func (dp *Dispatcher) ownerOf(ref api.EntityRef) *Shard {
+	if ref.Kind == api.KindUser {
+		return dp.shards[dp.userOwner[ref.ID]]
+	}
+	return dp.shards[dp.itemOwner[ref.ID]]
 }
 
 // Explain walks the frozen CSR for knowledge paths from the user's

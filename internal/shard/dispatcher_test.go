@@ -83,7 +83,7 @@ func TestDispatcherSingleShardMatchesDirect(t *testing.T) {
 	dp, _ := testDispatcher(t, 1, sc)
 	ctx := context.Background()
 	for u := 0; u < d.NumUsers; u++ {
-		got, degraded := dp.Recommend(ctx, u, 10)
+		got, _, degraded := dp.Recommend(ctx, u, 10, Query{})
 		if degraded {
 			t.Fatalf("user %d: degraded with a healthy scorer", u)
 		}
@@ -110,7 +110,7 @@ func TestMergeDeterminismAcrossShardCounts(t *testing.T) {
 	want := make([]Ranked, d.NumUsers)
 	for u := range users {
 		users[u] = u
-		want[u], _ = ref.Recommend(ctx, u, 10)
+		want[u], _, _ = ref.Recommend(ctx, u, 10, Query{})
 	}
 
 	for _, n := range []int{2, 3, 4} {
@@ -124,7 +124,7 @@ func TestMergeDeterminismAcrossShardCounts(t *testing.T) {
 			t.Fatalf("N=%d: all users landed on one shard", n)
 		}
 		for u := range users {
-			got, degraded := dp.Recommend(ctx, u, 10)
+			got, _, degraded := dp.Recommend(ctx, u, 10, Query{})
 			if degraded {
 				t.Fatalf("N=%d user %d: unexpectedly degraded", n, u)
 			}
@@ -132,7 +132,7 @@ func TestMergeDeterminismAcrossShardCounts(t *testing.T) {
 				t.Fatalf("N=%d user %d: %v != single-shard %v", n, u, got, want[u])
 			}
 		}
-		batch, perUser := dp.RecommendBatch(ctx, users, 10)
+		batch, perUser, _ := dp.RecommendBatch(ctx, users, 10, Query{})
 		for u := range users {
 			if perUser[u] {
 				t.Fatalf("N=%d user %d: batch degraded", n, u)
@@ -190,7 +190,7 @@ func TestShardDegradationIsolation(t *testing.T) {
 	fallbackRef := testFallbackRanked(d, 10)
 	checkedGood, checkedBad := false, false
 	for u := 0; u < d.NumUsers; u++ {
-		got, degraded := dp.Recommend(ctx, u, 10)
+		got, _, degraded := dp.Recommend(ctx, u, 10, Query{})
 		if dp.ShardForUser(u) == bad {
 			checkedBad = true
 			if !degraded {
@@ -205,7 +205,7 @@ func TestShardDegradationIsolation(t *testing.T) {
 		if degraded {
 			t.Fatalf("user %d on healthy shard %d degraded", u, dp.ShardForUser(u))
 		}
-		want, _ := ref.Recommend(ctx, u, 10)
+		want, _, _ := ref.Recommend(ctx, u, 10, Query{})
 		if !rankedEqual(got, want) {
 			t.Fatalf("user %d on healthy shard: %v != trained ranking %v", u, got, want)
 		}
@@ -219,7 +219,7 @@ func TestShardDegradationIsolation(t *testing.T) {
 	for u := 0; u < d.NumUsers; u++ {
 		users = append(users, u)
 	}
-	_, perUser := dp.RecommendBatch(ctx, users, 5)
+	_, perUser, _ := dp.RecommendBatch(ctx, users, 5, Query{})
 	for u := range users {
 		if want := dp.ShardForUser(u) == bad; perUser[u] != want {
 			t.Fatalf("batch degraded[%d] = %v, want %v", u, perUser[u], want)
@@ -309,7 +309,7 @@ func TestSetShardScorerInvalidatesOnlyThatShard(t *testing.T) {
 		sh := dp.ShardForUser(u)
 		if !warmed[sh] {
 			warmed[sh] = true
-			dp.Recommend(ctx, u, 5)
+			dp.Recommend(ctx, u, 5, Query{})
 		}
 	}
 	if len(warmed) < 2 {
@@ -342,7 +342,7 @@ func TestRegisterShardMetrics(t *testing.T) {
 	dp, _ := testDispatcher(t, 2, &fakeScorer{n: d.NumItems})
 	reg := obs.NewRegistry()
 	dp.Register(reg)
-	dp.Recommend(context.Background(), 0, 5)
+	dp.Recommend(context.Background(), 0, 5, Query{})
 
 	var buf strings.Builder
 	if err := reg.WriteProm(&buf); err != nil {
@@ -377,10 +377,10 @@ func BenchmarkDispatcherBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
 			dp, _ := testDispatcher(b, n, sc)
 			ctx := context.Background()
-			dp.RecommendBatch(ctx, users, 10) // warm caches
+			dp.RecommendBatch(ctx, users, 10, Query{}) // warm caches
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				dp.RecommendBatch(ctx, users, 10)
+				dp.RecommendBatch(ctx, users, 10, Query{})
 			}
 		})
 	}

@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# Produces BENCH_ann.json: the ann-vs-exact scoring comparison in two
+# regimes, as a JSON array for the perf trajectory across PRs.
+#
+#   - BenchmarkSearchANN / BenchmarkSearchExact (internal/ann): raw
+#     index search against the exhaustive scan at 20k items x 32 dims —
+#     the catalog scale where the sublinear claim matters. The ann row
+#     carries mean recall@10 against the exact ranking.
+#   - BenchmarkRecommendMode (internal/shard): end-to-end dispatcher
+#     recommend in exact and ann mode at 1/2/4 shards on the OOI test
+#     dataset (~777 items), with recall@100 on the ann rows. At this
+#     catalog size exhaustive scoring is already cheap, so these rows
+#     track dispatch overhead and fidelity rather than the speedup.
+#
+# Each benchmark runs BENCHCOUNT times and the minimum ns/op is kept:
+# the minimum is the standard robust estimator on shared machines,
+# where co-tenant load only ever adds time. Extra metrics (recall)
+# ride along with the row that won on ns/op.
+#
+#   scripts/bench_ann.sh                 # default 1s x 3 per benchmark
+#   BENCHTIME=100x scripts/bench_ann.sh  # fixed iteration count
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_ann.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+BENCHCOUNT="${BENCHCOUNT:-3}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run XXX -bench 'BenchmarkSearchANN|BenchmarkSearchExact' \
+    -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" ./internal/ann/ | tee "$tmp"
+go test -run XXX -bench 'BenchmarkRecommendMode' \
+    -benchmem -benchtime "$BENCHTIME" -count "$BENCHCOUNT" ./internal/shard/ | tee -a "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; rec = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")      ns = $(i - 1)
+        if ($i == "B/op")       bytes = $(i - 1)
+        if ($i == "allocs/op")  allocs = $(i - 1)
+        if ($i == "recall@100") { rec = $(i - 1); recK[name] = "100" }
+        if ($i == "recall@10")  { rec = $(i - 1); recK[name] = "10" }
+    }
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        if (!(name in best)) order[nn++] = name
+        best[name] = ns
+        iters[name] = $2
+        mem[name] = bytes
+        alloc[name] = allocs
+        recall[name] = rec
+    }
+}
+END {
+    printf "[\n"
+    for (k = 0; k < nn; k++) {
+        name = order[k]
+        if (k) printf ",\n"
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters[name], best[name]
+        if (mem[name] != "")    printf ", \"bytes_per_op\": %s", mem[name]
+        if (alloc[name] != "")  printf ", \"allocs_per_op\": %s", alloc[name]
+        if (recall[name] != "") printf ", \"recall_at_%s\": %s", recK[name], recall[name]
+        printf "}"
+    }
+    printf "\n]\n"
+}
+' "$tmp" > "$OUT"
+echo "wrote $OUT"

@@ -14,6 +14,9 @@
 #     multi-process router's fan-out;
 #   - the sharded dispatcher (internal/shard): per-shard scorer swap,
 #     bounded fan-out/merge, per-shard caches — raced at N>=2 shards;
+#   - the ann subsystem (internal/ann + the shard/serve/router layers
+#     above it): concurrent index search, async build/CAS-attach
+#     against scorer swaps, and the semantic query endpoints;
 #   - the parallel training/eval engine (internal/parallel,
 #     internal/models/shared, internal/core, internal/eval): round-
 #     parallel gradient workers, sharded attention recompute, fanned
@@ -56,6 +59,8 @@ if [ "$mode" = "all" ]; then
     scripts/bench_serve.sh
     echo "== shard benchmarks -> BENCH_shard.json"
     scripts/bench_shard.sh
+    echo "== ann benchmarks -> BENCH_ann.json"
+    scripts/bench_ann.sh
 fi
 
 if [ "$mode" = "all" ] || [ "$mode" = "race" ]; then
@@ -67,6 +72,11 @@ if [ "$mode" = "all" ] || [ "$mode" = "race" ]; then
     go test -race ./internal/shard/
     go test -race -run 'TestSharded|TestMergeDeterminism|TestShardDegradationIsolation' \
         ./internal/serve/ ./internal/shard/
+    echo "== ann race gate: index search + per-shard build/swap + query endpoints under -race"
+    go test -race ./internal/ann/
+    go test -race -run 'TestANN|TestNearest|TestConcurrentSearch' ./internal/ann/ ./internal/shard/
+    go test -race -run 'TestQuery|TestANNFallbackOverHTTP|TestBatchModeHTTP|TestRouterQuery|TestRouterBatchModePropagation' \
+        ./internal/serve/ ./internal/router/
     echo "== go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/"
     go test -race ./internal/parallel/ ./internal/models/shared/ ./internal/eval/
     echo "== go test -race -run 'TestTrainingSmoke|TestCKATParallel|TestCKATRecomputeAttention' . ./internal/core/"
