@@ -33,6 +33,8 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/graph"
+	"repro/internal/ingest"
+	"repro/internal/ledger"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -46,6 +48,7 @@ func main() {
 	dim := flag.Int("dim", 32, "embedding size")
 	seed := flag.Int64("seed", 7, "seed")
 	snapshot := flag.String("snapshot", "", "snapshot path (load, or save with -save)")
+	ledgerDir := flag.String("ledger-dir", "", "query-event ledger directory: replay on boot, enable POST /v1/ingest")
 	save := flag.Bool("save", false, "train and save the snapshot, then serve")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "score-vector cache entries")
@@ -124,10 +127,38 @@ func main() {
 		scorer = m
 	}
 
+	// Live ingestion: open the ledger and replay every committed batch
+	// into the overlay applier before the listener comes up, so a
+	// restart serves exactly the graph it acknowledged before crashing.
+	var led *ledger.Ledger
+	var app *ingest.Applier
+	if *ledgerDir != "" {
+		base := snapCSR
+		if base == nil {
+			base = d.CSR()
+		}
+		app = ingest.New(d, base)
+		var rec ledger.Recovery
+		var err error
+		led, rec, err = ledger.Open(*ledgerDir, ledger.Options{OnBatch: app.OnBatch})
+		if err != nil {
+			fatal(err)
+		}
+		defer led.Close()
+		fmt.Printf("ledger: replayed %d batches (%d events) from %s\n", rec.Batches, rec.Events, *ledgerDir)
+		if rec.TruncatedBytes > 0 || rec.RemovedSegments > 0 {
+			fmt.Printf("ledger: recovered from torn tail (%d bytes truncated, %d segments removed)\n",
+				rec.TruncatedBytes, rec.RemovedSegments)
+		}
+	}
+
 	opts := []serve.Option{
 		serve.WithTimeout(*timeout),
 		serve.WithCacheSize(*cacheSize),
 		serve.WithShards(*shards),
+	}
+	if led != nil {
+		opts = append(opts, serve.WithIngest(led, app))
 	}
 	if *annOn {
 		opts = append(opts, serve.WithANN(shard.ANNConfig{
@@ -160,6 +191,15 @@ func main() {
 		}
 	}
 	handler := serve.New(d, scorer, opts...)
+	// Replayed delta edges become visible to the shards' path finders
+	// by compacting once at boot: the merged graph freezes and swaps in
+	// through the same generation path /v1/admin/compact uses.
+	if app != nil && (app.Overlay().DeltaEdges() > 0 || app.Overlay().DeltaEntities() > 0) {
+		c := app.Compact()
+		handler.Dispatcher().SetGraph(c)
+		fmt.Printf("ledger: compacted replayed delta into the serving graph (%d entities, %d edges)\n",
+			c.NumEntities(), c.NumEdges())
+	}
 	if degradedBoot {
 		fmt.Println("serving DEGRADED: /v1/health/ready is 503; SIGHUP or POST /v1/admin/reload to retry the snapshot")
 	}
@@ -213,6 +253,10 @@ func main() {
 	fmt.Println("  GET  /metrics (Prometheus) | /v1/debug/traces (recent request traces)")
 	fmt.Println("  POST /v1/recommend:batch   {\"users\":[...],\"k\":10}")
 	fmt.Println("  POST /v1/admin/reload      (or SIGHUP) hot-swap the snapshot")
+	if led != nil {
+		fmt.Println("  POST /v1/ingest            {\"events\":[{\"user\":0,\"item\":42}]} durable query-event ingestion")
+		fmt.Println("  POST /v1/admin/compact     fold the ingested delta into the serving graph")
+	}
 	if *pprofOn {
 		fmt.Println("  GET  /debug/pprof/ (profiling enabled)")
 	}

@@ -120,11 +120,29 @@ type FS interface {
 	SyncDir(dir string) error
 }
 
+// AppendFS extends FS with the in-place operations an append-only log
+// needs: reopening a file positioned at its end, discarding a torn
+// tail, and measuring committed length. The production osFS implements
+// it, and faultinject.WrapAppend drives its crash points exactly like
+// the base FS's.
+type AppendFS interface {
+	FS
+	// OpenAppend opens name for appending, creating it empty if absent.
+	OpenAppend(name string) (File, error)
+	// Truncate cuts name to size bytes (torn-tail recovery).
+	Truncate(name string, size int64) error
+	// Size reports name's current length in bytes.
+	Size(name string) (int64, error)
+}
+
 // osFS is the real filesystem.
 type osFS struct{}
 
 // OSFS returns the production FS backed by package os.
 func OSFS() FS { return osFS{} }
+
+// OSAppendFS returns the production AppendFS backed by package os.
+func OSAppendFS() AppendFS { return osFS{} }
 
 func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
 
@@ -148,6 +166,20 @@ func (osFS) ReadDir(dir string) ([]string, error) {
 		}
 	}
 	return names, nil
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
 }
 
 func (osFS) SyncDir(dir string) error {

@@ -1,0 +1,51 @@
+package faultinject
+
+import "repro/internal/ckpt"
+
+// AppendFS extends the injecting FS with the append-only-log surface
+// (ckpt.AppendFS): OpenAppend and Truncate are mutating operations a
+// crash can tear, so both are counted and injectable exactly like
+// Create and Rename; Size is a pure read and passes through uncounted,
+// matching Open and ReadDir.
+type AppendFS struct {
+	*FS
+	abase ckpt.AppendFS
+}
+
+// WrapAppend returns a disarmed injector over an append-capable base.
+func WrapAppend(base ckpt.AppendFS) *AppendFS {
+	return &AppendFS{FS: Wrap(base), abase: base}
+}
+
+// OpenAppend implements ckpt.AppendFS. Under ModeCrashAfter the file is
+// opened (created empty if absent) before the crash hits, so a torn
+// rotation can leave an empty new segment behind.
+func (f *AppendFS) OpenAppend(name string) (ckpt.File, error) {
+	apply, fail := f.begin()
+	if !apply {
+		return nil, fail
+	}
+	file, err := f.abase.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	if fail != nil {
+		file.Close()
+		return nil, fail
+	}
+	return &injectFile{fs: f.FS, base: file}, nil
+}
+
+// Truncate implements ckpt.AppendFS.
+func (f *AppendFS) Truncate(name string, size int64) error {
+	apply, fail := f.begin()
+	if apply {
+		if err := f.abase.Truncate(name, size); err != nil {
+			return err
+		}
+	}
+	return fail
+}
+
+// Size implements ckpt.AppendFS (uncounted read path).
+func (f *AppendFS) Size(name string) (int64, error) { return f.abase.Size(name) }

@@ -1,0 +1,317 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// EachTriple re-emits every stored edge, making *CSR a Source: a
+// frozen graph can seed another Freeze, which is what overlay
+// compaction does.
+func (c *CSR) EachTriple(yield func(head, rel, tail int)) {
+	for i := range c.tails {
+		yield(c.heads[i], c.rels[i], c.tails[i])
+	}
+}
+
+// Overlay layers a small mutable delta over an immutable frozen CSR:
+// the live-ingestion counterpart of the read-only graph core. The base
+// stays strictly immutable and shared (scorers, samplers, and path
+// finders keep reading it lock-free); new entities and edges accumulate
+// in sparse per-head delta rows guarded by one RWMutex. Merged views
+// present base∪delta in the CSR's canonical (head, rel, tail) order, so
+// code iterating an overlay sees exactly what it would see after a
+// re-freeze.
+//
+// Reads that touch a head with no delta row never allocate — they walk
+// the frozen arrays under an RLock — which keeps the overlay's hot-path
+// overhead to the lock itself (measured in BENCH_ingest.json).
+//
+// Compact folds the delta into a fresh frozen CSR (deterministic: the
+// merged iteration order is total) and rebases the overlay on it,
+// leaving an empty delta. The returned CSR is what gets swapped into
+// the serving shards via the scorer-swap generation path.
+type Overlay struct {
+	mu   sync.RWMutex
+	base *CSR
+	nEnt int // ≥ base.nEnt: entities added live have no base edges yet
+	nRel int
+	// delta maps head → its added edges, sorted by (rel, tail) and
+	// deduplicated against both the base and itself.
+	delta      map[int]*deltaRow
+	deltaEdges int
+
+	// gen counts structural mutations (edges, entities, compactions);
+	// caches key invalidation off it.
+	gen atomic.Uint64
+}
+
+type deltaRow struct {
+	rels  []int
+	tails []int
+}
+
+// NewOverlay wraps a frozen base with an empty delta.
+func NewOverlay(base *CSR) *Overlay {
+	return &Overlay{
+		base:  base,
+		nEnt:  base.NumEntities(),
+		nRel:  base.NumRelations(),
+		delta: make(map[int]*deltaRow),
+	}
+}
+
+// Base returns the current frozen base (immutable; safe to hand to
+// lock-free readers).
+func (o *Overlay) Base() *CSR {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.base
+}
+
+// NumEntities returns the merged node count (base + live additions).
+func (o *Overlay) NumEntities() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.nEnt
+}
+
+// NumRelations returns the relation-type count (fixed by the base
+// schema; live ingestion adds facts, not relation types).
+func (o *Overlay) NumRelations() int { return o.nRel }
+
+// NumEdges returns the merged directed edge count.
+func (o *Overlay) NumEdges() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.base.NumEdges() + o.deltaEdges
+}
+
+// DeltaEdges returns the number of edges living in the delta.
+func (o *Overlay) DeltaEdges() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.deltaEdges
+}
+
+// DeltaEntities returns the number of entities added since the base
+// was frozen.
+func (o *Overlay) DeltaEntities() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.nEnt - o.base.NumEntities()
+}
+
+// Generation returns the mutation counter; it changes on every added
+// entity or edge and on every compaction.
+func (o *Overlay) Generation() uint64 { return o.gen.Load() }
+
+// AddEntities appends n new entities and returns the ID of the first;
+// IDs stay dense, so replaying the same ledger yields the same IDs.
+func (o *Overlay) AddEntities(n int) (first int, err error) {
+	if n < 0 {
+		return 0, fmt.Errorf("graph: AddEntities(%d): negative count", n)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	first = o.nEnt
+	o.nEnt += n
+	if n > 0 {
+		o.gen.Add(1)
+	}
+	return first, nil
+}
+
+// AddEdge inserts the directed edge (h, r, t) into the delta. It
+// reports false without error when the edge already exists (in the
+// base or the delta) — ingestion replays are naturally idempotent at
+// the edge level.
+func (o *Overlay) AddEdge(h, r, t int) (added bool, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if h < 0 || h >= o.nEnt || t < 0 || t >= o.nEnt {
+		return false, fmt.Errorf("graph: AddEdge(%d,%d,%d): entity out of range [0,%d)", h, r, t, o.nEnt)
+	}
+	if r < 0 || r >= o.nRel {
+		return false, fmt.Errorf("graph: AddEdge(%d,%d,%d): relation out of range [0,%d)", h, r, t, o.nRel)
+	}
+	// Already frozen into the base?
+	if h < o.base.NumEntities() && t < o.base.NumEntities() {
+		tails := o.base.TailsByRel(h, r)
+		if containsSorted(tails, t) {
+			return false, nil
+		}
+	}
+	row := o.delta[h]
+	if row == nil {
+		row = &deltaRow{}
+		o.delta[h] = row
+	}
+	// Insert in (rel, tail) order, rejecting duplicates.
+	i := len(row.rels)
+	for i > 0 && (row.rels[i-1] > r || (row.rels[i-1] == r && row.tails[i-1] > t)) {
+		i--
+	}
+	if i > 0 && row.rels[i-1] == r && row.tails[i-1] == t {
+		return false, nil
+	}
+	row.rels = append(row.rels, 0)
+	row.tails = append(row.tails, 0)
+	copy(row.rels[i+1:], row.rels[i:])
+	copy(row.tails[i+1:], row.tails[i:])
+	row.rels[i], row.tails[i] = r, t
+	o.deltaEdges++
+	o.gen.Add(1)
+	return true, nil
+}
+
+// containsSorted reports whether sorted slice s contains v.
+func containsSorted(s []int, v int) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
+}
+
+// Degree returns the merged edge count of head h.
+func (o *Overlay) Degree(h int) int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	d := 0
+	if h < o.base.NumEntities() {
+		d = o.base.Degree(h)
+	}
+	if row := o.delta[h]; row != nil {
+		d += len(row.rels)
+	}
+	return d
+}
+
+// Neighbors streams head h's merged edges in (rel, tail) order. On a
+// head without delta edges this walks the frozen arrays directly —
+// zero allocation — so bulk readers pay only the RLock.
+func (o *Overlay) Neighbors(h int, yield func(rel, tail int)) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	o.neighborsLocked(h, yield)
+}
+
+func (o *Overlay) neighborsLocked(h int, yield func(rel, tail int)) {
+	var bRels, bTails []int
+	if h < o.base.NumEntities() {
+		bRels, bTails = o.base.NeighborRels(h), o.base.NeighborTails(h)
+	}
+	row := o.delta[h]
+	if row == nil {
+		for i := range bRels {
+			yield(bRels[i], bTails[i])
+		}
+		return
+	}
+	// Two-pointer merge; both sides are sorted and mutually deduped.
+	i, j := 0, 0
+	for i < len(bRels) && j < len(row.rels) {
+		if bRels[i] < row.rels[j] || (bRels[i] == row.rels[j] && bTails[i] < row.tails[j]) {
+			yield(bRels[i], bTails[i])
+			i++
+		} else {
+			yield(row.rels[j], row.tails[j])
+			j++
+		}
+	}
+	for ; i < len(bRels); i++ {
+		yield(bRels[i], bTails[i])
+	}
+	for ; j < len(row.rels); j++ {
+		yield(row.rels[j], row.tails[j])
+	}
+}
+
+// TailsByRel streams head h's relation-r neighbors in tail order.
+func (o *Overlay) TailsByRel(h, r int, yield func(tail int)) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var bTails []int
+	if h < o.base.NumEntities() {
+		bTails = o.base.TailsByRel(h, r)
+	}
+	row := o.delta[h]
+	if row == nil {
+		for _, t := range bTails {
+			yield(t)
+		}
+		return
+	}
+	lo, hi := 0, len(row.rels)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row.rels[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	j := lo
+	i := 0
+	for i < len(bTails) && j < len(row.rels) && row.rels[j] == r {
+		if bTails[i] < row.tails[j] {
+			yield(bTails[i])
+			i++
+		} else {
+			yield(row.tails[j])
+			j++
+		}
+	}
+	for ; i < len(bTails); i++ {
+		yield(bTails[i])
+	}
+	for ; j < len(row.rels) && row.rels[j] == r; j++ {
+		yield(row.tails[j])
+	}
+}
+
+// EachTriple implements Source over the merged view, so an Overlay can
+// be frozen directly.
+func (o *Overlay) EachTriple(yield func(head, rel, tail int)) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	o.eachTripleLocked(yield)
+}
+
+func (o *Overlay) eachTripleLocked(yield func(head, rel, tail int)) {
+	for h := 0; h < o.nEnt; h++ {
+		o.neighborsLocked(h, func(r, t int) { yield(h, r, t) })
+	}
+}
+
+// compactSource adapts the already-locked overlay for Freeze.
+type compactSource struct{ o *Overlay }
+
+func (s compactSource) NumEntities() int               { return s.o.nEnt }
+func (s compactSource) NumRelations() int              { return s.o.nRel }
+func (s compactSource) EachTriple(y func(h, r, t int)) { s.o.eachTripleLocked(y) }
+
+// Compact freezes the merged view into a new immutable CSR, rebases
+// the overlay on it, and empties the delta. Deterministic: the merged
+// iteration order is the canonical CSR order, so compacting after
+// replaying a ledger yields a bit-identical graph no matter how the
+// appends were batched. The returned CSR is immutable and safe to swap
+// into readers.
+func (o *Overlay) Compact() *CSR {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := Freeze(compactSource{o})
+	o.base = c
+	o.nEnt = c.NumEntities()
+	o.delta = make(map[int]*deltaRow)
+	o.deltaEdges = 0
+	o.gen.Add(1)
+	return c
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// triples is a tiny mutable Source for tests.
+type triples struct {
+	nEnt, nRel int
+	edges      [][3]int
+}
+
+func (s *triples) NumEntities() int  { return s.nEnt }
+func (s *triples) NumRelations() int { return s.nRel }
+func (s *triples) EachTriple(y func(h, r, t int)) {
+	for _, e := range s.edges {
+		y(e[0], e[1], e[2])
+	}
+}
+
+func overlayBase(t *testing.T) *CSR {
+	t.Helper()
+	return Freeze(&triples{nEnt: 5, nRel: 3, edges: [][3]int{
+		{0, 0, 1}, {0, 1, 2}, {0, 1, 4},
+		{1, 0, 0}, {2, 2, 3}, {4, 1, 0},
+	}})
+}
+
+func collectNeighbors(o *Overlay, h int) [][2]int {
+	var out [][2]int
+	o.Neighbors(h, func(r, t int) { out = append(out, [2]int{r, t}) })
+	return out
+}
+
+func TestOverlayFrozenPathMatchesBase(t *testing.T) {
+	base := overlayBase(t)
+	o := NewOverlay(base)
+	if o.NumEntities() != 5 || o.NumEdges() != base.NumEdges() {
+		t.Fatalf("fresh overlay shape mismatch")
+	}
+	for h := 0; h < 5; h++ {
+		if o.Degree(h) != base.Degree(h) {
+			t.Fatalf("degree(%d) mismatch", h)
+		}
+		got := collectNeighbors(o, h)
+		rels, tails := base.NeighborRels(h), base.NeighborTails(h)
+		if len(got) != len(rels) {
+			t.Fatalf("head %d: %d merged edges, base has %d", h, len(got), len(rels))
+		}
+		for i := range got {
+			if got[i][0] != rels[i] || got[i][1] != tails[i] {
+				t.Fatalf("head %d edge %d: got %v, base (%d,%d)", h, i, got[i], rels[i], tails[i])
+			}
+		}
+	}
+}
+
+func TestOverlayAddEdgeMergesInOrder(t *testing.T) {
+	o := NewOverlay(overlayBase(t))
+	gen := o.Generation()
+
+	// Interleave delta edges around base edges of head 0
+	// (base: (0,1), (1,2), (1,4)).
+	for _, e := range [][3]int{{0, 0, 3}, {0, 1, 3}, {0, 2, 1}} {
+		added, err := o.AddEdge(e[0], e[1], e[2])
+		if err != nil || !added {
+			t.Fatalf("AddEdge(%v) = %v, %v", e, added, err)
+		}
+	}
+	if o.Generation() == gen {
+		t.Fatalf("generation did not advance")
+	}
+	want := [][2]int{{0, 1}, {0, 3}, {1, 2}, {1, 3}, {1, 4}, {2, 1}}
+	got := collectNeighbors(o, 0)
+	if len(got) != len(want) {
+		t.Fatalf("merged edges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged edges = %v, want %v", got, want)
+		}
+	}
+	if o.Degree(0) != 6 || o.DeltaEdges() != 3 {
+		t.Fatalf("degree=%d deltaEdges=%d", o.Degree(0), o.DeltaEdges())
+	}
+
+	var tails []int
+	o.TailsByRel(0, 1, func(t int) { tails = append(tails, t) })
+	if len(tails) != 3 || tails[0] != 2 || tails[1] != 3 || tails[2] != 4 {
+		t.Fatalf("TailsByRel(0,1) = %v", tails)
+	}
+}
+
+func TestOverlayAddEdgeIdempotentAndValidated(t *testing.T) {
+	o := NewOverlay(overlayBase(t))
+	if added, err := o.AddEdge(0, 0, 1); err != nil || added {
+		t.Fatalf("duplicate of base edge: added=%v err=%v", added, err)
+	}
+	if added, err := o.AddEdge(0, 2, 2); err != nil || !added {
+		t.Fatalf("new edge: added=%v err=%v", added, err)
+	}
+	if added, err := o.AddEdge(0, 2, 2); err != nil || added {
+		t.Fatalf("duplicate of delta edge: added=%v err=%v", added, err)
+	}
+	if _, err := o.AddEdge(0, 0, 99); err == nil {
+		t.Fatalf("out-of-range tail accepted")
+	}
+	if _, err := o.AddEdge(0, 9, 1); err == nil {
+		t.Fatalf("out-of-range relation accepted")
+	}
+}
+
+func TestOverlayAddEntities(t *testing.T) {
+	o := NewOverlay(overlayBase(t))
+	first, err := o.AddEntities(2)
+	if err != nil || first != 5 {
+		t.Fatalf("AddEntities = %d, %v", first, err)
+	}
+	if o.NumEntities() != 7 || o.DeltaEntities() != 2 {
+		t.Fatalf("entity counts wrong")
+	}
+	// New entities start isolated and accept edges in both directions.
+	if o.Degree(6) != 0 {
+		t.Fatalf("new entity has edges")
+	}
+	if added, err := o.AddEdge(6, 0, 1); err != nil || !added {
+		t.Fatalf("edge from new entity: %v %v", added, err)
+	}
+	if added, err := o.AddEdge(1, 0, 6); err != nil || !added {
+		t.Fatalf("edge to new entity: %v %v", added, err)
+	}
+}
+
+func TestOverlayCompactDeterministic(t *testing.T) {
+	build := func() *Overlay {
+		o := NewOverlay(overlayBase(t))
+		o.AddEntities(1)
+		for _, e := range [][3]int{{5, 0, 0}, {0, 0, 5}, {3, 2, 1}, {0, 2, 1}} {
+			if _, err := o.AddEdge(e[0], e[1], e[2]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return o
+	}
+
+	o1 := build()
+	preMerged := make(map[int][][2]int)
+	for h := 0; h < o1.NumEntities(); h++ {
+		preMerged[h] = collectNeighbors(o1, h)
+	}
+	c1 := o1.Compact()
+	if o1.DeltaEdges() != 0 || o1.Base() != c1 {
+		t.Fatalf("compact did not rebase")
+	}
+	// The merged view is unchanged by compaction.
+	for h := 0; h < o1.NumEntities(); h++ {
+		got := collectNeighbors(o1, h)
+		if len(got) != len(preMerged[h]) {
+			t.Fatalf("head %d changed across compact", h)
+		}
+		for i := range got {
+			if got[i] != preMerged[h][i] {
+				t.Fatalf("head %d edge %d changed across compact", h, i)
+			}
+		}
+	}
+
+	// Bit-identical CSR from an identically-built overlay.
+	c2 := build().Compact()
+	if c1.NumEntities() != c2.NumEntities() || c1.NumEdges() != c2.NumEdges() {
+		t.Fatalf("compact shapes diverge")
+	}
+	for i := range c1.Tails() {
+		if c1.Heads()[i] != c2.Heads()[i] || c1.Rels()[i] != c2.Rels()[i] || c1.Tails()[i] != c2.Tails()[i] {
+			t.Fatalf("compact edge %d diverges", i)
+		}
+	}
+	for i := range c1.Offsets() {
+		if c1.Offsets()[i] != c2.Offsets()[i] {
+			t.Fatalf("compact offsets diverge at %d", i)
+		}
+	}
+}
+
+func TestOverlayConcurrentReadsDuringWrites(t *testing.T) {
+	o := NewOverlay(overlayBase(t))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for h := 0; h < o.NumEntities(); h++ {
+					prev := [2]int{-1, -1}
+					o.Neighbors(h, func(rel, tail int) {
+						if rel < prev[0] || (rel == prev[0] && tail <= prev[1]) {
+							panic("merged order violated")
+						}
+						prev = [2]int{rel, tail}
+					})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if i%50 == 0 {
+			o.AddEntities(1)
+		}
+		h := i % o.NumEntities()
+		t2 := (i * 7) % o.NumEntities()
+		o.AddEdge(h, i%3, t2)
+		if i%100 == 99 {
+			o.Compact()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

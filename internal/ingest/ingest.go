@@ -1,0 +1,305 @@
+// Package ingest connects the crash-safe query-event ledger
+// (internal/ledger) to the live serving graph (internal/graph.Overlay):
+// it validates incoming query events against the facility's catalog,
+// and applies committed ledger batches onto the CKG overlay — growing
+// the entity space for first-seen users and items and inserting the
+// symmetric interact edges the offline dataset builder would have
+// derived from the same events.
+//
+// Determinism is the core contract. Entity IDs are assigned densely in
+// first-appearance order of the ledger stream, and edges land in the
+// overlay's canonical (head, rel, tail) order, so replaying the same
+// ledger — in any batching — rebuilds a bit-identical merged graph.
+// OverlayHash folds the merged view into one uint64 so tests and the CI
+// replay-equivalence gate can pin that property as a golden value.
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/ledger"
+	"repro/internal/obs"
+	"repro/internal/serve/api"
+)
+
+// Applier maps ledger events onto a CSR delta-overlay. All methods are
+// safe for concurrent use; Prepare+Append+Apply sequences must be
+// serialized by the caller (the serve handler holds one ingest lock) so
+// ledger order equals application order and replay is deterministic.
+type Applier struct {
+	mu sync.Mutex
+
+	d  *dataset.Dataset
+	ov *graph.Overlay
+
+	// interact is the CKG relation carrying user↔item query edges. It
+	// is symmetric (its own inverse in the kg schema), and the overlay
+	// stores directed edges, so Apply inserts both directions — exactly
+	// what kg.AddTriple's auto-inverse did at dataset build time.
+	interact int
+
+	// userEnt/itemEnt extend the dataset's index→entity maps as live
+	// events introduce users and items the trace never saw. A first-seen
+	// index must equal the current count (dense growth), which replay
+	// reproduces exactly.
+	userEnt []int
+	itemEnt []int
+
+	numDataTypes int
+
+	batches  uint64
+	events   uint64
+	edges    uint64
+	newUsers int
+	newItems int
+	rejected uint64
+}
+
+// Stats is a point-in-time snapshot of the applier's counters.
+type Stats struct {
+	Batches  uint64 // batches applied (live + replay)
+	Events   uint64 // events applied
+	Edges    uint64 // directed overlay edges inserted
+	NewUsers int    // users first seen via ingestion
+	NewItems int    // items first seen via ingestion
+	Users    int    // current user count (dataset + live)
+	Items    int    // current item count (dataset + live)
+	Rejected uint64 // events rejected by Prepare
+}
+
+// New builds an applier over the dataset's entity maps and a frozen
+// base CSR — the graph the server is serving (the dataset's own frozen
+// CKG, or the one restored from a snapshot). A nil base freezes the
+// dataset's CKG.
+func New(d *dataset.Dataset, base *graph.CSR) *Applier {
+	if base == nil {
+		base = d.CSR()
+	}
+	return &Applier{
+		d:            d,
+		ov:           graph.NewOverlay(base),
+		interact:     d.Interact,
+		userEnt:      append([]int(nil), d.UserEnt...),
+		itemEnt:      append([]int(nil), d.ItemEnt...),
+		numDataTypes: len(d.Trace.Facility.DataTypes),
+	}
+}
+
+// Overlay exposes the live graph view (base ∪ delta).
+func (a *Applier) Overlay() *graph.Overlay { return a.ov }
+
+// NumUsers returns the current user count, dataset plus live growth.
+func (a *Applier) NumUsers() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.userEnt)
+}
+
+// NumItems is the item counterpart of NumUsers.
+func (a *Applier) NumItems() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.itemEnt)
+}
+
+// Prepare validates a wire batch against the current entity space and
+// encodes it as ledger events. IDs must be existing indices or the next
+// unused one (dense growth: user N is admissible exactly when N users
+// exist), and growth is simulated across the batch so one request may
+// introduce an entity and reference it again. The first failure wins;
+// nothing is applied.
+func (a *Applier) Prepare(evs []api.IngestEvent) ([]ledger.Event, *api.Error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	users, items := len(a.userEnt), len(a.itemEnt)
+	out := make([]ledger.Event, 0, len(evs))
+	for i, ev := range evs {
+		if ev.User < 0 || ev.User > users || ev.User > math.MaxInt32 {
+			a.rejected += uint64(len(evs))
+			return nil, api.BadParam("events[%d]: user %d out of range [0, %d] (next unused index is %d)", i, ev.User, users, users)
+		}
+		if ev.User == users {
+			users++
+		}
+		if ev.Item < 0 || ev.Item > items || ev.Item > math.MaxInt32 {
+			a.rejected += uint64(len(evs))
+			return nil, api.BadParam("events[%d]: item %d out of range [0, %d] (next unused index is %d)", i, ev.Item, items, items)
+		}
+		if ev.Item == items {
+			items++
+		}
+		if ev.DataType < 0 || ev.DataType >= a.numDataTypes {
+			a.rejected += uint64(len(evs))
+			return nil, api.BadParam("events[%d]: data_type %d out of range [0, %d)", i, ev.DataType, a.numDataTypes)
+		}
+		var method uint8
+		switch ev.Method {
+		case "", api.MethodStreaming:
+			method = ledger.MethodStreaming
+		case api.MethodDownload:
+			method = ledger.MethodDownload
+		default:
+			a.rejected += uint64(len(evs))
+			return nil, api.BadParam("events[%d]: method must be %q or %q, got %q", i, api.MethodStreaming, api.MethodDownload, ev.Method)
+		}
+		out = append(out, ledger.Event{
+			Kind:     ledger.KindQuery,
+			User:     int32(ev.User),
+			Item:     int32(ev.Item),
+			DataType: int32(ev.DataType),
+			Unix:     ev.Unix,
+			Method:   method,
+		})
+	}
+	return out, nil
+}
+
+// Apply folds one committed batch into the overlay: first-seen users
+// and items get dense entity IDs in event order, then both directions
+// of the symmetric interact edge are inserted (idempotently — replays
+// and repeated interactions converge on the same graph). An event whose
+// index skips past the dense frontier is a contract violation — it can
+// only mean the ledger was not applied in order — and aborts.
+func (a *Applier) Apply(evs []ledger.Event) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range evs {
+		u, it := int(e.User), int(e.Item)
+		if u > len(a.userEnt) || it > len(a.itemEnt) {
+			return fmt.Errorf("ingest: event (user=%d, item=%d) skips the dense frontier (%d users, %d items): ledger applied out of order",
+				u, it, len(a.userEnt), len(a.itemEnt))
+		}
+		if u == len(a.userEnt) {
+			id, err := a.ov.AddEntities(1)
+			if err != nil {
+				return err
+			}
+			a.userEnt = append(a.userEnt, id)
+			a.newUsers++
+		}
+		if it == len(a.itemEnt) {
+			id, err := a.ov.AddEntities(1)
+			if err != nil {
+				return err
+			}
+			a.itemEnt = append(a.itemEnt, id)
+			a.newItems++
+		}
+		ue, ie := a.userEnt[u], a.itemEnt[it]
+		added, err := a.ov.AddEdge(ue, a.interact, ie)
+		if err != nil {
+			return err
+		}
+		if added {
+			a.edges++
+		}
+		added, err = a.ov.AddEdge(ie, a.interact, ue)
+		if err != nil {
+			return err
+		}
+		if added {
+			a.edges++
+		}
+		a.events++
+	}
+	a.batches++
+	return nil
+}
+
+// OnBatch adapts Apply to the ledger's replay callback, so an applier
+// can be handed to ledger.Open and rebuild the overlay before serving.
+func (a *Applier) OnBatch(b ledger.Batch) error { return a.Apply(b.Events) }
+
+// Compact folds the overlay's delta into a fresh frozen CSR and
+// returns it for swapping into the serving shards.
+func (a *Applier) Compact() *graph.CSR { return a.ov.Compact() }
+
+// Stats snapshots the applier counters.
+func (a *Applier) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		Batches:  a.batches,
+		Events:   a.events,
+		Edges:    a.edges,
+		NewUsers: a.newUsers,
+		NewItems: a.newItems,
+		Users:    len(a.userEnt),
+		Items:    len(a.itemEnt),
+		Rejected: a.rejected,
+	}
+}
+
+// OverlayHash folds the merged graph view — entity and relation counts
+// plus every (head, rel, tail) in canonical order — into one FNV-1a
+// value. Two appliers that saw the same event stream hash identically
+// regardless of batching or intervening compactions; the CI
+// replay-equivalence gate pins this.
+func (a *Applier) OverlayHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	write(uint64(a.ov.NumEntities()))
+	write(uint64(a.ov.NumRelations()))
+	a.ov.EachTriple(func(hd, r, t int) {
+		write(uint64(hd))
+		write(uint64(r))
+		write(uint64(t))
+	})
+	return h.Sum64()
+}
+
+// Register exposes the ledger and overlay state on the serving metrics
+// registry: ledger_* families read the ledger's durable counters,
+// overlay_* the live graph's, ingest_* the applier's own monotonic
+// totals. All are func-backed — the sources of truth already exist, so
+// scrapes read them instead of maintaining shadow counters.
+func (a *Applier) Register(reg *obs.Registry, led *ledger.Ledger) {
+	if led != nil {
+		reg.NewGaugeFunc("ledger_segments",
+			"Live ledger segment files.",
+			func() float64 { return float64(led.Stats().Segments) })
+		reg.NewGaugeFunc("ledger_batches",
+			"Committed batches in the ledger.",
+			func() float64 { return float64(led.Stats().Batches) })
+		reg.NewGaugeFunc("ledger_events",
+			"Committed events in the ledger.",
+			func() float64 { return float64(led.Stats().Events) })
+		reg.NewGaugeFunc("ledger_active_bytes",
+			"Bytes in the active (append) segment.",
+			func() float64 { return float64(led.Stats().ActiveBytes) })
+	}
+	reg.NewGaugeFunc("overlay_entities",
+		"Entities in the merged graph view (base + delta).",
+		func() float64 { return float64(a.ov.NumEntities()) })
+	reg.NewGaugeFunc("overlay_edges",
+		"Directed edges in the merged graph view.",
+		func() float64 { return float64(a.ov.NumEdges()) })
+	reg.NewGaugeFunc("overlay_delta_edges",
+		"Directed edges waiting in the overlay delta.",
+		func() float64 { return float64(a.ov.DeltaEdges()) })
+	reg.NewGaugeFunc("overlay_delta_entities",
+		"Entities added since the base graph was frozen.",
+		func() float64 { return float64(a.ov.DeltaEntities()) })
+	reg.NewGaugeFunc("overlay_generation",
+		"Overlay mutation counter (edges, entities, compactions).",
+		func() float64 { return float64(a.ov.Generation()) })
+	reg.NewCounterFunc("ingest_events_total",
+		"Ledger events applied to the overlay (live + replay).",
+		func() float64 { return float64(a.Stats().Events) })
+	reg.NewCounterFunc("ingest_edges_total",
+		"Directed overlay edges inserted by ingestion.",
+		func() float64 { return float64(a.Stats().Edges) })
+	reg.NewCounterFunc("ingest_rejected_total",
+		"Wire events rejected by validation.",
+		func() float64 { return float64(a.Stats().Rejected) })
+}

@@ -1,0 +1,94 @@
+package ledger
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchBatch is a realistic ingest batch: 64 query events.
+func benchBatch(salt int) []Event {
+	evs := make([]Event, 64)
+	for i := range evs {
+		evs[i] = Event{
+			Kind:     KindQuery,
+			User:     int32((salt*64 + i) % 1000),
+			Item:     int32((salt*31 + i*7) % 5000),
+			DataType: int32(i % 5),
+			Unix:     1700000000 + int64(salt),
+			Method:   uint8(i % 2),
+		}
+	}
+	return evs
+}
+
+// BenchmarkLedgerAppend measures the durable commit path: frame
+// encode, two writes, fsync. Dominated by the fsync, as it should be.
+func BenchmarkLedgerAppend(b *testing.B) {
+	l, _, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	batch := benchBatch(0)
+	b.SetBytes(int64(frameHeaderSize + batchMetaSize + len(batch)*eventSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(batch); err != nil {
+			b.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+// BenchmarkLedgerReplay measures full-chain verification and decode
+// throughput over a multi-segment ledger of 1024 committed batches.
+func BenchmarkLedgerReplay(b *testing.B) {
+	dir := b.TempDir()
+	l, _, err := Open(dir, Options{RotateBytes: 256 << 10})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	var bytes int64
+	for i := 0; i < 1024; i++ {
+		batch := benchBatch(i)
+		if _, err := l.Append(batch); err != nil {
+			b.Fatalf("Append %d: %v", i, err)
+		}
+		bytes += int64(frameHeaderSize + batchMetaSize + len(batch)*eventSize)
+	}
+	l.Close()
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, _, err := Open(dir, Options{RotateBytes: 256 << 10})
+		if err != nil {
+			b.Fatalf("Open: %v", err)
+		}
+		var events uint64
+		if err := l.Replay(func(bt Batch) error {
+			events += uint64(len(bt.Events))
+			return nil
+		}); err != nil {
+			b.Fatalf("Replay: %v", err)
+		}
+		if events != 1024*64 {
+			b.Fatalf("replayed %d events", events)
+		}
+		l.Close()
+	}
+}
+
+// BenchmarkMerkleRoot isolates the hashing cost per batch size.
+func BenchmarkMerkleRoot(b *testing.B) {
+	for _, n := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("leaves=%d", n), func(b *testing.B) {
+			leaves := make([]Hash, n)
+			for i := range leaves {
+				leaves[i] = leafHash([]byte{byte(i), byte(i >> 8)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MerkleRoot(leaves)
+			}
+		})
+	}
+}

@@ -1,0 +1,248 @@
+package ledger_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/faultinject"
+	"repro/internal/ledger"
+)
+
+// chaosModes is the full single-fault universe: transient EIO, torn
+// write, crash before the op takes effect, crash after.
+var chaosModes = []struct {
+	name string
+	mode faultinject.Mode
+}{
+	{"eio", faultinject.ModeErr},
+	{"short-write", faultinject.ModeShortWrite},
+	{"crash", faultinject.ModeCrash},
+	{"crash-after", faultinject.ModeCrashAfter},
+}
+
+func chaosBatches() [][]ledger.Event {
+	mk := func(n, salt int) []ledger.Event {
+		evs := make([]ledger.Event, n)
+		for i := range evs {
+			evs[i] = ledger.Event{
+				Kind:     ledger.KindQuery,
+				User:     int32(salt*10 + i),
+				Item:     int32(salt*100 + i),
+				DataType: int32(i % 3),
+				Unix:     1700000000 + int64(salt),
+				Method:   uint8(i % 2),
+			}
+		}
+		return evs
+	}
+	return [][]ledger.Event{mk(3, 1), mk(5, 2), mk(2, 3)}
+}
+
+func flatten(batches [][]ledger.Event) []ledger.Event {
+	var out []ledger.Event
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func replayAll(t *testing.T, l *ledger.Ledger) []ledger.Event {
+	t.Helper()
+	var out []ledger.Event
+	if err := l.Replay(func(b ledger.Batch) error {
+		out = append(out, b.Events...)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay after recovery: %v", err)
+	}
+	return out
+}
+
+// isPrefix reports whether got is a bit-identical prefix of want.
+func isPrefix(got, want []ledger.Event) bool {
+	if len(got) > len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosAppendPath sweeps every filesystem operation of the append
+// path — frame writes, commit fsyncs, and (in the tiny-rotate config)
+// segment rotation — with every failure mode, and asserts the ledger's
+// recovery contract: after any single fault, Open recovers exactly a
+// committed prefix of the appended batches, bit-identically; every
+// Append that reported success is in that prefix; and the recovered
+// ledger accepts new appends.
+func TestChaosAppendPath(t *testing.T) {
+	configs := []struct {
+		name   string
+		rotate int64
+	}{
+		{"single-segment", -1}, // rotation disabled: pure append/commit
+		{"rotate-every-batch", 1},
+	}
+	batches := chaosBatches()
+
+	for _, cfg := range configs {
+		// Probe: count the ops of Open + all appends with a disarmed
+		// injector; that count is the sweep's crash-point universe.
+		inj := faultinject.WrapAppend(ckpt.OSAppendFS())
+		l, _, err := ledger.Open(t.TempDir(), ledger.Options{FS: inj, RotateBytes: cfg.rotate})
+		if err != nil {
+			t.Fatalf("%s: probe Open: %v", cfg.name, err)
+		}
+		inj.Reset()
+		for i, evs := range batches {
+			if _, err := l.Append(evs); err != nil {
+				t.Fatalf("%s: probe Append %d: %v", cfg.name, i, err)
+			}
+		}
+		n := inj.Ops()
+		l.Close()
+		if n < 6 { // ≥ 2 writes + 1 sync per batch
+			t.Fatalf("%s: probe counted only %d ops; injector miswired?", cfg.name, n)
+		}
+
+		for k := 0; k < n; k++ {
+			for _, m := range chaosModes {
+				t.Run(fmt.Sprintf("%s/op%02d-%s", cfg.name, k, m.name), func(t *testing.T) {
+					dir := t.TempDir()
+					inj := faultinject.WrapAppend(ckpt.OSAppendFS())
+					l, _, err := ledger.Open(dir, ledger.Options{FS: inj, RotateBytes: cfg.rotate})
+					if err != nil {
+						t.Fatalf("Open: %v", err)
+					}
+					inj.Reset()
+					inj.FailAt(k, m.mode)
+
+					// Append like a real ingest loop: a failed batch is
+					// retried once (transient faults are single-shot), and
+					// a second failure means the process died.
+					committed := 0
+					for _, evs := range batches {
+						_, err := l.Append(evs)
+						if err != nil {
+							_, err = l.Append(evs)
+						}
+						if err != nil {
+							break
+						}
+						committed++
+					}
+					l.Close() // may fail under crash modes; state is on disk
+					inj.Disarm()
+
+					// "Restart the process": recovery must yield a clean
+					// ledger regardless of where the fault landed.
+					l2, rec, err := ledger.Open(dir, ledger.Options{FS: inj, RotateBytes: cfg.rotate})
+					if err != nil {
+						t.Fatalf("recovery Open failed: %v", err)
+					}
+					defer l2.Close()
+
+					got := replayAll(t, l2)
+					want := flatten(batches)
+					if !isPrefix(got, want) {
+						t.Fatalf("recovered events are not a bit-identical prefix (%d events)", len(got))
+					}
+					// Acknowledged commits are durable. One unacknowledged
+					// batch may also have survived (fault after the data
+					// reached disk, e.g. a crash between fsync and return).
+					if rec.Batches < uint64(committed) {
+						t.Fatalf("recovered %d batches < %d acknowledged", rec.Batches, committed)
+					}
+					if rec.Batches > uint64(committed)+1 {
+						t.Fatalf("recovered %d batches, at most %d ever written", rec.Batches, committed+1)
+					}
+
+					// The repaired ledger must keep working.
+					extra := []ledger.Event{{Kind: ledger.KindQuery, User: 999, Item: 999, Unix: 1700009999}}
+					if _, err := l2.Append(extra); err != nil {
+						t.Fatalf("append after recovery: %v", err)
+					}
+					if got := replayAll(t, l2); len(got) != int(rec.Events)+1 {
+						t.Fatalf("post-recovery append not replayable")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosRecoveryPath sweeps faults over Open itself, recovering a
+// directory that holds a torn tail: a failed recovery attempt must
+// leave the ledger recoverable by the next attempt.
+func TestChaosRecoveryPath(t *testing.T) {
+	batches := chaosBatches()
+
+	// Build a ledger whose tail append was torn by a crash.
+	seed := func(t *testing.T) string {
+		dir := t.TempDir()
+		inj := faultinject.WrapAppend(ckpt.OSAppendFS())
+		l, _, err := ledger.Open(dir, ledger.Options{FS: inj, RotateBytes: 1})
+		if err != nil {
+			t.Fatalf("seed Open: %v", err)
+		}
+		for _, evs := range batches[:2] {
+			if _, err := l.Append(evs); err != nil {
+				t.Fatalf("seed Append: %v", err)
+			}
+		}
+		inj.Reset()
+		// Crash right after the third batch's frame header reaches the
+		// disk: a header with no payload is the canonical torn tail.
+		// Append ops with rotate-every-batch: close old, open new,
+		// syncdir, write header (op 3), write payload, sync.
+		inj.FailAt(3, faultinject.ModeCrashAfter)
+		l.Append(batches[2])
+		l.Close()
+		return dir
+	}
+
+	// Probe the recovery op count.
+	dir := seed(t)
+	inj := faultinject.WrapAppend(ckpt.OSAppendFS())
+	inj.Reset()
+	l, rec, err := ledger.Open(dir, ledger.Options{FS: inj, RotateBytes: 1})
+	if err != nil {
+		t.Fatalf("probe recovery Open: %v", err)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatalf("seed did not produce a torn tail (recovery %+v)", rec)
+	}
+	n := inj.Ops()
+	l.Close()
+
+	for k := 0; k < n; k++ {
+		for _, m := range chaosModes {
+			t.Run(fmt.Sprintf("op%02d-%s", k, m.name), func(t *testing.T) {
+				dir := seed(t)
+				inj := faultinject.WrapAppend(ckpt.OSAppendFS())
+				inj.Reset()
+				inj.FailAt(k, m.mode)
+				if l, _, err := ledger.Open(dir, ledger.Options{FS: inj, RotateBytes: 1}); err == nil {
+					l.Close()
+				}
+				inj.Disarm()
+
+				l2, rec, err := ledger.Open(dir, ledger.Options{FS: inj, RotateBytes: 1})
+				if err != nil {
+					t.Fatalf("second recovery failed: %v", err)
+				}
+				defer l2.Close()
+				if rec.Batches != 2 {
+					t.Fatalf("recovered %d batches, want the 2 committed", rec.Batches)
+				}
+				if got := replayAll(t, l2); !isPrefix(got, flatten(batches)) || len(got) != len(batches[0])+len(batches[1]) {
+					t.Fatalf("recovered events damaged")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Event kinds. The ledger records query events today; the kind byte
+// leaves room for other durable facts (catalog edits, tombstones)
+// without a format bump.
+const (
+	// KindQuery is a user→item interaction observed at query time.
+	KindQuery uint8 = 0
+)
+
+// Access methods, mirroring trace.Record.Method.
+const (
+	MethodStreaming uint8 = 0
+	MethodDownload  uint8 = 1
+)
+
+// Event is one ledgered query-log record. All fields are fixed-width
+// so the wire encoding is positional and allocation-free.
+type Event struct {
+	Kind     uint8
+	User     int32
+	Item     int32
+	DataType int32
+	Unix     int64 // event time, seconds since epoch
+	Method   uint8
+}
+
+// eventSize is the encoded width of one Event.
+const eventSize = 1 + 4 + 4 + 4 + 8 + 1 // 22 bytes
+
+// encodeEvent appends the 22-byte little-endian encoding of e to dst.
+func encodeEvent(dst []byte, e Event) []byte {
+	var b [eventSize]byte
+	b[0] = e.Kind
+	binary.LittleEndian.PutUint32(b[1:5], uint32(e.User))
+	binary.LittleEndian.PutUint32(b[5:9], uint32(e.Item))
+	binary.LittleEndian.PutUint32(b[9:13], uint32(e.DataType))
+	binary.LittleEndian.PutUint64(b[13:21], uint64(e.Unix))
+	b[21] = e.Method
+	return append(dst, b[:]...)
+}
+
+// decodeEvent reads one Event from the front of b.
+func decodeEvent(b []byte) Event {
+	return Event{
+		Kind:     b[0],
+		User:     int32(binary.LittleEndian.Uint32(b[1:5])),
+		Item:     int32(binary.LittleEndian.Uint32(b[5:9])),
+		DataType: int32(binary.LittleEndian.Uint32(b[9:13])),
+		Unix:     int64(binary.LittleEndian.Uint64(b[13:21])),
+		Method:   b[21],
+	}
+}
+
+// MethodString renders a wire method byte for logs and stats.
+func MethodString(m uint8) string {
+	switch m {
+	case MethodStreaming:
+		return "streaming"
+	case MethodDownload:
+		return "download"
+	default:
+		return fmt.Sprintf("method(%d)", m)
+	}
+}
+
+func putUint64(dst []byte, v uint64) { binary.LittleEndian.PutUint64(dst, v) }

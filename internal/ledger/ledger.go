@@ -1,0 +1,590 @@
+// Package ledger implements a crash-safe append-only log of query
+// events with batched, Merkle-chained commits. It is the durable event
+// source that turns the repo's offline generate→train→freeze pipeline
+// into a continuous one: every accepted ingest batch is fsynced here
+// before it becomes visible anywhere else, and a restarted server
+// replays the ledger to rebuild its in-memory overlay bit-identically.
+//
+// # On-disk format
+//
+// A ledger is a directory of segment files named seg-%08d.log. Each
+// segment holds zero or more frames, one per committed batch:
+//
+//	offset 0  magic   "LGR1"
+//	offset 4  version uint32 LE
+//	offset 8  length  uint64 LE (payload bytes)
+//	offset 16 crc     uint32 LE (IEEE CRC32 of payload)
+//	offset 20 payload:
+//	    batchIndex uint64 LE      monotone from 0 across segments
+//	    prevChain  [32]byte       chain hash before this batch
+//	    root       [32]byte       Merkle root over event leaf hashes
+//	    count      uint32 LE      events in the batch (> 0)
+//	    events     count × 22 B   fixed-width little-endian records
+//
+// Batches chain: chain_i = H(0x02 || chain_{i-1} || root_i || i), with
+// chain_{-1} the zero hash. A frame is accepted on recovery only when
+// its CRC, declared lengths, batch index, stored prevChain, and
+// recomputed Merkle root all agree — so torn tails, bit flips, and
+// spliced/reordered batches are all rejected at the first bad byte.
+//
+// # Durability discipline
+//
+// Append writes the frame (header, then payload — two writes, so the
+// fault injector can tear either) and fsyncs the segment before
+// reporting the commit. Rotation closes the full segment, creates the
+// next, and fsyncs the directory. Open scans segments in order,
+// accepts the longest verified prefix, truncates the torn remainder of
+// the first bad segment, removes any later segments, and fsyncs — a
+// crash at any byte therefore leaves exactly the committed prefix.
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/ckpt"
+)
+
+// Frame header layout (shared shape with ckpt's checkpoint framing).
+const (
+	frameHeaderSize = 20
+	// Version is the current segment format version.
+	Version = 1
+	// batchMetaSize is the fixed payload prefix before the events.
+	batchMetaSize = 8 + 32 + 32 + 4
+	// maxBatchEvents bounds a decoded batch so a corrupt count cannot
+	// force a huge allocation. Far above any real ingest batch.
+	maxBatchEvents = 1 << 22
+)
+
+var frameMagic = [4]byte{'L', 'G', 'R', '1'}
+
+// Corruption and state sentinels.
+var (
+	// ErrCorrupt marks a frame that fails structural or chain
+	// verification; recovery truncates at the first occurrence.
+	ErrCorrupt = errors.New("ledger: corrupt frame")
+	// ErrEmptyBatch rejects Append calls with no events.
+	ErrEmptyBatch = errors.New("ledger: empty batch")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("ledger: closed")
+	// ErrBroken is returned once a failed append could not be rolled
+	// back; the ledger must be reopened (which re-runs recovery).
+	ErrBroken = errors.New("ledger: broken by unrecoverable append failure; reopen to recover")
+)
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem; nil means the real one.
+	FS ckpt.AppendFS
+	// RotateBytes rotates to a new segment when the active one reaches
+	// this size. 0 means DefaultRotateBytes; negative disables rotation.
+	RotateBytes int64
+	// OnBatch, when set, is invoked for every verified batch during
+	// Open, in commit order — replay without a second disk pass. An
+	// error aborts Open.
+	OnBatch func(Batch) error
+}
+
+// DefaultRotateBytes is the default segment rotation threshold.
+const DefaultRotateBytes = 4 << 20
+
+// Batch is one verified committed batch as seen by replay callbacks.
+type Batch struct {
+	Index  uint64
+	Root   Hash
+	Chain  Hash // chain hash after this batch
+	Events []Event
+}
+
+// Commit describes a successful Append.
+type Commit struct {
+	Index  uint64
+	Events int
+	Root   Hash
+	Chain  Hash
+}
+
+// Recovery reports what Open found and repaired.
+type Recovery struct {
+	Segments        int    // segments remaining after recovery
+	Batches         uint64 // committed batches recovered
+	Events          uint64 // events across those batches
+	TruncatedBytes  int64  // torn bytes cut from the first bad segment
+	RemovedSegments int    // later segments discarded after the tear
+}
+
+// Ledger is an open append-only event log. All methods are safe for
+// concurrent use; appends are serialized.
+type Ledger struct {
+	dir string
+	fs  ckpt.AppendFS
+	opt Options
+
+	mu         sync.Mutex
+	active     ckpt.File
+	activeSeq  int
+	activeSize int64
+	seqs       []int // live segment sequence numbers, ascending
+	batches    uint64
+	events     uint64
+	chain      Hash
+	closed     bool
+	broken     error
+}
+
+// Stats is a point-in-time snapshot of ledger counters.
+type Stats struct {
+	Segments    int
+	Batches     uint64
+	Events      uint64
+	ActiveBytes int64
+	Chain       Hash
+}
+
+func segName(seq int) string { return fmt.Sprintf("seg-%08d.log", seq) }
+
+func parseSegName(name string) (int, bool) {
+	var seq int
+	if n, err := fmt.Sscanf(name, "seg-%08d.log", &seq); err != nil || n != 1 || seq < 0 {
+		return 0, false
+	}
+	// Round-trip to reject non-canonical names and trailing junk
+	// (e.g. leftover editor copies or tmp files).
+	if name != segName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open opens (creating if needed) the ledger rooted at dir, running
+// torn-tail recovery and full chain verification over every segment.
+// The returned Recovery describes the verified state; opt.OnBatch sees
+// each recovered batch in order.
+func Open(dir string, opt Options) (*Ledger, Recovery, error) {
+	fs := opt.FS
+	if fs == nil {
+		fs = ckpt.OSAppendFS()
+	}
+	if opt.RotateBytes == 0 {
+		opt.RotateBytes = DefaultRotateBytes
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, Recovery{}, fmt.Errorf("ledger: mkdir %s: %w", dir, err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("ledger: scan %s: %w", dir, err)
+	}
+	seqs := make([]int, 0, len(names))
+	for _, n := range names {
+		if seq, ok := parseSegName(n); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+
+	l := &Ledger{dir: dir, fs: fs, opt: opt}
+	var rec Recovery
+
+	// Verify segments in order; stop at the first bad frame.
+	torn := false
+	tornAt := -1 // index into seqs of the segment holding the tear
+	var tornGood int64
+	for i, seq := range seqs {
+		data, rerr := readAll(fs, filepath.Join(dir, segName(seq)))
+		if rerr != nil {
+			return nil, Recovery{}, fmt.Errorf("ledger: read %s: %w", segName(seq), rerr)
+		}
+		good, serr := l.scanSegment(data, opt.OnBatch)
+		if serr != nil && !errors.Is(serr, ErrCorrupt) {
+			return nil, Recovery{}, serr // OnBatch callback error
+		}
+		if serr != nil || good < int64(len(data)) {
+			torn, tornAt, tornGood = true, i, good
+			rec.TruncatedBytes = int64(len(data)) - good
+			break
+		}
+	}
+
+	if torn {
+		// Cut the torn segment back to its verified prefix and drop
+		// everything after it; later segments chain off discarded state.
+		tornPath := filepath.Join(dir, segName(seqs[tornAt]))
+		if err := fs.Truncate(tornPath, tornGood); err != nil {
+			return nil, Recovery{}, fmt.Errorf("ledger: truncate torn tail of %s: %w", segName(seqs[tornAt]), err)
+		}
+		for _, seq := range seqs[tornAt+1:] {
+			if err := fs.Remove(filepath.Join(dir, segName(seq))); err != nil {
+				return nil, Recovery{}, fmt.Errorf("ledger: remove %s: %w", segName(seq), err)
+			}
+			rec.RemovedSegments++
+		}
+		seqs = seqs[:tornAt+1]
+		if err := fs.SyncDir(dir); err != nil {
+			return nil, Recovery{}, fmt.Errorf("ledger: fsync dir %s: %w", dir, err)
+		}
+		l.activeSize = tornGood
+	}
+
+	if len(seqs) == 0 {
+		seqs = []int{0}
+		l.activeSize = 0
+	} else if !torn {
+		sz, err := fs.Size(filepath.Join(dir, segName(seqs[len(seqs)-1])))
+		if err != nil {
+			return nil, Recovery{}, fmt.Errorf("ledger: stat active segment: %w", err)
+		}
+		l.activeSize = sz
+	}
+	l.activeSeq = seqs[len(seqs)-1]
+	l.seqs = seqs
+
+	f, err := fs.OpenAppend(filepath.Join(dir, segName(l.activeSeq)))
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("ledger: open active segment: %w", err)
+	}
+	// Persist the recovery truncation (and the segment creation on a
+	// fresh directory) before accepting new appends.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, Recovery{}, fmt.Errorf("ledger: fsync active segment: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, Recovery{}, fmt.Errorf("ledger: fsync dir %s: %w", dir, err)
+	}
+	l.active = f
+
+	rec.Segments = len(l.seqs)
+	rec.Batches = l.batches
+	rec.Events = l.events
+	return l, rec, nil
+}
+
+// scanSegment verifies frames from data in order, advancing the
+// ledger's chain state for each good one. It returns the byte length
+// of the verified prefix; err is ErrCorrupt-wrapped for a bad frame,
+// or the OnBatch callback's error verbatim.
+func (l *Ledger) scanSegment(data []byte, onBatch func(Batch) error) (int64, error) {
+	var off int64
+	for off < int64(len(data)) {
+		b, frameLen, err := decodeFrame(data[off:], l.chain, l.batches)
+		if err != nil {
+			return off, err
+		}
+		l.batches++
+		l.events += uint64(len(b.Events))
+		l.chain = b.Chain
+		off += frameLen
+		if onBatch != nil {
+			if err := onBatch(b); err != nil {
+				return off, fmt.Errorf("ledger: replay batch %d: %w", b.Index, err)
+			}
+		}
+	}
+	return off, nil
+}
+
+// decodeFrame verifies one frame at the front of data against the
+// expected chain position. It returns the decoded batch and the total
+// frame length consumed.
+func decodeFrame(data []byte, prevChain Hash, wantIndex uint64) (Batch, int64, error) {
+	if len(data) < frameHeaderSize {
+		return Batch{}, 0, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[0:4]) != frameMagic {
+		return Batch{}, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
+		return Batch{}, 0, fmt.Errorf("%w: version %d (support %d)", ErrCorrupt, v, Version)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:16])
+	if plen < batchMetaSize || plen > batchMetaSize+uint64(maxBatchEvents)*eventSize {
+		return Batch{}, 0, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, plen)
+	}
+	if uint64(len(data)-frameHeaderSize) < plen {
+		return Batch{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)",
+			ErrCorrupt, len(data)-frameHeaderSize, plen)
+	}
+	payload := data[frameHeaderSize : frameHeaderSize+int(plen)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[16:20]); got != want {
+		return Batch{}, 0, fmt.Errorf("%w: crc %08x != header %08x", ErrCorrupt, got, want)
+	}
+	idx := binary.LittleEndian.Uint64(payload[0:8])
+	if idx != wantIndex {
+		return Batch{}, 0, fmt.Errorf("%w: batch index %d, want %d", ErrCorrupt, idx, wantIndex)
+	}
+	var stored, root Hash
+	copy(stored[:], payload[8:40])
+	copy(root[:], payload[40:72])
+	if stored != prevChain {
+		return Batch{}, 0, fmt.Errorf("%w: batch %d chains off %x, want %x",
+			ErrCorrupt, idx, stored[:4], prevChain[:4])
+	}
+	count := binary.LittleEndian.Uint32(payload[72:76])
+	if count == 0 || count > maxBatchEvents {
+		return Batch{}, 0, fmt.Errorf("%w: implausible event count %d", ErrCorrupt, count)
+	}
+	if uint64(len(payload)-batchMetaSize) != uint64(count)*eventSize {
+		return Batch{}, 0, fmt.Errorf("%w: payload holds %d event bytes, count %d needs %d",
+			ErrCorrupt, len(payload)-batchMetaSize, count, uint64(count)*eventSize)
+	}
+	events := make([]Event, count)
+	leaves := make([]Hash, count)
+	for i := range events {
+		raw := payload[batchMetaSize+i*eventSize : batchMetaSize+(i+1)*eventSize]
+		events[i] = decodeEvent(raw)
+		leaves[i] = leafHash(raw)
+	}
+	if MerkleRoot(leaves) != root {
+		return Batch{}, 0, fmt.Errorf("%w: batch %d merkle root mismatch", ErrCorrupt, idx)
+	}
+	return Batch{
+		Index:  idx,
+		Root:   root,
+		Chain:  chainHash(prevChain, root, idx),
+		Events: events,
+	}, frameHeaderSize + int64(plen), nil
+}
+
+// encodeBatch builds the frame for events at the given chain position.
+// It returns the header and payload separately (Append issues them as
+// two writes) plus the batch's root and resulting chain hash.
+func encodeBatch(events []Event, prevChain Hash, index uint64) (header, payload []byte, root, chain Hash) {
+	payload = make([]byte, batchMetaSize, batchMetaSize+len(events)*eventSize)
+	leaves := make([]Hash, len(events))
+	for i, e := range events {
+		start := len(payload)
+		payload = encodeEvent(payload, e)
+		leaves[i] = leafHash(payload[start:])
+	}
+	root = MerkleRoot(leaves)
+	chain = chainHash(prevChain, root, index)
+	putUint64(payload[0:8], index)
+	copy(payload[8:40], prevChain[:])
+	copy(payload[40:72], root[:])
+	binary.LittleEndian.PutUint32(payload[72:76], uint32(len(events)))
+
+	header = make([]byte, frameHeaderSize)
+	copy(header[0:4], frameMagic[:])
+	binary.LittleEndian.PutUint32(header[4:8], Version)
+	putUint64(header[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[16:20], crc32.ChecksumIEEE(payload))
+	return header, payload, root, chain
+}
+
+// Append durably commits events as one batch: frame written, segment
+// fsynced, then the commit is acknowledged. On a write or fsync
+// failure it rolls the segment back to the last committed byte so the
+// ledger stays usable; if the rollback itself fails the ledger turns
+// sticky-broken (ErrBroken) and must be reopened.
+func (l *Ledger) Append(events []Event) (Commit, error) {
+	if len(events) == 0 {
+		return Commit{}, ErrEmptyBatch
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Commit{}, ErrClosed
+	}
+	if l.broken != nil {
+		return Commit{}, fmt.Errorf("%w (cause: %v)", ErrBroken, l.broken)
+	}
+	if err := l.maybeRotateLocked(); err != nil {
+		return Commit{}, err
+	}
+
+	header, payload, root, chain := encodeBatch(events, l.chain, l.batches)
+	if err := l.writeFrameLocked(header, payload); err != nil {
+		return Commit{}, err
+	}
+	c := Commit{Index: l.batches, Events: len(events), Root: root, Chain: chain}
+	l.activeSize += int64(len(header) + len(payload))
+	l.batches++
+	l.events += uint64(len(events))
+	l.chain = chain
+	return c, nil
+}
+
+// writeFrameLocked writes header+payload and fsyncs, rolling back to
+// the committed segment size on failure.
+func (l *Ledger) writeFrameLocked(header, payload []byte) error {
+	werr := func() error {
+		if _, err := l.active.Write(header); err != nil {
+			return fmt.Errorf("ledger: write frame header: %w", err)
+		}
+		if _, err := l.active.Write(payload); err != nil {
+			return fmt.Errorf("ledger: write frame payload: %w", err)
+		}
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("ledger: fsync commit: %w", err)
+		}
+		return nil
+	}()
+	if werr == nil {
+		return nil
+	}
+	// Roll back: cut the segment to its last committed byte and reopen
+	// the handle, so a possibly-torn frame can never be acknowledged
+	// later or replayed after a clean Close.
+	l.active.Close()
+	path := filepath.Join(l.dir, segName(l.activeSeq))
+	if err := l.fs.Truncate(path, l.activeSize); err != nil {
+		l.broken = werr
+		return fmt.Errorf("%w (append: %v; rollback truncate: %v)", ErrBroken, werr, err)
+	}
+	f, err := l.fs.OpenAppend(path)
+	if err != nil {
+		l.broken = werr
+		return fmt.Errorf("%w (append: %v; rollback reopen: %v)", ErrBroken, werr, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		l.broken = werr
+		return fmt.Errorf("%w (append: %v; rollback fsync: %v)", ErrBroken, werr, err)
+	}
+	l.active = f
+	return werr
+}
+
+// maybeRotateLocked starts a new segment when the active one has
+// reached the rotation threshold. Rotation is crash-safe: the old
+// segment is already fully committed, and an empty (or missing) new
+// segment recovers as an empty tail.
+func (l *Ledger) maybeRotateLocked() error {
+	if l.opt.RotateBytes < 0 || l.activeSize < l.opt.RotateBytes {
+		return nil
+	}
+	if err := l.active.Close(); err != nil {
+		// The handle may or may not have closed; reacquire it so a
+		// transient failure here does not wedge every later append.
+		old, rerr := l.fs.OpenAppend(filepath.Join(l.dir, segName(l.activeSeq)))
+		if rerr != nil {
+			l.broken = err
+			return fmt.Errorf("%w (rotate close: %v; reopen old segment: %v)", ErrBroken, err, rerr)
+		}
+		l.active = old
+		return fmt.Errorf("ledger: close full segment: %w", err)
+	}
+	seq := l.activeSeq + 1
+	f, err := l.fs.OpenAppend(filepath.Join(l.dir, segName(seq)))
+	if err != nil {
+		// Reopen the old segment so the ledger stays usable.
+		old, rerr := l.fs.OpenAppend(filepath.Join(l.dir, segName(l.activeSeq)))
+		if rerr != nil {
+			l.broken = err
+			return fmt.Errorf("%w (rotate: %v; reopen old segment: %v)", ErrBroken, err, rerr)
+		}
+		l.active = old
+		return fmt.Errorf("ledger: rotate to %s: %w", segName(seq), err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		old, rerr := l.fs.OpenAppend(filepath.Join(l.dir, segName(l.activeSeq)))
+		if rerr != nil {
+			l.broken = err
+			return fmt.Errorf("%w (rotate fsync: %v; reopen old segment: %v)", ErrBroken, err, rerr)
+		}
+		l.active = old
+		return fmt.Errorf("ledger: fsync dir after rotate: %w", err)
+	}
+	l.active = f
+	l.activeSeq = seq
+	l.activeSize = 0
+	l.seqs = append(l.seqs, seq)
+	return nil
+}
+
+// Replay re-reads every segment from disk, verifying the full chain,
+// and invokes fn for each batch in commit order. It does not touch the
+// append state and may run concurrently with appends — batches
+// committed after Replay starts may or may not be seen.
+func (l *Ledger) Replay(fn func(Batch) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	dir, fs := l.dir, l.fs
+	seqs := append([]int(nil), l.seqs...)
+	l.mu.Unlock()
+
+	var chain Hash
+	var index uint64
+	for i, seq := range seqs {
+		data, err := readAll(fs, filepath.Join(dir, segName(seq)))
+		if err != nil {
+			return fmt.Errorf("ledger: replay read %s: %w", segName(seq), err)
+		}
+		var off int64
+		for off < int64(len(data)) {
+			b, frameLen, err := decodeFrame(data[off:], chain, index)
+			if err != nil {
+				if i == len(seqs)-1 {
+					// A concurrent append may have written a partial
+					// frame past the committed tail; stop cleanly.
+					return nil
+				}
+				return fmt.Errorf("ledger: replay %s at %d: %w", segName(seq), off, err)
+			}
+			index++
+			chain = b.Chain
+			off += frameLen
+			if err := fn(b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats returns current counters.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Segments:    len(l.seqs),
+		Batches:     l.batches,
+		Events:      l.events,
+		ActiveBytes: l.activeSize,
+		Chain:       l.chain,
+	}
+}
+
+// Chain returns the current chain hash (the zero hash when empty).
+func (l *Ledger) Chain() Hash {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chain
+}
+
+// Close releases the active segment handle. Further Appends fail with
+// ErrClosed.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active != nil {
+		return l.active.Close()
+	}
+	return nil
+}
+
+func readAll(fs ckpt.FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -1,0 +1,80 @@
+package ledger
+
+import "crypto/sha256"
+
+// Hash is a SHA-256 digest: an event leaf hash, a batch Merkle root,
+// or a running chain hash.
+type Hash = [sha256.Size]byte
+
+// Domain-separation prefixes. Leaves and interior nodes hash under
+// distinct first bytes so an interior node can never be reinterpreted
+// as a leaf (second-preimage hardening), and the chain link uses a
+// third prefix so batch roots cannot collide with chain states.
+const (
+	prefixLeaf  = 0x00
+	prefixNode  = 0x01
+	prefixChain = 0x02
+)
+
+// leafHash digests one encoded event.
+func leafHash(encoded []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{prefixLeaf})
+	h.Write(encoded)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash digests an interior node from its two children.
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{prefixNode})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// MerkleRoot folds leaf hashes into one root. Odd levels promote the
+// unpaired node unchanged (no duplication, so a batch of [a, b] can
+// never share a root with [a, b, b]). A single leaf is its own root;
+// the zero Hash stands for the empty set, which the ledger never
+// commits (batches must be non-empty).
+func MerkleRoot(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return Hash{}
+	}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, nodeHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// chainHash advances the ledger chain across one committed batch:
+// chain_i = H(0x02 || chain_{i-1} || root_i || batchIndex_i). Including
+// the index means replaying an old batch at a new position breaks the
+// chain even when its contents are identical.
+func chainHash(prev, root Hash, batchIndex uint64) Hash {
+	h := sha256.New()
+	h.Write([]byte{prefixChain})
+	h.Write(prev[:])
+	h.Write(root[:])
+	var idx [8]byte
+	putUint64(idx[:], batchIndex)
+	h.Write(idx[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}

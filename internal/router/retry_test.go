@@ -1,0 +1,146 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve/api"
+)
+
+// flakyBackend answers the first fail requests per path with 502, then
+// delegates to a healthy stub — the shape of a backend mid-restart
+// behind a proxy.
+type flakyBackend struct {
+	fail  int32
+	calls atomic.Int32
+	posts atomic.Int32
+}
+
+func (f *flakyBackend) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			f.posts.Add(1)
+		}
+		n := f.calls.Add(1)
+		if n <= f.fail {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.Health{Status: "ok", Facility: "test"})
+	})
+}
+
+func retryRouter(t *testing.T, url string, attempts int) *Router {
+	t.Helper()
+	rt, err := New(Config{
+		Backends:        []string{url},
+		RetryAttempts:   attempts,
+		RetryBackoff:    time.Millisecond,
+		RetryMaxBackoff: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestRetryRecoversTransient502(t *testing.T) {
+	fb := &flakyBackend{fail: 2}
+	srv := httptest.NewServer(fb.handler())
+	defer srv.Close()
+	rt := retryRouter(t, srv.URL, 3)
+
+	rr := httptest.NewRecorder()
+	rt.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d after retries: %s", rr.Code, rr.Body.String())
+	}
+	if got := fb.calls.Load(); got != 3 {
+		t.Fatalf("backend saw %d calls, want 3", got)
+	}
+}
+
+// refusingTransport fails the first n round trips at the transport
+// level — what a connection-refused looks like to the client — then
+// delegates to the real transport.
+type refusingTransport struct {
+	remaining atomic.Int32
+	tried     atomic.Int32
+}
+
+func (rt *refusingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	rt.tried.Add(1)
+	if rt.remaining.Add(-1) >= 0 {
+		return nil, errConnRefused
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+var errConnRefused = &net.OpError{Op: "dial", Err: errors.New("connection refused")}
+
+func TestRetryRecoversTransportError(t *testing.T) {
+	fb := &flakyBackend{}
+	srv := httptest.NewServer(fb.handler())
+	defer srv.Close()
+
+	tr := &refusingTransport{}
+	tr.remaining.Store(2)
+	rt, err := New(Config{
+		Backends:        []string{srv.URL},
+		HTTPClient:      &http.Client{Transport: tr},
+		RetryAttempts:   3,
+		RetryBackoff:    time.Millisecond,
+		RetryMaxBackoff: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	rt.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d after transport-error retries: %s", rr.Code, rr.Body.String())
+	}
+	if got := tr.tried.Load(); got != 3 {
+		t.Fatalf("transport saw %d attempts, want 3", got)
+	}
+}
+
+func TestRetryExhaustionSurfacesLastOutcome(t *testing.T) {
+	fb := &flakyBackend{fail: 100}
+	srv := httptest.NewServer(fb.handler())
+	defer srv.Close()
+	rt := retryRouter(t, srv.URL, 3)
+
+	rr := httptest.NewRecorder()
+	rt.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if rr.Code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502 after exhaustion", rr.Code)
+	}
+	if got := fb.calls.Load(); got != 3 {
+		t.Fatalf("backend saw %d calls, want exactly 3 attempts", got)
+	}
+}
+
+func TestRetryNeverRepeatsPost(t *testing.T) {
+	fb := &flakyBackend{fail: 100}
+	srv := httptest.NewServer(fb.handler())
+	defer srv.Close()
+	rt := retryRouter(t, srv.URL, 5)
+
+	rr := httptest.NewRecorder()
+	rt.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/admin/reload", nil))
+	if rr.Code == http.StatusOK {
+		t.Fatalf("expected failure from always-502 backend")
+	}
+	if got := fb.posts.Load(); got != 1 {
+		t.Fatalf("POST sent %d times, want exactly 1 (non-idempotent)", got)
+	}
+}

@@ -26,7 +26,11 @@
 //
 // The router holds no model state; a backend that cannot be reached
 // answers as a 502 bad_gateway envelope in the same error shape as
-// everything else.
+// everything else. Idempotent GETs are retried against their backend
+// on transient failures (transport errors, intermediate 502s) with
+// capped exponential backoff and jitter — see Config.RetryAttempts —
+// so a backend restart looks like one slow request, not an error
+// burst. POSTs are never retried.
 package router
 
 import (
@@ -35,6 +39,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -47,6 +52,16 @@ import (
 
 // DefaultTimeout bounds each backend round trip.
 const DefaultTimeout = 15 * time.Second
+
+// Retry defaults for idempotent GETs against a transiently failing
+// backend (connection refused mid-restart, a 502 from an intermediate
+// proxy). POSTs are never retried: a reload or batch score that timed
+// out may still have executed.
+const (
+	DefaultRetryAttempts   = 3
+	DefaultRetryBackoff    = 50 * time.Millisecond
+	DefaultRetryMaxBackoff = 1 * time.Second
+)
 
 // maxBatchBody mirrors the serve-side recommend:batch body cap.
 const maxBatchBody = 1 << 20
@@ -66,14 +81,29 @@ type Config struct {
 	// own Timeout is respected when set; otherwise Config.Timeout
 	// applies per request.
 	HTTPClient *http.Client
+
+	// RetryAttempts is the total tries per idempotent GET exchange
+	// against one backend (1 disables retries; 0 uses
+	// DefaultRetryAttempts). Non-idempotent methods always get exactly
+	// one try.
+	RetryAttempts int
+
+	// RetryBackoff is the initial delay before the first retry; it
+	// doubles per attempt, with equal-magnitude random jitter, capped
+	// at RetryMaxBackoff. Zeros use the defaults.
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
 }
 
 // Router fans /v1 traffic out across the configured backends.
 type Router struct {
-	backends []string
-	hc       *http.Client
-	timeout  time.Duration
-	mux      *http.ServeMux
+	backends      []string
+	hc            *http.Client
+	timeout       time.Duration
+	retryAttempts int
+	retryBackoff  time.Duration
+	retryMax      time.Duration
+	mux           *http.ServeMux
 }
 
 // New validates the backend list and builds the router.
@@ -82,11 +112,23 @@ func New(cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("router: at least one backend is required")
 	}
 	rt := &Router{
-		hc:      cfg.HTTPClient,
-		timeout: cfg.Timeout,
+		hc:            cfg.HTTPClient,
+		timeout:       cfg.Timeout,
+		retryAttempts: cfg.RetryAttempts,
+		retryBackoff:  cfg.RetryBackoff,
+		retryMax:      cfg.RetryMaxBackoff,
 	}
 	if rt.timeout <= 0 {
 		rt.timeout = DefaultTimeout
+	}
+	if rt.retryAttempts <= 0 {
+		rt.retryAttempts = DefaultRetryAttempts
+	}
+	if rt.retryBackoff <= 0 {
+		rt.retryBackoff = DefaultRetryBackoff
+	}
+	if rt.retryMax <= 0 {
+		rt.retryMax = DefaultRetryMaxBackoff
 	}
 	if rt.hc == nil {
 		rt.hc = &http.Client{}
@@ -173,6 +215,53 @@ func (rt *Router) byEntity(param string) http.HandlerFunc {
 	}
 }
 
+// retryable reports whether one exchange outcome is worth retrying: a
+// transport-level failure (connection refused, reset — the backend
+// process is restarting) or a 502 from an intermediate. Anything the
+// backend itself answered, including 5xx application errors, is final:
+// re-asking would get the same deliberate answer.
+func retryable(resp *http.Response, err error) bool {
+	return err != nil || resp.StatusCode == http.StatusBadGateway
+}
+
+// do performs one backend exchange, retrying idempotent GETs on
+// transient failures with capped exponential backoff and full jitter.
+// The request context (carrying the per-exchange timeout) bounds the
+// whole loop, so retries never extend the router's latency budget. The
+// final attempt's outcome is returned verbatim — callers see exactly
+// what a single-try exchange would have produced.
+func (rt *Router) do(req *http.Request) (*http.Response, error) {
+	attempts := 1
+	if req.Method == http.MethodGet {
+		attempts = rt.retryAttempts
+	}
+	backoff := rt.retryBackoff
+	for attempt := 1; ; attempt++ {
+		resp, err := rt.hc.Do(req)
+		if !retryable(resp, err) || attempt >= attempts {
+			return resp, err
+		}
+		if err == nil {
+			// Drain so the transport can reuse the connection.
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		delay := backoff + time.Duration(rand.Int63n(int64(backoff)+1))
+		select {
+		case <-req.Context().Done():
+			if err == nil {
+				err = req.Context().Err()
+			}
+			return nil, err
+		case <-time.After(delay):
+		}
+		backoff *= 2
+		if backoff > rt.retryMax {
+			backoff = rt.retryMax
+		}
+	}
+}
+
 // proxy forwards the request to one backend and streams the response
 // back unchanged: status, content type, trace and retry headers, body.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
@@ -188,7 +277,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
 		return
 	}
 	req.Header = r.Header.Clone()
-	resp, err := rt.hc.Do(req)
+	resp, err := rt.do(req)
 	if err != nil {
 		writeError(w, badGateway(rt.backends[idx], err))
 		return
@@ -219,7 +308,7 @@ func (rt *Router) call(ctx context.Context, idx int, method, path string, body [
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := rt.hc.Do(req)
+	resp, err := rt.do(req)
 	if err != nil {
 		return badGateway(rt.backends[idx], err)
 	}

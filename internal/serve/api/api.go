@@ -182,6 +182,67 @@ type ReloadResponse struct {
 	Status   string        `json:"status"`
 }
 
+// Delivery methods accepted on ingested query events, mirroring the
+// trace schema's streaming/download split.
+const (
+	MethodStreaming = "streaming"
+	MethodDownload  = "download"
+)
+
+// IngestEvent is one observed query event in a POST /v1/ingest body.
+// User and Item are facility indices; an index equal to the current
+// count introduces a new user or item (dense growth — the server
+// assigns it the next CKG entity ID). Method defaults to "streaming";
+// Unix defaults to the server's receive time.
+type IngestEvent struct {
+	User     int    `json:"user"`
+	Item     int    `json:"item"`
+	DataType int    `json:"data_type,omitempty"`
+	Method   string `json:"method,omitempty"`
+	Unix     int64  `json:"unix,omitempty"`
+}
+
+// IngestRequest is the POST /v1/ingest body: one batch of query
+// events, committed to the ledger atomically.
+type IngestRequest struct {
+	Events []IngestEvent `json:"events"`
+}
+
+// IngestResponse acknowledges a durably committed batch. Chain is the
+// ledger's Merkle chain hash after this batch (hex) — an auditable
+// commitment to the entire event history up to and including it.
+type IngestResponse struct {
+	Batch      uint64 `json:"batch"`
+	Events     int    `json:"events"`
+	Chain      string `json:"chain"`
+	Users      int    `json:"users"`
+	Items      int    `json:"items"`
+	DeltaEdges int    `json:"delta_edges"`
+}
+
+// CompactResponse is the POST /v1/admin/compact payload: the shape of
+// the freshly frozen graph now serving on every shard.
+type CompactResponse struct {
+	Status     string `json:"status"`
+	Entities   int    `json:"entities"`
+	Edges      int    `json:"edges"`
+	Generation uint64 `json:"generation"`
+}
+
+// IngestStats is the live-ingestion block of /v1/stats, present only
+// when the server runs with a ledger.
+type IngestStats struct {
+	Batches       uint64 `json:"batches"`
+	Events        uint64 `json:"events"`
+	Segments      int    `json:"segments"`
+	LedgerBytes   int64  `json:"ledger_bytes"`
+	DeltaEdges    int    `json:"delta_edges"`
+	DeltaEntities int    `json:"delta_entities"`
+	Generation    uint64 `json:"generation"`
+	Users         int    `json:"users"`
+	Items         int    `json:"items"`
+}
+
 // EndpointStats is the per-endpoint block of /v1/stats.
 type EndpointStats struct {
 	Count  uint64            `json:"count"`
@@ -225,6 +286,7 @@ type Stats struct {
 	Limits    Limits                   `json:"limits"`
 	ANN       ANNStats                 `json:"ann"`
 	Cache     CacheStats               `json:"cache"`
+	Ingest    *IngestStats             `json:"ingest,omitempty"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Shards    []ShardStats             `json:"shards"`
 }

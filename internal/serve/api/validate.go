@@ -9,23 +9,25 @@ package api
 
 // Default bounds for the tunable request limits.
 const (
-	DefaultK        = 10   // k when the caller omits it
-	DefaultMaxK     = 200  // largest accepted k
-	DefaultMaxBatch = 256  // most users per recommend:batch call
-	DefaultMaxEF    = 4096 // largest accepted ann search breadth
+	DefaultK         = 10   // k when the caller omits it
+	DefaultMaxK      = 200  // largest accepted k
+	DefaultMaxBatch  = 256  // most users per recommend:batch call
+	DefaultMaxEF     = 4096 // largest accepted ann search breadth
+	DefaultMaxIngest = 4096 // most events per /v1/ingest batch
 )
 
 // Limits are the documented request bounds, surfaced verbatim in the
 // /v1/stats "limits" block so clients can discover them.
 type Limits struct {
-	MaxK     int `json:"max_k"`
-	MaxBatch int `json:"max_batch"`
-	MaxEF    int `json:"max_ef"`
+	MaxK      int `json:"max_k"`
+	MaxBatch  int `json:"max_batch"`
+	MaxEF     int `json:"max_ef"`
+	MaxIngest int `json:"max_ingest"`
 }
 
 // DefaultLimits returns the standard bounds.
 func DefaultLimits() Limits {
-	return Limits{MaxK: DefaultMaxK, MaxBatch: DefaultMaxBatch, MaxEF: DefaultMaxEF}
+	return Limits{MaxK: DefaultMaxK, MaxBatch: DefaultMaxBatch, MaxEF: DefaultMaxEF, MaxIngest: DefaultMaxIngest}
 }
 
 // Validator checks request parameters against one facility's
@@ -98,6 +100,24 @@ func (v Validator) Batch(users []int) *Error {
 		if e := v.User(u); e != nil {
 			return e
 		}
+	}
+	return nil
+}
+
+// IngestSize validates a /v1/ingest batch's shape: non-empty and
+// within the published event bound. Per-event semantics (ID ranges,
+// methods) are checked by the ingest applier, which owns the live
+// entity space.
+func (v Validator) IngestSize(events []IngestEvent) *Error {
+	if len(events) == 0 {
+		return BadParam("events must be non-empty")
+	}
+	max := v.Limits.MaxIngest
+	if max == 0 {
+		max = DefaultMaxIngest
+	}
+	if len(events) > max {
+		return BadParam("at most %d events per ingest batch, got %d", max, len(events))
 	}
 	return nil
 }

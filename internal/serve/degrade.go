@@ -85,11 +85,16 @@ func (s *Server) Reload() error {
 
 // ReloadShards reloads every shard (each with its own retry loop and
 // exponential backoff) and returns the per-shard outcomes. Reloads are
-// serialized; a shard whose loads all fail keeps its previous state —
+// serialized — a call arriving while another is swapping shards gets
+// errReloadInFlight (409) instead of queueing behind work that would
+// only re-read the same snapshot. A shard whose loads all fail keeps
+// its previous state —
 // trained or fallback — serving, and its siblings still swap, so a
 // partial failure degrades partially instead of globally.
 func (s *Server) ReloadShards() ([]api.ShardReload, error) {
-	s.reloadMu.Lock()
+	if !s.reloadMu.TryLock() {
+		return nil, errReloadInFlight
+	}
 	defer s.reloadMu.Unlock()
 	if s.loader == nil {
 		return nil, errNoLoader
@@ -118,6 +123,16 @@ var errNoLoader = &apiError{
 	Code:    "no_loader",
 	Message: "hot reload is not configured for this server",
 	Status:  http.StatusNotImplemented,
+}
+
+// errReloadInFlight is the 409 envelope for a reload requested while
+// another is still swapping shards: reloads are serialized, and
+// queueing a second one would only re-read the same snapshot, so the
+// caller is told to retry after the current one finishes.
+var errReloadInFlight = &apiError{
+	Code:    "reload_in_flight",
+	Message: "a reload is already in progress; retry when it completes",
+	Status:  http.StatusConflict,
 }
 
 // handleReload is POST /v1/admin/reload: swap in freshly loaded

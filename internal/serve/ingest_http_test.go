@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/ingest"
+	"repro/internal/ledger"
+)
+
+// ingestServer boots a test server with live ingestion over a fresh
+// ledger directory.
+func ingestServer(t *testing.T, dir string) (*Server, *ingest.Applier, *ledger.Ledger, *dataset.Dataset) {
+	t.Helper()
+	_, d := testServer(t) // prime the shared fixture
+	app := ingest.New(d, d.CSR())
+	led, _, err := ledger.Open(dir, ledger.Options{OnBatch: app.OnBatch})
+	if err != nil {
+		t.Fatalf("ledger.Open: %v", err)
+	}
+	t.Cleanup(func() { led.Close() })
+	s, _ := testServer(t, WithIngest(led, app))
+	return s, app, led, d
+}
+
+func TestIngestCommitAndStats(t *testing.T) {
+	dir := t.TempDir()
+	s, app, led, d := ingestServer(t, dir)
+
+	body := fmt.Sprintf(`{"events":[{"user":0,"item":1},{"user":%d,"item":0,"method":"download"}]}`, d.NumUsers)
+	rr, resp := do(t, s, http.MethodPost, "/v1/ingest", body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", rr.Code, rr.Body.String())
+	}
+	if resp["batch"].(float64) != 0 || resp["events"].(float64) != 2 {
+		t.Fatalf("ack wrong: %v", resp)
+	}
+	if chain := resp["chain"].(string); len(chain) != 64 {
+		t.Fatalf("chain hash %q not 32 bytes hex", chain)
+	}
+	if resp["users"].(float64) != float64(d.NumUsers+1) {
+		t.Fatalf("users = %v, want %d", resp["users"], d.NumUsers+1)
+	}
+	if ls := led.Stats(); ls.Batches != 1 || ls.Events != 2 {
+		t.Fatalf("ledger stats %+v", ls)
+	}
+
+	// The stats block and the metrics exposition both see the ingest.
+	rr, resp = do(t, s, http.MethodGet, "/v1/stats", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rr.Code)
+	}
+	ing, ok := resp["ingest"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no ingest block: %v", resp)
+	}
+	if ing["batches"].(float64) != 1 || ing["events"].(float64) != 2 {
+		t.Fatalf("ingest stats block wrong: %v", ing)
+	}
+	if ing["delta_edges"].(float64) == 0 {
+		t.Fatalf("no delta edges recorded")
+	}
+	mrr := httptest.NewRecorder()
+	s.ServeHTTP(mrr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	for _, family := range []string{"ledger_batches", "overlay_delta_edges", "ingest_events_total"} {
+		if !strings.Contains(mrr.Body.String(), family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+
+	// A crash-recovery replay of the same directory rebuilds the
+	// identical overlay (acknowledged batch survives, hash matches).
+	app2 := ingest.New(d, d.CSR())
+	led3, rec3, err := ledger.Open(dir, ledger.Options{OnBatch: app2.OnBatch})
+	if err != nil {
+		t.Fatalf("reopen ledger: %v", err)
+	}
+	defer led3.Close()
+	if rec3.Batches != 1 || rec3.Events != 2 {
+		t.Fatalf("recovery %+v", rec3)
+	}
+	if app2.OverlayHash() != app.OverlayHash() {
+		t.Fatalf("replayed overlay hash diverged")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	s, _, _, d := ingestServer(t, t.TempDir())
+
+	cases := []struct {
+		body string
+		code int
+		api  string
+	}{
+		{`{"events":[]}`, http.StatusBadRequest, "bad_param"},
+		{`not json`, http.StatusBadRequest, "bad_param"},
+		{fmt.Sprintf(`{"events":[{"user":%d,"item":0}]}`, d.NumUsers+5), http.StatusBadRequest, "bad_param"},
+		{`{"events":[{"user":0,"item":0,"method":"fax"}]}`, http.StatusBadRequest, "bad_param"},
+	}
+	for _, c := range cases {
+		rr, resp := do(t, s, http.MethodPost, "/v1/ingest", c.body)
+		if rr.Code != c.code {
+			t.Errorf("body %q: status %d, want %d", c.body, rr.Code, c.code)
+			continue
+		}
+		if e := resp["error"].(map[string]any); e["code"].(string) != c.api {
+			t.Errorf("body %q: code %v", c.body, e["code"])
+		}
+	}
+
+	// Nothing was committed or applied by rejected requests.
+	rr, resp := do(t, s, http.MethodGet, "/v1/stats", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rr.Code)
+	}
+	ing := resp["ingest"].(map[string]any)
+	if ing["batches"].(float64) != 0 || ing["delta_edges"].(float64) != 0 {
+		t.Fatalf("rejected requests mutated state: %v", ing)
+	}
+}
+
+func TestIngestRoutesAbsentWithoutLedger(t *testing.T) {
+	s, _ := testServer(t)
+	rr, _ := do(t, s, http.MethodPost, "/v1/ingest", `{"events":[{"user":0,"item":0}]}`)
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("ingest without ledger: status %d, want 404", rr.Code)
+	}
+	rr, _ = do(t, s, http.MethodPost, "/v1/admin/compact", "")
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("compact without ledger: status %d, want 404", rr.Code)
+	}
+}
+
+func TestCompactSwapsServingGraph(t *testing.T) {
+	s, app, _, d := ingestServer(t, t.TempDir())
+
+	body := fmt.Sprintf(`{"events":[{"user":%d,"item":0},{"user":0,"item":%d}]}`, d.NumUsers, d.NumItems)
+	rr, _ := do(t, s, http.MethodPost, "/v1/ingest", body)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", rr.Code, rr.Body.String())
+	}
+
+	gen := s.disp.GraphGeneration()
+	oldGraph := s.disp.Graph()
+	rr, resp := do(t, s, http.MethodPost, "/v1/admin/compact", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("compact status %d: %s", rr.Code, rr.Body.String())
+	}
+	if resp["status"].(string) != "compacted" {
+		t.Fatalf("compact response %v", resp)
+	}
+	if s.disp.GraphGeneration() != gen+1 {
+		t.Fatalf("graph generation did not advance")
+	}
+	cur := s.disp.Graph()
+	if cur == oldGraph {
+		t.Fatalf("dispatcher still serving the old graph")
+	}
+	if cur.NumEntities() != app.Overlay().NumEntities() || cur != app.Overlay().Base() {
+		t.Fatalf("dispatcher graph is not the compacted overlay base")
+	}
+	if int(resp["entities"].(float64)) != cur.NumEntities() {
+		t.Fatalf("compact ack entities %v != %d", resp["entities"], cur.NumEntities())
+	}
+	if app.Overlay().DeltaEdges() != 0 {
+		t.Fatalf("delta not folded")
+	}
+
+	// The swapped graph serves: /v1/explain walks the new CSR.
+	rr, _ = do(t, s, http.MethodGet, "/v1/explain?user=0&item=1", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("explain after compact: status %d", rr.Code)
+	}
+}
+
+func TestReloadConflictAnswers409(t *testing.T) {
+	s, _ := testServer(t)
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	rr, resp := do(t, s, http.MethodPost, "/v1/admin/reload", "")
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("reload during reload: status %d, want 409", rr.Code)
+	}
+	if e := resp["error"].(map[string]any); e["code"].(string) != "reload_in_flight" {
+		t.Fatalf("error code %v", e["code"])
+	}
+}

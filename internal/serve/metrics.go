@@ -211,6 +211,7 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 			Entries: entries, Cap: s.cacheSize,
 		},
 		ANN:       s.disp.ANNStats(),
+		Ingest:    s.ingestStats(),
 		Endpoints: eps,
 		Shards:    s.disp.Stats(),
 	}

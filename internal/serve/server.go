@@ -99,6 +99,10 @@ type Server struct {
 	csr         *graph.CSR
 	usersByItem [][]int
 
+	// Live ingestion (nil unless WithIngest): the query-event ledger
+	// and the overlay applier behind POST /v1/ingest.
+	ingest *ingestState
+
 	validate api.Validator
 	metrics  *serveMetrics
 	tracer   *obs.Tracer
@@ -201,6 +205,9 @@ func WithLimits(l api.Limits) Option {
 		if l.MaxEF > 0 {
 			s.limits.MaxEF = l.MaxEF
 		}
+		if l.MaxIngest > 0 {
+			s.limits.MaxIngest = l.MaxIngest
+		}
 	}
 }
 
@@ -281,6 +288,9 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 	s.validate = api.Validator{Limits: s.limits, NumUsers: d.NumUsers, NumItems: d.NumItems}
 	s.metrics = newServeMetrics(s)
 	s.disp.Register(s.metrics.reg)
+	if s.ingest != nil {
+		s.ingest.app.Register(s.metrics.reg, s.ingest.led)
+	}
 	s.tracer = obs.NewTracer(s.traceRing)
 
 	s.mux = http.NewServeMux()
@@ -295,6 +305,10 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 	s.route("/v1/explain", http.MethodGet, s.handleExplain)
 	s.route("/v1/stats", http.MethodGet, s.handleStats)
 	s.route("/v1/admin/reload", http.MethodPost, s.handleReload)
+	if s.ingest != nil {
+		s.route("/v1/ingest", http.MethodPost, s.handleIngest)
+		s.route("/v1/admin/compact", http.MethodPost, s.handleCompact)
+	}
 	s.route("/metrics", http.MethodGet, s.metrics.reg.Handler().ServeHTTP)
 	s.route("/v1/debug/traces", http.MethodGet, obs.TracesHandler(s.tracer).ServeHTTP)
 	for _, legacy := range []string{"/health", "/recommend", "/similar", "/explain"} {

@@ -153,8 +153,12 @@ type Config struct {
 
 // Dispatcher routes /v1 work onto its shards.
 type Dispatcher struct {
-	d        *dataset.Dataset
-	csr      *graph.CSR
+	d *dataset.Dataset
+	// csr is the published frozen graph. Live ingestion swaps it via
+	// SetGraph when the overlay compacts; readers pin one load per
+	// request so a swap mid-request is coherent.
+	csr      atomic.Pointer[graph.CSR]
+	graphGen atomic.Uint64
 	fallback *eval.PopularityScorer
 	shards   []*Shard
 	sem      chan struct{} // bounded pool for cross-shard fan-out
@@ -216,11 +220,11 @@ func New(cfg Config) *Dispatcher {
 
 	dp := &Dispatcher{
 		d:        cfg.Dataset,
-		csr:      cfg.CSR,
 		fallback: cfg.Fallback,
 		shards:   make([]*Shard, n),
 		sem:      make(chan struct{}, workers),
 	}
+	dp.csr.Store(cfg.CSR)
 	dp.scoreBufs = sync.Pool{New: func() any { return make([]float64, cfg.Dataset.NumItems) }}
 
 	for i := range dp.shards {
@@ -231,7 +235,10 @@ func New(cfg Config) *Dispatcher {
 			sh.state().scorer.ScoreItems(user, out)
 			sp.End()
 		})
-		sh.pathers = sync.Pool{New: func() any { return dp.csr.PathFinder() }}
+		sh.pathers = sync.Pool{New: func() any {
+			c := dp.csr.Load()
+			return &pather{csr: c, pf: c.PathFinder()}
+		}}
 		if cfg.Scorer == nil {
 			sh.cur.Store(&scorerState{scorer: dp.fallback, degraded: true})
 		} else {
@@ -262,6 +269,38 @@ func New(cfg Config) *Dispatcher {
 	}
 	return dp
 }
+
+// pather pins a pooled PathFinder to the CSR it walks, so a graph
+// swap invalidates stale finders naturally on their next checkout.
+type pather struct {
+	csr *graph.CSR
+	pf  *graph.PathFinder
+}
+
+// SetGraph publishes a new frozen CSR (an overlay compaction) to every
+// shard. It rides the same visibility machinery a scorer swap uses:
+// one atomic store, a generation bump, and a cache invalidation per
+// shard, so racing fills against the old graph are discarded. Pooled
+// path finders pinned to the old CSR are replaced lazily as Explain
+// checks them out. The popularity fallback keeps its construction-time
+// graph — an accepted staleness, since it only serves degraded
+// answers over base items.
+func (dp *Dispatcher) SetGraph(c *graph.CSR) {
+	if c == nil {
+		return
+	}
+	dp.csr.Store(c)
+	dp.graphGen.Add(1)
+	for _, sh := range dp.shards {
+		sh.cache.Invalidate()
+	}
+}
+
+// Graph returns the currently published frozen CSR.
+func (dp *Dispatcher) Graph() *graph.CSR { return dp.csr.Load() }
+
+// GraphGeneration counts SetGraph publications since construction.
+func (dp *Dispatcher) GraphGeneration() uint64 { return dp.graphGen.Load() }
 
 // NumShards reports the replica count.
 func (dp *Dispatcher) NumShards() int { return len(dp.shards) }
@@ -384,6 +423,15 @@ func (dp *Dispatcher) Register(reg *obs.Registry) {
 		"Per-shard score-vector cache misses.", "shard")
 	dp.fanout = reg.NewHistogram("shard_fanout_duration_ms",
 		"Cross-shard fan-out latency (recommend:batch, similar probes) in milliseconds.", nil)
+	reg.NewGaugeFunc("graph_generation",
+		"Frozen-CSR swaps published to the shards (overlay compactions).",
+		func() float64 { return float64(dp.graphGen.Load()) })
+	reg.NewGaugeFunc("graph_edges",
+		"Directed edges in the published frozen CSR (inverses included).",
+		func() float64 { return float64(dp.csr.Load().NumEdges()) })
+	reg.NewGaugeFunc("graph_entities",
+		"Entities in the published frozen CSR.",
+		func() float64 { return float64(dp.csr.Load().NumEntities()) })
 	reg.NewGaugeFunc("ann_enabled",
 		"1 when every shard holds a live approximate index.",
 		func() float64 {
@@ -749,8 +797,15 @@ func (dp *Dispatcher) Explain(ctx context.Context, user, item int) (out []api.Ex
 	degraded = sh.state().degraded
 
 	dst := dp.d.ItemEnt[item]
-	finder := sh.pathers.Get().(*graph.PathFinder)
-	defer sh.pathers.Put(finder)
+	cur := dp.csr.Load()
+	p := sh.pathers.Get().(*pather)
+	if p.csr != cur {
+		// The graph was swapped since this finder was pooled; rebuild
+		// against the published CSR.
+		p = &pather{csr: cur, pf: cur.PathFinder()}
+	}
+	finder := p.pf
+	defer sh.pathers.Put(p)
 	_, sp := obs.StartSpan(ctx, "explain.paths")
 	sp.SetAttrInt("user", user)
 	sp.SetAttrInt("item", item)

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Produces BENCH_ingest.json: the live-ingestion benchmark suite as a
+# JSON array, one object per benchmark, for the perf trajectory across
+# PRs. Covers the durable ledger commit path (append = encode + two
+# writes + fsync), full-chain replay throughput, Merkle hashing, and
+# the overlay read paths. The OverlayNeighborsFrozenBase row is also
+# the acceptance gate that merged reads off a frozen base allocate
+# nothing (0 B/op) — the overlay's only hot-path overhead is its RLock.
+#
+#   scripts/bench_ingest.sh                 # default 2s per benchmark
+#   BENCHTIME=100x scripts/bench_ingest.sh  # fixed iteration count
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_ingest.json}"
+BENCHTIME="${BENCHTIME:-2s}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run XXX -bench 'BenchmarkLedgerAppend|BenchmarkLedgerReplay|BenchmarkMerkleRoot' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/ledger/ | tee "$tmp"
+go test -run XXX -bench 'BenchmarkCSRNeighbors|BenchmarkOverlayNeighborsFrozenBase|BenchmarkOverlayNeighborsWithDelta|BenchmarkOverlayAddEdge|BenchmarkOverlayCompact' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/graph/ | tee -a "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; mbs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "MB/s")      mbs = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (mbs != "")    printf ", \"mb_per_s\": %s", mbs
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp" > "$OUT"
+echo "wrote $OUT"
+
+# Acceptance gate: the overlay frozen-base read path must be 0 B/op.
+frozen_bytes="$(awk -F'"bytes_per_op": ' '/OverlayNeighborsFrozenBase/ { split($2, a, /[,}]/); print a[1] }' "$OUT")"
+if [ -n "$frozen_bytes" ] && [ "$frozen_bytes" != "0" ]; then
+    echo "FAIL: overlay frozen-base reads allocate ($frozen_bytes B/op, want 0)" >&2
+    exit 1
+fi

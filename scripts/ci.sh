@@ -25,8 +25,10 @@
 #
 # The chaos gate sweeps deterministic filesystem faults (EIO, short
 # writes, torn renames, sticky crashes) through every op index of the
-# checkpoint write path and runs the kill/crash-and-resume equivalence
-# tests — including under -race.
+# checkpoint write path and of the query-event ledger's append path,
+# and runs the kill/crash-and-resume equivalence tests — including
+# the ingest replay-equivalence golden (bit-identical overlay after
+# ledger replay) — under -race.
 #
 #   scripts/ci.sh          # full loop: vet + build + tests + race + chaos
 #   scripts/ci.sh race     # race gates only
@@ -61,6 +63,8 @@ if [ "$mode" = "all" ]; then
     scripts/bench_shard.sh
     echo "== ann benchmarks -> BENCH_ann.json"
     scripts/bench_ann.sh
+    echo "== ingest benchmarks -> BENCH_ingest.json"
+    scripts/bench_ingest.sh
 fi
 
 if [ "$mode" = "all" ] || [ "$mode" = "race" ]; then
@@ -90,6 +94,11 @@ if [ "$mode" = "all" ] || [ "$mode" = "chaos" ]; then
     go test -race -run 'TestKillAndResume|TestCrashDuringCheckpointWrite|TestResume' \
         ./internal/models/shared/
     go test -race -run 'TestCKATKillAndResume' ./internal/core/
+    echo "== chaos: ledger fault-injection sweep + torn-tail recovery under -race"
+    go test ./internal/ledger/
+    go test -race -run 'TestChaos' ./internal/ledger/
+    echo "== chaos: ingest replay equivalence (golden overlay hash) under -race"
+    go test -race -run 'TestReplayEquivalenceGolden' ./internal/ingest/
 fi
 
 echo "CI OK"
