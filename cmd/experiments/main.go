@@ -19,6 +19,8 @@ func main() {
 	profileName := flag.String("profile", "quick", "experiment scale: quick or full")
 	table := flag.String("table", "", "table to run: 1, 2, 3, 4, 5 or all")
 	fig := flag.String("fig", "", "figure to run: 3, 4, 5 or all")
+	federation := flag.Bool("federation", false,
+		"run the multi-facility federation grid (federated vs per-facility CKAT)")
 	workers := flag.Int("workers", 0, "training workers (<=1 sequential, >1 round-parallel)")
 	verbose := flag.Bool("v", false, "log per-epoch training progress")
 	flag.Parse()
@@ -39,7 +41,7 @@ func main() {
 			fmt.Printf("  "+format+"\n", args...)
 		}
 	}
-	if *table == "" && *fig == "" {
+	if *table == "" && *fig == "" && !*federation {
 		*table = "all"
 		*fig = "all"
 	}
@@ -71,6 +73,9 @@ func main() {
 	}
 	if runTable("5") {
 		printTable5(p)
+	}
+	if *federation {
+		printFederation(p)
 	}
 	fmt.Printf("\ntotal wall time: %v (profile %s)\n", time.Since(start).Round(time.Second), p.Name)
 }
@@ -143,6 +148,31 @@ func printTable5(p experiments.Profile) {
 	}
 	fmt.Print(experiments.FormatTable(
 		[]string{"depth", "OOI recall@20", "OOI ndcg@20", "GAGE recall@20", "GAGE ndcg@20"}, cells))
+}
+
+func printFederation(p experiments.Profile) {
+	fmt.Println("\n=== Multi-facility federation: federated vs per-facility CKAT ===")
+	results, err := experiments.RunFederationGrid(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "federation grid: %v\n", err)
+		os.Exit(1)
+	}
+	for _, res := range results {
+		fmt.Printf("\n-- sources %s: merged CKG %d entities, %d triples; overall recall@%d %.4f --\n",
+			res.Sources, res.Entities, res.Triples, res.Overall.K, res.Overall.Recall)
+		var cells [][]string
+		for _, r := range res.Rows {
+			cells = append(cells, []string{r.Facility,
+				fmt.Sprintf("%d/%d", r.Users, r.Items),
+				fmt.Sprintf("%.4f", r.FedRecall), fmt.Sprintf("%.4f", r.FedNDCG),
+				fmt.Sprintf("%.4f", r.SoloRecall), fmt.Sprintf("%.4f", r.SoloNDCG),
+				fmt.Sprintf("%.4f", r.CrossHitRate)})
+		}
+		fmt.Print(experiments.FormatTable(
+			[]string{"facility", "users/items", "fed recall", "fed ndcg",
+				"solo recall", "solo ndcg", "cross-hit"}, cells))
+	}
+	fmt.Println("(cross-hit: fraction of users whose top-K includes another facility's data)")
 }
 
 func printFig3(p experiments.Profile) {

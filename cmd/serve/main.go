@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/facility"
 	"repro/internal/graph"
 	"repro/internal/ingest"
 	"repro/internal/ledger"
@@ -42,7 +43,7 @@ import (
 )
 
 func main() {
-	fac := flag.String("facility", "ooi", "facility: ooi or gage")
+	fac := flag.String("facility", "ooi", "facility: ooi, gage, or fed (federated OOI+GAGE)")
 	addr := flag.String("addr", ":8080", "listen address")
 	epochs := flag.Int("epochs", 10, "training epochs")
 	dim := flag.Int("dim", 32, "embedding size")
@@ -65,11 +66,21 @@ func main() {
 	flag.Parse()
 
 	var d *dataset.Dataset
+	var fed *dataset.Federated
 	switch *fac {
 	case "ooi":
 		d = dataset.BuildOOI(*seed, dataset.AllSources())
 	case "gage":
 		d = dataset.BuildGAGE(*seed, dataset.AllSources())
+	case "fed":
+		var err error
+		fed, err = dataset.BuildFederated(
+			[]*facility.Schema{facility.BuiltinOOI(), facility.BuiltinGAGE()},
+			dataset.AllSources(), *seed)
+		if err != nil {
+			fatal(err)
+		}
+		d = fed.Dataset
 	default:
 		fmt.Fprintf(os.Stderr, "unknown facility %q\n", *fac)
 		os.Exit(2)
@@ -159,6 +170,9 @@ func main() {
 	}
 	if led != nil {
 		opts = append(opts, serve.WithIngest(led, app))
+	}
+	if fed != nil {
+		opts = append(opts, serve.WithFederation(fed))
 	}
 	if *annOn {
 		opts = append(opts, serve.WithANN(shard.ANNConfig{
@@ -250,6 +264,9 @@ func main() {
 	fmt.Printf("serving %s data discovery on %s (%d scorer shard(s))\n", d.Name, *addr, *shards)
 	fmt.Println("  GET  /v1/health | /v1/health/live | /v1/health/ready | /v1/recommend?user=&k= | /v1/similar?item=&k= | /v1/explain?user=&item= | /v1/stats")
 	fmt.Println("  GET  /v1/query:nearest?entity=item:42&k=&type= | /v1/query:analogy?a=&b=&c=&k= (semantic queries; &mode=exact|ann, &ef=)")
+	if fed != nil {
+		fmt.Println("  federated snapshot: &facility=OOI|GAGE restricts recommend/query results to one member facility")
+	}
 	fmt.Println("  GET  /metrics (Prometheus) | /v1/debug/traces (recent request traces)")
 	fmt.Println("  POST /v1/recommend:batch   {\"users\":[...],\"k\":10}")
 	fmt.Println("  POST /v1/admin/reload      (or SIGHUP) hot-swap the snapshot")

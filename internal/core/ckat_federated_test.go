@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/models/modeltest"
+)
+
+// CKAT trains on a federated two-facility CKG exactly as on a
+// single-facility one, learns on it, and the per-facility evaluation
+// breakdown partitions the overall user set.
+func TestCKATLearnsFederated(t *testing.T) {
+	fed := modeltest.TinyFederated(t)
+	got := modeltest.AssertLearns(t, NewDefault(), fed.Dataset, modeltest.QuickConfig(), 3)
+	t.Logf("CKAT federated recall@20=%.4f ndcg@20=%.4f", got.Recall, got.NDCG)
+}
+
+func TestCKATFederatedPerFacilityBreakdown(t *testing.T) {
+	fed := modeltest.TinyFederated(t)
+	m := NewDefault()
+	cfg := modeltest.QuickConfig()
+	cfg.Epochs = 2
+	if err := m.Train(context.Background(), fed.Dataset, cfg); err != nil {
+		t.Fatal(err)
+	}
+	overall := eval.Evaluate(fed.Dataset, m, 20)
+	users := 0
+	for p := range fed.Parts {
+		lo, hi := fed.UserRange(p)
+		pm, err := eval.EvaluateUsersCtx(context.Background(), fed.Dataset, m, 20, 0, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pm.Users == 0 {
+			t.Fatalf("facility %s evaluated zero users", fed.Parts[p].Name)
+		}
+		users += pm.Users
+	}
+	if users != overall.Users {
+		t.Fatalf("per-facility breakdown covers %d users, overall %d", users, overall.Users)
+	}
+}

@@ -1,0 +1,273 @@
+// Federated datasets: N per-facility collaborative knowledge graphs
+// merged into one training graph (ROADMAP item 5). Each facility keeps
+// its own catalog, trace, and 80/20 split — built exactly as the
+// standalone pipeline builds them, so per-facility baselines train on
+// identical data — and the federation concatenates the user/item index
+// spaces and merges the CKGs through kg.Graph.MergeMapped with
+// namespaced entity names. Facility-local kinds (items, sites, cities,
+// regions, instruments, metadata groups) get a "<facility>/" prefix
+// and can never align across facilities; the data-type and discipline
+// vocabulary keeps its global names and aligns deliberately, forming
+// the cross-facility bridge that lets propagation and path finding
+// hop from one facility's items to another's through shared products.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/facility"
+	"repro/internal/kg"
+	"repro/internal/trace"
+)
+
+// FederatedPart records one facility's slice of a federated dataset:
+// the standalone per-facility dataset it was built from, the offsets
+// of its user/item index ranges in the federation, and the entity and
+// relation ID mappings from its private CKG into the merged graph.
+type FederatedPart struct {
+	Name    string
+	Dataset *Dataset
+	UserOff int
+	ItemOff int
+	// EntMap[e] is the merged-graph entity ID of the part graph's
+	// entity e; RelMap likewise for relation IDs.
+	EntMap []int
+	RelMap []int
+}
+
+// Federated is a multi-facility dataset. The embedded Dataset is fully
+// functional — training, evaluation, snapshots, and serving all work
+// on it unchanged — with users and items living in the facility-order
+// concatenated index spaces and the Graph being the merged CKG.
+type Federated struct {
+	*Dataset
+	Parts []FederatedPart
+}
+
+// BuildFederated instantiates every schema's catalog, generates its
+// trace from the schema's affinity calibration, builds the standalone
+// per-facility dataset (catalog, trace, and split all derive from the
+// same seed a solo build would use), and federates them. Schema names
+// must be distinct.
+func BuildFederated(schemas []*facility.Schema, src Sources, seed int64) (*Federated, error) {
+	if len(schemas) == 0 {
+		return nil, fmt.Errorf("%w: federation of zero schemas", facility.ErrInvalidSchema)
+	}
+	seen := make(map[string]bool, len(schemas))
+	parts := make([]*Dataset, len(schemas))
+	for i, s := range schemas {
+		if seen[s.Name] {
+			return nil, fmt.Errorf("%w: duplicate facility %q in federation",
+				facility.ErrInvalidSchema, s.Name)
+		}
+		seen[s.Name] = true
+		cat, err := s.Instantiate(seed)
+		if err != nil {
+			return nil, err
+		}
+		tr := trace.Generate(cat, trace.ConfigFrom(s.Affinity), seed)
+		parts[i] = Build(tr, src, seed)
+	}
+	return Federate(parts...)
+}
+
+// federationRename is the namespacing scheme of the CKG merge: shared
+// vocabulary kinds keep their global names (deliberate alignment),
+// users are already facility-prefixed by buildCKG, and every other
+// kind is facility-local and gets the "<facility>/" prefix.
+func federationRename(fac string) func(kg.EntityKind, string) string {
+	return func(kind kg.EntityKind, name string) string {
+		switch kind {
+		case kg.KindDataType, kg.KindDiscipline:
+			return name // global vocabulary: the cross-facility bridge
+		case kg.KindUser:
+			return name // "<facility>-u%05d" is already namespaced
+		}
+		return facility.Namespaced(fac, name)
+	}
+}
+
+// Federate merges already-built per-facility datasets into one
+// federated dataset. All parts must use the same knowledge-source
+// combination and carry distinct facility names. After the merge it
+// verifies that no two users and no two items were aligned onto one
+// entity — the namespacing collision guard.
+func Federate(parts ...*Dataset) (*Federated, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: federation of zero datasets", facility.ErrInvalidCatalog)
+	}
+	cats := make([]*facility.Catalog, len(parts))
+	for i, p := range parts {
+		if p.Sources != parts[0].Sources {
+			return nil, fmt.Errorf("%w: part %q uses sources %s, part %q uses %s",
+				facility.ErrInvalidCatalog, parts[0].Name, parts[0].Sources.Name(), p.Name, p.Sources.Name())
+		}
+		cats[i] = p.Trace.Facility
+	}
+	fedCat, err := facility.Federate(cats...)
+	if err != nil {
+		return nil, err
+	}
+
+	fed := &Federated{Parts: make([]FederatedPart, len(parts))}
+	d := &Dataset{
+		Name:    fedCat.Name,
+		Sources: parts[0].Sources,
+	}
+	for _, p := range parts {
+		d.NumUsers += p.NumUsers
+		d.NumItems += p.NumItems
+	}
+
+	// Merged trace: cities/orgs/users/records concatenated with their
+	// index spaces offset, names namespaced in lockstep with the
+	// catalog and the graph.
+	fedTrace := &trace.Trace{Facility: fedCat}
+	g := kg.NewGraph()
+	d.TrainByUser = make([][]int, d.NumUsers)
+	d.TestByUser = make([][]int, d.NumUsers)
+	d.trainSet = make(map[[2]int]struct{})
+	d.UserEnt = make([]int, d.NumUsers)
+	d.ItemEnt = make([]int, d.NumItems)
+
+	userOff, itemOff := 0, 0
+	cityOff, orgOff, siteOff, dtOff := 0, 0, 0, 0
+	for pi, p := range parts {
+		// Interactions and the split, offset into the global spaces.
+		for u := 0; u < p.NumUsers; u++ {
+			gu := userOff + u
+			for _, it := range p.TrainByUser[u] {
+				gi := itemOff + it
+				d.TrainByUser[gu] = append(d.TrainByUser[gu], gi)
+				d.Train = append(d.Train, [2]int{gu, gi})
+				d.trainSet[[2]int{gu, gi}] = struct{}{}
+			}
+			for _, it := range p.TestByUser[u] {
+				gi := itemOff + it
+				d.TestByUser[gu] = append(d.TestByUser[gu], gi)
+				d.Test = append(d.Test, [2]int{gu, gi})
+			}
+		}
+
+		// The CKG merge with namespaced entity names.
+		entMap, relMap := g.MergeMapped(p.Graph, federationRename(p.Name))
+		for u, e := range p.UserEnt {
+			d.UserEnt[userOff+u] = entMap[e]
+		}
+		for i, e := range p.ItemEnt {
+			d.ItemEnt[itemOff+i] = entMap[e]
+		}
+
+		// Trace concatenation.
+		for _, city := range p.Trace.Cities {
+			fedTrace.Cities = append(fedTrace.Cities, facility.Namespaced(p.Name, city))
+		}
+		for _, org := range p.Trace.Orgs {
+			org.Name = facility.Namespaced(p.Name, org.Name)
+			org.City += cityOff
+			org.Region += regionOffOf(cats, pi)
+			org.ModalSite += siteOff
+			org.ModalType += dtOff
+			fedTrace.Orgs = append(fedTrace.Orgs, org)
+		}
+		for _, usr := range p.Trace.Users {
+			usr.ID += userOff
+			usr.Org += orgOff
+			usr.City += cityOff
+			fedTrace.Users = append(fedTrace.Users, usr)
+		}
+		for _, rec := range p.Trace.Records {
+			rec.User += userOff
+			rec.Item += itemOff
+			rec.DataType += dtOff
+			fedTrace.Records = append(fedTrace.Records, rec)
+		}
+
+		fed.Parts[pi] = FederatedPart{
+			Name:    p.Name,
+			Dataset: p,
+			UserOff: userOff,
+			ItemOff: itemOff,
+			EntMap:  entMap,
+			RelMap:  relMap,
+		}
+		userOff += p.NumUsers
+		itemOff += p.NumItems
+		cityOff += len(p.Trace.Cities)
+		orgOff += len(p.Trace.Orgs)
+		siteOff += len(p.Trace.Facility.Sites)
+		dtOff += len(p.Trace.Facility.DataTypes)
+	}
+	d.Graph = g
+	d.Trace = fedTrace
+	d.Interact = fed.Parts[0].RelMap[parts[0].Interact]
+
+	// Collision guard: namespacing must keep every user and item a
+	// distinct entity in the merged graph — an alignment here would
+	// silently fuse two facilities' objects.
+	ents := make(map[int]bool, d.NumUsers+d.NumItems)
+	for _, e := range d.UserEnt {
+		ents[e] = true
+	}
+	for _, e := range d.ItemEnt {
+		ents[e] = true
+	}
+	if len(ents) != d.NumUsers+d.NumItems {
+		return nil, fmt.Errorf("%w: federation aligned distinct users/items onto one entity (%d entities for %d users + %d items)",
+			facility.ErrInvalidCatalog, len(ents), d.NumUsers, d.NumItems)
+	}
+	fed.Dataset = d
+	return fed, nil
+}
+
+// regionOffOf returns the region-index offset of part pi in the
+// federated catalog (regions are concatenated in part order).
+func regionOffOf(cats []*facility.Catalog, pi int) int {
+	off := 0
+	for i := 0; i < pi; i++ {
+		off += len(cats[i].Regions)
+	}
+	return off
+}
+
+// PartByName returns the index of the named facility, or -1.
+func (f *Federated) PartByName(name string) int {
+	for i := range f.Parts {
+		if f.Parts[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// UserRange returns the federated user-index range [lo, hi) of part p.
+func (f *Federated) UserRange(p int) (lo, hi int) {
+	lo = f.Parts[p].UserOff
+	return lo, lo + f.Parts[p].Dataset.NumUsers
+}
+
+// ItemRange returns the federated item-index range [lo, hi) of part p.
+func (f *Federated) ItemRange(p int) (lo, hi int) {
+	lo = f.Parts[p].ItemOff
+	return lo, lo + f.Parts[p].Dataset.NumItems
+}
+
+// PartOfUser returns the part index owning the federated user index.
+func (f *Federated) PartOfUser(user int) int {
+	for p := len(f.Parts) - 1; p >= 0; p-- {
+		if user >= f.Parts[p].UserOff {
+			return p
+		}
+	}
+	return 0
+}
+
+// PartOfItem returns the part index owning the federated item index.
+func (f *Federated) PartOfItem(item int) int {
+	for p := len(f.Parts) - 1; p >= 0; p-- {
+		if item >= f.Parts[p].ItemOff {
+			return p
+		}
+	}
+	return 0
+}

@@ -48,6 +48,23 @@ func Evaluate(d *dataset.Dataset, s Scorer, k int) Metrics {
 // the result depends only on the worker count, never on scheduling. On
 // cancellation it returns zero Metrics and ctx.Err().
 func EvaluateCtx(ctx context.Context, d *dataset.Dataset, s Scorer, k, workers int) (Metrics, error) {
+	return EvaluateUsersCtx(ctx, d, s, k, workers, 0, d.NumUsers)
+}
+
+// EvaluateUsersCtx is EvaluateCtx restricted to users in the index
+// range [lo, hi). Federated datasets assign each facility a contiguous
+// user range, so this is the per-facility breakdown of a federated
+// evaluation; metrics are averaged over the range's test users only,
+// with the same strided partition-and-merge determinism as
+// EvaluateCtx.
+func EvaluateUsersCtx(ctx context.Context, d *dataset.Dataset, s Scorer,
+	k, workers, lo, hi int) (Metrics, error) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > d.NumUsers {
+		hi = d.NumUsers
+	}
 	type acc struct {
 		recall, ndcg, prec, hit float64
 		users                   int
@@ -57,7 +74,7 @@ func EvaluateCtx(ctx context.Context, d *dataset.Dataset, s Scorer, k, workers i
 	results := make([]acc, workers)
 	err := pool.Run(ctx, workers, func(w int) {
 		scores := make([]float64, s.NumItems())
-		for u := w; u < d.NumUsers; u += workers {
+		for u := lo + w; u < hi; u += workers {
 			if ctx.Err() != nil {
 				return
 			}

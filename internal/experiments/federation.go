@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/facility"
+)
+
+// FederationFacilityRow is one facility's slice of a federation
+// experiment: the federated-trained CKAT evaluated on that facility's
+// users versus a CKAT trained on the facility alone, plus the
+// cross-facility hit rate (how often the federated model surfaces
+// another facility's data in the user's top-K — the discovery the
+// paper's single-facility pipeline cannot make at all).
+type FederationFacilityRow struct {
+	Facility     string
+	Users, Items int
+	FedRecall    float64
+	FedNDCG      float64
+	SoloRecall   float64
+	SoloNDCG     float64
+	CrossHitRate float64
+}
+
+// FederationResult is one federated run: the merged-graph shape, the
+// federated model's overall metrics, and the per-facility breakdown.
+type FederationResult struct {
+	Sources  string
+	Entities int
+	Triples  int
+	Overall  eval.Metrics
+	Rows     []FederationFacilityRow
+}
+
+// FederationSchemas returns the profile-scaled schemas federated by
+// RunFederation: the built-in OOI and GAGE resized to the profile's
+// facility dimensions.
+func (p Profile) FederationSchemas() []*facility.Schema {
+	ooi := facility.BuiltinOOI()
+	ooi.Affinity.NumUsers = p.OOIUsers
+	ooi.Affinity.NumOrgs = p.OOIOrgs
+	gage := facility.BuiltinGAGE()
+	gage.Synthesis.Stations.Stations = p.GAGEStations
+	gage.Synthesis.Stations.Cities = p.GAGECities
+	gage.Affinity.NumUsers = p.GAGEUsers
+	gage.Affinity.NumOrgs = p.GAGEOrgs
+	return []*facility.Schema{ooi, gage}
+}
+
+// FederationCombos lists the knowledge-source combinations of the
+// federation grid: the domain bridge alone, domain + location, and the
+// full CKG.
+func FederationCombos() []dataset.Sources {
+	return []dataset.Sources{
+		{UIG: true, DKG: true},
+		{UIG: true, LOC: true, DKG: true},
+		dataset.AllSources(),
+	}
+}
+
+// RunFederation trains one CKAT on the federated CKG of the profile's
+// facilities, evaluates it per facility against per-facility-trained
+// CKAT baselines, and measures the cross-facility hit rate.
+func RunFederation(p Profile, src dataset.Sources) (FederationResult, error) {
+	fed, err := dataset.BuildFederated(p.FederationSchemas(), src, p.Seed)
+	if err != nil {
+		return FederationResult{}, err
+	}
+	res := FederationResult{
+		Sources:  src.Name(),
+		Entities: fed.Graph.NumEntities(),
+		Triples:  fed.Graph.NumTriples(),
+	}
+	p.log("== CKAT / federated %s (%s) ==", fed.Name, src.Name())
+	m := core.New(p.ckatOptions())
+	mustTrain(m, fed.Dataset, p.trainCfg(true))
+	res.Overall = eval.Evaluate(fed.Dataset, m, p.K)
+
+	ctx := context.Background()
+	for pi := range fed.Parts {
+		part := &fed.Parts[pi]
+		lo, hi := fed.UserRange(pi)
+		fedM, err := eval.EvaluateUsersCtx(ctx, fed.Dataset, m, p.K, p.Workers, lo, hi)
+		if err != nil {
+			return FederationResult{}, err
+		}
+
+		p.log("== CKAT / solo %s (%s) ==", part.Name, src.Name())
+		cfg := p.trainCfg(true)
+		p.ckatTune(part.Name, &cfg)
+		solo := core.New(p.ckatOptions())
+		mustTrain(solo, part.Dataset, cfg)
+		soloM := eval.Evaluate(part.Dataset, solo, p.K)
+
+		cross, err := crossFacilityHitRate(ctx, fed, m, pi, p.K)
+		if err != nil {
+			return FederationResult{}, err
+		}
+		res.Rows = append(res.Rows, FederationFacilityRow{
+			Facility: part.Name,
+			Users:    part.Dataset.NumUsers, Items: part.Dataset.NumItems,
+			FedRecall: fedM.Recall, FedNDCG: fedM.NDCG,
+			SoloRecall: soloM.Recall, SoloNDCG: soloM.NDCG,
+			CrossHitRate: cross,
+		})
+		p.log("%s: fed %.4f/%.4f solo %.4f/%.4f cross-hit %.4f", part.Name,
+			fedM.Recall, fedM.NDCG, soloM.Recall, soloM.NDCG, cross)
+	}
+	return res, nil
+}
+
+// RunFederationGrid runs the federation experiment across the
+// knowledge-source grid.
+func RunFederationGrid(p Profile) ([]FederationResult, error) {
+	var out []FederationResult
+	for _, src := range FederationCombos() {
+		r, err := RunFederation(p, src)
+		if err != nil {
+			return nil, fmt.Errorf("federation grid %s: %w", src.Name(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// crossFacilityHitRate is the fraction of part pi's test users whose
+// top-K under the federated scorer contains at least one item owned by
+// a different facility. Scoring follows the evaluation protocol (mask
+// training items, full ranking).
+func crossFacilityHitRate(ctx context.Context, fed *dataset.Federated,
+	s eval.Scorer, pi, k int) (float64, error) {
+	userLo, userHi := fed.UserRange(pi)
+	itemLo, itemHi := fed.ItemRange(pi)
+	scores := make([]float64, s.NumItems())
+	users, hits := 0, 0
+	for u := userLo; u < userHi; u++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if len(fed.TestByUser[u]) == 0 {
+			continue
+		}
+		users++
+		scores = eval.ScoreInto(s, u, scores)
+		eval.MaskTrain(fed.Dataset, u, scores)
+		for _, it := range eval.TopK(scores, k) {
+			if it < itemLo || it >= itemHi {
+				hits++
+				break
+			}
+		}
+	}
+	if users == 0 {
+		return 0, nil
+	}
+	return float64(hits) / float64(users), nil
+}

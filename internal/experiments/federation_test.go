@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestFederationSchemasScaleWithProfile(t *testing.T) {
+	p := tinyProfile()
+	schemas := p.FederationSchemas()
+	if len(schemas) != 2 || schemas[0].Name != "OOI" || schemas[1].Name != "GAGE" {
+		t.Fatalf("schemas = %v", schemas)
+	}
+	if schemas[0].Affinity.NumUsers != p.OOIUsers ||
+		schemas[1].Synthesis.Stations.Stations != p.GAGEStations {
+		t.Fatal("profile scaling not applied to schemas")
+	}
+	for _, s := range schemas {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunFederationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains three CKAT models")
+	}
+	p := tinyProfile()
+	p.PropEpochs = 2
+	res, err := RunFederation(p, dataset.Sources{UIG: true, DKG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sources != "UIG+DKG" || res.Entities == 0 || res.Triples == 0 {
+		t.Fatalf("result header: %+v", res)
+	}
+	if len(res.Rows) != 2 || res.Rows[0].Facility != "OOI" || res.Rows[1].Facility != "GAGE" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	users := 0
+	for _, r := range res.Rows {
+		if r.Users == 0 || r.Items == 0 {
+			t.Fatalf("%s: empty facility", r.Facility)
+		}
+		if r.CrossHitRate < 0 || r.CrossHitRate > 1 {
+			t.Fatalf("%s: cross-hit rate %v outside [0,1]", r.Facility, r.CrossHitRate)
+		}
+		users += r.Users
+	}
+	if res.Overall.Users == 0 || users != res.Rows[0].Users+res.Rows[1].Users {
+		t.Fatalf("overall = %+v", res.Overall)
+	}
+}

@@ -10,13 +10,6 @@
 // graph are built from.
 package facility
 
-import (
-	"fmt"
-	"math"
-
-	"repro/internal/rng"
-)
-
 // DataType is one kind of measured/derived product (e.g. "seawater
 // pressure" or "RINEX observation"), tagged with its science
 // discipline.
@@ -56,9 +49,13 @@ type Item struct {
 	ExtraTypes []int
 }
 
-// AllTypes returns the primary plus extra data types of the item.
+// AllTypes returns the primary plus extra data types of the item. The
+// result is a fresh slice with exact capacity, so appending to it can
+// never alias into (and clobber) the item's ExtraTypes backing array.
 func (it *Item) AllTypes() []int {
-	return append([]int{it.DataType}, it.ExtraTypes...)
+	out := make([]int, 0, 1+len(it.ExtraTypes))
+	out = append(out, it.DataType)
+	return append(out, it.ExtraTypes...)
 }
 
 // Catalog is a facility's full structured metadata.
@@ -167,84 +164,18 @@ var ooiInstruments = []Instrument{
 	{"STC", []int{37, 36}, "Platform Engineering"},
 }
 
-// ooiSitePrefixes provides realistic site-code prefixes per array.
-var ooiSitePrefixes = []string{"AX", "CM", "CE", "CP", "GA", "GI", "GS", "GP"}
-
 // OOI builds the Ocean Observatories Initiative catalog: 8 arrays, 55
 // sites, 36 instrument classes (§III-B), with deterministic deployments
 // derived from seed. Items are (site, instrument, data type) products.
+// It instantiates the built-in declarative OOI schema; the deployment
+// rules — every site hosts a CTD plus 5-7 further instrument classes,
+// each exposing up to 4 of its data types — live there as data. This
+// yields ≈800 items, sized so the full CKG lands near the paper's
+// Table I row for OOI (1,342 entities).
 func OOI(seed int64) *Catalog {
-	g := rng.New(seed).Split("ooi-catalog")
-	c := &Catalog{
-		Name:      "OOI",
-		Regions:   append([]string(nil), ooiArrays...),
-		DataTypes: append([]DataType(nil), ooiDataTypes...),
-		Instrs:    append([]Instrument(nil), ooiInstruments...),
-	}
-	groups := map[string]bool{}
-	for _, in := range c.Instrs {
-		if !groups[in.Group] {
-			groups[in.Group] = true
-			c.MDGroups = append(c.MDGroups, in.Group)
-		}
-	}
-	// 55 sites spread over the 8 arrays (site counts weighted towards
-	// the coastal arrays, as in the real facility).
-	arrayShare := []int{7, 6, 9, 10, 5, 6, 6, 6} // sums to 55
-	// Rough array center coordinates (lat, lon).
-	centers := [][2]float64{
-		{45.95, -130.00}, {44.58, -125.15}, {44.65, -124.30}, {40.10, -70.88},
-		{-42.98, -42.50}, {59.93, -39.47}, {-54.47, -89.28}, {50.07, -144.80},
-	}
-	for a, n := range arrayShare {
-		for s := 0; s < n; s++ {
-			c.Sites = append(c.Sites, Site{
-				Name:   fmt.Sprintf("%s%02d", ooiSitePrefixes[a], s+1),
-				Region: a,
-				City:   -1,
-				Lat:    centers[a][0] + g.Uniform(-1.5, 1.5),
-				Lon:    centers[a][1] + g.Uniform(-1.5, 1.5),
-			})
-		}
-	}
-	// Deployments: every site hosts a CTD plus 5-7 further instrument
-	// classes; each deployed instrument exposes up to 4 of its data
-	// types. This yields ≈800 items, sized so the full CKG lands near
-	// the paper's Table I row for OOI (1,342 entities).
-	for si := range c.Sites {
-		instrs := []int{g.Intn(3)} // one of the three CTD classes
-		extra := 6 + g.Intn(3)
-		for len(instrs) < 1+extra {
-			cand := 3 + g.Intn(len(c.Instrs)-3)
-			dup := false
-			for _, e := range instrs {
-				if e == cand {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				instrs = append(instrs, cand)
-			}
-		}
-		for _, ii := range instrs {
-			dts := c.Instrs[ii].DataTypes
-			take := len(dts)
-			if take > 4 {
-				take = 4
-			}
-			perm := g.Perm(len(dts))
-			for k := 0; k < take; k++ {
-				dt := dts[perm[k]]
-				c.Items = append(c.Items, Item{
-					Name: fmt.Sprintf("%s-%s-%s", c.Sites[si].Name,
-						c.Instrs[ii].Name, c.DataTypes[dt].Name),
-					Site:       si,
-					Instrument: ii,
-					DataType:   dt,
-				})
-			}
-		}
+	c, err := BuiltinOOI().Instantiate(seed)
+	if err != nil {
+		panic(err) // the built-in schema always validates
 	}
 	return c
 }
@@ -290,91 +221,18 @@ func DefaultGAGEConfig() GAGEConfig { return GAGEConfig{Stations: 2106, Cities: 
 // GAGE builds the Geodetic Facility catalog: permanent GPS/GNSS
 // stations distributed over cities and states, each offering one
 // primary product (plus the product taxonomy for the domain-knowledge
-// subgraph). Items are (station, product) data objects.
+// subgraph). Items are (station, product) data objects. It
+// instantiates the built-in declarative GAGE schema with cfg's sizing;
+// each station bundle offers a primary product plus 1-3 extras, giving
+// GAGE items the higher link density of Table I (link-avg 10 vs OOI's
+// 6).
 func GAGE(seed int64, cfg GAGEConfig) *Catalog {
-	g := rng.New(seed).Split("gage-catalog")
-	c := &Catalog{
-		Name:      "GAGE",
-		Regions:   append([]string(nil), usStates...),
-		DataTypes: append([]DataType(nil), gageProducts...),
-		MDGroups: []string{
-			"PBO core network", "NOTA expansion", "campaign",
-			"borehole network", "regional densification",
-		},
-	}
-	// Cities: Zipf-assigned to states so western states (earthquake
-	// country: CA, WA, OR, AK-adjacent...) carry most stations, as the
-	// paper notes 75.9% of stations are in the US West.
-	stateWeight := make([]float64, len(usStates))
-	heavy := map[string]float64{
-		"CA": 12, "WA": 6, "OR": 6, "NV": 4, "UT": 3, "AZ": 3,
-		"CO": 2.5, "MT": 2, "ID": 2, "NM": 2, "WY": 1.5, "TX": 1.5,
-	}
-	for i, st := range usStates {
-		if w, ok := heavy[st]; ok {
-			stateWeight[i] = w
-		} else {
-			stateWeight[i] = 0.4
-		}
-	}
-	c.Cities = make([]string, cfg.Cities)
-	cityState := make([]int, cfg.Cities)
-	for i := 0; i < cfg.Cities; i++ {
-		st := g.Choice(stateWeight)
-		c.Cities[i] = fmt.Sprintf("%s-city%03d", usStates[st], i)
-		cityState[i] = st
-	}
-	// Stations: mildly Zipf over cities (network hubs have more
-	// stations, but the long tail stays populated — this keeps the
-	// random-pair locality base rate of Fig. 5 low).
-	cityWeight := make([]float64, cfg.Cities)
-	for i := range cityWeight {
-		cityWeight[i] = 1 / math.Pow(float64(i+1), 0.55)
-	}
-	for s := 0; s < cfg.Stations; s++ {
-		city := g.Choice(cityWeight)
-		st := cityState[city]
-		c.Sites = append(c.Sites, Site{
-			Name:   fmt.Sprintf("P%04d", s),
-			Region: st,
-			City:   city,
-			Lat:    30 + g.Uniform(0, 18),
-			Lon:    -125 + g.Uniform(0, 55),
-		})
-	}
-	// Product availability is heavily skewed: most stations serve RINEX
-	// observation; specialized products (strainmeter, TLS) are rare.
-	// Each station bundle offers a primary product plus 1-3 extras,
-	// giving GAGE items the higher link density of Table I (link-avg 10
-	// vs OOI's 6).
-	productWeight := []float64{40, 10, 4, 8, 6, 14, 6, 3, 4, 3, 1.5, 0.5}
-	for si := range c.Sites {
-		dt := g.Choice(productWeight)
-		extras := []int{}
-		nExtra := 2 + g.Intn(4)
-		for len(extras) < nExtra {
-			e := g.Choice(productWeight)
-			if e == dt {
-				continue
-			}
-			dup := false
-			for _, x := range extras {
-				if x == e {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				extras = append(extras, e)
-			}
-		}
-		c.Items = append(c.Items, Item{
-			Name:       fmt.Sprintf("%s-data", c.Sites[si].Name),
-			Site:       si,
-			Instrument: -1,
-			DataType:   dt,
-			ExtraTypes: extras,
-		})
+	s := BuiltinGAGE()
+	s.Synthesis.Stations.Stations = cfg.Stations
+	s.Synthesis.Stations.Cities = cfg.Cities
+	c, err := s.Instantiate(seed)
+	if err != nil {
+		panic(err) // only reachable through a non-positive cfg sizing
 	}
 	return c
 }

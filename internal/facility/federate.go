@@ -1,0 +1,95 @@
+package facility
+
+import "strings"
+
+// Namespaced returns the federated name of a facility-local entity:
+// "<facility>/<name>". This is the single namespacing scheme used by
+// both the federated catalog and the federated CKG merge, so catalog
+// names and graph entity names stay in lockstep.
+func Namespaced(facilityName, name string) string {
+	return facilityName + "/" + name
+}
+
+// Federate concatenates per-facility catalogs into one catalog whose
+// index spaces are the facility-order concatenation of the parts
+// (items of part p occupy indices [Σ len(items<p), Σ len(items<=p))
+// and likewise for sites, cities, regions, instruments, data types,
+// and MD groups). Facility-local names — regions, cities, sites,
+// instruments, items, MD groups — are namespaced with the facility
+// name; data-type names keep their global form, mirroring the entity
+// alignment of the federated CKG where the shared product/discipline
+// vocabulary is the cross-facility bridge.
+//
+// Facility names must be distinct; every part must be a valid catalog.
+func Federate(cats ...*Catalog) (*Catalog, error) {
+	if len(cats) == 0 {
+		return nil, invalidCatalog("federation of zero catalogs")
+	}
+	names := make([]string, len(cats))
+	seen := make(map[string]bool, len(cats))
+	for i, c := range cats {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[c.Name] {
+			return nil, invalidCatalog("duplicate facility name %q in federation", c.Name)
+		}
+		seen[c.Name] = true
+		names[i] = c.Name
+	}
+	fed := &Catalog{Name: strings.Join(names, "+")}
+	for _, c := range cats {
+		regionOff := len(fed.Regions)
+		cityOff := len(fed.Cities)
+		siteOff := len(fed.Sites)
+		instrOff := len(fed.Instrs)
+		dtOff := len(fed.DataTypes)
+		for _, r := range c.Regions {
+			fed.Regions = append(fed.Regions, Namespaced(c.Name, r))
+		}
+		for _, city := range c.Cities {
+			fed.Cities = append(fed.Cities, Namespaced(c.Name, city))
+		}
+		for _, g := range c.MDGroups {
+			fed.MDGroups = append(fed.MDGroups, Namespaced(c.Name, g))
+		}
+		fed.DataTypes = append(fed.DataTypes, c.DataTypes...)
+		for _, s := range c.Sites {
+			s.Name = Namespaced(c.Name, s.Name)
+			s.Region += regionOff
+			if s.City >= 0 {
+				s.City += cityOff
+			}
+			fed.Sites = append(fed.Sites, s)
+		}
+		for _, in := range c.Instrs {
+			in.Name = Namespaced(c.Name, in.Name)
+			dts := make([]int, len(in.DataTypes))
+			for j, dt := range in.DataTypes {
+				dts[j] = dt + dtOff
+			}
+			in.DataTypes = dts
+			fed.Instrs = append(fed.Instrs, in)
+		}
+		for _, it := range c.Items {
+			it.Name = Namespaced(c.Name, it.Name)
+			it.Site += siteOff
+			if it.Instrument >= 0 {
+				it.Instrument += instrOff
+			}
+			it.DataType += dtOff
+			if len(it.ExtraTypes) > 0 {
+				extras := make([]int, len(it.ExtraTypes))
+				for j, dt := range it.ExtraTypes {
+					extras[j] = dt + dtOff
+				}
+				it.ExtraTypes = extras
+			}
+			fed.Items = append(fed.Items, it)
+		}
+	}
+	if err := fed.Validate(); err != nil {
+		return nil, err
+	}
+	return fed, nil
+}

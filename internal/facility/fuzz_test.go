@@ -1,0 +1,60 @@
+package facility
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadSchema drives hostile documents through the strict schema
+// decoder. The invariant: LoadSchema either returns a schema that
+// instantiates a valid catalog without panicking or hanging, or an
+// error wrapping ErrInvalidSchema — never a panic, never a third error
+// class.
+func FuzzLoadSchema(f *testing.F) {
+	for _, s := range []*Schema{BuiltinOOI(), BuiltinGAGE()} {
+		var b strings.Builder
+		if err := s.WriteJSON(&b); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.String())
+	}
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"Name":"X","Version":1}`)
+	f.Add(`{"Name":"X","Typo":true}`)
+	f.Add(`{"Name":"X","Version":1,"Regions":["a"],"DataTypes":[{"Name":"t","Discipline":"d"}],` +
+		`"MDGroups":["g"],"Synthesis":{"Stations":{"Stations":2,"Cities":1,"RegionWeights":[1],` +
+		`"ProductWeights":[1],"ExtraJitter":1}},` +
+		`"Affinity":{"NumUsers":1,"NumOrgs":1,"MeanQueries":1}}`)
+	// Rejection-loop termination traps: extras exceed the pool.
+	f.Add(`{"Name":"X","Version":1,"Regions":["a"],"DataTypes":[{"Name":"t","Discipline":"d"}],` +
+		`"MDGroups":["g"],"Synthesis":{"Stations":{"Stations":2,"Cities":1,"RegionWeights":[1],` +
+		`"ProductWeights":[1],"ExtraMin":5,"ExtraJitter":1}},` +
+		`"Affinity":{"NumUsers":1,"NumOrgs":1,"MeanQueries":1}}`)
+	f.Add(`{"Name":"X","Version":1,"Regions":["a"],"DataTypes":[{"Name":"t","Discipline":"d"}],` +
+		`"Instruments":[{"Name":"i","Group":"g","DataTypes":[0]}],` +
+		`"Synthesis":{"Grid":{"Plan":[{"SitePrefix":"A","Sites":1}],"CoreClasses":1,` +
+		`"ExtraMin":9,"ExtraJitter":1,"MaxTypesPerInstrument":1}},` +
+		`"Affinity":{"NumUsers":1,"NumOrgs":1,"NumCities":1,"MeanQueries":1}}`)
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := LoadSchema(strings.NewReader(doc))
+		if err != nil {
+			if !errors.Is(err, ErrInvalidSchema) {
+				t.Fatalf("LoadSchema error does not wrap ErrInvalidSchema: %v", err)
+			}
+			return
+		}
+		// A schema that decoded and validated must instantiate cleanly.
+		// Validation caps the rejection-sampling loops, so this cannot
+		// hang; the catalog it yields must itself validate.
+		c, err := s.Instantiate(1)
+		if err != nil {
+			t.Fatalf("validated schema failed to instantiate: %v", err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("instantiated catalog invalid: %v", err)
+		}
+	})
+}

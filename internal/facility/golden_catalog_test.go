@@ -1,0 +1,63 @@
+package facility
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// catalogFingerprint folds every field of the catalog — names, indices,
+// coordinates, extra types — into one FNV-1a hash. Any drift in the
+// synthesis draw order or vocabulary moves the hash.
+func catalogFingerprint(c *Catalog) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%q|%q|%q\n", c.Name, c.Regions, c.Cities, c.MDGroups)
+	for _, dt := range c.DataTypes {
+		fmt.Fprintf(h, "dt:%s/%s\n", dt.Name, dt.Discipline)
+	}
+	for _, in := range c.Instrs {
+		fmt.Fprintf(h, "in:%s/%s/%v\n", in.Name, in.Group, in.DataTypes)
+	}
+	for _, s := range c.Sites {
+		fmt.Fprintf(h, "s:%s/%d/%d/%v/%v\n", s.Name, s.Region, s.City, s.Lat, s.Lon)
+	}
+	for _, it := range c.Items {
+		fmt.Fprintf(h, "it:%s/%d/%d/%d/%v\n", it.Name, it.Site, it.Instrument, it.DataType, it.ExtraTypes)
+	}
+	return h.Sum64()
+}
+
+// Golden fingerprints of the catalogs the legacy hard-coded
+// constructors produced, captured before the schema-registry refactor.
+// The registry-instantiated built-in schemas must reproduce them
+// bit-for-bit: these constants pin the exact RNG draw sequence, the
+// vocabulary, and every derived index. Do not update them without a
+// deliberate, documented break of catalog compatibility (it would also
+// move the golden training hashes in golden_graph_test.go).
+const (
+	goldenOOI7   = 0xd7e66e124dfd0aae
+	goldenOOI11  = 0xaaaf8848c8962bc7
+	goldenGAGE7  = 0x10cf0d010ed51b4b
+	goldenGAGE11 = 0xd3a0f187998c9bef
+)
+
+func TestCatalogGoldenFingerprints(t *testing.T) {
+	cases := []struct {
+		label string
+		want  uint64
+		build func() *Catalog
+	}{
+		{"OOI(7)", goldenOOI7, func() *Catalog { return OOI(7) }},
+		{"OOI(11)", goldenOOI11, func() *Catalog { return OOI(11) }},
+		{"GAGE(7,default)", goldenGAGE7, func() *Catalog { return GAGE(7, DefaultGAGEConfig()) }},
+		{"GAGE(11,400x60)", goldenGAGE11, func() *Catalog {
+			return GAGE(11, GAGEConfig{Stations: 400, Cities: 60})
+		}},
+	}
+	for _, tc := range cases {
+		got := catalogFingerprint(tc.build())
+		if got != tc.want {
+			t.Errorf("%s fingerprint = %#016x, want %#016x", tc.label, got, tc.want)
+		}
+	}
+}

@@ -2,9 +2,30 @@ package facility
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// Sentinel errors for catalog/schema decoding and validation. Hostile
+// or malformed input always surfaces as one of these (wrapped with
+// detail) — never as a panic in downstream indexing.
+var (
+	// ErrInvalidCatalog marks a catalog that fails cross-reference or
+	// shape validation.
+	ErrInvalidCatalog = errors.New("facility: invalid catalog")
+	// ErrInvalidSchema marks a schema that fails validation or cannot
+	// be decoded/registered.
+	ErrInvalidSchema = errors.New("facility: invalid schema")
+	// ErrUnknownSchema marks a registry lookup for an unregistered
+	// schema name.
+	ErrUnknownSchema = errors.New("facility: unknown schema")
+)
+
+// invalidCatalog wraps ErrInvalidCatalog with a formatted detail.
+func invalidCatalog(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidCatalog, fmt.Sprintf(format, args...))
+}
 
 // WriteJSON serializes the catalog. Together with ReadJSON this lets a
 // real facility publish its metadata (regions, sites, instruments,
@@ -18,11 +39,12 @@ func (c *Catalog) WriteJSON(w io.Writer) error {
 
 // ReadJSON parses and validates a catalog written by WriteJSON (or
 // hand-authored by a facility operator). Validation covers every
-// cross-reference so downstream code can index without bounds checks.
+// cross-reference so downstream code can index without bounds checks;
+// failures wrap ErrInvalidCatalog.
 func ReadJSON(r io.Reader) (*Catalog, error) {
 	var c Catalog
 	if err := json.NewDecoder(r).Decode(&c); err != nil {
-		return nil, fmt.Errorf("facility: decode catalog: %w", err)
+		return nil, invalidCatalog("decode: %v", err)
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -30,29 +52,34 @@ func ReadJSON(r io.Reader) (*Catalog, error) {
 	return &c, nil
 }
 
-// Validate checks the catalog's internal consistency.
+// Validate checks the catalog's internal consistency: every
+// cross-index reference (Site.Region, Site.City, Instrument.DataTypes,
+// Item.Site/Instrument/DataType/ExtraTypes) must be in range, with -1
+// permitted only where it is a documented sentinel (Site.City for
+// open-ocean sites, Item.Instrument for implicit-instrument
+// facilities). Errors wrap ErrInvalidCatalog.
 func (c *Catalog) Validate() error {
 	if c.Name == "" {
-		return fmt.Errorf("facility: catalog has no name")
+		return invalidCatalog("catalog has no name")
 	}
 	if len(c.Regions) == 0 || len(c.Sites) == 0 ||
 		len(c.DataTypes) == 0 || len(c.Items) == 0 {
-		return fmt.Errorf("facility: catalog %s is missing regions, sites, data types, or items", c.Name)
+		return invalidCatalog("catalog %s is missing regions, sites, data types, or items", c.Name)
 	}
 	for i, s := range c.Sites {
 		if s.Region < 0 || s.Region >= len(c.Regions) {
-			return fmt.Errorf("facility: site %d (%s) references region %d of %d",
+			return invalidCatalog("site %d (%s) references region %d of %d",
 				i, s.Name, s.Region, len(c.Regions))
 		}
-		if s.City >= len(c.Cities) {
-			return fmt.Errorf("facility: site %d (%s) references city %d of %d",
+		if s.City < -1 || s.City >= len(c.Cities) {
+			return invalidCatalog("site %d (%s) references city %d of %d",
 				i, s.Name, s.City, len(c.Cities))
 		}
 	}
 	for i, in := range c.Instrs {
 		for _, dt := range in.DataTypes {
 			if dt < 0 || dt >= len(c.DataTypes) {
-				return fmt.Errorf("facility: instrument %d (%s) references data type %d of %d",
+				return invalidCatalog("instrument %d (%s) references data type %d of %d",
 					i, in.Name, dt, len(c.DataTypes))
 			}
 		}
@@ -61,26 +88,57 @@ func (c *Catalog) Validate() error {
 	for i := range c.Items {
 		it := &c.Items[i]
 		if it.Name == "" {
-			return fmt.Errorf("facility: item %d has no name", i)
+			return invalidCatalog("item %d has no name", i)
 		}
 		if seen[it.Name] {
-			return fmt.Errorf("facility: duplicate item name %q", it.Name)
+			return invalidCatalog("duplicate item name %q", it.Name)
 		}
 		seen[it.Name] = true
 		if it.Site < 0 || it.Site >= len(c.Sites) {
-			return fmt.Errorf("facility: item %q references site %d of %d",
+			return invalidCatalog("item %q references site %d of %d",
 				it.Name, it.Site, len(c.Sites))
 		}
-		if it.Instrument >= len(c.Instrs) {
-			return fmt.Errorf("facility: item %q references instrument %d of %d",
+		if it.Instrument < -1 || it.Instrument >= len(c.Instrs) {
+			return invalidCatalog("item %q references instrument %d of %d",
 				it.Name, it.Instrument, len(c.Instrs))
 		}
 		for _, dt := range it.AllTypes() {
 			if dt < 0 || dt >= len(c.DataTypes) {
-				return fmt.Errorf("facility: item %q references data type %d of %d",
+				return invalidCatalog("item %q references data type %d of %d",
 					it.Name, dt, len(c.DataTypes))
 			}
 		}
 	}
 	return nil
+}
+
+// WriteJSON serializes the schema, the publishable counterpart of a
+// catalog: a third-party facility ships its declarative description
+// and any consumer instantiates bit-identical catalogs from it.
+func (s *Schema) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LoadSchema parses and validates a declarative facility schema.
+// Decoding is strict — unknown fields (usually typos in hand-authored
+// schemas) and trailing data are rejected — and validation covers
+// every cross-index reference plus the termination guarantees of the
+// synthesis interpreter, so a hostile document can neither panic nor
+// hang Instantiate. Failures wrap ErrInvalidSchema.
+func LoadSchema(r io.Reader) (*Schema, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Schema
+	if err := dec.Decode(&s); err != nil {
+		return nil, invalidSchema("decode: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, invalidSchema("trailing data after schema document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }

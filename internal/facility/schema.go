@@ -1,0 +1,713 @@
+package facility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Affinity is a facility's trace calibration: the §III-B affinity
+// fractions (instrument locality, data-domain affinity, user
+// association skews) plus the population sizing the synthetic trace is
+// generated with. It lives on the Schema so a facility declaration is
+// complete — catalog synthesis rules and query-behaviour calibration
+// travel together (internal/trace derives its Config from it).
+type Affinity struct {
+	NumUsers    int
+	NumOrgs     int
+	NumCities   int // user home cities; ignored by station-mode facilities
+	MeanQueries int
+
+	PLocality   float64
+	PModalSite  float64
+	PDataType   float64
+	TypeSkew    float64
+	OrgTypeSkew float64
+	OrgSiteSkew float64
+}
+
+// RegionPlan is one region's row in a grid-synthesis rule: how many
+// sites the region hosts, the site-code prefix, and the region's
+// center coordinates that sites jitter around.
+type RegionPlan struct {
+	SitePrefix string
+	Sites      int
+	Lat, Lon   float64
+}
+
+// GridRule is the OOI-shaped synthesis mode: named sites laid out per
+// region around region centers, each site hosting one core instrument
+// class plus a random selection of further classes, each deployed
+// class exposing up to MaxTypesPerInstrument of its data types as
+// items. All counts and formats are data; the interpreter in
+// Schema.Instantiate replays the exact draw order of the historical
+// hard-coded OOI constructor.
+type GridRule struct {
+	// Plan has one entry per schema region, in region order.
+	Plan []RegionPlan
+	// Jitter spreads site coordinates uniformly ±Jitter degrees
+	// around the region center.
+	Jitter float64
+	// CoreClasses: every site deploys one instrument drawn from the
+	// first CoreClasses instrument classes (OOI: the three CTDs).
+	CoreClasses int
+	// Each site deploys ExtraMin + Intn(ExtraJitter) further classes
+	// drawn without replacement from the non-core classes.
+	ExtraMin    int
+	ExtraJitter int
+	// MaxTypesPerInstrument caps how many of a deployed class's data
+	// types become items at the site.
+	MaxTypesPerInstrument int
+	// SiteNameFormat formats (prefix, 1-based site index) — default
+	// "%s%02d". ItemNameFormat formats (site, instrument, data type)
+	// names — default "%s-%s-%s".
+	SiteNameFormat string `json:",omitempty"`
+	ItemNameFormat string `json:",omitempty"`
+}
+
+// StationRule is the GAGE-shaped synthesis mode: cities assigned to
+// regions by weight, stations Zipf-distributed over cities, one item
+// (data bundle) per station with a weighted primary product plus
+// distinct extra products, and no instrument classes (Item.Instrument
+// is -1).
+type StationRule struct {
+	Stations int
+	Cities   int
+	// RegionWeights has one weight per schema region: the relative
+	// probability a city lands in that region.
+	RegionWeights []float64
+	// CityZipf is the Zipf exponent of the station-per-city skew.
+	CityZipf float64
+	// Station coordinates are Base + Uniform(0, Range).
+	LatBase, LatRange float64
+	LonBase, LonRange float64
+	// ProductWeights has one weight per schema data type: the
+	// relative availability of the product across stations.
+	ProductWeights []float64
+	// Each station bundle carries ExtraMin + Intn(ExtraJitter) extra
+	// products distinct from the primary and from each other.
+	ExtraMin    int
+	ExtraJitter int
+	// CityNameFormat formats (region name, city index) — default
+	// "%s-city%03d". StationNameFormat formats the station index —
+	// default "P%04d". ItemNameFormat formats the station name —
+	// default "%s-data".
+	CityNameFormat    string `json:",omitempty"`
+	StationNameFormat string `json:",omitempty"`
+	ItemNameFormat    string `json:",omitempty"`
+}
+
+// Synthesis selects exactly one synthesis mode.
+type Synthesis struct {
+	Grid     *GridRule    `json:",omitempty"`
+	Stations *StationRule `json:",omitempty"`
+}
+
+// Schema is a declarative facility description: vocabulary (regions,
+// instrument classes, typed data products and their discipline
+// assignments), auxiliary metadata groups, trace affinity
+// calibrations, and the synthesis rules — all as data. A Schema plus a
+// seed deterministically instantiates a Catalog; the built-in OOI and
+// GAGE schemas reproduce the legacy hard-coded constructors
+// bit-for-bit (pinned by golden_catalog_test.go).
+//
+// A Schema must be treated as immutable once registered; Clone before
+// mutating.
+type Schema struct {
+	Name    string
+	Version int
+	// RNGLabel is the deterministic stream label used for synthesis;
+	// empty defaults to lowercase(Name) + "-catalog", which is the
+	// historical label of the built-ins. Third-party schemas can pin
+	// it explicitly so renames don't move their catalogs.
+	RNGLabel    string `json:",omitempty"`
+	Regions     []string
+	DataTypes   []DataType
+	Instruments []Instrument `json:",omitempty"`
+	// MDGroups lists the auxiliary metadata groups (the MD noise
+	// source). Empty MDGroups with instrument classes present derives
+	// the groups from the distinct instrument Group strings in order
+	// of appearance (the legacy OOI behaviour).
+	MDGroups  []string `json:",omitempty"`
+	Synthesis Synthesis
+	Affinity  Affinity
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := *s
+	c.Regions = append([]string(nil), s.Regions...)
+	c.DataTypes = append([]DataType(nil), s.DataTypes...)
+	c.MDGroups = append([]string(nil), s.MDGroups...)
+	if s.Instruments != nil {
+		c.Instruments = make([]Instrument, len(s.Instruments))
+		for i, in := range s.Instruments {
+			in.DataTypes = append([]int(nil), in.DataTypes...)
+			c.Instruments[i] = in
+		}
+	}
+	if s.Synthesis.Grid != nil {
+		g := *s.Synthesis.Grid
+		g.Plan = append([]RegionPlan(nil), s.Synthesis.Grid.Plan...)
+		c.Synthesis.Grid = &g
+	}
+	if s.Synthesis.Stations != nil {
+		st := *s.Synthesis.Stations
+		st.RegionWeights = append([]float64(nil), s.Synthesis.Stations.RegionWeights...)
+		st.ProductWeights = append([]float64(nil), s.Synthesis.Stations.ProductWeights...)
+		c.Synthesis.Stations = &st
+	}
+	return &c
+}
+
+func (s *Schema) rngLabel() string {
+	if s.RNGLabel != "" {
+		return s.RNGLabel
+	}
+	return strings.ToLower(s.Name) + "-catalog"
+}
+
+// invalidSchema wraps ErrInvalidSchema with a formatted detail.
+func invalidSchema(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidSchema, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the schema's internal consistency, including the
+// termination guarantees of the rejection-sampling loops in the
+// synthesis interpreter (a hostile schema must fail validation, not
+// hang Instantiate).
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return invalidSchema("schema has no name")
+	}
+	if s.Version < 1 {
+		return invalidSchema("schema %s: version %d (must be >= 1)", s.Name, s.Version)
+	}
+	if len(s.Regions) == 0 {
+		return invalidSchema("schema %s has no regions", s.Name)
+	}
+	if len(s.DataTypes) == 0 {
+		return invalidSchema("schema %s has no data types", s.Name)
+	}
+	for i, dt := range s.DataTypes {
+		if dt.Name == "" || dt.Discipline == "" {
+			return invalidSchema("schema %s: data type %d needs a name and a discipline", s.Name, i)
+		}
+	}
+	for i, in := range s.Instruments {
+		if in.Name == "" {
+			return invalidSchema("schema %s: instrument %d has no name", s.Name, i)
+		}
+		if len(in.DataTypes) == 0 {
+			return invalidSchema("schema %s: instrument %d (%s) measures no data types", s.Name, i, in.Name)
+		}
+		for _, dt := range in.DataTypes {
+			if dt < 0 || dt >= len(s.DataTypes) {
+				return invalidSchema("schema %s: instrument %d (%s) references data type %d of %d",
+					s.Name, i, in.Name, dt, len(s.DataTypes))
+			}
+		}
+	}
+	grid, st := s.Synthesis.Grid, s.Synthesis.Stations
+	if (grid == nil) == (st == nil) {
+		return invalidSchema("schema %s: exactly one synthesis rule (Grid or Stations) must be set", s.Name)
+	}
+	if grid != nil {
+		if err := s.validateGrid(grid); err != nil {
+			return err
+		}
+	}
+	if st != nil {
+		if err := s.validateStations(st); err != nil {
+			return err
+		}
+	}
+	return s.validateAffinity(grid != nil)
+}
+
+func (s *Schema) validateGrid(g *GridRule) error {
+	if len(s.Instruments) == 0 {
+		return invalidSchema("schema %s: grid synthesis requires instrument classes", s.Name)
+	}
+	if len(g.Plan) != len(s.Regions) {
+		return invalidSchema("schema %s: grid plan has %d rows for %d regions",
+			s.Name, len(g.Plan), len(s.Regions))
+	}
+	total := 0
+	for i, p := range g.Plan {
+		if p.Sites < 0 {
+			return invalidSchema("schema %s: region %d plans %d sites", s.Name, i, p.Sites)
+		}
+		total += p.Sites
+	}
+	if total == 0 {
+		return invalidSchema("schema %s: grid plan yields no sites", s.Name)
+	}
+	if g.Jitter < 0 {
+		return invalidSchema("schema %s: negative coordinate jitter", s.Name)
+	}
+	if g.CoreClasses < 1 || g.CoreClasses > len(s.Instruments) {
+		return invalidSchema("schema %s: CoreClasses %d of %d instrument classes",
+			s.Name, g.CoreClasses, len(s.Instruments))
+	}
+	if g.ExtraMin < 0 || g.ExtraJitter < 1 {
+		return invalidSchema("schema %s: extra deployment range [%d, %d+%d) invalid",
+			s.Name, g.ExtraMin, g.ExtraMin, g.ExtraJitter)
+	}
+	// The without-replacement draw of extras must be able to finish:
+	// enough distinct non-core classes for the worst-case extra count.
+	if maxExtra := g.ExtraMin + g.ExtraJitter - 1; len(s.Instruments)-g.CoreClasses < maxExtra {
+		return invalidSchema("schema %s: %d non-core instrument classes cannot supply up to %d distinct extras",
+			s.Name, len(s.Instruments)-g.CoreClasses, maxExtra)
+	}
+	if g.MaxTypesPerInstrument < 1 {
+		return invalidSchema("schema %s: MaxTypesPerInstrument %d", s.Name, g.MaxTypesPerInstrument)
+	}
+	return nil
+}
+
+func (s *Schema) validateStations(r *StationRule) error {
+	if r.Stations < 1 || r.Cities < 1 {
+		return invalidSchema("schema %s: stations synthesis needs >=1 stations and cities (got %d, %d)",
+			s.Name, r.Stations, r.Cities)
+	}
+	if len(r.RegionWeights) != len(s.Regions) {
+		return invalidSchema("schema %s: %d region weights for %d regions",
+			s.Name, len(r.RegionWeights), len(s.Regions))
+	}
+	if err := validWeights(s.Name, "region", r.RegionWeights); err != nil {
+		return err
+	}
+	if len(r.ProductWeights) != len(s.DataTypes) {
+		return invalidSchema("schema %s: %d product weights for %d data types",
+			s.Name, len(r.ProductWeights), len(s.DataTypes))
+	}
+	if err := validWeights(s.Name, "product", r.ProductWeights); err != nil {
+		return err
+	}
+	if r.ExtraMin < 0 || r.ExtraJitter < 1 {
+		return invalidSchema("schema %s: extra product range [%d, %d+%d) invalid",
+			s.Name, r.ExtraMin, r.ExtraMin, r.ExtraJitter)
+	}
+	positive := 0
+	for _, w := range r.ProductWeights {
+		if w > 0 {
+			positive++
+		}
+	}
+	// Extras are drawn by rejection from the positive-weight products,
+	// distinct from the primary and each other — there must be enough.
+	if maxExtra := r.ExtraMin + r.ExtraJitter - 1; positive-1 < maxExtra {
+		return invalidSchema("schema %s: %d products with positive weight cannot supply a primary plus up to %d distinct extras",
+			s.Name, positive, maxExtra)
+	}
+	if r.LatRange < 0 || r.LonRange < 0 {
+		return invalidSchema("schema %s: negative coordinate range", s.Name)
+	}
+	if len(s.MDGroups) == 0 && len(s.Instruments) == 0 {
+		return invalidSchema("schema %s: stations synthesis requires explicit MDGroups", s.Name)
+	}
+	return nil
+}
+
+func validWeights(schema, what string, w []float64) error {
+	sum := 0.0
+	for i, v := range w {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return invalidSchema("schema %s: %s weight %d is %v", schema, what, i, v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return invalidSchema("schema %s: %s weights sum to zero", schema, what)
+	}
+	return nil
+}
+
+func (s *Schema) validateAffinity(gridMode bool) error {
+	a := s.Affinity
+	if a.NumUsers < 1 || a.NumOrgs < 1 || a.MeanQueries < 1 {
+		return invalidSchema("schema %s: affinity sizing (users=%d orgs=%d meanQueries=%d) must be positive",
+			s.Name, a.NumUsers, a.NumOrgs, a.MeanQueries)
+	}
+	if gridMode && a.NumCities < 1 {
+		return invalidSchema("schema %s: grid-mode affinity needs NumCities >= 1", s.Name)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PLocality", a.PLocality}, {"PModalSite", a.PModalSite}, {"PDataType", a.PDataType},
+	} {
+		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
+			return invalidSchema("schema %s: affinity %s = %v outside [0,1]", s.Name, p.name, p.v)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"TypeSkew", a.TypeSkew}, {"OrgTypeSkew", a.OrgTypeSkew}, {"OrgSiteSkew", a.OrgSiteSkew},
+	} {
+		if p.v < 0 || math.IsNaN(p.v) || math.IsInf(p.v, 0) {
+			return invalidSchema("schema %s: affinity %s = %v invalid", s.Name, p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// Instantiate deterministically synthesizes the schema's catalog from
+// seed. The same (schema, seed) pair always yields the identical
+// catalog; for the built-in schemas the output is bit-identical to the
+// legacy OOI/GAGE constructors.
+func (s *Schema) Instantiate(seed int64) (*Catalog, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := rng.New(seed).Split(s.rngLabel())
+	c := &Catalog{
+		Name:      s.Name,
+		Regions:   append([]string(nil), s.Regions...),
+		DataTypes: append([]DataType(nil), s.DataTypes...),
+	}
+	if len(s.Instruments) > 0 {
+		c.Instrs = make([]Instrument, len(s.Instruments))
+		for i, in := range s.Instruments {
+			in.DataTypes = append([]int(nil), in.DataTypes...)
+			c.Instrs[i] = in
+		}
+	}
+	if len(s.MDGroups) > 0 {
+		c.MDGroups = append([]string(nil), s.MDGroups...)
+	} else {
+		// Derive groups from the instrument classes, distinct and in
+		// order of appearance (legacy OOI behaviour).
+		seen := map[string]bool{}
+		for _, in := range c.Instrs {
+			if !seen[in.Group] {
+				seen[in.Group] = true
+				c.MDGroups = append(c.MDGroups, in.Group)
+			}
+		}
+	}
+	switch {
+	case s.Synthesis.Grid != nil:
+		s.Synthesis.Grid.synthesize(g, c)
+	case s.Synthesis.Stations != nil:
+		s.Synthesis.Stations.synthesize(g, c)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// fmtOr returns the format string, falling back to def when unset.
+func fmtOr(f, def string) string {
+	if f != "" {
+		return f
+	}
+	return def
+}
+
+// synthesize interprets the grid rule. The draw order — site
+// coordinates region-major, then per-site deployment (core class,
+// extra count, candidate rejection), then a type permutation per
+// deployed class — replays the historical OOI constructor exactly.
+func (r *GridRule) synthesize(g *rng.RNG, c *Catalog) {
+	siteFmt := fmtOr(r.SiteNameFormat, "%s%02d")
+	itemFmt := fmtOr(r.ItemNameFormat, "%s-%s-%s")
+	for a, p := range r.Plan {
+		for s := 0; s < p.Sites; s++ {
+			c.Sites = append(c.Sites, Site{
+				Name:   fmt.Sprintf(siteFmt, p.SitePrefix, s+1),
+				Region: a,
+				City:   -1,
+				Lat:    p.Lat + g.Uniform(-r.Jitter, r.Jitter),
+				Lon:    p.Lon + g.Uniform(-r.Jitter, r.Jitter),
+			})
+		}
+	}
+	for si := range c.Sites {
+		instrs := []int{g.Intn(r.CoreClasses)}
+		extra := r.ExtraMin + g.Intn(r.ExtraJitter)
+		for len(instrs) < 1+extra {
+			cand := r.CoreClasses + g.Intn(len(c.Instrs)-r.CoreClasses)
+			dup := false
+			for _, e := range instrs {
+				if e == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				instrs = append(instrs, cand)
+			}
+		}
+		for _, ii := range instrs {
+			dts := c.Instrs[ii].DataTypes
+			take := len(dts)
+			if take > r.MaxTypesPerInstrument {
+				take = r.MaxTypesPerInstrument
+			}
+			perm := g.Perm(len(dts))
+			for k := 0; k < take; k++ {
+				dt := dts[perm[k]]
+				c.Items = append(c.Items, Item{
+					Name: fmt.Sprintf(itemFmt, c.Sites[si].Name,
+						c.Instrs[ii].Name, c.DataTypes[dt].Name),
+					Site:       si,
+					Instrument: ii,
+					DataType:   dt,
+				})
+			}
+		}
+	}
+}
+
+// synthesize interprets the station rule. Draw order — cities, then
+// stations (city choice, lat, lon), then per-station products — replays
+// the historical GAGE constructor exactly.
+func (r *StationRule) synthesize(g *rng.RNG, c *Catalog) {
+	cityFmt := fmtOr(r.CityNameFormat, "%s-city%03d")
+	stationFmt := fmtOr(r.StationNameFormat, "P%04d")
+	itemFmt := fmtOr(r.ItemNameFormat, "%s-data")
+	c.Cities = make([]string, r.Cities)
+	cityRegion := make([]int, r.Cities)
+	for i := 0; i < r.Cities; i++ {
+		reg := g.Choice(r.RegionWeights)
+		c.Cities[i] = fmt.Sprintf(cityFmt, c.Regions[reg], i)
+		cityRegion[i] = reg
+	}
+	cityWeight := make([]float64, r.Cities)
+	for i := range cityWeight {
+		cityWeight[i] = 1 / math.Pow(float64(i+1), r.CityZipf)
+	}
+	for s := 0; s < r.Stations; s++ {
+		city := g.Choice(cityWeight)
+		c.Sites = append(c.Sites, Site{
+			Name:   fmt.Sprintf(stationFmt, s),
+			Region: cityRegion[city],
+			City:   city,
+			Lat:    r.LatBase + g.Uniform(0, r.LatRange),
+			Lon:    r.LonBase + g.Uniform(0, r.LonRange),
+		})
+	}
+	for si := range c.Sites {
+		dt := g.Choice(r.ProductWeights)
+		extras := []int{}
+		nExtra := r.ExtraMin + g.Intn(r.ExtraJitter)
+		for len(extras) < nExtra {
+			e := g.Choice(r.ProductWeights)
+			if e == dt {
+				continue
+			}
+			dup := false
+			for _, x := range extras {
+				if x == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				extras = append(extras, e)
+			}
+		}
+		c.Items = append(c.Items, Item{
+			Name:       fmt.Sprintf(itemFmt, c.Sites[si].Name),
+			Site:       si,
+			Instrument: -1,
+			DataType:   dt,
+			ExtraTypes: extras,
+		})
+	}
+}
+
+// Registry holds validated, versioned facility schemas. Register keeps
+// every version; lookups default to the latest. The zero value is not
+// usable — construct with NewRegistry or DefaultRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	schemas map[string]map[int]*Schema
+	latest  map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		schemas: make(map[string]map[int]*Schema),
+		latest:  make(map[string]int),
+	}
+}
+
+// DefaultRegistry returns a registry pre-loaded with the built-in OOI
+// and GAGE schemas.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	for _, s := range []*Schema{BuiltinOOI(), BuiltinGAGE()} {
+		if err := r.Register(s); err != nil {
+			panic(err) // built-ins always validate
+		}
+	}
+	return r
+}
+
+// Register validates and stores a deep copy of the schema. A name
+// already present requires a strictly higher version — re-registering
+// the same or an older version is rejected, which is what makes a
+// schema name + version a stable catalog identity.
+func (r *Registry) Register(s *Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	c := s.Clone()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.latest[c.Name]; ok && c.Version <= v {
+		return invalidSchema("schema %s version %d: version %d is already registered (versions must increase)",
+			c.Name, c.Version, v)
+	}
+	if r.schemas[c.Name] == nil {
+		r.schemas[c.Name] = make(map[int]*Schema)
+	}
+	r.schemas[c.Name][c.Version] = c
+	r.latest[c.Name] = c.Version
+	return nil
+}
+
+// Get returns a copy of the latest version of the named schema.
+func (r *Registry) Get(name string) (*Schema, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.latest[name]
+	if !ok {
+		return nil, false
+	}
+	return r.schemas[name][v].Clone(), true
+}
+
+// GetVersion returns a copy of a specific version of the named schema.
+func (r *Registry) GetVersion(name string, version int) (*Schema, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.schemas[name][version]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+// Names returns the registered schema names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.latest))
+	for n := range r.latest {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Instantiate builds a catalog from the latest version of the named
+// schema.
+func (r *Registry) Instantiate(name string, seed int64) (*Catalog, error) {
+	s, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSchema, name)
+	}
+	return s.Instantiate(seed)
+}
+
+// BuiltinOOI returns the Ocean Observatories Initiative schema: the
+// declarative form of the historical OOI constructor (8 research
+// arrays, 55 sites, 36 instrument classes, §III-B) with the
+// DefaultOOIConfig affinity calibration.
+func BuiltinOOI() *Schema {
+	return (&Schema{
+		Name:        "OOI",
+		Version:     1,
+		Regions:     ooiArrays,
+		DataTypes:   ooiDataTypes,
+		Instruments: ooiInstruments,
+		Synthesis: Synthesis{Grid: &GridRule{
+			// 55 sites spread over the 8 arrays (counts weighted
+			// towards the coastal arrays, as in the real facility),
+			// around rough array center coordinates.
+			Plan: []RegionPlan{
+				{SitePrefix: "AX", Sites: 7, Lat: 45.95, Lon: -130.00},
+				{SitePrefix: "CM", Sites: 6, Lat: 44.58, Lon: -125.15},
+				{SitePrefix: "CE", Sites: 9, Lat: 44.65, Lon: -124.30},
+				{SitePrefix: "CP", Sites: 10, Lat: 40.10, Lon: -70.88},
+				{SitePrefix: "GA", Sites: 5, Lat: -42.98, Lon: -42.50},
+				{SitePrefix: "GI", Sites: 6, Lat: 59.93, Lon: -39.47},
+				{SitePrefix: "GS", Sites: 6, Lat: -54.47, Lon: -89.28},
+				{SitePrefix: "GP", Sites: 6, Lat: 50.07, Lon: -144.80},
+			},
+			Jitter:                1.5,
+			CoreClasses:           3, // one of the three CTD classes per site
+			ExtraMin:              6,
+			ExtraJitter:           3,
+			MaxTypesPerInstrument: 4,
+		}},
+		Affinity: Affinity{
+			NumUsers: 350, NumOrgs: 32, NumCities: 40, MeanQueries: 60,
+			PLocality: 0.34, PModalSite: 0.65, PDataType: 0.62,
+			TypeSkew: 0.8, OrgTypeSkew: 0.2, OrgSiteSkew: 0.15,
+		},
+	}).Clone()
+}
+
+// BuiltinGAGE returns the Geodetic Facility schema: the declarative
+// form of the historical GAGE constructor (48 states, 338 cities,
+// 2,106 stations, 12 products, §III-B) with the DefaultGAGEConfig
+// affinity calibration.
+func BuiltinGAGE() *Schema {
+	// Western states (earthquake country) carry most stations: the
+	// paper notes 75.9% of stations are in the US West.
+	heavy := map[string]float64{
+		"CA": 12, "WA": 6, "OR": 6, "NV": 4, "UT": 3, "AZ": 3,
+		"CO": 2.5, "MT": 2, "ID": 2, "NM": 2, "WY": 1.5, "TX": 1.5,
+	}
+	weights := make([]float64, len(usStates))
+	for i, st := range usStates {
+		if w, ok := heavy[st]; ok {
+			weights[i] = w
+		} else {
+			weights[i] = 0.4
+		}
+	}
+	return (&Schema{
+		Name:      "GAGE",
+		Version:   1,
+		Regions:   usStates,
+		DataTypes: gageProducts,
+		MDGroups: []string{
+			"PBO core network", "NOTA expansion", "campaign",
+			"borehole network", "regional densification",
+		},
+		Synthesis: Synthesis{Stations: &StationRule{
+			Stations:      2106,
+			Cities:        338,
+			RegionWeights: weights,
+			CityZipf:      0.55,
+			LatBase:       30, LatRange: 18,
+			LonBase: -125, LonRange: 55,
+			// Product availability is heavily skewed: most stations
+			// serve RINEX observation; specialized products
+			// (strainmeter, TLS) are rare.
+			ProductWeights: []float64{40, 10, 4, 8, 6, 14, 6, 3, 4, 3, 1.5, 0.5},
+			ExtraMin:       2,
+			ExtraJitter:    4,
+		}},
+		Affinity: Affinity{
+			NumUsers: 2300, NumOrgs: 75, MeanQueries: 18,
+			PLocality: 0.26, PModalSite: 0.70, PDataType: 0.52,
+			TypeSkew: 1.15, OrgTypeSkew: 0.8, OrgSiteSkew: 0.2,
+		},
+	}).Clone()
+}

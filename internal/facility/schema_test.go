@@ -1,0 +1,267 @@
+package facility
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The registry-instantiated built-in schemas must reproduce the legacy
+// constructors bit-for-bit (the same fingerprints pinned in
+// golden_catalog_test.go).
+func TestRegistryMatchesLegacyConstructors(t *testing.T) {
+	r := DefaultRegistry()
+	for _, seed := range []int64{1, 7, 11, 42} {
+		viaReg, err := r.Instantiate("OOI", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := catalogFingerprint(viaReg), catalogFingerprint(OOI(seed)); got != want {
+			t.Fatalf("seed %d: registry OOI fingerprint %#x, constructor %#x", seed, got, want)
+		}
+		viaReg, err = r.Instantiate("GAGE", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := catalogFingerprint(viaReg), catalogFingerprint(GAGE(seed, DefaultGAGEConfig())); got != want {
+			t.Fatalf("seed %d: registry GAGE fingerprint %#x, constructor %#x", seed, got, want)
+		}
+	}
+}
+
+// A schema shipped as JSON must instantiate the identical catalog.
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	for _, s := range []*Schema{BuiltinOOI(), BuiltinGAGE()} {
+		var b strings.Builder
+		if err := s.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadSchema(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		orig, err := s.Instantiate(11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Instantiate(11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if catalogFingerprint(got) != catalogFingerprint(orig) {
+			t.Fatalf("%s: JSON round trip changed the instantiated catalog", s.Name)
+		}
+	}
+}
+
+func TestRegistryVersioning(t *testing.T) {
+	r := NewRegistry()
+	v1 := BuiltinOOI()
+	if err := r.Register(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(v1.Clone()); !errors.Is(err, ErrInvalidSchema) {
+		t.Fatalf("re-registering the same version: got %v, want ErrInvalidSchema", err)
+	}
+	v2 := v1.Clone()
+	v2.Version = 2
+	v2.Synthesis.Grid.Plan[0].Sites = 9
+	if err := r.Register(v2); err != nil {
+		t.Fatal(err)
+	}
+	latest, ok := r.Get("OOI")
+	if !ok || latest.Version != 2 {
+		t.Fatalf("Get returned version %v, want 2", latest)
+	}
+	old, ok := r.GetVersion("OOI", 1)
+	if !ok || old.Version != 1 || old.Synthesis.Grid.Plan[0].Sites != 7 {
+		t.Fatal("GetVersion(1) did not preserve the original schema")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "OOI" {
+		t.Fatalf("Names = %v", names)
+	}
+	if _, err := r.Instantiate("SEISNET", 7); !errors.Is(err, ErrUnknownSchema) {
+		t.Fatalf("unknown schema: got %v, want ErrUnknownSchema", err)
+	}
+}
+
+// Registered schemas are isolated from caller mutation in both
+// directions.
+func TestRegistryIsolation(t *testing.T) {
+	r := NewRegistry()
+	s := BuiltinOOI()
+	if err := r.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	s.Synthesis.Grid.Plan[0].Sites = 1000 // mutate after Register
+	got, _ := r.Get("OOI")
+	if got.Synthesis.Grid.Plan[0].Sites != 7 {
+		t.Fatal("Register did not deep-copy the schema")
+	}
+	got.Regions[0] = "clobbered" // mutate the returned copy
+	again, _ := r.Get("OOI")
+	if again.Regions[0] != "Cabled Axial" {
+		t.Fatal("Get did not return an isolated copy")
+	}
+}
+
+func TestSchemaValidateRejects(t *testing.T) {
+	cases := map[string]func(*Schema){
+		"no name":           func(s *Schema) { s.Name = "" },
+		"zero version":      func(s *Schema) { s.Version = 0 },
+		"no regions":        func(s *Schema) { s.Regions = nil },
+		"no data types":     func(s *Schema) { s.DataTypes = nil },
+		"unnamed data type": func(s *Schema) { s.DataTypes[0].Name = "" },
+		"no discipline":     func(s *Schema) { s.DataTypes[0].Discipline = "" },
+		"instrument bad dt": func(s *Schema) { s.Instruments[0].DataTypes = []int{999} },
+		"both rules": func(s *Schema) {
+			s.Synthesis.Stations = BuiltinGAGE().Synthesis.Stations
+		},
+		"no rules":        func(s *Schema) { s.Synthesis.Grid = nil },
+		"plan mismatch":   func(s *Schema) { s.Synthesis.Grid.Plan = s.Synthesis.Grid.Plan[:3] },
+		"negative sites":  func(s *Schema) { s.Synthesis.Grid.Plan[0].Sites = -1 },
+		"zero core":       func(s *Schema) { s.Synthesis.Grid.CoreClasses = 0 },
+		"zero max types":  func(s *Schema) { s.Synthesis.Grid.MaxTypesPerInstrument = 0 },
+		"negative jitter": func(s *Schema) { s.Synthesis.Grid.Jitter = -0.1 },
+		// The rejection loop drawing extras without replacement must
+		// be able to terminate: more extras than non-core classes.
+		"grid cannot terminate": func(s *Schema) { s.Synthesis.Grid.ExtraMin = 40 },
+		"bad affinity prob":     func(s *Schema) { s.Affinity.PLocality = 1.5 },
+		"zero users":            func(s *Schema) { s.Affinity.NumUsers = 0 },
+		"grid without cities":   func(s *Schema) { s.Affinity.NumCities = 0 },
+	}
+	for name, mut := range cases {
+		s := BuiltinOOI()
+		mut(s)
+		if err := s.Validate(); !errors.Is(err, ErrInvalidSchema) {
+			t.Errorf("%s: got %v, want ErrInvalidSchema", name, err)
+		}
+	}
+
+	stationCases := map[string]func(*Schema){
+		"zero stations":       func(s *Schema) { s.Synthesis.Stations.Stations = 0 },
+		"weights mismatch":    func(s *Schema) { s.Synthesis.Stations.RegionWeights = []float64{1} },
+		"negative weight":     func(s *Schema) { s.Synthesis.Stations.RegionWeights[0] = -1 },
+		"all-zero weights":    func(s *Schema) { s.Synthesis.Stations.ProductWeights = make([]float64, 12) },
+		"no MD groups":        func(s *Schema) { s.MDGroups = nil },
+		"extras > products":   func(s *Schema) { s.Synthesis.Stations.ExtraMin = 12 },
+		"negative coordinate": func(s *Schema) { s.Synthesis.Stations.LatRange = -1 },
+	}
+	for name, mut := range stationCases {
+		s := BuiltinGAGE()
+		mut(s)
+		if err := s.Validate(); !errors.Is(err, ErrInvalidSchema) {
+			t.Errorf("%s: got %v, want ErrInvalidSchema", name, err)
+		}
+	}
+}
+
+func TestLoadSchemaStrictness(t *testing.T) {
+	var b strings.Builder
+	if err := BuiltinGAGE().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	valid := b.String()
+
+	if _, err := LoadSchema(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	for name, doc := range map[string]string{
+		"garbage":       "{nope",
+		"unknown field": `{"Name":"X","Typo":1}`,
+		"trailing data": valid + "{}",
+		"wrong type":    `{"Name":"X","Version":"one"}`,
+		"empty doc":     "",
+	} {
+		if _, err := LoadSchema(strings.NewReader(doc)); !errors.Is(err, ErrInvalidSchema) {
+			t.Errorf("%s: got %v, want ErrInvalidSchema", name, err)
+		}
+	}
+}
+
+// Regression for the AllTypes aliasing fix: the returned slice has
+// exact capacity, so an append by the caller reallocates instead of
+// writing into the item's ExtraTypes backing array.
+func TestAllTypesFreshSliceExactCapacity(t *testing.T) {
+	it := Item{DataType: 5, ExtraTypes: []int{7, 9}}
+	all := it.AllTypes()
+	if want := []int{5, 7, 9}; len(all) != 3 || all[0] != want[0] || all[1] != want[1] || all[2] != want[2] {
+		t.Fatalf("AllTypes = %v, want %v", all, want)
+	}
+	if cap(all) != len(all) {
+		t.Fatalf("AllTypes capacity %d exceeds length %d", cap(all), len(all))
+	}
+	_ = append(all, 99)
+	if it.ExtraTypes[0] != 7 || it.ExtraTypes[1] != 9 {
+		t.Fatalf("append through AllTypes clobbered ExtraTypes: %v", it.ExtraTypes)
+	}
+	all[1] = 1234
+	if it.ExtraTypes[0] != 7 {
+		t.Fatal("AllTypes aliases ExtraTypes storage")
+	}
+}
+
+// Catalog validation rejects out-of-range sentinels below -1 (the
+// hardening companion to the existing upper-bound checks).
+func TestValidateRejectsBadSentinels(t *testing.T) {
+	c := GAGE(7, GAGEConfig{Stations: 10, Cities: 4})
+	c.Sites[0].City = -2
+	if err := c.Validate(); !errors.Is(err, ErrInvalidCatalog) {
+		t.Fatalf("City=-2: got %v, want ErrInvalidCatalog", err)
+	}
+	c = GAGE(7, GAGEConfig{Stations: 10, Cities: 4})
+	c.Items[0].Instrument = -2
+	if err := c.Validate(); !errors.Is(err, ErrInvalidCatalog) {
+		t.Fatalf("Instrument=-2: got %v, want ErrInvalidCatalog", err)
+	}
+}
+
+// A third-party schema (neither OOI nor GAGE) instantiates a valid
+// catalog through the same interpreter, and reusing another facility's
+// product vocabulary is what builds the cross-facility bridge.
+func TestThirdPartySchemaInstantiates(t *testing.T) {
+	s := &Schema{
+		Name:    "SEISNET",
+		Version: 1,
+		Regions: []string{"CA", "NV"},
+		DataTypes: []DataType{
+			{Name: "borehole seismic waveform", Discipline: "Borehole Geophysics"},
+			{Name: "borehole strainmeter series", Discipline: "Borehole Geophysics"},
+			{Name: "tiltmeter series", Discipline: "Borehole Geophysics"},
+			{Name: "site photo archive", Discipline: "Imaging Geodesy"},
+		},
+		MDGroups: []string{"array-1", "array-2"},
+		Synthesis: Synthesis{Stations: &StationRule{
+			Stations: 40, Cities: 6,
+			RegionWeights: []float64{3, 1},
+			CityZipf:      0.5,
+			LatBase:       32, LatRange: 10, LonBase: -122, LonRange: 8,
+			ProductWeights: []float64{10, 4, 4, 1},
+			ExtraMin:       1, ExtraJitter: 2,
+			StationNameFormat: "B%03d",
+		}},
+		Affinity: Affinity{
+			NumUsers: 30, NumOrgs: 5, MeanQueries: 10,
+			PLocality: 0.4, PModalSite: 0.6, PDataType: 0.5,
+			TypeSkew: 0.8, OrgTypeSkew: 0.5, OrgSiteSkew: 0.2,
+		},
+	}
+	c, err := s.Instantiate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "SEISNET" || len(c.Sites) != 40 || len(c.Cities) != 6 || len(c.Items) != 40 {
+		t.Fatalf("unexpected shape: %d sites, %d cities, %d items", len(c.Sites), len(c.Cities), len(c.Items))
+	}
+	if c.Sites[0].Name != "B000" {
+		t.Fatalf("custom station format ignored: %q", c.Sites[0].Name)
+	}
+	// Determinism.
+	c2, err := s.Instantiate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if catalogFingerprint(c) != catalogFingerprint(c2) {
+		t.Fatal("third-party schema instantiation is not deterministic")
+	}
+}

@@ -210,11 +210,27 @@ func (g *Graph) EntitiesOfKind(kind EntityKind) []int {
 // existing registration instead of creating a same-named duplicate, so
 // symmetric relations keep their self-inverse through a merge.
 func (g *Graph) Merge(other *Graph) []int {
-	idMap := make([]int, len(other.Entities))
+	idMap, _ := g.MergeMapped(other, nil)
+	return idMap
+}
+
+// MergeMapped is Merge with a rename hook: every entity of other is
+// registered under rename(kind, name) (nil keeps names unchanged). It
+// returns both the entity and the relation ID mappings from other's
+// IDs to g's. The hook is what gives a federation its namespaced
+// entity IDs — facility-local kinds get a facility prefix so merging N
+// per-facility CKGs can never align unrelated entities, while shared
+// vocabulary kinds keep their global names and align deliberately.
+func (g *Graph) MergeMapped(other *Graph, rename func(kind EntityKind, name string) string) (entMap, relMap []int) {
+	entMap = make([]int, len(other.Entities))
 	for i, e := range other.Entities {
-		idMap[i] = g.AddEntity(e.Kind, e.Name)
+		name := e.Name
+		if rename != nil {
+			name = rename(e.Kind, name)
+		}
+		entMap[i] = g.AddEntity(e.Kind, name)
 	}
-	relMap := make([]int, len(other.Relations))
+	relMap = make([]int, len(other.Relations))
 	done := make([]bool, len(other.Relations))
 	for i, r := range other.Relations {
 		if done[i] {
@@ -232,9 +248,9 @@ func (g *Graph) Merge(other *Graph) []int {
 		done[r.Inverse] = true
 	}
 	for _, tr := range other.Triples {
-		g.AddTriple(idMap[tr.Head], relMap[tr.Rel], idMap[tr.Tail])
+		g.AddTriple(entMap[tr.Head], relMap[tr.Rel], entMap[tr.Tail])
 	}
-	return idMap
+	return entMap, relMap
 }
 
 // Stats summarizes a graph for Table I.

@@ -30,6 +30,33 @@ func TinyDataset(tb testing.TB) *dataset.Dataset {
 	return dataset.Build(tr, dataset.AllSources(), 13)
 }
 
+// TinyFederated builds a small two-facility federation (scaled-down
+// OOI + GAGE schemas) for testing models on a merged cross-facility
+// CKG. The embedded Dataset trains and evaluates exactly like a
+// single-facility one.
+func TinyFederated(tb testing.TB) *dataset.Federated {
+	tb.Helper()
+	ooi := facility.BuiltinOOI()
+	for i := range ooi.Synthesis.Grid.Plan {
+		ooi.Synthesis.Grid.Plan[i].Sites = 1 + i%2
+	}
+	ooi.Affinity.NumUsers = 45
+	ooi.Affinity.NumOrgs = 6
+	ooi.Affinity.NumCities = 6
+	ooi.Affinity.MeanQueries = 20
+	gage := facility.BuiltinGAGE()
+	gage.Synthesis.Stations.Stations = 70
+	gage.Synthesis.Stations.Cities = 12
+	gage.Affinity.NumUsers = 45
+	gage.Affinity.NumOrgs = 6
+	gage.Affinity.MeanQueries = 16
+	fed, err := dataset.BuildFederated([]*facility.Schema{ooi, gage}, dataset.AllSources(), 13)
+	if err != nil {
+		tb.Fatalf("TinyFederated: %v", err)
+	}
+	return fed
+}
+
 // QuickConfig returns a training configuration small enough for unit
 // tests.
 func QuickConfig() models.TrainConfig {

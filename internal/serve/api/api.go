@@ -101,9 +101,12 @@ type Health struct {
 	Users    int    `json:"users"`
 }
 
-// RecommendResponse is the GET /v1/recommend payload.
+// RecommendResponse is the GET /v1/recommend payload. Facility echoes
+// the facility filter when one was applied on a federated snapshot;
+// omitted on unfiltered requests.
 type RecommendResponse struct {
 	Degraded        bool             `json:"degraded"`
+	Facility        string           `json:"facility,omitempty"`
 	Ranking         RankingInfo      `json:"ranking"`
 	Recommendations []Recommendation `json:"recommendations"`
 	User            int              `json:"user"`
@@ -273,20 +276,36 @@ type ShardStats struct {
 	Cache    CacheStats `json:"cache"`
 }
 
-// Stats is the full /v1/stats payload.
+// FacilityStats is one member facility's block in a federated
+// /v1/stats: its name and the half-open user/item windows it owns in
+// the merged entity space (BuildFederated lays facilities out
+// contiguously, so a window fully describes ownership).
+type FacilityStats struct {
+	Name   string `json:"name"`
+	Users  int    `json:"users"`
+	Items  int    `json:"items"`
+	UserLo int    `json:"user_lo"`
+	UserHi int    `json:"user_hi"`
+	ItemLo int    `json:"item_lo"`
+	ItemHi int    `json:"item_hi"`
+}
+
+// Stats is the full /v1/stats payload. Facilities is present only on
+// federated snapshots, one block per member facility in part order.
 type Stats struct {
-	Facility  string                   `json:"facility"`
-	UptimeMS  float64                  `json:"uptime_ms"`
-	Inflight  int64                    `json:"inflight"`
-	Ready     bool                     `json:"ready"`
-	Degraded  uint64                   `json:"degraded_requests"`
-	Shed      uint64                   `json:"shed_requests"`
-	Reloads   uint64                   `json:"reloads"`
-	ReloadErr uint64                   `json:"reload_failures"`
-	Limits    Limits                   `json:"limits"`
-	ANN       ANNStats                 `json:"ann"`
-	Cache     CacheStats               `json:"cache"`
-	Ingest    *IngestStats             `json:"ingest,omitempty"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
-	Shards    []ShardStats             `json:"shards"`
+	Facility   string                   `json:"facility"`
+	Facilities []FacilityStats          `json:"facilities,omitempty"`
+	UptimeMS   float64                  `json:"uptime_ms"`
+	Inflight   int64                    `json:"inflight"`
+	Ready      bool                     `json:"ready"`
+	Degraded   uint64                   `json:"degraded_requests"`
+	Shed       uint64                   `json:"shed_requests"`
+	Reloads    uint64                   `json:"reloads"`
+	ReloadErr  uint64                   `json:"reload_failures"`
+	Limits     Limits                   `json:"limits"`
+	ANN        ANNStats                 `json:"ann"`
+	Cache      CacheStats               `json:"cache"`
+	Ingest     *IngestStats             `json:"ingest,omitempty"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
+	Shards     []ShardStats             `json:"shards"`
 }

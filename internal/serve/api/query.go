@@ -94,9 +94,12 @@ type Neighbor struct {
 
 // NearestResponse is the GET /v1/query:nearest payload: the entities
 // closest to the anchor in embedding space under inner product.
+// Facility echoes the facility filter when one was applied on a
+// federated snapshot.
 type NearestResponse struct {
 	Degraded  bool        `json:"degraded"`
 	Entity    EntityRef   `json:"entity"`
+	Facility  string      `json:"facility,omitempty"`
 	Type      string      `json:"type"`
 	Ranking   RankingInfo `json:"ranking"`
 	Neighbors []Neighbor  `json:"neighbors"`
@@ -110,6 +113,7 @@ type AnalogyResponse struct {
 	A         EntityRef   `json:"a"`
 	B         EntityRef   `json:"b"`
 	C         EntityRef   `json:"c"`
+	Facility  string      `json:"facility,omitempty"`
 	Type      string      `json:"type"`
 	Ranking   RankingInfo `json:"ranking"`
 	Neighbors []Neighbor  `json:"neighbors"`

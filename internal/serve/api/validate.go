@@ -1,5 +1,7 @@
 package api
 
+import "strings"
+
 // Request validation lives with the wire types so every server-side
 // entry point — the in-process handlers, the sharded dispatcher, and
 // the multi-process router — enforces one set of bounds with one set
@@ -38,6 +40,30 @@ type Validator struct {
 	Limits   Limits
 	NumUsers int
 	NumItems int
+
+	// Facilities lists the member-facility names of a federated
+	// snapshot, in part order. Empty on a single-facility server, where
+	// any facility filter is rejected.
+	Facilities []string
+}
+
+// Facility validates the optional facility filter of the ranking and
+// semantic-query endpoints: empty means unfiltered; a filter on a
+// single-facility server is malformed (400); a well-formed name that
+// matches no member facility is a 404.
+func (v Validator) Facility(name string) *Error {
+	if name == "" {
+		return nil
+	}
+	if len(v.Facilities) == 0 {
+		return BadParam("facility filter requires a federated snapshot; this server hosts a single facility")
+	}
+	for _, f := range v.Facilities {
+		if f == name {
+			return nil
+		}
+	}
+	return NotFound("unknown facility %q (federation members: %s)", name, strings.Join(v.Facilities, ", "))
 }
 
 // User distinguishes a well-formed ID that names no user (404) from

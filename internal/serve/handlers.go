@@ -133,6 +133,25 @@ func (s *Server) rankParams(qd *queryDecoder, defaultMode string) (shard.Query, 
 	return shard.Query{Mode: mode, EF: ef}, nil
 }
 
+// facilityParam resolves the optional facility filter of a federated
+// snapshot into the query's entity windows: results are restricted to
+// the named facility's contiguous user/item ranges in the merged index
+// space. Returns the validated name ("" when unfiltered) for the
+// response echo.
+func (s *Server) facilityParam(qd *queryDecoder, q *shard.Query) (string, *apiError) {
+	name := qd.q.Get("facility")
+	if name == "" {
+		return "", nil
+	}
+	if e := s.validate.Facility(name); e != nil {
+		return "", e
+	}
+	pi := s.fed.PartByName(name)
+	q.UserLo, q.UserHi = s.fed.UserRange(pi)
+	q.ItemLo, q.ItemHi = s.fed.ItemRange(pi)
+	return name, nil
+}
+
 // rankingInfo mirrors the dispatcher's report into the wire block.
 func rankingInfo(in shard.RankInfo) api.RankingInfo {
 	return api.RankingInfo{Mode: in.Mode, EF: in.EF, Fallback: in.Fallback}
@@ -193,12 +212,18 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, e)
 		return
 	}
+	fac, e := s.facilityParam(qd, &q)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
 	rk, info, degraded := s.disp.Recommend(r.Context(), user, k, q)
 	if degraded {
 		s.metrics.degraded.Add(1)
 	}
 	writeJSON(w, http.StatusOK, api.RecommendResponse{
 		Degraded:        degraded,
+		Facility:        fac,
 		Ranking:         rankingInfo(info),
 		Recommendations: s.render(rk, 1),
 		User:            user,
@@ -401,6 +426,11 @@ func (s *Server) handleQueryNearest(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, e)
 		return
 	}
+	fac, e := s.facilityParam(qd, &q)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
 	if typ == "" {
 		typ = ref.Kind
 	}
@@ -415,6 +445,7 @@ func (s *Server) handleQueryNearest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.NearestResponse{
 		Degraded:  degraded,
 		Entity:    ref,
+		Facility:  fac,
 		Type:      typ,
 		Ranking:   rankingInfo(info),
 		Neighbors: s.renderNeighbors(ns),
@@ -456,6 +487,11 @@ func (s *Server) handleQueryAnalogy(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, e)
 		return
 	}
+	fac, e := s.facilityParam(qd, &q)
+	if e != nil {
+		s.writeError(w, r, e)
+		return
+	}
 	if typ == "" {
 		typ = a.Kind
 	}
@@ -472,6 +508,7 @@ func (s *Server) handleQueryAnalogy(w http.ResponseWriter, r *http.Request) {
 		A:         a,
 		B:         b,
 		C:         c,
+		Facility:  fac,
 		Type:      typ,
 		Ranking:   rankingInfo(info),
 		Neighbors: s.renderNeighbors(ns),

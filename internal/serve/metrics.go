@@ -196,16 +196,31 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 		ep.P99ms = h.Quantile(0.99)
 		eps[lv[0]] = ep
 	})
+	var facilities []api.FacilityStats
+	if s.fed != nil {
+		facilities = make([]api.FacilityStats, len(s.fed.Parts))
+		for i := range s.fed.Parts {
+			ulo, uhi := s.fed.UserRange(i)
+			ilo, ihi := s.fed.ItemRange(i)
+			facilities[i] = api.FacilityStats{
+				Name:  s.fed.Parts[i].Name,
+				Users: uhi - ulo, Items: ihi - ilo,
+				UserLo: ulo, UserHi: uhi,
+				ItemLo: ilo, ItemHi: ihi,
+			}
+		}
+	}
 	return StatsSnapshot{
-		Facility:  s.d.Name,
-		UptimeMS:  float64(time.Since(s.metrics.start).Nanoseconds()) / 1e6,
-		Inflight:  int64(s.metrics.inflight.Value()),
-		Ready:     !s.Degraded(),
-		Degraded:  uint64(s.metrics.degraded.Value()),
-		Shed:      uint64(s.metrics.shed.Value()),
-		Reloads:   uint64(s.metrics.reloads.Value()),
-		ReloadErr: uint64(s.metrics.reloadFailures.Value()),
-		Limits:    s.limits,
+		Facility:   s.d.Name,
+		Facilities: facilities,
+		UptimeMS:   float64(time.Since(s.metrics.start).Nanoseconds()) / 1e6,
+		Inflight:   int64(s.metrics.inflight.Value()),
+		Ready:      !s.Degraded(),
+		Degraded:   uint64(s.metrics.degraded.Value()),
+		Shed:       uint64(s.metrics.shed.Value()),
+		Reloads:    uint64(s.metrics.reloads.Value()),
+		ReloadErr:  uint64(s.metrics.reloadFailures.Value()),
+		Limits:     s.limits,
 		Cache: CacheSnapshot{
 			Hits: hits, Misses: misses, HitRate: rate,
 			Entries: entries, Cap: s.cacheSize,

@@ -103,6 +103,12 @@ type Server struct {
 	// and the overlay applier behind POST /v1/ingest.
 	ingest *ingestState
 
+	// Federation layout (nil unless WithFederation): maps facility
+	// names onto the contiguous user/item windows each part owns in the
+	// merged entity space, backing the ?facility= filter and the
+	// per-facility /v1/stats block.
+	fed *dataset.Federated
+
 	validate api.Validator
 	metrics  *serveMetrics
 	tracer   *obs.Tracer
@@ -238,6 +244,14 @@ func WithTraceRing(n int) Option {
 	}
 }
 
+// WithFederation declares the served dataset a federated snapshot
+// (dataset.BuildFederated over N facility schemas): the ranking and
+// semantic-query endpoints accept a ?facility= filter restricting
+// results to one member facility's entities, and /v1/stats gains a
+// per-facility block. fed.Dataset must be the dataset the server is
+// constructed over.
+func WithFederation(fed *dataset.Federated) Option { return func(s *Server) { s.fed = fed } }
+
 // WithCSR serves graph queries (/explain, the degraded popularity
 // prior) from an already-frozen CSR — typically one restored from a
 // model snapshot — instead of re-freezing the dataset's CKG at boot.
@@ -286,6 +300,16 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 	})
 	s.cache = cacheView{disp: s.disp}
 	s.validate = api.Validator{Limits: s.limits, NumUsers: d.NumUsers, NumItems: d.NumItems}
+	if s.fed != nil {
+		if s.fed.Dataset != d {
+			panic("serve.New: WithFederation dataset does not match the served dataset")
+		}
+		names := make([]string, len(s.fed.Parts))
+		for i := range s.fed.Parts {
+			names[i] = s.fed.Parts[i].Name
+		}
+		s.validate.Facilities = names
+	}
 	s.metrics = newServeMetrics(s)
 	s.disp.Register(s.metrics.reg)
 	if s.ingest != nil {

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"errors"
+	"math"
 	"time"
 
 	"repro/internal/ann"
@@ -30,10 +31,58 @@ type ANNConfig struct {
 
 // Query carries the per-request scoring knobs threaded from the /v1
 // surface: the requested mode (api.ModeExact / api.ModeANN; empty means
-// exact) and an optional ann search breadth override.
+// exact), an optional ann search breadth override, and optional
+// half-open entity windows restricting results to one facility of a
+// federated snapshot. A window with Hi <= Lo (the zero value) is
+// unrestricted; the serve layer fills the windows from the facility
+// filter, exploiting that BuildFederated lays each facility's users
+// and items out contiguously in the merged index space.
 type Query struct {
 	Mode string
 	EF   int
+
+	ItemLo, ItemHi int // restrict ranked items to [ItemLo, ItemHi)
+	UserLo, UserHi int // restrict user-kind semantic results to [UserLo, UserHi)
+}
+
+func (q Query) restrictsItems() bool { return q.ItemHi > q.ItemLo }
+func (q Query) restrictsUsers() bool { return q.UserHi > q.UserLo }
+
+// acceptItem reports whether an item index passes the item window.
+func (q Query) acceptItem(id int) bool {
+	return !q.restrictsItems() || (id >= q.ItemLo && id < q.ItemHi)
+}
+
+// accepts reports whether a semantic-query result entity passes the
+// window of its kind.
+func (q Query) accepts(kind string, id int) bool {
+	if kind == api.KindUser {
+		return !q.restrictsUsers() || (id >= q.UserLo && id < q.UserHi)
+	}
+	return q.acceptItem(id)
+}
+
+// maskItems suppresses scores outside the item window in place — the
+// exact-path counterpart of the ann accept filter. TopK skips -Inf, so
+// masked items never surface.
+func (q Query) maskItems(scores []float64) {
+	if !q.restrictsItems() {
+		return
+	}
+	neg := math.Inf(-1)
+	lo, hi := q.ItemLo, q.ItemHi
+	if lo > len(scores) {
+		lo = len(scores)
+	}
+	if hi > len(scores) {
+		hi = len(scores)
+	}
+	for i := 0; i < lo; i++ {
+		scores[i] = neg
+	}
+	for i := hi; i < len(scores); i++ {
+		scores[i] = neg
+	}
 }
 
 // RankInfo reports how a ranking was actually produced, mirrored into
@@ -159,17 +208,27 @@ func (a *annState) resolveEF(ef, k int) int {
 
 // annRecommendOn ranks user's top-k through the item index, excluding
 // training positives via the accept filter — the same set MaskTrain
-// suppresses on the exact path. Scores are bit-identical to the
+// suppresses on the exact path — composed with the query's item window
+// when a facility filter is active. Scores are bit-identical to the
 // exhaustive scorer's, so the two paths differ only by recall misses.
-func (dp *Dispatcher) annRecommendOn(a *annState, user, k, ef int) Ranked {
+func (dp *Dispatcher) annRecommendOn(a *annState, user, k, ef int, q Query) Ranked {
 	qv := a.vs.UserVector(user)
-	var accept func(int) bool
+	var mask map[int]struct{}
 	if train := dp.d.TrainByUser[user]; len(train) > 0 {
-		mask := make(map[int]struct{}, len(train))
+		mask = make(map[int]struct{}, len(train))
 		for _, it := range train {
 			mask[it] = struct{}{}
 		}
-		accept = func(id int) bool { _, ok := mask[id]; return !ok }
+	}
+	var accept func(int) bool
+	if mask != nil || q.restrictsItems() {
+		accept = func(id int) bool {
+			if !q.acceptItem(id) {
+				return false
+			}
+			_, ok := mask[id]
+			return !ok
+		}
 	}
 	items, scores := a.items.Search(qv, k, ef, accept)
 	return Ranked{Items: items, Scores: scores}
@@ -323,6 +382,18 @@ func (dp *Dispatcher) semanticSearch(sh *Shard, qv []float64, k int, typ string,
 	a := st.ann
 	if q.Mode == api.ModeExact {
 		a = nil // exact explicitly requested: bypass the index
+	}
+	if q.restrictsItems() || q.restrictsUsers() {
+		// Facility filter: entities outside the query's windows are
+		// skipped exactly like anchors, on both the index and the
+		// exhaustive path.
+		base := skip
+		skip = func(kind string, id int) bool {
+			if !q.accepts(kind, id) {
+				return true
+			}
+			return base != nil && base(kind, id)
+		}
 	}
 	kinds := []string{typ}
 	if typ == "any" {

@@ -533,12 +533,14 @@ func MergeRanked(k int, lists ...Ranked) Ranked {
 }
 
 // recommendOn computes user's masked top-k on sh from the shard's
-// cached score vector, copying before the in-place mask.
-func (dp *Dispatcher) recommendOn(sh *Shard, ctx context.Context, user, k int) Ranked {
+// cached score vector, copying before the in-place mask. The query's
+// item window (the facility filter) masks alongside the train set.
+func (dp *Dispatcher) recommendOn(sh *Shard, ctx context.Context, user, k int, q Query) Ranked {
 	cached := sh.cache.Scores(ctx, user)
 	buf := dp.scoreBufs.Get().([]float64)[:len(cached)]
 	copy(buf, cached)
 	eval.MaskTrain(dp.d, user, buf)
+	q.maskItems(buf)
 	r := rankedFrom(buf, k)
 	dp.scoreBufs.Put(buf)
 	return r
@@ -546,11 +548,13 @@ func (dp *Dispatcher) recommendOn(sh *Shard, ctx context.Context, user, k int) R
 
 // fallbackRank answers from the shared popularity prior, bypassing
 // shard caches and scorers entirely: the degraded answer when a
-// shard's model path misses its deadline.
-func (dp *Dispatcher) fallbackRank(user, k int) Ranked {
+// shard's model path misses its deadline. The item window still
+// applies, so even degraded answers respect the facility filter.
+func (dp *Dispatcher) fallbackRank(user, k int, q Query) Ranked {
 	buf := dp.scoreBufs.Get().([]float64)[:dp.d.NumItems]
 	dp.fallback.ScoreItems(user, buf)
 	eval.MaskTrain(dp.d, user, buf)
+	q.maskItems(buf)
 	r := rankedFrom(buf, k)
 	dp.scoreBufs.Put(buf)
 	return r
@@ -564,12 +568,12 @@ func (dp *Dispatcher) recommendWith(sh *Shard, ctx context.Context, user, k int,
 	if q.Mode == api.ModeANN {
 		if a := sh.state().ann; a != nil {
 			ef := a.resolveEF(q.EF, k)
-			return dp.annRecommendOn(a, user, k, ef), RankInfo{Mode: api.ModeANN, EF: ef}
+			return dp.annRecommendOn(a, user, k, ef, q), RankInfo{Mode: api.ModeANN, EF: ef}
 		}
 		dp.countANNFallback()
-		return dp.recommendOn(sh, ctx, user, k), RankInfo{Mode: api.ModeExact, Fallback: true}
+		return dp.recommendOn(sh, ctx, user, k, q), RankInfo{Mode: api.ModeExact, Fallback: true}
 	}
-	return dp.recommendOn(sh, ctx, user, k), RankInfo{Mode: api.ModeExact}
+	return dp.recommendOn(sh, ctx, user, k, q), RankInfo{Mode: api.ModeExact}
 }
 
 // Recommend routes one user's top-k to the owning shard. degraded
@@ -586,7 +590,7 @@ func (dp *Dispatcher) Recommend(ctx context.Context, user, k int, q Query) (Rank
 	if !degraded && ctx.Err() != nil {
 		// The model path blew the deadline; answer from the popularity
 		// prior rather than failing a recommendation request.
-		r, degraded = dp.fallbackRank(user, k), true
+		r, degraded = dp.fallbackRank(user, k, q), true
 		info = RankInfo{Mode: api.ModeExact, Fallback: q.Mode == api.ModeANN}
 	}
 	dp.observeRank(info.Mode, start)
@@ -632,7 +636,7 @@ func (dp *Dispatcher) RecommendBatch(ctx context.Context, users []int, k int, q 
 	}
 	if err != nil {
 		for i, u := range users {
-			results[i] = dp.fallbackRank(u, k)
+			results[i] = dp.fallbackRank(u, k, q)
 			degraded[i] = true
 		}
 		info = RankInfo{Mode: api.ModeExact, Fallback: q.Mode == api.ModeANN}
@@ -671,7 +675,7 @@ func (dp *Dispatcher) Similar(ctx context.Context, item, k int, probes []int, q 
 				}
 			}
 			ef := a.resolveEF(q.EF, k)
-			items, scores := a.items.Search(qv, k, ef, func(id int) bool { return id != item })
+			items, scores := a.items.Search(qv, k, ef, func(id int) bool { return id != item && q.acceptItem(id) })
 			info = RankInfo{Mode: api.ModeANN, EF: ef}
 			dp.observeRank(info.Mode, start)
 			return Ranked{Items: items, Scores: scores}, 1 / float64(len(probes)), info,
@@ -711,6 +715,7 @@ func (dp *Dispatcher) Similar(ctx context.Context, item, k int, probes []int, q 
 			agg[i] += sc
 		}
 	}
+	q.maskItems(agg)
 	agg[item] = math.Inf(-1)
 	r = rankedFrom(agg, k)
 	dp.scoreBufs.Put(agg)

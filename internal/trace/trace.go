@@ -97,27 +97,26 @@ type Config struct {
 	OrgSiteSkew float64
 }
 
-// DefaultOOIConfig reproduces the OOI affinity fractions of §III-B.
-func DefaultOOIConfig() Config {
+// ConfigFrom derives the generative-model configuration from a
+// schema's affinity calibration, so a declarative facility schema
+// fully determines its synthetic trace.
+func ConfigFrom(a facility.Affinity) Config {
 	return Config{
-		NumUsers: 350, NumOrgs: 32, NumCities: 40,
-		MeanQueries: 60,
-		PLocality:   0.34, PModalSite: 0.65,
-		PDataType: 0.62, TypeSkew: 0.8,
-		OrgTypeSkew: 0.2, OrgSiteSkew: 0.15,
+		NumUsers: a.NumUsers, NumOrgs: a.NumOrgs, NumCities: a.NumCities,
+		MeanQueries: a.MeanQueries,
+		PLocality:   a.PLocality, PModalSite: a.PModalSite,
+		PDataType: a.PDataType, TypeSkew: a.TypeSkew,
+		OrgTypeSkew: a.OrgTypeSkew, OrgSiteSkew: a.OrgSiteSkew,
 	}
 }
 
-// DefaultGAGEConfig reproduces the GAGE affinity fractions of §III-B.
-func DefaultGAGEConfig() Config {
-	return Config{
-		NumUsers: 2300, NumOrgs: 75,
-		MeanQueries: 18,
-		PLocality:   0.26, PModalSite: 0.70,
-		PDataType: 0.52, TypeSkew: 1.15,
-		OrgTypeSkew: 0.8, OrgSiteSkew: 0.2,
-	}
-}
+// DefaultOOIConfig reproduces the OOI affinity fractions of §III-B —
+// the built-in OOI schema's calibration.
+func DefaultOOIConfig() Config { return ConfigFrom(facility.BuiltinOOI().Affinity) }
+
+// DefaultGAGEConfig reproduces the GAGE affinity fractions of §III-B —
+// the built-in GAGE schema's calibration.
+func DefaultGAGEConfig() Config { return ConfigFrom(facility.BuiltinGAGE().Affinity) }
 
 // Generate builds a synthetic trace over cat using cfg and seed. The
 // same (catalog, cfg, seed) triple always yields the identical trace.

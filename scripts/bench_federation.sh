@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Produces BENCH_federation.json: the multi-facility federation
+# benchmark suite as a JSON array, one object per benchmark, for the
+# perf trajectory across PRs. Covers the merged-graph CSR freeze (the
+# boot-path cost a federated snapshot adds), one CKAT training epoch on
+# the federated CKG versus one epoch on each member facility alone, and
+# facility-filtered /v1/recommend latency on the merged snapshot.
+#
+#   scripts/bench_federation.sh                 # default 1s per benchmark
+#   BENCHTIME=10x scripts/bench_federation.sh   # fixed iteration count
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_federation.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run XXX -bench 'BenchmarkFederatedFreeze|BenchmarkFederatedEpoch|BenchmarkSoloEpochs|BenchmarkFederatedServeRecommend' \
+    -benchmem -benchtime "$BENCHTIME" . | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""; edges = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "edges")     edges = $(i - 1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (edges != "")  printf ", \"edges\": %s", edges
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp" > "$OUT"
+echo "wrote $OUT"

@@ -30,9 +30,15 @@
 # the ingest replay-equivalence golden (bit-identical overlay after
 # ledger replay) — under -race.
 #
-#   scripts/ci.sh          # full loop: vet + build + tests + race + chaos
-#   scripts/ci.sh race     # race gates only
-#   scripts/ci.sh chaos    # fault-injection + resume-equivalence gates only
+# The federation gate pins the declarative schema registry to the
+# legacy facility constructors (golden catalog fingerprints + the
+# golden graph hashes) and smoke-tests the two-facility federated
+# build/train/eval/serve path under -race.
+#
+#   scripts/ci.sh             # full loop: vet + build + tests + race + chaos + federation
+#   scripts/ci.sh race        # race gates only
+#   scripts/ci.sh chaos       # fault-injection + resume-equivalence gates only
+#   scripts/ci.sh federation  # schema-registry golden + federated smoke gates only
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -65,6 +71,17 @@ if [ "$mode" = "all" ]; then
     scripts/bench_ann.sh
     echo "== ingest benchmarks -> BENCH_ingest.json"
     scripts/bench_ingest.sh
+    echo "== federation benchmarks -> BENCH_federation.json"
+    scripts/bench_federation.sh
+fi
+
+if [ "$mode" = "all" ] || [ "$mode" = "federation" ]; then
+    echo "== federation gate: registry-instantiated OOI/GAGE bit-identical to the legacy constructors"
+    go test -run 'TestRegistryMatchesLegacyConstructors|TestGolden' -count 1 \
+        ./internal/facility/ .
+    echo "== federation gate: 2-facility build/train/eval/serve smoke under -race"
+    go test -race -run 'TestFederationSmoke' -count 1 .
+    go test -race -run 'TestFederated|TestBuildFederated' ./internal/serve/ ./internal/dataset/
 fi
 
 if [ "$mode" = "all" ] || [ "$mode" = "race" ]; then
