@@ -28,6 +28,7 @@ func main() {
 	addr := flag.String("addr", ":9090", "listen address")
 	backends := flag.String("backends", "", "comma-separated backend base URLs (required)")
 	timeout := flag.Duration("timeout", router.DefaultTimeout, "per-backend round-trip deadline")
+	traceRing := flag.Int("trace-ring", router.DefaultTraceRing, "retained traces for /v1/debug/traces")
 	flag.Parse()
 
 	var urls []string
@@ -36,7 +37,7 @@ func main() {
 			urls = append(urls, b)
 		}
 	}
-	rt, err := router.New(router.Config{Backends: urls, Timeout: *timeout})
+	rt, err := router.New(router.Config{Backends: urls, Timeout: *timeout, TraceRing: *traceRing})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		fmt.Fprintln(os.Stderr, "usage: router -addr :9090 -backends http://host1:8080,http://host2:8080")
@@ -61,6 +62,7 @@ func main() {
 	for _, u := range urls {
 		fmt.Printf("  %s\n", u)
 	}
+	fmt.Println("  GET  /metrics (router_* Prometheus families) | /v1/debug/traces (router-side spans)")
 
 	select {
 	case err := <-errc:

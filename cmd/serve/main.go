@@ -55,6 +55,9 @@ func main() {
 	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "score-vector cache entries")
 	shards := flag.Int("shards", serve.DefaultShards, "in-process scorer shards (consistent-hash partitioned)")
 	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond this inflight cap (0 disables)")
+	sloP99 := flag.Float64("slo-p99-ms", serve.DefaultSLOObjectiveMS, "per-endpoint latency objective for the declared SLOs (ms)")
+	sloTarget := flag.Float64("slo-target", serve.DefaultSLOTarget, "promised good-request fraction per SLO")
+	sloWindow := flag.Duration("slo-window", serve.DefaultSLOWindow, "SLO evaluation window")
 	annOn := flag.Bool("ann", true, "build per-shard HNSW indexes for mode=ann and the /v1/query endpoints")
 	annEF := flag.Int("ann-ef", ann.DefaultEfSearch, "default ann search breadth (per-request ef overrides)")
 	annM := flag.Int("ann-m", ann.DefaultM, "HNSW connectivity (neighbors per node)")
@@ -167,6 +170,7 @@ func main() {
 		serve.WithTimeout(*timeout),
 		serve.WithCacheSize(*cacheSize),
 		serve.WithShards(*shards),
+		serve.WithSLOs(serve.DefaultSLOs(*sloP99, *sloTarget, *sloWindow)...),
 	}
 	if led != nil {
 		opts = append(opts, serve.WithIngest(led, app))

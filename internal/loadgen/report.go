@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SLOSpec is the declared objective the rate ladder searches against:
+// a step passes while client p99 stays at or under P99MS *and* the
+// shed fraction stays at or under MaxShed. The knee is the last
+// passing rate before the first breach.
+type SLOSpec struct {
+	P99MS   float64 `json:"p99_ms"`
+	MaxShed float64 `json:"max_shed_fraction"`
+}
+
+// Evaluate returns whether a step meets the SLO and, when it doesn't,
+// which clause breached.
+func (s SLOSpec) Evaluate(st StepResult) (bool, string) {
+	var reasons []string
+	if s.P99MS > 0 && st.ClientP99MS > s.P99MS {
+		reasons = append(reasons, fmt.Sprintf("client p99 %.1fms > %.1fms", st.ClientP99MS, s.P99MS))
+	}
+	if st.Offered > 0 {
+		shed := float64(st.Sheds) / float64(st.Offered)
+		if shed > s.MaxShed {
+			reasons = append(reasons, fmt.Sprintf("shed fraction %.3f > %.3f", shed, s.MaxShed))
+		}
+	}
+	if st.Errors > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d hard errors", st.Errors))
+	}
+	return len(reasons) == 0, strings.Join(reasons, "; ")
+}
+
+// StepResult is one (topology, rate) cell of the capacity matrix:
+// the client-side view from the open-loop runner and the server-side
+// view differenced from /metrics scrapes.
+type StepResult struct {
+	Topology    string  `json:"topology"`
+	RateQPS     float64 `json:"rate_qps"` // offered arrival rate
+	DurationSec float64 `json:"duration_sec"`
+	Offered     int     `json:"offered"`
+	OK          int     `json:"ok"`
+	Sheds       int     `json:"sheds"`
+	Errors      int     `json:"errors"`
+	AchievedQPS float64 `json:"achieved_qps"` // goodput
+	ClientP50MS float64 `json:"client_p50_ms"`
+	ClientP99MS float64 `json:"client_p99_ms"`
+
+	ServerRequests float64 `json:"server_requests"`
+	ServerP50MS    float64 `json:"server_p50_ms"` // histogram-derived
+	ServerP99MS    float64 `json:"server_p99_ms"`
+	ServerShed     float64 `json:"server_shed"`
+	ServerDegraded float64 `json:"server_degraded"`
+	Server5xx      float64 `json:"server_5xx"`
+
+	SLOPass bool   `json:"slo_pass"`
+	Breach  string `json:"breach,omitempty"`
+}
+
+// NewStepResult folds a runner result and a scrape delta into one row
+// and evaluates it against the SLO.
+func NewStepResult(topology string, cfg RunConfig, rr *RunResult, sd ServerDelta, slo SLOSpec) StepResult {
+	st := StepResult{
+		Topology:    topology,
+		RateQPS:     cfg.Rate,
+		DurationSec: cfg.Duration.Seconds(),
+		Offered:     rr.Offered,
+		OK:          rr.OK,
+		Sheds:       rr.Sheds,
+		Errors:      rr.Errors,
+		AchievedQPS: rr.AchievedQPS(),
+		ClientP50MS: rr.Percentile(0.50),
+		ClientP99MS: rr.Percentile(0.99),
+
+		ServerRequests: sd.Requests,
+		ServerP50MS:    sd.P50,
+		ServerP99MS:    sd.P99,
+		ServerShed:     sd.Shed,
+		ServerDegraded: sd.Degraded,
+		Server5xx:      sd.Err5xx,
+	}
+	st.SLOPass, st.Breach = slo.Evaluate(st)
+	return st
+}
+
+// Summary is the BENCH_load.json shape: the declared SLO, the mix and
+// workload provenance, every step, and the per-topology knee.
+type Summary struct {
+	Mix      string             `json:"mix"`
+	K        int                `json:"k"`
+	Seed     int64              `json:"seed"`
+	SLO      SLOSpec            `json:"slo"`
+	Steps    []StepResult       `json:"steps"`
+	KneeQPS  map[string]float64 `json:"knee_qps"` // topology → last passing rate (0: none passed)
+	Breached map[string]bool    `json:"breached"` // topology → ladder hit the knee
+	Note     string             `json:"note,omitempty"`
+}
+
+// NewSummary computes per-topology knees from the step list. The knee
+// is the highest passing rate observed for a topology; Breached marks
+// topologies where a later step actually failed (so the knee is a
+// measured saturation point, not just the top of the ladder).
+func NewSummary(mix Mix, k int, seed int64, slo SLOSpec, steps []StepResult) Summary {
+	s := Summary{
+		Mix: mix.String(), K: k, Seed: seed, SLO: slo, Steps: steps,
+		KneeQPS:  map[string]float64{},
+		Breached: map[string]bool{},
+	}
+	for _, st := range steps {
+		if _, seen := s.KneeQPS[st.Topology]; !seen {
+			s.KneeQPS[st.Topology] = 0
+		}
+		if st.SLOPass {
+			if st.RateQPS > s.KneeQPS[st.Topology] {
+				s.KneeQPS[st.Topology] = st.RateQPS
+			}
+		} else {
+			s.Breached[st.Topology] = true
+		}
+	}
+	return s
+}
+
+// WriteJSON renders the summary as indented JSON (BENCH_load.json).
+func (s Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// csvHeader matches StepResult field order.
+var csvHeader = []string{
+	"topology", "rate_qps", "duration_sec", "offered", "ok", "sheds", "errors",
+	"achieved_qps", "client_p50_ms", "client_p99_ms",
+	"server_requests", "server_p50_ms", "server_p99_ms",
+	"server_shed", "server_degraded", "server_5xx", "slo_pass", "breach",
+}
+
+// WriteCSV renders the per-step rows for plotting.
+func WriteCSV(w io.Writer, steps []StepResult) error {
+	if _, err := fmt.Fprintln(w, strings.Join(csvHeader, ",")); err != nil {
+		return err
+	}
+	for _, st := range steps {
+		_, err := fmt.Fprintf(w, "%s,%g,%g,%d,%d,%d,%d,%.2f,%.3f,%.3f,%g,%.3f,%.3f,%g,%g,%g,%t,%q\n",
+			st.Topology, st.RateQPS, st.DurationSec, st.Offered, st.OK, st.Sheds, st.Errors,
+			st.AchievedQPS, st.ClientP50MS, st.ClientP99MS,
+			st.ServerRequests, st.ServerP50MS, st.ServerP99MS,
+			st.ServerShed, st.ServerDegraded, st.Server5xx, st.SLOPass, st.Breach)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/serve/client"
+)
+
+// RunConfig parameterizes one fixed-rate open-loop step.
+type RunConfig struct {
+	Rate        float64       // offered ops/sec (Poisson arrival rate)
+	Duration    time.Duration // how long to offer load
+	K           int           // top-k for ranking endpoints
+	MaxInflight int           // harness-side socket cap; 0 = default
+	Seed        int64         // arrival-process seed
+}
+
+// DefaultMaxInflight bounds concurrent harness sockets. The semaphore
+// wait is charged to the measured latency (the clock starts at the
+// scheduled arrival), so the cap protects the harness's own fd budget
+// without reintroducing coordinated omission.
+const DefaultMaxInflight = 512
+
+// RunResult aggregates one step's client-side observations.
+type RunResult struct {
+	Offered   int // ops scheduled
+	Completed int // ops that got any response
+	OK        int // 2xx outcomes
+	Sheds     int // 503 typed load-shed outcomes
+	Errors    int // non-shed failures (4xx/5xx/transport)
+	ByKind    [numOpKinds]int
+	Wall      time.Duration // first scheduled arrival → last completion
+
+	latencies []float64 // ms, from scheduled arrival, successful ops only
+}
+
+// AchievedQPS is goodput: completed-OK operations per wall second.
+func (r *RunResult) AchievedQPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Wall.Seconds()
+}
+
+// Percentile returns the p-quantile (0..1) of successful-op latency in
+// milliseconds, measured from scheduled arrival time.
+func (r *RunResult) Percentile(p float64) float64 {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(r.latencies)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.latencies) {
+		idx = len(r.latencies) - 1
+	}
+	return r.latencies[idx]
+}
+
+// ShedFraction is the fraction of offered load the server shed.
+func (r *RunResult) ShedFraction() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Sheds) / float64(r.Offered)
+}
+
+// Run offers cfg.Rate ops/sec against target for cfg.Duration, drawing
+// operations round-robin from w. Open loop: arrival times are fixed up
+// front by a Poisson process and never stretched by slow responses —
+// if the server falls behind, requests pile up concurrently (bounded
+// by MaxInflight sockets) and the backlog shows up as latency, exactly
+// as a real client population would experience it.
+func Run(ctx context.Context, target *client.Client, w *Workload, cfg RunConfig) *RunResult {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	// Pre-draw the whole arrival schedule: exp(λ) inter-arrivals.
+	g := rng.New(cfg.Seed).Split("loadgen-arrivals")
+	var arrivals []time.Duration
+	var at float64 // seconds since step start
+	for {
+		at += g.ExpFloat64() / cfg.Rate
+		if at >= cfg.Duration.Seconds() {
+			break
+		}
+		arrivals = append(arrivals, time.Duration(at*float64(time.Second)))
+	}
+
+	res := &RunResult{Offered: len(arrivals)}
+	if len(arrivals) == 0 {
+		return res
+	}
+	sem := make(chan struct{}, cfg.MaxInflight)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	var lastDone time.Time
+
+	for i, arr := range arrivals {
+		if d := time.Until(start.Add(arr)); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				res.Offered = i
+				goto drain
+			}
+		} else if ctx.Err() != nil {
+			res.Offered = i
+			goto drain
+		}
+		op := w.Ops[i%len(w.Ops)]
+		scheduled := start.Add(arr)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			err := issue(ctx, target, op, cfg.K)
+			done := time.Now()
+			lat := done.Sub(scheduled)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Completed++
+			res.ByKind[op.Kind]++
+			if done.After(lastDone) {
+				lastDone = done
+			}
+			switch {
+			case err == nil:
+				res.OK++
+				res.latencies = append(res.latencies, float64(lat.Nanoseconds())/1e6)
+			case isShed(err):
+				res.Sheds++
+			default:
+				res.Errors++
+			}
+		}()
+	}
+drain:
+	wg.Wait()
+	mu.Lock()
+	if !lastDone.IsZero() {
+		res.Wall = lastDone.Sub(start.Add(arrivals[0]))
+	}
+	sort.Float64s(res.latencies)
+	mu.Unlock()
+	return res
+}
+
+// issue performs one operation against the typed client.
+func issue(ctx context.Context, c *client.Client, op Op, k int) error {
+	var err error
+	switch op.Kind {
+	case OpRecommend:
+		_, err = c.Recommend(ctx, op.User, k)
+	case OpBatch:
+		_, err = c.RecommendBatch(ctx, op.Users, k)
+	case OpSimilar:
+		_, err = c.Similar(ctx, op.Item, k)
+	case OpNearest:
+		_, err = c.Nearest(ctx, client.Item(op.Item), k, "")
+	case OpAnalogy:
+		_, err = c.Analogy(ctx, client.Item(op.A), client.Item(op.B), client.Item(op.C), k, "")
+	case OpIngest:
+		_, err = c.Ingest(ctx, []client.IngestEvent{{User: op.User, Item: op.Item}})
+	}
+	return err
+}
+
+func isShed(err error) bool {
+	var shed *client.ErrShed
+	return errors.As(err, &shed)
+}

@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The scrape layer reads the server's own /metrics surface before and
+// after each rate step and differences the two, so every step reports
+// the *server's* histogram-derived latency and shed/degraded counts
+// next to the client-side view. Disagreement between the two columns
+// is itself a finding (clock skew, queueing outside the server,
+// dropped responses).
+
+// serveLatencyFamily and routerLatencyFamily are the request-duration
+// histograms exposed by the two process types; a scrape uses whichever
+// is present.
+const (
+	serveLatencyFamily  = "serve_http_request_duration_ms"
+	routerLatencyFamily = "router_request_duration_ms"
+)
+
+// Scrape is one parsed /metrics snapshot from one target.
+type Scrape struct {
+	Samples []obs.PromSample
+}
+
+// ScrapeTarget fetches and parses base+"/metrics".
+func ScrapeTarget(ctx context.Context, hc *http.Client, base string) (*Scrape, error) {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("scrape %s/metrics: status %d", base, resp.StatusCode)
+	}
+	samples, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s/metrics: %w", base, err)
+	}
+	return &Scrape{Samples: samples}, nil
+}
+
+// ScrapeAll snapshots every target; the step report sums deltas across
+// them (a router topology scrapes the router and each backend).
+func ScrapeAll(ctx context.Context, hc *http.Client, targets []string) ([]*Scrape, error) {
+	out := make([]*Scrape, len(targets))
+	for i, t := range targets {
+		s, err := ScrapeTarget(ctx, hc, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// ServerDelta is the server-side view of one rate step, differenced
+// from before/after scrapes and summed across scrape targets.
+type ServerDelta struct {
+	Requests float64 // histogram-count delta (all endpoints)
+	P50      float64 // histogram-derived latency quantiles, ms
+	P99      float64
+	Shed     float64 // serve_shed_requests_total delta
+	Degraded float64 // serve_degraded_requests_total delta
+	Err5xx   float64 // serve_http_requests_total{class="5xx"} delta
+}
+
+// latencyHist extracts the request-duration histogram from a scrape,
+// preferring the router family when present (the router fronts the
+// user-visible path; backend scrapes contribute sheds and 5xx).
+func latencyHist(s *Scrape) *obs.PromHistogram {
+	all := func(map[string]string) bool { return true }
+	if h := obs.HistogramFromSamples(s.Samples, routerLatencyFamily, all); h.Count > 0 || len(h.Upper) > 0 {
+		return h
+	}
+	return obs.HistogramFromSamples(s.Samples, serveLatencyFamily, all)
+}
+
+// Delta computes the step's server-side view. before and after must
+// come from the same ScrapeAll target list, in order. The latency
+// quantiles are taken from the first target's histogram delta (the
+// entry point the client actually talked to); sheds, degradations and
+// 5xx counts are summed over all targets.
+func Delta(before, after []*Scrape) (ServerDelta, error) {
+	var d ServerDelta
+	if len(before) != len(after) || len(before) == 0 {
+		return d, fmt.Errorf("mismatched scrape sets: %d before, %d after", len(before), len(after))
+	}
+	entry := latencyHist(after[0]).Sub(latencyHist(before[0]))
+	d.Requests = entry.Count
+	d.P50 = entry.Quantile(0.50)
+	d.P99 = entry.Quantile(0.99)
+	for i := range before {
+		d.Shed += counterDelta(before[i], after[i], "serve_shed_requests_total", nil)
+		d.Degraded += counterDelta(before[i], after[i], "serve_degraded_requests_total", nil)
+		is5xx := func(l map[string]string) bool { return l["class"] == "5xx" }
+		d.Err5xx += counterDelta(before[i], after[i], "serve_http_requests_total", is5xx)
+		d.Err5xx += counterDelta(before[i], after[i], "router_requests_total", is5xx)
+	}
+	return d, nil
+}
+
+func counterDelta(before, after *Scrape, family string, match func(map[string]string) bool) float64 {
+	if match == nil {
+		match = func(map[string]string) bool { return true }
+	}
+	d := obs.CounterValue(after.Samples, family, match) -
+		obs.CounterValue(before.Samples, family, match)
+	if d < 0 {
+		return 0 // restart between scrapes
+	}
+	return d
+}

@@ -1,0 +1,226 @@
+// Package loadgen is the open-loop capacity harness of DESIGN.md §15.
+// It replays the paper's synthetic query traces against a live serving
+// topology (single server, sharded server, or router + backends) at a
+// fixed offered rate with Poisson arrivals, measures latency from each
+// request's *scheduled* arrival time so queueing under overload is
+// charged to the server rather than silently absorbed by the client
+// (no coordinated omission), and walks a rate ladder to find the knee
+// where a declared SLO — client p99 or shed fraction — first breaches.
+//
+// The workload layer below turns a trace.Trace into a deterministic
+// operation stream: the trace's records fix *which* users query *which*
+// items (preserving the org/site/data-type affinity structure of
+// §III-B), and a weighted endpoint mix fixes *how* each record is
+// queried.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// OpKind enumerates the /v1 operations the harness can issue.
+type OpKind int
+
+const (
+	OpRecommend OpKind = iota
+	OpBatch
+	OpSimilar
+	OpNearest
+	OpAnalogy
+	OpIngest
+	numOpKinds
+)
+
+// opNames maps OpKind to the mix-spec / CSV name.
+var opNames = [numOpKinds]string{
+	"recommend", "batch", "similar", "nearest", "analogy", "ingest",
+}
+
+func (k OpKind) String() string {
+	if k < 0 || k >= numOpKinds {
+		return "unknown"
+	}
+	return opNames[k]
+}
+
+// Op is one scheduled operation: the kind plus the trace-derived
+// entities it touches. Users carries the batch fan-out for OpBatch;
+// A/B/C are the analogy triple for OpAnalogy.
+type Op struct {
+	Kind    OpKind
+	User    int
+	Item    int
+	Users   []int
+	A, B, C int
+}
+
+// Mix is a weighted endpoint mix; weights are relative and need not
+// sum to anything in particular. Kinds with weight 0 are never issued.
+type Mix [numOpKinds]int
+
+// DefaultMix reflects the read-heavy discovery workload of the paper's
+// serving evaluation: recommendation dominates, with secondary similar
+// and embedding-space query traffic. Ingest defaults to 0 because it
+// requires a ledger-enabled server.
+func DefaultMix() Mix {
+	var m Mix
+	m[OpRecommend] = 45
+	m[OpBatch] = 10
+	m[OpSimilar] = 20
+	m[OpNearest] = 15
+	m[OpAnalogy] = 10
+	return m
+}
+
+// ParseMix parses "recommend=45,batch=10,similar=20" into a Mix.
+// Unlisted kinds get weight 0; unknown names are an error.
+func ParseMix(spec string) (Mix, error) {
+	var m Mix
+	if strings.TrimSpace(spec) == "" {
+		return m, fmt.Errorf("empty mix spec")
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("mix entry %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("mix weight %q must be a non-negative integer", val)
+		}
+		found := false
+		for k := OpKind(0); k < numOpKinds; k++ {
+			if opNames[k] == strings.TrimSpace(name) {
+				m[k] = w
+				found = true
+				break
+			}
+		}
+		if !found {
+			return m, fmt.Errorf("unknown endpoint %q in mix (want one of %s)",
+				name, strings.Join(opNames[:], ", "))
+		}
+	}
+	if m.total() == 0 {
+		return m, fmt.Errorf("mix %q has zero total weight", spec)
+	}
+	return m, nil
+}
+
+func (m Mix) total() int {
+	t := 0
+	for _, w := range m {
+		t += w
+	}
+	return t
+}
+
+// String renders the mix back into spec form, omitting zero weights.
+func (m Mix) String() string {
+	var parts []string
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if m[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", opNames[k], m[k]))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Workload is the precomputed operation stream one rate step draws
+// from. The same (trace, mix, seed) always yields the same stream.
+type Workload struct {
+	Ops   []Op
+	Users int
+	Items int
+}
+
+// BuildWorkload derives n operations from tr. Entity choices replay
+// the trace's records in order (wrapping), so the offered key
+// distribution carries the trace's locality and type skew; the
+// endpoint for each record is drawn from the weighted mix.
+//
+// warmItems, when non-nil, lists the items that have training
+// interactions: /v1/similar 404s on cold items (they have embeddings
+// but no interaction neighborhood), so similar ops redraw cold items
+// from the warm set instead of generating guaranteed client errors.
+func BuildWorkload(tr *trace.Trace, mix Mix, n int, batchSize int, seed int64, warmItems []int) (*Workload, error) {
+	if len(tr.Records) == 0 {
+		return nil, fmt.Errorf("trace has no records")
+	}
+	total := mix.total()
+	if total == 0 {
+		return nil, fmt.Errorf("mix has zero total weight")
+	}
+	if batchSize < 1 {
+		batchSize = 8
+	}
+	g := rng.New(seed).Split("loadgen-workload")
+	nUsers := len(tr.Users)
+	nItems := len(tr.Facility.Items)
+	warm := make(map[int]bool, len(warmItems))
+	for _, it := range warmItems {
+		warm[it] = true
+	}
+	warmed := func(item int) int {
+		if len(warmItems) == 0 || warm[item] {
+			return item
+		}
+		return warmItems[g.Intn(len(warmItems))]
+	}
+	w := &Workload{Ops: make([]Op, 0, n), Users: nUsers, Items: nItems}
+	ri := 0
+	nextRec := func() trace.Record {
+		r := tr.Records[ri%len(tr.Records)]
+		ri++
+		return r
+	}
+	for len(w.Ops) < n {
+		rec := nextRec()
+		draw := g.Intn(total)
+		var kind OpKind
+		for k := OpKind(0); k < numOpKinds; k++ {
+			if draw < mix[k] {
+				kind = k
+				break
+			}
+			draw -= mix[k]
+		}
+		op := Op{Kind: kind, User: rec.User, Item: rec.Item}
+		switch kind {
+		case OpSimilar:
+			op.Item = warmed(rec.Item)
+		case OpBatch:
+			users := make([]int, 0, batchSize)
+			seen := map[int]bool{rec.User: true}
+			users = append(users, rec.User)
+			for len(users) < batchSize {
+				u := nextRec().User
+				if !seen[u] {
+					seen[u] = true
+					users = append(users, u)
+				}
+				if len(seen) >= nUsers {
+					break
+				}
+			}
+			sort.Ints(users)
+			op.Users = users
+		case OpAnalogy:
+			// a is to b as c is to ? over items: the record's item
+			// anchors the triple, two more trace draws complete it.
+			op.A, op.B, op.C = rec.Item, nextRec().Item, nextRec().Item
+		}
+		w.Ops = append(w.Ops, op)
+	}
+	return w, nil
+}

@@ -1,0 +1,290 @@
+// promparse.go is the read side of the exposition format: a parser for
+// the Prometheus text format WriteProm emits, plus a bucket-backed
+// histogram view with the same quantile estimator the registry uses.
+// It exists so the load harness (internal/loadgen) and the export
+// tests consume scrapes through one compiled decoder instead of ad-hoc
+// string slicing: the harness diffs two scrapes of a live server to
+// derive per-run server-side latency quantiles and shed/degraded
+// deltas, and the golden tests round-trip a registry through
+// WriteProm → ParseProm to pin the format.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line: name{labels...} value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for one label name, or "".
+func (s PromSample) Label(name string) string { return s.Labels[name] }
+
+// ParseProm decodes a Prometheus text-format payload into its sample
+// lines. Comment lines (# HELP / # TYPE) and blanks are skipped; any
+// malformed sample line is an error, because a scrape that half-parses
+// would silently corrupt every delta computed from it.
+func ParseProm(r io.Reader) ([]PromSample, error) {
+	var out []PromSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: scrape line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSampleLine decodes one `name{k="v",...} value` line. Label
+// values use the exposition escapes (backslash, quote, newline).
+func parseSampleLine(line string) (PromSample, error) {
+	s := PromSample{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("missing metric name in %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A trailing timestamp (rare; we never emit one) would be a second
+	// field — take only the first.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parsePromValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels decodes a `{k="v",...}` block starting at s[0] == '{',
+// returning the index one past the closing brace.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		if s[i] == ',' {
+			i++
+			continue
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("label without '='")
+		}
+		name := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q without quoted value", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated value for label %q", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default: // \\ and \" unescape to themselves
+					b.WriteByte(s[i])
+				}
+				i++
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[name] = b.String()
+	}
+}
+
+// PromHistogram is a histogram reassembled from scraped _bucket/_sum/
+// _count samples: cumulative counts per ascending upper bound, exactly
+// the in-process Histogram's scrape-time shape, so the same quantile
+// estimator applies to a remote server's latencies.
+type PromHistogram struct {
+	Upper []float64 // ascending finite upper bounds
+	Cum   []float64 // cumulative counts per bound
+	Inf   float64   // total including the +Inf bucket
+	Sum   float64
+	Count float64
+}
+
+// HistogramFromSamples reassembles family's histogram from a parsed
+// scrape, summing every child whose labels pass filter (nil accepts
+// all) — e.g. one endpoint's latencies, or all endpoints merged for a
+// server-wide quantile.
+func HistogramFromSamples(samples []PromSample, family string, filter func(labels map[string]string) bool) *PromHistogram {
+	bucket, sum, count := family+"_bucket", family+"_sum", family+"_count"
+	byLe := make(map[float64]float64)
+	h := &PromHistogram{}
+	for _, s := range samples {
+		if filter != nil && !filter(s.Labels) {
+			continue
+		}
+		switch s.Name {
+		case bucket:
+			le, err := parsePromValue(s.Label("le"))
+			if err != nil {
+				continue
+			}
+			byLe[le] += s.Value
+		case sum:
+			h.Sum += s.Value
+		case count:
+			h.Count += s.Value
+		}
+	}
+	for le := range byLe {
+		if !math.IsInf(le, 1) {
+			h.Upper = append(h.Upper, le)
+		}
+	}
+	sort.Float64s(h.Upper)
+	h.Cum = make([]float64, len(h.Upper))
+	for i, le := range h.Upper {
+		h.Cum[i] = byLe[le]
+	}
+	h.Inf = byLe[math.Inf(1)]
+	return h
+}
+
+// Sub returns the histogram of observations between an earlier scrape
+// and this one — the per-run server-side latency distribution the load
+// harness reports. The two scrapes must come from the same registry
+// (identical bucket layout); counts are clamped at zero so a counter
+// reset reads as an empty interval rather than negative samples.
+func (h *PromHistogram) Sub(earlier *PromHistogram) *PromHistogram {
+	d := &PromHistogram{
+		Upper: append([]float64(nil), h.Upper...),
+		Cum:   make([]float64, len(h.Cum)),
+		Inf:   clampNonNeg(h.Inf - earlier.Inf),
+		Sum:   clampNonNeg(h.Sum - earlier.Sum),
+		Count: clampNonNeg(h.Count - earlier.Count),
+	}
+	prev := func(le float64) float64 {
+		for i, u := range earlier.Upper {
+			if u == le {
+				return earlier.Cum[i]
+			}
+		}
+		return 0
+	}
+	for i := range h.Cum {
+		d.Cum[i] = clampNonNeg(h.Cum[i] - prev(h.Upper[i]))
+	}
+	return d
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Quantile estimates the q-quantile with the same linear-interpolation
+// estimator as Histogram.Quantile: samples beyond the largest finite
+// bucket clamp to that bound, and an empty histogram yields 0.
+func (h *PromHistogram) Quantile(q float64) float64 {
+	total := h.Inf
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	for i, c := range h.Cum {
+		if c >= rank {
+			lo := 0.0
+			below := 0.0
+			if i > 0 {
+				lo = h.Upper[i-1]
+				below = h.Cum[i-1]
+			}
+			width := h.Upper[i] - lo
+			inBucket := c - below
+			if inBucket <= 0 {
+				return h.Upper[i]
+			}
+			return lo + width*(rank-below)/inBucket
+		}
+	}
+	if len(h.Upper) > 0 {
+		return h.Upper[len(h.Upper)-1]
+	}
+	return 0
+}
+
+// CounterValue sums every child of a counter/gauge family passing
+// filter in a parsed scrape; absent families read 0.
+func CounterValue(samples []PromSample, family string, filter func(labels map[string]string) bool) float64 {
+	var v float64
+	for _, s := range samples {
+		if s.Name != family {
+			continue
+		}
+		if filter != nil && !filter(s.Labels) {
+			continue
+		}
+		v += s.Value
+	}
+	return v
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestParsePromRoundTrip renders a registry with every instrument kind
+// and label-escaping edge case, parses it back, and checks the sample
+// set survives intact.
+func TestParsePromRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("rt_total", "plain counter").Add(3)
+	reg.NewCounterVec("rt_labeled_total", "labeled", "path", "class").
+		With(`/v1/x"y\z`+"\n", "2xx").Add(7)
+	reg.NewGauge("rt_gauge", "a gauge").Set(-2.5)
+	h := reg.NewHistogram("rt_hist_ms", "a histogram", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\npayload:\n%s", err, b.String())
+	}
+	byKey := map[string]PromSample{}
+	for _, s := range samples {
+		byKey[s.Name+"|"+s.Label("path")+"|"+s.Label("class")+"|"+s.Label("le")] = s
+	}
+	if got := byKey["rt_total|||"].Value; got != 3 {
+		t.Fatalf("rt_total = %v, want 3", got)
+	}
+	if got := byKey[`rt_labeled_total|/v1/x"y\z`+"\n|2xx|"].Value; got != 7 {
+		t.Fatalf("escaped label sample lost: %v", byKey)
+	}
+	if got := byKey["rt_gauge|||"].Value; got != -2.5 {
+		t.Fatalf("rt_gauge = %v, want -2.5", got)
+	}
+	if got := byKey["rt_hist_ms_bucket|||+Inf"].Value; got != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3", got)
+	}
+	if got := byKey["rt_hist_ms_bucket|||10"].Value; got != 2 {
+		t.Fatalf("le=10 bucket = %v, want 2", got)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_metric\n",
+		`unterminated{label="x value 3` + "\n",
+		`m{x=} 1` + "\n",
+		"m notanumber\n",
+	} {
+		if _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParseProm accepted malformed payload %q", bad)
+		}
+	}
+}
+
+// TestHistogramExportGolden is the export contract for histograms:
+// the rendered Prometheus text must have monotone non-decreasing
+// cumulative buckets, a +Inf bucket equal to _count, and a _sum
+// consistent with the observations.
+func TestHistogramExportGolden(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.NewHistogramVec("lat_ms", "latency", LatencyBuckets, "endpoint")
+	h := hv.With("/v1/recommend")
+	rng := rand.New(rand.NewSource(42))
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		// Lognormal-ish latencies spanning several buckets, plus a few
+		// beyond the largest finite bound to populate +Inf.
+		v := math.Exp(rng.NormFloat64()*1.5 + 1)
+		if i%1000 == 0 {
+			v = 1e6
+		}
+		sum += v
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type bkt struct{ le, v float64 }
+	var buckets []bkt
+	var expSum, expCount float64
+	for _, s := range samples {
+		switch s.Name {
+		case "lat_ms_bucket":
+			le, err := parsePromValue(s.Label("le"))
+			if err != nil {
+				t.Fatalf("bad le %q", s.Label("le"))
+			}
+			buckets = append(buckets, bkt{le, s.Value})
+		case "lat_ms_sum":
+			expSum = s.Value
+		case "lat_ms_count":
+			expCount = s.Value
+		}
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	if len(buckets) != len(LatencyBuckets)+1 {
+		t.Fatalf("bucket lines = %d, want %d (+Inf included)", len(buckets), len(LatencyBuckets)+1)
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].v < buckets[i-1].v {
+			t.Fatalf("cumulative counts not monotone at le=%v: %v < %v",
+				buckets[i].le, buckets[i].v, buckets[i-1].v)
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		t.Fatalf("largest bucket is le=%v, want +Inf", last.le)
+	}
+	if last.v != expCount || expCount != n {
+		t.Fatalf("+Inf bucket %v vs _count %v vs observations %d", last.v, expCount, n)
+	}
+	if rel := math.Abs(expSum-sum) / sum; rel > 1e-9 {
+		t.Fatalf("_sum %v drifted from true sum %v (rel %v)", expSum, sum, rel)
+	}
+}
+
+// TestHistogramQuantileAgreesWithExact pins the quantile estimator —
+// both the in-process Histogram and the scrape-side PromHistogram —
+// against exact percentiles of the raw samples, within bucket error
+// (one log-bucket factor of relative error).
+func TestHistogramQuantileAgreesWithExact(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("q_ms", "latency", LatencyBuckets)
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = math.Exp(rng.NormFloat64()*1.2 + 0.5) // ~0.05..100 ms
+		h.Observe(raw[i])
+	}
+	sort.Float64s(raw)
+
+	var b strings.Builder
+	if err := reg.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := HistogramFromSamples(samples, "q_ms", nil)
+	if ph.Count != n || ph.Inf != n {
+		t.Fatalf("reassembled count = %v/%v, want %d", ph.Count, ph.Inf, n)
+	}
+
+	// A log-bucketed estimate can be off by at most one bucket factor
+	// relative to the exact percentile.
+	const factor = 1.5
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		exact := raw[int(q*float64(n))-1]
+		for _, got := range []float64{h.Quantile(q), ph.Quantile(q)} {
+			if got < exact/factor || got > exact*factor {
+				t.Fatalf("q=%v estimate %v outside [%v, %v] around exact %v",
+					q, got, exact/factor, exact*factor, exact)
+			}
+		}
+		// And the two estimators must agree with each other exactly:
+		// same buckets, same interpolation.
+		if a, b := h.Quantile(q), ph.Quantile(q); math.Abs(a-b) > 1e-9*math.Max(a, 1) {
+			t.Fatalf("in-process %v vs scrape-side %v quantile disagree at q=%v", a, b, q)
+		}
+	}
+}
+
+// TestPromHistogramSub: the delta of two scrapes is the distribution
+// of the observations between them.
+func TestPromHistogramSub(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("d_ms", "latency", []float64{1, 10, 100})
+	scrape := func() *PromHistogram {
+		var b strings.Builder
+		if err := reg.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		samples, err := ParseProm(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return HistogramFromSamples(samples, "d_ms", nil)
+	}
+	h.Observe(0.5)
+	h.Observe(50)
+	before := scrape()
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(500)
+	after := scrape()
+	d := after.Sub(before)
+	if d.Count != 3 || d.Inf != 3 {
+		t.Fatalf("delta count = %v/%v, want 3", d.Count, d.Inf)
+	}
+	if d.Cum[0] != 0 || d.Cum[1] != 2 || d.Cum[2] != 2 {
+		t.Fatalf("delta cum = %v, want [0 2 2]", d.Cum)
+	}
+	if math.Abs(d.Sum-510) > 1e-9 {
+		t.Fatalf("delta sum = %v, want 510", d.Sum)
+	}
+	// The delta's median sits in the (1,10] bucket.
+	if p50 := d.Quantile(0.5); p50 < 1 || p50 > 10 {
+		t.Fatalf("delta p50 = %v, want within (1,10]", p50)
+	}
+}

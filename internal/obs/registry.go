@@ -291,6 +291,30 @@ var DefBuckets = []float64{
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
 }
 
+// ExpBuckets returns count log-spaced bucket bounds starting at min,
+// each factor times the previous. The relative quantile-estimation
+// error of a log-bucketed histogram is bounded by the factor, so a
+// layout is chosen by precision (factor) and range (count), not by
+// guessing where the latencies will land.
+func ExpBuckets(min, factor float64, count int) []float64 {
+	if min <= 0 || factor <= 1 || count < 1 {
+		panic("obs: ExpBuckets needs min > 0, factor > 1, count >= 1")
+	}
+	out := make([]float64, count)
+	v := min
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the log-bucketed layout used for request-latency
+// histograms: 50µs to ~21s in 32 buckets, ≤50% relative error per
+// estimate — fine enough that a histogram-derived p99 tracks the exact
+// percentile within one bucket everywhere a latency SLO would be set.
+var LatencyBuckets = ExpBuckets(0.05, 1.5, 32)
+
 // Histogram counts observations into fixed buckets. Observe is
 // lock-free; cumulative bucket counts are derived at scrape time, so a
 // mid-scrape Observe can only make later buckets larger — monotonicity
@@ -406,6 +430,49 @@ func (v *HistogramVec) Each(fn func(labelValues []string, h *Histogram)) {
 	keys, ms := v.fam.sortedChildren()
 	for i, k := range keys {
 		fn(splitKey(k, len(v.fam.labels)), ms[i].(*Histogram))
+	}
+}
+
+// ---------------------------------------------------------------------
+// introspection
+
+// FamilyInfo describes one registered family for introspection:
+// cardinality audits walk the registry and check every child's label
+// values against the fixed sets the code is supposed to emit.
+type FamilyInfo struct {
+	Name   string
+	Kind   Kind
+	Labels []string
+	// Children holds one label-value tuple per child, sorted; empty for
+	// func-backed families (which have exactly one unlabeled sample).
+	Children [][]string
+}
+
+// EachFamily visits every family in name order with its current
+// children. It takes the same snapshot WriteProm renders, so a test
+// auditing cardinality sees exactly the scrape surface.
+func (r *Registry) EachFamily(fn func(f FamilyInfo)) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		info := FamilyInfo{Name: f.name, Kind: f.kind, Labels: append([]string(nil), f.labels...)}
+		if f.fn == nil {
+			keys, _ := f.sortedChildren()
+			info.Children = make([][]string, len(keys))
+			for i, k := range keys {
+				info.Children[i] = splitKey(k, len(f.labels))
+			}
+		}
+		fn(info)
 	}
 }
 

@@ -1,0 +1,200 @@
+// slo.go turns raw instruments into service-level objectives: a
+// declarative SLOConfig names a good-request criterion (latency under
+// an objective, non-5xx), a target fraction, and an evaluation window,
+// and an SLOMonitor evaluates compliance and error-budget burn from
+// cumulative registry counters. Monitors hold no second accounting:
+// the source of truth stays in the histograms and counters the request
+// path already maintains, and a monitor only snapshots their
+// cumulative values over time to window the arithmetic.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOConfig declares one objective.
+type SLOConfig struct {
+	// Name identifies the SLO in stats, metrics labels, and alerts.
+	Name string
+
+	// Endpoint is the normalized endpoint the objective covers; ""
+	// covers all traffic (the instrument source decides the scope —
+	// see NewSLOMonitor).
+	Endpoint string
+
+	// ObjectiveMS is the latency objective in milliseconds: a request
+	// is good when it completed within it. Zero disables the latency
+	// criterion (the SLO is availability-only).
+	ObjectiveMS float64
+
+	// Target is the promised good fraction over the window, e.g. 0.99
+	// for "99% of requests within the objective".
+	Target float64
+
+	// Window is the evaluation window. Compliance and burn rate are
+	// computed over the newest retained snapshot span covering at most
+	// this much time.
+	Window time.Duration
+}
+
+// SLOStatus is one evaluated objective — the /v1/stats "slo" block
+// entry.
+type SLOStatus struct {
+	Name          string  `json:"name"`
+	Endpoint      string  `json:"endpoint,omitempty"`
+	ObjectiveMS   float64 `json:"objective_ms,omitempty"`
+	Target        float64 `json:"target"`
+	WindowSeconds float64 `json:"window_seconds"`
+
+	// Total and Good are the requests observed and the requests meeting
+	// the objective over the evaluated span (which may be shorter than
+	// the window early in the process lifetime).
+	Total float64 `json:"total"`
+	Good  float64 `json:"good"`
+
+	// Compliance is Good/Total (1 when idle: an SLO with no traffic is
+	// not being violated).
+	Compliance float64 `json:"compliance"`
+
+	// BurnRate is the error-budget burn multiplier: bad-fraction
+	// divided by the budget (1-Target). 1.0 means the budget is being
+	// consumed exactly at the sustainable rate; >1 means the SLO fails
+	// if the burn persists for the whole window.
+	BurnRate float64 `json:"burn_rate"`
+
+	// Healthy is Compliance >= Target.
+	Healthy bool `json:"healthy"`
+}
+
+// SLOSource reports the cumulative (total, good) request counts for
+// one objective since process start. Implementations read live
+// instruments — e.g. a latency histogram's interpolated
+// count-under-objective minus the 5xx counter.
+type SLOSource func() (total, good float64)
+
+// sloSample is one timestamped cumulative snapshot.
+type sloSample struct {
+	at          time.Time
+	total, good float64
+}
+
+// SLOMonitor evaluates one SLOConfig over its window by retaining
+// periodic snapshots of the cumulative source. Snapshots are taken
+// lazily on Eval — a scrape cadence of the window/snapshotsPerWindow
+// or faster gives full window resolution; an unscraped monitor
+// degrades to lifetime accounting, never to wrong numbers.
+type SLOMonitor struct {
+	cfg SLOConfig
+	src SLOSource
+
+	mu      sync.Mutex
+	samples []sloSample // oldest first, bounded
+	start   time.Time
+}
+
+// snapshotsPerWindow bounds snapshot cadence and retention: snapshots
+// are at least window/snapshotsPerWindow apart, and enough are kept to
+// always span one full window.
+const snapshotsPerWindow = 8
+
+// NewSLOMonitor builds a monitor for cfg reading src. Window <= 0
+// defaults to 5 minutes; Target is clamped into (0, 1).
+func NewSLOMonitor(cfg SLOConfig, src SLOSource) *SLOMonitor {
+	if cfg.Window <= 0 {
+		cfg.Window = 5 * time.Minute
+	}
+	if cfg.Target <= 0 || cfg.Target >= 1 {
+		cfg.Target = 0.99
+	}
+	return &SLOMonitor{cfg: cfg, src: src, start: time.Now()}
+}
+
+// Config returns the monitor's declaration.
+func (m *SLOMonitor) Config() SLOConfig { return m.cfg }
+
+// Eval snapshots the source if due and returns the objective's status
+// over the retained window.
+func (m *SLOMonitor) Eval() SLOStatus {
+	now := time.Now()
+	total, good := m.src()
+	if good > total {
+		good = total
+	}
+
+	m.mu.Lock()
+	gap := m.cfg.Window / snapshotsPerWindow
+	if n := len(m.samples); n == 0 || now.Sub(m.samples[n-1].at) >= gap {
+		m.samples = append(m.samples, sloSample{at: now, total: total, good: good})
+		// Retain one snapshot beyond the window so the evaluated span
+		// always covers the full window once enough history exists.
+		for len(m.samples) > snapshotsPerWindow+2 {
+			m.samples = m.samples[1:]
+		}
+	}
+	// Base: the oldest snapshot inside the window, or the newest one
+	// older than it (so the span covers the whole window).
+	base := sloSample{at: m.start}
+	for i := len(m.samples) - 1; i >= 0; i-- {
+		base = m.samples[i]
+		if now.Sub(m.samples[i].at) >= m.cfg.Window {
+			break
+		}
+	}
+	if base.at.After(now.Add(-time.Millisecond)) && len(m.samples) > 0 {
+		// The only retained snapshot is the one just taken: fall back
+		// to lifetime accounting.
+		base = sloSample{at: m.start}
+	}
+	m.mu.Unlock()
+
+	st := SLOStatus{
+		Name:          m.cfg.Name,
+		Endpoint:      m.cfg.Endpoint,
+		ObjectiveMS:   m.cfg.ObjectiveMS,
+		Target:        m.cfg.Target,
+		WindowSeconds: now.Sub(base.at).Seconds(),
+		Total:         clampNonNeg(total - base.total),
+		Good:          clampNonNeg(good - base.good),
+	}
+	st.Compliance = 1
+	if st.Total > 0 {
+		st.Compliance = st.Good / st.Total
+	}
+	st.BurnRate = (1 - st.Compliance) / (1 - m.cfg.Target)
+	st.Healthy = st.Compliance >= m.cfg.Target
+	return st
+}
+
+// GoodCount returns the interpolated number of observations at or
+// under objectiveMS, alongside the total — the latency half of an SLO
+// source. Interpolation inside the objective's bucket matches the
+// quantile estimator, so "good count at the p99 estimate" and "p99"
+// are inverse views of the same distribution.
+func (h *Histogram) GoodCount(objectiveMS float64) (good, total float64) {
+	cum, tot := h.cumulative()
+	total = float64(tot)
+	if tot == 0 {
+		return 0, 0
+	}
+	prev := 0.0
+	prevCount := 0.0
+	for i, upper := range h.upper {
+		c := float64(cum[i])
+		if objectiveMS < upper {
+			width := upper - prev
+			if width <= 0 {
+				return c, total
+			}
+			frac := (objectiveMS - prev) / width
+			if frac < 0 {
+				frac = 0
+			}
+			return prevCount + (c-prevCount)*frac, total
+		}
+		prev, prevCount = upper, c
+	}
+	// Objective at or beyond the largest finite bound: everything
+	// finite is good; +Inf samples are not.
+	return prevCount, total
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramGoodCount(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("g_ms", "latency", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		objective  float64
+		wantGood   float64
+		tol        float64
+		wantExact  bool
+		wantTotals float64
+	}{
+		{objective: 1, wantGood: 1, tol: 0, wantExact: true},    // exactly the first bound
+		{objective: 10, wantGood: 3, tol: 0, wantExact: true},   // exactly the second
+		{objective: 100, wantGood: 4, tol: 0, wantExact: true},  // largest finite bound
+		{objective: 1000, wantGood: 4, tol: 0, wantExact: true}, // beyond: +Inf stays bad
+		{objective: 5.5, wantGood: 1 + 2*0.5, tol: 0.01},        // interpolated in (1,10]
+		{objective: 0.5, wantGood: 0.5, tol: 0.01},              // interpolated in (0,1]
+	}
+	for _, c := range cases {
+		good, total := h.GoodCount(c.objective)
+		if total != 5 {
+			t.Fatalf("total = %v, want 5", total)
+		}
+		if diff := good - c.wantGood; diff > c.tol || diff < -c.tol {
+			t.Fatalf("GoodCount(%v) = %v, want %v ± %v", c.objective, good, c.wantGood, c.tol)
+		}
+	}
+}
+
+func TestSLOMonitorLifetimeThenWindow(t *testing.T) {
+	var total, good float64
+	m := NewSLOMonitor(SLOConfig{
+		Name: "rec-p99", Endpoint: "/v1/recommend",
+		ObjectiveMS: 50, Target: 0.9, Window: time.Hour,
+	}, func() (float64, float64) { return total, good })
+
+	// No traffic: compliant by definition, zero burn.
+	st := m.Eval()
+	if !st.Healthy || st.Compliance != 1 || st.BurnRate != 0 {
+		t.Fatalf("idle SLO not healthy: %+v", st)
+	}
+
+	// 100 requests, 95 good: compliance 0.95 over the lifetime span.
+	total, good = 100, 95
+	st = m.Eval()
+	if st.Total != 100 || st.Good != 95 {
+		t.Fatalf("lifetime span: total/good = %v/%v, want 100/95", st.Total, st.Good)
+	}
+	if st.Compliance != 0.95 || !st.Healthy {
+		t.Fatalf("compliance = %v healthy=%v, want 0.95 healthy", st.Compliance, st.Healthy)
+	}
+	// Budget is 10%; burning 5% of requests = half the sustainable rate.
+	if st.BurnRate < 0.49 || st.BurnRate > 0.51 {
+		t.Fatalf("burn rate = %v, want ~0.5", st.BurnRate)
+	}
+
+	// All bad from here: burn rate climbs past 1 and health flips.
+	total, good = 200, 95
+	st = m.Eval()
+	if st.Healthy {
+		t.Fatalf("SLO still healthy at compliance %v (target 0.9)", st.Compliance)
+	}
+	if st.BurnRate <= 1 {
+		t.Fatalf("burn rate = %v, want > 1", st.BurnRate)
+	}
+}
+
+func TestSLOMonitorWindowsOldTraffic(t *testing.T) {
+	var total, good float64
+	m := NewSLOMonitor(SLOConfig{
+		Name: "avail", Target: 0.99, Window: 80 * time.Millisecond,
+	}, func() (float64, float64) { return total, good })
+
+	// A burst of failures, then a quiet period longer than the window:
+	// the old badness must age out of the evaluated span.
+	total, good = 100, 0
+	m.Eval()
+	for i := 0; i < 12; i++ {
+		time.Sleep(12 * time.Millisecond)
+		m.Eval()
+	}
+	st := m.Eval()
+	if st.Total != 0 || st.Compliance != 1 || !st.Healthy {
+		t.Fatalf("old failures did not age out: %+v", st)
+	}
+
+	// Fresh good traffic inside the window is what gets evaluated.
+	total, good = 150, 50
+	st = m.Eval()
+	if st.Total != 50 || st.Good != 50 {
+		t.Fatalf("windowed span: total/good = %v/%v, want 50/50", st.Total, st.Good)
+	}
+	if !st.Healthy {
+		t.Fatalf("fresh good traffic evaluated unhealthy: %+v", st)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.05, 1.5, 32)
+	if len(b) != 32 || b[0] != 0.05 {
+		t.Fatalf("ExpBuckets shape: %v", b[:3])
+	}
+	for i := 1; i < len(b); i++ {
+		if r := b[i] / b[i-1]; r < 1.49 || r > 1.51 {
+			t.Fatalf("bucket ratio %v at %d, want 1.5", r, i)
+		}
+	}
+	// The latency layout must reach past 10s so timeouts land in a
+	// finite bucket.
+	if last := b[len(b)-1]; last < 10000 {
+		t.Fatalf("largest latency bucket %v ms, want >= 10000", last)
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("ExpBuckets accepted invalid shape")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestLinkedRootSpanAdoption(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, up := StartRootSpan(t.Context(), tr, "router /v1/recommend")
+	upTrace, upSpan := up.TraceID(), up.SpanID()
+	if !ValidTraceID(upTrace) || !ValidTraceID(upSpan) {
+		t.Fatalf("minted IDs not valid: %q %q", upTrace, upSpan)
+	}
+
+	// A downstream server adopting the propagated pair parents its
+	// root under the upstream span in the same trace.
+	down := NewTracer(8)
+	_, sp := StartLinkedRootSpan(t.Context(), down, "http /v1/recommend", upTrace, upSpan)
+	sp.End()
+	up.End()
+	_ = ctx
+
+	recent := down.Recent(0)
+	if len(recent) != 1 {
+		t.Fatalf("downstream ring holds %d traces, want 1", len(recent))
+	}
+	got := recent[0]
+	if got.TraceID != upTrace {
+		t.Fatalf("downstream trace ID %q, want adopted %q", got.TraceID, upTrace)
+	}
+	if got.Spans[0].ParentID != upSpan {
+		t.Fatalf("downstream root parent %q, want upstream span %q", got.Spans[0].ParentID, upSpan)
+	}
+
+	// Junk headers must not be adopted.
+	_, sp2 := StartLinkedRootSpan(t.Context(), down, "http x", "DROP TABLE", "zzz")
+	if sp2.TraceID() == "DROP TABLE" || !ValidTraceID(sp2.TraceID()) {
+		t.Fatalf("junk trace ID adopted: %q", sp2.TraceID())
+	}
+	if sp2.tr.id == "" {
+		t.Fatal("no fresh trace minted")
+	}
+	sp2.End()
+}

@@ -264,13 +264,57 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 // avoid threading the tracer through a context value they would read
 // back one frame later; deeper layers use StartSpan.
 func StartRootSpan(ctx context.Context, t *Tracer, name string) (context.Context, *Span) {
+	return StartLinkedRootSpan(ctx, t, name, "", "")
+}
+
+// Propagation headers for cross-process tracing: a proxy (the /v1
+// router) stamps both on every sub-request it issues, and a server
+// adopting them parents its local root span under the proxy's span, so
+// one distributed request reads as one trace across the process rings.
+const (
+	TraceHeader      = "X-Trace-ID"
+	ParentSpanHeader = "X-Parent-Span-ID"
+)
+
+// ValidTraceID reports whether s is a trace/span identifier this
+// package could have minted: exactly 16 lowercase hex digits. Inbound
+// headers failing the check are ignored and a fresh ID minted, so
+// hostile or junk header values can neither forge odd ring entries nor
+// leak arbitrary strings into telemetry.
+func ValidTraceID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// StartLinkedRootSpan is StartRootSpan for a request that arrived with
+// upstream trace context: the new root span joins trace traceID and
+// records parentID as its parent, so when the upstream ring and this
+// ring are read together the local spans hang under the proxy's span.
+// Invalid or empty traceID falls back to minting a fresh trace;
+// parentID is taken only when traceID was adopted.
+func StartLinkedRootSpan(ctx context.Context, t *Tracer, name, traceID, parentID string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
 	rs := &rootSpan{Span: Span{name: name, spanID: newID(), start: time.Now(),
 		tracer: t, root: true}}
 	sp := &rs.Span
-	sp.ownTrace.id = newID()
+	if ValidTraceID(traceID) {
+		sp.ownTrace.id = traceID
+		if ValidTraceID(parentID) {
+			sp.parentID = parentID
+		}
+	} else {
+		sp.ownTrace.id = newID()
+	}
 	sp.ownTrace.spans = rs.spanBuf[:0]
 	sp.tr = &sp.ownTrace
 	sp.td = &rs.ownTD
@@ -297,6 +341,16 @@ func (sp *Span) TraceID() string {
 		return ""
 	}
 	return sp.tr.id
+}
+
+// SpanID returns the span's own identifier ("" on a nil span) — the
+// value a proxy forwards in ParentSpanHeader so downstream spans
+// parent under it.
+func (sp *Span) SpanID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.spanID
 }
 
 // SetAttr attaches a key/value attribute to the span, replacing any

@@ -72,6 +72,10 @@ func (g *RNG) Int63() int64 { return g.r.Int63() }
 // NormFloat64 returns a standard normal value.
 func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
 
+// ExpFloat64 returns an exponential value with rate parameter 1, for
+// Poisson inter-arrival sampling.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
 // Uniform returns a value uniform in [lo, hi).
 func (g *RNG) Uniform(lo, hi float64) float64 {
 	return lo + (hi-lo)*g.r.Float64()

@@ -46,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve/api"
 	"repro/internal/shard"
 )
@@ -93,7 +94,14 @@ type Config struct {
 	// at RetryMaxBackoff. Zeros use the defaults.
 	RetryBackoff    time.Duration
 	RetryMaxBackoff time.Duration
+
+	// TraceRing is how many completed traces /v1/debug/traces retains;
+	// zero uses DefaultTraceRing.
+	TraceRing int
 }
+
+// DefaultTraceRing is the default trace-ring capacity.
+const DefaultTraceRing = 128
 
 // Router fans /v1 traffic out across the configured backends.
 type Router struct {
@@ -104,6 +112,10 @@ type Router struct {
 	retryBackoff  time.Duration
 	retryMax      time.Duration
 	mux           *http.ServeMux
+	routes        map[string]bool // registered paths; the metrics label set
+	handler       http.Handler    // mux wrapped in the observe middleware
+	metrics       *routerMetrics
+	tracer        *obs.Tracer
 }
 
 // New validates the backend list and builds the router.
@@ -136,22 +148,37 @@ func New(cfg Config) (*Router, error) {
 	for _, b := range cfg.Backends {
 		rt.backends = append(rt.backends, strings.TrimRight(b, "/"))
 	}
+	ring := cfg.TraceRing
+	if ring <= 0 {
+		ring = DefaultTraceRing
+	}
+	rt.metrics = newRouterMetrics(len(rt.backends))
+	rt.tracer = obs.NewTracer(ring)
 
 	rt.mux = http.NewServeMux()
-	rt.mux.HandleFunc("/v1/recommend", rt.byKey("user", shard.UserKey))
-	rt.mux.HandleFunc("/v1/explain", rt.byKey("user", shard.UserKey))
-	rt.mux.HandleFunc("/v1/similar", rt.byKey("item", shard.ItemKey))
-	rt.mux.HandleFunc("/v1/query:nearest", rt.byEntity("entity"))
-	rt.mux.HandleFunc("/v1/query:analogy", rt.byEntity("a"))
-	rt.mux.HandleFunc("/v1/recommend:batch", rt.handleBatch)
-	rt.mux.HandleFunc("/v1/health", rt.handleHealth)
-	rt.mux.HandleFunc("/v1/health/live", rt.handleLive)
-	rt.mux.HandleFunc("/v1/health/ready", rt.handleReady)
-	rt.mux.HandleFunc("/v1/stats", rt.handleStats)
-	rt.mux.HandleFunc("/v1/admin/reload", rt.handleReload)
+	rt.routes = make(map[string]bool)
+	route := func(path string, h http.HandlerFunc) {
+		rt.routes[path] = true
+		rt.mux.HandleFunc(path, h)
+	}
+	route("/v1/recommend", rt.byKey("user", shard.UserKey))
+	route("/v1/explain", rt.byKey("user", shard.UserKey))
+	route("/v1/similar", rt.byKey("item", shard.ItemKey))
+	route("/v1/query:nearest", rt.byEntity("entity"))
+	route("/v1/query:analogy", rt.byEntity("a"))
+	route("/v1/recommend:batch", rt.handleBatch)
+	route("/v1/health", rt.handleHealth)
+	route("/v1/health/live", rt.handleLive)
+	route("/v1/health/ready", rt.handleReady)
+	route("/v1/stats", rt.handleStats)
+	route("/v1/admin/reload", rt.handleReload)
+	route("/metrics", rt.metrics.reg.Handler().ServeHTTP)
+	route("/v1/debug/traces", obs.TracesHandler(rt.tracer).ServeHTTP)
 	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, api.NotFound("no such endpoint %q", r.URL.Path))
+		writeError(w, r, api.NotFound("no such endpoint %q", r.URL.Path))
 	})
+	rt.metrics.prime(rt.routes, len(rt.backends))
+	rt.handler = rt.observe(rt.mux)
 	return rt, nil
 }
 
@@ -162,9 +189,9 @@ func (rt *Router) NumBackends() int { return len(rt.backends) }
 // shared rendezvous placement.
 func (rt *Router) BackendFor(key uint64) int { return shard.Owner(key, len(rt.backends)) }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler through the observe middleware.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	rt.mux.ServeHTTP(w, r)
+	rt.handler.ServeHTTP(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -173,7 +200,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, e *api.Error) {
+// writeError renders a router-originated error envelope, stamping the
+// request's trace ID so 502/503s minted here — where no backend ever
+// answered — are still correlatable with /v1/debug/traces.
+func writeError(w http.ResponseWriter, r *http.Request, e *api.Error) {
+	if e.TraceID == "" {
+		e.TraceID = obs.TraceID(r.Context())
+	}
 	writeJSON(w, e.Status, api.ErrorEnvelope{Error: e})
 }
 
@@ -241,6 +274,7 @@ func (rt *Router) do(req *http.Request) (*http.Response, error) {
 		if !retryable(resp, err) || attempt >= attempts {
 			return resp, err
 		}
+		rt.metrics.retries.Inc()
 		if err == nil {
 			// Drain so the transport can reuse the connection.
 			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
@@ -264,25 +298,34 @@ func (rt *Router) do(req *http.Request) (*http.Response, error) {
 
 // proxy forwards the request to one backend and streams the response
 // back unchanged: status, content type, trace and retry headers, body.
+// The exchange runs under its own span, and the tracing headers are
+// stamped on the sub-request so the backend's spans join this trace,
+// parented under the proxy span.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout)
 	defer cancel()
+	ctx, sp := obs.StartSpan(ctx, "proxy backend "+strconv.Itoa(idx))
+	defer sp.End()
 	u := rt.backends[idx] + r.URL.Path
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
 	req, err := http.NewRequestWithContext(ctx, r.Method, u, r.Body)
 	if err != nil {
-		writeError(w, badGateway(rt.backends[idx], err))
+		writeError(w, r, badGateway(rt.backends[idx], err))
 		return
 	}
 	req.Header = r.Header.Clone()
+	propagate(req, sp)
 	resp, err := rt.do(req)
 	if err != nil {
-		writeError(w, badGateway(rt.backends[idx], err))
+		rt.metrics.observeBackend(idx, 0, true)
+		writeError(w, r, badGateway(rt.backends[idx], err))
 		return
 	}
 	defer resp.Body.Close()
+	rt.metrics.observeBackend(idx, resp.StatusCode, false)
+	sp.SetAttrInt("status", resp.StatusCode)
 	for _, h := range []string{"Content-Type", "X-Trace-ID", "X-Request-ID", "Retry-After", "Allow"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
@@ -293,10 +336,16 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, idx int) {
 }
 
 // call performs one JSON exchange with a backend, decoding 2xx into
-// out and non-2xx into the error envelope.
+// out and non-2xx into the error envelope. Like proxy, the exchange
+// runs under its own span and propagates the tracing headers, so every
+// fan-out leg (batch sub-requests, health/stats/reload aggregation)
+// parents the backend's spans under this router hop.
 func (rt *Router) call(ctx context.Context, idx int, method, path string, body []byte, out any) error {
 	ctx, cancel := context.WithTimeout(ctx, rt.timeout)
 	defer cancel()
+	ctx, sp := obs.StartSpan(ctx, "call backend "+strconv.Itoa(idx))
+	defer sp.End()
+	sp.SetAttr("path", path)
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -308,11 +357,15 @@ func (rt *Router) call(ctx context.Context, idx int, method, path string, body [
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	propagate(req, sp)
 	resp, err := rt.do(req)
 	if err != nil {
+		rt.metrics.observeBackend(idx, 0, true)
 		return badGateway(rt.backends[idx], err)
 	}
 	defer resp.Body.Close()
+	rt.metrics.observeBackend(idx, resp.StatusCode, false)
+	sp.SetAttrInt("status", resp.StatusCode)
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		return badGateway(rt.backends[idx], err)
@@ -342,13 +395,13 @@ func (rt *Router) call(ctx context.Context, idx int, method, path string, body [
 func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, api.Errorf("method_not_allowed", http.StatusMethodNotAllowed,
+		writeError(w, r, api.Errorf("method_not_allowed", http.StatusMethodNotAllowed,
 			"%s not allowed; use POST", r.Method))
 		return
 	}
 	raw, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBody))
 	if err != nil {
-		writeError(w, api.BadParam("unreadable body: %v", err))
+		writeError(w, r, api.BadParam("unreadable body: %v", err))
 		return
 	}
 	var req api.BatchRequest
@@ -412,10 +465,10 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// backend's own envelope: partial batch answers would be
 			// indistinguishable from complete ones.
 			if ae, ok := s.err.(*api.Error); ok {
-				writeError(w, ae)
+				writeError(w, r, ae)
 				return
 			}
-			writeError(w, badGateway(rt.backends[s.backend], s.err))
+			writeError(w, r, badGateway(rt.backends[s.backend], s.err))
 			return
 		}
 		out.K = s.resp.K
@@ -467,10 +520,10 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	for i, err := range errs {
 		if err != nil {
 			if ae, ok := err.(*api.Error); ok {
-				writeError(w, ae)
+				writeError(w, r, ae)
 				return
 			}
-			writeError(w, badGateway(rt.backends[i], err))
+			writeError(w, r, badGateway(rt.backends[i], err))
 			return
 		}
 		if i == 0 {
@@ -532,10 +585,10 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	for i, err := range errs {
 		if err != nil {
 			if ae, ok := err.(*api.Error); ok {
-				writeError(w, ae)
+				writeError(w, r, ae)
 				return
 			}
-			writeError(w, badGateway(rt.backends[i], err))
+			writeError(w, r, badGateway(rt.backends[i], err))
 			return
 		}
 	}
@@ -607,7 +660,46 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	if merged.Cache.Hits+merged.Cache.Misses > 0 {
 		merged.Cache.HitRate = float64(merged.Cache.Hits) / float64(merged.Cache.Hits+merged.Cache.Misses)
 	}
+	merged.SLO = mergeSLOs(stats)
 	writeJSON(w, http.StatusOK, merged)
+}
+
+// mergeSLOs folds every backend's slo block into one cluster view per
+// objective name: request counts sum and compliance/burn recompute
+// from the summed counts (the declaration fields come from the first
+// backend reporting the name — backends share one configuration). The
+// window reports the widest evaluated span.
+func mergeSLOs(stats []api.Stats) []api.SLOStats {
+	var order []string
+	byName := make(map[string]*api.SLOStats)
+	for _, st := range stats {
+		for _, slo := range st.SLO {
+			m, ok := byName[slo.Name]
+			if !ok {
+				cp := slo
+				byName[slo.Name] = &cp
+				order = append(order, slo.Name)
+				continue
+			}
+			m.Total += slo.Total
+			m.Good += slo.Good
+			if slo.WindowSeconds > m.WindowSeconds {
+				m.WindowSeconds = slo.WindowSeconds
+			}
+		}
+	}
+	out := make([]api.SLOStats, 0, len(order))
+	for _, name := range order {
+		m := byName[name]
+		m.Compliance = 1
+		if m.Total > 0 {
+			m.Compliance = m.Good / m.Total
+		}
+		m.BurnRate = (1 - m.Compliance) / (1 - m.Target)
+		m.Healthy = m.Compliance >= m.Target
+		out = append(out, *m)
+	}
+	return out
 }
 
 // handleReload fans the reload out to every backend and merges the
@@ -617,7 +709,7 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, api.Errorf("method_not_allowed", http.StatusMethodNotAllowed,
+		writeError(w, r, api.Errorf("method_not_allowed", http.StatusMethodNotAllowed,
 			"%s not allowed; use POST", r.Method))
 		return
 	}

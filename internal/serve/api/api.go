@@ -276,6 +276,24 @@ type ShardStats struct {
 	Cache    CacheStats `json:"cache"`
 }
 
+// SLOStats is one evaluated service-level objective in the /v1/stats
+// "slo" block: the declaration (name, scope, objective, target,
+// window) plus the evaluated span's compliance and error-budget burn.
+// An endpoint of "" means the objective covers all traffic; an
+// objective_ms of 0 means the SLO is availability-only (good = non-5xx).
+type SLOStats struct {
+	Name          string  `json:"name"`
+	Endpoint      string  `json:"endpoint,omitempty"`
+	ObjectiveMS   float64 `json:"objective_ms,omitempty"`
+	Target        float64 `json:"target"`
+	WindowSeconds float64 `json:"window_seconds"`
+	Total         float64 `json:"total"`
+	Good          float64 `json:"good"`
+	Compliance    float64 `json:"compliance"`
+	BurnRate      float64 `json:"burn_rate"`
+	Healthy       bool    `json:"healthy"`
+}
+
 // FacilityStats is one member facility's block in a federated
 // /v1/stats: its name and the half-open user/item windows it owns in
 // the merged entity space (BuildFederated lays facilities out
@@ -303,6 +321,7 @@ type Stats struct {
 	Reloads    uint64                   `json:"reloads"`
 	ReloadErr  uint64                   `json:"reload_failures"`
 	Limits     Limits                   `json:"limits"`
+	SLO        []SLOStats               `json:"slo,omitempty"`
 	ANN        ANNStats                 `json:"ann"`
 	Cache      CacheStats               `json:"cache"`
 	Ingest     *IngestStats             `json:"ingest,omitempty"`

@@ -102,6 +102,8 @@ type (
 	NearestResponse     = api.NearestResponse
 	AnalogyResponse     = api.AnalogyResponse
 	RankingInfo         = api.RankingInfo
+	IngestEvent         = api.IngestEvent
+	IngestResponse      = api.IngestResponse
 )
 
 // User and Item build entity references for the query endpoints.
@@ -197,6 +199,19 @@ func (c *Client) Explain(ctx context.Context, user, item int) (Explanation, erro
 func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var out Stats
 	err := c.get(ctx, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Ingest commits a batch of observed query events; the response
+// acknowledges the durable ledger commit. Only meaningful against a
+// server started with live ingestion enabled.
+func (c *Client) Ingest(ctx context.Context, events []IngestEvent) (IngestResponse, error) {
+	body, err := json.Marshal(api.IngestRequest{Events: events})
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	var out IngestResponse
+	err = c.do(ctx, http.MethodPost, "/v1/ingest", nil, body, &out)
 	return out, err
 }
 

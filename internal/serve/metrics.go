@@ -37,6 +37,15 @@ type serveMetrics struct {
 	shed           *obs.Counter
 	reloads        *obs.Counter
 	reloadFailures *obs.Counter
+
+	// SLO evaluation (initSLOs): one monitor per declared objective,
+	// reading the request instruments above, plus gauges mirroring the
+	// evaluated status onto the Prometheus surface. The slo label set is
+	// fixed at init, so cardinality is bounded by the declaration.
+	slos          []*obs.SLOMonitor
+	sloCompliance *obs.GaugeVec // serve_slo_compliance{slo}
+	sloBurn       *obs.GaugeVec // serve_slo_burn_rate{slo}
+	sloHealthy    *obs.GaugeVec // serve_slo_healthy{slo}
 }
 
 // endpointInstruments are one endpoint's pre-resolved children:
@@ -64,7 +73,7 @@ func newServeMetrics(s *Server) *serveMetrics {
 			"endpoint", "class"),
 		latency: reg.NewHistogramVec("serve_http_request_duration_ms",
 			"HTTP request latency in milliseconds by normalized endpoint.",
-			nil, "endpoint"),
+			obs.LatencyBuckets, "endpoint"),
 		inflight: reg.NewGauge("serve_http_inflight_requests",
 			"Requests currently being handled."),
 		degraded: reg.NewCounter("serve_degraded_requests_total",
@@ -120,6 +129,107 @@ func (m *serveMetrics) prime(endpoints map[string]bool) {
 		add(ep)
 	}
 	add(otherEndpoint)
+}
+
+// initSLOs builds one monitor per declared objective over the primed
+// instruments. An SLO with an endpoint reads that endpoint's latency
+// histogram and 5xx counter; an SLO with Endpoint == "" covers all
+// traffic (every primed endpoint, including "other"). Good requests
+// are those within the latency objective AND not 5xx: the interpolated
+// under-objective count minus the 5xx count, clamped at zero, so a
+// fast error never counts as good. Must be called after prime.
+func (m *serveMetrics) initSLOs(cfgs []obs.SLOConfig) {
+	if len(cfgs) == 0 {
+		return
+	}
+	m.sloCompliance = m.reg.NewGaugeVec("serve_slo_compliance",
+		"Good-request fraction over each SLO's evaluated window.", "slo")
+	m.sloBurn = m.reg.NewGaugeVec("serve_slo_burn_rate",
+		"Error-budget burn multiplier per SLO (1 = sustainable).", "slo")
+	m.sloHealthy = m.reg.NewGaugeVec("serve_slo_healthy",
+		"1 when the SLO's compliance meets its target.", "slo")
+	for _, cfg := range cfgs {
+		var src obs.SLOSource
+		if cfg.Endpoint != "" {
+			ei, ok := m.hot[cfg.Endpoint]
+			if !ok {
+				continue // objective over an unregistered route: nothing to read
+			}
+			objective := cfg.ObjectiveMS
+			src = func() (float64, float64) {
+				return endpointGoodTotal(ei, objective)
+			}
+		} else {
+			objective := cfg.ObjectiveMS
+			hot := m.hot
+			src = func() (float64, float64) {
+				var total, good float64
+				for _, ei := range hot {
+					t, g := endpointGoodTotal(ei, objective)
+					total += t
+					good += g
+				}
+				return total, good
+			}
+		}
+		m.slos = append(m.slos, obs.NewSLOMonitor(cfg, src))
+		// Prime the gauges so every slo series exists from the first
+		// scrape.
+		m.sloCompliance.With(cfg.Name).Set(1)
+		m.sloBurn.With(cfg.Name).Set(0)
+		m.sloHealthy.With(cfg.Name).Set(1)
+	}
+}
+
+// endpointGoodTotal reads one endpoint's cumulative (total, good)
+// request counts for an SLO source.
+func endpointGoodTotal(ei *endpointInstruments, objectiveMS float64) (total, good float64) {
+	if objectiveMS > 0 {
+		good, total = ei.latency.GoodCount(objectiveMS)
+	} else {
+		total = float64(ei.latency.Count())
+		good = total
+	}
+	if bad := ei.classes[5].Value(); bad > 0 {
+		good -= bad
+		if good < 0 {
+			good = 0
+		}
+	}
+	return total, good
+}
+
+// evalSLOs evaluates every monitor, refreshes the slo gauges, and
+// returns the statuses in declaration order — called by /v1/stats and
+// before a /metrics scrape renders.
+func (m *serveMetrics) evalSLOs() []api.SLOStats {
+	if len(m.slos) == 0 {
+		return nil
+	}
+	out := make([]api.SLOStats, len(m.slos))
+	for i, mon := range m.slos {
+		st := mon.Eval()
+		out[i] = api.SLOStats{
+			Name:          st.Name,
+			Endpoint:      st.Endpoint,
+			ObjectiveMS:   st.ObjectiveMS,
+			Target:        st.Target,
+			WindowSeconds: st.WindowSeconds,
+			Total:         st.Total,
+			Good:          st.Good,
+			Compliance:    st.Compliance,
+			BurnRate:      st.BurnRate,
+			Healthy:       st.Healthy,
+		}
+		m.sloCompliance.With(st.Name).Set(st.Compliance)
+		m.sloBurn.With(st.Name).Set(st.BurnRate)
+		healthy := 0.0
+		if st.Healthy {
+			healthy = 1
+		}
+		m.sloHealthy.With(st.Name).Set(healthy)
+	}
+	return out
 }
 
 // observe records one completed request under the normalized endpoint.
@@ -221,6 +331,7 @@ func (s *Server) statsSnapshot() StatsSnapshot {
 		Reloads:    uint64(s.metrics.reloads.Value()),
 		ReloadErr:  uint64(s.metrics.reloadFailures.Value()),
 		Limits:     s.limits,
+		SLO:        s.metrics.evalSLOs(),
 		Cache: CacheSnapshot{
 			Hits: hits, Misses: misses, HitRate: rate,
 			Entries: entries, Cap: s.cacheSize,

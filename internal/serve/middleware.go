@@ -59,13 +59,17 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		}
 		endpoint := s.normalizeEndpoint(r.URL.Path)
 		ctx := obs.ContextWithRequestID(r.Context(), id)
-		ctx, sp := obs.StartRootSpan(ctx, s.tracer, s.rootSpanName[endpoint])
+		// Adopt a propagated trace identity (router or another upstream)
+		// so this process's spans join the caller's trace; junk headers
+		// are rejected by validation and a fresh trace is minted.
+		ctx, sp := obs.StartLinkedRootSpan(ctx, s.tracer, s.rootSpanName[endpoint],
+			r.Header.Get(obs.TraceHeader), r.Header.Get(obs.ParentSpanHeader))
 		sp.SetAttr("method", r.Method)
 		sp.SetAttr("path", r.URL.Path)
 		sp.SetAttr("request_id", id)
 		hdr := w.Header()
 		hdr.Set("X-Request-ID", id)
-		hdr.Set("X-Trace-ID", sp.TraceID())
+		hdr.Set(obs.TraceHeader, sp.TraceID())
 		r = r.WithContext(ctx)
 
 		s.metrics.inflight.Inc()

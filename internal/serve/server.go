@@ -49,6 +49,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,6 +121,9 @@ type Server struct {
 
 	// Knobs.
 	logger         *slog.Logger
+	slos           []obs.SLOConfig
+	slosSet        bool
+	obsOff         bool
 	timeout        time.Duration
 	workers        int
 	shards         int
@@ -252,6 +256,66 @@ func WithTraceRing(n int) Option {
 // constructed over.
 func WithFederation(fed *dataset.Federated) Option { return func(s *Server) { s.fed = fed } }
 
+// Defaults for the declarative SLO block (DefaultSLOs / WithSLOs).
+const (
+	DefaultSLOObjectiveMS = 250             // per-endpoint latency objective
+	DefaultSLOTarget      = 0.99            // promised good fraction
+	DefaultSLOWindow      = 5 * time.Minute // evaluation window
+)
+
+// DefaultSLOs declares the stock objective set: one availability SLO
+// over all traffic (good = non-5xx) plus per-endpoint latency SLOs on
+// the hot read paths (good = answered within objectiveMS and not 5xx).
+// objectiveMS <= 0, target outside (0,1), and window <= 0 fall back to
+// the Default* constants.
+func DefaultSLOs(objectiveMS, target float64, window time.Duration) []obs.SLOConfig {
+	if objectiveMS <= 0 {
+		objectiveMS = DefaultSLOObjectiveMS
+	}
+	if target <= 0 || target >= 1 {
+		target = DefaultSLOTarget
+	}
+	if window <= 0 {
+		window = DefaultSLOWindow
+	}
+	cfgs := []obs.SLOConfig{
+		{Name: "availability", Target: target, Window: window},
+	}
+	for name, ep := range map[string]string{
+		"recommend_latency": "/v1/recommend",
+		"batch_latency":     "/v1/recommend:batch",
+		"similar_latency":   "/v1/similar",
+		"nearest_latency":   "/v1/query:nearest",
+	} {
+		cfgs = append(cfgs, obs.SLOConfig{
+			Name: name, Endpoint: ep,
+			ObjectiveMS: objectiveMS, Target: target, Window: window,
+		})
+	}
+	// Deterministic declaration order for stats output and tests.
+	sort.Slice(cfgs[1:], func(i, j int) bool { return cfgs[1+i].Name < cfgs[1+j].Name })
+	return cfgs
+}
+
+// WithSLOs declares the server's service-level objectives, replacing
+// the default set (DefaultSLOs with stock parameters). Calling it with
+// no arguments disables SLO evaluation entirely. Objectives are
+// evaluated lazily on /v1/stats and /metrics reads; each appears in
+// the stats "slo" block and as serve_slo_* gauges labeled by name.
+func WithSLOs(cfgs ...obs.SLOConfig) Option {
+	return func(s *Server) {
+		s.slos = cfgs
+		s.slosSet = true
+	}
+}
+
+// withoutObs strips the telemetry from the request path — no metrics,
+// no spans, no request IDs, no logging — leaving admission control,
+// panic recovery, and deadlines in place. It exists solely so the
+// overhead-budget regression test can benchmark the full stack against
+// a stubbed one; it is deliberately unexported.
+func withoutObs() Option { return func(s *Server) { s.obsOff = true } }
+
 // WithCSR serves graph queries (/explain, the degraded popularity
 // prior) from an already-frozen CSR — typically one restored from a
 // model snapshot — instead of re-freezing the dataset's CKG at boot.
@@ -333,7 +397,13 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		s.route("/v1/ingest", http.MethodPost, s.handleIngest)
 		s.route("/v1/admin/compact", http.MethodPost, s.handleCompact)
 	}
-	s.route("/metrics", http.MethodGet, s.metrics.reg.Handler().ServeHTTP)
+	// /metrics refreshes the slo gauges before rendering so a scrape
+	// always reads freshly evaluated compliance.
+	promHandler := s.metrics.reg.Handler()
+	s.route("/metrics", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.evalSLOs()
+		promHandler.ServeHTTP(w, r)
+	})
 	s.route("/v1/debug/traces", http.MethodGet, obs.TracesHandler(s.tracer).ServeHTTP)
 	for _, legacy := range []string{"/health", "/recommend", "/similar", "/explain"} {
 		s.mux.HandleFunc(legacy, s.redirectV1)
@@ -343,13 +413,21 @@ func New(d *dataset.Dataset, scorer eval.Scorer, opts ...Option) *Server {
 		s.writeError(w, r, notFound("no such endpoint %q", r.URL.Path))
 	})
 	s.metrics.prime(s.routes)
+	if !s.slosSet {
+		s.slos = DefaultSLOs(DefaultSLOObjectiveMS, DefaultSLOTarget, DefaultSLOWindow)
+	}
+	s.metrics.initSLOs(s.slos)
 	s.rootSpanName = make(map[string]string, len(s.routes)+1)
 	for ep := range s.routes {
 		s.rootSpanName[ep] = "http " + ep
 	}
 	s.rootSpanName[otherEndpoint] = "http " + otherEndpoint
 
-	s.handler = s.observe(s.shed(s.recover(s.deadline(s.mux))))
+	if s.obsOff {
+		s.handler = s.shed(s.recover(s.deadline(s.mux)))
+	} else {
+		s.handler = s.observe(s.shed(s.recover(s.deadline(s.mux))))
+	}
 	return s
 }
 
@@ -390,6 +468,10 @@ func (s *Server) route(path, method string, h http.HandlerFunc) {
 				Message: r.Method + " not allowed; use " + method,
 				Status:  http.StatusMethodNotAllowed,
 			})
+			return
+		}
+		if s.obsOff {
+			h(w, r)
 			return
 		}
 		ctx, sp := obs.StartSpan(r.Context(), spanName)

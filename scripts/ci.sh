@@ -73,6 +73,8 @@ if [ "$mode" = "all" ]; then
     scripts/bench_ingest.sh
     echo "== federation benchmarks -> BENCH_federation.json"
     scripts/bench_federation.sh
+    echo "== capacity sweep -> BENCH_load.json"
+    scripts/bench_load.sh
 fi
 
 if [ "$mode" = "all" ] || [ "$mode" = "federation" ]; then
@@ -87,6 +89,9 @@ fi
 if [ "$mode" = "all" ] || [ "$mode" = "race" ]; then
     echo "== go test -race ./internal/obs/"
     go test -race ./internal/obs/
+    echo "== loadgen smoke gate: open-loop step against an in-process server under -race"
+    echo "   (zero client/server error-count divergence, SLO block present in /v1/stats)"
+    go test -race -count 1 ./internal/loadgen/
     echo "== go test -race ./internal/serve/... ./internal/router/"
     go test -race ./internal/serve/... ./internal/router/
     echo "== shard race gate: dispatcher + sharded serving at N>=2 under -race"
